@@ -1,0 +1,63 @@
+"""Shared fixtures and model factories for the benchmark harness.
+
+Every experiment of DESIGN.md §3 has one module here; each both
+*checks* the reproduced result (assertions on who-wins / exact values)
+and *measures* it (pytest-benchmark timings, kernel statistics in
+``extra_info``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ModuleSpec, RTModel
+
+
+def fig1_model(cs_max: int = 7, r1: int = 2, r2: int = 3) -> RTModel:
+    """The paper's Fig. 1 example."""
+    model = RTModel("example", cs_max=cs_max)
+    model.register("R1", init=r1)
+    model.register("R2", init=r2)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def wide_model(width: int, steps: int) -> RTModel:
+    """``width`` independent adders all busy in every control step.
+
+    The workload that amortizes the six delta cycles per step over
+    many concurrent transfers (the regime the paper's speed claim is
+    about).
+    """
+    model = RTModel(f"wide_{width}x{steps}", cs_max=steps + 1)
+    model.module_count = width  # type: ignore[attr-defined]
+    for lane in range(width):
+        model.register(f"A{lane}", init=lane + 1)
+        model.register(f"B{lane}", init=2 * lane + 1)
+        model.register(f"S{lane}")
+        model.bus(f"BA{lane}")
+        model.bus(f"BB{lane}")
+        model.module(ModuleSpec(f"FU{lane}", latency=1))
+    for step in range(1, steps + 1, 2):
+        for lane in range(width):
+            model.add_transfer(
+                f"(A{lane},BA{lane},B{lane},BB{lane},{step},FU{lane},"
+                f"{step + 1},BA{lane},S{lane})"
+            )
+    return model
+
+
+@pytest.fixture
+def report_lines(request):
+    """Collects human-readable result lines and prints them at teardown
+    so `pytest benchmarks -s` shows the paper-style tables."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        header = f"== {request.node.name} =="
+        print("\n" + header)
+        for line in lines:
+            print("  " + line)

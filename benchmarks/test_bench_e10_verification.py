@@ -1,0 +1,155 @@
+"""E10 (§2.7/§4): the automatic proving procedure.
+
+Reproduces: the paper's verification story -- symbolic execution
+relates the RT model to the algorithmic description ("formal register
+transfer models can be easily translated to the VHDL register transfer
+model and vice versa"), the tuple <-> TRANS mapping round-trips, and
+wrong designs are refuted with counterexamples.
+Measures: verification cost as the design grows.
+"""
+
+import pytest
+
+from repro.hls import parse_program, synthesize
+from repro.verify import (
+    all_equivalent,
+    check_model_roundtrip,
+    check_program_vs_model,
+    symbolic_run,
+)
+
+from .test_bench_e9_hls_flow import fir_program, polynomial_program
+
+
+class TestVerificationReproduction:
+    @pytest.mark.parametrize(
+        "source",
+        [fir_program(4), polynomial_program(4), "s = (a + b) * (a - b)\n"],
+        ids=["fir4", "poly4", "difference-of-squares"],
+    )
+    def test_hls_designs_verify(self, source):
+        result = synthesize(source)
+        outcomes = check_program_vs_model(
+            result.program, result.model, result.output_regs
+        )
+        assert all_equivalent(outcomes)
+
+    def test_normal_form_decides_reassociation(self, report_lines):
+        result = synthesize("s = a + (b + (c + d))\n")
+        variant = parse_program("s = ((d + c) + b) + a\n")
+        outcomes = check_program_vs_model(
+            variant, result.model, result.output_regs
+        )
+        assert all_equivalent(outcomes)
+        assert outcomes[0].method == "normal-form"
+        report_lines.append(
+            "re-associated source proven equivalent by normal form "
+            "(no testing needed)"
+        )
+
+    def test_wrong_design_refuted_with_counterexample(self, report_lines):
+        result = synthesize("s = a + b\n")
+        wrong = parse_program("s = a + (b + 1)\n")
+        outcomes = check_program_vs_model(
+            wrong, result.model, result.output_regs
+        )
+        assert not all_equivalent(outcomes)
+        assert outcomes[0].counterexample is not None
+        report_lines.append(f"refuted: {outcomes[0]}")
+
+    def test_symbolic_execution_of_iks_fragment(self):
+        # The symbolic engine handles multi-op modules and pipelined
+        # units (a slice of the chip's structure).
+        result = synthesize("d2 = (x1 - x0) * (x1 - x0)\n")
+        run = symbolic_run(
+            result.model, symbolic_registers=list(result.program.inputs)
+        )
+        expr = run.expr(result.output_regs["d2"])
+        assert run.concrete(
+            result.output_regs["d2"], {"x0": 3, "x1": 10}
+        ) == 49
+
+    def test_roundtrip_over_growing_models(self):
+        for taps in (2, 6, 12):
+            model = synthesize(fir_program(taps)).model
+            assert check_model_roundtrip(model).ok
+
+
+class TestBitLevelEquivalence:
+    """Extension: ROBDD-based bit-level operation equivalence (the
+    decision-diagram machinery of the paper's verification context)."""
+
+    def test_unit_operations_proven_against_word_semantics(self, report_lines):
+        from repro.verify import check_operation_equivalence
+        from repro.core import standard_operation
+
+        for name in ("ADD", "SUB", "XOR"):
+            result = check_operation_equivalence(
+                standard_operation(name), name, width=5
+            )
+            assert result.equivalent, str(result)
+        report_lines.append(
+            "ADD/SUB/XOR proven equal to ripple-carry/bitwise word "
+            "semantics at width 5 (BDD identity)"
+        )
+
+    def test_iks_fused_adder_proven(self, report_lines):
+        from repro.core.modules_lib import Operation
+        from repro.iks.chip import adder_operations
+        from repro.iks.fixedpoint import FxFormat
+        from repro.verify import check_operation_equivalence
+
+        fmt = FxFormat(width=5, frac=2)
+        ops = adder_operations(fmt)
+        composed = Operation(
+            "COMPOSED", 2, lambda a, b: fmt.add(a, fmt.arshift(b, 2))
+        )
+        result = check_operation_equivalence(ops["ADD_SHR2"], composed, 5)
+        assert result.equivalent
+        report_lines.append(
+            "IKS fused ADD_SHR2 == arshift-then-saturating-add "
+            "(bit-level proof at width 5)"
+        )
+
+    def test_bench_bdd_equivalence(self, benchmark):
+        from repro.core import standard_operation
+        from repro.verify import check_operation_equivalence
+
+        result = benchmark(
+            check_operation_equivalence,
+            standard_operation("ADD"),
+            "ADD",
+            5,
+        )
+        assert result.equivalent
+
+
+class TestVerificationBenchmarks:
+    @pytest.mark.parametrize("taps", [4, 8, 16])
+    def test_bench_equivalence_check_scaling(self, benchmark, taps):
+        result = synthesize(fir_program(taps))
+
+        def verify():
+            return check_program_vs_model(
+                result.program, result.model, result.output_regs
+            )
+
+        outcomes = benchmark(verify)
+        benchmark.extra_info["outputs"] = len(outcomes)
+        assert all_equivalent(outcomes)
+
+    def test_bench_symbolic_execution(self, benchmark):
+        result = synthesize(polynomial_program(8))
+
+        def run():
+            return symbolic_run(
+                result.model, symbolic_registers=list(result.program.inputs)
+            )
+
+        run_result = benchmark(run)
+        assert run_result.registers
+
+    def test_bench_roundtrip_proof(self, benchmark):
+        model = synthesize(fir_program(12)).model
+        report = benchmark(check_model_roundtrip, model)
+        assert report.ok

@@ -1,0 +1,110 @@
+"""E11 (ablation): why six phases?
+
+The paper's phase partition gives every transfer hop its own delta
+cycle.  This study compares it against the obvious cheaper
+alternative -- a merged four-phase scheme where values move
+register -> module port and module -> register directly:
+
+* cost: the merged scheme spends 4 instead of 6 delta cycles per step
+  (-33%), with identical final register values on clean schedules;
+* diagnosability: the bus disappears as an observable resource --
+  bus collisions and port collisions become indistinguishable, and
+  the per-hop (step, phase) localization of §2.7 degrades.
+
+The numbers quantify the design decision the paper made implicitly.
+"""
+
+import pytest
+
+from repro.core import ILLEGAL, ModuleSpec, RTModel
+from repro.core.ablation import (
+    MERGED_SEQUENCE,
+    elaborate_merged,
+    localization_classes,
+)
+
+from .conftest import fig1_model, wide_model
+
+
+def conflict_model():
+    """A bus collision plus an operand-pairing error, for the
+    localization comparison."""
+    m = RTModel("conf", cs_max=6)
+    for name, init in (("A", 1), ("B", 2), ("C", 3)):
+        m.register(name, init=init)
+    m.register("S1")
+    m.register("S2")
+    m.bus("B1")
+    m.bus("B2")
+    m.bus("B3")
+    m.module(ModuleSpec("FU1", latency=1))
+    m.module(ModuleSpec("FU2", latency=1))
+    m.add_transfer("(A,B1,B,B2,2,FU1,3,B1,S1)")
+    m.add_transfer("(C,B1,-,-,2,FU1,-,-,-)")  # bus collision on B1
+    m.add_transfer("(A,B3,-,-,4,FU2,-,-,-)")  # half-fed module
+    m.add_transfer("(-,-,-,-,-,FU2,5,B3,S2)")
+    return m
+
+
+class TestAblationReproduction:
+    def test_merged_scheme_computes_the_same_results(self):
+        model = fig1_model()
+        six = model.elaborate().run()
+        merged = elaborate_merged(model).run()
+        assert six.registers == merged.registers
+
+    def test_merged_scheme_saves_a_third_of_the_deltas(self, report_lines):
+        model = fig1_model()
+        six = model.elaborate().run()
+        merged = elaborate_merged(model).run()
+        assert six.stats.delta_cycles == model.cs_max * 6
+        assert merged.stats.delta_cycles == model.cs_max * len(MERGED_SEQUENCE)
+        report_lines.append(
+            f"six-phase: {six.stats.delta_cycles} deltas; merged "
+            f"four-phase: {merged.stats.delta_cycles} deltas (-33%)"
+        )
+
+    def test_wide_model_agrees_under_both_schemes(self):
+        model = wide_model(6, 9)
+        six = model.elaborate().run()
+        merged = elaborate_merged(model).run()
+        assert six.registers == merged.registers
+
+    def test_localization_precision_degrades(self, report_lines):
+        model = conflict_model()
+        six = model.elaborate().run()
+        merged = elaborate_merged(model).run()
+        six_classes = localization_classes(six.conflicts)
+        merged_classes = localization_classes(merged.conflicts)
+        report_lines.append(f"six-phase conflict classes:  {sorted(six_classes)}")
+        report_lines.append(f"merged conflict classes:     {sorted(merged_classes)}")
+        # Six phases separate bus-level from port-level conflicts...
+        assert any(kind == "bus" for kind, _ in six_classes)
+        # ...the merged scheme cannot: no bus observation exists.
+        assert not any(kind == "bus" for kind, _ in merged_classes)
+        assert len(merged_classes) < len(six_classes)
+
+    def test_both_schemes_still_detect_the_error(self):
+        # The merged scheme is *less precise*, not blind: the poisoned
+        # destination register shows ILLEGAL either way.
+        model = conflict_model()
+        assert model.elaborate().run()["S1"] == ILLEGAL
+        assert elaborate_merged(model).run()["S1"] == ILLEGAL
+
+
+class TestAblationBenchmarks:
+    @pytest.mark.parametrize("scheme", ["six-phase", "merged"])
+    def test_bench_scheme_cost(self, benchmark, scheme):
+        model = wide_model(8, 15)
+        if scheme == "six-phase":
+
+            def run():
+                return model.elaborate().run().stats
+
+        else:
+
+            def run():
+                return elaborate_merged(model).run().stats
+
+        stats = benchmark(run)
+        benchmark.extra_info["delta_cycles"] = stats.delta_cycles

@@ -1,0 +1,89 @@
+"""E13 (extension): automatic embedding into the control-step scheme.
+
+Paper §2.1 names "the scheduling task": determine the register
+transfers and properly embed them into the control-step scheme
+observing the timing of the functional units.  The reproduction
+automates it: :func:`repro.core.reschedule.reschedule` re-embeds a
+model's transfers into the earliest feasible steps, preserving the
+step-level read/write semantics.
+
+Reproduced/extended results:
+
+* the compacted schedule produces identical final register values
+  (checked over the corpus and by the cross-cutting property suite);
+* it *beats the hand schedule*: the hand-written 49-instruction IKS
+  microprogram compacts by several control steps (work overlaps with
+  the CORDIC core's latency);
+* occupancy improves correspondingly.
+
+Measures: rescheduling cost over growing schedules.
+"""
+
+import pytest
+
+from repro.core import analyze, occupancy, reschedule
+from repro.core.reschedule import RescheduleResult
+from repro.hls import synthesize
+from repro.iks.flow import build_ik_model
+
+from .test_bench_e9_hls_flow import fir_program
+
+
+class TestReschedulingReproduction:
+    def test_iks_microprogram_compacts(self, report_lines):
+        model, _ = build_ik_model(2.5, 1.0)
+        result = reschedule(model)
+        assert result.new_cs_max < model.cs_max
+        before = model.elaborate().run()
+        after = result.model.elaborate().run()
+        assert before.registers == after.registers
+        assert after.clean
+        old_util = occupancy(model).utilization()["module"]
+        new_util = occupancy(result.model).utilization()["module"]
+        report_lines.append(
+            f"IKS microprogram: {model.cs_max} -> {result.new_cs_max} "
+            f"steps ({result.saved_steps} saved); module utilization "
+            f"{old_util:.1%} -> {new_util:.1%}"
+        )
+        assert new_util > old_util
+
+    def test_delta_cost_falls_with_the_schedule(self):
+        model, _ = build_ik_model(1.0, 2.0)
+        result = reschedule(model)
+        before = model.elaborate().run().stats.delta_cycles
+        after = result.model.elaborate().run().stats.delta_cycles
+        # +1 when the compacted schedule latches a register in the
+        # final step's CR (the E2 nuance: applying that output update
+        # costs one more delta cycle).
+        assert after in (result.new_cs_max * 6, result.new_cs_max * 6 + 1)
+        assert after < before
+
+    def test_compacted_schedule_is_statically_clean(self):
+        model, _ = build_ik_model(0.8, -1.2)
+        result = reschedule(model)
+        assert analyze(result.model).clean
+
+    def test_hls_output_is_near_optimal_already(self, report_lines):
+        # The list scheduler's output should not compact further (it
+        # already packs greedily) -- rescheduling is idempotent there.
+        res = synthesize(fir_program(6))
+        result = reschedule(res.model)
+        report_lines.append(
+            f"6-tap FIR from HLS: {res.model.cs_max} -> "
+            f"{result.new_cs_max} steps"
+        )
+        assert result.new_cs_max <= res.model.cs_max
+
+
+class TestReschedulingBenchmarks:
+    def test_bench_reschedule_iks(self, benchmark):
+        model, _ = build_ik_model(2.5, 1.0)
+        result: RescheduleResult = benchmark(reschedule, model)
+        benchmark.extra_info["saved_steps"] = result.saved_steps
+
+    @pytest.mark.parametrize("taps", [4, 12])
+    def test_bench_reschedule_scaling(self, benchmark, taps):
+        model = synthesize(fir_program(taps)).model
+        result = benchmark(reschedule, model)
+        benchmark.extra_info["transfers"] = len(model.transfers)
+        assert result.new_cs_max <= model.cs_max

@@ -1,0 +1,63 @@
+"""E1 (Fig. 1): the concrete register transfer (R1,B1,R2,B2,5,ADD,6,B1,R1).
+
+Reproduces: the worked example -- R1 receives R1 + R2 via bus B1/B2 and
+the pipelined adder, with the exact per-phase bus occupancy of §2.4,
+and the full run costing CS_MAX * 6 = 42 delta cycles.
+Measures: time to build + elaborate + simulate the example.
+"""
+
+from repro.core import DISC, Phase
+
+from .conftest import fig1_model
+
+
+def run_fig1():
+    sim = fig1_model().elaborate().run()
+    return sim
+
+
+class TestFig1Reproduction:
+    def test_result_value(self):
+        sim = run_fig1()
+        assert sim["R1"] == 5
+        assert sim["R2"] == 3
+        assert sim.clean
+
+    def test_exact_delta_cost(self):
+        sim = run_fig1()
+        assert sim.stats.delta_cycles == 7 * 6
+
+    def test_phase_accurate_bus_occupancy(self, report_lines):
+        sim = fig1_model().elaborate(trace=True).run()
+        t = sim.tracer
+        # The tuple's six TRANS instances, hop by hop:
+        assert t.at(5, Phase.RB)["B1"] == 2  # R1 -> B1 (ra), seen in rb
+        assert t.at(5, Phase.RB)["B2"] == 3  # R2 -> B2
+        assert t.at(5, Phase.CM)["ADD_in1"] == 2  # B1 -> ADD_in1 (rb)
+        assert t.at(5, Phase.CM)["ADD_in2"] == 3
+        assert t.at(6, Phase.WA)["ADD_out"] == 5  # pipelined: one step later
+        assert t.at(6, Phase.WB)["B1"] == 5  # ADD_out -> B1 (wa)
+        assert t.at(6, Phase.CR)["R1_in"] == 5  # B1 -> R1_in (wb)
+        assert t.at(7, Phase.RA)["R1_out"] == 5  # latched at (6, cr)
+        # Buses idle outside their scheduled hops.
+        assert t.at(4, Phase.RB)["B1"] == DISC
+        assert t.at(7, Phase.RB)["B1"] == DISC
+        report_lines.append("hop-by-hop trace matches paper Fig. 1 / §2.4")
+        report_lines.append("R1 = 5 after cs6; 42 delta cycles (= CS_MAX*6)")
+
+
+class TestFig1Benchmarks:
+    def test_bench_fig1_full_run(self, benchmark):
+        sim = benchmark(run_fig1)
+        benchmark.extra_info["delta_cycles"] = sim.stats.delta_cycles
+        benchmark.extra_info["events"] = sim.stats.events
+        assert sim["R1"] == 5
+
+    def test_bench_fig1_simulation_only(self, benchmark):
+        def run():
+            sim = fig1_model().elaborate()
+            sim.run()
+            return sim
+
+        sim = benchmark(run)
+        assert sim["R1"] == 5

@@ -1,0 +1,89 @@
+"""E2 (Fig. 2): the six-phase control-step timing scheme.
+
+Reproduces: "the simulation of each control step takes 6 delta
+simulation cycles.  The complete simulation takes CS_MAX * 6 delta
+simulation cycles" -- verified exactly over a CS_MAX sweep, for the
+bare controller and for populated models.
+Measures: controller cycling throughput (delta cycles per second).
+"""
+
+import pytest
+
+from repro.core import Phase, make_controller
+from repro.kernel import Simulator, wait_on
+
+from .conftest import fig1_model, wide_model
+
+
+def controller_only(cs_max: int) -> Simulator:
+    sim = Simulator()
+    cs = sim.signal("CS", init=0)
+    ph = sim.signal("PH", init=Phase.high())
+    make_controller(sim, cs, ph, cs_max)
+    return sim
+
+
+class TestDeltaClaim:
+    @pytest.mark.parametrize("cs_max", [1, 10, 100, 1000])
+    def test_bare_controller_costs_exactly_6_per_step(self, cs_max):
+        sim = controller_only(cs_max)
+        sim.run()
+        assert sim.stats.delta_cycles == 6 * cs_max
+        assert sim.now.time == 0  # no physical time, ever
+
+    def test_populated_model_costs_the_same(self):
+        # TRANS/REG/module activity rides on the same phase-change
+        # cycles: adding them does not add delta cycles.
+        sim = fig1_model().elaborate().run()
+        assert sim.stats.delta_cycles == 7 * 6
+
+    def test_wide_model_costs_the_same(self, report_lines):
+        model = wide_model(width=8, steps=10)
+        sim = model.elaborate().run()
+        assert sim.stats.delta_cycles == model.cs_max * 6
+        report_lines.append(
+            f"8-lane model, {model.cs_max} steps: "
+            f"{sim.stats.delta_cycles} deltas = CS_MAX*6 "
+            f"({sim.stats.events} events amortized into them)"
+        )
+
+    def test_phase_sequence_is_figure_2(self):
+        sim = controller_only(2)
+        cs = sim.signals["CS"]
+        ph = sim.signals["PH"]
+        seen = []
+
+        def observer():
+            while True:
+                yield wait_on(ph)
+                seen.append((cs.value, ph.value.vhdl_name))
+
+        sim.add_process("observer", observer)
+        sim.run()
+        assert seen == [
+            (1, "ra"), (1, "rb"), (1, "cm"), (1, "wa"), (1, "wb"), (1, "cr"),
+            (2, "ra"), (2, "rb"), (2, "cm"), (2, "wa"), (2, "wb"), (2, "cr"),
+        ]
+
+
+class TestTimingBenchmarks:
+    @pytest.mark.parametrize("cs_max", [100, 1000])
+    def test_bench_controller_cycling(self, benchmark, cs_max):
+        def run():
+            sim = controller_only(cs_max)
+            sim.run()
+            return sim
+
+        sim = benchmark(run)
+        benchmark.extra_info["delta_cycles"] = sim.stats.delta_cycles
+        assert sim.stats.delta_cycles == 6 * cs_max
+
+    def test_bench_populated_step_cost(self, benchmark):
+        model = wide_model(width=4, steps=20)
+
+        def run():
+            return model.elaborate().run()
+
+        sim = benchmark(run)
+        benchmark.extra_info["delta_cycles"] = sim.stats.delta_cycles
+        benchmark.extra_info["events"] = sim.stats.events

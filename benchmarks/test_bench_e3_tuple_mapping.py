@@ -1,0 +1,110 @@
+"""E3 (§2.7): the bidirectional tuple <-> TRANS-process mapping.
+
+Reproduces: the paper's three derived tuples and six derived TRANS
+instances for Fig. 1, and the claim that the mappings are mutually
+inverse ("vice versa, if we know the transfer process, the tuples can
+be easily constructed").
+Measures: mapping throughput over synthetic schedules of growing size.
+"""
+
+import pytest
+
+from repro.core import (
+    ModuleSpec,
+    RegisterTransfer,
+    RTModel,
+    expand_all,
+    from_trans_specs,
+    to_trans_specs,
+)
+from repro.verify import check_model_roundtrip
+
+from .conftest import fig1_model
+
+
+def synthetic_schedule(n_transfers: int) -> list[RegisterTransfer]:
+    """A conflict-free schedule with one complete tuple per step pair."""
+    transfers = []
+    for i in range(n_transfers):
+        step = 2 * i + 1
+        transfers.append(
+            RegisterTransfer(
+                src1=f"A{i % 7}",
+                bus1=f"BA{i % 3}",
+                src2=f"B{i % 5}",
+                bus2=f"BB{i % 3}",
+                read_step=step,
+                module=f"FU{i % 4}",
+                write_step=step + 1,
+                write_bus=f"BA{i % 3}",
+                dest=f"A{i % 7}",
+            )
+        )
+    return transfers
+
+
+class TestMappingReproduction:
+    def test_fig1_derives_six_instances(self, report_lines):
+        model = fig1_model()
+        specs = model.trans_specs()
+        names = sorted(s.name for s in specs)
+        assert names == sorted(
+            [
+                "R1_out_B1_5",
+                "B1_ADD_in1_5",
+                "R2_out_B2_5",
+                "B2_ADD_in2_5",
+                "ADD_out_B1_6",
+                "B1_R1_in_6",
+            ]
+        )
+        report_lines.append("tuple -> " + ", ".join(names))
+
+    def test_inverse_produces_paper_partial_tuples(self, report_lines):
+        specs = to_trans_specs(RegisterTransfer.parse("(R1,B1,R2,B2,5,ADD,6,B1,R1)"))
+        partials = sorted(map(str, from_trans_specs(specs)))
+        assert partials == [
+            "(-,-,-,-,-,ADD,6,B1,R1)",
+            "(R1,B1,R2,B2,5,ADD,-,-,-)",
+        ]
+        report_lines.extend("processes -> " + p for p in partials)
+
+    def test_roundtrip_is_identity_on_fig1(self):
+        assert check_model_roundtrip(fig1_model()).ok
+
+    @pytest.mark.parametrize("n", [10, 100])
+    def test_roundtrip_is_identity_on_synthetic(self, n):
+        transfers = synthetic_schedule(n)
+        specs = expand_all(transfers)
+        back = from_trans_specs(specs, latency_of=lambda m: 1)
+        assert sorted(map(str, back)) == sorted(map(str, transfers))
+
+
+class TestMappingBenchmarks:
+    @pytest.mark.parametrize("n", [10, 100, 1000])
+    def test_bench_forward_mapping(self, benchmark, n):
+        transfers = synthetic_schedule(n)
+        specs = benchmark(expand_all, transfers)
+        benchmark.extra_info["trans_instances"] = len(specs)
+        assert len(specs) == 6 * n
+
+    @pytest.mark.parametrize("n", [10, 100, 1000])
+    def test_bench_inverse_mapping(self, benchmark, n):
+        specs = expand_all(synthetic_schedule(n))
+
+        def invert():
+            return from_trans_specs(specs, latency_of=lambda m: 1)
+
+        back = benchmark(invert)
+        assert len(back) == n
+
+    def test_bench_full_roundtrip(self, benchmark):
+        transfers = synthetic_schedule(200)
+
+        def roundtrip():
+            return from_trans_specs(
+                expand_all(transfers), latency_of=lambda m: 1
+            )
+
+        back = benchmark(roundtrip)
+        assert sorted(map(str, back)) == sorted(map(str, transfers))

@@ -1,0 +1,131 @@
+"""E4 (§2.7): conflict localization.
+
+Reproduces: "simulation results allow easily to locate design errors
+leading to resource conflicts: it would result to ILLEGAL values of
+resolved signals in specific simulation cycles associated with a
+specific phase of a specific control step" -- injected conflicts are
+observed at exactly the predicted (step, phase), and the static
+analysis predicts the same locations without simulating.
+Measures: cost of dynamic detection (simulate + monitor) vs static
+prediction over models with many injected conflicts.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ILLEGAL,
+    ModuleSpec,
+    Phase,
+    RTModel,
+    StepPhase,
+    analyze,
+)
+
+from .conftest import fig1_model
+
+
+def conflicted_model(n_lanes: int, conflict_steps: list[int]) -> RTModel:
+    """Independent adder lanes plus deliberate bus collisions."""
+    model = RTModel(f"conflicts_{n_lanes}", cs_max=2 * n_lanes + 2)
+    model.register("X", init=99)
+    for lane in range(n_lanes):
+        model.register(f"A{lane}", init=lane + 1)
+        model.register(f"B{lane}", init=lane + 2)
+        model.register(f"S{lane}")
+        model.bus(f"BA{lane}")
+        model.bus(f"BB{lane}")
+        model.module(ModuleSpec(f"FU{lane}", latency=1))
+        step = 2 * lane + 1
+        model.add_transfer(
+            f"(A{lane},BA{lane},B{lane},BB{lane},{step},FU{lane},"
+            f"{step + 1},BA{lane},S{lane})"
+        )
+    for step in conflict_steps:
+        lane = (step - 1) // 2
+        # Second source onto the lane's read bus in the same step.
+        model.add_transfer(f"(X,BA{lane},-,-,{step},FU{lane},-,-,-)")
+    return model
+
+
+class TestConflictReproduction:
+    def test_clean_model_has_no_conflicts(self):
+        sim = fig1_model().elaborate().run()
+        assert sim.clean
+        assert analyze(fig1_model()).clean
+
+    def test_injected_conflict_observed_at_predicted_point(self, report_lines):
+        model = conflicted_model(4, conflict_steps=[3])
+        predicted = {
+            (c.sink, c.observed_at) for c in analyze(model).conflicts
+        }
+        sim = model.elaborate().run()
+        observed = {(c.signal, c.at) for c in sim.conflicts}
+        # The bus collision itself: statically predicted, dynamically seen.
+        assert ("BA1", StepPhase(3, Phase.RB)) in predicted
+        assert ("BA1", StepPhase(3, Phase.RB)) in observed
+        report_lines.append(
+            "bus collision in cs3.ra -> ILLEGAL on BA1 observed at cs3.rb "
+            "(predicted and observed)"
+        )
+
+    def test_every_dynamic_first_observation_is_predicted(self):
+        model = conflicted_model(6, conflict_steps=[1, 5, 9])
+        predicted = {
+            (c.sink, c.observed_at) for c in analyze(model).conflicts
+        }
+        sim = model.elaborate().run()
+        # The *earliest* conflict per signal must be a predicted point;
+        # later ILLEGALs are downstream propagation.
+        firsts = {}
+        for event in sim.conflicts:
+            firsts.setdefault(event.signal, event.at)
+        bus_firsts = {
+            (sig, at) for sig, at in firsts.items() if sig.startswith("BA")
+        }
+        assert bus_firsts <= predicted
+
+    def test_illegal_propagates_to_destination_register(self):
+        model = conflicted_model(3, conflict_steps=[3])
+        sim = model.elaborate().run()
+        assert sim["S1"] == ILLEGAL  # poisoned lane
+        assert sim["S0"] != ILLEGAL  # untouched lanes stay clean
+        assert sim["S2"] != ILLEGAL
+
+    def test_conflict_sources_are_named(self):
+        model = conflicted_model(2, conflict_steps=[1])
+        sim = model.elaborate().run()
+        event = next(c for c in sim.conflicts if c.signal == "BA0")
+        owners = {owner for owner, _ in event.sources}
+        assert owners == {"A0_out_BA0_1", "X_out_BA0_1"}
+
+
+class TestConflictBenchmarks:
+    @pytest.mark.parametrize("lanes", [4, 16])
+    def test_bench_static_analysis(self, benchmark, lanes):
+        model = conflicted_model(lanes, conflict_steps=[1, 5])
+        report = benchmark(analyze, model)
+        benchmark.extra_info["predicted"] = len(report.conflicts)
+        assert not report.clean
+
+    @pytest.mark.parametrize("lanes", [4, 16])
+    def test_bench_dynamic_detection(self, benchmark, lanes):
+        model = conflicted_model(lanes, conflict_steps=[1, 5])
+
+        def run():
+            return model.elaborate().run()
+
+        sim = benchmark(run)
+        benchmark.extra_info["observed"] = len(sim.conflicts)
+        assert sim.conflicts
+
+    def test_bench_detection_overhead_on_clean_model(self, benchmark):
+        # Monitoring costs nothing extra when nothing goes wrong.
+        model = conflicted_model(8, conflict_steps=[])
+
+        def run():
+            return model.elaborate().run()
+
+        sim = benchmark(run)
+        assert sim.clean

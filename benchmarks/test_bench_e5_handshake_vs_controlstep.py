@@ -1,0 +1,259 @@
+"""E5 (§2.7): "Execution is very fast, because we need not to deal
+with asynchronous handshake."
+
+Reproduces: the three-way cost comparison behind the claim --
+(a) the paper's control-step scheme, (b) the conventional
+asynchronous-handshake style, (c) a clocked RTL model -- all on the
+same kernel, on two workload shapes:
+
+* **wide** (W independent operations per step): the regime RT models
+  live in.  The control-step scheme amortizes its 6 delta cycles per
+  step over all concurrent transfers, so its per-transfer cost *falls*
+  with width, while the handshake pays ~10 signal events per value per
+  edge no matter what.  Here the paper's claim must hold.
+* **serial chain** (1 operation at a time): the degenerate worst case
+  for control steps (idle registers still wake every CR).  An honest
+  reproduction reports that the handshake wins this shape -- the claim
+  is about realistic RT workloads, not pathological serial ones.
+
+Measures: wall time, delta cycles, events and process resumptions per
+style and shape; asserts the *shape* of the result (who wins where).
+"""
+
+import time
+
+import pytest
+
+from repro.clocked import elaborate_clocked, translate
+from repro.handshake import (
+    Channel,
+    HandshakeNetwork,
+    TwoPhaseChannel,
+    chain_expected,
+    chain_fn,
+    chain_network,
+    chain_rt_model,
+)
+from repro.kernel import Simulator
+
+from .conftest import wide_model
+
+
+def wide_handshake(
+    width: int, steps: int, channel_cls: type = Channel
+) -> HandshakeNetwork:
+    """The handshake version of the wide workload: ``width`` lanes,
+    each streaming ``(steps+1)//2`` tokens through one operator."""
+    net = HandshakeNetwork(channel_cls=channel_cls)
+    tokens = (steps + 1) // 2
+    for lane in range(width):
+        net.source(f"a{lane}", [lane + 1] * tokens)
+        net.source(f"b{lane}", [2 * lane + 1] * tokens)
+        net.op(f"fu{lane}", lambda x, y: x + y, f"a{lane}", f"b{lane}")
+        net.sink(f"s{lane}", f"fu{lane}")
+    return net
+
+
+def run_styles(width: int, steps: int) -> dict[str, dict[str, float]]:
+    """Run all three styles on the wide workload; return metrics."""
+    results: dict[str, dict[str, float]] = {}
+    transfers = width * ((steps + 1) // 2)
+
+    # Time simulation only (elaboration/build is excluded uniformly
+    # for all three styles).
+    model = wide_model(width, steps)
+    rt = model.elaborate()
+    t0 = time.perf_counter()
+    rt.run()
+    rt_time = time.perf_counter() - t0
+    results["control-step"] = {
+        "wall": rt_time,
+        "deltas": rt.stats.delta_cycles,
+        "events": rt.stats.events,
+        "resumes": rt.stats.process_resumes,
+        "transfers": transfers,
+    }
+
+    for label, channel_cls in (
+        ("handshake", Channel),
+        ("handshake-2ph", TwoPhaseChannel),
+    ):
+        sim = Simulator()
+        net = wide_handshake(width, steps, channel_cls)
+        sinks = net.build(sim)
+        t0 = time.perf_counter()
+        sim.run()
+        hs_time = time.perf_counter() - t0
+        assert all(len(v) == (steps + 1) // 2 for v in sinks.values())
+        results[label] = {
+            "wall": hs_time,
+            "deltas": sim.stats.delta_cycles,
+            "events": sim.stats.events,
+            "resumes": sim.stats.process_resumes,
+            "transfers": transfers,
+        }
+
+    clocked = elaborate_clocked(translate(model))
+    t0 = time.perf_counter()
+    clocked.run()
+    ck_time = time.perf_counter() - t0
+    results["clocked"] = {
+        "wall": ck_time,
+        "deltas": clocked.stats.delta_cycles,
+        "events": clocked.stats.events,
+        "resumes": clocked.stats.process_resumes,
+        "transfers": transfers,
+    }
+    return results
+
+
+class TestComparisonShape:
+    def test_wide_workload_per_hop_cost(self, report_lines):
+        """The claim's defensible core: moving one value over one
+        resource costs fewer signal events under the static schedule
+        (assert + release = ~2 events/hop) than under four-phase
+        signaling (req up/down, ack up/down + data = ~5 events/hop).
+        A control-step register transfer has 6 hops (through two buses
+        and a module); a handshake op token traverses 3 channels."""
+        metrics = run_styles(width=16, steps=21)
+        report_lines.append(
+            f"{'style':<14}{'events/hop':>11}{'events/xfer':>12}"
+            f"{'deltas':>8}{'wall[ms]':>10}"
+        )
+        hops = {
+            "control-step": 6,
+            "handshake": 3,
+            "handshake-2ph": 3,
+            "clocked": 1,
+        }
+        for style, m in metrics.items():
+            per_hop = m["events"] / (m["transfers"] * hops[style])
+            report_lines.append(
+                f"{style:<14}{per_hop:>11.2f}"
+                f"{m['events'] / m['transfers']:>12.1f}"
+                f"{m['deltas']:>8.0f}{m['wall'] * 1e3:>10.2f}"
+            )
+        cs, hs = metrics["control-step"], metrics["handshake"]
+        cs_hop = cs["events"] / (cs["transfers"] * 6)
+        hs_hop = hs["events"] / (hs["transfers"] * 3)
+        assert cs_hop < hs_hop
+
+    def test_controlstep_deltas_are_width_independent(self, report_lines):
+        """6 delta cycles per step no matter how many transfers share
+        them -- the paper's cost model.  (Reported honestly: per *token*
+        the handshake also stays flat on independent lanes; the subset's
+        structural advantage is bounded, schedule-determined cost.)"""
+        deltas = {}
+        for width in (2, 8, 32):
+            metrics = run_styles(width=width, steps=21)
+            deltas[width] = metrics["control-step"]["deltas"]
+        assert deltas[2] == deltas[8] == deltas[32]
+        report_lines.append(
+            f"control-step deltas at widths 2/8/32: "
+            f"{deltas[2]:.0f}/{deltas[8]:.0f}/{deltas[32]:.0f} (constant)"
+        )
+
+    def test_amortization_improves_with_width(self, report_lines):
+        per_transfer = {}
+        for width in (2, 8, 32):
+            metrics = run_styles(width=width, steps=11)
+            cs = metrics["control-step"]
+            hs = metrics["handshake"]
+            per_transfer[width] = (
+                cs["events"] / cs["transfers"],
+                hs["events"] / hs["transfers"],
+            )
+            report_lines.append(
+                f"width {width:>3}: control-step "
+                f"{per_transfer[width][0]:.1f} events/xfer, handshake "
+                f"{per_transfer[width][1]:.1f}"
+            )
+        # Control-step cost per transfer falls with width...
+        assert per_transfer[32][0] < per_transfer[2][0]
+        # ...while handshake cost per transfer stays flat (within 20%).
+        assert abs(per_transfer[32][1] - per_transfer[2][1]) < 0.2 * per_transfer[2][1]
+
+    def test_clocked_model_needs_physical_time(self):
+        model = wide_model(4, 7)
+        clocked = elaborate_clocked(translate(model))
+        clocked.run()
+        assert clocked.sim.now.time > 0
+        rt = model.elaborate().run()
+        assert rt.sim.now.time == 0
+
+    def test_serial_chain_is_the_honest_counterexample(self, report_lines):
+        # The degenerate serial shape: handshake wins.  Reported, not
+        # hidden -- the paper's claim concerns realistic wide models.
+        ops = list(range(3, 35))
+        sim = Simulator()
+        net = chain_network(ops, chain_fn("ADD"))
+        sinks = net.build(sim)
+        sim.run()
+        assert sinks["out"] == [chain_expected(ops)]
+        rt = chain_rt_model(ops).elaborate().run()
+        assert rt["ACC"] == chain_expected(ops)
+        report_lines.append(
+            f"serial chain ({len(ops) - 1} ops): handshake "
+            f"{sim.stats.events} events vs control-step "
+            f"{rt.stats.events} -- handshake wins this shape"
+        )
+        assert sim.stats.events < rt.stats.events
+
+
+class TestRealizationAblation:
+    """X9: folded transfer engine vs process-per-TRANS (both faithful;
+    the engine is what a compiled simulator would produce)."""
+
+    def test_engine_reduces_scheduler_work(self, report_lines):
+        model = wide_model(16, 21)
+        engine = model.elaborate(transfer_engine=True).run()
+        literal = model.elaborate(transfer_engine=False).run()
+        assert engine.registers == literal.registers
+        assert engine.stats.delta_cycles == literal.stats.delta_cycles
+        report_lines.append(
+            f"process-per-TRANS: {literal.stats.process_resumes} wakeups; "
+            f"transfer engine: {engine.stats.process_resumes} "
+            f"({literal.stats.process_resumes / engine.stats.process_resumes:.1f}x fewer)"
+        )
+        assert engine.stats.process_resumes < literal.stats.process_resumes
+
+    @pytest.mark.parametrize("mode", ["engine", "per-instance"])
+    def test_bench_realizations(self, benchmark, mode):
+        model = wide_model(8, 11)
+        use_engine = mode == "engine"
+
+        def run():
+            return model.elaborate(transfer_engine=use_engine).run().stats
+
+        stats = benchmark(run)
+        benchmark.extra_info["resumes"] = stats.process_resumes
+
+
+class TestComparisonBenchmarks:
+    @pytest.mark.parametrize("style", ["control-step", "handshake", "clocked"])
+    def test_bench_wide_workload(self, benchmark, style):
+        width, steps = 8, 11
+        if style == "control-step":
+            model = wide_model(width, steps)
+
+            def run():
+                return model.elaborate().run().stats
+
+        elif style == "handshake":
+
+            def run():
+                sim = Simulator()
+                wide_handshake(width, steps).build(sim)
+                sim.run()
+                return sim.stats
+
+        else:
+            model = wide_model(width, steps)
+            translation = translate(model)
+
+            def run():
+                return elaborate_clocked(translation).run().stats
+
+        stats = benchmark(run)
+        benchmark.extra_info["events"] = stats.events
+        benchmark.extra_info["delta_cycles"] = stats.delta_cycles

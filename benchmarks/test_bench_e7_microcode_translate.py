@@ -1,0 +1,113 @@
+"""E7 (§3 table): microcode -> register-transfer translation.
+
+Reproduces: the paper's worked decode of microprogram-store address 7
+with the opc1=20 / opc2=2 code maps -- the derived routes
+``(J[6],BusA,y2,1)`` and ``(Y,direct,x2,1)`` and the unit operations
+``Z := 0 + 0``, ``X := 0 + Rshift(x2,i)``, ``Y := 0 + y2``, ``F := 1``
+("This could be easily automated.  We have written a C program...").
+Measures: translation throughput over generated microprograms.
+"""
+
+import pytest
+
+from repro.iks import (
+    IKSConfig,
+    build_chip,
+    ik_microprogram,
+    paper_addr7_instruction,
+    paper_code_maps,
+)
+from repro.iks.chip import ACCUMULATORS
+from repro.microcode import (
+    MicrocodeTable,
+    MicrocodeTranslator,
+    parse_text,
+)
+
+
+def translate_addr7():
+    model = build_chip(IKSConfig(cs_max=12))
+    table = MicrocodeTable()
+    table.add(paper_addr7_instruction())
+    translator = MicrocodeTranslator(model, ACCUMULATORS)
+    return translator.translate(table, paper_code_maps())
+
+
+class TestAddr7Reproduction:
+    def test_derived_forms_match_paper_exactly(self, report_lines):
+        result = translate_addr7()
+        forms = result.paper_forms()
+        expected = [
+            "(J[6],BusA,y2,1)",
+            "(Y,direct,x2,1)",
+            "Z := 0 + 0",
+            "X := 0 + Rshift(x2,2)",
+            "Y := 0 + y2",
+            "F := 1",
+        ]
+        for form in expected:
+            assert form in forms, f"missing {form}; got {forms}"
+        report_lines.append("addr 7 decodes to: " + "; ".join(expected))
+
+    def test_each_action_is_a_wellformed_transfer(self):
+        result = translate_addr7()
+        assert len(result.actions) == 6
+        kinds = sorted(a.kind for a in result.actions)
+        assert kinds == ["direct", "flag", "route", "unit_op", "unit_op", "unit_op"]
+
+    def test_textual_table_round_trips(self):
+        # The paper's table row in textual form translates identically.
+        table = parse_text(
+            "fields: m J R1 MR\n"
+            "7 1 20 2 2 6 0 0\n"
+        )
+        model = build_chip(IKSConfig(cs_max=12))
+        translator = MicrocodeTranslator(model, ACCUMULATORS)
+        result = translator.translate(table, paper_code_maps())
+        assert "(J[6],BusA,y2,1)" in result.paper_forms()
+
+
+class TestTranslationBenchmarks:
+    def test_bench_addr7_translation(self, benchmark):
+        def run():
+            return translate_addr7()
+
+        result = benchmark(run)
+        assert len(result.actions) == 6
+
+    def test_bench_full_ik_program_translation(self, benchmark):
+        table, maps = ik_microprogram()
+
+        def run():
+            model = build_chip(IKSConfig())
+            translator = MicrocodeTranslator(model, ACCUMULATORS)
+            return translator.translate(table, maps)
+
+        result = benchmark(run)
+        benchmark.extra_info["instructions"] = len(table)
+        benchmark.extra_info["actions"] = len(result.actions)
+        assert result.steps_used == len(table)
+
+    @pytest.mark.parametrize("copies", [5, 20])
+    def test_bench_translation_scales_linearly(self, benchmark, copies):
+        # Translate `copies` concatenated instances of the addr-7 row.
+        maps = paper_code_maps()
+
+        def run():
+            model = build_chip(IKSConfig(cs_max=copies + 1))
+            table = MicrocodeTable()
+            for i in range(copies):
+                instr = paper_addr7_instruction()
+                table.add(
+                    type(instr)(
+                        addr=i + 1,
+                        opc1=instr.opc1,
+                        opc2=instr.opc2,
+                        fields=instr.fields,
+                    )
+                )
+            translator = MicrocodeTranslator(model, ACCUMULATORS)
+            return translator.translate(table, maps)
+
+        result = benchmark(run)
+        assert len(result.actions) == 6 * copies

@@ -1,0 +1,131 @@
+"""E9 (§4): high-level synthesis results translated into the subset.
+
+Reproduces: "High level synthesis results are translated into our
+subset and can then be simulated at a high level before the next
+synthesis steps" -- the full parse -> DFG -> schedule -> allocate ->
+emit -> simulate flow on representative kernels (FIR filter,
+polynomial evaluation, the IK distance computation), including the
+classic resource/latency trade-off sweep.
+Measures: synthesis time and simulation time as the DFG grows.
+"""
+
+import random
+
+import pytest
+
+from repro.core import analyze
+from repro.hls import build_dataflow, parse_program, synthesize
+
+
+def fir_program(taps: int) -> str:
+    """A ``taps``-tap FIR filter on scalar inputs x0..x{n-1}."""
+    lines = []
+    terms = []
+    for i in range(taps):
+        lines.append(f"p{i} = x{i} * c{i}")
+        terms.append(f"p{i}")
+    acc = terms[0]
+    for i, term in enumerate(terms[1:], start=1):
+        lines.append(f"s{i} = {acc} + {term}")
+        acc = f"s{i}"
+    lines.append(f"y = {acc} + 0")
+    return "\n".join(lines)
+
+
+def polynomial_program(degree: int) -> str:
+    """Horner evaluation of a degree-n polynomial."""
+    lines = ["acc = c0 + 0"]
+    for i in range(1, degree + 1):
+        lines.append(f"acc = acc * x")
+        lines.append(f"acc = acc + c{i}")
+    return "\n".join(lines)
+
+
+DISTANCE_SQUARED = """
+dx = x1 - x0
+dy = y1 - y0
+dx2 = dx * dx
+dy2 = dy * dy
+d2 = dx2 + dy2
+"""
+
+
+def random_inputs(program_src: str, seed: int) -> dict:
+    rng = random.Random(seed)
+    program = parse_program(program_src)
+    return {name: rng.randrange(0, 4096) for name in program.inputs}
+
+
+class TestHlsReproduction:
+    @pytest.mark.parametrize(
+        "name,source",
+        [
+            ("fir4", fir_program(4)),
+            ("poly5", polynomial_program(5)),
+            ("dist2", DISTANCE_SQUARED),
+        ],
+    )
+    def test_kernels_synthesize_and_verify(self, name, source):
+        result = synthesize(source, name=name)
+        assert analyze(result.model).clean
+        inputs = random_inputs(source, seed=hash(name) % 1000)
+        assert result.simulate(inputs) == result.reference(inputs)
+
+    def test_resource_latency_tradeoff(self, report_lines):
+        """The canonical HLS table: more units -> shorter schedules,
+        same results."""
+        source = fir_program(8)
+        inputs = random_inputs(source, seed=3)
+        reference = None
+        report_lines.append(f"{'ALUs':>5}{'MULs':>5}{'makespan':>10}{'temps':>7}{'buses':>7}")
+        spans = []
+        for alus, muls in [(1, 1), (2, 2), (4, 4)]:
+            result = synthesize(source, resources={"ALU": alus, "MUL": muls})
+            outs = result.simulate(inputs)
+            if reference is None:
+                reference = outs
+            assert outs == reference
+            spans.append(result.schedule.makespan)
+            report_lines.append(
+                f"{alus:>5}{muls:>5}{result.schedule.makespan:>10}"
+                f"{result.allocation.temp_count:>7}"
+                f"{result.allocation.bus_count:>7}"
+            )
+        assert spans[0] >= spans[1] >= spans[2]
+        assert spans[2] < spans[0]  # parallel hardware genuinely helps
+
+    def test_critical_path_lower_bounds_makespan(self):
+        from repro.hls.scheduling import class_latency
+
+        source = polynomial_program(6)
+        dfg = build_dataflow(parse_program(source))
+        critical = dfg.critical_path_length(class_latency)
+        result = synthesize(source, resources={"ALU": 8, "MUL": 8})
+        assert result.schedule.makespan >= critical
+
+
+class TestHlsBenchmarks:
+    @pytest.mark.parametrize("taps", [4, 8, 16])
+    def test_bench_synthesis_scaling(self, benchmark, taps):
+        source = fir_program(taps)
+        result = benchmark(synthesize, source)
+        benchmark.extra_info["ops"] = len(result.dfg.op_nodes)
+        benchmark.extra_info["makespan"] = result.schedule.makespan
+
+    def test_bench_synthesized_model_simulation(self, benchmark):
+        source = fir_program(8)
+        result = synthesize(source)
+        inputs = random_inputs(source, seed=1)
+
+        def run():
+            return result.simulate(inputs)
+
+        outs = benchmark(run)
+        assert outs == result.reference(inputs)
+
+    def test_bench_scheduling_only(self, benchmark):
+        from repro.hls import list_schedule
+
+        dfg = build_dataflow(parse_program(fir_program(16)))
+        schedule = benchmark(list_schedule, dfg, {"ALU": 2, "MUL": 2})
+        assert schedule.makespan > 0

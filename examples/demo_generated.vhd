@@ -1,0 +1,136 @@
+-- generated from RT model 'demo'
+
+entity ALU_UNIT is
+  port (PH: in Phase;
+        M_in1, M_in2: in Integer;
+        M_op: in Integer;
+        M_out: out Integer := DISC);
+end ALU_UNIT;
+
+architecture transfer of ALU_UNIT is
+begin
+  process
+    variable V: Integer := DISC;
+    variable FROZEN: Natural := 0;
+  begin
+    wait until PH = cm;
+    if FROZEN = 1 then
+      M_out <= ILLEGAL;
+    else
+      if M_in1 = ILLEGAL or M_in2 = ILLEGAL then
+        V := ILLEGAL;
+      elsif M_in1 = DISC and M_in2 = DISC then
+        V := DISC;
+      elsif M_in1 = DISC or M_in2 = DISC then
+        V := ILLEGAL;
+      else
+        if M_op = DISC then
+          V := (M_in1 + M_in2) mod 4294967296;
+        elsif M_op = 0 then
+          V := (M_in1 + M_in2) mod 4294967296;
+        elsif M_op = 1 then
+          V := (M_in1 - M_in2) mod 4294967296;
+        else
+          V := ILLEGAL;
+        end if;
+      end if;
+      if V = ILLEGAL then
+        FROZEN := 1;
+      end if;
+      M_out <= V;
+    end if;
+  end process;
+end transfer;
+
+entity MUL_UNIT is
+  port (PH: in Phase;
+        M_in1, M_in2: in Integer;
+        M_out: out Integer := DISC);
+end MUL_UNIT;
+
+architecture transfer of MUL_UNIT is
+begin
+  process
+    variable V: Integer := DISC;
+    variable P0: Integer := DISC;
+    variable P1: Integer := DISC;
+    variable FROZEN: Natural := 0;
+  begin
+    wait until PH = cm;
+    if FROZEN = 1 then
+      M_out <= ILLEGAL;
+    else
+      M_out <= P1;
+      if M_in1 = ILLEGAL or M_in2 = ILLEGAL then
+        V := ILLEGAL;
+      elsif M_in1 = DISC and M_in2 = DISC then
+        V := DISC;
+      elsif M_in1 = DISC or M_in2 = DISC then
+        V := ILLEGAL;
+      else
+        V := (M_in1 * M_in2) mod 4294967296;
+      end if;
+      if V = ILLEGAL then
+        FROZEN := 1;
+      end if;
+      P1 := P0;
+      P0 := V;
+    end if;
+  end process;
+end transfer;
+
+entity demo is
+end demo;
+
+architecture transfer of demo is
+  -- timing signals
+  signal CS: Natural := 0;
+  signal PH: Phase := cr;
+  -- register ports
+  signal X_in: resolved Integer := DISC;
+  signal X_out: Integer := 7;
+  signal Y_in: resolved Integer := DISC;
+  signal Y_out: Integer := 5;
+  signal DIFF_in: resolved Integer := DISC;
+  signal DIFF_out: Integer := 0 - 1;
+  signal PROD_in: resolved Integer := DISC;
+  signal PROD_out: Integer := 0 - 1;
+  -- module ports
+  signal ALU_in1: resolved Integer := DISC;
+  signal ALU_in2: resolved Integer := DISC;
+  signal ALU_op: resolved Integer := DISC;
+  signal ALU_out: Integer := DISC;
+  signal MUL_in1: resolved Integer := DISC;
+  signal MUL_in2: resolved Integer := DISC;
+  signal MUL_out: Integer := DISC;
+  -- buses
+  signal B1: resolved Integer := DISC;
+  signal B2: resolved Integer := DISC;
+  -- operation-select constants (§3 extension)
+  signal OPK1: Integer := 1;
+begin
+  -- registers
+  X_proc: REG generic map (7) port map (PH, X_in, X_out);
+  Y_proc: REG generic map (5) port map (PH, Y_in, Y_out);
+  DIFF_proc: REG generic map (0 - 1) port map (PH, DIFF_in, DIFF_out);
+  PROD_proc: REG generic map (0 - 1) port map (PH, PROD_in, PROD_out);
+  -- modules
+  ALU_proc: ALU_UNIT port map (PH, ALU_in1, ALU_in2, ALU_op, ALU_out);
+  MUL_proc: MUL_UNIT port map (PH, MUL_in1, MUL_in2, MUL_out);
+  -- transfers
+  X_out_B1_1: TRANS generic map (1, ra) port map (CS, PH, X_out, B1);
+  B1_ALU_in1_1: TRANS generic map (1, rb) port map (CS, PH, B1, ALU_in1);
+  Y_out_B2_1: TRANS generic map (1, ra) port map (CS, PH, Y_out, B2);
+  B2_ALU_in2_1: TRANS generic map (1, rb) port map (CS, PH, B2, ALU_in2);
+  op_SUB_ALU_op_1: TRANS generic map (1, rb) port map (CS, PH, OPK1, ALU_op);
+  ALU_out_B1_1: TRANS generic map (1, wa) port map (CS, PH, ALU_out, B1);
+  B1_DIFF_in_1: TRANS generic map (1, wb) port map (CS, PH, B1, DIFF_in);
+  X_out_B1_2: TRANS generic map (2, ra) port map (CS, PH, X_out, B1);
+  B1_MUL_in1_2: TRANS generic map (2, rb) port map (CS, PH, B1, MUL_in1);
+  Y_out_B2_2: TRANS generic map (2, ra) port map (CS, PH, Y_out, B2);
+  B2_MUL_in2_2: TRANS generic map (2, rb) port map (CS, PH, B2, MUL_in2);
+  MUL_out_B1_4: TRANS generic map (4, wa) port map (CS, PH, MUL_out, B1);
+  B1_PROD_in_4: TRANS generic map (4, wb) port map (CS, PH, B1, PROD_in);
+  -- controller
+  CONTROL: CONTROLLER generic map (6) port map (CS, PH);
+end transfer;

@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The environment has no network access and no ``wheel`` package, so the
+PEP-660 editable-install path (which needs ``bdist_wheel``) is
+unavailable.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` fall back to ``setup.py develop``.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro -- reproduction of "Register Transfer Level VHDL Models
+without Clocks" (Mutz, DATE 1998).
+
+Subpackages
+-----------
+``repro.kernel``
+    Delta-cycle event-driven simulation kernel (the VHDL-semantics
+    substrate).
+``repro.core``
+    The paper's contribution: the clock-free register-transfer level
+    (control steps & phases, DISC/ILLEGAL resolution, 9-tuple
+    transfers, the RT model builder, conflict analysis, tracing).
+``repro.vhdl``
+    The subset as actual VHDL: parser, conformance checker,
+    elaborating interpreter, emitter.
+``repro.microcode``
+    Microcode tables, code maps, and the automatic microcode-to-
+    transfer translator (paper §3).
+``repro.iks``
+    The inverse-kinematics chip case study (paper §3 / Fig. 3).
+``repro.clocked``
+    Automatic translation to clocked RTL with equivalence checking
+    (paper §4).
+``repro.handshake``
+    The asynchronous-handshake baseline style (paper §2.7).
+``repro.hls``
+    Mini high-level synthesis targeting the subset (paper §4).
+``repro.verify``
+    Symbolic execution, equivalence checking, round-trip proofs
+    (paper §4's "automatic proving procedure").
+
+The most common entry points are re-exported here.
+"""
+
+from .core import (
+    DISC,
+    ILLEGAL,
+    ModuleSpec,
+    Phase,
+    RegisterTransfer,
+    RTModel,
+    RTSimulation,
+    StepPhase,
+    analyze,
+)
+from .kernel import SimStats, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DISC",
+    "ILLEGAL",
+    "ModuleSpec",
+    "Phase",
+    "RTModel",
+    "RTSimulation",
+    "RegisterTransfer",
+    "SimStats",
+    "Simulator",
+    "StepPhase",
+    "analyze",
+    "__version__",
+]

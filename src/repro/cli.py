@@ -1,0 +1,352 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro check    file.vhd            subset-conformance check
+    repro run      file.vhd --top E    elaborate + simulate VHDL
+    repro analyze  model.json          static schedule analysis
+    repro simulate model.json          simulate an RT model file
+    repro emit     model.json          emit subset VHDL for a model
+    repro clocked  model.json          translate to clocked RTL (VHDL)
+    repro synth    program.alg         HLS: algorithmic source -> model
+    repro iks      --target 2.5,1.0    run the IKS case study
+
+Model files use the JSON format of :mod:`repro.core.serialize`;
+algorithmic sources use the straight-line language of
+:mod:`repro.hls.expr`.
+
+Run ``python -m repro <subcommand> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import analyze, format_value
+from .core.serialize import dump as save_model
+from .core.serialize import load as load_model
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Clock-free register-transfer models "
+            "(reproduction of Mutz, DATE 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(title="subcommands")
+
+    p = sub.add_parser("check", help="subset-conformance check a VHDL file")
+    p.add_argument("file", help="VHDL source file")
+    p.set_defaults(handler=cmd_check)
+
+    p = sub.add_parser("run", help="elaborate and simulate a VHDL design")
+    p.add_argument("file", help="VHDL source file")
+    p.add_argument("--top", required=True, help="top entity name")
+    p.add_argument(
+        "--signals", default="", help="comma-separated signals to print "
+        "(default: all top-level)",
+    )
+    p.set_defaults(handler=cmd_run)
+
+    p = sub.add_parser("analyze", help="static schedule analysis of a model")
+    p.add_argument("file", help="model JSON file")
+    p.add_argument(
+        "--occupancy", action="store_true",
+        help="also print the resource-occupancy chart",
+    )
+    p.set_defaults(handler=cmd_analyze)
+
+    p = sub.add_parser("simulate", help="simulate an RT model file")
+    p.add_argument("file", help="model JSON file")
+    p.add_argument(
+        "--set", action="append", default=[], metavar="REG=VALUE",
+        help="override a register preset (repeatable)",
+    )
+    p.add_argument("--vcd", help="write a VCD waveform to this path")
+    p.add_argument(
+        "--trace", action="store_true", help="print the full phase trace"
+    )
+    p.set_defaults(handler=cmd_simulate)
+
+    p = sub.add_parser(
+        "reschedule", help="compact a model's transfer schedule"
+    )
+    p.add_argument("file", help="model JSON file")
+    p.add_argument("-o", "--output", help="write the compacted model here")
+    p.set_defaults(handler=cmd_reschedule)
+
+    p = sub.add_parser("emit", help="emit subset VHDL for a model")
+    p.add_argument("file", help="model JSON file")
+    p.add_argument("-o", "--output", help="output file (default: stdout)")
+    p.set_defaults(handler=cmd_emit)
+
+    p = sub.add_parser(
+        "clocked", help="translate a model to clocked RTL and emit VHDL"
+    )
+    p.add_argument("file", help="model JSON file")
+    p.add_argument("-o", "--output", help="output file (default: stdout)")
+    p.add_argument(
+        "--verify", action="store_true",
+        help="also check per-step equivalence against the clock-free model",
+    )
+    p.set_defaults(handler=cmd_clocked)
+
+    p = sub.add_parser("synth", help="synthesize an algorithmic program")
+    p.add_argument("file", help="algorithmic source file")
+    p.add_argument(
+        "--resources", default="", metavar="CLASS=N,...",
+        help="unit instances per class, e.g. ALU=2,MUL=1",
+    )
+    p.add_argument("-o", "--output", help="write the RT model JSON here")
+    p.add_argument(
+        "--verify", action="store_true",
+        help="formally verify the model against the source program",
+    )
+    p.set_defaults(handler=cmd_synth)
+
+    p = sub.add_parser("iks", help="run the IKS chip case study")
+    p.add_argument(
+        "--target", default="2.5,1.0", metavar="PX,PY",
+        help="target coordinates (default 2.5,1.0)",
+    )
+    p.add_argument(
+        "--phi", type=float, default=None, metavar="RAD",
+        help="tool orientation: run the three-DOF solution",
+    )
+    p.set_defaults(handler=cmd_iks)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+def cmd_check(args) -> int:
+    from .vhdl import check_subset
+
+    with open(args.file, encoding="utf-8") as handle:
+        report = check_subset(handle.read())
+    print(report)
+    return 0 if report.conformant else 1
+
+
+def cmd_run(args) -> int:
+    from .vhdl import Elaborator
+
+    with open(args.file, encoding="utf-8") as handle:
+        design = Elaborator(handle.read()).elaborate(args.top)
+    design.run()
+    wanted = [s.strip().lower() for s in args.signals.split(",") if s.strip()]
+    names = wanted or sorted(design.signals)
+    for name in names:
+        signal = design.signal(name)
+        print(f"{signal.name} = {signal.value}")
+    stats = design.sim.stats
+    print(
+        f"-- {stats.delta_cycles} delta cycles, {stats.events} events, "
+        f"physical time {design.sim.now.time} ns"
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .core.occupancy import occupancy
+
+    model = load_model(args.file)
+    report = analyze(model)
+    print(model.describe())
+    print()
+    print(report)
+    if args.occupancy:
+        usage = occupancy(model)
+        print()
+        print(usage.describe())
+        print()
+        print(usage.chart())
+    return 0 if report.clean else 1
+
+
+def cmd_simulate(args) -> int:
+    model = load_model(args.file)
+    overrides = {}
+    for item in args.set:
+        name, eq, value = item.partition("=")
+        if not eq:
+            raise ValueError(f"--set expects REG=VALUE, got {item!r}")
+        overrides[name] = int(value)
+    sim = model.elaborate(
+        register_values=overrides or None,
+        trace=bool(args.vcd or args.trace),
+    ).run()
+    for name, value in sorted(sim.registers.items()):
+        print(f"{name} = {format_value(value)}")
+    if sim.conflicts:
+        print()
+        print(sim.monitor.report())
+    if args.trace:
+        print()
+        print(sim.tracer.format_table())
+    if args.vcd:
+        with open(args.vcd, "w", encoding="utf-8") as handle:
+            sim.tracer.write_vcd(handle, design_name=model.name)
+        print(f"-- wrote {args.vcd}")
+    stats = sim.stats
+    print(f"-- {stats.delta_cycles} delta cycles (= CS_MAX*6 = {model.cs_max * 6})")
+    return 0 if sim.clean else 1
+
+
+def cmd_reschedule(args) -> int:
+    from .core.reschedule import reschedule
+
+    model = load_model(args.file)
+    result = reschedule(model)
+    print(result.describe())
+    # Safety: the compacted model must produce identical results.
+    before = model.elaborate().run().registers
+    after = result.model.elaborate().run().registers
+    if before != after:
+        print("error: rescheduling changed results; not writing output",
+              file=sys.stderr)
+        return 1
+    print("-- verified: identical register results")
+    if args.output:
+        save_model(result.model, args.output)
+        print(f"-- wrote {args.output}")
+    return 0
+
+
+def cmd_emit(args) -> int:
+    from .vhdl import emit_model_vhdl
+
+    text = emit_model_vhdl(load_model(args.file))
+    _write_output(text, args.output)
+    return 0
+
+
+def cmd_clocked(args) -> int:
+    from .clocked import check_equivalence, emit_clocked_vhdl, translate
+
+    model = load_model(args.file)
+    translation = translate(model)
+    if args.verify:
+        report = check_equivalence(model, translation=translation)
+        print(f"-- {report}", file=sys.stderr)
+        if not report.equivalent:
+            return 1
+    _write_output(emit_clocked_vhdl(translation), args.output)
+    return 0
+
+
+def cmd_synth(args) -> int:
+    from .hls import synthesize
+    from .verify import all_equivalent, check_program_vs_model
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    resources = {}
+    for item in args.resources.split(","):
+        if not item.strip():
+            continue
+        name, eq, count = item.partition("=")
+        if not eq:
+            raise ValueError(f"--resources expects CLASS=N, got {item!r}")
+        resources[name.strip().upper()] = int(count)
+    result = synthesize(source, resources=resources or None)
+    print(
+        f"{len(result.dfg.op_nodes)} operations scheduled in "
+        f"{result.schedule.makespan} control steps; "
+        f"{result.allocation.temp_count} temp registers, "
+        f"{result.allocation.bus_count} buses"
+    )
+    if args.verify:
+        outcomes = check_program_vs_model(
+            result.program, result.model, result.output_regs
+        )
+        for outcome in outcomes:
+            print(f"  {outcome}")
+        if not all_equivalent(outcomes):
+            return 1
+    if args.output:
+        save_model(result.model, args.output)
+        print(f"-- wrote {args.output}")
+    return 0
+
+
+def cmd_iks(args) -> int:
+    from .iks import crosscheck, forward_kinematics
+
+    px_text, _, py_text = args.target.partition(",")
+    px, py = float(px_text), float(py_text)
+    if args.phi is not None:
+        return _cmd_iks3(px, py, args.phi)
+    run, ref = crosscheck(px, py)
+    fx, fy = forward_kinematics(run.theta1_rad, run.theta2_rad)
+    print(f"target      : ({px}, {py})")
+    print(f"chip        : theta1={run.theta1_rad:.6f}  theta2={run.theta2_rad:.6f}")
+    print(f"algorithmic : theta1={ref.theta1_rad:.6f}  theta2={ref.theta2_rad:.6f}")
+    exact = (run.theta1, run.theta2) == (ref.theta1, ref.theta2)
+    print(f"bit-exact   : {exact}")
+    print(f"FK check    : ({fx:.5f}, {fy:.5f})")
+    print(
+        f"simulation  : {run.simulation.stats.delta_cycles} delta cycles, "
+        f"{len(run.simulation.conflicts)} conflicts"
+    )
+    return 0 if (run.clean and exact) else 1
+
+
+def _cmd_iks3(px: float, py: float, phi: float) -> int:
+    from .iks import forward_kinematics3, run_ik3_chip, solve_ik3
+
+    run = run_ik3_chip(px, py, phi)
+    ref = solve_ik3(px, py, phi)
+    fx, fy, fphi = forward_kinematics3(
+        run.theta1_rad, run.theta2_rad, run.theta3_rad
+    )
+    print(f"target      : ({px}, {py}) @ phi={phi}")
+    print(
+        f"chip        : theta1={run.theta1_rad:.6f}  "
+        f"theta2={run.theta2_rad:.6f}  theta3={run.theta3_rad:.6f}"
+    )
+    print(
+        f"algorithmic : theta1={ref.theta1_rad:.6f}  "
+        f"theta2={ref.theta2_rad:.6f}  theta3={ref.theta3_rad:.6f}"
+    )
+    exact = (run.theta1, run.theta2, run.theta3) == (
+        ref.theta1, ref.theta2, ref.theta3,
+    )
+    print(f"bit-exact   : {exact}")
+    print(f"FK check    : ({fx:.5f}, {fy:.5f}) @ {fphi:.5f}")
+    print(
+        f"simulation  : {run.simulation.stats.delta_cycles} delta cycles, "
+        f"{len(run.simulation.conflicts)} conflicts"
+    )
+    return 0 if (run.clean and exact) else 1
+
+
+def _write_output(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"-- wrote {output}", file=sys.stderr)
+    else:
+        print(text)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

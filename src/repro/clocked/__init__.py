@@ -1,0 +1,55 @@
+"""Clocked back end (S9, paper §4's automatic translation).
+
+Control-step models translate automatically into clocked RTL decode
+tables (:mod:`translate`), executable by a fast cycle simulator or an
+event-driven kernel model with a real clock (:mod:`clocked_sim`),
+checkable against the clock-free original step by step
+(:mod:`equivalence`), and emittable as synthesizable-style VHDL
+(:mod:`emitter`).
+"""
+
+from .clocked_sim import (
+    ClockedKernelSim,
+    ClockedRun,
+    elaborate_clocked,
+    simulate_cycles,
+)
+from .emitter import emit_clocked_vhdl
+from .equivalence import (
+    EquivalenceReport,
+    Mismatch,
+    check_equivalence,
+    clockfree_step_trace,
+)
+from .phase_accurate import (
+    PhaseAccurateRun,
+    check_phase_accurate_equivalence,
+    simulate_phase_accurate,
+)
+from .translate import (
+    ClockedTranslation,
+    RegWrite,
+    TranslationError,
+    UnitIssue,
+    translate,
+)
+
+__all__ = [
+    "ClockedKernelSim",
+    "ClockedRun",
+    "ClockedTranslation",
+    "EquivalenceReport",
+    "Mismatch",
+    "PhaseAccurateRun",
+    "RegWrite",
+    "TranslationError",
+    "UnitIssue",
+    "check_equivalence",
+    "check_phase_accurate_equivalence",
+    "clockfree_step_trace",
+    "elaborate_clocked",
+    "emit_clocked_vhdl",
+    "simulate_cycles",
+    "simulate_phase_accurate",
+    "translate",
+]

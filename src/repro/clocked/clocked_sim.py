@@ -1,0 +1,246 @@
+"""Execution of translated clocked designs.
+
+Two executions of the same decode tables:
+
+* :func:`simulate_cycles` -- a fast table-driven cycle simulator (the
+  reference semantics of the translation);
+* :func:`elaborate_clocked` -- an event-driven model on the kernel
+  with a real toggling clock signal, one process per register plus the
+  state counter and unit pipelines, physical time advancing with each
+  half period.  This is the "usual RT model" whose simulation cost the
+  clock-free scheme avoids; experiment E5/E8 compares its kernel
+  statistics against the control-step original.
+
+Uninitialized storage is modeled with DISC (the simulation analogue of
+std_logic ``'X'``); registers keep their value unless an enabled write
+delivers a non-DISC result -- mirroring the clock-free REG semantics so
+the per-step register traces are comparable bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.modules_lib import ModuleSpec
+from ..core.values import DISC, ILLEGAL
+from ..kernel import SimStats, Simulator, wait_for, wait_until
+from .translate import ClockedTranslation, UnitIssue
+
+
+def _combine_clocked(
+    spec: ModuleSpec, op_name: str, operands: list[int]
+) -> int:
+    """Operand combination with the subset's DISC/ILLEGAL rules."""
+    op = spec.operations[op_name]
+    used = operands[: op.arity]
+    if any(v == ILLEGAL for v in used):
+        return ILLEGAL
+    if all(v == DISC for v in used):
+        return DISC
+    if any(v == DISC for v in used):
+        return ILLEGAL
+    return op.apply(used, spec.width)
+
+
+@dataclass
+class ClockedRun:
+    """Result of a cycle simulation."""
+
+    registers: dict[str, int]
+    #: register -> cycle -> value *after* that cycle's clock edge.
+    trace: dict[str, dict[int, int]] = field(default_factory=dict)
+    cycles: int = 0
+
+    def after_cycle(self, register: str, cycle: int) -> int:
+        """Register value after the given clock cycle."""
+        return self.trace[register][cycle]
+
+
+def simulate_cycles(
+    translation: ClockedTranslation,
+    register_values: Optional[Mapping[str, int]] = None,
+) -> ClockedRun:
+    """Run the decode tables through the fast cycle simulator."""
+    model = translation.model
+    regs: dict[str, int] = {}
+    for decl in model.registers.values():
+        regs[decl.name] = decl.init
+    for name, value in (register_values or {}).items():
+        regs[name] = value
+    pipes: dict[str, list[int]] = {
+        name: [DISC] * spec.latency
+        for name, spec in model.modules.items()
+        if spec.latency > 0
+    }
+    trace: dict[str, dict[int, int]] = {name: {} for name in regs}
+
+    for cycle in range(1, translation.cycles + 1):
+        # 1. combinational unit results for this state
+        results: dict[str, int] = {}
+        for module, table in translation.issues.items():
+            issue = table.get(cycle)
+            if issue is None:
+                results[module] = DISC
+                continue
+            spec = model.modules[module]
+            operands = [
+                regs[name] if name is not None else DISC
+                for name in (issue.left, issue.right)
+            ]
+            results[module] = _combine_clocked(spec, issue.op, operands)
+        # 2. register write values (read pipeline tails *before* shift)
+        latches: dict[str, int] = {}
+        for register, table in translation.writes.items():
+            write = table.get(cycle)
+            if write is None:
+                continue
+            spec = model.modules[write.module]
+            if spec.latency == 0:
+                value = results.get(write.module, DISC)
+            else:
+                value = pipes[write.module][-1]
+            if value != DISC:
+                latches[register] = value
+        # 3. pipeline shift (stage in this cycle's combinational result)
+        for module, pipe in pipes.items():
+            pipe[1:] = pipe[:-1]
+            pipe[0] = results.get(module, DISC)
+        # 4. clock edge: apply latches, snapshot
+        regs.update(latches)
+        for name, value in regs.items():
+            trace[name][cycle] = value
+    return ClockedRun(registers=dict(regs), trace=trace, cycles=translation.cycles)
+
+
+# ----------------------------------------------------------------------
+# event-driven clocked model on the kernel
+# ----------------------------------------------------------------------
+@dataclass
+class ClockedKernelSim:
+    """Handle to an elaborated event-driven clocked design."""
+
+    sim: Simulator
+    translation: ClockedTranslation
+    _reg_signals: dict = field(default_factory=dict)
+
+    def run(self) -> "ClockedKernelSim":
+        self.sim.run()
+        return self
+
+    @property
+    def registers(self) -> dict[str, int]:
+        return {name: sig.value for name, sig in self._reg_signals.items()}
+
+    @property
+    def stats(self) -> SimStats:
+        return self.sim.stats
+
+
+def elaborate_clocked(
+    translation: ClockedTranslation,
+    register_values: Optional[Mapping[str, int]] = None,
+    half_period: int = 5,
+) -> ClockedKernelSim:
+    """Build the clocked design as kernel processes with a real clock.
+
+    The clock toggles in physical time (``half_period`` ns per phase);
+    every register process wakes on every rising edge -- the cost
+    profile of conventional clocked RTL simulation that the paper's
+    subset avoids.
+    """
+    model = translation.model
+    sim = Simulator()
+    clk = sim.signal("CLK", init=0)
+    clk_drv = sim.driver(clk, owner="clkgen")
+    state = sim.signal("STATE", init=1)
+    state_drv = sim.driver(state, owner="fsm")
+
+    overrides = dict(register_values or {})
+    reg_signals = {}
+    reg_drivers = {}
+    for decl in model.registers.values():
+        init = overrides.get(decl.name, decl.init)
+        sig = sim.signal(f"{decl.name}_q", init=init)
+        reg_signals[decl.name] = sig
+        reg_drivers[decl.name] = sim.driver(sig, owner=decl.name)
+
+    # Pipeline tails are *signals*: a register latching a latency-L
+    # result reads the tail value latched at the previous edge, exactly
+    # like a flip-flop chain in hardware (and free of process-ordering
+    # races within the edge cycle).
+    pipe_state: dict[str, list[int]] = {}
+    pipe_tail = {}
+    pipe_tail_drv = {}
+    for name, spec in model.modules.items():
+        if spec.latency > 0:
+            pipe_state[name] = [DISC] * spec.latency
+            sig = sim.signal(f"{name}_pipe_tail", init=DISC)
+            pipe_tail[name] = sig
+            pipe_tail_drv[name] = sim.driver(sig, owner=f"pipe_{name}")
+
+    def clock_gen():
+        for _ in range(translation.cycles):
+            yield wait_for(half_period)
+            clk_drv.set(1)
+            yield wait_for(half_period)
+            clk_drv.set(0)
+
+    def rising_edge():
+        return wait_until(lambda: clk.value == 1, clk)
+
+    def fsm():
+        while True:
+            yield rising_edge()
+            state_drv.set(state.value + 1)
+
+    def unit_result(module: str, cycle: int) -> int:
+        issue = translation.issues.get(module, {}).get(cycle)
+        if issue is None:
+            return DISC
+        spec = model.modules[module]
+        operands = [
+            reg_signals[name].value if name is not None else DISC
+            for name in (issue.left, issue.right)
+        ]
+        return _combine_clocked(spec, issue.op, operands)
+
+    def make_register_process(register: str):
+        table = translation.writes.get(register, {})
+
+        def reg_proc():
+            while True:
+                yield rising_edge()
+                write = table.get(state.value)
+                if write is None:
+                    continue
+                spec = model.modules[write.module]
+                if spec.latency == 0:
+                    value = unit_result(write.module, state.value)
+                else:
+                    value = pipe_tail[write.module].value
+                if value != DISC:
+                    reg_drivers[register].set(value)
+
+        return reg_proc
+
+    def make_pipe_process(module: str):
+        pipe = pipe_state[module]
+
+        def pipe_proc():
+            while True:
+                yield rising_edge()
+                staged = unit_result(module, state.value)
+                pipe[1:] = pipe[:-1]
+                pipe[0] = staged
+                pipe_tail_drv[module].set(pipe[-1])
+
+        return pipe_proc
+
+    sim.add_process("clkgen", clock_gen)
+    sim.add_process("fsm", fsm)
+    for register in model.registers:
+        sim.add_process(f"reg_{register}", make_register_process(register))
+    for module in pipe_state:
+        sim.add_process(f"pipe_{module}", make_pipe_process(module))
+    return ClockedKernelSim(sim=sim, translation=translation, _reg_signals=reg_signals)

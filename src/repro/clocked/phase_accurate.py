@@ -1,0 +1,194 @@
+"""Phase-accurate clocked translation: six clock cycles per control step.
+
+Paper §2.2: "Of course, there are different ways to implement control
+steps.  The choice of a specific control step implementation also
+influences the implementation of registers and modules."
+
+:mod:`repro.clocked.translate` implements the dense mapping (one clock
+cycle per step: buses vanish into multiplexers, the whole
+read-compute-write path is combinational).  This module implements the
+opposite end of the trade-off -- a **literal hardware realization of
+the six-phase scheme**, where every phase is a clock cycle and every
+hop lands in a register:
+
+* ``ra``: bus registers capture the selected register outputs;
+* ``rb``: module input (and op) registers capture the buses;
+* ``cm``: unit pipelines advance (latency-0 units stay combinational
+  into the WA capture);
+* ``wa``: bus registers capture unit outputs;
+* ``wb``: register-input staging registers capture the buses;
+* ``cr``: architectural registers latch staged values.
+
+Cost: 6x the cycles of the dense mapping.  Benefit: every
+combinational path is a single hop (register -> mux -> register), the
+classic frequency/latency trade.  Observational equivalence per
+control step against the clock-free model holds for both mappings
+(experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.model import RTModel
+from ..core.phases import PHASES_PER_STEP, Phase
+from ..core.schedule import analyze
+from ..core.values import DISC, ILLEGAL
+from .clocked_sim import _combine_clocked
+from .translate import TranslationError
+
+
+@dataclass
+class PhaseAccurateRun:
+    """Result of a phase-accurate clocked simulation."""
+
+    registers: dict[str, int]
+    #: register -> step -> value after that step's CR clock edge
+    trace: dict[str, dict[int, int]] = field(default_factory=dict)
+    clock_cycles: int = 0
+
+    def after_step(self, register: str, step: int) -> int:
+        return self.trace[register][step]
+
+
+def simulate_phase_accurate(
+    model: RTModel,
+    register_values: Optional[Mapping[str, int]] = None,
+) -> PhaseAccurateRun:
+    """Execute the six-cycles-per-step hardware realization.
+
+    The micro-architectural state is exactly the six-phase scheme's:
+    bus registers, unit input/op registers, unit pipelines and
+    register-input staging flops, all clocked; the schedule's TRANS
+    instances become the (statically decoded) capture enables.
+    """
+    report = analyze(model)
+    if not report.clean:
+        raise TranslationError(
+            "cannot translate a conflicting schedule:\n" + str(report)
+        )
+    specs = model.trans_specs()
+    by_cycle: dict[tuple[int, Phase], list] = {}
+    for spec in specs:
+        by_cycle.setdefault((spec.step, spec.phase), []).append(spec)
+
+    regs: dict[str, int] = {}
+    for decl in model.registers.values():
+        regs[decl.name] = decl.init
+    for name, value in (register_values or {}).items():
+        regs[name] = value
+
+    bus_reg: dict[str, int] = {name: DISC for name in model.buses}
+    unit_in: dict[str, int] = {}
+    unit_op: dict[str, int] = {}
+    unit_out: dict[str, int] = {}
+    pipes: dict[str, list[int]] = {}
+    for name, spec in model.modules.items():
+        for i in range(1, spec.arity + 1):
+            unit_in[f"{name}_in{i}"] = DISC
+        if spec.multi_op:
+            unit_op[name] = DISC
+        unit_out[name] = DISC
+        if spec.latency > 0:
+            pipes[name] = [DISC] * spec.latency
+    staged: dict[str, int] = {name: DISC for name in model.registers}
+
+    def source_value(port: str) -> int:
+        """Value of a TRANS source port in the current cycle."""
+        if port.startswith("op:"):
+            raise AssertionError("op sources resolved separately")
+        if port.endswith("_out"):
+            base = port[: -len("_out")]
+            if base in model.modules:
+                return unit_out[base]
+            return regs[base]
+        return bus_reg[port]
+
+    trace: dict[str, dict[int, int]] = {name: {} for name in regs}
+    cycles = 0
+    for step in range(1, model.cs_max + 1):
+        for phase in Phase:
+            cycles += 1
+            actions = by_cycle.get((step, phase), [])
+            if phase is Phase.RA or phase is Phase.WA:
+                # Bus registers capture their scheduled sources; all
+                # other buses return to DISC (the TRANS release).
+                next_bus = {name: DISC for name in bus_reg}
+                for spec_item in actions:
+                    next_bus[spec_item.sink] = source_value(spec_item.source)
+                bus_reg = next_bus
+            elif phase is Phase.RB:
+                next_in = {name: DISC for name in unit_in}
+                next_op = {name: DISC for name in unit_op}
+                for spec_item in actions:
+                    if spec_item.sink.endswith("_op"):
+                        base = spec_item.sink[: -len("_op")]
+                        op_name = spec_item.source[3:]
+                        next_op[base] = model.modules[base].op_code(op_name)
+                    else:
+                        next_in[spec_item.sink] = bus_reg[spec_item.source]
+                unit_in = next_in
+                unit_op = next_op
+            elif phase is Phase.CM:
+                for name, mspec in model.modules.items():
+                    operands = [
+                        unit_in[f"{name}_in{i}"]
+                        for i in range(1, mspec.arity + 1)
+                    ]
+                    code = unit_op.get(name, DISC)
+                    if not mspec.multi_op:
+                        op_name = mspec.default_op
+                    elif code == DISC:
+                        op_name = mspec.default_op
+                    else:
+                        op_name = sorted(mspec.operations)[code]
+                    value = _combine_clocked(mspec, op_name, operands)
+                    if mspec.latency == 0:
+                        unit_out[name] = value
+                    else:
+                        pipe = pipes[name]
+                        unit_out[name] = pipe[-1]
+                        pipe[1:] = pipe[:-1]
+                        pipe[0] = value
+            elif phase is Phase.WB:
+                staged = {name: DISC for name in staged}
+                for spec_item in actions:
+                    base = spec_item.sink[: -len("_in")]
+                    staged[base] = bus_reg[spec_item.source]
+            elif phase is Phase.CR:
+                for name, value in staged.items():
+                    if value != DISC:
+                        regs[name] = value
+                for name in regs:
+                    trace[name][step] = regs[name]
+    return PhaseAccurateRun(
+        registers=dict(regs), trace=trace, clock_cycles=cycles
+    )
+
+
+def check_phase_accurate_equivalence(
+    model: RTModel,
+    register_values: Optional[Mapping[str, int]] = None,
+):
+    """Per-step equivalence of the phase-accurate mapping against the
+    clock-free model (same report type as the dense mapping's check)."""
+    from .equivalence import EquivalenceReport, Mismatch, clockfree_step_trace
+
+    rt_sim = model.elaborate(register_values=register_values, trace=True).run()
+    clock_free = clockfree_step_trace(rt_sim)
+    run = simulate_phase_accurate(model, register_values)
+    report = EquivalenceReport(
+        model_name=f"{model.name} (phase-accurate)",
+        steps=model.cs_max,
+        registers=len(model.registers),
+    )
+    for register, per_step in clock_free.items():
+        for step, expected in per_step.items():
+            actual = run.after_step(register, step)
+            if actual != expected:
+                report.mismatches.append(
+                    Mismatch(register, step, expected, actual)
+                )
+    report.mismatches.sort(key=lambda m: (m.step, m.register))
+    return report

@@ -1,0 +1,172 @@
+"""Automatic translation of control-step models to clocked RTL (paper §4).
+
+    "There are several ways to translate a control step scheme into a
+    clock scheme based on clock signals.  The transformation into a
+    usual synthesizable RT description based on clock signals can be
+    performed automatically.  We are now developing such automatic
+    translation rules especially aiming at their formal correctness."
+
+This module implements the canonical mapping -- **one clock cycle per
+control step**:
+
+* the controller becomes a step counter (the FSM state register);
+* each register gets a write-enable and an input multiplexer selecting,
+  per state, the functional unit whose result the schedule writes to
+  it;
+* buses disappear into multiplexers (their scheduling role is already
+  discharged: the static schedule proved the sharing feasible);
+* a latency-L unit becomes a combinational operator followed by L
+  pipeline registers;
+* operand routing becomes per-state multiplexers feeding each unit
+  from the register outputs the schedule names.
+
+The translation is *table-driven*: the result is a set of decode
+tables (which unit fires with which operation and operands in which
+state; which register latches from which unit in which state) -- the
+same tables a synthesis tool would turn into gates.  Both the fast
+cycle simulator and the event-driven clocked kernel model execute
+these tables, and the equivalence check (experiment E8) compares the
+per-step register traces against the clock-free original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.model import RTModel
+from ..core.modules_lib import ModuleSpec
+
+
+class TranslationError(ValueError):
+    """Raised when a model cannot be translated to clocked RTL."""
+
+
+@dataclass(frozen=True)
+class UnitIssue:
+    """One functional-unit activation: in state ``step`` the unit
+    applies ``op`` to the outputs of registers ``left`` / ``right``."""
+
+    step: int
+    op: str
+    left: Optional[str]
+    right: Optional[str]
+
+
+@dataclass(frozen=True)
+class RegWrite:
+    """One register write: in state ``step`` register ``register``
+    latches the result of ``module`` (its pipeline tail for latency>0)."""
+
+    step: int
+    register: str
+    module: str
+
+
+@dataclass
+class ClockedTranslation:
+    """The decode tables of the translated design."""
+
+    model: RTModel
+    #: module name -> step -> issue
+    issues: dict[str, dict[int, UnitIssue]] = field(default_factory=dict)
+    #: register name -> step -> write
+    writes: dict[str, dict[int, RegWrite]] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        """Clock cycles of one run (= control steps of the original)."""
+        return self.model.cs_max
+
+    def module_spec(self, name: str) -> ModuleSpec:
+        return self.model.modules[name]
+
+    def describe(self) -> str:
+        """Human-readable decode tables."""
+        lines = [
+            f"clocked translation of {self.model.name!r}: "
+            f"{self.cycles} cycles/run"
+        ]
+        for module, table in sorted(self.issues.items()):
+            lines.append(f"  unit {module}:")
+            for step, issue in sorted(table.items()):
+                operands = ", ".join(
+                    p for p in (issue.left, issue.right) if p is not None
+                )
+                lines.append(f"    state {step}: {issue.op}({operands})")
+        for register, table in sorted(self.writes.items()):
+            for step, write in sorted(table.items()):
+                lines.append(
+                    f"  reg {register}: state {step} <- {write.module}"
+                )
+        return "\n".join(lines)
+
+
+def translate(model: RTModel) -> ClockedTranslation:
+    """Translate a clock-free RT model into clocked decode tables.
+
+    Requires every transfer to be *complete* (read and write halves
+    present) or a pure read half feeding a later write half of the
+    same module at the latency distance -- which is exactly what
+    :func:`repro.core.schedule.analyze` verifies.  Conflicting
+    schedules are rejected: a model that the paper's resolution
+    function would drive to ILLEGAL has no clocked meaning.
+    """
+    from ..core.schedule import analyze  # local import: avoid cycle
+
+    report = analyze(model)
+    if not report.clean:
+        raise TranslationError(
+            "cannot translate a conflicting schedule to clocked RTL:\n"
+            + str(report)
+        )
+    result = ClockedTranslation(model=model)
+    for transfer in model.transfers:
+        spec = model.modules[transfer.module]
+        if transfer.has_read:
+            # Reads on a two-input unit may arrive as two partial
+            # tuples (one per operand); merge them into one issue.
+            table = result.issues.setdefault(transfer.module, {})
+            existing = table.get(transfer.read_step)
+            left, right = transfer.src1, transfer.src2
+            op = transfer.op or (existing.op if existing else None)
+            if existing is not None:
+                if existing.left is not None and left is not None:
+                    raise TranslationError(
+                        f"unit {transfer.module!r} left operand fed twice "
+                        f"in state {transfer.read_step}"
+                    )
+                left = left if left is not None else existing.left
+                right = right if right is not None else existing.right
+            table[transfer.read_step] = UnitIssue(
+                step=transfer.read_step,
+                op=op or spec.default_op,
+                left=left,
+                right=right,
+            )
+        if transfer.has_write:
+            write = RegWrite(
+                step=transfer.write_step,
+                register=transfer.dest,
+                module=transfer.module,
+            )
+            wtable = result.writes.setdefault(transfer.dest, {})
+            if transfer.write_step in wtable:
+                raise TranslationError(
+                    f"register {transfer.dest!r} written twice in state "
+                    f"{transfer.write_step}"
+                )
+            wtable[transfer.write_step] = write
+    # Second pass: every write must collect a value its unit produces
+    # (the issue sits latency states earlier).
+    for register, wtable in result.writes.items():
+        for step, write in wtable.items():
+            spec = model.modules[write.module]
+            issue_step = step - spec.latency
+            if issue_step not in result.issues.get(write.module, {}):
+                raise TranslationError(
+                    f"register {register!r} collects from "
+                    f"{write.module!r} in state {step}, but the unit has "
+                    f"no issue in state {issue_step}"
+                )
+    return result

@@ -1,0 +1,90 @@
+"""The clock-free register-transfer level (the paper's contribution).
+
+Public surface:
+
+* values and resolution: :data:`DISC`, :data:`ILLEGAL`,
+  :func:`resolve_rt` (§2.3);
+* timing: :class:`Phase`, :class:`StepPhase`, six phases per control
+  step (§2.2);
+* transfers: :class:`RegisterTransfer` 9-tuples, :class:`TransSpec`
+  TRANS instances, and the bidirectional mapping between them (§2.4,
+  §2.7);
+* models: :class:`RTModel` builder and :class:`RTSimulation` execution
+  (§2.7);
+* analysis: static :func:`analyze` and dynamic
+  :class:`ConflictMonitor` conflict localization.
+"""
+
+from .components import make_controller, make_reg, make_trans
+from .diagnostics import ConflictEvent, ConflictMonitor
+from .model import BusDecl, ModelError, RegisterDecl, RTModel
+from .modules_lib import (
+    DEFAULT_WIDTH,
+    ModuleSpec,
+    Operation,
+    alu_spec,
+    make_module,
+    standard_operation,
+)
+from .occupancy import OccupancyReport, ResourceUsage, occupancy
+from .phases import PHASES_PER_STEP, Phase, StepPhase, iter_schedule
+from .reschedule import RescheduleError, RescheduleResult, reschedule
+from .schedule import PredictedConflict, ScheduleReport, analyze
+from .simulator import RTSimulation
+from .trace import Tracer, TraceSample
+from .transfer import (
+    RegisterTransfer,
+    TransferError,
+    TransSpec,
+    expand_all,
+    from_trans_specs,
+    to_trans_specs,
+)
+from .values import DISC, ILLEGAL, format_value, is_data, is_disc, is_illegal, resolve_rt
+
+__all__ = [
+    "BusDecl",
+    "ConflictEvent",
+    "ConflictMonitor",
+    "DEFAULT_WIDTH",
+    "DISC",
+    "ILLEGAL",
+    "ModelError",
+    "ModuleSpec",
+    "OccupancyReport",
+    "Operation",
+    "PHASES_PER_STEP",
+    "Phase",
+    "PredictedConflict",
+    "RTModel",
+    "RTSimulation",
+    "RegisterDecl",
+    "RegisterTransfer",
+    "RescheduleError",
+    "RescheduleResult",
+    "ResourceUsage",
+    "ScheduleReport",
+    "StepPhase",
+    "Tracer",
+    "TraceSample",
+    "TransSpec",
+    "TransferError",
+    "alu_spec",
+    "analyze",
+    "expand_all",
+    "format_value",
+    "from_trans_specs",
+    "is_data",
+    "is_disc",
+    "is_illegal",
+    "iter_schedule",
+    "make_controller",
+    "make_module",
+    "make_reg",
+    "make_trans",
+    "occupancy",
+    "reschedule",
+    "resolve_rt",
+    "standard_operation",
+    "to_trans_specs",
+]

@@ -1,0 +1,246 @@
+"""Phase-partition ablation: why the paper uses six phases (E11).
+
+The six-phase control step gives every transfer hop its own delta
+cycle: register->bus (ra), bus->module (rb), compute (cm),
+module->bus (wa), bus->register (wb), latch (cr).  That is what makes
+a conflict localizable to a *hop*: a bus collision shows up on the bus
+signal in rb, a module-port collision on the port in cm, a register
+collision on the input in cr.
+
+This module implements the obvious "cheaper" alternative -- a
+**merged four-phase scheme** where values move register->module-port
+directly in ra and module->register directly in wa, skipping the bus
+hops (phases rb and wb are simply never entered):
+
+* a control step costs 4 delta cycles instead of 6 (-33%);
+* but the bus as an observable resource disappears: a shared-bus
+  collision and a module-port collision both surface on the *port* in
+  the cm cycle, and nothing distinguishes which interconnect resource
+  was oversubscribed.
+
+The E11 benchmark quantifies both sides of the trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..kernel import Signal, Simulator, wait_on, wait_until
+from .components import make_reg
+from .diagnostics import ConflictMonitor
+from .model import RTModel
+from .modules_lib import make_module
+from .phases import Phase
+from .transfer import RegisterTransfer
+from .values import DISC, resolve_rt
+
+#: The merged scheme's phase sequence (4 of the 6 phases).
+MERGED_SEQUENCE: tuple[Phase, ...] = (Phase.RA, Phase.CM, Phase.WA, Phase.CR)
+
+
+def make_seq_controller(
+    sim: Simulator,
+    cs: Signal,
+    ph: Signal,
+    cs_max: int,
+    sequence: Sequence[Phase],
+    name: str = "CONTROL",
+) -> None:
+    """A controller cycling through an arbitrary phase sequence.
+
+    With ``sequence = list(Phase)`` this is exactly the paper's
+    CONTROLLER; shorter sequences implement merged schemes.  ``ph``
+    must be initialized to the *last* phase of the sequence.
+    """
+    if cs_max < 1:
+        raise ValueError(f"CS_MAX must be >= 1, got {cs_max}")
+    seq = list(sequence)
+    if not seq:
+        raise ValueError("phase sequence must not be empty")
+    cs_drv = sim.driver(cs, owner=name)
+    ph_drv = sim.driver(ph, owner=name)
+    index_of = {phase: i for i, phase in enumerate(seq)}
+
+    def controller():
+        while True:
+            position = index_of[ph.value]
+            if position == len(seq) - 1:
+                if cs.value < cs_max:
+                    cs_drv.set(cs.value + 1)
+                    ph_drv.set(seq[0])
+            else:
+                ph_drv.set(seq[position + 1])
+            yield wait_on(ph)
+
+    sim.add_process(name, controller)
+
+
+def make_direct_trans(
+    sim: Simulator,
+    cs: Signal,
+    ph: Signal,
+    step: int,
+    phase: Phase,
+    release: Phase,
+    source: Signal,
+    sink: Signal,
+    name: str,
+    source_value: Optional[int] = None,
+) -> None:
+    """A TRANS variant parameterized by its release phase.
+
+    The six-phase TRANS always releases at ``phase.succ()``; the merged
+    scheme's transfers release at the *next phase of the merged
+    sequence* instead.
+    """
+    drv = sim.driver(sink, owner=name, init=DISC)
+
+    def trans():
+        # Same staged wait as repro.core.components.make_trans.
+        while cs.value != step:
+            yield wait_until(lambda: cs.value == step, cs)
+        while ph.value is not phase:
+            yield wait_on(ph)
+        drv.set(source.value if source_value is None else source_value)
+        while ph.value is not release:
+            yield wait_on(ph)
+        drv.set(DISC)
+
+    sim.add_process(name, trans)
+
+
+@dataclass
+class MergedSimulation:
+    """An RT model elaborated under the merged four-phase scheme."""
+
+    sim: Simulator
+    cs: Signal
+    ph: Signal
+    monitor: ConflictMonitor
+    _reg_out: dict[str, Signal] = field(default_factory=dict)
+
+    def run(self) -> "MergedSimulation":
+        self.sim.run()
+        return self
+
+    @property
+    def registers(self) -> dict[str, int]:
+        return {name: sig.value for name, sig in self._reg_out.items()}
+
+    def __getitem__(self, register: str) -> int:
+        return self._reg_out[register].value
+
+    @property
+    def conflicts(self):
+        return self.monitor.events
+
+    @property
+    def stats(self):
+        return self.sim.stats
+
+
+def elaborate_merged(
+    model: RTModel,
+    register_values: Optional[Mapping[str, int]] = None,
+) -> MergedSimulation:
+    """Elaborate ``model`` under the merged scheme.
+
+    Transfers move operands register->module-port at RA (release CM)
+    and results module->register at WA (release CR); the declared
+    buses are not instantiated.  Schedules valid under six phases are
+    valid here too -- the point of the ablation is what is *lost*, not
+    what breaks.
+    """
+    sim = Simulator()
+    overrides = dict(register_values or {})
+    cs = sim.signal("CS", init=0)
+    ph = sim.signal("PH", init=MERGED_SEQUENCE[-1])
+    make_seq_controller(sim, cs, ph, model.cs_max, MERGED_SEQUENCE)
+
+    ports: dict[str, Signal] = {}
+    reg_out: dict[str, Signal] = {}
+    for reg in model.registers.values():
+        init = overrides.get(reg.name, reg.init)
+        r_in = sim.signal(f"{reg.name}_in", init=DISC, resolution=resolve_rt)
+        r_out = sim.signal(f"{reg.name}_out", init=init)
+        ports[r_in.name] = r_in
+        ports[r_out.name] = r_out
+        reg_out[reg.name] = r_out
+        make_reg(sim, ph, r_in, r_out, name=reg.name, init=init)
+    for spec in model.modules.values():
+        inputs = []
+        for i in range(1, spec.arity + 1):
+            sig = sim.signal(f"{spec.name}_in{i}", init=DISC, resolution=resolve_rt)
+            ports[sig.name] = sig
+            inputs.append(sig)
+        output = sim.signal(f"{spec.name}_out", init=DISC)
+        ports[output.name] = output
+        op_port = None
+        if spec.multi_op:
+            op_port = sim.signal(
+                f"{spec.name}_op", init=DISC, resolution=resolve_rt
+            )
+            ports[op_port.name] = op_port
+        make_module(sim, spec, ph, inputs, output, op_port)
+
+    counter = 0
+    for transfer in model.transfers:
+        counter += 1
+        spec = model.modules[transfer.module]
+        if transfer.src1 is not None:
+            make_direct_trans(
+                sim, cs, ph, transfer.read_step, Phase.RA, Phase.CM,
+                ports[f"{transfer.src1}_out"],
+                ports[f"{transfer.module}_in1"],
+                name=f"d{counter}_{transfer.src1}_{transfer.module}_in1",
+            )
+        if transfer.src2 is not None:
+            make_direct_trans(
+                sim, cs, ph, transfer.read_step, Phase.RA, Phase.CM,
+                ports[f"{transfer.src2}_out"],
+                ports[f"{transfer.module}_in2"],
+                name=f"d{counter}_{transfer.src2}_{transfer.module}_in2",
+            )
+        if transfer.op is not None:
+            make_direct_trans(
+                sim, cs, ph, transfer.read_step, Phase.RA, Phase.CM,
+                None,
+                ports[f"{transfer.module}_op"],
+                name=f"d{counter}_op_{transfer.module}",
+                source_value=spec.op_code(transfer.op),
+            )
+        if transfer.dest is not None:
+            make_direct_trans(
+                sim, cs, ph, transfer.write_step, Phase.WA, Phase.CR,
+                ports[f"{transfer.module}_out"],
+                ports[f"{transfer.dest}_in"],
+                name=f"d{counter}_{transfer.module}_{transfer.dest}_in",
+            )
+    resolved = [sig for sig in ports.values() if sig.resolved]
+    monitor = ConflictMonitor(sim, cs, ph, resolved)
+    return MergedSimulation(
+        sim=sim, cs=cs, ph=ph, monitor=monitor, _reg_out=reg_out
+    )
+
+
+def localization_classes(conflicts: Iterable) -> set[tuple[str, str]]:
+    """The distinct (signal kind, phase) classes conflicts appear in.
+
+    Six phases separate bus conflicts (bus signal, rb) from port
+    conflicts (module port, cm) and register collisions (reg input,
+    cr); the merged scheme folds the first two together -- this set
+    quantifies the difference.
+    """
+    classes: set[tuple[str, str]] = set()
+    for event in conflicts:
+        if event.signal.endswith(("_in1", "_in2", "_op")):
+            kind = "module-port"
+        elif event.signal.endswith("_in"):
+            kind = "register-input"
+        elif event.signal.endswith("_out"):
+            kind = "output"
+        else:
+            kind = "bus"
+        classes.add((kind, event.at.phase.vhdl_name))
+    return classes

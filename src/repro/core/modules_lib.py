@@ -1,0 +1,383 @@
+"""Functional-unit (module) processes and the standard operation library.
+
+Paper §2.6 shows the pipelined adder::
+
+    process
+      variable M: Integer := DISC;
+    begin
+      wait until PH = cM;
+      M_out <= M;
+      if M /= ILLEGAL then
+        if M_in1 = DISC and M_in2 = DISC then
+          M := DISC;
+        elsif M_in1 /= DISC and M_in2 /= DISC then
+          M := M_in1 + M_in2;
+        else
+          M := ILLEGAL;
+        end if;
+      end if;
+    end process;
+
+Key semantic points reproduced here:
+
+* modules act only in the CM phase; all combinational behaviour is
+  expressed in variable assignments within one activation (the paper
+  explicitly forbids cascades of combinational processes linked by
+  signals, because that would spend delta cycles on something other
+  than phase changes);
+* a *pipelined* module of latency L holds an L-deep variable pipeline:
+  results appear on the output port L control steps after the operands;
+* operands must arrive all-or-none: a step in which only one input of a
+  two-input module carries a value produces ILLEGAL;
+* ILLEGAL is sticky through the pipeline stage that saw it (the paper's
+  adder freezes on ILLEGAL; we propagate it through the pipe so the
+  conflict reaches the output and a register, where diagnostics see it);
+* §3 extension: a module may implement several operations; the
+  operation for a step is selected by a value on the module's op port,
+  driven by an extra TRANS instance of the transfer.
+
+Arithmetic is performed modulo ``2**width`` so that results stay
+natural numbers (the subset's regular values); signed data is handled
+by two's-complement encoding at a higher layer
+(:mod:`repro.iks.fixedpoint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..kernel import Signal, Simulator, wait_on, wait_until
+from .phases import Phase
+from .values import DISC, ILLEGAL
+
+#: An operation body: takes the operand naturals, returns an int (the
+#: framework reduces it modulo 2**width).
+OpFn = Callable[..., int]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation a module can perform."""
+
+    name: str
+    arity: int
+    fn: OpFn
+
+    def __post_init__(self) -> None:
+        if self.arity not in (1, 2):
+            raise ValueError(f"operation arity must be 1 or 2, got {self.arity}")
+
+    def apply(self, operands: Sequence[int], width: int) -> int:
+        """Apply to regular operand values, reducing modulo 2**width."""
+        return self.fn(*operands) % (1 << width)
+
+
+def _standard_operations(width: int) -> dict[str, Operation]:
+    mask = (1 << width) - 1
+
+    def rshift(a: int, b: int) -> int:
+        return a >> min(b, width)
+
+    def lshift(a: int, b: int) -> int:
+        return (a << min(b, width)) & mask
+
+    def arshift(a: int, b: int) -> int:
+        # Arithmetic right shift on a two's-complement encoded natural.
+        sign = a >> (width - 1)
+        shifted = a >> min(b, width)
+        if sign:
+            shifted |= mask & ~(mask >> min(b, width))
+        return shifted
+
+    return {
+        "ADD": Operation("ADD", 2, lambda a, b: a + b),
+        "SUB": Operation("SUB", 2, lambda a, b: a - b),
+        "MULT": Operation("MULT", 2, lambda a, b: a * b),
+        "AND": Operation("AND", 2, lambda a, b: a & b),
+        "OR": Operation("OR", 2, lambda a, b: a | b),
+        "XOR": Operation("XOR", 2, lambda a, b: a ^ b),
+        "MIN": Operation("MIN", 2, min),
+        "MAX": Operation("MAX", 2, max),
+        "RSHIFT": Operation("RSHIFT", 2, rshift),
+        "ARSHIFT": Operation("ARSHIFT", 2, arshift),
+        "LSHIFT": Operation("LSHIFT", 2, lshift),
+        "PASS": Operation("PASS", 1, lambda a: a),
+        "COPY": Operation("COPY", 1, lambda a: a),
+        "NEG": Operation("NEG", 1, lambda a: -a),
+        "INC": Operation("INC", 1, lambda a: a + 1),
+        "DEC": Operation("DEC", 1, lambda a: a - 1),
+    }
+
+
+#: Default data width of module arithmetic (bits).
+DEFAULT_WIDTH = 32
+
+
+def standard_operation(name: str) -> Operation:
+    """Look up one of the built-in operations by name."""
+    ops = _standard_operations(DEFAULT_WIDTH)
+    try:
+        return ops[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown standard operation {name!r}; available: "
+            f"{', '.join(sorted(ops))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Static description of a functional unit.
+
+    Parameters
+    ----------
+    name:
+        Instance name, e.g. ``"ADD"`` or ``"Z_ADD"``.
+    operations:
+        The operations the unit implements, keyed by name.  A
+        single-operation unit needs no op port; a multi-operation unit
+        gets one (§3 extension).
+    default_op:
+        Operation used when the op port is DISC (or absent).
+    latency:
+        Control steps between operand read (RB) and result availability
+        for WA.  0 means combinational within the step (the IKS adders);
+        1 is the paper's pipelined adder; 2 the IKS multiplier.
+    pipelined:
+        Whether new operands may be accepted every step.  Only
+        meaningful for latency >= 1; a non-pipelined unit flags operands
+        that arrive while it is busy by producing ILLEGAL.
+    width:
+        Data width in bits; results are reduced modulo ``2**width``.
+    sticky_illegal:
+        The paper's adder guards its pipeline variable with
+        ``if M /= ILLEGAL then ...``: once a conflict has been captured
+        the module freezes to ILLEGAL permanently, keeping the error
+        visible for the rest of the run.  True (the paper's behaviour)
+        by default; set False for modules that should recover after a
+        poisoned step (used by the phase-ablation study).
+    """
+
+    name: str
+    operations: Mapping[str, Operation] = field(default_factory=dict)
+    default_op: Optional[str] = None
+    latency: int = 1
+    pipelined: bool = True
+    width: int = DEFAULT_WIDTH
+    sticky_illegal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        ops = dict(self.operations)
+        if not ops:
+            ops = {"ADD": standard_operation("ADD")}
+        object.__setattr__(self, "operations", ops)
+        if self.default_op is None:
+            object.__setattr__(self, "default_op", next(iter(ops)))
+        if self.default_op not in ops:
+            raise ValueError(
+                f"module {self.name!r}: default op {self.default_op!r} not "
+                f"among operations {sorted(ops)}"
+            )
+        arities = {op.arity for op in ops.values()}
+        object.__setattr__(self, "_max_arity", max(arities))
+
+    @property
+    def arity(self) -> int:
+        """Maximum operand count over all operations (port count)."""
+        return self._max_arity  # type: ignore[attr-defined]
+
+    @property
+    def multi_op(self) -> bool:
+        """Whether the unit needs an operation-select port."""
+        return len(self.operations) > 1
+
+    def op_code(self, op_name: str) -> int:
+        """Encode an operation name as the natural driven on the op port."""
+        names = sorted(self.operations)
+        try:
+            return names.index(op_name)
+        except ValueError:
+            raise KeyError(
+                f"module {self.name!r} has no operation {op_name!r}; "
+                f"available: {', '.join(names)}"
+            ) from None
+
+    def op_by_code(self, code: int) -> Operation:
+        """Decode an op-port value back to the operation."""
+        names = sorted(self.operations)
+        if not 0 <= code < len(names):
+            raise KeyError(f"module {self.name!r}: bad op code {code}")
+        return self.operations[names[code]]
+
+
+def alu_spec(
+    name: str,
+    op_names: Sequence[str],
+    default_op: Optional[str] = None,
+    latency: int = 0,
+    pipelined: bool = True,
+    width: int = DEFAULT_WIDTH,
+) -> ModuleSpec:
+    """Convenience constructor: a multi-function unit from standard ops."""
+    ops = {n.upper(): standard_operation(n) for n in op_names}
+    return ModuleSpec(
+        name=name,
+        operations=ops,
+        default_op=default_op.upper() if default_op else None,
+        latency=latency,
+        pipelined=pipelined,
+        width=width,
+    )
+
+
+def _combine(op: Operation, inputs: Sequence[int], width: int) -> int:
+    """Combine input-port values per the paper's all-or-none rule."""
+    used = inputs[: op.arity]
+    if any(v == ILLEGAL for v in used):
+        return ILLEGAL
+    if all(v == DISC for v in used):
+        return DISC
+    if any(v == DISC for v in used):
+        return ILLEGAL
+    return op.apply(used, width)
+
+
+def make_module(
+    sim: Simulator,
+    spec: ModuleSpec,
+    ph: Signal,
+    inputs: Sequence[Signal],
+    output: Signal,
+    op_port: Optional[Signal] = None,
+    tick: Optional[Signal] = None,
+) -> None:
+    """Instantiate a functional-unit process (paper §2.6).
+
+    ``inputs`` are the module's resolved input-port signals (length =
+    ``spec.arity``); ``output`` is its regular output-port signal.
+    ``op_port`` is required iff ``spec.multi_op``.  ``tick``, when
+    given, is the controller's CM tick (one wakeup per step instead of
+    polling every phase; see :func:`make_controller`).
+    """
+    if len(inputs) != spec.arity:
+        raise ValueError(
+            f"module {spec.name!r}: expected {spec.arity} input ports, "
+            f"got {len(inputs)}"
+        )
+    if spec.multi_op and op_port is None:
+        raise ValueError(
+            f"module {spec.name!r} implements several operations and "
+            f"needs an op port"
+        )
+    out_drv = sim.driver(output, owner=spec.name, init=DISC)
+
+    def cm_wait():
+        if tick is not None:
+            return wait_on(tick)
+        return wait_until(lambda: ph.value is Phase.CM, ph)
+
+    def select_operation() -> Optional[Operation]:
+        """Pick this step's operation; None means 'emit ILLEGAL'."""
+        if op_port is None:
+            return spec.operations[spec.default_op]
+        code = op_port.value
+        if code == DISC:
+            return spec.operations[spec.default_op]
+        if code == ILLEGAL:
+            return None
+        try:
+            return spec.op_by_code(code)
+        except KeyError:
+            return None
+
+    if spec.latency == 0:
+
+        def comb_module():
+            # Combinational within the step: at CM the output takes the
+            # function of this step's operands directly, so WA of the
+            # same step can move the result.
+            frozen = False
+            while True:
+                yield cm_wait()
+                op = select_operation()
+                if op is None:
+                    result = ILLEGAL
+                else:
+                    result = _combine(op, [s.value for s in inputs], spec.width)
+                if frozen:
+                    result = ILLEGAL
+                elif result == ILLEGAL and spec.sticky_illegal:
+                    frozen = True
+                out_drv.set(result)
+
+        sim.add_process(spec.name, comb_module)
+        return
+
+    if spec.pipelined:
+
+        def pipelined_module():
+            # The paper's variable-based pipeline, generalized to depth
+            # ``latency``: pipe[-1] is the value about to appear on the
+            # output port, pipe[0] the freshly combined operands.  With
+            # sticky_illegal (the paper's guard ``if M /= ILLEGAL``) the
+            # whole unit freezes once a conflict enters the pipe.
+            pipe = [DISC] * spec.latency
+            frozen = False
+            while True:
+                yield cm_wait()
+                out_drv.set(ILLEGAL if frozen else pipe[-1])
+                if frozen:
+                    continue
+                op = select_operation()
+                if op is None:
+                    stage = ILLEGAL
+                else:
+                    stage = _combine(op, [s.value for s in inputs], spec.width)
+                if stage == ILLEGAL and spec.sticky_illegal:
+                    frozen = True
+                pipe[1:] = pipe[:-1]
+                pipe[0] = stage
+
+        sim.add_process(spec.name, pipelined_module)
+        return
+
+    def nonpipelined_module():
+        # Operands accepted at step s deliver the result at step
+        # s + latency (same convention as the pipelined units); the
+        # unit is busy in between, and operands arriving while busy are
+        # a scheduling error that poisons the in-flight result with
+        # ILLEGAL so the conflict stays observable.  Minimum initiation
+        # interval is therefore latency + 1 steps.
+        remaining = 0
+        result = DISC
+        frozen = False
+        while True:
+            yield cm_wait()
+            if frozen:
+                out_drv.set(ILLEGAL)
+                continue
+            op = select_operation()
+            if op is None:
+                incoming = ILLEGAL
+            else:
+                incoming = _combine(op, [s.value for s in inputs], spec.width)
+            if remaining > 0:
+                remaining -= 1
+                if incoming != DISC:
+                    result = ILLEGAL
+                out_drv.set(result if remaining == 0 else DISC)
+            elif incoming != DISC:
+                remaining = spec.latency
+                result = incoming
+                out_drv.set(result if remaining == 0 else DISC)
+            else:
+                out_drv.set(DISC)
+            if result == ILLEGAL and spec.sticky_illegal and remaining == 0:
+                frozen = True
+
+    sim.add_process(spec.name, nonpipelined_module)

@@ -1,0 +1,165 @@
+"""Resource-occupancy analysis of transfer schedules.
+
+Because the schedule of a clock-free RT model is fully static (paper
+§2.1: "at this abstract level of timing resource conflicts can be
+detected"), resource *usage* is statically known too.  This module
+computes, per control step, which buses carry values, which units
+compute and which registers are written -- and renders the result as
+an ASCII occupancy chart (a Gantt view of the datapath) plus
+utilization figures.
+
+Used by the CLI's ``analyze`` command and by the scheduling layers to
+judge binding quality.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .model import RTModel
+
+
+@dataclass
+class ResourceUsage:
+    """Per-step activity of one resource."""
+
+    name: str
+    kind: str  # "bus" | "module" | "register"
+    #: step -> short labels of what happens there
+    steps: dict[int, list[str]] = field(default_factory=dict)
+
+    def busy_steps(self) -> int:
+        return len(self.steps)
+
+    def utilization(self, cs_max: int) -> float:
+        return self.busy_steps() / cs_max if cs_max else 0.0
+
+
+@dataclass
+class OccupancyReport:
+    """The complete occupancy picture of a model."""
+
+    cs_max: int
+    buses: dict[str, ResourceUsage] = field(default_factory=dict)
+    modules: dict[str, ResourceUsage] = field(default_factory=dict)
+    registers: dict[str, ResourceUsage] = field(default_factory=dict)
+
+    def utilization(self) -> dict[str, float]:
+        """Average utilization per resource kind."""
+        out = {}
+        for kind, table in (
+            ("bus", self.buses),
+            ("module", self.modules),
+            ("register", self.registers),
+        ):
+            if table:
+                out[kind] = sum(
+                    usage.utilization(self.cs_max) for usage in table.values()
+                ) / len(table)
+            else:
+                out[kind] = 0.0
+        return out
+
+    def peak_step(self) -> tuple[int, int]:
+        """(step, number of simultaneously active resources) maximum."""
+        counts: dict[int, int] = defaultdict(int)
+        for table in (self.buses, self.modules, self.registers):
+            for usage in table.values():
+                for step in usage.steps:
+                    counts[step] += 1
+        if not counts:
+            return (0, 0)
+        step = max(counts, key=lambda s: (counts[s], -s))
+        return step, counts[step]
+
+    def chart(self, width: int = 0) -> str:
+        """ASCII occupancy chart: one row per resource, one column per
+        control step; ``#`` marks activity."""
+        steps = width or self.cs_max
+        lines = []
+        name_width = max(
+            (
+                len(name)
+                for table in (self.buses, self.modules, self.registers)
+                for name in table
+            ),
+            default=4,
+        )
+        header = " " * name_width + " " + "".join(
+            str((s // 10) % 10) if s % 10 == 0 else " "
+            for s in range(1, steps + 1)
+        )
+        ruler = " " * name_width + " " + "".join(
+            str(s % 10) for s in range(1, steps + 1)
+        )
+        lines.append(header)
+        lines.append(ruler)
+        for title, table in (
+            ("buses", self.buses),
+            ("modules", self.modules),
+            ("registers", self.registers),
+        ):
+            if not table:
+                continue
+            lines.append(f"-- {title}")
+            for name in sorted(table):
+                usage = table[name]
+                row = "".join(
+                    "#" if s in usage.steps else "."
+                    for s in range(1, steps + 1)
+                )
+                lines.append(f"{name:<{name_width}} {row}")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        util = self.utilization()
+        step, peak = self.peak_step()
+        lines = [
+            f"occupancy over {self.cs_max} control steps:",
+            f"  bus utilization      {util['bus']:6.1%}",
+            f"  module utilization   {util['module']:6.1%}",
+            f"  register-write util. {util['register']:6.1%}",
+            f"  peak activity        {peak} resources in cs{step}",
+        ]
+        return "\n".join(lines)
+
+
+def occupancy(model: RTModel) -> OccupancyReport:
+    """Compute the static occupancy of a model's schedule."""
+    report = OccupancyReport(cs_max=model.cs_max)
+    for bus in model.buses:
+        report.buses[bus] = ResourceUsage(bus, "bus")
+    for module in model.modules:
+        report.modules[module] = ResourceUsage(module, "module")
+    for register in model.registers:
+        report.registers[register] = ResourceUsage(register, "register")
+
+    def mark(table: Mapping[str, ResourceUsage], name: str, step: int, what: str):
+        table[name].steps.setdefault(step, []).append(what)
+
+    for transfer in model.transfers:
+        spec = model.modules[transfer.module]
+        if transfer.has_read:
+            step = transfer.read_step
+            if transfer.bus1:
+                mark(report.buses, transfer.bus1, step, f"{transfer.src1}->")
+            if transfer.bus2:
+                mark(report.buses, transfer.bus2, step, f"{transfer.src2}->")
+            # The unit is busy from the read step through its latency.
+            for busy in range(step, step + max(spec.latency, 1)):
+                if busy <= model.cs_max:
+                    mark(
+                        report.modules, transfer.module, busy,
+                        transfer.op or spec.default_op,
+                    )
+        if transfer.has_write:
+            step = transfer.write_step
+            if transfer.write_bus:
+                mark(
+                    report.buses, transfer.write_bus, step,
+                    f"->{transfer.dest}",
+                )
+            mark(report.registers, transfer.dest, step, f"<-{transfer.module}")
+    return report

@@ -1,0 +1,138 @@
+"""Control steps and the six-phase timing scheme (paper §2.2, Fig. 2).
+
+A control step is partitioned into six phases that occur cyclically::
+
+    type Phase is (ra, rb, cm, wa, wb, cr);
+
+    ra  register output ports -> buses
+    rb  buses -> module input ports
+    cm  modules compute (input ports -> internal state -> output ports)
+    wa  module output ports -> buses
+    wb  buses -> register input ports
+    cr  registers latch (input port -> output port)
+
+The phase signal changes with delta delay only; each control step
+therefore costs exactly ``len(Phase)`` = 6 delta cycles, which is the
+paper's headline timing property.
+
+:class:`StepPhase` is the composite "time" of the abstract RT level: a
+``(control step, phase)`` pair with lexicographic ordering, used
+throughout the scheduling and diagnostic layers.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class Phase(enum.IntEnum):
+    """The six control-step phases, in their cyclic order."""
+
+    RA = 0  #: register output ports to buses
+    RB = 1  #: buses to module input ports
+    CM = 2  #: modules compute
+    WA = 3  #: module output ports to buses
+    WB = 4  #: buses to register input ports
+    CR = 5  #: register input to output ports
+
+    @property
+    def vhdl_name(self) -> str:
+        """The identifier used in the paper's VHDL source (``ra`` ... ``cr``)."""
+        return _VHDL_NAMES[self]
+
+    def succ(self) -> "Phase":
+        """``Phase'Succ`` with wrap-around from CR back to RA."""
+        return Phase((self + 1) % len(Phase))
+
+    def pred(self) -> "Phase":
+        """``Phase'Pred`` with wrap-around from RA back to CR."""
+        return Phase((self - 1) % len(Phase))
+
+    @classmethod
+    def low(cls) -> "Phase":
+        """``Phase'Low`` -- the first phase of a step (RA)."""
+        return cls.RA
+
+    @classmethod
+    def high(cls) -> "Phase":
+        """``Phase'High`` -- the last phase of a step (CR)."""
+        return cls.CR
+
+    @classmethod
+    def from_vhdl_name(cls, name: str) -> "Phase":
+        """Parse the paper's lower-case phase identifiers."""
+        try:
+            return _BY_VHDL_NAME[name.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown phase {name!r}; expected one of "
+                f"{', '.join(_VHDL_NAMES.values())}"
+            ) from None
+
+
+_VHDL_NAMES = {
+    Phase.RA: "ra",
+    Phase.RB: "rb",
+    Phase.CM: "cm",
+    Phase.WA: "wa",
+    Phase.WB: "wb",
+    Phase.CR: "cr",
+}
+_BY_VHDL_NAME = {name: phase for phase, name in _VHDL_NAMES.items()}
+
+#: Number of phases per control step (and delta cycles per step).
+PHASES_PER_STEP: int = len(Phase)
+
+#: Phases in which *transfer* processes may be activated (paper §2.4):
+#: ra/rb move register outputs toward module inputs, wa/wb move module
+#: outputs back toward register inputs.  cm and cr belong to the
+#: functional units themselves.
+TRANSFER_PHASES = (Phase.RA, Phase.RB, Phase.WA, Phase.WB)
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class StepPhase:
+    """A point in abstract RT time: ``(control step, phase)``.
+
+    Control steps are numbered from 1 (the controller's initialization
+    bumps CS from 0 to 1 before the first ra phase, as in the paper's
+    CONTROLLER source).
+    """
+
+    step: int
+    phase: Phase
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError(f"control step must be >= 0, got {self.step}")
+
+    def succ(self) -> "StepPhase":
+        """The next (step, phase) point in the cyclic schedule."""
+        if self.phase is Phase.high():
+            return StepPhase(self.step + 1, Phase.low())
+        return StepPhase(self.step, self.phase.succ())
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, StepPhase):
+            return NotImplemented
+        return (self.step, int(self.phase)) < (other.step, int(other.phase))
+
+    def __str__(self) -> str:
+        return f"cs{self.step}.{self.phase.vhdl_name}"
+
+
+def iter_schedule(cs_max: int) -> Iterator[StepPhase]:
+    """Iterate all (step, phase) points of a ``cs_max``-step schedule.
+
+    Yields ``cs_max * 6`` points: steps 1..cs_max, phases ra..cr --
+    exactly the delta cycles the simulation will execute.
+    """
+    if cs_max < 1:
+        raise ValueError(f"cs_max must be >= 1, got {cs_max}")
+    for step in range(1, cs_max + 1):
+        for phase in Phase:
+            yield StepPhase(step, phase)

@@ -1,0 +1,265 @@
+"""Automatic re-embedding of transfers into the control-step scheme.
+
+Paper §2.1: "The scheduling task is to determine the register
+transfers and to properly embed them into the control step scheme
+observing the timing of the functional units."
+
+:func:`reschedule` performs that embedding automatically: given a
+model whose transfers are *complete* 9-tuples (read and write halves
+present), it extracts the data dependences implied by the original
+program order, then list-schedules the transfers into the earliest
+feasible control steps, observing
+
+* **RAW**: a transfer reading register R waits for the step after the
+  write that last defined R;
+* **WAW**: writes to the same register keep their order, one step
+  apart (two same-step writes would collide on the register input);
+* **WAR**: a write may land in the same step as an earlier read of the
+  old value (reads sample in RA, writes latch in CR), but not before;
+* **unit timing**: one issue per module per step; non-pipelined units
+  block for ``latency + 1`` steps (their initiation interval);
+* **bus exclusivity**: per step, a bus carries at most one operand
+  read and at most one result write (the two may coexist -- they
+  occupy different phases, as in the paper's Fig. 1);
+* **write-step normalization**: a transfer's write step is pinned to
+  ``read step + unit latency`` (the step its unit actually delivers).
+
+The result is a new model with the same resources and (provably, see
+the property tests) the same final register values, usually in fewer
+control steps -- e.g. it compacts the hand-scheduled IKS microprogram
+by overlapping work with the CORDIC core's latency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .model import RTModel
+from .transfer import RegisterTransfer
+
+
+class RescheduleError(ValueError):
+    """Raised when a model cannot be rescheduled."""
+
+
+@dataclass
+class RescheduleResult:
+    """Outcome of a rescheduling run."""
+
+    model: RTModel
+    original_cs_max: int
+    new_cs_max: int
+    #: index in program order -> (old read step, new read step)
+    moves: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def saved_steps(self) -> int:
+        return self.original_cs_max - self.new_cs_max
+
+    def describe(self) -> str:
+        lines = [
+            f"rescheduled {len(self.moves)} transfers: "
+            f"{self.original_cs_max} -> {self.new_cs_max} control steps "
+            f"({self.saved_steps} saved)"
+        ]
+        for index in sorted(self.moves):
+            old, new = self.moves[index]
+            if old != new:
+                lines.append(f"  transfer #{index}: cs{old} -> cs{new}")
+        return "\n".join(lines)
+
+
+def reschedule(model: RTModel, keep_cs_max: bool = False) -> RescheduleResult:
+    """Re-embed ``model``'s transfers into the fewest control steps.
+
+    Program order (the intended dataflow) is the original order of the
+    transfers sorted by read step; the new schedule preserves every
+    data dependence of that order.  ``keep_cs_max`` retains the
+    original horizon instead of shrinking it (useful when the model is
+    one fragment of a larger composition).
+    """
+    for transfer in model.transfers:
+        if not transfer.complete:
+            raise RescheduleError(
+                f"{transfer}: rescheduling needs complete tuples "
+                f"(read and write halves)"
+            )
+
+    # -- step-semantics dependence extraction ------------------------------
+    # Register values are read in RA and latched in CR, so a read in
+    # step s observes the write with the greatest write step < s; a
+    # write landing exactly in s is invisible to that read.  The
+    # extracted constraints are edges j -> i with a minimum gap g,
+    # meaning read_i >= read_j + g (g may be negative for WAR edges
+    # against writers still in flight at the read).
+    latency_of = {
+        name: spec.latency for name, spec in model.modules.items()
+    }
+    preds: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    writers_of: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    readers_of: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for index, transfer in enumerate(model.transfers):
+        writers_of[transfer.dest].append((transfer.write_step, index))
+        for source in (transfer.src1, transfer.src2):
+            if source is not None:
+                readers_of[source].append((transfer.read_step, index))
+    for register, writers in writers_of.items():
+        writers.sort()
+        # WAW: keep write order, one step apart.
+        for (w_j, j), (w_k, k) in zip(writers, writers[1:]):
+            if w_j == w_k:
+                raise RescheduleError(
+                    f"register {register!r} written twice in cs{w_j}"
+                )
+            gap = (
+                latency_of[model.transfers[j].module]
+                + 1
+                - latency_of[model.transfers[k].module]
+            )
+            preds[k].append((j, gap))
+        for s_i, i in readers_of.get(register, ()):
+            defining = None
+            first_later = None
+            for w_j, j in writers:
+                if w_j < s_i:
+                    defining = j
+                elif first_later is None:
+                    first_later = j
+            if defining is not None and defining != i:
+                # RAW: read_i >= write_def + 1.
+                gap = latency_of[model.transfers[defining].module] + 1
+                preds[i].append((defining, gap))
+            if first_later is not None and first_later != i:
+                # WAR: the next write must not land before the read:
+                # write_k >= read_i  ->  read_k >= read_i - latency_k.
+                # (A transfer that reads and writes the same register
+                # trivially satisfies its own constraint: its write is
+                # read + latency.)
+                gap = -latency_of[model.transfers[first_later].module]
+                preds[first_later].append((i, gap))
+
+    # Placement must follow a topological order of the constraint
+    # graph (WAR edges can point against original read order when a
+    # long-latency write is in flight across the read).
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(model.transfers)))
+    for i, edges in preds.items():
+        for j, _gap in edges:
+            graph.add_edge(j, i)
+    try:
+        order = list(
+            nx.lexicographical_topological_sort(
+                graph, key=lambda i: (model.transfers[i].read_step, i)
+            )
+        )
+    except nx.NetworkXUnfeasible:  # pragma: no cover - incoherent input
+        raise RescheduleError(
+            "cyclic dependence constraints; the original schedule is "
+            "not coherent"
+        ) from None
+
+    # -- resource-constrained placement -----------------------------------
+    new_read: dict[int, int] = {}
+    module_busy_until: dict[str, int] = defaultdict(int)
+    module_issue_steps: dict[str, set[int]] = defaultdict(set)
+    bus_reads: dict[tuple[str, int], int] = defaultdict(int)
+    bus_writes: dict[tuple[str, int], int] = defaultdict(int)
+    reg_writes: dict[tuple[str, int], int] = defaultdict(int)
+
+    for index in order:
+        transfer = model.transfers[index]
+        spec = model.modules[transfer.module]
+        earliest = 1
+        for j, gap in preds[index]:
+            earliest = max(earliest, new_read[j] + gap)
+        step = earliest
+        while not _placeable(
+            transfer, spec, step,
+            module_busy_until, module_issue_steps,
+            bus_reads, bus_writes, reg_writes,
+        ):
+            step += 1
+            if step > 100_000:  # pragma: no cover - safety net
+                raise RescheduleError("rescheduling did not converge")
+        new_read[index] = step
+        module_issue_steps[transfer.module].add(step)
+        if not spec.pipelined and spec.latency > 0:
+            module_busy_until[transfer.module] = step + spec.latency
+        for bus in (transfer.bus1, transfer.bus2):
+            if bus is not None:
+                bus_reads[(bus, step)] += 1
+        write_step = step + spec.latency
+        bus_writes[(transfer.write_bus, write_step)] += 1
+        reg_writes[(transfer.dest, write_step)] += 1
+
+    # -- rebuild the model --------------------------------------------------
+    new_horizon = max(
+        new_read[i] + model.modules[model.transfers[i].module].latency
+        for i in order
+    )
+    cs_max = model.cs_max if keep_cs_max else new_horizon
+    rebuilt = RTModel(model.name, cs_max=max(cs_max, 1), width=model.width)
+    for reg in model.registers.values():
+        rebuilt.register(reg.name, init=reg.init)
+    for bus in model.buses.values():
+        rebuilt.bus(bus.name, direct_link=bus.direct_link)
+    for spec in model.modules.values():
+        rebuilt.module(spec)
+    result = RescheduleResult(
+        model=rebuilt,
+        original_cs_max=model.cs_max,
+        new_cs_max=rebuilt.cs_max,
+    )
+    for index, transfer in enumerate(model.transfers):
+        step = new_read[index]
+        spec = model.modules[transfer.module]
+        rebuilt.add_transfer(
+            RegisterTransfer(
+                src1=transfer.src1,
+                bus1=transfer.bus1,
+                src2=transfer.src2,
+                bus2=transfer.bus2,
+                read_step=step,
+                module=transfer.module,
+                write_step=step + spec.latency,
+                write_bus=transfer.write_bus,
+                dest=transfer.dest,
+                op=transfer.op,
+            )
+        )
+        result.moves[index] = (transfer.read_step, step)
+    return result
+
+
+def _placeable(
+    transfer: RegisterTransfer,
+    spec,
+    step: int,
+    module_busy_until,
+    module_issue_steps,
+    bus_reads,
+    bus_writes,
+    reg_writes,
+) -> bool:
+    if step < 1:
+        return False
+    if step <= module_busy_until[transfer.module]:
+        return False
+    if step in module_issue_steps[transfer.module]:
+        return False
+    buses = [b for b in (transfer.bus1, transfer.bus2) if b is not None]
+    if len(buses) == 2 and buses[0] == buses[1]:
+        return False  # cannot carry both operands on one bus
+    for bus in buses:
+        if bus_reads[(bus, step)]:
+            return False
+    write_step = step + spec.latency
+    if bus_writes[(transfer.write_bus, write_step)]:
+        return False
+    if reg_writes[(transfer.dest, write_step)]:
+        return False
+    return True

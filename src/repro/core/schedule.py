@@ -1,0 +1,233 @@
+"""Static analysis of transfer schedules.
+
+The paper detects resource conflicts *dynamically*: colliding sources
+resolve to ILLEGAL during simulation, localizable to a (step, phase).
+Because the schedule is fully static -- every TRANS instance carries
+its step and phase as generics -- the same conflicts can be predicted
+*without simulating*.  :func:`analyze` does so, and the benchmarks (E4)
+confirm that the static prediction matches the dynamic observation on
+injected conflicts.
+
+Checks performed:
+
+* **sink conflicts** -- two TRANS instances driving the same bus/port
+  at the same (step, phase); the ILLEGAL becomes observable one phase
+  later, which is the location the report carries;
+* **operand pairing** -- a two-input module fed on only one input port
+  in a step produces ILLEGAL (paper §2.6);
+* **op-select conflicts** -- two different operations selected on the
+  same module in the same step;
+* **latency mismatches** -- a complete tuple whose ``write_step`` is
+  not ``read_step + latency`` reads a stale or DISC output (warning,
+  not conflict: the simulation stays legal but almost surely wrong);
+* **pipeline violations** -- operands offered to a non-pipelined module
+  while it is busy;
+* **horizon violations** -- transfers scheduled beyond ``cs_max`` never
+  execute (warning).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .model import RTModel
+from .phases import Phase, StepPhase
+from .transfer import TransSpec, to_trans_specs
+
+
+@dataclass(frozen=True)
+class PredictedConflict:
+    """A conflict the static analysis expects the simulation to show.
+
+    ``observed_at`` is where the ILLEGAL value will appear: one phase
+    after the colliding drive (the assignment takes a delta cycle), on
+    signal ``sink``.
+    """
+
+    sink: str
+    observed_at: StepPhase
+    sources: tuple[str, ...]
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.sink} ILLEGAL at {self.observed_at}: {self.reason} "
+            f"({', '.join(self.sources)})"
+        )
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of the static schedule analysis."""
+
+    conflicts: list[PredictedConflict] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no conflict was predicted (warnings may remain)."""
+        return not self.conflicts
+
+    def __str__(self) -> str:
+        lines = []
+        if self.conflicts:
+            lines.append(f"{len(self.conflicts)} predicted conflict(s):")
+            lines.extend(f"  {c}" for c in self.conflicts)
+        else:
+            lines.append("no conflicts predicted")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+
+def analyze(model: RTModel) -> ScheduleReport:
+    """Statically analyze a model's transfer schedule."""
+    report = ScheduleReport()
+    _check_sink_conflicts(model, report)
+    _check_operand_pairing(model, report)
+    _check_latencies(model, report)
+    _check_pipelining(model, report)
+    _check_horizon(model, report)
+    return report
+
+
+def _check_sink_conflicts(model: RTModel, report: ScheduleReport) -> None:
+    writers: dict[tuple[int, Phase, str], list[str]] = defaultdict(list)
+    for spec in model.trans_specs():
+        writers[(spec.step, spec.phase, spec.sink)].append(spec.source)
+    for (step, phase, sink), sources in sorted(writers.items()):
+        distinct = sorted(set(sources))
+        if len(sources) > 1 and not _same_op_literals(distinct):
+            observed = StepPhase(step, phase).succ()
+            report.conflicts.append(
+                PredictedConflict(
+                    sink=sink,
+                    observed_at=observed,
+                    sources=tuple(distinct),
+                    reason=f"{len(sources)} sources drive it in "
+                    f"cs{step}.{phase.vhdl_name}",
+                )
+            )
+
+
+def _same_op_literals(sources: list[str]) -> bool:
+    """Identical op literals on an op port resolve without conflict only
+    if there is exactly one distinct literal... which VHDL resolution
+    does NOT allow either (two non-DISC drivers always collide).  Kept
+    as an explicit function to document the decision: duplicates are
+    conflicts, matching the resolution function."""
+    return False
+
+
+def _check_operand_pairing(model: RTModel, report: ScheduleReport) -> None:
+    fed: dict[tuple[int, str], dict[int, str]] = defaultdict(dict)
+    ops: dict[tuple[int, str], list[str]] = defaultdict(list)
+    for transfer in model.transfers:
+        if not transfer.has_read:
+            continue
+        key = (transfer.read_step, transfer.module)
+        if transfer.src1 is not None:
+            fed[key][1] = transfer.src1
+        if transfer.src2 is not None:
+            fed[key][2] = transfer.src2
+        if transfer.op is not None:
+            ops[key].append(transfer.op)
+    for (step, module), slots in sorted(fed.items()):
+        spec = model.modules[module]
+        op_names = ops.get((step, module), [])
+        arity = (
+            spec.operations[op_names[0]].arity
+            if len(op_names) == 1 and op_names[0] in spec.operations
+            else spec.operations[spec.default_op].arity
+        )
+        if arity == 2 and len(slots) == 1:
+            port = 2 if 1 in slots else 1
+            report.conflicts.append(
+                PredictedConflict(
+                    sink=f"{module}_out",
+                    observed_at=_result_phase(spec, step),
+                    sources=tuple(slots.values()),
+                    reason=f"two-input module fed on one port only "
+                    f"(in{port} stays DISC) in cs{step}",
+                )
+            )
+    for (step, module), names in sorted(ops.items()):
+        if len(names) > 1:
+            report.conflicts.append(
+                PredictedConflict(
+                    sink=f"{module}_op",
+                    observed_at=StepPhase(step, Phase.CM),
+                    sources=tuple(sorted(names)),
+                    reason=f"{len(names)} operations selected in cs{step}",
+                )
+            )
+
+
+def _result_phase(spec, read_step: int) -> StepPhase:
+    """Where an ILLEGAL combined at ``read_step`` reaches the output."""
+    out_step = read_step + spec.latency
+    return StepPhase(out_step, Phase.WA)
+
+
+def _check_latencies(model: RTModel, report: ScheduleReport) -> None:
+    for transfer in model.transfers:
+        if not transfer.complete:
+            continue
+        spec = model.modules[transfer.module]
+        expected = transfer.read_step + spec.latency
+        if transfer.write_step != expected:
+            report.warnings.append(
+                f"{transfer}: module {transfer.module!r} has latency "
+                f"{spec.latency}; result is written in cs{transfer.write_step} "
+                f"but available in cs{expected} -- the transfer moves a "
+                f"stale or DISC value"
+            )
+
+
+def _check_pipelining(model: RTModel, report: ScheduleReport) -> None:
+    reads: dict[str, list[int]] = defaultdict(list)
+    for transfer in model.transfers:
+        if transfer.has_read:
+            reads[transfer.module].append(transfer.read_step)
+    for module, steps in sorted(reads.items()):
+        spec = model.modules[module]
+        if spec.pipelined or spec.latency <= 1:
+            continue
+        steps.sort()
+        for prev, nxt in zip(steps, steps[1:]):
+            # A non-pipelined unit delivers at prev + latency and can
+            # accept new operands from prev + latency + 1 on.
+            if nxt - prev <= spec.latency:
+                report.conflicts.append(
+                    PredictedConflict(
+                        sink=f"{module}_out",
+                        observed_at=_result_phase(spec, prev),
+                        sources=(f"cs{prev}", f"cs{nxt}"),
+                        reason=f"non-pipelined module {module!r} "
+                        f"(latency {spec.latency}) receives operands in "
+                        f"cs{nxt} while busy since cs{prev}",
+                    )
+                )
+
+
+def _check_horizon(model: RTModel, report: ScheduleReport) -> None:
+    last_useful = 0
+    for transfer in model.transfers:
+        spec = model.modules[transfer.module]
+        if transfer.has_read and not transfer.has_write:
+            result_at = transfer.read_step + spec.latency
+            if result_at > model.cs_max:
+                report.warnings.append(
+                    f"{transfer}: result becomes available in cs{result_at}, "
+                    f"beyond cs_max={model.cs_max}; it is never observable"
+                )
+        for step in (transfer.read_step, transfer.write_step):
+            if step is not None:
+                last_useful = max(last_useful, step)
+    if last_useful < model.cs_max:
+        report.warnings.append(
+            f"cs_max={model.cs_max} but the last scheduled transfer is in "
+            f"cs{last_useful}; trailing steps only cost delta cycles"
+        )

@@ -1,0 +1,147 @@
+"""JSON (de)serialization of register-transfer models.
+
+A designer's-exchange format for the subset: resources and the
+transfer schedule as a plain JSON document, so models can be stored in
+repositories, diffed, and passed between tools (the CLI uses it).
+
+Functional units serialize by their *standard operation names*
+(:func:`repro.core.modules_lib.standard_operation`); units with custom
+Python operation bodies (e.g. the IKS CORDIC core) are not expressible
+in a data file and raise :class:`SerializeError` -- emit those models
+as VHDL instead, where the behaviour travels as source text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .model import RTModel
+from .modules_lib import ModuleSpec, _standard_operations
+from .transfer import RegisterTransfer
+from .values import DISC
+
+#: Format identifier written into every document.
+FORMAT = "repro-rt-model"
+VERSION = 1
+
+
+class SerializeError(ValueError):
+    """Raised when a model cannot be (de)serialized."""
+
+
+def model_to_dict(model: RTModel) -> dict:
+    """The JSON-ready dictionary form of a model."""
+    standard = _standard_operations(model.width)
+    modules = []
+    for spec in model.modules.values():
+        for name, op in spec.operations.items():
+            reference = standard.get(name)
+            if reference is None or reference.arity != op.arity:
+                raise SerializeError(
+                    f"module {spec.name!r}: operation {name!r} is not a "
+                    f"standard operation and cannot travel in a data "
+                    f"file; emit the model as VHDL instead"
+                )
+        modules.append(
+            {
+                "name": spec.name,
+                "operations": sorted(spec.operations),
+                "default_op": spec.default_op,
+                "latency": spec.latency,
+                "pipelined": spec.pipelined,
+                "sticky_illegal": spec.sticky_illegal,
+            }
+        )
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": model.name,
+        "cs_max": model.cs_max,
+        "width": model.width,
+        "registers": [
+            {"name": reg.name, **({"init": reg.init} if reg.init != DISC else {})}
+            for reg in model.registers.values()
+        ],
+        "buses": [
+            {"name": bus.name, **({"direct_link": True} if bus.direct_link else {})}
+            for bus in model.buses.values()
+        ],
+        "modules": modules,
+        "transfers": [str(t) for t in model.transfers],
+    }
+
+
+def model_from_dict(data: Mapping[str, Any]) -> RTModel:
+    """Rebuild a model from its dictionary form."""
+    if data.get("format") != FORMAT:
+        raise SerializeError(
+            f"not a {FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != VERSION:
+        raise SerializeError(
+            f"unsupported version {data.get('version')!r} "
+            f"(this library reads version {VERSION})"
+        )
+    try:
+        model = RTModel(
+            data["name"], cs_max=data["cs_max"], width=data.get("width", 32)
+        )
+        for reg in data.get("registers", ()):
+            model.register(reg["name"], init=reg.get("init", DISC))
+        for bus in data.get("buses", ()):
+            model.bus(bus["name"], direct_link=bus.get("direct_link", False))
+        standard = _standard_operations(model.width)
+        for mod in data.get("modules", ()):
+            ops = {}
+            for op_name in mod["operations"]:
+                try:
+                    ops[op_name] = standard[op_name]
+                except KeyError:
+                    raise SerializeError(
+                        f"module {mod['name']!r}: unknown standard "
+                        f"operation {op_name!r}"
+                    ) from None
+            model.module(
+                ModuleSpec(
+                    mod["name"],
+                    operations=ops,
+                    default_op=mod.get("default_op"),
+                    latency=mod.get("latency", 1),
+                    pipelined=mod.get("pipelined", True),
+                    width=model.width,
+                    sticky_illegal=mod.get("sticky_illegal", True),
+                )
+            )
+        for text in data.get("transfers", ()):
+            model.add_transfer(RegisterTransfer.parse(text))
+    except KeyError as exc:
+        raise SerializeError(f"missing field {exc}") from None
+    return model
+
+
+def dumps(model: RTModel, indent: int = 2) -> str:
+    """Serialize a model to a JSON string."""
+    return json.dumps(model_to_dict(model), indent=indent)
+
+
+def loads(text: str) -> RTModel:
+    """Deserialize a model from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializeError(f"invalid JSON: {exc}") from None
+    return model_from_dict(data)
+
+
+def dump(model: RTModel, path) -> None:
+    """Write a model to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(model))
+        handle.write("\n")
+
+
+def load(path) -> RTModel:
+    """Read a model from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

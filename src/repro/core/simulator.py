@@ -1,0 +1,267 @@
+"""Elaboration and execution of register-transfer models.
+
+:class:`RTSimulation` turns an :class:`repro.core.model.RTModel` into a
+kernel design -- one signal per port/bus, one process per component,
+exactly as the paper's §2.7 concrete models instantiate CONTROLLER,
+REG, module and TRANS entities -- and runs it to quiescence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from ..kernel import SimStats, Simulator, Signal
+from .components import make_controller, make_reg, make_trans
+from .diagnostics import ConflictEvent, ConflictMonitor
+from .model import ModelError, RTModel
+from .modules_lib import make_module
+from .phases import Phase
+from .trace import Tracer
+from .transfer import TransSpec
+from .values import DISC, ILLEGAL, resolve_rt
+
+
+class RTSimulation:
+    """A ready-to-run elaboration of a register-transfer model.
+
+    Usually obtained via :meth:`RTModel.elaborate`.  After :meth:`run`:
+
+    * :attr:`registers` maps register names to final output values;
+    * :attr:`conflicts` lists observed ILLEGAL episodes with their
+      ``(control step, phase)`` location;
+    * :attr:`stats` carries the kernel counters (the paper's
+      ``CS_MAX * 6`` delta claim is checked against
+      ``stats.delta_cycles``).
+    """
+
+    def __init__(
+        self,
+        model: RTModel,
+        register_values: Optional[Mapping[str, int]] = None,
+        trace: bool = False,
+        watch: Optional[Iterable[str]] = None,
+        max_deltas: int = 1_000_000,
+        transfer_engine: bool = True,
+    ) -> None:
+        self.model = model
+        self.sim = Simulator(max_deltas_per_time=max_deltas)
+        overrides = dict(register_values or {})
+        unknown = set(overrides) - set(model.registers)
+        if unknown:
+            raise ModelError(
+                f"register_values for unknown registers: {sorted(unknown)}"
+            )
+
+        # -- timing signals ------------------------------------------------
+        self.cs: Signal = self.sim.signal("CS", init=0)
+        self.ph: Signal = self.sim.signal("PH", init=Phase.high())
+        # Per-phase tick signals let registers (CR) and modules (CM)
+        # wake once per step instead of polling all six phase changes;
+        # the tick event coincides with the corresponding PH event, so
+        # behaviour is identical (see make_controller).
+        tick_cm = self.sim.signal("TICK_CM", init=0)
+        tick_cr = self.sim.signal("TICK_CR", init=0)
+        make_controller(
+            self.sim,
+            self.cs,
+            self.ph,
+            model.cs_max,
+            ticks={Phase.CM: tick_cm, Phase.CR: tick_cr},
+        )
+
+        # -- ports and buses ----------------------------------------------
+        self._ports: dict[str, Signal] = {}
+        for bus in model.buses.values():
+            self._ports[bus.name] = self.sim.signal(
+                bus.name, init=DISC, resolution=resolve_rt
+            )
+        self._reg_out: dict[str, Signal] = {}
+        for reg in model.registers.values():
+            init = overrides.get(reg.name, reg.init)
+            if init != DISC:
+                init %= 1 << model.width
+            r_in = self.sim.signal(f"{reg.name}_in", init=DISC, resolution=resolve_rt)
+            r_out = self.sim.signal(f"{reg.name}_out", init=init)
+            self._ports[r_in.name] = r_in
+            self._ports[r_out.name] = r_out
+            self._reg_out[reg.name] = r_out
+            make_reg(
+                self.sim, self.ph, r_in, r_out, name=reg.name, init=init,
+                tick=tick_cr,
+            )
+        for spec in model.modules.values():
+            inputs = []
+            for i in range(1, spec.arity + 1):
+                sig = self.sim.signal(
+                    f"{spec.name}_in{i}", init=DISC, resolution=resolve_rt
+                )
+                self._ports[sig.name] = sig
+                inputs.append(sig)
+            output = self.sim.signal(f"{spec.name}_out", init=DISC)
+            self._ports[output.name] = output
+            op_port = None
+            if spec.multi_op:
+                op_port = self.sim.signal(
+                    f"{spec.name}_op", init=DISC, resolution=resolve_rt
+                )
+                self._ports[op_port.name] = op_port
+            make_module(
+                self.sim, spec, self.ph, inputs, output, op_port, tick=tick_cm
+            )
+
+        # -- transfer processes ---------------------------------------------
+        # Two equivalent realizations of the TRANS instances:
+        #
+        # * ``transfer_engine=False`` instantiates one kernel process
+        #   per TRANS, the literal structure of the paper's VHDL;
+        # * ``transfer_engine=True`` (default) folds all instances into
+        #   one engine process that performs the assignments due at
+        #   each (step, phase) through the *same per-instance drivers*.
+        #   Observable behaviour -- assignment cycles, resolution,
+        #   conflict attribution by instance name -- is identical, but
+        #   scheduler work drops from O(instances x steps) wakeups to
+        #   one wakeup per phase (what a compiled VHDL simulator
+        #   achieves); the E5 benchmark quantifies the difference.
+        self._specs: list[TransSpec] = model.trans_specs()
+        if transfer_engine:
+            self._build_transfer_engine()
+        else:
+            for spec in self._specs:
+                sink = self._port(spec.sink)
+                if spec.source.startswith("op:"):
+                    code = self._op_code(spec)
+                    make_trans(
+                        self.sim,
+                        self.cs,
+                        self.ph,
+                        spec.step,
+                        spec.phase,
+                        source=None,
+                        sink=sink,
+                        name=spec.name,
+                        source_value=code,
+                    )
+                else:
+                    make_trans(
+                        self.sim,
+                        self.cs,
+                        self.ph,
+                        spec.step,
+                        spec.phase,
+                        source=self._port(spec.source),
+                        sink=sink,
+                        name=spec.name,
+                    )
+
+        # -- observers -------------------------------------------------------
+        resolved = [sig for sig in self._ports.values() if sig.resolved]
+        self.monitor = ConflictMonitor(self.sim, self.cs, self.ph, resolved)
+        self.tracer: Optional[Tracer] = None
+        if trace or watch:
+            watched = list(self._ports.values())
+            for extra in watch or ():
+                if extra not in self._ports:
+                    raise ModelError(f"cannot watch unknown signal {extra!r}")
+            self.tracer = Tracer(self.sim, self.cs, self.ph, watched)
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> "RTSimulation":
+        """Run the model to quiescence (all ``cs_max`` control steps)."""
+        self.sim.run()
+        self._ran = True
+        return self
+
+    def run_steps(self, steps: int) -> "RTSimulation":
+        """Run only the first ``steps`` control steps (for debugging)."""
+        while self.cs.value < steps or not self.sim.initialized:
+            if not self.sim.step():
+                break
+            if self.cs.value >= steps and self.ph.value is Phase.high():
+                break
+        self._ran = True
+        return self
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def registers(self) -> dict[str, int]:
+        """Current value of every register's output port."""
+        return {name: sig.value for name, sig in self._reg_out.items()}
+
+    def __getitem__(self, register: str) -> int:
+        """Value of one register (``sim["R1"]``)."""
+        try:
+            return self._reg_out[register].value
+        except KeyError:
+            raise KeyError(f"unknown register {register!r}") from None
+
+    @property
+    def conflicts(self) -> list[ConflictEvent]:
+        """Observed ILLEGAL episodes, localized to (step, phase)."""
+        return self.monitor.events
+
+    @property
+    def clean(self) -> bool:
+        """True when the run produced no ILLEGAL value anywhere."""
+        return self.monitor.clean and not any(
+            value == ILLEGAL for value in self.registers.values()
+        )
+
+    @property
+    def stats(self) -> SimStats:
+        """Kernel statistics for the run so far."""
+        return self.sim.stats
+
+    def signal(self, name: str) -> Signal:
+        """Access a port/bus signal by name (e.g. ``"ADD_out"``)."""
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise KeyError(f"unknown signal {name!r}") from None
+
+    def _port(self, name: str) -> Signal:
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise ModelError(
+                f"transfer references unknown port or bus {name!r}"
+            ) from None
+
+    def _op_code(self, spec: TransSpec) -> int:
+        op_name = spec.source[3:]
+        module_name = spec.sink.rsplit("_op", 1)[0]
+        return self.model.modules[module_name].op_code(op_name)
+
+    def _build_transfer_engine(self) -> None:
+        """Fold all TRANS instances into one phase-driven engine."""
+        from ..kernel import wait_on
+
+        asserts: dict[tuple[int, Phase], list] = {}
+        releases: dict[tuple[int, Phase], list] = {}
+        for spec in self._specs:
+            sink = self._port(spec.sink)
+            drv = self.sim.driver(sink, owner=spec.name, init=DISC)
+            if spec.source.startswith("op:"):
+                source, const = None, self._op_code(spec)
+            else:
+                source, const = self._port(spec.source), None
+            asserts.setdefault((spec.step, spec.phase), []).append(
+                (drv, source, const)
+            )
+            releases.setdefault((spec.step, spec.phase.succ()), []).append(drv)
+        cs, ph = self.cs, self.ph
+
+        def engine():
+            while True:
+                yield wait_on(ph)
+                key = (cs.value, ph.value)
+                for drv, source, const in asserts.get(key, ()):
+                    drv.set(source.value if source is not None else const)
+                for drv in releases.get(key, ()):
+                    drv.set(DISC)
+
+        self.sim.add_process("transfer_engine", engine)

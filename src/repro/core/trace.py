@@ -1,0 +1,168 @@
+"""Signal tracing over (control step, phase) time.
+
+The abstract RT level has no physical time, so waveforms are indexed by
+``(control step, phase)`` -- one sample per simulation cycle.  The
+tracer doubles as a debugging aid (the paper's §2.7 argues the model's
+regular structure makes simulations easy to read) and as the data
+source for the equivalence checks between the clock-free and the
+clocked model.
+
+A small VCD export is included so traces can be inspected in standard
+waveform viewers; phases are mapped onto a synthetic timescale of one
+tick per phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, TextIO
+
+from ..kernel import Signal, Simulator, wait_on
+from .phases import PHASES_PER_STEP, Phase, StepPhase
+from .values import format_value
+
+
+@dataclass
+class TraceSample:
+    """All watched signal values at one (step, phase) point."""
+
+    at: StepPhase
+    values: dict[str, int]
+
+    def __getitem__(self, name: str) -> int:
+        return self.values[name]
+
+
+class Tracer:
+    """Records watched signals at every phase change.
+
+    Parameters
+    ----------
+    sim, cs, ph:
+        The kernel simulator and the control-step/phase signals.
+    watched:
+        Signals to record.  Defaults (in :class:`RTSimulation`) to all
+        buses and functional-unit ports.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cs: Signal,
+        ph: Signal,
+        watched: Sequence[Signal],
+        name: str = "tracer",
+    ) -> None:
+        self._cs = cs
+        self._ph = ph
+        self._watched = list(watched)
+        self.samples: list[TraceSample] = []
+        sim.add_process(name, self._process)
+
+    def _process(self):
+        while True:
+            yield wait_on(self._ph)
+            at = StepPhase(self._cs.value, Phase(self._ph.value))
+            self.samples.append(
+                TraceSample(at, {s.name: s.value for s in self._watched})
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def at(self, step: int, phase: Phase) -> Optional[TraceSample]:
+        """The sample taken at (step, phase), or None if never reached."""
+        for sample in self.samples:
+            if sample.at.step == step and sample.at.phase is phase:
+                return sample
+        return None
+
+    def history(self, signal: str) -> list[tuple[StepPhase, int]]:
+        """The (time, value) sequence of one signal, change-compressed."""
+        out: list[tuple[StepPhase, int]] = []
+        last: Optional[int] = None
+        for sample in self.samples:
+            value = sample.values[signal]
+            if value != last:
+                out.append((sample.at, value))
+                last = value
+        return out
+
+    def step_values(self, signal: str, phase: Phase = Phase.CR) -> dict[int, int]:
+        """Per-control-step value of ``signal`` sampled at ``phase``."""
+        return {
+            sample.at.step: sample.values[signal]
+            for sample in self.samples
+            if sample.at.phase is phase
+        }
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def format_table(self, signals: Optional[Iterable[str]] = None) -> str:
+        """An ASCII table: rows = (step, phase), columns = signals."""
+        names = list(signals) if signals is not None else [
+            s.name for s in self._watched
+        ]
+        header = ["cs.ph"] + names
+        rows = [header]
+        for sample in self.samples:
+            rows.append(
+                [str(sample.at)]
+                + [format_value(sample.values[n]) for n in names]
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = [
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            for row in rows
+        ]
+        return "\n".join(lines)
+
+    def write_vcd(self, out: TextIO, design_name: str = "rt_model") -> None:
+        """Write the trace as a VCD file (one tick per phase).
+
+        DISC is emitted as ``z`` (high impedance) and ILLEGAL as ``x``,
+        matching their intuitive std-logic analogues.
+        """
+        names = [s.name for s in self._watched]
+        idents = {name: _vcd_ident(i) for i, name in enumerate(names)}
+        out.write("$date reproduction of Mutz DATE'98 $end\n")
+        out.write("$timescale 1ns $end\n")
+        out.write(f"$scope module {design_name} $end\n")
+        for name in names:
+            out.write(f"$var integer 32 {idents[name]} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        last: dict[str, Optional[int]] = {name: None for name in names}
+        for sample in self.samples:
+            tick = (sample.at.step - 1) * PHASES_PER_STEP + int(sample.at.phase)
+            changes = []
+            for name in names:
+                value = sample.values[name]
+                if value != last[name]:
+                    last[name] = value
+                    changes.append((name, value))
+            if changes:
+                out.write(f"#{max(tick, 0)}\n")
+                for name, value in changes:
+                    out.write(f"{_vcd_value(value)} {idents[name]}\n")
+
+
+def _vcd_ident(index: int) -> str:
+    """Short printable VCD identifier for the index-th variable."""
+    alphabet = "".join(chr(c) for c in range(33, 127))
+    ident = ""
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(alphabet))
+        ident = alphabet[rem] + ident
+    return ident
+
+
+def _vcd_value(value: int) -> str:
+    from .values import DISC, ILLEGAL
+
+    if value == DISC:
+        return "bz"
+    if value == ILLEGAL:
+        return "bx"
+    return "b" + bin(value)[2:]

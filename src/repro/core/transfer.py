@@ -1,0 +1,527 @@
+"""Register transfers as 9-tuples and their mapping to transfer processes.
+
+Paper §2.1 denotes a register transfer by a tuple such as::
+
+    (R1, B1, R2, B2, 5, ADD, 6, B1, R1)
+
+meaning: in control step 5 the value of register R1 travels via bus B1
+to the left input of module ADD and the value of R2 via B2 to the right
+input; in control step 6 the module's output travels via B1 into R1.
+
+Paper §2.7 shows that this tuple expands *mechanically* into six TRANS
+process instances, and that the expansion is invertible::
+
+    (R1,B1,R2,B2,5,ADD,6,B1,R1) -> R1_out_B1_5,  B1_ADD_in1_5,
+                                   R2_out_B2_5,  B2_ADD_in2_5,
+                                   ADD_out_B1_6, B1_R1_in_6
+
+    R1_out_B1_5, B1_ADD_in1_5   -> (R1, B1, -, -, 5, ADD, -, -, -)
+    ADD_out_B1_6, B1_R1_in_6    -> (-, -, -, -, -, ADD, 6, B1, R1)
+
+This bidirectional mapping is the basis of the paper's formal
+semantics; :mod:`repro.verify.roundtrip` proves it is an inverse pair
+on well-formed inputs.
+
+Partial tuples (with ``-`` entries) are first-class here, exactly as in
+the paper: a tuple may describe only the operand-read half, only the
+result-write half, or both.  The *operation-select extension* of §3
+(multi-function modules whose operation is chosen per transfer) is the
+optional ``op`` field.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Optional, Sequence
+
+from .phases import Phase
+
+#: Placeholder for absent tuple fields, as printed in the paper.
+BLANK = "-"
+
+
+class TransferError(ValueError):
+    """Raised for malformed register transfers or inconsistent specs."""
+
+
+@dataclass(frozen=True)
+class TransSpec:
+    """One TRANS process instance: drive ``sink`` with ``source`` at
+    phase ``phase`` of control step ``step`` (paper §2.4).
+
+    ``source`` and ``sink`` are *port/bus names*: a register R
+    contributes via ``R_out`` and receives via ``R_in``; a module M has
+    ``M_in1``, ``M_in2``, ``M_out`` (and ``M_op`` under the
+    operation-select extension); a bus's port is the bus name itself.
+    """
+
+    step: int
+    phase: Phase
+    source: str
+    sink: str
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise TransferError(f"control step must be >= 1, got {self.step}")
+
+    @property
+    def name(self) -> str:
+        """Instance label in the paper's style, e.g. ``R1_out_B1_5``."""
+        return f"{self.source}_{self.sink}_{self.step}"
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.phase.vhdl_name}"
+
+
+@dataclass(frozen=True)
+class RegisterTransfer:
+    """A (possibly partial) register transfer 9-tuple.
+
+    Fields mirror the paper's tuple positions:
+
+    ======== =======================================================
+    field    paper position
+    ======== =======================================================
+    src1     1: source of the left operand (register or input port)
+    bus1     2: bus carrying the left operand
+    src2     3: source of the right operand
+    bus2     4: bus carrying the right operand
+    read_step 5: control step in which operands are read
+    module   6: functional unit performing the operation
+    write_step 7: control step in which the result is written
+    write_bus  8: bus carrying the result
+    dest     9: destination register (or output port)
+    ======== =======================================================
+
+    ``op`` is the operation-select extension of §3; when set, an extra
+    TRANS instance drives the module's ``_op`` port in the rb phase of
+    the read step.
+    """
+
+    src1: Optional[str] = None
+    bus1: Optional[str] = None
+    src2: Optional[str] = None
+    bus2: Optional[str] = None
+    read_step: Optional[int] = None
+    module: str = ""
+    write_step: Optional[int] = None
+    write_bus: Optional[str] = None
+    dest: Optional[str] = None
+    op: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.module:
+            raise TransferError("a register transfer must name its module")
+        if (self.src1 is None) != (self.bus1 is None):
+            raise TransferError(
+                f"{self}: src1 and bus1 must be given together"
+            )
+        if (self.src2 is None) != (self.bus2 is None):
+            raise TransferError(
+                f"{self}: src2 and bus2 must be given together"
+            )
+        has_read = self.src1 is not None or self.src2 is not None
+        if has_read and self.read_step is None:
+            raise TransferError(f"{self}: operand sources given without read_step")
+        if self.read_step is not None and not has_read:
+            raise TransferError(f"{self}: read_step given without operand sources")
+        has_write = self.dest is not None
+        if has_write and (self.write_step is None or self.write_bus is None):
+            raise TransferError(
+                f"{self}: dest requires write_step and write_bus"
+            )
+        if self.write_step is not None and not has_write:
+            raise TransferError(f"{self}: write_step given without dest")
+        if not has_read and not has_write:
+            raise TransferError(f"{self}: neither read nor write half present")
+        if self.op is not None and not has_read:
+            raise TransferError(
+                f"{self}: operation select requires the read half"
+            )
+        for step in (self.read_step, self.write_step):
+            if step is not None and step < 1:
+                raise TransferError(f"{self}: control steps start at 1")
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def has_read(self) -> bool:
+        """Whether the tuple contains the operand-read half."""
+        return self.read_step is not None
+
+    @property
+    def has_write(self) -> bool:
+        """Whether the tuple contains the result-write half."""
+        return self.write_step is not None
+
+    @property
+    def complete(self) -> bool:
+        """Whether both halves are present (a full 9-tuple)."""
+        return self.has_read and self.has_write
+
+    def latency(self) -> Optional[int]:
+        """``write_step - read_step`` for complete tuples, else None."""
+        if self.complete:
+            return self.write_step - self.read_step  # type: ignore[operator]
+        return None
+
+    def read_half(self) -> Optional["RegisterTransfer"]:
+        """The tuple restricted to its read half, or None."""
+        if not self.has_read:
+            return None
+        return replace(self, write_step=None, write_bus=None, dest=None)
+
+    def write_half(self) -> Optional["RegisterTransfer"]:
+        """The tuple restricted to its write half, or None."""
+        if not self.has_write:
+            return None
+        return replace(
+            self,
+            src1=None,
+            bus1=None,
+            src2=None,
+            bus2=None,
+            read_step=None,
+            op=None,
+        )
+
+    def as_tuple(self) -> tuple:
+        """The 9 paper positions, with ``'-'`` for absent fields."""
+        fields = (
+            self.src1,
+            self.bus1,
+            self.src2,
+            self.bus2,
+            self.read_step,
+            self.module,
+            self.write_step,
+            self.write_bus,
+            self.dest,
+        )
+        return tuple(BLANK if f is None else f for f in fields)
+
+    def __str__(self) -> str:
+        body = ",".join(str(f) for f in self.as_tuple())
+        suffix = f"[{self.op}]" if self.op else ""
+        return f"({body}){suffix}"
+
+    # ------------------------------------------------------------------
+    # parsing
+    # ------------------------------------------------------------------
+    _TUPLE_RE = re.compile(r"^\(([^)]*)\)(?:\[(\w+)\])?$")
+
+    @classmethod
+    def parse(cls, text: str) -> "RegisterTransfer":
+        """Parse the paper's printed form, e.g.
+        ``"(R1,B1,R2,B2,5,ADD,6,B1,R1)"`` or
+        ``"(R1,B1,-,-,5,ADD,-,-,-)"``; an optional trailing ``[op]``
+        carries the operation-select extension.
+        """
+        match = cls._TUPLE_RE.match(text.strip())
+        if not match:
+            raise TransferError(f"not a register-transfer tuple: {text!r}")
+        parts = [p.strip() for p in match.group(1).split(",")]
+        if len(parts) != 9:
+            raise TransferError(
+                f"expected 9 fields, got {len(parts)}: {text!r}"
+            )
+
+        def field(i: int) -> Optional[str]:
+            return None if parts[i] in (BLANK, "") else parts[i]
+
+        def step_field(i: int) -> Optional[int]:
+            raw = field(i)
+            if raw is None:
+                return None
+            if not raw.isdigit():
+                raise TransferError(
+                    f"field {i + 1} must be a control step number, got {raw!r}"
+                )
+            return int(raw)
+
+        return cls(
+            src1=field(0),
+            bus1=field(1),
+            src2=field(2),
+            bus2=field(3),
+            read_step=step_field(4),
+            module=parts[5],
+            write_step=step_field(6),
+            write_bus=field(7),
+            dest=field(8),
+            op=match.group(2),
+        )
+
+
+# ----------------------------------------------------------------------
+# endpoint naming
+# ----------------------------------------------------------------------
+def register_out_port(name: str) -> str:
+    """Port through which a register (or design input) sources values."""
+    return f"{name}_out"
+
+
+def register_in_port(name: str) -> str:
+    """Port through which a register (or design output) sinks values."""
+    return f"{name}_in"
+
+
+def module_in_port(module: str, index: int) -> str:
+    """A module's operand input port (index 1 or 2)."""
+    if index not in (1, 2):
+        raise TransferError(f"module input index must be 1 or 2, got {index}")
+    return f"{module}_in{index}"
+
+
+def module_out_port(module: str) -> str:
+    """A module's result output port."""
+    return f"{module}_out"
+
+
+def module_op_port(module: str) -> str:
+    """A module's operation-select port (§3 extension)."""
+    return f"{module}_op"
+
+
+#: Maps a source/destination *name* (register or design port) to the
+#: port identifier used on signals.  The default treats every name as a
+#: register; :class:`repro.core.model.RTModel` supplies a resolver that
+#: also knows about design input/output ports.
+PortResolver = Callable[[str], str]
+
+
+# ----------------------------------------------------------------------
+# tuple -> TRANS instances (paper §2.7, forward direction)
+# ----------------------------------------------------------------------
+def to_trans_specs(
+    transfer: RegisterTransfer,
+    source_port: PortResolver = register_out_port,
+    dest_port: PortResolver = register_in_port,
+    op_encoding: Optional[Callable[[str], int]] = None,
+) -> list[TransSpec]:
+    """Expand a register transfer into its TRANS process instances.
+
+    The expansion follows §2.7 verbatim: each present operand
+    contributes an ``ra`` (source to bus) and an ``rb`` (bus to module
+    input) instance in the read step; a present write half contributes a
+    ``wa`` (module output to bus) and a ``wb`` (bus to register input)
+    instance in the write step.  The ``op`` extension contributes one
+    ``rb``-phase instance driving the module's op port.
+
+    ``op_encoding`` is unused here (op values are transported
+    symbolically at this level) but accepted for interface symmetry with
+    the elaborator.
+    """
+    specs: list[TransSpec] = []
+    if transfer.src1 is not None:
+        step = transfer.read_step
+        assert step is not None and transfer.bus1 is not None
+        specs.append(
+            TransSpec(step, Phase.RA, source_port(transfer.src1), transfer.bus1)
+        )
+        specs.append(
+            TransSpec(
+                step, Phase.RB, transfer.bus1, module_in_port(transfer.module, 1)
+            )
+        )
+    if transfer.src2 is not None:
+        step = transfer.read_step
+        assert step is not None and transfer.bus2 is not None
+        specs.append(
+            TransSpec(step, Phase.RA, source_port(transfer.src2), transfer.bus2)
+        )
+        specs.append(
+            TransSpec(
+                step, Phase.RB, transfer.bus2, module_in_port(transfer.module, 2)
+            )
+        )
+    if transfer.op is not None:
+        step = transfer.read_step
+        assert step is not None
+        specs.append(
+            TransSpec(
+                step,
+                Phase.RB,
+                f"op:{transfer.op}",
+                module_op_port(transfer.module),
+            )
+        )
+    if transfer.dest is not None:
+        step = transfer.write_step
+        assert step is not None and transfer.write_bus is not None
+        specs.append(
+            TransSpec(
+                step, Phase.WA, module_out_port(transfer.module), transfer.write_bus
+            )
+        )
+        specs.append(
+            TransSpec(step, Phase.WB, transfer.write_bus, dest_port(transfer.dest))
+        )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# TRANS instances -> tuples (paper §2.7, inverse direction)
+# ----------------------------------------------------------------------
+_PORT_RE = re.compile(r"^(?P<base>.+)_(?P<kind>out|in|in1|in2|op)$")
+
+
+def _split_port(port: str) -> tuple[str, str]:
+    """Split ``R1_out`` into ``("R1", "out")``; buses return kind ``bus``."""
+    match = _PORT_RE.match(port)
+    if match:
+        return match.group("base"), match.group("kind")
+    return port, "bus"
+
+
+def from_trans_specs(
+    specs: Iterable[TransSpec],
+    latency_of: Optional[Callable[[str], int]] = None,
+) -> list[RegisterTransfer]:
+    """Reconstruct register-transfer tuples from TRANS instances.
+
+    Without ``latency_of`` the result contains *partial* tuples exactly
+    as the paper derives them (read halves and write halves).  With a
+    ``latency_of(module) -> steps`` callback, a write half at step
+    ``s + latency`` is merged into the read half at step ``s`` of the
+    same module, reconstructing complete 9-tuples.
+
+    Raises :class:`TransferError` on inconsistent spec sets (an rb
+    instance whose bus was never loaded in that step, two operands on
+    the same module port, and so on).
+    """
+    ra: dict[tuple[int, str], str] = {}  # (step, bus) -> source name
+    wa: dict[tuple[int, str], str] = {}  # (step, bus) -> module name
+    reads: dict[tuple[int, str], dict] = {}  # (step, module) -> fields
+    writes: dict[tuple[int, str], dict] = {}  # (step, module) -> fields
+    spec_list = sorted(specs, key=lambda s: (s.step, int(s.phase), s.sink))
+
+    for spec in spec_list:
+        if spec.phase is Phase.RA:
+            key = (spec.step, spec.sink)
+            if key in ra:
+                raise TransferError(
+                    f"{spec}: bus {spec.sink!r} already loaded from "
+                    f"{ra[key]!r} in step {spec.step}"
+                )
+            base, kind = _split_port(spec.source)
+            if kind != "out":
+                raise TransferError(
+                    f"{spec}: ra-phase source must be an output port"
+                )
+            ra[key] = base
+        elif spec.phase is Phase.WA:
+            key = (spec.step, spec.sink)
+            if key in wa:
+                raise TransferError(
+                    f"{spec}: bus {spec.sink!r} already written by "
+                    f"{wa[key]!r} in step {spec.step}"
+                )
+            base, kind = _split_port(spec.source)
+            if kind != "out":
+                raise TransferError(
+                    f"{spec}: wa-phase source must be a module output port"
+                )
+            wa[key] = base
+
+    for spec in spec_list:
+        if spec.phase is Phase.RB:
+            base, kind = _split_port(spec.sink)
+            if kind == "op":
+                entry = reads.setdefault((spec.step, base), {})
+                if not spec.source.startswith("op:"):
+                    raise TransferError(
+                        f"{spec}: op-port source must be an op literal"
+                    )
+                entry["op"] = spec.source[3:]
+                continue
+            if kind not in ("in1", "in2"):
+                raise TransferError(
+                    f"{spec}: rb-phase sink must be a module input port"
+                )
+            source = ra.get((spec.step, spec.source))
+            if source is None:
+                raise TransferError(
+                    f"{spec}: bus {spec.source!r} carries no value in "
+                    f"step {spec.step} (missing ra instance)"
+                )
+            entry = reads.setdefault((spec.step, base), {})
+            slot = "1" if kind == "in1" else "2"
+            if f"src{slot}" in entry:
+                raise TransferError(
+                    f"{spec}: module port {spec.sink!r} already fed in "
+                    f"step {spec.step}"
+                )
+            entry[f"src{slot}"] = source
+            entry[f"bus{slot}"] = spec.source
+        elif spec.phase is Phase.WB:
+            base, kind = _split_port(spec.sink)
+            if kind != "in":
+                raise TransferError(
+                    f"{spec}: wb-phase sink must be a register input port"
+                )
+            module = wa.get((spec.step, spec.source))
+            if module is None:
+                raise TransferError(
+                    f"{spec}: bus {spec.source!r} carries no module output "
+                    f"in step {spec.step} (missing wa instance)"
+                )
+            key = (spec.step, module)
+            if key in writes:
+                raise TransferError(
+                    f"{spec}: module {module!r} result already stored in "
+                    f"step {spec.step}"
+                )
+            writes[key] = {"write_bus": spec.source, "dest": base}
+
+    transfers: list[RegisterTransfer] = []
+    consumed_writes: set[tuple[int, str]] = set()
+    for (step, module), fields in sorted(reads.items()):
+        write_fields: dict = {}
+        if latency_of is not None:
+            wkey = (step + latency_of(module), module)
+            if wkey in writes:
+                write_fields = {
+                    "write_step": wkey[0],
+                    "write_bus": writes[wkey]["write_bus"],
+                    "dest": writes[wkey]["dest"],
+                }
+                consumed_writes.add(wkey)
+        transfers.append(
+            RegisterTransfer(
+                src1=fields.get("src1"),
+                bus1=fields.get("bus1"),
+                src2=fields.get("src2"),
+                bus2=fields.get("bus2"),
+                read_step=step,
+                module=module,
+                op=fields.get("op"),
+                **write_fields,
+            )
+        )
+    for (step, module), fields in sorted(writes.items()):
+        if (step, module) in consumed_writes:
+            continue
+        transfers.append(
+            RegisterTransfer(
+                module=module,
+                write_step=step,
+                write_bus=fields["write_bus"],
+                dest=fields["dest"],
+            )
+        )
+    return transfers
+
+
+def expand_all(
+    transfers: Sequence[RegisterTransfer],
+    source_port: PortResolver = register_out_port,
+    dest_port: PortResolver = register_in_port,
+) -> list[TransSpec]:
+    """Expand a whole schedule of transfers into TRANS instances."""
+    specs: list[TransSpec] = []
+    for transfer in transfers:
+        specs.extend(to_trans_specs(transfer, source_port, dest_port))
+    return specs

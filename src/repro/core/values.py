@@ -1,0 +1,91 @@
+"""Values and the paper's resolution function (paper §2.3).
+
+The subset models port and bus values as VHDL ``Integer`` extended with
+two special values::
+
+    constant DISC:    Integer := -1;   -- "no value" (disconnected)
+    constant ILLEGAL: Integer := -2;   -- conflict / error
+
+Regular data values are **natural numbers** (>= 0).  Buses and the input
+ports of functional units are resolved signals; the resolution function
+combines the contributions of all drivers:
+
+* all drivers DISC                          -> DISC
+* any driver ILLEGAL                        -> ILLEGAL
+* two or more drivers that are not DISC     -> ILLEGAL
+* exactly one non-DISC driver, rest DISC    -> that driver's value
+
+A resolved signal therefore carries a natural number exactly when one
+source is driving it, and a resource conflict is directly visible as
+ILLEGAL in a specific simulation cycle.
+
+Wider data (signed fixed point for the IKS chip) is encoded into
+naturals by :mod:`repro.iks.fixedpoint`, keeping this layer exactly as
+the paper defines it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: "No value": the source is disconnected from the bus/port.
+DISC: int = -1
+
+#: Conflict: two sources drove the same sink, or an error propagated.
+ILLEGAL: int = -2
+
+
+def is_data(value: int) -> bool:
+    """True for a regular data value (a natural number)."""
+    return value >= 0
+
+
+def is_disc(value: int) -> bool:
+    """True for the DISC ("no value") marker."""
+    return value == DISC
+
+
+def is_illegal(value: int) -> bool:
+    """True for the ILLEGAL (conflict) marker."""
+    return value == ILLEGAL
+
+
+def check_value(value: int, context: str = "value") -> int:
+    """Validate that ``value`` is representable in the subset.
+
+    Accepts naturals, DISC and ILLEGAL; rejects anything else (the
+    subset reserves all other negatives).
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{context}: expected int, got {type(value).__name__}")
+    if value < ILLEGAL:
+        raise ValueError(
+            f"{context}: {value} is not representable (naturals, "
+            f"DISC={DISC} and ILLEGAL={ILLEGAL} only)"
+        )
+    return value
+
+
+def resolve_rt(values: Iterable[int]) -> int:
+    """The paper's resolution function for buses and input ports.
+
+    See the module docstring for the truth table.  An empty driver list
+    resolves to DISC (a sink with no sources carries no value).
+    """
+    result = DISC
+    for value in values:
+        if value == DISC:
+            continue
+        if value == ILLEGAL or result != DISC:
+            return ILLEGAL
+        result = value
+    return result
+
+
+def format_value(value: int) -> str:
+    """Human-readable form: ``DISC``, ``ILLEGAL``, or the number."""
+    if value == DISC:
+        return "DISC"
+    if value == ILLEGAL:
+        return "ILLEGAL"
+    return str(value)

@@ -1,0 +1,21 @@
+"""Asynchronous-handshake baseline (S10, paper §2.7's speed claim).
+
+Four-phase req/ack channels (:mod:`channels`), dataflow networks built
+from them (:mod:`network`), and matched workloads for the three-way
+timing-style comparison (:mod:`workloads`).
+"""
+
+from .channels import Channel, TwoPhaseChannel
+from .network import HandshakeNetwork, NetworkError, chain_network
+from .workloads import chain_expected, chain_fn, chain_rt_model
+
+__all__ = [
+    "Channel",
+    "HandshakeNetwork",
+    "NetworkError",
+    "TwoPhaseChannel",
+    "chain_expected",
+    "chain_fn",
+    "chain_network",
+    "chain_rt_model",
+]

@@ -1,0 +1,156 @@
+"""Four-phase request/acknowledge handshake channels.
+
+The paper motivates its control-step scheme by contrast with the usual
+way of modeling abstract timing in VHDL without clocks (§2.7):
+
+    "Execution is very fast, because we need not to deal with
+    asynchronous handshake, as it is often be used for exchanging
+    values between modules when more abstract timing is modeled by
+    means of VHDL without introducing physical time."
+
+This package implements exactly that conventional style -- modules
+exchanging values over req/ack channels, all in delta time -- so the
+claim can be measured (experiment E5).  A value transfer costs one
+full four-phase cycle:
+
+    producer                     consumer
+    --------                     --------
+    data <= v; req <= '1'
+                                 wait until req = '1'; read data
+                                 ack <= '1'
+    wait until ack = '1'
+    req <= '0'
+                                 wait until req = '0'; ack <= '0'
+    wait until ack = '0'
+
+i.e. at least four delta cycles of signaling per value per edge of the
+dataflow graph -- versus the control-step scheme's six delta cycles per
+step shared by *all* concurrent transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..kernel import Driver, Signal, Simulator, wait_until
+from ..core.values import DISC
+
+
+class Channel:
+    """A point-to-point handshake channel.
+
+    Exactly one producer and one consumer may attach.  Both sides are
+    generator helpers used with ``yield from`` inside kernel processes::
+
+        def producer_proc():
+            yield from ch.put(42)
+
+        def consumer_proc():
+            value = yield from ch.get()
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.name = name
+        self._sim = sim
+        self.req: Signal = sim.signal(f"{name}.req", init=0)
+        self.ack: Signal = sim.signal(f"{name}.ack", init=0)
+        self.data: Signal = sim.signal(f"{name}.data", init=DISC)
+        self._req_drv: Optional[Driver] = None
+        self._ack_drv: Optional[Driver] = None
+        self._data_drv: Optional[Driver] = None
+
+    # -- attachment ------------------------------------------------------
+    def _producer_drivers(self) -> tuple[Driver, Driver]:
+        if self._req_drv is None:
+            self._req_drv = self._sim.driver(self.req, owner=f"{self.name}.prod")
+            self._data_drv = self._sim.driver(self.data, owner=f"{self.name}.prod")
+        return self._req_drv, self._data_drv
+
+    def _consumer_driver(self) -> Driver:
+        if self._ack_drv is None:
+            self._ack_drv = self._sim.driver(self.ack, owner=f"{self.name}.cons")
+        return self._ack_drv
+
+    # -- protocol ---------------------------------------------------------
+    def put(self, value: Any):
+        """Producer side of one four-phase transfer (generator)."""
+        req_drv, data_drv = self._producer_drivers()
+        data_drv.set(value)
+        req_drv.set(1)
+        yield from _wait_level(self.ack, 1)
+        req_drv.set(0)
+        yield from _wait_level(self.ack, 0)
+
+    def get(self):
+        """Consumer side of one four-phase transfer (generator).
+
+        Returns the transferred value (via the generator's return
+        value, i.e. ``value = yield from ch.get()``).
+        """
+        ack_drv = self._consumer_driver()
+        yield from _wait_level(self.req, 1)
+        value = self.data.value
+        ack_drv.set(1)
+        yield from _wait_level(self.req, 0)
+        ack_drv.set(0)
+        return value
+
+
+def _wait_level(sig: Signal, value: int):
+    """Wait until ``sig`` is at ``value``, returning immediately if it
+    already is.
+
+    VHDL's ``wait until`` resumes only on *events*; a handshake partner
+    that raised its signal before we started waiting would deadlock us.
+    The idiomatic VHDL fix is ``if sig /= v then wait until sig = v;
+    end if;`` in a loop -- reproduced here.
+    """
+    while sig.value != value:
+        yield wait_until(lambda: sig.value == value, sig)
+
+
+class TwoPhaseChannel(Channel):
+    """Transition-signaling (two-phase / NRZ) handshake channel.
+
+    The strongest conventional baseline: a transfer costs one *req*
+    transition and one *ack* transition (plus the data event) instead
+    of the four-phase protocol's four -- there is no return-to-zero.
+    Used by the E5 study to bound what any handshake style can achieve.
+
+        producer                     consumer
+        --------                     --------
+        data <= v; toggle req
+                                     wait req /= ack; read data
+                                     toggle ack
+        wait req = ack
+
+    Each side tracks its own protocol parity in a process-local
+    variable (the VHDL idiom): reading back one's *own* just-toggled
+    signal within the same delta cycle would see the stale value and
+    double-consume a token.
+    """
+
+    def __init__(self, sim, name: str) -> None:
+        super().__init__(sim, name)
+        self._producer_parity = 0
+        self._consumer_parity = 0
+
+    def put(self, value: Any):
+        req_drv, data_drv = self._producer_drivers()
+        data_drv.set(value)
+        self._producer_parity ^= 1
+        parity = self._producer_parity
+        req_drv.set(parity)
+        # Wait for the acknowledge transition (ack catches up to req).
+        while self.ack.value != parity:
+            yield wait_until(lambda: self.ack.value == parity, self.ack)
+
+    def get(self):
+        ack_drv = self._consumer_driver()
+        expected = self._consumer_parity ^ 1
+        while self.req.value != expected:
+            yield wait_until(lambda: self.req.value == expected, self.req)
+        value = self.data.value
+        self._consumer_parity = expected
+        ack_drv.set(expected)
+        return value

@@ -1,0 +1,164 @@
+"""Handshake dataflow networks: the conventional clock-free style.
+
+A :class:`HandshakeNetwork` is a dataflow graph of operator nodes
+connected by four-phase channels.  Sources emit a stream of values,
+operator nodes repeatedly consume one token per input and produce one
+result token, sinks collect results.  The network runs entirely in
+delta time on the same kernel as the control-step models, so kernel
+statistics (cycles, events, process resumptions) are directly
+comparable -- which is the whole point (experiment E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..kernel import Simulator
+from .channels import Channel
+
+
+class NetworkError(ValueError):
+    """Raised for malformed handshake networks."""
+
+
+@dataclass
+class _Node:
+    name: str
+    kind: str  # "source" | "op" | "sink"
+    fn: Optional[Callable[..., int]] = None
+    inputs: tuple[str, ...] = ()
+    values: tuple[int, ...] = ()
+
+
+class HandshakeNetwork:
+    """Builder/executor for a handshake dataflow graph.
+
+    Example (computes ``(a + b) * c`` for one token each)::
+
+        net = HandshakeNetwork()
+        net.source("a", [3])
+        net.source("b", [4])
+        net.source("c", [5])
+        net.op("sum", lambda a, b: a + b, "a", "b")
+        net.op("prod", lambda s, c: s * c, "sum", "c")
+        net.sink("out", "prod")
+        results = net.run()["out"]          # [35]
+
+    ``channel_cls`` selects the protocol: the default four-phase
+    :class:`Channel`, or the cheaper transition-signaling
+    :class:`~repro.handshake.channels.TwoPhaseChannel`.
+    """
+
+    def __init__(self, channel_cls: type = Channel) -> None:
+        self._nodes: dict[str, _Node] = {}
+        self._consumers: dict[str, list[str]] = {}
+        self._channel_cls = channel_cls
+
+    # -- construction -----------------------------------------------------
+    def source(self, name: str, values: Iterable[int]) -> str:
+        """A stream source emitting ``values`` in order."""
+        self._add(_Node(name, "source", values=tuple(values)))
+        return name
+
+    def op(
+        self, name: str, fn: Callable[..., int], *inputs: str
+    ) -> str:
+        """An operator node applying ``fn`` to one token per input."""
+        if not inputs:
+            raise NetworkError(f"op {name!r} needs at least one input")
+        self._add(_Node(name, "op", fn=fn, inputs=tuple(inputs)))
+        return name
+
+    def sink(self, name: str, input_node: str) -> str:
+        """A sink collecting every token produced by ``input_node``."""
+        self._add(_Node(name, "sink", inputs=(input_node,)))
+        return name
+
+    def _add(self, node: _Node) -> None:
+        if node.name in self._nodes:
+            raise NetworkError(f"duplicate node {node.name!r}")
+        self._nodes[node.name] = node
+        for src in node.inputs:
+            self._consumers.setdefault(src, []).append(node.name)
+
+    # -- execution ----------------------------------------------------------
+    def build(self, sim: Simulator) -> dict[str, list[int]]:
+        """Instantiate all processes on ``sim``; returns the (live)
+        result lists per sink, filled as the simulation runs."""
+        for node in self._nodes.values():
+            for src in node.inputs:
+                if src not in self._nodes:
+                    raise NetworkError(
+                        f"node {node.name!r} reads unknown node {src!r}"
+                    )
+        # One channel per graph edge.
+        channels: dict[tuple[str, str], Channel] = {}
+        for src, consumers in self._consumers.items():
+            for dst in consumers:
+                channels[(src, dst)] = self._channel_cls(sim, f"{src}->{dst}")
+        results: dict[str, list[int]] = {}
+
+        for node in self._nodes.values():
+            if node.kind == "source":
+                outs = [channels[(node.name, c)] for c in self._consumers.get(node.name, [])]
+                sim.add_process(node.name, _source_proc, node.values, outs)
+            elif node.kind == "op":
+                ins = [channels[(src, node.name)] for src in node.inputs]
+                outs = [channels[(node.name, c)] for c in self._consumers.get(node.name, [])]
+                sim.add_process(node.name, _op_proc, node.fn, ins, outs)
+            else:  # sink
+                results[node.name] = []
+                ch = channels[(node.inputs[0], node.name)]
+                sim.add_process(node.name, _sink_proc, ch, results[node.name])
+        return results
+
+    def run(self, sim: Optional[Simulator] = None) -> dict[str, list[int]]:
+        """Build and run to quiescence; returns results per sink."""
+        sim = sim or Simulator()
+        results = self.build(sim)
+        sim.run()
+        return results
+
+
+def _source_proc(values: Sequence[int], outs: Sequence[Channel]):
+    for value in values:
+        for ch in outs:
+            yield from ch.put(value)
+    # Fall through: the process finishes, the stream ends.
+
+
+def _op_proc(fn, ins: Sequence[Channel], outs: Sequence[Channel]):
+    while True:
+        operands = []
+        for ch in ins:
+            operands.append((yield from ch.get()))
+        result = fn(*operands)
+        for ch in outs:
+            yield from ch.put(result)
+
+
+def _sink_proc(ch: Channel, collected: list):
+    while True:
+        collected.append((yield from ch.get()))
+
+
+# ----------------------------------------------------------------------
+# canonical comparison workloads (used by E5)
+# ----------------------------------------------------------------------
+def chain_network(
+    operands: Sequence[int], fn: Callable[[int, int], int]
+) -> HandshakeNetwork:
+    """A left-fold chain: ``((a0 fn a1) fn a2) fn ...`` -- the same
+    dependence structure as the control-step chain model in
+    :func:`repro.handshake.workloads.chain_rt_model`."""
+    if len(operands) < 2:
+        raise NetworkError("chain needs at least two operands")
+    net = HandshakeNetwork()
+    for i, value in enumerate(operands):
+        net.source(f"a{i}", [value])
+    prev = net.op("op1", fn, "a0", "a1")
+    for i in range(2, len(operands)):
+        prev = net.op(f"op{i}", fn, prev, f"a{i}")
+    net.sink("out", prev)
+    return net

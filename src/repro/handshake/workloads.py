@@ -1,0 +1,73 @@
+"""Matched workloads for the timing-style comparison (experiment E5).
+
+The same computation -- a left-fold chain of binary operations -- is
+expressed in the three styles the paper discusses:
+
+* the **control-step** style (this paper's subset): one RT model with
+  a shared adder, two buses and sequentially scheduled transfers;
+* the **asynchronous-handshake** style (the conventional clock-free
+  alternative): :func:`repro.handshake.network.chain_network`;
+* the **clocked** style: the automatic translation of the RT model
+  (:mod:`repro.clocked`).
+
+All three run on the same kernel, so events / delta cycles / process
+resumptions are directly comparable.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+from ..core.model import RTModel
+from ..core.modules_lib import ModuleSpec, standard_operation
+
+
+def chain_rt_model(
+    operands: Sequence[int], op_name: str = "ADD", width: int = 32
+) -> RTModel:
+    """A control-step model folding ``operands`` through one module.
+
+    Operation ``i`` reads in step ``2i - 1`` and writes the accumulator
+    in step ``2i``; the accumulated value is ready for the next read
+    one step later, giving the dependence-limited schedule
+    ``cs_max = 2 * (len(operands) - 1)``.
+    """
+    if len(operands) < 2:
+        raise ValueError("chain needs at least two operands")
+    n_ops = len(operands) - 1
+    model = RTModel(f"chain_{op_name.lower()}_{len(operands)}", cs_max=2 * n_ops, width=width)
+    mask = (1 << width) - 1
+    for i, value in enumerate(operands):
+        model.register(f"A{i}", init=value & mask)
+    model.register("ACC")
+    model.bus("B1")
+    model.bus("B2")
+    model.module(
+        ModuleSpec(
+            "FU",
+            operations={op_name: standard_operation(op_name)},
+            latency=1,
+            pipelined=True,
+            width=width,
+        )
+    )
+    model.add_transfer(f"(A0,B1,A1,B2,1,FU,2,B1,ACC)")
+    for i in range(2, len(operands)):
+        read = 2 * i - 1
+        model.add_transfer(f"(ACC,B1,A{i},B2,{read},FU,{read + 1},B1,ACC)")
+    return model
+
+
+def chain_expected(
+    operands: Sequence[int], op_name: str = "ADD", width: int = 32
+) -> int:
+    """The chain's result, computed directly."""
+    op = standard_operation(op_name)
+    return functools.reduce(lambda a, b: op.apply((a, b), width), operands)
+
+
+def chain_fn(op_name: str = "ADD", width: int = 32):
+    """The fold function for the handshake network version."""
+    op = standard_operation(op_name)
+    return lambda a, b: op.apply((a, b), width)

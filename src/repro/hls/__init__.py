@@ -1,0 +1,56 @@
+"""Mini high-level synthesis front end (S11, paper §4).
+
+Algorithmic input language (:mod:`expr`), dataflow graphs
+(:mod:`dfg`), ASAP/ALAP/list scheduling (:mod:`scheduling`),
+register/bus allocation (:mod:`allocation`), and emission into the
+clock-free RT subset (:mod:`emit_rt`).
+"""
+
+from .allocation import Allocation, allocate
+from .dfg import Dataflow, DfgNode, OP_CLASSES, UNIT_CLASSES, build_dataflow
+from .emit_rt import SynthesisResult, emit_model, synthesize
+from .expr import (
+    Assignment,
+    BinOp,
+    Const,
+    ExprError,
+    Program,
+    Var,
+    evaluate,
+    parse_expression,
+    parse_program,
+)
+from .scheduling import (
+    OpSchedule,
+    ScheduleError,
+    alap_schedule,
+    asap_schedule,
+    list_schedule,
+)
+
+__all__ = [
+    "Allocation",
+    "Assignment",
+    "BinOp",
+    "Const",
+    "Dataflow",
+    "DfgNode",
+    "ExprError",
+    "OP_CLASSES",
+    "OpSchedule",
+    "Program",
+    "ScheduleError",
+    "SynthesisResult",
+    "UNIT_CLASSES",
+    "Var",
+    "alap_schedule",
+    "allocate",
+    "asap_schedule",
+    "build_dataflow",
+    "emit_model",
+    "evaluate",
+    "list_schedule",
+    "parse_expression",
+    "parse_program",
+    "synthesize",
+]

@@ -1,0 +1,119 @@
+"""Storage and interconnect allocation for scheduled dataflow graphs.
+
+Given a schedule + binding, this module allocates:
+
+* **registers** for operation results, reusing registers between
+  values with disjoint lifetimes (the classic left-edge algorithm);
+* **buses** for operand reads and result writes, sized to the maximum
+  concurrent use per control-step phase (reads of a step must use
+  distinct buses; so must writes; a read and a write of the same step
+  may share, since they occupy the bus in different phases -- exactly
+  as the paper's Fig. 1 reuses B1).
+
+The result is a :class:`Allocation` consumed by the RT emitter.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .dfg import Dataflow
+from .scheduling import OpSchedule, class_latency
+
+
+@dataclass
+class Allocation:
+    """Storage/interconnect assignment for a scheduled DFG."""
+
+    #: op node ident -> result register name
+    result_reg: dict[str, str] = field(default_factory=dict)
+    #: number of temp registers allocated
+    temp_count: int = 0
+    #: op node ident -> (bus1, bus2) for its operand reads
+    read_buses: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: op node ident -> bus for its result write
+    write_bus: dict[str, str] = field(default_factory=dict)
+    #: total buses allocated
+    bus_count: int = 0
+
+    def bus_names(self) -> list[str]:
+        return [f"BUS{i}" for i in range(self.bus_count)]
+
+    def temp_names(self) -> list[str]:
+        return [f"T{i}" for i in range(self.temp_count)]
+
+
+def allocate(dfg: Dataflow, schedule: OpSchedule) -> Allocation:
+    """Allocate registers and buses for a scheduled dataflow graph."""
+    alloc = Allocation()
+    _allocate_registers(dfg, schedule, alloc)
+    _allocate_buses(dfg, schedule, alloc)
+    return alloc
+
+
+def _lifetimes(dfg: Dataflow, schedule: OpSchedule) -> dict[str, tuple[int, int]]:
+    """Value lifetime per op node: [write step, last read step].
+
+    Output values live to the end of the schedule (the environment
+    reads them after the run).
+    """
+    horizon = schedule.makespan
+    output_nodes = set(dfg.outputs.values())
+    lives: dict[str, tuple[int, int]] = {}
+    for node in dfg.op_nodes:
+        born = schedule.write_step(node.ident)
+        last = born
+        for succ_id in dfg.graph.successors(node.ident):
+            if dfg.nodes[succ_id].kind == "op":
+                last = max(last, schedule.issue_step(succ_id))
+        if node.ident in output_nodes:
+            last = horizon
+        lives[node.ident] = (born, last)
+    return lives
+
+
+def _allocate_registers(
+    dfg: Dataflow, schedule: OpSchedule, alloc: Allocation
+) -> None:
+    """Left-edge register allocation over value lifetimes."""
+    lives = _lifetimes(dfg, schedule)
+    # Sort by birth (left edge); greedily pack into register tracks.
+    order = sorted(lives, key=lambda ident: (lives[ident][0], ident))
+    track_free_at: list[int] = []  # per register: first step it is free
+    for ident in order:
+        born, last = lives[ident]
+        for track, free_at in enumerate(track_free_at):
+            # The old value may be overwritten in the step after its
+            # last read (reads happen in RA, the overwrite lands at CR).
+            if free_at <= born:
+                alloc.result_reg[ident] = f"T{track}"
+                track_free_at[track] = last + 1
+                break
+        else:
+            track = len(track_free_at)
+            alloc.result_reg[ident] = f"T{track}"
+            track_free_at.append(last + 1)
+    alloc.temp_count = len(track_free_at)
+
+
+def _allocate_buses(
+    dfg: Dataflow, schedule: OpSchedule, alloc: Allocation
+) -> None:
+    """Per-phase bus assignment from a shared pool."""
+    reads_by_step: dict[int, list[str]] = defaultdict(list)
+    writes_by_step: dict[int, list[str]] = defaultdict(list)
+    for node in dfg.op_nodes:
+        reads_by_step[schedule.issue_step(node.ident)].append(node.ident)
+        writes_by_step[schedule.write_step(node.ident)].append(node.ident)
+    max_buses = 0
+    for step, idents in reads_by_step.items():
+        for slot, ident in enumerate(sorted(idents)):
+            alloc.read_buses[ident] = (f"BUS{2 * slot}", f"BUS{2 * slot + 1}")
+        max_buses = max(max_buses, 2 * len(idents))
+    for step, idents in writes_by_step.items():
+        for slot, ident in enumerate(sorted(idents)):
+            alloc.write_bus[ident] = f"BUS{slot}"
+        max_buses = max(max_buses, len(idents))
+    alloc.bus_count = max_buses

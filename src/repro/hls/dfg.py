@@ -1,0 +1,201 @@
+"""Dataflow graphs for high-level synthesis.
+
+Builds a dataflow DAG from a straight-line :class:`Program`:
+
+* one **operation node** per BinOp occurrence;
+* **input nodes** for program inputs and **constant nodes** for
+  literals;
+* SSA-style def-use: each variable reference binds to the node that
+  most recently defined it.
+
+The graph is a :class:`networkx.DiGraph` so standard algorithms
+(topological order, longest path) drive the schedulers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+
+from .expr import Assignment, BinOp, Const, ExprError, Expr, Program, Var
+
+#: Operator symbol -> functional-unit class.
+OP_CLASSES = {
+    "+": "ALU",
+    "-": "ALU",
+    "&": "LOGIC",
+    "|": "LOGIC",
+    "^": "LOGIC",
+    ">>": "SHIFT",
+    "<<": "SHIFT",
+    "*": "MUL",
+}
+
+#: Functional-unit class -> (standard op names, latency, pipelined).
+UNIT_CLASSES = {
+    "ALU": (("ADD", "SUB"), 0, True),
+    "LOGIC": (("AND", "OR", "XOR"), 0, True),
+    "SHIFT": (("RSHIFT", "LSHIFT"), 0, True),
+    "MUL": (("MULT",), 2, True),
+}
+
+#: Operator symbol -> standard operation name.
+OP_NAMES = {
+    "+": "ADD",
+    "-": "SUB",
+    "&": "AND",
+    "|": "OR",
+    "^": "XOR",
+    ">>": "RSHIFT",
+    "<<": "LSHIFT",
+    "*": "MULT",
+}
+
+
+@dataclass(frozen=True)
+class DfgNode:
+    """One node of the dataflow graph.
+
+    ``kind`` is ``"input"``, ``"const"`` or ``"op"``.  Operation nodes
+    carry the operator symbol and the unit class; input nodes carry the
+    variable name; constant nodes the literal value.
+    """
+
+    ident: str
+    kind: str
+    op: Optional[str] = None
+    var: Optional[str] = None
+    value: Optional[int] = None
+
+    @property
+    def unit_class(self) -> Optional[str]:
+        if self.kind != "op":
+            return None
+        return OP_CLASSES[self.op]
+
+    def __str__(self) -> str:
+        if self.kind == "input":
+            return f"{self.ident}:in({self.var})"
+        if self.kind == "const":
+            return f"{self.ident}:#{self.value}"
+        return f"{self.ident}:{self.op}"
+
+
+@dataclass
+class Dataflow:
+    """A program's dataflow graph plus its variable bindings."""
+
+    graph: nx.DiGraph
+    nodes: dict[str, DfgNode]
+    #: program output variable -> node identifier producing its value
+    outputs: dict[str, str]
+    #: program input variable -> its input node identifier
+    inputs: dict[str, str]
+
+    @property
+    def op_nodes(self) -> list[DfgNode]:
+        """Operation nodes in topological order."""
+        return [
+            self.nodes[n]
+            for n in nx.topological_sort(self.graph)
+            if self.nodes[n].kind == "op"
+        ]
+
+    def preds(self, node: DfgNode) -> tuple[DfgNode, DfgNode]:
+        """The (left, right) operand nodes of an op node.
+
+        Stored as a node attribute rather than edge data because both
+        operands may come from the *same* producer (``a * a``), which a
+        simple DiGraph would collapse into one edge.
+        """
+        left, right = self.graph.nodes[node.ident]["operands"]
+        return self.nodes[left], self.nodes[right]
+
+    def critical_path_length(self, latency_of) -> int:
+        """Longest dependence chain in *schedule steps*.
+
+        ``latency_of(unit_class)`` gives each class's latency; an edge
+        from producer p costs ``latency_of(p) + 1`` steps (write +
+        readability, see the emitter's timing model).
+        """
+        dist: dict[str, int] = {}
+        for ident in nx.topological_sort(self.graph):
+            node = self.nodes[ident]
+            if node.kind != "op":
+                dist[ident] = 0
+                continue
+            best = 1
+            for pred_id, _ in self.graph.in_edges(ident):
+                pred = self.nodes[pred_id]
+                if pred.kind == "op":
+                    best = max(
+                        best,
+                        dist[pred_id] + latency_of(pred.unit_class) + 1,
+                    )
+            dist[ident] = best
+        return max(dist.values(), default=0)
+
+
+def build_dataflow(program: Program, cse: bool = True) -> Dataflow:
+    """Construct the dataflow graph of a program.
+
+    With ``cse`` (the default), identical operations on identical
+    operands share one node (local value numbering) -- straight-line
+    programs are SSA by construction, so the sharing is always sound.
+    """
+    graph = nx.DiGraph()
+    nodes: dict[str, DfgNode] = {}
+    counter = itertools.count(1)
+    #: variable -> producing node ident
+    bindings: dict[str, str] = {}
+    inputs: dict[str, str] = {}
+    const_nodes: dict[int, str] = {}
+    #: (op, left ident, right ident) -> node ident, for value numbering
+    value_numbers: dict[tuple[str, str, str], str] = {}
+
+    def add(node: DfgNode) -> str:
+        nodes[node.ident] = node
+        graph.add_node(node.ident)
+        return node.ident
+
+    def input_node(name: str) -> str:
+        if name not in inputs:
+            ident = add(DfgNode(f"in_{name}", "input", var=name))
+            inputs[name] = ident
+        return inputs[name]
+
+    def const_node(value: int) -> str:
+        if value not in const_nodes:
+            ident = add(DfgNode(f"k_{value}", "const", value=value))
+            const_nodes[value] = ident
+        return const_nodes[value]
+
+    def visit(expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return const_node(expr.value)
+        if isinstance(expr, Var):
+            if expr.name in bindings:
+                return bindings[expr.name]
+            return input_node(expr.name)
+        left = visit(expr.left)
+        right = visit(expr.right)
+        key = (expr.op, left, right)
+        if cse and key in value_numbers:
+            return value_numbers[key]
+        ident = add(DfgNode(f"n{next(counter)}", "op", op=expr.op))
+        graph.add_edge(left, ident)
+        graph.add_edge(right, ident)
+        graph.nodes[ident]["operands"] = (left, right)
+        if cse:
+            value_numbers[key] = ident
+        return ident
+
+    outputs: dict[str, str] = {}
+    for stmt in program.statements:
+        result = visit(stmt.expr)
+        bindings[stmt.target] = result
+        outputs[stmt.target] = result
+    return Dataflow(graph=graph, nodes=nodes, outputs=outputs, inputs=inputs)

@@ -1,0 +1,153 @@
+"""Emission of scheduled/allocated dataflow graphs as RT models.
+
+The final HLS stage: turn (DFG, schedule, binding, allocation) into a
+clock-free register-transfer model in the paper's subset -- "High
+level synthesis results are translated into our subset and can then
+be simulated at a high level" (§4).
+
+Generated structure:
+
+* one register per program input (preloaded at elaboration), one per
+  allocated temp, plus constant registers;
+* one functional unit per (class, instance) the binding uses, with
+  op-select ports where a class implements several operations;
+* one complete 9-tuple transfer per DFG operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.model import RTModel
+from ..core.modules_lib import alu_spec
+from ..core.transfer import RegisterTransfer
+from .allocation import Allocation, allocate
+from .dfg import Dataflow, DfgNode, OP_NAMES, UNIT_CLASSES, build_dataflow
+from .expr import Program, evaluate, parse_program
+from .scheduling import OpSchedule, ScheduleError, list_schedule
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the HLS flow produced for one program."""
+
+    program: Program
+    dfg: Dataflow
+    schedule: OpSchedule
+    allocation: Allocation
+    model: RTModel
+    #: program output variable -> register holding it after the run
+    output_regs: dict[str, str]
+
+    def simulate(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Run the RT model on concrete inputs; returns the outputs."""
+        values = {
+            name: inputs[name] & ((1 << self.model.width) - 1)
+            for name in self.program.inputs
+        }
+        sim = self.model.elaborate(register_values=values).run()
+        if not sim.clean:
+            raise ScheduleError(
+                f"synthesized model reported conflicts:\n"
+                + sim.monitor.report()
+            )
+        return {
+            var: sim[reg] for var, reg in self.output_regs.items()
+        }
+
+    def reference(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Direct evaluation of the program (the algorithmic level)."""
+        env = evaluate(self.program, inputs, self.model.width)
+        return {var: env[var] for var in self.output_regs}
+
+
+def synthesize(
+    source: str | Program,
+    resources: Optional[Mapping[str, int]] = None,
+    width: int = 32,
+    name: str = "hls_design",
+) -> SynthesisResult:
+    """The complete flow: parse, build DFG, schedule, allocate, emit."""
+    program = source if isinstance(source, Program) else parse_program(source)
+    dfg = build_dataflow(program)
+    schedule = list_schedule(dfg, resources)
+    allocation = allocate(dfg, schedule)
+    model, output_regs = emit_model(
+        program, dfg, schedule, allocation, width=width, name=name
+    )
+    return SynthesisResult(
+        program=program,
+        dfg=dfg,
+        schedule=schedule,
+        allocation=allocation,
+        model=model,
+        output_regs=output_regs,
+    )
+
+
+def emit_model(
+    program: Program,
+    dfg: Dataflow,
+    schedule: OpSchedule,
+    allocation: Allocation,
+    width: int = 32,
+    name: str = "hls_design",
+) -> tuple[RTModel, dict[str, str]]:
+    """Emit the RT model for a scheduled, allocated DFG."""
+    cs_max = max(schedule.makespan, 1)
+    model = RTModel(name, cs_max=cs_max, width=width)
+
+    for var in program.inputs:
+        model.register(var)
+    for reg in allocation.temp_names():
+        model.register(reg)
+    for bus in allocation.bus_names():
+        model.bus(bus)
+
+    # Functional units: one per (class, instance) actually bound.
+    used_units = sorted(set(schedule.binding.values()))
+    unit_name: dict[tuple[str, int], str] = {}
+    for unit_class, instance in used_units:
+        ops, latency, pipelined = UNIT_CLASSES[unit_class]
+        uname = f"{unit_class}{instance}"
+        model.module(
+            alu_spec(
+                uname, ops, latency=latency, pipelined=pipelined, width=width
+            )
+        )
+        unit_name[(unit_class, instance)] = uname
+
+    def reg_of(node: DfgNode) -> str:
+        if node.kind == "input":
+            return node.var
+        if node.kind == "const":
+            return model.constant(node.value & ((1 << width) - 1))
+        return allocation.result_reg[node.ident]
+
+    for node in dfg.op_nodes:
+        left, right = dfg.preds(node)
+        uname = unit_name[schedule.binding[node.ident]]
+        spec = model.modules[uname]
+        bus1, bus2 = allocation.read_buses[node.ident]
+        op_name = OP_NAMES[node.op]
+        model.add_transfer(
+            RegisterTransfer(
+                src1=reg_of(left),
+                bus1=bus1,
+                src2=reg_of(right),
+                bus2=bus2,
+                read_step=schedule.issue_step(node.ident),
+                module=uname,
+                write_step=schedule.write_step(node.ident),
+                write_bus=allocation.write_bus[node.ident],
+                dest=allocation.result_reg[node.ident],
+                op=op_name if spec.multi_op else None,
+            )
+        )
+
+    output_regs: dict[str, str] = {}
+    for var, producer in dfg.outputs.items():
+        node = dfg.nodes[producer]
+        output_regs[var] = reg_of(node)
+    return model, output_regs

@@ -1,0 +1,262 @@
+"""A small algorithmic-level language for the HLS front end.
+
+Paper §4: "High level synthesis results are translated into our subset
+and can then be simulated at a high level before the next synthesis
+steps translate to a more concrete implementation."  To exercise that
+flow end to end we need an algorithmic input language; this module
+provides a deliberately small straight-line one:
+
+    t    = (a + b) * (c - d)
+    out  = t + (x >> 2)
+
+A *program* is a sequence of assignments.  Expressions combine
+identifiers and non-negative integer literals with the binary
+operators ``+ - * & | ^ >> <<`` (usual precedence) and parentheses.
+Variables read before any assignment are the program's inputs; every
+assigned variable is observable as an output.
+
+The AST is evaluated directly for reference results, fed to the
+dataflow-graph builder for scheduling, and compared symbolically by
+the verification layer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+
+class ExprError(ValueError):
+    """Raised for syntax or evaluation errors in the small language."""
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Const:
+    """An integer literal."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable reference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[Const, Var, BinOp]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One program statement: ``target = expr``."""
+
+    target: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """A straight-line program."""
+
+    statements: tuple[Assignment, ...]
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)
+
+    @property
+    def inputs(self) -> list[str]:
+        """Variables read before being assigned, in first-use order."""
+        assigned: set[str] = set()
+        seen: list[str] = []
+        for stmt in self.statements:
+            for var in iter_vars(stmt.expr):
+                if var not in assigned and var not in seen:
+                    seen.append(var)
+            assigned.add(stmt.target)
+        return seen
+
+    @property
+    def outputs(self) -> list[str]:
+        """All assigned variables, in first-assignment order."""
+        seen: list[str] = []
+        for stmt in self.statements:
+            if stmt.target not in seen:
+                seen.append(stmt.target)
+        return seen
+
+
+def iter_vars(expr: Expr) -> Iterator[str]:
+    """All variable names in an expression (with repeats)."""
+    if isinstance(expr, Var):
+        yield expr.name
+    elif isinstance(expr, BinOp):
+        yield from iter_vars(expr.left)
+        yield from iter_vars(expr.right)
+
+
+# ----------------------------------------------------------------------
+# evaluation (the algorithmic reference semantics)
+# ----------------------------------------------------------------------
+#: Supported operators and their semantics on masked naturals.
+OPERATORS = {
+    "+": lambda a, b, m: (a + b) & m,
+    "-": lambda a, b, m: (a - b) & m,
+    "*": lambda a, b, m: (a * b) & m,
+    "&": lambda a, b, m: a & b,
+    "|": lambda a, b, m: a | b,
+    "^": lambda a, b, m: a ^ b,
+    ">>": lambda a, b, m: a >> min(b, m.bit_length()),
+    "<<": lambda a, b, m: (a << min(b, m.bit_length())) & m,
+}
+
+
+def evaluate(
+    program: Program, inputs: Mapping[str, int], width: int = 32
+) -> dict[str, int]:
+    """Run the program directly; returns the final variable environment."""
+    mask = (1 << width) - 1
+    env: dict[str, int] = {}
+    for name in program.inputs:
+        try:
+            env[name] = inputs[name] & mask
+        except KeyError:
+            raise ExprError(f"missing input {name!r}") from None
+    for stmt in program.statements:
+        env[stmt.target] = eval_expr(stmt.expr, env, width)
+    return env
+
+
+def eval_expr(expr: Expr, env: Mapping[str, int], width: int = 32) -> int:
+    mask = (1 << width) - 1
+    if isinstance(expr, Const):
+        return expr.value & mask
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise ExprError(f"unbound variable {expr.name!r}") from None
+    return OPERATORS[expr.op](
+        eval_expr(expr.left, env, width), eval_expr(expr.right, env, width), mask
+    )
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_]\w*)|(?P<op>>>|<<|[-+*&|^()=]))"
+)
+
+#: Operator precedence levels, loosest first.
+_PRECEDENCE = [["|"], ["^"], ["&"], [">>", "<<"], ["+", "-"], ["*"]]
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos:].isspace():
+            break
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ExprError(f"bad character {text[pos]!r} at column {pos}")
+        tokens.append(match.group(match.lastgroup))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], context: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.context = context
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExprError(f"{self.context}: unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse_expr(self, level: int = 0) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self.parse_atom()
+        left = self.parse_expr(level + 1)
+        while self.peek() in _PRECEDENCE[level]:
+            op = self.next()
+            right = self.parse_expr(level + 1)
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_atom(self) -> Expr:
+        token = self.next()
+        if token == "(":
+            inner = self.parse_expr()
+            if self.next() != ")":
+                raise ExprError(f"{self.context}: missing ')'")
+            return inner
+        if token.isdigit():
+            return Const(int(token))
+        if re.fullmatch(r"[A-Za-z_]\w*", token):
+            return Var(token)
+        raise ExprError(f"{self.context}: unexpected token {token!r}")
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a single expression."""
+    parser = _Parser(_tokenize(text), text.strip())
+    expr = parser.parse_expr()
+    if parser.peek() is not None:
+        raise ExprError(f"{text.strip()}: trailing tokens")
+    return expr
+
+
+def parse_program(text: str) -> Program:
+    """Parse a straight-line program, one assignment per line.
+
+    Blank lines and ``#`` comments are ignored.
+    """
+    statements: list[Assignment] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#")[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise ExprError(f"line {lineno}: expected 'target = expr'")
+        target, _, body = line.partition("=")
+        target = target.strip()
+        if not re.fullmatch(r"[A-Za-z_]\w*", target):
+            raise ExprError(f"line {lineno}: bad target {target!r}")
+        statements.append(Assignment(target, parse_expression(body)))
+    if not statements:
+        raise ExprError("empty program")
+    return Program(tuple(statements))

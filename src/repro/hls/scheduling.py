@@ -1,0 +1,191 @@
+"""Operation scheduling: ASAP, ALAP and resource-constrained list
+scheduling.
+
+Timing model (matching the subset's transfer semantics): an operation
+issued in control step ``s`` on a unit of latency ``L`` reads its
+operands in step ``s``, its result is written to a register in step
+``s + L`` (latched in that step's CR phase) and is readable from step
+``s + L + 1`` on.  A dependence edge from producer ``p`` to consumer
+``c`` therefore enforces ``s(c) >= s(p) + L(p) + 1``.  Program inputs
+and constants sit in preloaded registers, readable from step 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .dfg import Dataflow, DfgNode, UNIT_CLASSES
+
+
+class ScheduleError(ValueError):
+    """Raised when no feasible schedule exists."""
+
+
+def class_latency(unit_class: str) -> int:
+    return UNIT_CLASSES[unit_class][1]
+
+
+@dataclass
+class OpSchedule:
+    """A complete schedule: op node ident -> issue step, plus binding."""
+
+    steps: dict[str, int] = field(default_factory=dict)
+    #: op node ident -> (unit_class, instance index)
+    binding: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: unit class -> number of instances used
+    instances: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> int:
+        """Last write step of the schedule (the needed ``cs_max``)."""
+        last = 0
+        for ident, step in self.steps.items():
+            unit_class, _ = self.binding[ident]
+            last = max(last, step + class_latency(unit_class))
+        return last
+
+    def issue_step(self, ident: str) -> int:
+        return self.steps[ident]
+
+    def write_step(self, ident: str) -> int:
+        unit_class, _ = self.binding[ident]
+        return self.steps[ident] + class_latency(unit_class)
+
+
+def asap_schedule(dfg: Dataflow) -> dict[str, int]:
+    """Unconstrained as-soon-as-possible issue steps."""
+    steps: dict[str, int] = {}
+    for node in dfg.op_nodes:
+        earliest = 1
+        for pred_id in dfg.graph.predecessors(node.ident):
+            pred = dfg.nodes[pred_id]
+            if pred.kind == "op":
+                earliest = max(
+                    earliest,
+                    steps[pred_id] + class_latency(pred.unit_class) + 1,
+                )
+        steps[node.ident] = earliest
+    return steps
+
+
+def alap_schedule(dfg: Dataflow, horizon: Optional[int] = None) -> dict[str, int]:
+    """As-late-as-possible issue steps against a horizon.
+
+    ``horizon`` defaults to the ASAP makespan (the critical-path
+    length), making ALAP - ASAP the classic mobility/slack.
+    """
+    asap = asap_schedule(dfg)
+    if horizon is None:
+        horizon = max(
+            (
+                asap[n.ident] + class_latency(n.unit_class)
+                for n in dfg.op_nodes
+            ),
+            default=0,
+        )
+    steps: dict[str, int] = {}
+    for node in reversed(dfg.op_nodes):
+        latest = horizon - class_latency(node.unit_class)
+        for succ_id in dfg.graph.successors(node.ident):
+            succ = dfg.nodes[succ_id]
+            if succ.kind == "op":
+                latest = min(
+                    latest,
+                    steps[succ_id] - class_latency(node.unit_class) - 1,
+                )
+        if latest < asap[node.ident]:
+            raise ScheduleError(
+                f"horizon {horizon} infeasible: node {node} needs step "
+                f">= {asap[node.ident]} but must issue by {latest}"
+            )
+        steps[node.ident] = latest
+    return steps
+
+
+def list_schedule(
+    dfg: Dataflow,
+    resources: Optional[Mapping[str, int]] = None,
+) -> OpSchedule:
+    """Resource-constrained list scheduling with ALAP-slack priority.
+
+    ``resources`` bounds the unit instances per class, e.g.
+    ``{"ALU": 1, "MUL": 1}``; classes not mentioned get one instance.
+    Classes with pipelined units accept one issue per instance per
+    step; non-pipelined units block their instance for
+    ``latency + 1`` steps.
+    """
+    limits = dict(resources or {})
+    for node in dfg.op_nodes:
+        limits.setdefault(node.unit_class, 1)
+    for unit_class, count in limits.items():
+        if unit_class not in UNIT_CLASSES:
+            raise ScheduleError(f"unknown unit class {unit_class!r}")
+        if count < 1:
+            raise ScheduleError(
+                f"need at least one {unit_class!r} instance, got {count}"
+            )
+
+    asap = asap_schedule(dfg)
+    try:
+        alap = alap_schedule(dfg)
+        slack = {n: alap[n] - asap[n] for n in asap}
+    except ScheduleError:  # pragma: no cover - alap(asap horizon) is feasible
+        slack = {n: 0 for n in asap}
+
+    schedule = OpSchedule(instances=dict(limits))
+    remaining = {n.ident for n in dfg.op_nodes}
+    #: (class, instance) -> step until which the instance is busy
+    busy_until: dict[tuple[str, int], int] = {}
+    step = 1
+    guard = 0
+
+    def operands_readable(ident: str) -> bool:
+        for pred_id in dfg.graph.predecessors(ident):
+            pred = dfg.nodes[pred_id]
+            if pred.kind != "op":
+                continue  # inputs/constants are readable from step 1
+            if pred_id in remaining:
+                return False
+            readable = (
+                schedule.steps[pred_id]
+                + class_latency(pred.unit_class)
+                + 1
+            )
+            if readable > step:
+                return False
+        return True
+
+    while remaining:
+        guard += 1
+        if guard > 100_000:
+            raise ScheduleError("list scheduling did not converge")
+        # Ops whose operands are readable at this step, most urgent first.
+        ready = sorted(
+            (ident for ident in remaining if operands_readable(ident)),
+            key=lambda ident: (slack[ident], ident),
+        )
+        issued_this_step: dict[tuple[str, int], bool] = {}
+        for ident in ready:
+            node = dfg.nodes[ident]
+            unit_class = node.unit_class
+            _, latency, pipelined = (
+                UNIT_CLASSES[unit_class][0],
+                UNIT_CLASSES[unit_class][1],
+                UNIT_CLASSES[unit_class][2],
+            )
+            for instance in range(limits[unit_class]):
+                key = (unit_class, instance)
+                if issued_this_step.get(key):
+                    continue
+                if busy_until.get(key, 0) >= step:
+                    continue
+                schedule.steps[ident] = step
+                schedule.binding[ident] = key
+                issued_this_step[key] = True
+                if not pipelined:
+                    busy_until[key] = step + latency
+                remaining.discard(ident)
+                break
+        step += 1
+    return schedule

@@ -1,0 +1,93 @@
+"""The IKS chip case study (S8, paper §3 / Fig. 3).
+
+Fixed-point arithmetic (:mod:`fixedpoint`), the CORDIC core
+(:mod:`cordic`), the algorithmic-level inverse-kinematics reference
+(:mod:`algorithm`), the Fig.-3 chip model (:mod:`chip`), the IK
+microprogram and the paper's code-map example (:mod:`microprogram`),
+and the end-to-end flow (:mod:`flow`).
+"""
+
+from .algorithm import (
+    ArmGeometry,
+    IK3Solution,
+    IKSolution,
+    forward_kinematics,
+    forward_kinematics3,
+    reference_ik_float,
+    solve_ik,
+    solve_ik3,
+)
+from .chip import ACCUMULATORS, IKSConfig, ROM_LAYOUT, build_chip
+from .cordic import CordicSpec, atan2, cos, magnitude, sin, sin_cos
+from .fixedpoint import DEFAULT_FORMAT, FxFormat
+from .flow import (
+    FKRun,
+    IK3Run,
+    IKSRun,
+    build_ik3_model,
+    build_ik_model,
+    crosscheck,
+    fk_of_ik,
+    run_fk_chip,
+    run_ik3_chip,
+    run_ik_chip,
+)
+from .microprogram import (
+    FK_INPUT_SLOTS,
+    FK_RESULT_REGISTERS,
+    IK3_RESULT_REGISTERS,
+    IK3_TOTAL_STEPS,
+    RESULT_REGISTERS,
+    ProgramBuilder,
+    fk_microprogram,
+    ik3_epilogue,
+    ik3_prologue,
+    ik_microprogram,
+    paper_addr7_instruction,
+    paper_code_maps,
+)
+
+__all__ = [
+    "ACCUMULATORS",
+    "ArmGeometry",
+    "CordicSpec",
+    "DEFAULT_FORMAT",
+    "FKRun",
+    "FK_INPUT_SLOTS",
+    "FK_RESULT_REGISTERS",
+    "FxFormat",
+    "IK3Run",
+    "IK3Solution",
+    "IK3_RESULT_REGISTERS",
+    "IK3_TOTAL_STEPS",
+    "IKSConfig",
+    "IKSRun",
+    "IKSolution",
+    "ProgramBuilder",
+    "RESULT_REGISTERS",
+    "ROM_LAYOUT",
+    "atan2",
+    "build_chip",
+    "build_ik3_model",
+    "build_ik_model",
+    "cos",
+    "crosscheck",
+    "fk_microprogram",
+    "fk_of_ik",
+    "forward_kinematics",
+    "forward_kinematics3",
+    "ik3_epilogue",
+    "ik3_prologue",
+    "ik_microprogram",
+    "magnitude",
+    "paper_addr7_instruction",
+    "paper_code_maps",
+    "reference_ik_float",
+    "run_fk_chip",
+    "run_ik3_chip",
+    "run_ik_chip",
+    "sin",
+    "sin_cos",
+    "solve_ik",
+    "solve_ik3",
+]

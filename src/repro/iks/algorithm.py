@@ -1,0 +1,259 @@
+"""Algorithmic-level reference of the inverse-kinematics solution.
+
+Paper §3/§4: the register-transfer description extracted from the IKS
+microcode "is to be verified against a description at the algorithmic
+level".  This module is that algorithmic level: a planar two-link
+inverse-kinematics solution computed with exactly the fixed-point and
+CORDIC primitives of :mod:`repro.iks.fixedpoint` and
+:mod:`repro.iks.cordic` -- so the RT model (driven by the microprogram)
+must reproduce it **bit-exactly**, which is what the E6 experiment
+checks.
+
+Geometry (elbow-down closed-form solution)::
+
+    given target (px, py), link lengths L1, L2:
+        r2  = px^2 + py^2
+        c2  = (r2 - L1^2 - L2^2) / (2 L1 L2)     # cos(theta2)
+        s2  = sqrt(1 - c2^2)                     # sin(theta2), >= 0
+        theta2 = atan2(s2, c2)
+        theta1 = atan2(py, px) - atan2(L2 s2, L1 + L2 c2)
+
+The division by the constant ``2 L1 L2`` is realized as multiplication
+by the precomputed reciprocal held in the chip's coefficient ROM
+(``M`` bank), as real microcoded datapaths do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .cordic import CordicSpec, atan2
+from .fixedpoint import DEFAULT_FORMAT, FxFormat
+
+
+@dataclass(frozen=True)
+class ArmGeometry:
+    """Link lengths of the planar arm.
+
+    ``l1``/``l2`` are the two position links; ``l3`` is the wrist/tool
+    link used only by the three-degree-of-freedom solution
+    (:func:`solve_ik3`), where the target also prescribes the tool
+    orientation.
+    """
+
+    l1: float = 2.0
+    l2: float = 1.5
+    l3: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.l1 <= 0 or self.l2 <= 0 or self.l3 <= 0:
+            raise ValueError("link lengths must be positive")
+
+    def reachable(self, px: float, py: float) -> bool:
+        """Whether a wrist target lies in the two-link annular workspace."""
+        r = math.hypot(px, py)
+        return abs(self.l1 - self.l2) <= r <= (self.l1 + self.l2)
+
+    # -- the ROM constants the chip's M bank holds -----------------------
+    def rom_constants(self, fmt: FxFormat) -> dict[str, int]:
+        """Encoded coefficient-ROM contents (M bank)."""
+        return {
+            "L1": fmt.encode(self.l1),
+            "L2": fmt.encode(self.l2),
+            "ONE": fmt.encode(1.0),
+            "INV_2L1L2": fmt.encode(1.0 / (2.0 * self.l1 * self.l2)),
+            "L1SQ_PLUS_L2SQ": fmt.encode(self.l1**2 + self.l2**2),
+            "L3": fmt.encode(self.l3),
+        }
+
+
+@dataclass(frozen=True)
+class IKSolution:
+    """Joint angles (encoded patterns plus decoded radians)."""
+
+    theta1: int
+    theta2: int
+    theta1_rad: float
+    theta2_rad: float
+
+
+def _ik_core(
+    x: int,
+    y: int,
+    rom: dict[str, int],
+    fmt: FxFormat,
+    spec: CordicSpec,
+) -> tuple[int, int]:
+    """The encoded-domain two-link solution: (theta1, theta2) patterns.
+
+    Shared bit-for-bit by :func:`solve_ik` and :func:`solve_ik3` (the
+    latter feeds it the computed wrist position), mirroring the chip's
+    reuse of the same microprogram body.
+    """
+    # r2 = x*x + y*y                             (MULT twice, Z_ADD)
+    px2 = fmt.mul(x, x)
+    py2 = fmt.mul(y, y)
+    r2 = fmt.add(px2, py2)
+
+    # t = r2 - (L1^2 + L2^2)                     (Z_ADD, SUB)
+    t = fmt.sub(r2, rom["L1SQ_PLUS_L2SQ"])
+
+    # c2 = t * INV_2L1L2                         (MULT)
+    c2 = fmt.mul(t, rom["INV_2L1L2"])
+
+    # s2 = sqrt(1 - c2*c2)                       (MULT, Z_ADD, CORDIC SQRT)
+    c2sq = fmt.mul(c2, c2)
+    one_minus = fmt.sub(rom["ONE"], c2sq)
+    s2 = fmt.sqrt(one_minus)
+
+    # theta2 = atan2(s2, c2)                     (CORDIC ATAN2)
+    theta2 = atan2(spec, s2, c2)
+
+    # k1 = L1 + L2*c2 ; k2 = L2*s2               (MULT, Z_ADD, MULT)
+    l2c2 = fmt.mul(rom["L2"], c2)
+    k1 = fmt.add(rom["L1"], l2c2)
+    k2 = fmt.mul(rom["L2"], s2)
+
+    # theta1 = atan2(y, x) - atan2(k2, k1)       (CORDIC twice, Z_ADD SUB)
+    beta = atan2(spec, y, x)
+    alpha = atan2(spec, k2, k1)
+    theta1 = fmt.sub(beta, alpha)
+    return theta1, theta2
+
+
+def solve_ik(
+    px: float,
+    py: float,
+    geometry: ArmGeometry = ArmGeometry(),
+    fmt: FxFormat = DEFAULT_FORMAT,
+    cordic: CordicSpec | None = None,
+) -> IKSolution:
+    """Fixed-point inverse kinematics, the chip's reference semantics.
+
+    Every arithmetic step corresponds 1:1 to a microprogram phase; see
+    :mod:`repro.iks.microprogram` for the mapping.
+    """
+    spec = cordic or CordicSpec(fmt)
+    rom = geometry.rom_constants(fmt)
+    theta1, theta2 = _ik_core(
+        fmt.encode(px), fmt.encode(py), rom, fmt, spec
+    )
+    return IKSolution(
+        theta1=theta1,
+        theta2=theta2,
+        theta1_rad=fmt.decode(theta1),
+        theta2_rad=fmt.decode(theta2),
+    )
+
+
+@dataclass(frozen=True)
+class IK3Solution:
+    """Joint angles of the three-degree-of-freedom solution."""
+
+    theta1: int
+    theta2: int
+    theta3: int
+    theta1_rad: float
+    theta2_rad: float
+    theta3_rad: float
+
+
+def solve_ik3(
+    px: float,
+    py: float,
+    phi: float,
+    geometry: ArmGeometry = ArmGeometry(),
+    fmt: FxFormat = DEFAULT_FORMAT,
+    cordic: CordicSpec | None = None,
+) -> IK3Solution:
+    """Three-DOF inverse kinematics: position plus tool orientation.
+
+    The classic decomposition (the structure of the full IKS chip's
+    computation): subtract the tool link to get the wrist position,
+    solve the two-link problem for it, and take the remaining rotation
+    as the wrist angle::
+
+        xw = px - L3 cos(phi)         yw = py - L3 sin(phi)
+        (theta1, theta2) = two-link IK of (xw, yw)
+        theta3 = (phi - theta2) - theta1
+
+    Computed entirely in the encoded domain with the chip's operation
+    set, so the RT model (prologue + IK body + epilogue microprograms)
+    reproduces it bit-exactly.
+    """
+    from .cordic import cos as cordic_cos
+    from .cordic import sin as cordic_sin
+
+    spec = cordic or CordicSpec(fmt)
+    rom = geometry.rom_constants(fmt)
+    phi_enc = fmt.encode(phi)
+
+    # Prologue: wrist position.          (CORDIC COS/SIN, MULT, Z_ADD)
+    cos_phi = cordic_cos(spec, phi_enc)
+    l3cos = fmt.mul(cos_phi, rom["L3"])
+    xw = fmt.sub(fmt.encode(px), l3cos)
+    sin_phi = cordic_sin(spec, phi_enc)
+    l3sin = fmt.mul(sin_phi, rom["L3"])
+    yw = fmt.sub(fmt.encode(py), l3sin)
+
+    # Body: the shared two-link core on the wrist point.
+    theta1, theta2 = _ik_core(xw, yw, rom, fmt, spec)
+
+    # Epilogue: wrist angle, in the chip's subtraction order.
+    theta3 = fmt.sub(fmt.sub(phi_enc, theta2), theta1)
+    return IK3Solution(
+        theta1=theta1,
+        theta2=theta2,
+        theta3=theta3,
+        theta1_rad=fmt.decode(theta1),
+        theta2_rad=fmt.decode(theta2),
+        theta3_rad=fmt.decode(theta3),
+    )
+
+
+def forward_kinematics3(
+    theta1: float,
+    theta2: float,
+    theta3: float,
+    geometry: ArmGeometry = ArmGeometry(),
+) -> tuple[float, float, float]:
+    """Floating-point forward kinematics of the three-link arm:
+    returns (x, y, tool orientation)."""
+    t12 = theta1 + theta2
+    t123 = t12 + theta3
+    x = (
+        geometry.l1 * math.cos(theta1)
+        + geometry.l2 * math.cos(t12)
+        + geometry.l3 * math.cos(t123)
+    )
+    y = (
+        geometry.l1 * math.sin(theta1)
+        + geometry.l2 * math.sin(t12)
+        + geometry.l3 * math.sin(t123)
+    )
+    return x, y, t123
+
+
+def forward_kinematics(
+    theta1: float, theta2: float, geometry: ArmGeometry = ArmGeometry()
+) -> tuple[float, float]:
+    """Floating-point forward kinematics, for validating the solution."""
+    x = geometry.l1 * math.cos(theta1) + geometry.l2 * math.cos(theta1 + theta2)
+    y = geometry.l1 * math.sin(theta1) + geometry.l2 * math.sin(theta1 + theta2)
+    return x, y
+
+
+def reference_ik_float(
+    px: float, py: float, geometry: ArmGeometry = ArmGeometry()
+) -> tuple[float, float]:
+    """Double-precision closed-form IK (ground truth for accuracy tests)."""
+    r2 = px * px + py * py
+    c2 = (r2 - geometry.l1**2 - geometry.l2**2) / (2 * geometry.l1 * geometry.l2)
+    c2 = max(-1.0, min(1.0, c2))
+    s2 = math.sqrt(1.0 - c2 * c2)
+    theta2 = math.atan2(s2, c2)
+    theta1 = math.atan2(py, px) - math.atan2(
+        geometry.l2 * s2, geometry.l1 + geometry.l2 * c2
+    )
+    return theta1, theta2

@@ -1,0 +1,189 @@
+"""The IKS chip as a clock-free register-transfer model (paper Fig. 3).
+
+Resources, following the figure and §3:
+
+* register files ``R[]`` (results, dual-ported in [10]), ``J[]``
+  (joint/input values) and the coefficient ROM ``M[]``;
+* working registers ``P`` (product), ``X``, ``Y``, ``Z``
+  (accumulators), ``r`` and ``zang`` (CORDIC operand/result), the
+  adder operand registers ``x1 x2 y1 y2 z1 z2``, and the flag ``F``;
+* shared buses ``BusA`` and ``BusB`` plus the direct links of the
+  figure, which the model desugars into dedicated buses and COPY
+  modules exactly as §3 prescribes;
+* functional units: the 2-stage pipelined multiplier ``MULT``, the
+  non-pipelined (combinational, latency 0) adders ``X_ADD``/``Y_ADD``/
+  ``Z_ADD`` -- "the adders may perform several arithmetical
+  operations", hence their op-select ports -- and the ``CORDIC`` core.
+
+Unit operations work on two's-complement fixed-point patterns
+(:mod:`repro.iks.fixedpoint`); the CORDIC operations call the same
+integer CORDIC as the algorithmic reference, so RT simulation results
+are bit-identical to :func:`repro.iks.algorithm.solve_ik`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.model import RTModel
+from ..core.modules_lib import ModuleSpec, Operation
+from . import cordic as _cordic
+from .algorithm import ArmGeometry
+from .cordic import CordicSpec
+from .fixedpoint import DEFAULT_FORMAT, FxFormat
+
+#: Destination (accumulator) register of each functional unit.
+ACCUMULATORS: Mapping[str, str] = {
+    "MULT": "P",
+    "X_ADD": "X",
+    "Y_ADD": "Y",
+    "Z_ADD": "Z",
+    "CORDIC": "zang",
+}
+
+#: Ordered names of the coefficient-ROM entries (``M0`` .. ``M5``).
+ROM_LAYOUT = ("L1", "L2", "ONE", "INV_2L1L2", "L1SQ_PLUS_L2SQ", "L3")
+
+#: Maximum shift amount provided by the adders' input shifters.
+MAX_SHIFT = 15
+
+
+@dataclass(frozen=True)
+class IKSConfig:
+    """Configuration of the chip model."""
+
+    geometry: ArmGeometry = field(default_factory=ArmGeometry)
+    fmt: FxFormat = DEFAULT_FORMAT
+    r_file_size: int = 8
+    j_file_size: int = 8
+    cs_max: int = 50
+    #: Latency of the CORDIC core in control steps.
+    cordic_latency: int = 4
+    #: Latency of the 2-stage pipelined multiplier.
+    mult_latency: int = 2
+
+    @property
+    def cordic_spec(self) -> CordicSpec:
+        return CordicSpec(self.fmt)
+
+
+def adder_operations(fmt: FxFormat) -> dict[str, Operation]:
+    """The multi-function adder: ADD, SUB and shift-add variants.
+
+    ``ADD_SHR<k>`` computes ``a + arshift(b, k)`` -- the built-in
+    shifter on one adder input that the microcode's
+    ``X := 0 + Rshift(x2, i)`` uses.
+    """
+    ops = {
+        "ADD": Operation("ADD", 2, fmt.add),
+        "SUB": Operation("SUB", 2, fmt.sub),
+    }
+    for k in range(MAX_SHIFT + 1):
+        name = f"ADD_SHR{k}"
+        ops[name] = Operation(
+            name, 2, (lambda a, b, _k=k: fmt.add(a, fmt.arshift(b, _k)))
+        )
+    return ops
+
+
+def multiplier_operations(fmt: FxFormat) -> dict[str, Operation]:
+    """The MACC multiplier: fixed-point multiply."""
+    return {"FXMUL": Operation("FXMUL", 2, fmt.mul)}
+
+
+def cordic_operations(spec: CordicSpec) -> dict[str, Operation]:
+    """The CORDIC core's operation set.
+
+    ``ATAN2(y, x)`` reads y on in1 and x on in2; ``SQRT``/``SIN``/
+    ``COS`` are unary; ``MAG`` is the gain-compensated magnitude.
+    """
+    fmt = spec.fmt
+    return {
+        "ATAN2": Operation("ATAN2", 2, lambda y, x: _cordic.atan2(spec, y, x)),
+        "MAG": Operation("MAG", 2, lambda x, y: _cordic.magnitude(spec, x, y)),
+        "SQRT": Operation("SQRT", 1, fmt.sqrt),
+        "SIN": Operation("SIN", 1, lambda a: _cordic.sin(spec, a)),
+        "COS": Operation("COS", 1, lambda a: _cordic.cos(spec, a)),
+    }
+
+
+def build_chip(
+    config: Optional[IKSConfig] = None,
+    px: float = 0.0,
+    py: float = 0.0,
+    j_values: Optional[Mapping[int, float]] = None,
+) -> RTModel:
+    """Build the Fig.-3 RT model, preloaded with input values.
+
+    ``J0``/``J1`` receive the encoded target coordinates (the chip's
+    input registers); ``j_values`` may preload further J-file entries
+    (the forward-kinematics program takes joint angles in J2/J3).  The
+    ``M`` ROM receives the geometry constants.  The returned model has
+    no transfers yet -- the microprogram translator adds them
+    (:mod:`repro.iks.microprogram`).
+    """
+    cfg = config or IKSConfig()
+    fmt = cfg.fmt
+    model = RTModel("iks_chip", cs_max=cfg.cs_max, width=fmt.width)
+
+    # -- register files -------------------------------------------------
+    for i in range(cfg.r_file_size):
+        model.register(f"R{i}")
+    inputs = {0: fmt.encode(px), 1: fmt.encode(py)}
+    for index, value in (j_values or {}).items():
+        inputs[index] = fmt.encode(value)
+    for i in range(cfg.j_file_size):
+        model.register(f"J{i}", init=inputs.get(i, 0))
+    rom = cfg.geometry.rom_constants(fmt)
+    for i, key in enumerate(ROM_LAYOUT):
+        model.register(f"M{i}", init=rom[key])
+
+    # -- working registers ------------------------------------------------
+    for name in ("P", "X", "Y", "Z", "r", "zang", "F"):
+        model.register(name)
+    for name in ("x1", "x2", "y1", "y2", "z1", "z2"):
+        model.register(name)
+
+    # -- shared buses -----------------------------------------------------
+    model.bus("BusA")
+    model.bus("BusB")
+
+    # -- functional units ---------------------------------------------------
+    model.module(
+        ModuleSpec(
+            "MULT",
+            operations=multiplier_operations(fmt),
+            latency=cfg.mult_latency,
+            pipelined=True,
+            width=fmt.width,
+        )
+    )
+    for adder in ("X_ADD", "Y_ADD", "Z_ADD"):
+        model.module(
+            ModuleSpec(
+                adder,
+                operations=adder_operations(fmt),
+                default_op="ADD",
+                latency=0,
+                pipelined=True,
+                width=fmt.width,
+            )
+        )
+    model.module(
+        ModuleSpec(
+            "CORDIC",
+            operations=cordic_operations(cfg.cordic_spec),
+            default_op="ATAN2",
+            latency=cfg.cordic_latency,
+            pipelined=False,
+            width=fmt.width,
+        )
+    )
+    return model
+
+
+def rom_value(model: RTModel, key: str) -> int:
+    """The encoded constant stored at ROM entry ``key``."""
+    index = ROM_LAYOUT.index(key)
+    return model.registers[f"M{index}"].init

@@ -1,0 +1,175 @@
+"""A fixed-point CORDIC core (the IKS chip's second resource, Fig. 3).
+
+The Leung & Shanblatt IKS chip contains a "cordic core" next to the
+MACC; the inverse-kinematics solution needs ``atan2``, ``sin``/``cos``
+and vector magnitudes.  This module implements the classic CORDIC
+iterations in pure integer arithmetic on :class:`FxFormat` patterns:
+
+* **circular rotation** mode: rotate ``(x, y)`` by angle ``z`` --
+  yields ``sin``/``cos``;
+* **circular vectoring** mode: rotate ``(x, y)`` onto the x-axis --
+  yields ``atan2(y, x)`` and the (gain-scaled) magnitude;
+* angles are in radians in the same Q format as the data.
+
+All functions are deterministic integer algorithms, so the RT-level
+module (which calls them as its operation body) and the
+algorithmic-level reference produce bit-identical results -- the
+property the paper's verification flow depends on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .fixedpoint import FxFormat
+
+
+@dataclass(frozen=True)
+class CordicSpec:
+    """CORDIC configuration: number format and iteration count."""
+
+    fmt: FxFormat
+    iterations: int = 0  # 0 -> frac + 2 (enough for ~frac bits of result)
+
+    def __post_init__(self) -> None:
+        if self.iterations == 0:
+            object.__setattr__(self, "iterations", self.fmt.frac + 2)
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+
+@lru_cache(maxsize=None)
+def _atan_table(fmt: FxFormat, iterations: int) -> tuple[int, ...]:
+    """Encoded ``atan(2**-i)`` constants (the chip's ROM)."""
+    return tuple(
+        fmt.encode(math.atan(2.0 ** -i)) for i in range(iterations)
+    )
+
+
+@lru_cache(maxsize=None)
+def _gain_inverse(fmt: FxFormat, iterations: int) -> int:
+    """Encoded ``1/K`` where ``K = prod(sqrt(1 + 2**-2i))``."""
+    gain = 1.0
+    for i in range(iterations):
+        gain *= math.sqrt(1.0 + 2.0 ** (-2 * i))
+    return fmt.encode(1.0 / gain)
+
+
+def _signed(fmt: FxFormat, pattern: int) -> int:
+    return fmt.to_signed(pattern)
+
+
+def rotate(spec: CordicSpec, x: int, y: int, z: int) -> tuple[int, int, int]:
+    """Circular rotation mode on encoded patterns.
+
+    Drives ``z`` to zero; returns encoded
+    ``(K*(x cos z0 - y sin z0), K*(x sin z0 + y cos z0), z_residual)``.
+    The caller pre-scales by ``1/K`` (see :func:`sin_cos`) when the
+    gain matters.  ``z`` must be within the CORDIC convergence range
+    (|z| <= ~1.74 rad); :func:`sin_cos` handles quadrant folding.
+    """
+    fmt = spec.fmt
+    atans = _atan_table(fmt, spec.iterations)
+    sx, sy, sz = _signed(fmt, x), _signed(fmt, y), _signed(fmt, z)
+    for i in range(spec.iterations):
+        if sz >= 0:
+            sx, sy = sx - (sy >> i), sy + (sx >> i)
+            sz -= _signed(fmt, atans[i])
+        else:
+            sx, sy = sx + (sy >> i), sy - (sx >> i)
+            sz += _signed(fmt, atans[i])
+    return fmt.from_signed(sx), fmt.from_signed(sy), fmt.from_signed(sz)
+
+
+def vector(spec: CordicSpec, x: int, y: int) -> tuple[int, int]:
+    """Circular vectoring mode on encoded patterns.
+
+    Drives ``y`` to zero; returns encoded ``(K * sqrt(x^2 + y^2),
+    atan2-accumulator)``.  Requires ``x >= 0`` (callers fold the left
+    half-plane; see :func:`atan2`).
+    """
+    fmt = spec.fmt
+    atans = _atan_table(fmt, spec.iterations)
+    sx, sy = _signed(fmt, x), _signed(fmt, y)
+    sz = 0
+    for i in range(spec.iterations):
+        if sy <= 0:
+            sx, sy = sx - (sy >> i), sy + (sx >> i)
+            sz -= _signed(fmt, atans[i])
+        else:
+            sx, sy = sx + (sy >> i), sy - (sx >> i)
+            sz += _signed(fmt, atans[i])
+    return fmt.from_signed(sx), fmt.from_signed(sz)
+
+
+# ----------------------------------------------------------------------
+# user-level operations (what the chip's op codes expose)
+# ----------------------------------------------------------------------
+def atan2(spec: CordicSpec, y: int, x: int) -> int:
+    """Encoded ``atan2(y, x)`` in radians, full four quadrants."""
+    fmt = spec.fmt
+    sy, sx = _signed(fmt, y), _signed(fmt, x)
+    pi = fmt.encode(math.pi)
+    if sx == 0 and sy == 0:
+        return 0
+    if sx < 0:
+        # Fold into the right half-plane: atan2(y, x) =
+        #   pi - atan2(y, -x)   for y >= 0
+        #  -pi + atan2(-y, -x)... handled via sign below.
+        _, z = vector(spec, fmt.from_signed(-sx), fmt.from_signed(abs(sy)))
+        folded = fmt.to_signed(pi) - fmt.to_signed(z)
+        result = folded if sy >= 0 else -folded
+        return fmt.from_signed(result)
+    _, z = vector(spec, x, y)
+    return z
+
+
+def magnitude(spec: CordicSpec, x: int, y: int) -> int:
+    """Encoded ``sqrt(x^2 + y^2)`` (CORDIC gain compensated)."""
+    fmt = spec.fmt
+    sx, sy = abs(_signed(fmt, x)), abs(_signed(fmt, y))
+    scaled, _ = vector(spec, fmt.from_signed(sx), fmt.from_signed(sy))
+    return fmt.mul(scaled, _gain_inverse(fmt, spec.iterations))
+
+
+def sin_cos(spec: CordicSpec, angle: int) -> tuple[int, int]:
+    """Encoded ``(sin, cos)`` of an encoded radian angle.
+
+    Folds the angle into the convergence range using quadrant
+    identities before rotating.
+    """
+    fmt = spec.fmt
+    sa = _signed(fmt, angle)
+    pi = fmt.to_signed(fmt.encode(math.pi))
+    half_pi = fmt.to_signed(fmt.encode(math.pi / 2))
+    two_pi = 2 * pi
+    # Reduce to (-pi, pi].
+    while sa > pi:
+        sa -= two_pi
+    while sa <= -pi:
+        sa += two_pi
+    flip = False
+    if sa > half_pi:
+        sa = pi - sa
+        flip = True
+    elif sa < -half_pi:
+        sa = -pi - sa
+        flip = True
+    inv_k = _gain_inverse(fmt, spec.iterations)
+    x0, y0 = inv_k, 0
+    cos_p, sin_p, _ = rotate(spec, x0, y0, fmt.from_signed(sa))
+    if flip:
+        cos_p = fmt.neg(cos_p)
+    return sin_p, cos_p
+
+
+def sin(spec: CordicSpec, angle: int) -> int:
+    """Encoded sine of an encoded angle."""
+    return sin_cos(spec, angle)[0]
+
+
+def cos(spec: CordicSpec, angle: int) -> int:
+    """Encoded cosine of an encoded angle."""
+    return sin_cos(spec, angle)[1]

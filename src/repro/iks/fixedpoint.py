@@ -1,0 +1,156 @@
+"""Signed fixed-point arithmetic encoded into the subset's naturals.
+
+The subset's regular values are natural numbers (paper §2.3); the IKS
+chip computes with signed fixed-point data.  The bridge is standard
+two's-complement encoding at a fixed word width: a signed Q-format
+number is stored as its width-bit two's-complement pattern, which *is*
+a natural number, and the RT modules operate on those patterns with
+modulo-``2**width`` arithmetic.
+
+The default format is Q17.14 in a 32-bit word (14 fraction bits),
+which comfortably covers the IKS working range (link lengths of a few
+units, squared radii, angles in radians) at ~6 decimal digits of
+resolution.
+
+All helpers here are pure functions; :class:`FxFormat` carries the
+format parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FxFormat:
+    """A signed fixed-point format: ``width``-bit words with ``frac``
+    fraction bits."""
+
+    width: int = 32
+    frac: int = 14
+
+    def __post_init__(self) -> None:
+        if self.width < 2:
+            raise ValueError(f"width must be >= 2, got {self.width}")
+        if not 0 <= self.frac < self.width:
+            raise ValueError(
+                f"frac must be in [0, width), got {self.frac} for width "
+                f"{self.width}"
+            )
+
+    # -- ranges --------------------------------------------------------
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def scale(self) -> int:
+        """Integer representing 1.0."""
+        return 1 << self.frac
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.width - 1))
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.width - 1)) - 1
+
+    # -- encode / decode -------------------------------------------------
+    def encode(self, value: float) -> int:
+        """Real number -> natural (two's-complement bit pattern).
+
+        Rounds to nearest; saturates at the format bounds (the hardware
+        would saturate or wrap -- saturation keeps numeric experiments
+        interpretable and is what the MACC datapath of [10] does).
+        """
+        raw = round(value * self.scale)
+        raw = max(self.min_signed, min(self.max_signed, raw))
+        return raw & self.mask
+
+    def decode(self, pattern: int) -> float:
+        """Natural (bit pattern) -> real number."""
+        return self.to_signed(pattern) / self.scale
+
+    def to_signed(self, pattern: int) -> int:
+        """Bit pattern -> signed integer (the raw Q value)."""
+        pattern &= self.mask
+        if pattern >> (self.width - 1):
+            return pattern - (1 << self.width)
+        return pattern
+
+    def from_signed(self, raw: int) -> int:
+        """Signed integer (raw Q value) -> bit pattern, saturating."""
+        raw = max(self.min_signed, min(self.max_signed, raw))
+        return raw & self.mask
+
+    # -- arithmetic on patterns -----------------------------------------
+    def add(self, a: int, b: int) -> int:
+        return self.from_signed(self.to_signed(a) + self.to_signed(b))
+
+    def sub(self, a: int, b: int) -> int:
+        return self.from_signed(self.to_signed(a) - self.to_signed(b))
+
+    def neg(self, a: int) -> int:
+        return self.from_signed(-self.to_signed(a))
+
+    def mul(self, a: int, b: int) -> int:
+        """Fixed-point multiply: ``(a * b) >> frac`` with sign."""
+        product = self.to_signed(a) * self.to_signed(b)
+        return self.from_signed(_round_shift(product, self.frac))
+
+    def arshift(self, a: int, amount: int) -> int:
+        """Arithmetic right shift of the signed value."""
+        if amount < 0:
+            raise ValueError(f"shift amount must be >= 0, got {amount}")
+        return self.from_signed(self.to_signed(a) >> min(amount, self.width))
+
+    def sqrt(self, a: int) -> int:
+        """Fixed-point square root of a non-negative pattern.
+
+        Computed exactly as ``isqrt(a << frac)`` -- the same bit-exact
+        function the CORDIC hyperbolic pipeline converges to, so the
+        algorithmic reference and the RT model agree bit for bit.
+        Negative inputs clamp to 0 (domain error on real hardware).
+        """
+        signed = self.to_signed(a)
+        if signed <= 0:
+            return 0
+        return self.from_signed(_isqrt(signed << self.frac))
+
+    def compare(self, a: int, b: int) -> int:
+        """-1 / 0 / +1 comparison of two encoded values."""
+        sa, sb = self.to_signed(a), self.to_signed(b)
+        return (sa > sb) - (sa < sb)
+
+
+def _round_shift(value: int, amount: int) -> int:
+    """Shift right with round-to-nearest (ties away from zero)."""
+    if amount == 0:
+        return value
+    half = 1 << (amount - 1)
+    if value >= 0:
+        return (value + half) >> amount
+    return -((-value + half) >> amount)
+
+
+def _isqrt(value: int) -> int:
+    """Integer square root (floor), digit-by-digit like the hardware."""
+    if value < 0:
+        raise ValueError("isqrt of negative value")
+    result = 0
+    bit = 1 << (max(value.bit_length(), 2) & ~1)
+    while bit > value:
+        bit >>= 2
+    while bit:
+        if value >= result + bit:
+            value -= result + bit
+            result = (result >> 1) + bit
+        else:
+            result >>= 1
+        bit >>= 2
+    return result
+
+
+#: The default format used by the IKS chip model.
+DEFAULT_FORMAT = FxFormat(width=32, frac=14)

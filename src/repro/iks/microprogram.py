@@ -1,0 +1,561 @@
+"""The IKS microprogram and its code maps (paper §3).
+
+Two artifacts live here:
+
+* :func:`paper_code_maps` -- the exact opc1=20 / opc2=2 decode entries
+  the paper prints, from which the addr-7 table row derives the
+  transfers ``(J[6],BusA,y2,1)`` and ``(Y,direct,x2,1)`` and the unit
+  operations ``Z := 0 + 0``, ``X := 0 + Rshift(x2,i)``, ``Y := 0 + y2``
+  and ``F := 1`` (experiment E7 checks this verbatim);
+
+* :func:`ik_microprogram` -- a complete microprogram computing the
+  planar two-link inverse-kinematics solution on the chip of
+  :mod:`repro.iks.chip`, hand-scheduled around the unit latencies
+  (MULT: 2 pipelined, CORDIC: 4 non-pipelined, adders: 0).  Its RT
+  translation simulates bit-identically to
+  :func:`repro.iks.algorithm.solve_ik`, which is the paper's
+  bottom-up verification scenario (experiment E6).
+
+The :class:`ProgramBuilder` allocates opc codes for each distinct
+routing/operation pattern, mimicking how real microcode shares decode
+ROM entries between instructions that differ only in operand fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..microcode.codemaps import (
+    DIRECT,
+    CodeMaps,
+    FlagSet,
+    OperationCode,
+    RegRef,
+    Route,
+    RoutingCode,
+    UnitOp,
+)
+from ..microcode.table import MicroInstruction, MicrocodeFormat, MicrocodeTable
+
+#: Operand fields of the IKS microword: ``m`` indexes the coefficient
+#: ROM / carries shift amounts, ``J`` indexes the J file, ``R1``
+#: indexes the R file, ``MR`` is the second ROM/file index.
+IKS_FIELDS = ("m", "J", "R1", "MR")
+
+
+def paper_code_maps() -> CodeMaps:
+    """The §3 example decode entries: opc1=20 and opc2=2.
+
+    opc1=20 routes ``J[<J>]`` over BusA into ``y2`` and ``Y`` over a
+    direct link into ``x2``; opc2=2 performs ``Z := 0 + 0``,
+    ``X := 0 + Rshift(x2, <m>)``, ``Y := 0 + y2`` and sets flag F.
+    """
+    maps = CodeMaps()
+    maps.add_routing(
+        RoutingCode(
+            code=20,
+            routes=(
+                Route("BusA", RegRef("J", index_field="J"), RegRef("y2")),
+                Route(DIRECT, RegRef("Y"), RegRef("x2")),
+            ),
+        )
+    )
+    maps.add_operations(
+        OperationCode(
+            code=2,
+            unit_ops=(
+                UnitOp("Z_ADD", "ADD", RegRef.const(0), RegRef.const(0)),
+                UnitOp(
+                    "X_ADD",
+                    "ADD",
+                    RegRef.const(0),
+                    RegRef("x2"),
+                    shift_field="m",
+                ),
+                UnitOp("Y_ADD", "ADD", RegRef.const(0), RegRef("y2")),
+            ),
+            flags=(FlagSet("F", 1),),
+        )
+    )
+    return maps
+
+
+def paper_addr7_instruction() -> MicroInstruction:
+    """The microprogram-store entry at address 7 from the paper's
+    table (opc1=20, opc2=2, J field = 6)."""
+    return MicroInstruction(
+        addr=7, opc1=20, opc2=2, fields={"m": 2, "J": 6, "R1": 0, "MR": 0}
+    )
+
+
+# ----------------------------------------------------------------------
+# program builder
+# ----------------------------------------------------------------------
+@dataclass
+class ProgramBuilder:
+    """Accumulates microinstructions, allocating opc codes on demand.
+
+    Identical routing patterns share an opc1 code and identical
+    operation patterns share an opc2 code (indexed operand fields make
+    that sharing meaningful, as in real horizontal microcode).
+    Code 0 is reserved for "no routes" / "no operations".
+    """
+
+    fields: Sequence[str] = IKS_FIELDS
+    _routing_codes: dict = field(default_factory=dict)
+    _operation_codes: dict = field(default_factory=dict)
+    _maps: CodeMaps = field(default_factory=CodeMaps)
+    _table: Optional[MicrocodeTable] = None
+    _next_addr: int = 1
+
+    def __post_init__(self) -> None:
+        self._table = MicrocodeTable(MicrocodeFormat(tuple(self.fields)))
+        self._routing_codes[()] = 0
+        self._maps.add_routing(RoutingCode(code=0))
+        self._operation_codes[((), ())] = 0
+        self._maps.add_operations(OperationCode(code=0))
+
+    def instr(
+        self,
+        routes: Sequence[Route] = (),
+        ops: Sequence[UnitOp] = (),
+        flags: Sequence[FlagSet] = (),
+        **field_values: int,
+    ) -> MicroInstruction:
+        """Append one microinstruction (at the next address)."""
+        opc1 = self._routing_code(tuple(routes))
+        opc2 = self._operation_code(tuple(ops), tuple(flags))
+        values = {name: field_values.pop(name, 0) for name in self.fields}
+        if field_values:
+            raise ValueError(
+                f"unknown operand fields {sorted(field_values)}; "
+                f"format has {list(self.fields)}"
+            )
+        instruction = MicroInstruction(
+            addr=self._next_addr, opc1=opc1, opc2=opc2, fields=values
+        )
+        self._table.add(instruction)
+        self._next_addr += 1
+        return instruction
+
+    def nop(self, count: int = 1) -> None:
+        """Append idle microinstructions (latency padding)."""
+        for _ in range(count):
+            self.instr()
+
+    def build(self) -> tuple[MicrocodeTable, CodeMaps]:
+        """The finished program and its decode tables."""
+        return self._table, self._maps
+
+    # -- internals --------------------------------------------------------
+    def _routing_code(self, routes: tuple) -> int:
+        if routes not in self._routing_codes:
+            code = len(self._routing_codes)
+            self._routing_codes[routes] = code
+            self._maps.add_routing(RoutingCode(code=code, routes=routes))
+        return self._routing_codes[routes]
+
+    def _operation_code(self, ops: tuple, flags: tuple) -> int:
+        key = (ops, flags)
+        if key not in self._operation_codes:
+            code = len(self._operation_codes)
+            self._operation_codes[key] = code
+            self._maps.add_operations(
+                OperationCode(code=code, unit_ops=ops, flags=flags)
+            )
+        return self._operation_codes[key]
+
+
+# ----------------------------------------------------------------------
+# the inverse-kinematics microprogram
+# ----------------------------------------------------------------------
+def _ref(name: str) -> RegRef:
+    return RegRef(name)
+
+
+def _j() -> RegRef:
+    return RegRef("J", index_field="J")
+
+
+def _m() -> RegRef:
+    return RegRef("M", index_field="m")
+
+
+def _r_dest() -> RegRef:
+    return RegRef("R", index_field="R1")
+
+
+def ik_microprogram() -> tuple[MicrocodeTable, CodeMaps]:
+    """The complete two-link IK microprogram.
+
+    Register plan (M ROM layout per :data:`repro.iks.chip.ROM_LAYOUT`):
+    ``M0=L1, M1=L2, M2=1.0, M3=1/(2 L1 L2), M4=L1^2+L2^2``; inputs
+    ``J0=px, J1=py``; results ``R0=theta1, R1=theta2`` (``R2`` holds
+    the intermediate ``s2``).
+    """
+    b = ProgramBuilder()
+    busA, busB = "BusA", "BusB"
+
+    def route(bus, src, dst):
+        return Route(bus, src, dst)
+
+    mult = lambda: UnitOp("MULT", "FXMUL", _ref("x1"), _ref("x2"))  # noqa: E731
+    zadd = lambda op: UnitOp("Z_ADD", op, _ref("z1"), _ref("z2"))  # noqa: E731
+
+    # 1: px -> x1, x2
+    b.instr(routes=[route(busA, _j(), _ref("x1")), route(busB, _j(), _ref("x2"))], J=0)
+    # 2: P := px*px (ready cs5); py -> x1, x2
+    b.instr(
+        routes=[route(busA, _j(), _ref("x1")), route(busB, _j(), _ref("x2"))],
+        ops=[mult()],
+        J=1,
+    )
+    # 3: P := py*py (ready cs6)
+    b.instr(ops=[mult()])
+    # 4: idle (multiplier pipeline)
+    b.nop()
+    # 5: px^2 -> z1
+    b.instr(routes=[route(busA, _ref("P"), _ref("z1"))])
+    # 6: py^2 -> z2
+    b.instr(routes=[route(busA, _ref("P"), _ref("z2"))])
+    # 7: Z := r2 = px^2 + py^2
+    b.instr(ops=[zadd("ADD")])
+    # 8: r2 -> z1, M4 -> z2
+    b.instr(
+        routes=[route(busA, _ref("Z"), _ref("z1")), route(busB, _m(), _ref("z2"))],
+        m=4,
+    )
+    # 9: Z := t = r2 - (L1^2+L2^2)
+    b.instr(ops=[zadd("SUB")])
+    # 10: t -> x1, M3 -> x2
+    b.instr(
+        routes=[route(busA, _ref("Z"), _ref("x1")), route(busB, _m(), _ref("x2"))],
+        m=3,
+    )
+    # 11: P := c2 = t * inv(2 L1 L2) (ready cs14)
+    b.instr(ops=[mult()])
+    # 12-13: idle
+    b.nop(2)
+    # 14: c2 -> x1, x2 and (direct) -> r
+    b.instr(
+        routes=[
+            route(busA, _ref("P"), _ref("x1")),
+            route(busB, _ref("P"), _ref("x2")),
+            route(DIRECT, _ref("P"), _ref("r")),
+        ]
+    )
+    # 15: P := c2^2 (ready cs18); 1.0 -> z1
+    b.instr(routes=[route(busA, _m(), _ref("z1"))], ops=[mult()], m=2)
+    # 16-17: idle
+    b.nop(2)
+    # 18: c2^2 -> z2
+    b.instr(routes=[route(busA, _ref("P"), _ref("z2"))])
+    # 19: Z := 1 - c2^2
+    b.instr(ops=[zadd("SUB")])
+    # 20: (1 - c2^2) -> y1
+    b.instr(routes=[route(busA, _ref("Z"), _ref("y1"))])
+    # 21: zang := SQRT(y1) = s2 (CORDIC, ready cs26)
+    b.instr(ops=[UnitOp("CORDIC", "SQRT", _ref("y1"))])
+    # 22-25: idle (CORDIC busy)
+    b.nop(4)
+    # 26: s2 -> y1 and s2 -> R2 (saved for theta1)
+    b.instr(
+        routes=[route(busA, _ref("zang"), _ref("y1")),
+                route(busB, _ref("zang"), _r_dest())],
+        R1=2,
+    )
+    # 27: zang := theta2 = ATAN2(s2, c2) (ready cs32); L2 -> x1, c2 -> x2
+    b.instr(
+        routes=[route(busA, _m(), _ref("x1")), route(busB, _ref("r"), _ref("x2"))],
+        ops=[UnitOp("CORDIC", "ATAN2", _ref("y1"), _ref("r"))],
+        m=1,
+    )
+    # 28: P := L2*c2 (ready cs31); L1 -> z1
+    b.instr(routes=[route(busA, _m(), _ref("z1"))], ops=[mult()], m=0)
+    # 29-30: idle
+    b.nop(2)
+    # 31: L2*c2 -> z2
+    b.instr(routes=[route(busA, _ref("P"), _ref("z2"))])
+    # 32: Z := k1 = L1 + L2*c2; theta2 -> R1
+    b.instr(
+        routes=[route(busA, _ref("zang"), _r_dest())],
+        ops=[zadd("ADD")],
+        R1=1,
+    )
+    # 33: L2 -> x1, s2 -> x2
+    b.instr(
+        routes=[route(busA, _m(), _ref("x1")),
+                route(busB, RegRef("R", index_field="MR"), _ref("x2"))],
+        m=1,
+        MR=2,
+    )
+    # 34: P := k2 = L2*s2 (ready cs37); py -> y1, px -> r
+    b.instr(
+        routes=[route(busA, _j(), _ref("y1")),
+                route(busB, RegRef("J", index_field="MR"), _ref("r"))],
+        ops=[mult()],
+        J=1,
+        MR=0,
+    )
+    # 35: zang := beta = ATAN2(py, px) (ready cs40)
+    b.instr(ops=[UnitOp("CORDIC", "ATAN2", _ref("y1"), _ref("r"))])
+    # 36-39: idle (CORDIC busy)
+    b.nop(4)
+    # 40: beta -> z1
+    b.instr(routes=[route(busA, _ref("zang"), _ref("z1"))])
+    # 41: k2 -> y1, k1 -> r
+    b.instr(
+        routes=[route(busA, _ref("P"), _ref("y1")),
+                route(busB, _ref("Z"), _ref("r"))]
+    )
+    # 42: zang := alpha = ATAN2(k2, k1) (ready cs47)
+    b.instr(ops=[UnitOp("CORDIC", "ATAN2", _ref("y1"), _ref("r"))])
+    # 43-46: idle
+    b.nop(4)
+    # 47: alpha -> z2
+    b.instr(routes=[route(busA, _ref("zang"), _ref("z2"))])
+    # 48: Z := theta1 = beta - alpha
+    b.instr(ops=[zadd("SUB")])
+    # 49: theta1 -> R0
+    b.instr(routes=[route(busA, _ref("Z"), _r_dest())], R1=0)
+    return b.build()
+
+
+#: Result registers of :func:`ik_microprogram`.
+RESULT_REGISTERS = {"theta1": "R0", "theta2": "R1"}
+
+
+# ----------------------------------------------------------------------
+# the forward-kinematics microprogram
+# ----------------------------------------------------------------------
+def fk_microprogram() -> tuple[MicrocodeTable, CodeMaps]:
+    """Forward kinematics on the chip: joint angles -> end point.
+
+    Computes ``x = L1 cos(t1) + L2 cos(t1 + t2)`` and
+    ``y = L1 sin(t1) + L2 sin(t1 + t2)`` with the CORDIC core's
+    SIN/COS operations, the multiplier, and the X/Y/Z adders --
+    exercising the units the IK program leaves idle.  Inputs
+    ``J2 = theta1, J3 = theta2``; results ``R3 = x, R4 = y``
+    (``R5``/``R6`` hold the first-link partial products).
+
+    Composed with :func:`ik_microprogram`, this gives the on-chip
+    FK(IK(p)) = p consistency check of the E6 extension tests.
+    """
+    b = ProgramBuilder()
+    busA, busB = "BusA", "BusB"
+
+    def route(bus, src, dst):
+        return Route(bus, src, dst)
+
+    def j(index_field="J"):
+        return RegRef("J", index_field=index_field)
+
+    mult = lambda: UnitOp("MULT", "FXMUL", _ref("x1"), _ref("x2"))  # noqa: E731
+    cordic = lambda op: UnitOp("CORDIC", op, _ref("y1"))  # noqa: E731
+
+    # 1: t1 -> z1, t2 -> z2
+    b.instr(
+        routes=[route(busA, j("J"), _ref("z1")),
+                route(busB, j("MR"), _ref("z2"))],
+        J=2, MR=3,
+    )
+    # 2: Z := t12 = t1 + t2
+    b.instr(ops=[UnitOp("Z_ADD", "ADD", _ref("z1"), _ref("z2"))])
+    # 3: t1 -> y1 (CORDIC operand)
+    b.instr(routes=[route(busA, j(), _ref("y1"))], J=2)
+    # 4: zang := cos(t1)  (ready cs9)
+    b.instr(ops=[cordic("COS")])
+    # 5-8: CORDIC busy
+    b.nop(4)
+    # 9: cos(t1) -> x1, L1 -> x2; zang := sin(t1) (ready cs14)
+    b.instr(
+        routes=[route(busA, _ref("zang"), _ref("x1")),
+                route(busB, _m(), _ref("x2"))],
+        ops=[cordic("SIN")],
+        m=0,
+    )
+    # 10: P := L1*cos(t1) (ready cs13)
+    b.instr(ops=[mult()])
+    # 11-12: idle
+    b.nop(2)
+    # 13: L1*cos(t1) -> R5; t12 -> y1
+    b.instr(
+        routes=[route(busA, _ref("P"), _r_dest()),
+                route(busB, _ref("Z"), _ref("y1"))],
+        R1=5,
+    )
+    # 14: sin(t1) -> x1, L1 -> x2; zang := cos(t12) (ready cs19)
+    b.instr(
+        routes=[route(busA, _ref("zang"), _ref("x1")),
+                route(busB, _m(), _ref("x2"))],
+        ops=[cordic("COS")],
+        m=0,
+    )
+    # 15: P := L1*sin(t1) (ready cs18)
+    b.instr(ops=[mult()])
+    # 16-17: idle
+    b.nop(2)
+    # 18: L1*sin(t1) -> R6
+    b.instr(routes=[route(busA, _ref("P"), _r_dest())], R1=6)
+    # 19: cos(t12) -> x1, L2 -> x2; zang := sin(t12) (ready cs24)
+    b.instr(
+        routes=[route(busA, _ref("zang"), _ref("x1")),
+                route(busB, _m(), _ref("x2"))],
+        ops=[cordic("SIN")],
+        m=1,
+    )
+    # 20: P := L2*cos(t12) (ready cs23)
+    b.instr(ops=[mult()])
+    # 21-22: idle
+    b.nop(2)
+    # 23: L2*cos(t12) -> x2, L1*cos(t1) -> x1 (from R5)
+    b.instr(
+        routes=[route(busA, _ref("P"), _ref("x2")),
+                route(busB, RegRef("R", index_field="MR"), _ref("x1"))],
+        MR=5,
+    )
+    # 24: X := x = L1*cos(t1) + L2*cos(t12); refill x1/x2 for the sine
+    #     product (X_ADD reads the old values in this step's ra phase)
+    b.instr(
+        routes=[route(busA, _ref("zang"), _ref("x1")),
+                route(busB, _m(), _ref("x2"))],
+        ops=[UnitOp("X_ADD", "ADD", _ref("x1"), _ref("x2"))],
+        m=1,
+    )
+    # 25: P := L2*sin(t12) (ready cs28); x -> R3
+    b.instr(
+        routes=[route(busA, _ref("X"), _r_dest())],
+        ops=[mult()],
+        R1=3,
+    )
+    # 26-27: idle
+    b.nop(2)
+    # 28: L2*sin(t12) -> y2, L1*sin(t1) -> y1 (from R6)
+    b.instr(
+        routes=[route(busA, _ref("P"), _ref("y2")),
+                route(busB, RegRef("R", index_field="MR"), _ref("y1"))],
+        MR=6,
+    )
+    # 29: Y := y = L1*sin(t1) + L2*sin(t12)
+    b.instr(ops=[UnitOp("Y_ADD", "ADD", _ref("y1"), _ref("y2"))])
+    # 30: y -> R4
+    b.instr(routes=[route(busA, _ref("Y"), _r_dest())], R1=4)
+    return b.build()
+
+
+#: Input J-file slots and result registers of :func:`fk_microprogram`.
+FK_INPUT_SLOTS = {"theta1": 2, "theta2": 3}
+FK_RESULT_REGISTERS = {"x": "R3", "y": "R4"}
+
+
+# ----------------------------------------------------------------------
+# the three-DOF solution: prologue + shared IK body + epilogue
+# ----------------------------------------------------------------------
+def ik3_prologue() -> tuple[MicrocodeTable, CodeMaps]:
+    """Wrist-position prologue of the 3-DOF solution (18 steps).
+
+    Inputs ``J0 = px, J1 = py, J4 = phi`` (ROM ``M5 = L3``); rewrites
+    ``J0 := xw = px - L3 cos(phi)`` and ``J1 := yw = py - L3 sin(phi)``
+    in place, so the unmodified two-link IK body can run next.
+    """
+    b = ProgramBuilder()
+    busA, busB = "BusA", "BusB"
+
+    def route(bus, src, dst):
+        return Route(bus, src, dst)
+
+    mult = lambda: UnitOp("MULT", "FXMUL", _ref("x1"), _ref("x2"))  # noqa: E731
+    zsub = lambda: UnitOp("Z_ADD", "SUB", _ref("z1"), _ref("z2"))  # noqa: E731
+
+    # 1: phi -> y1 (CORDIC operand)
+    b.instr(routes=[route(busA, _j(), _ref("y1"))], J=4)
+    # 2: zang := cos(phi) (ready cs7)
+    b.instr(ops=[UnitOp("CORDIC", "COS", _ref("y1"))])
+    # 3-6: CORDIC busy
+    b.nop(4)
+    # 7: cos(phi) -> x1, L3 -> x2; zang := sin(phi) (ready cs12)
+    b.instr(
+        routes=[route(busA, _ref("zang"), _ref("x1")),
+                route(busB, _m(), _ref("x2"))],
+        ops=[UnitOp("CORDIC", "SIN", _ref("y1"))],
+        m=5,
+    )
+    # 8: P := L3*cos(phi) (ready cs11)
+    b.instr(ops=[mult()])
+    # 9-10: idle
+    b.nop(2)
+    # 11: L3*cos(phi) -> z2, px -> z1
+    b.instr(
+        routes=[route(busA, _ref("P"), _ref("z2")),
+                route(busB, _j(), _ref("z1"))],
+        J=0,
+    )
+    # 12: Z := xw = px - L3*cos(phi); sin(phi) -> x1, L3 -> x2
+    b.instr(
+        routes=[route(busA, _ref("zang"), _ref("x1")),
+                route(busB, _m(), _ref("x2"))],
+        ops=[zsub()],
+        m=5,
+    )
+    # 13: P := L3*sin(phi) (ready cs16); xw -> J0
+    b.instr(routes=[route(busA, _ref("Z"), _j())], ops=[mult()], J=0)
+    # 14-15: idle
+    b.nop(2)
+    # 16: L3*sin(phi) -> z2, py -> z1
+    b.instr(
+        routes=[route(busA, _ref("P"), _ref("z2")),
+                route(busB, _j(), _ref("z1"))],
+        J=1,
+    )
+    # 17: Z := yw = py - L3*sin(phi)
+    b.instr(ops=[zsub()])
+    # 18: yw -> J1
+    b.instr(routes=[route(busA, _ref("Z"), _j())], J=1)
+    return b.build()
+
+
+def ik3_epilogue() -> tuple[MicrocodeTable, CodeMaps]:
+    """Wrist-angle epilogue of the 3-DOF solution (5 steps).
+
+    Runs after the IK body: reads ``phi`` (J4), ``theta1`` (R0) and
+    ``theta2`` (R1) and stores ``theta3 = (phi - theta2) - theta1``
+    into ``R2``.
+    """
+    b = ProgramBuilder()
+    busA, busB = "BusA", "BusB"
+
+    def route(bus, src, dst):
+        return Route(bus, src, dst)
+
+    zsub = lambda: UnitOp("Z_ADD", "SUB", _ref("z1"), _ref("z2"))  # noqa: E731
+
+    # 1: phi -> z1, theta2 -> z2
+    b.instr(
+        routes=[route(busA, _j(), _ref("z1")),
+                route(busB, RegRef("R", index_field="R1"), _ref("z2"))],
+        J=4, R1=1,
+    )
+    # 2: Z := phi - theta2
+    b.instr(ops=[zsub()])
+    # 3: Z -> z1, theta1 -> z2
+    b.instr(
+        routes=[route(busA, _ref("Z"), _ref("z1")),
+                route(busB, RegRef("R", index_field="R1"), _ref("z2"))],
+        R1=0,
+    )
+    # 4: Z := theta3
+    b.instr(ops=[zsub()])
+    # 5: theta3 -> R2 (overwrites the no-longer-needed s2 temporary)
+    b.instr(routes=[route(busA, _ref("Z"), _r_dest())], R1=2)
+    return b.build()
+
+
+#: Result registers of the 3-DOF composition.
+IK3_RESULT_REGISTERS = {"theta1": "R0", "theta2": "R1", "theta3": "R2"}
+
+#: Steps of the three program fragments (prologue, body, epilogue).
+IK3_PROLOGUE_STEPS = 18
+IK3_BODY_STEPS = 49
+IK3_EPILOGUE_STEPS = 5
+IK3_TOTAL_STEPS = IK3_PROLOGUE_STEPS + IK3_BODY_STEPS + IK3_EPILOGUE_STEPS

@@ -1,0 +1,59 @@
+"""Delta-cycle event-driven simulation kernel (substrate S1).
+
+Implements the slice of VHDL (IEEE-1076) simulation semantics the
+paper's clock-free register-transfer subset is defined against:
+
+* signals with per-process drivers and user-defined resolution
+  functions (:mod:`repro.kernel.signals`);
+* processes as Python generators suspended on VHDL-style wait
+  conditions (:mod:`repro.kernel.waits`, :mod:`repro.kernel.process`);
+* a two-phase simulation cycle with exact delta-cycle accounting
+  (:mod:`repro.kernel.scheduler`) -- the paper's ``CS_MAX * 6`` delta
+  claim is verified against these counters.
+"""
+
+from .errors import (
+    DeltaCycleLimitError,
+    ElaborationError,
+    KernelError,
+    ProcessError,
+    SimulationError,
+)
+from .process import Process
+from .scheduler import SimStats, Simulator
+from .signals import Driver, Signal, iter_driver_values
+from .simtime import TIME_ZERO, SimTime
+from .waits import (
+    WaitFor,
+    WaitForever,
+    WaitOn,
+    WaitUntil,
+    wait_for,
+    wait_forever,
+    wait_on,
+    wait_until,
+)
+
+__all__ = [
+    "DeltaCycleLimitError",
+    "Driver",
+    "ElaborationError",
+    "KernelError",
+    "Process",
+    "ProcessError",
+    "Signal",
+    "SimStats",
+    "SimTime",
+    "SimulationError",
+    "Simulator",
+    "TIME_ZERO",
+    "WaitFor",
+    "WaitForever",
+    "WaitOn",
+    "WaitUntil",
+    "iter_driver_values",
+    "wait_for",
+    "wait_forever",
+    "wait_on",
+    "wait_until",
+]

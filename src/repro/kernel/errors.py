@@ -1,0 +1,55 @@
+"""Exception hierarchy for the simulation kernel.
+
+The kernel mirrors the slice of IEEE-1076 simulation semantics the paper
+relies on (delta cycles, resolved signals, ``wait until`` processes), and
+its error conditions mirror the corresponding VHDL elaboration/runtime
+errors.
+"""
+
+from __future__ import annotations
+
+
+class KernelError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class ElaborationError(KernelError):
+    """Raised for structural errors detected while building a design.
+
+    Examples: attaching two drivers to an unresolved signal, driving a
+    signal that belongs to a different simulator instance, or adding
+    processes after the simulation has started.
+    """
+
+
+class SimulationError(KernelError):
+    """Raised for errors detected while the simulation is running."""
+
+
+class DeltaCycleLimitError(SimulationError):
+    """Raised when a single simulation time consumes too many delta cycles.
+
+    An unbounded delta loop (two processes re-triggering each other with
+    zero-delay assignments) would otherwise hang the simulator; VHDL
+    simulators impose the same kind of iteration limit.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            f"exceeded {limit} delta cycles without advancing physical "
+            f"time; the design probably contains a zero-delay loop"
+        )
+        self.limit = limit
+
+
+class ProcessError(SimulationError):
+    """Raised when a user process raises an exception.
+
+    The original exception is preserved as ``__cause__`` and the failing
+    process is identified by name so that model-level code can produce a
+    useful diagnostic.
+    """
+
+    def __init__(self, process_name: str, message: str) -> None:
+        super().__init__(f"process {process_name!r}: {message}")
+        self.process_name = process_name

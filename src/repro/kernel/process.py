@@ -1,0 +1,100 @@
+"""Simulation processes.
+
+A process wraps a Python generator.  The generator yields wait
+conditions (:mod:`repro.kernel.waits`); the scheduler resumes it when
+the condition is met.  As in VHDL, every process runs once during
+initialization, up to its first ``wait``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .errors import ProcessError, SimulationError
+from .waits import WaitCondition, WaitFor, WaitForever, WaitOn, WaitUntil
+
+#: The generator type user process functions must return.
+ProcessGenerator = Generator[Any, None, None]
+
+
+class Process:
+    """A running simulation process.
+
+    Created via :meth:`repro.kernel.Simulator.add_process`; not
+    instantiated directly by user code.
+    """
+
+    __slots__ = ("name", "_gen", "_wait", "_finished", "resume_count", "_seq")
+
+    def __init__(self, name: str, gen: ProcessGenerator, seq: int = 0) -> None:
+        self.name = name
+        self._gen = gen
+        self._wait: Optional[object] = None
+        self._finished = False
+        #: Number of times the scheduler has resumed this process.
+        self.resume_count = 0
+        #: Creation order; the scheduler uses it for deterministic
+        #: resumption order without string comparisons.
+        self._seq = seq
+
+    @property
+    def finished(self) -> bool:
+        """True once the generator has returned (process left the design)."""
+        return self._finished
+
+    @property
+    def waiting_on(self) -> Optional[object]:
+        """The wait condition the process is currently suspended on."""
+        return self._wait
+
+    def _step(self) -> Optional[object]:
+        """Advance the generator to its next wait; return the condition.
+
+        Returns ``None`` when the generator finishes.  User exceptions
+        are wrapped in :class:`ProcessError` with the process name.
+        """
+        try:
+            condition = next(self._gen)
+        except StopIteration:
+            self._finished = True
+            self._wait = None
+            return None
+        except SimulationError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - deliberate wrap
+            self._finished = True
+            self._wait = None
+            raise ProcessError(self.name, str(exc)) from exc
+        if not isinstance(condition, WaitCondition):
+            self._finished = True
+            raise ProcessError(
+                self.name,
+                f"yielded {condition!r}, which is not a wait condition; "
+                f"use wait_on / wait_until / wait_for / wait_forever",
+            )
+        self._wait = condition
+        return condition
+
+    def _satisfied_by_event(self) -> bool:
+        """Whether the current wait is satisfied, given an event occurred
+        on one of its sensitivity signals this cycle."""
+        wait = self._wait
+        if isinstance(wait, WaitOn):
+            return True
+        if isinstance(wait, WaitUntil):
+            return bool(wait.predicate())
+        return False
+
+    def __repr__(self) -> str:
+        state = "finished" if self._finished else f"waiting on {self._wait!r}"
+        return f"<Process {self.name}: {state}>"
+
+
+__all__ = [
+    "Process",
+    "ProcessGenerator",
+    "WaitFor",
+    "WaitForever",
+    "WaitOn",
+    "WaitUntil",
+]

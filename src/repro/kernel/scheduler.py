@@ -1,0 +1,342 @@
+"""The delta-cycle event-driven simulation scheduler.
+
+This is the substrate the whole reproduction stands on.  The paper
+defines its register-transfer semantics directly in terms of VHDL
+simulation cycles ("the simulation of each control step takes 6 delta
+simulation cycles"), so the kernel implements the IEEE-1076 simulation
+cycle for the features the subset uses:
+
+1. advance to the next point in time with scheduled activity -- either
+   the next delta cycle at the current time, or the earliest future
+   time;
+2. update drivers whose transactions are due, re-resolve the affected
+   signals, and record *events* (effective-value changes);
+3. resume every process whose wait condition is satisfied by those
+   events (or whose ``wait for`` timeout expired);
+4. let the resumed processes run until their next ``wait``, scheduling
+   new transactions as they go.
+
+The simulator also keeps :class:`SimStats` counters (cycles, delta
+cycles, events, process resumptions, transactions) because the paper's
+quantitative claims are phrased in exactly these units.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .errors import DeltaCycleLimitError, ElaborationError, SimulationError
+from .process import Process, ProcessGenerator
+from .signals import Driver, ResolutionFn, Signal
+from .simtime import TIME_ZERO, SimTime
+from .waits import WaitFor, WaitForever, WaitOn, WaitUntil
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``.
+_DEFAULT = object()
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over a simulation run.
+
+    ``delta_cycles`` counts simulation cycles that did not advance
+    physical time (delta ordinal > 0), which is the quantity the paper's
+    ``CS_MAX * 6`` claim refers to.
+    """
+
+    cycles: int = 0
+    delta_cycles: int = 0
+    events: int = 0
+    process_resumes: int = 0
+    transactions: int = 0
+
+    def snapshot(self) -> "SimStats":
+        """An independent copy of the current counters."""
+        return SimStats(
+            cycles=self.cycles,
+            delta_cycles=self.delta_cycles,
+            events=self.events,
+            process_resumes=self.process_resumes,
+            transactions=self.transactions,
+        )
+
+    def __sub__(self, other: "SimStats") -> "SimStats":
+        return SimStats(
+            cycles=self.cycles - other.cycles,
+            delta_cycles=self.delta_cycles - other.delta_cycles,
+            events=self.events - other.events,
+            process_resumes=self.process_resumes - other.process_resumes,
+            transactions=self.transactions - other.transactions,
+        )
+
+
+class Simulator:
+    """An event-driven simulator instance.
+
+    Typical use::
+
+        sim = Simulator()
+        ph = sim.signal("PH", init=Phase.CR)
+        drv = sim.driver(ph, owner="controller")
+
+        def controller():
+            while True:
+                drv.set(next_phase(ph.value))
+                yield wait_on(ph)
+
+        sim.add_process("controller", controller)
+        sim.initialize()
+        sim.run()
+    """
+
+    def __init__(self, max_deltas_per_time: int = 1_000_000) -> None:
+        self.now: SimTime = TIME_ZERO
+        self.stats = SimStats()
+        self._max_deltas_per_time = max_deltas_per_time
+        self._signals: dict[str, Signal] = {}
+        self._processes: list[Process] = []
+        self._initialized = False
+        self._seq = itertools.count()
+        # Heaps keyed by plain (time, delta) tuples -- the hot path
+        # avoids SimTime object comparisons.
+        self._update_heap: list[tuple[tuple, int, Driver]] = []
+        self._timer_heap: list[tuple[tuple, int, Process]] = []
+
+    # ------------------------------------------------------------------
+    # elaboration
+    # ------------------------------------------------------------------
+    def signal(
+        self,
+        name: str,
+        init: Any,
+        resolution: Optional[ResolutionFn] = None,
+    ) -> Signal:
+        """Declare a new signal.
+
+        Parameters
+        ----------
+        name:
+            Unique diagnostic name.
+        init:
+            Initial effective value.
+        resolution:
+            Optional resolution function; required for signals that will
+            have more than one driver.
+        """
+        if name in self._signals:
+            raise ElaborationError(f"duplicate signal name {name!r}")
+        sig = Signal(self, name, init, resolution)
+        self._signals[name] = sig
+        return sig
+
+    def driver(self, signal: Signal, owner: str, init: Any = _DEFAULT) -> Driver:
+        """Create a driver for ``signal`` owned by ``owner``.
+
+        ``init`` defaults to the signal's declared initial value, which
+        is what the subset's component processes expect (a transfer
+        process initially contributes DISC to its sink).
+        """
+        if signal._sim is not self:
+            raise ElaborationError(
+                f"signal {signal.name!r} belongs to a different simulator"
+            )
+        if init is _DEFAULT:
+            init = signal.value
+        return Driver(self, signal, owner, init)
+
+    def add_process(
+        self,
+        name: str,
+        fn: Callable[..., ProcessGenerator],
+        *args: Any,
+        **kwargs: Any,
+    ) -> Process:
+        """Register a process; ``fn(*args, **kwargs)`` must return a generator."""
+        if self._initialized:
+            raise ElaborationError(
+                f"cannot add process {name!r}: simulation already initialized"
+            )
+        gen = fn(*args, **kwargs)
+        if not hasattr(gen, "__next__"):
+            raise ElaborationError(
+                f"process {name!r}: function did not return a generator "
+                f"(did you forget a yield?)"
+            )
+        proc = Process(name, gen, seq=len(self._processes))
+        self._processes.append(proc)
+        return proc
+
+    @property
+    def signals(self) -> dict[str, Signal]:
+        """Mapping of signal name to signal (read-only view by convention)."""
+        return self._signals
+
+    @property
+    def processes(self) -> list[Process]:
+        """The registered processes, in creation order."""
+        return list(self._processes)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Run the initialization cycle (every process up to its first wait)."""
+        if self._initialized:
+            raise SimulationError("simulation already initialized")
+        self._initialized = True
+        # Resolve initial values of multiply-driven signals before any
+        # process observes them, as VHDL elaboration does.
+        for sig in self._signals.values():
+            if sig._drivers:
+                sig._recompute(self.now)
+        for proc in self._processes:
+            self._run_process(proc)
+        self.stats.cycles += 1
+
+    def step(self) -> bool:
+        """Execute one simulation cycle.
+
+        Returns False when the simulation has quiesced (no pending
+        driver updates or timers), True otherwise.
+        """
+        if not self._initialized:
+            self.initialize()
+            return True
+        next_due = self._next_due_key()
+        if next_due is None:
+            return False
+        if next_due[0] == self.now.time:
+            self.now = SimTime(self.now.time, self.now.delta + 1)
+            if self.now.delta > self._max_deltas_per_time:
+                raise DeltaCycleLimitError(self._max_deltas_per_time)
+            self.stats.delta_cycles += 1
+        else:
+            self.now = SimTime(next_due[0], 0)
+        self.stats.cycles += 1
+
+        changed_signals = self._apply_driver_updates()
+        event_signals = []
+        for sig in changed_signals:
+            if sig._recompute(self.now):
+                event_signals.append(sig)
+                self.stats.events += 1
+
+        now_key = (self.now.time, self.now.delta)
+        runnable: list[Process] = []
+        seen: set[int] = set()
+        # Timer expirations first (deterministic, creation order within
+        # the heap by sequence number).
+        while self._timer_heap and self._timer_heap[0][0] <= now_key:
+            _, _, proc = heapq.heappop(self._timer_heap)
+            if not proc.finished and isinstance(proc.waiting_on, WaitFor):
+                if id(proc) not in seen:
+                    seen.add(id(proc))
+                    runnable.append(proc)
+        for sig in event_signals:
+            # Copy: _run_process mutates waiter sets.  Creation order
+            # keeps resumption deterministic.
+            for proc in sorted(sig._waiters, key=lambda p: p._seq):
+                if id(proc) in seen or proc.finished:
+                    continue
+                if proc._satisfied_by_event():
+                    seen.add(id(proc))
+                    runnable.append(proc)
+        for proc in runnable:
+            self._unregister_wait(proc)
+            self.stats.process_resumes += 1
+            self._run_process(proc)
+        return True
+
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        until_time: Optional[int] = None,
+    ) -> SimStats:
+        """Run until the design quiesces (or a limit is reached).
+
+        Parameters
+        ----------
+        max_cycles:
+            Optional bound on the number of simulation cycles executed
+            by this call.
+        until_time:
+            Optional bound on physical time; the run stops before
+            executing any cycle at a time strictly greater than this.
+
+        Returns the simulator's cumulative statistics.
+        """
+        executed = 0
+        while True:
+            if max_cycles is not None and executed >= max_cycles:
+                break
+            if until_time is not None:
+                nxt = self._next_due_key()
+                if nxt is not None and nxt[0] > until_time and self._initialized:
+                    break
+            if not self.step():
+                break
+            executed += 1
+        return self.stats
+
+    @property
+    def initialized(self) -> bool:
+        """True once the initialization cycle has run."""
+        return self._initialized
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no driver updates or timers are pending."""
+        return self._initialized and self._next_due_key() is None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _schedule_driver_update(self, driver: Driver, when: tuple) -> None:
+        self.stats.transactions += 1
+        heapq.heappush(self._update_heap, (when, next(self._seq), driver))
+
+    def _schedule_timer(self, proc: Process, when: tuple) -> None:
+        heapq.heappush(self._timer_heap, (when, next(self._seq), proc))
+
+    def _next_due_key(self) -> Optional[tuple]:
+        candidates = []
+        if self._update_heap:
+            candidates.append(self._update_heap[0][0])
+        if self._timer_heap:
+            candidates.append(self._timer_heap[0][0])
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _apply_driver_updates(self) -> list[Signal]:
+        now_key = (self.now.time, self.now.delta)
+        changed: dict[int, Signal] = {}
+        while self._update_heap and self._update_heap[0][0] <= now_key:
+            _, _, driver = heapq.heappop(self._update_heap)
+            if driver._apply_due(now_key):
+                changed[id(driver.signal)] = driver.signal
+        return list(changed.values())
+
+    def _run_process(self, proc: Process) -> None:
+        condition = proc._step()
+        if condition is None or isinstance(condition, WaitForever):
+            return
+        if isinstance(condition, (WaitOn, WaitUntil)):
+            for sig in condition.signals:
+                if sig._sim is not self:
+                    raise SimulationError(
+                        f"process {proc.name!r} waits on foreign signal "
+                        f"{sig.name!r}"
+                    )
+                sig._waiters.add(proc)
+        elif isinstance(condition, WaitFor):
+            self._schedule_timer(proc, (self.now.time + condition.delay, 0))
+
+    def _unregister_wait(self, proc: Process) -> None:
+        wait = proc.waiting_on
+        if isinstance(wait, (WaitOn, WaitUntil)):
+            for sig in wait.signals:
+                sig._waiters.discard(proc)

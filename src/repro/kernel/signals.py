@@ -1,0 +1,252 @@
+"""Signals, drivers, and resolution functions.
+
+This module implements the slice of VHDL signal semantics the paper's
+subset depends on:
+
+* a signal has one *driver per driving process* (here: per explicitly
+  created :class:`Driver`);
+* a **resolved** signal combines the values of all its drivers through a
+  user-supplied resolution function each time any driver changes -- the
+  paper uses this to detect bus and port conflicts (its resolution
+  function yields ``ILLEGAL`` when two sources collide);
+* an **unresolved** signal admits at most one driver (elaboration error
+  otherwise), exactly like a plain VHDL signal;
+* an *event* on a signal is a change of its effective value; processes
+  waiting on the signal are resumed only on events, not on mere
+  transactions.
+
+Driver scheduling follows VHDL's projected output waveform with
+transport-style preemption, which is all the subset needs: an assignment
+with zero delay takes effect in the **next delta cycle**, an assignment
+with a positive delay takes effect at that future time, and a later
+assignment preempts earlier pending transactions at or after its own
+activation time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+from .errors import ElaborationError, SimulationError
+from .simtime import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .scheduler import Simulator
+
+#: A resolution function maps the list of driver values to one value.
+ResolutionFn = Callable[[list], Any]
+
+
+class Signal:
+    """A named simulation signal with VHDL-style update semantics.
+
+    Signals are created through :meth:`repro.kernel.Simulator.signal`
+    rather than directly, so that the kernel can track them.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name, unique within a simulator.
+    value:
+        The current effective value (read-only property).
+    """
+
+    __slots__ = (
+        "name",
+        "_sim",
+        "_value",
+        "_resolution",
+        "_drivers",
+        "_waiters",
+        "_watchers",
+        "_last_event",
+        "_event_count",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        init: Any,
+        resolution: Optional[ResolutionFn] = None,
+    ) -> None:
+        self.name = name
+        self._sim = sim
+        self._value = init
+        self._resolution = resolution
+        self._drivers: list[Driver] = []
+        # Processes currently blocked on this signal (managed by scheduler).
+        self._waiters: set = set()
+        # Callbacks invoked on every event: fn(signal, old, new).
+        self._watchers: list[Callable[["Signal", Any, Any], None]] = []
+        self._last_event: Optional[SimTime] = None
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # public read API
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        """The current effective value of the signal."""
+        return self._value
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the signal carries a resolution function."""
+        return self._resolution is not None
+
+    @property
+    def last_event(self) -> Optional[SimTime]:
+        """Simulation time of the most recent event, or ``None``."""
+        return self._last_event
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events observed on this signal."""
+        return self._event_count
+
+    @property
+    def driver_count(self) -> int:
+        """Number of drivers attached to this signal."""
+        return len(self._drivers)
+
+    def watch(self, callback: Callable[["Signal", Any, Any], None]) -> None:
+        """Register ``callback(signal, old, new)`` to run on every event.
+
+        Watchers are the hook used by the diagnostic layer to localize
+        ILLEGAL values to a specific control step and phase.
+        """
+        self._watchers.append(callback)
+
+    # ------------------------------------------------------------------
+    # kernel-internal API
+    # ------------------------------------------------------------------
+    def _attach_driver(self, driver: "Driver") -> None:
+        if self._drivers and not self.resolved:
+            raise ElaborationError(
+                f"signal {self.name!r} is unresolved but would have "
+                f"{len(self._drivers) + 1} drivers; declare it with a "
+                f"resolution function to allow multiple sources"
+            )
+        self._drivers.append(driver)
+
+    def _recompute(self, now: SimTime) -> bool:
+        """Recompute the effective value; return True if an event occurred."""
+        if self._resolution is not None:
+            new = self._resolution([d._current for d in self._drivers])
+        elif self._drivers:
+            new = self._drivers[0]._current
+        else:  # no drivers: value can only change via initial value
+            return False
+        if new == self._value:
+            return False
+        old = self._value
+        self._value = new
+        self._last_event = now
+        self._event_count += 1
+        for watcher in self._watchers:
+            watcher(self, old, new)
+        return True
+
+    def __repr__(self) -> str:
+        kind = "resolved " if self.resolved else ""
+        return f"<{kind}Signal {self.name}={self._value!r}>"
+
+
+class Driver:
+    """One source of a signal, owned by one process (or test harness).
+
+    A driver holds a *current* contribution plus a projected waveform of
+    pending transactions.  ``set(value)`` schedules the new contribution
+    for the next delta cycle; ``set(value, delay=d)`` schedules it ``d``
+    time units in the future.  A new call preempts pending transactions
+    whose activation time is at or after the new one (transport delay
+    preemption), which matches what the subset's single-assignment
+    processes require.
+    """
+
+    __slots__ = ("signal", "owner", "_current", "_pending", "_sim")
+
+    def __init__(self, sim: "Simulator", signal: Signal, owner: str, init: Any) -> None:
+        self.signal = signal
+        self.owner = owner
+        self._sim = sim
+        self._current = init
+        # Pending transactions as a list of (SimTime, value), kept sorted.
+        self._pending: list[tuple[SimTime, Any]] = []
+        signal._attach_driver(self)
+
+    def set(self, value: Any, delay: int = 0) -> None:
+        """Schedule a new driving value.
+
+        With ``delay == 0`` the value becomes effective in the next delta
+        cycle (VHDL's ``sig <= v;``); with ``delay > 0`` it becomes
+        effective at ``now.time + delay`` (VHDL's ``sig <= v after d;``).
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"driver {self.owner!r} of {self.signal.name!r}: "
+                f"negative delay {delay}"
+            )
+        now = self._sim.now
+        # Activation keys are plain (time, delta) int tuples -- hot
+        # path, so avoid SimTime object comparisons.
+        if delay == 0:
+            when = (now.time, now.delta + 1)
+        else:
+            when = (now.time + delay, 0)
+        # Transport-style preemption: drop pending transactions at or
+        # after the new activation time.
+        if self._pending:
+            self._pending = [p for p in self._pending if p[0] < when]
+        self._pending.append((when, value))
+        self._sim._schedule_driver_update(self, when)
+
+    @property
+    def current(self) -> Any:
+        """The value this driver currently contributes."""
+        return self._current
+
+    def _apply_due(self, now_key: tuple) -> bool:
+        """Apply all transactions due at or before ``now_key``.
+
+        Returns True if the driver's contribution changed.
+        """
+        changed = False
+        while self._pending and self._pending[0][0] <= now_key:
+            _, value = self._pending.pop(0)
+            if value != self._current:
+                self._current = value
+                changed = True
+            else:
+                # A transaction without a value change is still a
+                # transaction in VHDL; resolved signals must re-resolve
+                # because another driver may have changed concurrently.
+                changed = changed or self.signal.resolved
+        return changed
+
+    def __repr__(self) -> str:
+        return f"<Driver {self.owner}->{self.signal.name} {self._current!r}>"
+
+
+def single_driver_resolution(values: list) -> Any:
+    """Resolution for signals that should have exactly one active driver.
+
+    Provided as a convenience for tests; the paper's own resolution
+    function lives in :mod:`repro.core.values`.
+    """
+    if len(values) != 1:
+        raise SimulationError(
+            f"single_driver_resolution called with {len(values)} drivers"
+        )
+    return values[0]
+
+
+def iter_driver_values(signal: Signal) -> Iterable[Any]:
+    """Yield the current contribution of each driver of ``signal``.
+
+    Diagnostic helper used to report *which* sources collided when a
+    resolved signal resolves to a conflict value.
+    """
+    for driver in signal._drivers:
+        yield driver.owner, driver._current

@@ -1,0 +1,67 @@
+"""Simulation time: physical time plus delta-cycle ordinal.
+
+The paper's register-transfer models never advance physical time -- all
+activity happens in successive *delta cycles* at time zero.  The kernel
+nevertheless models time as the pair ``(time, delta)`` because the
+clocked back end (``repro.clocked``) and the asynchronous-handshake
+baseline (``repro.handshake``) do schedule real delays, and because the
+paper's central quantitative claim ("the complete simulation takes
+``CS_MAX * 6`` delta simulation cycles") is a statement about delta
+ordinals that we must be able to measure.
+
+Physical time is a plain non-negative integer in arbitrary units (the
+clocked back end interprets it as nanoseconds).  Using integers keeps
+ordering exact; VHDL's ``time`` type is likewise an integer multiple of
+a base unit.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class SimTime:
+    """A point in simulation time: ``(physical time, delta ordinal)``.
+
+    ``delta`` counts the simulation cycles executed *at* ``time``; the
+    first cycle at a given physical time has ``delta == 0``.  Ordering is
+    lexicographic, exactly as in VHDL: all delta cycles at time ``t``
+    precede the first cycle at any later time.
+    """
+
+    time: int = 0
+    delta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"physical time must be >= 0, got {self.time}")
+        if self.delta < 0:
+            raise ValueError(f"delta ordinal must be >= 0, got {self.delta}")
+
+    def advance_delta(self) -> "SimTime":
+        """The next delta cycle at the same physical time."""
+        return SimTime(self.time, self.delta + 1)
+
+    def advance_time(self, new_time: int) -> "SimTime":
+        """The first delta cycle at a strictly later physical time."""
+        if new_time <= self.time:
+            raise ValueError(
+                f"cannot advance from time {self.time} to {new_time}: "
+                f"physical time must strictly increase"
+            )
+        return SimTime(new_time, 0)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, SimTime):
+            return NotImplemented
+        return (self.time, self.delta) < (other.time, other.delta)
+
+    def __str__(self) -> str:
+        return f"{self.time}ns+{self.delta}d"
+
+
+#: The origin of simulation time.
+TIME_ZERO = SimTime(0, 0)

@@ -1,0 +1,102 @@
+"""Wait conditions yielded by simulation processes.
+
+Kernel processes are Python generator functions.  Each ``yield``
+suspends the process on one of the wait conditions below, mirroring the
+VHDL ``wait`` statement forms the paper's subset uses:
+
+``wait_on(*signals)``
+    ``wait on S1, S2;`` -- resume on the next event on any listed signal.
+
+``wait_until(predicate, *signals)``
+    ``wait until <condition>;`` -- resume when an event occurs on any of
+    the listed signals *and* the predicate evaluates true.  VHDL infers
+    the sensitivity set from the signals named in the condition; Python
+    cannot, so the caller lists them explicitly.
+
+``wait_for(delay)``
+    ``wait for T;`` -- resume after ``delay`` time units.
+
+``wait_forever()``
+    ``wait;`` -- suspend permanently (used by one-shot processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+from .errors import ElaborationError
+from .signals import Signal
+
+
+@dataclass(frozen=True)
+class WaitOn:
+    """Resume on the next event on any of ``signals``."""
+
+    signals: Tuple[Signal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.signals:
+            raise ElaborationError("wait_on requires at least one signal")
+
+
+@dataclass(frozen=True)
+class WaitUntil:
+    """Resume when an event on any of ``signals`` makes ``predicate`` true.
+
+    Matching VHDL semantics, the predicate is only sampled when one of
+    the sensitivity signals has an event; a predicate that is already
+    true does not by itself resume the process.
+    """
+
+    predicate: Callable[[], bool]
+    signals: Tuple[Signal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.signals:
+            raise ElaborationError(
+                "wait_until requires at least one sensitivity signal "
+                "(VHDL infers it from the condition; list it explicitly)"
+            )
+
+
+@dataclass(frozen=True)
+class WaitFor:
+    """Resume after ``delay`` physical time units."""
+
+    delay: int
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ElaborationError(
+                f"wait_for requires a positive delay, got {self.delay}"
+            )
+
+
+@dataclass(frozen=True)
+class WaitForever:
+    """Suspend the process permanently."""
+
+
+def wait_on(*signals: Signal) -> WaitOn:
+    """Build a :class:`WaitOn` condition (``wait on ...;``)."""
+    return WaitOn(tuple(signals))
+
+
+def wait_until(predicate: Callable[[], bool], *signals: Signal) -> WaitUntil:
+    """Build a :class:`WaitUntil` condition (``wait until ...;``)."""
+    return WaitUntil(predicate, tuple(signals))
+
+
+def wait_for(delay: int) -> WaitFor:
+    """Build a :class:`WaitFor` condition (``wait for ...;``)."""
+    return WaitFor(delay)
+
+
+def wait_forever() -> WaitForever:
+    """Build a :class:`WaitForever` condition (``wait;``)."""
+    return WaitForever()
+
+
+#: Union of all wait condition types, for isinstance checks.
+WaitCondition = (WaitOn, WaitUntil, WaitFor, WaitForever)

@@ -1,0 +1,42 @@
+"""Microcode substrate (S7, paper §3).
+
+Microcode tables (:mod:`table`), opc1/opc2 code maps
+(:mod:`codemaps`), a textual assembler (:mod:`assembler`), and the
+automatic microcode-to-register-transfer translator
+(:mod:`translator`) -- the Python re-implementation of the C program
+the authors wrote for the IKS chip.
+"""
+
+from .assembler import format_table, parse_text
+from .codemaps import (
+    DIRECT,
+    CodeMaps,
+    FlagSet,
+    OperationCode,
+    RegRef,
+    Route,
+    RoutingCode,
+    UnitOp,
+)
+from .table import MicroInstruction, MicrocodeError, MicrocodeFormat, MicrocodeTable
+from .translator import MicrocodeTranslator, TranslatedAction, TranslationResult
+
+__all__ = [
+    "DIRECT",
+    "CodeMaps",
+    "FlagSet",
+    "MicroInstruction",
+    "MicrocodeError",
+    "MicrocodeFormat",
+    "MicrocodeTable",
+    "MicrocodeTranslator",
+    "OperationCode",
+    "RegRef",
+    "Route",
+    "RoutingCode",
+    "TranslatedAction",
+    "TranslationResult",
+    "UnitOp",
+    "format_table",
+    "parse_text",
+]

@@ -1,0 +1,133 @@
+"""A small textual assembler for microcode tables.
+
+The tables in [10] are printed matrices; this module accepts the same
+shape as text so microprograms can live in readable source form::
+
+    ; IKS microprogram fragment
+    fields: m J R1 MR
+    ; addr cycle opc1 opc2 m J R1 MR
+    7      1     20   2    0 6 0  0
+    8      1     21   3    0 0 2  5
+
+Lines starting with ``;`` or ``#`` are comments.  A ``fields:``
+directive (before any row) sets the operand column names; the default
+is the paper's ``m J R1 MR``.  Symbolic rows are also accepted::
+
+    7: opc1=20 opc2=2 J=6
+
+(any column may be given as ``name=value``; unset operand fields
+default to 0, ``cycle`` defaults to 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .table import MicroInstruction, MicrocodeError, MicrocodeFormat, MicrocodeTable
+
+
+def parse_text(text: str) -> MicrocodeTable:
+    """Parse a microcode listing into a table."""
+    fmt: Optional[MicrocodeFormat] = None
+    table: Optional[MicrocodeTable] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        if line.lower().startswith("fields:"):
+            if table is not None and len(table):
+                raise MicrocodeError(
+                    f"line {lineno}: fields directive after rows"
+                )
+            names = tuple(line.split(":", 1)[1].split())
+            if not names:
+                raise MicrocodeError(f"line {lineno}: empty fields directive")
+            fmt = MicrocodeFormat(operand_fields=names)
+            table = MicrocodeTable(fmt)
+            continue
+        if table is None:
+            table = MicrocodeTable(fmt)
+        if "=" in line:
+            table.add(_parse_symbolic(line, table.format, lineno))
+        else:
+            table.add(_parse_numeric(line, table.format, lineno))
+    if table is None:
+        table = MicrocodeTable()
+    return table
+
+
+def _parse_numeric(
+    line: str, fmt: MicrocodeFormat, lineno: int
+) -> MicroInstruction:
+    parts = line.split()
+    try:
+        values = [int(p) for p in parts]
+    except ValueError:
+        raise MicrocodeError(
+            f"line {lineno}: non-numeric column in row {line!r}"
+        ) from None
+    try:
+        return fmt.parse_row(values)
+    except MicrocodeError as exc:
+        raise MicrocodeError(f"line {lineno}: {exc}") from None
+
+
+def _parse_symbolic(
+    line: str, fmt: MicrocodeFormat, lineno: int
+) -> MicroInstruction:
+    head, _, rest = line.partition(":")
+    try:
+        addr = int(head.strip())
+    except ValueError:
+        raise MicrocodeError(
+            f"line {lineno}: symbolic row must start with 'addr:'"
+        ) from None
+    known = {"cycle", "opc1", "opc2", *fmt.operand_fields}
+    assignments: dict[str, int] = {}
+    for item in rest.split():
+        name, eq, value = item.partition("=")
+        if not eq:
+            raise MicrocodeError(
+                f"line {lineno}: expected name=value, got {item!r}"
+            )
+        if name not in known:
+            raise MicrocodeError(
+                f"line {lineno}: unknown column {name!r} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        try:
+            assignments[name] = int(value)
+        except ValueError:
+            raise MicrocodeError(
+                f"line {lineno}: non-numeric value in {item!r}"
+            ) from None
+    for required in ("opc1", "opc2"):
+        if required not in assignments:
+            raise MicrocodeError(f"line {lineno}: missing {required}")
+    fields = {name: assignments.get(name, 0) for name in fmt.operand_fields}
+    return MicroInstruction(
+        addr=addr,
+        opc1=assignments["opc1"],
+        opc2=assignments["opc2"],
+        fields=fields,
+        cycles=assignments.get("cycle", 1),
+    )
+
+
+def format_table(table: MicrocodeTable) -> str:
+    """Render a table back to its textual listing (round-trips through
+    :func:`parse_text`)."""
+    fields = table.format.operand_fields
+    lines = [f"fields: {' '.join(fields)}"]
+    header = ["; addr", "cycle", "opc1", "opc2", *fields]
+    lines.append(" ".join(header))
+    for instr in table:
+        row = [
+            str(instr.addr),
+            str(instr.cycles),
+            str(instr.opc1),
+            str(instr.opc2),
+            *(str(instr.fields[f]) for f in fields),
+        ]
+        lines.append(" ".join(row))
+    return "\n".join(lines)

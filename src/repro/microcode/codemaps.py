@@ -1,0 +1,196 @@
+"""Code maps: the meaning of opc1 (routing) and opc2 (operations).
+
+Paper §3 gives the example maps for ``opc1 = 20`` and ``opc2 = 2``.
+From the addr-7 table entry those maps derive
+
+* the routes ``(J[6], BusA, y2, 1)`` and ``(Y, direct, x2, 1)``, and
+* the unit operations ``Z := 0 + 0``, ``X := 0 + Rshift(x2, i)``,
+  ``Y := 0 + y2`` and the flag effect ``F := 1``.
+
+A :class:`RegRef` names a source/destination register either directly
+(``y2``) or through a register file indexed by a microword field
+(``J[<J field>]`` -> register ``J6`` when the field holds 6).  A
+:class:`Route` moves a value over a shared bus or a direct link.  A
+:class:`UnitOp` describes one functional unit's operation for the
+step, with operand references and an optional shift whose amount comes
+from a microword field (the built-in shifter on the IKS X-adder input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from .table import MicroInstruction, MicrocodeError
+
+#: Route path name for direct (non-bus) links.
+DIRECT = "direct"
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """A reference to a register, possibly indexed by a microword field.
+
+    ``RegRef("y2")`` names register ``y2`` directly;
+    ``RegRef("J", index_field="J")`` names ``J<n>`` where ``n`` is the
+    value of the instruction's ``J`` field;
+    ``RegRef.const(0)`` references the constant 0 (modeled as a preset
+    register by the translator).
+    """
+
+    bank: str
+    index_field: Optional[str] = None
+    constant: Optional[int] = None
+
+    @classmethod
+    def const(cls, value: int) -> "RegRef":
+        """A constant operand (``0`` in ``Z := 0 + 0``)."""
+        return cls(bank=f"<const {value}>", constant=value)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.constant is not None
+
+    def resolve(self, instr: MicroInstruction) -> str:
+        """The concrete register name for this instruction.
+
+        Constants resolve to the translator's constant-register naming
+        (``K<value>``); indexed banks append the field value.
+        """
+        if self.constant is not None:
+            return f"K{self.constant}"
+        if self.index_field is None:
+            return self.bank
+        return f"{self.bank}{instr.field_value(self.index_field)}"
+
+    def __str__(self) -> str:
+        if self.constant is not None:
+            return str(self.constant)
+        if self.index_field is None:
+            return self.bank
+        return f"{self.bank}[{self.index_field}]"
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing action of an opc1 code: move ``src`` to ``dst`` over
+    ``path`` (a shared bus name, or :data:`DIRECT`)."""
+
+    path: str
+    src: RegRef
+    dst: RegRef
+
+    def __str__(self) -> str:
+        return f"({self.src},{self.path},{self.dst})"
+
+
+@dataclass(frozen=True)
+class UnitOp:
+    """One functional-unit action of an opc2 code.
+
+    ``Z := 0 + 0`` is ``UnitOp("Z_ADD", "ADD", RegRef.const(0),
+    RegRef.const(0))``; ``X := 0 + Rshift(x2, i)`` adds
+    ``shift_field="i"``, selecting the unit's ``ADD_SHR<i>`` operation.
+    Unary operations (the CORDIC core's SQRT) omit ``right``.
+    """
+
+    unit: str
+    op: str
+    left: RegRef
+    right: Optional[RegRef] = None
+    shift_field: Optional[str] = None
+
+    def op_name(self, instr: MicroInstruction) -> str:
+        """The concrete operation selected for this instruction."""
+        if self.shift_field is None:
+            return self.op
+        amount = instr.field_value(self.shift_field)
+        return f"{self.op}_SHR{amount}"
+
+    def __str__(self) -> str:
+        shift = f" >> {self.shift_field}" if self.shift_field else ""
+        if self.right is None:
+            return f"{self.unit}: {self.op}({self.left})"
+        return f"{self.unit}: {self.op}({self.left}, {self.right}{shift})"
+
+
+@dataclass(frozen=True)
+class FlagSet:
+    """A flag effect of an opc2 code (``setf``: ``F := 1``).
+
+    Flags are one-bit registers; setting one is a move of the constant
+    into the flag register."""
+
+    flag: str
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.flag} := {self.value}"
+
+
+@dataclass(frozen=True)
+class RoutingCode:
+    """The decoded meaning of one opc1 value."""
+
+    code: int
+    routes: tuple[Route, ...] = ()
+
+    def __str__(self) -> str:
+        return f"opc1={self.code}: " + ", ".join(map(str, self.routes))
+
+
+@dataclass(frozen=True)
+class OperationCode:
+    """The decoded meaning of one opc2 value."""
+
+    code: int
+    unit_ops: tuple[UnitOp, ...] = ()
+    flags: tuple[FlagSet, ...] = ()
+
+    def __str__(self) -> str:
+        parts = [str(op) for op in self.unit_ops] + [str(f) for f in self.flags]
+        return f"opc2={self.code}: " + "; ".join(parts)
+
+
+class CodeMaps:
+    """The complete opc1/opc2 decode tables of a microprogram."""
+
+    def __init__(
+        self,
+        routing: Optional[Sequence[RoutingCode]] = None,
+        operations: Optional[Sequence[OperationCode]] = None,
+    ) -> None:
+        self.routing: dict[int, RoutingCode] = {}
+        self.operations: dict[int, OperationCode] = {}
+        for entry in routing or ():
+            self.add_routing(entry)
+        for entry in operations or ():
+            self.add_operations(entry)
+
+    def add_routing(self, entry: RoutingCode) -> None:
+        if entry.code in self.routing:
+            raise MicrocodeError(f"duplicate opc1 code {entry.code}")
+        self.routing[entry.code] = entry
+
+    def add_operations(self, entry: OperationCode) -> None:
+        if entry.code in self.operations:
+            raise MicrocodeError(f"duplicate opc2 code {entry.code}")
+        self.operations[entry.code] = entry
+
+    def decode(
+        self, instr: MicroInstruction
+    ) -> tuple[RoutingCode, OperationCode]:
+        """The (routing, operations) pair selected by an instruction."""
+        try:
+            routing = self.routing[instr.opc1]
+        except KeyError:
+            raise MicrocodeError(
+                f"addr {instr.addr}: no code map for opc1={instr.opc1}"
+            ) from None
+        try:
+            operations = self.operations[instr.opc2]
+        except KeyError:
+            raise MicrocodeError(
+                f"addr {instr.addr}: no code map for opc2={instr.opc2}"
+            ) from None
+        return routing, operations

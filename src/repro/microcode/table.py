@@ -1,0 +1,128 @@
+"""Microcode tables (paper §3).
+
+The IKS chip of Leung & Shanblatt is microprogrammed; the paper
+extracts register transfers from the microcode tables.  A table row
+looks like::
+
+    addr  cycle  opc1  opc2  m  J  R1  M/R
+    7     ...    20    2     .  6  ..  ..
+
+``opc1`` selects a *routing* pattern (which register goes over which
+bus or direct link into which destination), ``opc2`` selects the
+*operations* the functional units perform, and the remaining columns
+are operand fields: indices into the register files (J, R, M) and
+shift amounts.  Separate **code maps** (see
+:mod:`repro.microcode.codemaps`) give the meaning of each opc value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+
+class MicrocodeError(ValueError):
+    """Raised for malformed microcode tables or unresolvable fields."""
+
+
+@dataclass(frozen=True)
+class MicroInstruction:
+    """One microprogram store entry.
+
+    ``fields`` holds the operand columns (e.g. ``{"J": 6, "i": 2}``);
+    which fields exist is defined by the program's
+    :class:`MicrocodeFormat`.
+    """
+
+    addr: int
+    opc1: int
+    opc2: int
+    fields: Mapping[str, int] = field(default_factory=dict)
+    cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise MicrocodeError(f"addr must be >= 0, got {self.addr}")
+        if self.cycles < 1:
+            raise MicrocodeError(
+                f"addr {self.addr}: cycles must be >= 1, got {self.cycles}"
+            )
+        object.__setattr__(self, "fields", dict(self.fields))
+
+    def field_value(self, name: str) -> int:
+        """Operand field lookup with a helpful error."""
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise MicrocodeError(
+                f"addr {self.addr}: microinstruction has no field {name!r} "
+                f"(available: {sorted(self.fields)})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class MicrocodeFormat:
+    """The column layout of a microcode table.
+
+    ``operand_fields`` lists the operand column names in order, after
+    the fixed ``addr``, ``cycle``, ``opc1``, ``opc2`` columns -- the
+    paper's table uses ``("m", "J", "R1", "MR")``.
+    """
+
+    operand_fields: tuple[str, ...] = ("m", "J", "R1", "MR")
+
+    def parse_row(self, row: Iterable[int]) -> MicroInstruction:
+        """Build an instruction from a full numeric table row."""
+        values = list(row)
+        expected = 4 + len(self.operand_fields)
+        if len(values) != expected:
+            raise MicrocodeError(
+                f"row has {len(values)} columns, format needs {expected} "
+                f"(addr, cycle, opc1, opc2, {', '.join(self.operand_fields)})"
+            )
+        addr, cycle, opc1, opc2 = values[:4]
+        fields = dict(zip(self.operand_fields, values[4:]))
+        return MicroInstruction(
+            addr=addr, opc1=opc1, opc2=opc2, fields=fields, cycles=max(cycle, 1)
+        )
+
+
+class MicrocodeTable:
+    """An ordered microprogram store."""
+
+    def __init__(
+        self,
+        fmt: Optional[MicrocodeFormat] = None,
+        rows: Optional[Iterable[MicroInstruction]] = None,
+    ) -> None:
+        self.format = fmt or MicrocodeFormat()
+        self._by_addr: dict[int, MicroInstruction] = {}
+        for instr in rows or ():
+            self.add(instr)
+
+    def add(self, instr: MicroInstruction) -> MicroInstruction:
+        if instr.addr in self._by_addr:
+            raise MicrocodeError(f"duplicate microstore address {instr.addr}")
+        self._by_addr[instr.addr] = instr
+        return instr
+
+    def add_row(self, *row: int) -> MicroInstruction:
+        """Add an instruction given as raw table columns."""
+        return self.add(self.format.parse_row(row))
+
+    def __len__(self) -> int:
+        return len(self._by_addr)
+
+    def __getitem__(self, addr: int) -> MicroInstruction:
+        try:
+            return self._by_addr[addr]
+        except KeyError:
+            raise MicrocodeError(f"no microinstruction at addr {addr}") from None
+
+    def __iter__(self):
+        """Instructions in address order (execution order)."""
+        return iter(sorted(self._by_addr.values(), key=lambda i: i.addr))
+
+    def total_cycles(self) -> int:
+        """Number of control steps the program occupies."""
+        return sum(instr.cycles for instr in self)

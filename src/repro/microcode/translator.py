@@ -1,0 +1,265 @@
+"""Microcode -> register-transfer translation (the authors' C program).
+
+Paper §3:
+
+    "We have extracted the register transfers from the microcode for
+    computing the IKS given in [10].  This could be easily automated.
+    We have written a C program, that translates the microcode tables
+    given in [10] to transfer process instances."
+
+:class:`MicrocodeTranslator` is that program.  It walks a
+:class:`~repro.microcode.table.MicrocodeTable` in address order,
+decodes each instruction through the
+:class:`~repro.microcode.codemaps.CodeMaps`, and emits register
+transfers into an :class:`~repro.core.model.RTModel`:
+
+* a bus route becomes an :meth:`RTModel.move` (shared bus, COPY
+  desugaring);
+* a direct route becomes an :meth:`RTModel.copy_transfer` (two extra
+  buses + COPY module, §3);
+* a unit operation becomes an operand-read/result-write transfer with
+  operation select on the unit's op port, reading over the unit's
+  direct-link buses and writing the unit's accumulator register;
+* a flag effect becomes a move of a constant into the flag register.
+
+Each emitted transfer is recorded with its *paper form* (e.g.
+``(J[6],BusA,y2,1)`` or ``X := 0 + Rshift(x2,2)``) so the E7 benchmark
+can compare the translation against the derivation printed in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.model import RTModel
+from ..core.transfer import RegisterTransfer
+from .codemaps import DIRECT, CodeMaps, RegRef, Route, UnitOp
+from .table import MicroInstruction, MicrocodeError, MicrocodeTable
+
+
+@dataclass(frozen=True)
+class TranslatedAction:
+    """One emitted transfer together with its provenance."""
+
+    kind: str  # "route" | "direct" | "unit_op" | "flag"
+    addr: int
+    step: int
+    paper_form: str
+    transfer: RegisterTransfer
+
+    def __str__(self) -> str:
+        return f"addr {self.addr} -> cs{self.step}: {self.paper_form}"
+
+
+@dataclass
+class TranslationResult:
+    """Everything the translator produced."""
+
+    actions: list[TranslatedAction] = field(default_factory=list)
+    steps_used: int = 0
+
+    @property
+    def transfers(self) -> list[RegisterTransfer]:
+        return [action.transfer for action in self.actions]
+
+    def by_kind(self, kind: str) -> list[TranslatedAction]:
+        return [a for a in self.actions if a.kind == kind]
+
+    def paper_forms(self) -> list[str]:
+        return [a.paper_form for a in self.actions]
+
+
+class MicrocodeTranslator:
+    """Translate a microprogram into transfers on a target RT model.
+
+    Parameters
+    ----------
+    model:
+        The chip's RT model; must already declare the shared buses,
+        register banks, functional units and flag registers the code
+        maps reference.  The translator adds COPY modules, direct-link
+        buses and constant registers on demand.
+    accumulators:
+        Destination register per functional unit, e.g.
+        ``{"X_ADD": "X", "Y_ADD": "Y", "Z_ADD": "Z"}``.
+    start_step:
+        Control step of the first microinstruction (default 1).
+    """
+
+    def __init__(
+        self,
+        model: RTModel,
+        accumulators: Mapping[str, str],
+        start_step: int = 1,
+    ) -> None:
+        self.model = model
+        self.accumulators = dict(accumulators)
+        self.start_step = start_step
+        for unit, acc in self.accumulators.items():
+            if unit not in model.modules:
+                raise MicrocodeError(
+                    f"accumulator map names unknown unit {unit!r}"
+                )
+            if acc not in model.registers:
+                raise MicrocodeError(
+                    f"accumulator map names unknown register {acc!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def translate(
+        self, table: MicrocodeTable, maps: CodeMaps
+    ) -> TranslationResult:
+        """Translate the whole microprogram, assigning sequential steps."""
+        result = TranslationResult()
+        step = self.start_step
+        for instr in table:
+            self._translate_instruction(instr, maps, step, result)
+            step += instr.cycles
+        result.steps_used = step - self.start_step
+        return result
+
+    def _translate_instruction(
+        self,
+        instr: MicroInstruction,
+        maps: CodeMaps,
+        step: int,
+        result: TranslationResult,
+    ) -> None:
+        routing, operations = maps.decode(instr)
+        for route in routing.routes:
+            self._emit_route(instr, route, step, result)
+        for unit_op in operations.unit_ops:
+            self._emit_unit_op(instr, unit_op, step, result)
+        for flag in operations.flags:
+            const = self.model.constant(flag.value)
+            transfer = self.model.copy_transfer(const, flag.flag, step)
+            result.actions.append(
+                TranslatedAction(
+                    kind="flag",
+                    addr=instr.addr,
+                    step=step,
+                    paper_form=f"{flag.flag} := {flag.value}",
+                    transfer=transfer,
+                )
+            )
+
+    def _emit_route(
+        self,
+        instr: MicroInstruction,
+        route: Route,
+        step: int,
+        result: TranslationResult,
+    ) -> None:
+        src = route.src.resolve(instr)
+        dst = route.dst.resolve(instr)
+        self._ensure_constant(route.src)
+        if route.path == DIRECT:
+            transfer = self.model.copy_transfer(src, dst, step)
+            kind = "direct"
+            paper = f"({_ref_str(route.src, instr)},direct,{dst},{step})"
+        else:
+            transfer = self.model.move(src, route.path, dst, step)
+            kind = "route"
+            paper = f"({_ref_str(route.src, instr)},{route.path},{dst},{step})"
+        result.actions.append(
+            TranslatedAction(
+                kind=kind,
+                addr=instr.addr,
+                step=step,
+                paper_form=paper,
+                transfer=transfer,
+            )
+        )
+
+    def _emit_unit_op(
+        self,
+        instr: MicroInstruction,
+        unit_op: UnitOp,
+        step: int,
+        result: TranslationResult,
+    ) -> None:
+        unit = unit_op.unit
+        if unit not in self.model.modules:
+            raise MicrocodeError(f"unit op names unknown module {unit!r}")
+        spec = self.model.modules[unit]
+        try:
+            acc = self.accumulators[unit]
+        except KeyError:
+            raise MicrocodeError(
+                f"no accumulator register bound for unit {unit!r}"
+            ) from None
+        self._ensure_constant(unit_op.left)
+        left = unit_op.left.resolve(instr)
+        right = bus2 = None
+        if unit_op.right is not None:
+            self._ensure_constant(unit_op.right)
+            right = unit_op.right.resolve(instr)
+        op_name = unit_op.op_name(instr)
+        if op_name not in spec.operations:
+            raise MicrocodeError(
+                f"unit {unit!r} does not implement {op_name!r} "
+                f"(needed by addr {instr.addr}); available: "
+                f"{', '.join(sorted(spec.operations))}"
+            )
+        bus1 = self.model.direct_link_bus(left, unit, 1)
+        if right is not None:
+            bus2 = self.model.direct_link_bus(right, unit, 2)
+        write_bus = f"{unit}_{acc}"
+        if write_bus not in self.model.buses:
+            self.model.bus(write_bus, direct_link=True)
+        transfer = self.model.add_transfer(
+            RegisterTransfer(
+                src1=left,
+                bus1=bus1,
+                src2=right,
+                bus2=bus2,
+                read_step=step,
+                module=unit,
+                write_step=step + spec.latency,
+                write_bus=write_bus,
+                dest=acc,
+                op=op_name if spec.multi_op else None,
+            )
+        )
+        result.actions.append(
+            TranslatedAction(
+                kind="unit_op",
+                addr=instr.addr,
+                step=step,
+                paper_form=_unit_op_paper_form(unit_op, instr, acc),
+                transfer=transfer,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_constant(self, ref: RegRef) -> None:
+        if ref.is_constant:
+            self.model.constant(ref.constant)
+
+
+def _ref_str(ref: RegRef, instr: MicroInstruction) -> str:
+    """The paper's printed operand form: indexed refs show the resolved
+    index (``J[6]``), plain refs their name, constants their value."""
+    if ref.is_constant:
+        return str(ref.constant)
+    if ref.index_field is None:
+        return ref.bank
+    return f"{ref.bank}[{instr.field_value(ref.index_field)}]"
+
+
+def _unit_op_paper_form(
+    unit_op: UnitOp, instr: MicroInstruction, acc: str
+) -> str:
+    left = _ref_str(unit_op.left, instr)
+    if unit_op.right is None:
+        return f"{acc} := {unit_op.op}({left})"
+    right = _ref_str(unit_op.right, instr)
+    if unit_op.shift_field is not None:
+        amount = instr.field_value(unit_op.shift_field)
+        right = f"Rshift({right},{amount})"
+    verb = {"ADD": "+", "SUB": "-", "MULT": "*"}.get(unit_op.op, unit_op.op)
+    if verb in "+-*":
+        return f"{acc} := {left} {verb} {right}"
+    return f"{acc} := {verb}({left},{right})"

@@ -1,0 +1,66 @@
+"""Verification tools (S12, the paper's "automatic proving procedure").
+
+Symbolic execution of RT schedules (:mod:`symbolic`), equivalence
+checking against algorithmic programs (:mod:`equivalence`), and
+round-trip proofs of the tuple <-> TRANS mapping (:mod:`roundtrip`).
+"""
+
+from .bdd import (
+    Bdd,
+    BddWord,
+    OpEquivalence,
+    check_operation_equivalence,
+    word_add,
+    word_const,
+    word_equal,
+    word_inputs,
+    word_sub,
+)
+from .equivalence import (
+    AC_OPS,
+    EquivalenceResult,
+    all_equivalent,
+    check_program_vs_model,
+    normalize,
+    program_symbolic_env,
+)
+from .roundtrip import RoundtripReport, canonical_tuples, check_model_roundtrip
+from .symbolic import (
+    SymConst,
+    SymExpr,
+    SymOp,
+    SymVar,
+    SymbolicError,
+    SymbolicRun,
+    sym_vars,
+    symbolic_run,
+)
+
+__all__ = [
+    "AC_OPS",
+    "Bdd",
+    "BddWord",
+    "EquivalenceResult",
+    "OpEquivalence",
+    "check_operation_equivalence",
+    "word_add",
+    "word_const",
+    "word_equal",
+    "word_inputs",
+    "word_sub",
+    "RoundtripReport",
+    "SymConst",
+    "SymExpr",
+    "SymOp",
+    "SymVar",
+    "SymbolicError",
+    "SymbolicRun",
+    "all_equivalent",
+    "canonical_tuples",
+    "check_model_roundtrip",
+    "check_program_vs_model",
+    "normalize",
+    "program_symbolic_env",
+    "sym_vars",
+    "symbolic_run",
+]

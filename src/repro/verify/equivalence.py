@@ -1,0 +1,191 @@
+"""Equivalence checking between RT models and algorithmic descriptions.
+
+Two complementary procedures, as in the paper's verification flow:
+
+* **normalization**: symbolic expressions are put into a canonical
+  form (constants folded, associative-commutative operators flattened
+  and sorted); two descriptions whose normal forms coincide are
+  equivalent.  This decides most HLS-generated designs, since the RT
+  side computes literally the same tree modulo re-association.
+* **randomized refutation**: when normal forms differ, the check is
+  completed by evaluating both sides on random inputs; any
+  disagreement is a counterexample, agreement over the trial budget
+  is reported as "probably equivalent" (the classic fallback of
+  algebraic-simplification-based provers like the one in [9]).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..core.model import RTModel
+from ..hls.dfg import OP_NAMES as OP_NAMES_BY_SYMBOL
+from ..hls.expr import BinOp, Const, Expr, Program, Var, evaluate
+from .symbolic import (
+    SymConst,
+    SymExpr,
+    SymOp,
+    SymVar,
+    SymbolicRun,
+    sym_vars,
+    symbolic_run,
+)
+
+#: Operations that may be flattened and sorted (associative+commutative).
+AC_OPS = {"ADD", "MULT", "AND", "OR", "XOR", "MIN", "MAX"}
+
+
+def normalize(expr: SymExpr, width: int, ops: Mapping[str, object]) -> SymExpr:
+    """Canonical form: fold constants, flatten/sort AC operators."""
+    if not isinstance(expr, SymOp):
+        return expr
+    args = [normalize(a, width, ops) for a in expr.args]
+    operation = ops.get(expr.op)
+    # Full constant folding when the operation is known.
+    if operation is not None and all(isinstance(a, SymConst) for a in args):
+        return SymConst(
+            operation.apply([a.value for a in args], width)  # type: ignore[attr-defined]
+        )
+    if expr.op in AC_OPS:
+        flat: list[SymExpr] = []
+        for arg in args:
+            if isinstance(arg, SymOp) and arg.op == expr.op:
+                flat.extend(arg.args)
+            else:
+                flat.append(arg)
+        # Fold the constant subset together.
+        consts = [a for a in flat if isinstance(a, SymConst)]
+        rest = [a for a in flat if not isinstance(a, SymConst)]
+        if operation is not None and len(consts) > 1:
+            folded = consts[0].value
+            for c in consts[1:]:
+                folded = operation.apply([folded, c.value], width)  # type: ignore[attr-defined]
+            consts = [SymConst(folded)]
+        flat = sorted(rest, key=_sort_key) + consts
+        if len(flat) == 1:
+            return flat[0]
+        return SymOp(expr.op, tuple(flat))
+    return SymOp(expr.op, tuple(args))
+
+
+def _sort_key(expr: SymExpr) -> tuple:
+    if isinstance(expr, SymVar):
+        return (0, expr.name)
+    if isinstance(expr, SymConst):
+        return (1, expr.value)
+    return (2, expr.op, str(expr))
+
+
+def program_symbolic_env(program: Program) -> dict[str, SymExpr]:
+    """Symbolically evaluate an algorithmic program.
+
+    Returns the final environment mapping each variable to an
+    expression over the program's inputs, using the same operation
+    names as the RT side so normal forms are comparable.
+    """
+    env: dict[str, SymExpr] = {name: SymVar(name) for name in program.inputs}
+    for stmt in program.statements:
+        env[stmt.target] = _expr_to_sym(stmt.expr, env)
+    return env
+
+
+def _expr_to_sym(expr: Expr, env: Mapping[str, SymExpr]) -> SymExpr:
+    if isinstance(expr, Const):
+        return SymConst(expr.value)
+    if isinstance(expr, Var):
+        return env[expr.name]
+    left = _expr_to_sym(expr.left, env)
+    right = _expr_to_sym(expr.right, env)
+    return SymOp(OP_NAMES_BY_SYMBOL[expr.op], (left, right))
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of one register-vs-expression comparison."""
+
+    register: str
+    variable: str
+    method: str  # "normal-form" | "random" | "counterexample"
+    equivalent: bool
+    counterexample: Optional[dict[str, int]] = None
+
+    def __str__(self) -> str:
+        verdict = "EQUIVALENT" if self.equivalent else "DIFFERENT"
+        extra = (
+            f" counterexample={self.counterexample}"
+            if self.counterexample
+            else ""
+        )
+        return (
+            f"{self.variable} ~ {self.register}: {verdict} "
+            f"({self.method}){extra}"
+        )
+
+
+def check_program_vs_model(
+    program: Program,
+    model: RTModel,
+    output_regs: Mapping[str, str],
+    trials: int = 64,
+    seed: int = 12345,
+) -> list[EquivalenceResult]:
+    """Verify an RT model against its algorithmic source program.
+
+    ``output_regs`` maps program variables to the registers holding
+    them (as produced by :func:`repro.hls.synthesize`).  Registers
+    named after program inputs are treated as symbolic.
+    """
+    run = symbolic_run(model, symbolic_registers=list(program.inputs))
+    prog_env = program_symbolic_env(program)
+    # The program side may use operations the model never executed;
+    # extend the operation table for normalization/evaluation.
+    from ..core.modules_lib import standard_operation
+
+    ops = dict(run.operations)
+    for symbol, op_name in OP_NAMES_BY_SYMBOL.items():
+        ops.setdefault(op_name, standard_operation(op_name))
+
+    rng = random.Random(seed)
+    results: list[EquivalenceResult] = []
+    for variable, register in output_regs.items():
+        model_expr = normalize(run.expr(register), model.width, ops)
+        prog_expr = normalize(prog_env[variable], model.width, ops)
+        if model_expr == prog_expr:
+            results.append(
+                EquivalenceResult(register, variable, "normal-form", True)
+            )
+            continue
+        # Randomized refutation.
+        counterexample = None
+        for _ in range(trials):
+            env = {
+                name: rng.randrange(0, 1 << model.width)
+                for name in program.inputs
+            }
+            lhs = run.concrete(register, env)
+            rhs = evaluate(program, env, model.width)[variable]
+            if lhs != rhs:
+                counterexample = env
+                break
+        if counterexample is not None:
+            results.append(
+                EquivalenceResult(
+                    register,
+                    variable,
+                    "counterexample",
+                    False,
+                    counterexample,
+                )
+            )
+        else:
+            results.append(
+                EquivalenceResult(register, variable, "random", True)
+            )
+    return results
+
+
+def all_equivalent(results: Sequence[EquivalenceResult]) -> bool:
+    """Whether every output verified."""
+    return all(r.equivalent for r in results)

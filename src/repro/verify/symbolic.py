@@ -1,0 +1,212 @@
+"""Symbolic execution of register-transfer models.
+
+The paper's verification flow ("An automatic proving procedure has
+been implemented, that performs the verification task", §4) relates RT
+models to algorithmic descriptions.  The engine here executes a
+model's *schedule* over symbolic values: registers hold expression
+trees instead of numbers, functional units build new trees, and after
+the run every register holds a closed-form expression of the model's
+inputs -- which the equivalence layer then compares against the
+algorithmic description.
+
+The symbolic domain mirrors the subset's value domain: a register is
+either DISC (never written), or an expression assumed to denote a
+data value.  Schedules must be conflict-free (checked by the static
+analysis) for symbolic execution to be meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+from ..core.model import RTModel
+from ..core.schedule import analyze
+from ..core.values import DISC
+
+
+class SymbolicError(ValueError):
+    """Raised when a model cannot be executed symbolically."""
+
+
+# ----------------------------------------------------------------------
+# the expression domain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SymConst:
+    """A known constant value."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SymVar:
+    """A free input value (a register whose content is unknown)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SymOp:
+    """An operation applied to symbolic operands."""
+
+    op: str
+    args: tuple["SymExpr", ...]
+
+    def __str__(self) -> str:
+        return f"{self.op}({', '.join(map(str, self.args))})"
+
+
+SymExpr = Union[SymConst, SymVar, SymOp]
+
+
+def sym_vars(expr: SymExpr) -> set[str]:
+    """Free variables of an expression."""
+    if isinstance(expr, SymVar):
+        return {expr.name}
+    if isinstance(expr, SymOp):
+        out: set[str] = set()
+        for arg in expr.args:
+            out |= sym_vars(arg)
+        return out
+    return set()
+
+
+def evaluate_sym(
+    expr: SymExpr, env: Mapping[str, int], model_width: int, ops: Mapping[str, object]
+) -> int:
+    """Evaluate a symbolic expression on concrete inputs.
+
+    ``ops`` maps operation names to :class:`repro.core.modules_lib.
+    Operation` instances (collected during symbolic execution).
+    """
+    if isinstance(expr, SymConst):
+        return expr.value
+    if isinstance(expr, SymVar):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise SymbolicError(f"no value for input {expr.name!r}") from None
+    operation = ops[expr.op]
+    operands = [evaluate_sym(a, env, model_width, ops) for a in expr.args]
+    return operation.apply(operands, model_width)  # type: ignore[attr-defined]
+
+
+# ----------------------------------------------------------------------
+# symbolic execution of the schedule
+# ----------------------------------------------------------------------
+@dataclass
+class SymbolicRun:
+    """Result of a symbolic execution."""
+
+    registers: dict[str, Optional[SymExpr]]
+    #: operation name -> Operation (for concrete re-evaluation)
+    operations: dict[str, object]
+    width: int
+
+    def expr(self, register: str) -> SymExpr:
+        value = self.registers.get(register)
+        if value is None:
+            raise SymbolicError(f"register {register!r} holds no value (DISC)")
+        return value
+
+    def concrete(self, register: str, env: Mapping[str, int]) -> int:
+        """Evaluate one register's expression on concrete inputs."""
+        return evaluate_sym(self.expr(register), env, self.width, self.operations)
+
+
+def symbolic_run(
+    model: RTModel,
+    symbolic_registers: Iterable[str] = (),
+) -> SymbolicRun:
+    """Execute a model's schedule over symbolic values.
+
+    ``symbolic_registers`` become free variables (the design's
+    inputs); all other registers start from their declared presets
+    (constants) or DISC.
+    """
+    from ..clocked.translate import translate  # shares the decode tables
+
+    report = analyze(model)
+    if not report.clean:
+        raise SymbolicError(
+            "cannot execute a conflicting schedule symbolically:\n"
+            + str(report)
+        )
+    translation = translate(model)
+
+    regs: dict[str, Optional[SymExpr]] = {}
+    symbolic = set(symbolic_registers)
+    unknown = symbolic - set(model.registers)
+    if unknown:
+        raise SymbolicError(f"unknown symbolic registers: {sorted(unknown)}")
+    for decl in model.registers.values():
+        if decl.name in symbolic:
+            regs[decl.name] = SymVar(decl.name)
+        elif decl.init != DISC:
+            regs[decl.name] = SymConst(decl.init)
+        else:
+            regs[decl.name] = None
+
+    operations: dict[str, object] = {}
+    pipes: dict[str, list[Optional[SymExpr]]] = {
+        name: [None] * spec.latency
+        for name, spec in model.modules.items()
+        if spec.latency > 0
+    }
+
+    for cycle in range(1, translation.cycles + 1):
+        results: dict[str, Optional[SymExpr]] = {}
+        for module, table in translation.issues.items():
+            issue = table.get(cycle)
+            if issue is None:
+                results[module] = None
+                continue
+            spec = model.modules[module]
+            operation = spec.operations[issue.op]
+            operands = []
+            for name in (issue.left, issue.right)[: operation.arity]:
+                if name is None:
+                    raise SymbolicError(
+                        f"unit {module} at step {cycle}: missing operand"
+                    )
+                value = regs[name]
+                if value is None:
+                    raise SymbolicError(
+                        f"unit {module} at step {cycle} reads register "
+                        f"{name!r} which holds no value"
+                    )
+                operands.append(value)
+            # Fold constants eagerly; otherwise build a tree.
+            qualified = f"{issue.op}"
+            operations[qualified] = operation
+            if all(isinstance(v, SymConst) for v in operands):
+                folded = operation.apply(
+                    [v.value for v in operands], spec.width
+                )
+                results[module] = SymConst(folded)
+            else:
+                results[module] = SymOp(qualified, tuple(operands))
+        latches: dict[str, SymExpr] = {}
+        for register, table in translation.writes.items():
+            write = table.get(cycle)
+            if write is None:
+                continue
+            spec = model.modules[write.module]
+            if spec.latency == 0:
+                value = results.get(write.module)
+            else:
+                value = pipes[write.module][-1]
+            if value is not None:
+                latches[register] = value
+        for module, pipe in pipes.items():
+            pipe[1:] = pipe[:-1]
+            pipe[0] = results.get(module)
+        regs.update(latches)
+    return SymbolicRun(registers=regs, operations=operations, width=model.width)

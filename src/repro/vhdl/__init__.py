@@ -1,0 +1,86 @@
+"""VHDL subset front end and emitter (S5/S6).
+
+Lexer (:mod:`lexer`), AST (:mod:`ast`), parser (:mod:`parser`),
+subset-conformance checker (:mod:`subset`), elaborating interpreter
+(:mod:`elaborator`), the paper's component library as source text
+(:mod:`stdlib`), and the RT-model-to-VHDL emitter (:mod:`emitter`).
+
+The defining round trip: ``emit_model_vhdl(model)`` produces source
+that parses, conforms, elaborates and simulates to the same register
+results as the native elaboration of ``model``.
+"""
+
+from .elaborator import (
+    ElaboratedDesign,
+    ElaborationError,
+    Elaborator,
+    EnumType,
+    EnumValue,
+    InterpretationError,
+)
+from .emitter import EmitterError, emit_model_vhdl, emit_module_entity
+from .formatter import format_expr, format_file, format_unit
+from .lexer import Token, VhdlSyntaxError, tokenize
+from .parser import parse_expression, parse_file
+from .stdlib import EXAMPLE_FIG1, PAPER_LIBRARY
+from .subset import SubsetReport, Violation, check_subset
+
+
+def roundtrip_model(model, register_values=None):
+    """Emit ``model`` as VHDL, re-elaborate, simulate, and return the
+    register values observed through the VHDL path.
+
+    ``register_values`` overrides register presets, mirroring
+    :meth:`RTModel.elaborate` (the override is applied by rewriting
+    the REG INIT generics, i.e. before emission).
+    """
+    from ..core.model import RTModel
+
+    if register_values:
+        # Rebuild the model with overridden presets.
+        patched = RTModel(model.name, model.cs_max, model.width)
+        for reg in model.registers.values():
+            patched.register(
+                reg.name, init=register_values.get(reg.name, reg.init)
+            )
+        for bus in model.buses.values():
+            patched.bus(bus.name, direct_link=bus.direct_link)
+        for spec in model.modules.values():
+            patched.module(spec)
+        for transfer in model.transfers:
+            patched.add_transfer(transfer)
+        model = patched
+    text = emit_model_vhdl(model)
+    design = Elaborator(text).elaborate(model.name.lower())
+    design.run()
+    results = {}
+    for reg in model.registers.values():
+        results[reg.name] = design.signal(f"{reg.name}_out".lower()).value
+    return results
+
+
+__all__ = [
+    "ElaboratedDesign",
+    "ElaborationError",
+    "Elaborator",
+    "EmitterError",
+    "EnumType",
+    "EnumValue",
+    "EXAMPLE_FIG1",
+    "InterpretationError",
+    "PAPER_LIBRARY",
+    "SubsetReport",
+    "Token",
+    "VhdlSyntaxError",
+    "Violation",
+    "check_subset",
+    "emit_model_vhdl",
+    "emit_module_entity",
+    "format_expr",
+    "format_file",
+    "format_unit",
+    "parse_expression",
+    "parse_file",
+    "roundtrip_model",
+    "tokenize",
+]

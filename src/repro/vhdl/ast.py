@@ -1,0 +1,258 @@
+"""Abstract syntax of the paper's VHDL subset.
+
+Only what the paper's register-transfer models need: design files with
+entities and architectures, signal/constant/type/variable
+declarations, component instantiations, processes with wait / signal
+assignment / variable assignment / if / null statements, and a small
+expression language with attributes (``Phase'High``, ``Phase'Succ(...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Name:
+    """An identifier reference (signal, variable, constant, enum literal)."""
+
+    ident: str
+
+    def __str__(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class Attr:
+    """An attribute: ``prefix'name`` or ``prefix'name(arg)``."""
+
+    prefix: str
+    name: str
+    arg: Optional["Expr"] = None
+
+    def __str__(self) -> str:
+        suffix = f"({self.arg})" if self.arg is not None else ""
+        return f"{self.prefix}'{self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[IntLit, Name, Attr, Unary, Binary]
+
+
+# ----------------------------------------------------------------------
+# declarations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TypeDecl:
+    """``type Phase is (ra, rb, cm, wa, wb, cr);``"""
+
+    name: str
+    literals: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SubtypeIndication:
+    """A type mark with an optional resolution function name.
+
+    ``resolved Integer`` carries resolution ``"resolved"`` (the
+    paper's bus/port resolution); a bare type mark carries None.
+    """
+
+    type_mark: str
+    resolution: Optional[str] = None
+
+    def __str__(self) -> str:
+        prefix = f"{self.resolution} " if self.resolution else ""
+        return f"{prefix}{self.type_mark}"
+
+
+@dataclass(frozen=True)
+class ConstantDecl:
+    name: str
+    subtype: SubtypeIndication
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SignalDecl:
+    names: tuple[str, ...]
+    subtype: SubtypeIndication
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class VariableDecl:
+    names: tuple[str, ...]
+    subtype: SubtypeIndication
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    name: str
+    mode: str  # "in" | "out" | "inout"
+    subtype: SubtypeIndication
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class GenericDecl:
+    name: str
+    subtype: SubtypeIndication
+    default: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaitStmt:
+    """``wait until <cond>;`` / ``wait on <sigs>;`` / ``wait;``"""
+
+    condition: Optional[Expr] = None
+    on_signals: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SignalAssign:
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class VarAssign:
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    """``if``/``elsif``/``else`` chain: branches of (condition, body),
+    with the else branch carrying condition None."""
+
+    branches: tuple[tuple[Optional[Expr], tuple["Stmt", ...]], ...]
+
+
+@dataclass(frozen=True)
+class NullStmt:
+    pass
+
+
+@dataclass(frozen=True)
+class AssertStmt:
+    """``assert <cond> [report "<msg>"] [severity <level>];``
+
+    Severity levels: ``note``, ``warning`` (collected), ``error``,
+    ``failure`` (abort the simulation).  Default severity is ``error``.
+    """
+
+    condition: Expr
+    report: Optional[str] = None
+    severity: str = "error"
+
+
+Stmt = Union[WaitStmt, SignalAssign, VarAssign, IfStmt, NullStmt, AssertStmt]
+
+
+# ----------------------------------------------------------------------
+# design units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProcessStmt:
+    label: Optional[str]
+    sensitivity: tuple[str, ...]
+    decls: tuple[VariableDecl, ...]
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class AssociationElement:
+    """``formal => actual`` (or positional when formal is None)."""
+
+    formal: Optional[str]
+    actual: Expr
+
+
+@dataclass(frozen=True)
+class ComponentInst:
+    label: str
+    entity: str
+    generic_map: tuple[AssociationElement, ...] = ()
+    port_map: tuple[AssociationElement, ...] = ()
+
+
+@dataclass(frozen=True)
+class EntityDecl:
+    name: str
+    generics: tuple[GenericDecl, ...] = ()
+    ports: tuple[PortDecl, ...] = ()
+
+
+@dataclass(frozen=True)
+class ArchitectureDecl:
+    name: str
+    entity: str
+    decls: tuple[Union[SignalDecl, ConstantDecl, TypeDecl], ...] = ()
+    statements: tuple[Union[ProcessStmt, ComponentInst], ...] = ()
+
+
+@dataclass(frozen=True)
+class PackageDecl:
+    name: str
+    decls: tuple[Union[TypeDecl, ConstantDecl], ...] = ()
+
+
+DesignUnit = Union[EntityDecl, ArchitectureDecl, PackageDecl]
+
+
+@dataclass(frozen=True)
+class DesignFile:
+    units: tuple[DesignUnit, ...]
+
+    def entities(self) -> dict[str, EntityDecl]:
+        return {
+            unit.name: unit
+            for unit in self.units
+            if isinstance(unit, EntityDecl)
+        }
+
+    def architectures(self) -> dict[str, ArchitectureDecl]:
+        """Architecture per entity name (last one wins, as in a library)."""
+        return {
+            unit.entity: unit
+            for unit in self.units
+            if isinstance(unit, ArchitectureDecl)
+        }
+
+    def packages(self) -> list[PackageDecl]:
+        return [u for u in self.units if isinstance(u, PackageDecl)]

@@ -1,0 +1,743 @@
+"""Elaboration and interpretation of the VHDL subset.
+
+Turns a parsed design file into a running kernel simulation: signals
+are created for the top entity's architecture, component
+instantiations recurse through the design hierarchy, and each process
+becomes a kernel process whose generator *interprets* the statement
+tree -- ``wait until`` suspends on the kernel's event queue exactly as
+a VHDL simulator would.
+
+Subset semantics (documented deviations from full IEEE-1076 are
+deliberate simplifications that do not affect the paper's models):
+
+* all packages in the design file are visible everywhere (``use``
+  clauses are accepted and ignored);
+* the resolution name ``resolved`` denotes the paper's bus/port
+  resolution function (§2.3); it is the only resolution available;
+* default initial values: ``natural`` -> 0, ``integer`` -> DISC,
+  enumeration types -> their first literal.  (The paper's abstract
+  Integer carries DISC for "no value"; full VHDL would use
+  ``Integer'Left``.)
+* a driver's initial contribution comes from the driven port's
+  default expression when present, else from the signal's initial
+  value -- which is what makes the paper's ``OutS: out Integer :=
+  DISC`` release idiom work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from ..core.values import DISC, resolve_rt
+from ..kernel import Driver, Signal, Simulator, wait_forever, wait_on, wait_until
+from . import ast
+from .parser import parse_file
+from .stdlib import PAPER_LIBRARY
+
+
+class ElaborationError(ValueError):
+    """Raised for semantic errors during elaboration."""
+
+
+class InterpretationError(ValueError):
+    """Raised for runtime errors inside an interpreted process."""
+
+
+# ----------------------------------------------------------------------
+# value domain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnumType:
+    name: str
+    literals: tuple[str, ...]
+
+    def value(self, literal: str) -> "EnumValue":
+        return EnumValue(self.name, self.literals.index(literal), literal)
+
+    def by_index(self, index: int) -> "EnumValue":
+        if not 0 <= index < len(self.literals):
+            raise InterpretationError(
+                f"enum {self.name}: position {index} out of range"
+            )
+        return EnumValue(self.name, index, self.literals[index])
+
+
+@dataclass(frozen=True)
+class EnumValue:
+    type_name: str
+    index: int
+    literal: str
+
+    def __str__(self) -> str:
+        return self.literal
+
+
+Value = Union[int, bool, EnumValue]
+
+#: Types with built-in meaning.
+BUILTIN_INTEGER_TYPES = {"integer", "natural", "positive"}
+
+
+# ----------------------------------------------------------------------
+# environments
+# ----------------------------------------------------------------------
+@dataclass
+class Scope:
+    """Everything visible inside one entity instance."""
+
+    path: str
+    types: dict[str, EnumType]
+    constants: dict[str, Value]
+    enum_literals: dict[str, EnumValue]
+    generics: dict[str, Value] = field(default_factory=dict)
+    signals: dict[str, Signal] = field(default_factory=dict)
+    #: local signal/port name -> default expression for drivers
+    driver_defaults: dict[str, Value] = field(default_factory=dict)
+
+    def child(self, label: str) -> "Scope":
+        return Scope(
+            path=f"{self.path}/{label}" if self.path else label,
+            types=dict(self.types),
+            constants=dict(self.constants),
+            enum_literals=dict(self.enum_literals),
+        )
+
+    def add_enum_type(self, decl: ast.TypeDecl) -> None:
+        etype = EnumType(decl.name, decl.literals)
+        self.types[decl.name] = etype
+        for literal in decl.literals:
+            self.enum_literals[literal] = etype.value(literal)
+
+
+@dataclass
+class ElaboratedDesign:
+    """A design elaborated onto a kernel simulator."""
+
+    sim: Simulator
+    top: str
+    #: flat map of hierarchical signal name -> kernel signal
+    signals: dict[str, Signal]
+    #: messages from note/warning-severity assertions, in order
+    assertion_log: list = field(default_factory=list)
+
+    def signal(self, name: str) -> Signal:
+        """Look up a signal by name (case-insensitive, like VHDL)."""
+        try:
+            return self.signals[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"no signal {name!r}; available: "
+                f"{', '.join(sorted(self.signals))}"
+            ) from None
+
+    def run(self) -> "ElaboratedDesign":
+        self.sim.run()
+        return self
+
+
+class Elaborator:
+    """Elaborates design files against the paper's component library."""
+
+    def __init__(
+        self,
+        design: Union[str, ast.DesignFile],
+        library: Optional[Union[str, ast.DesignFile]] = None,
+        include_paper_library: bool = True,
+    ) -> None:
+        if isinstance(design, str):
+            design = parse_file(design)
+        units: list[ast.DesignUnit] = []
+        if include_paper_library:
+            units.extend(parse_file(PAPER_LIBRARY).units)
+        if library is not None:
+            if isinstance(library, str):
+                library = parse_file(library)
+            units.extend(library.units)
+        units.extend(design.units)
+        self.design = ast.DesignFile(tuple(units))
+        self.entities = self.design.entities()
+        self.architectures = self.design.architectures()
+
+    # ------------------------------------------------------------------
+    def elaborate(
+        self,
+        top: str,
+        generics: Optional[Mapping[str, Value]] = None,
+        sim: Optional[Simulator] = None,
+    ) -> ElaboratedDesign:
+        """Elaborate entity ``top``; returns the runnable design."""
+        top = top.lower()
+        if top not in self.entities:
+            raise ElaborationError(f"no entity {top!r} in the design")
+        simulator = sim or Simulator()
+        self._assertion_log: list = []
+        root = Scope(path="", types={}, constants={}, enum_literals={})
+        for package in self.design.packages():
+            for decl in package.decls:
+                if isinstance(decl, ast.TypeDecl):
+                    root.add_enum_type(decl)
+                else:
+                    root.constants[decl.name] = self._eval_static(decl.value, root)
+        registry: dict[str, Signal] = {}
+        scope = root.child(top)
+        scope.path = ""  # top-level signals keep their bare names
+        entity = self.entities[top]
+        self._bind_generics(entity, (), dict(generics or {}), scope, root)
+        # Create signals for the top entity's ports.
+        for port in entity.ports:
+            init = self._default_value(port.subtype, port.init, scope)
+            signal = self._make_signal(
+                simulator, port.name, port.subtype, init, scope, registry
+            )
+            scope.signals[port.name] = signal
+            if port.init is not None:
+                scope.driver_defaults[port.name] = self._eval_static(
+                    port.init, scope
+                )
+        self._elaborate_architecture(top, scope, simulator, registry)
+        return ElaboratedDesign(
+            sim=simulator,
+            top=top,
+            signals=registry,
+            assertion_log=self._assertion_log,
+        )
+
+    # ------------------------------------------------------------------
+    # architecture elaboration
+    # ------------------------------------------------------------------
+    def _elaborate_architecture(
+        self,
+        entity_name: str,
+        scope: Scope,
+        sim: Simulator,
+        registry: dict[str, Signal],
+    ) -> None:
+        arch = self.architectures.get(entity_name)
+        if arch is None:
+            raise ElaborationError(
+                f"entity {entity_name!r} has no architecture"
+            )
+        for decl in arch.decls:
+            if isinstance(decl, ast.TypeDecl):
+                scope.add_enum_type(decl)
+            elif isinstance(decl, ast.ConstantDecl):
+                scope.constants[decl.name] = self._eval_static(decl.value, scope)
+            elif isinstance(decl, ast.SignalDecl):
+                for name in decl.names:
+                    init = self._default_value(decl.subtype, decl.init, scope)
+                    signal = self._make_signal(
+                        sim, name, decl.subtype, init, scope, registry
+                    )
+                    scope.signals[name] = signal
+        proc_counter = 0
+        for stmt in arch.statements:
+            if isinstance(stmt, ast.ProcessStmt):
+                proc_counter += 1
+                label = stmt.label or f"proc{proc_counter}"
+                self._elaborate_process(stmt, label, scope, sim)
+            else:
+                self._elaborate_instance(stmt, scope, sim, registry)
+
+    def _elaborate_instance(
+        self,
+        inst: ast.ComponentInst,
+        parent: Scope,
+        sim: Simulator,
+        registry: dict[str, Signal],
+    ) -> None:
+        entity = self.entities.get(inst.entity)
+        if entity is None:
+            raise ElaborationError(
+                f"instance {inst.label!r}: unknown entity {inst.entity!r}"
+            )
+        scope = parent.child(inst.label)
+        self._bind_generics(
+            entity, inst.generic_map, {}, scope, parent
+        )
+        # Ports: each actual must name a signal of the parent scope.
+        actuals = self._associate(entity.ports, inst.port_map, "port", inst.label)
+        for port, actual in actuals.items():
+            port_decl = next(p for p in entity.ports if p.name == port)
+            if actual is None:
+                raise ElaborationError(
+                    f"instance {inst.label!r}: port {port!r} unconnected"
+                )
+            if not isinstance(actual, ast.Name):
+                raise ElaborationError(
+                    f"instance {inst.label!r}: port {port!r} must be "
+                    f"associated with a signal name"
+                )
+            signal = parent.signals.get(actual.ident)
+            if signal is None:
+                raise ElaborationError(
+                    f"instance {inst.label!r}: no signal {actual.ident!r} "
+                    f"for port {port!r}"
+                )
+            scope.signals[port] = signal
+            if port_decl.init is not None:
+                scope.driver_defaults[port] = self._eval_static(
+                    port_decl.init, scope
+                )
+        self._elaborate_architecture(inst.entity, scope, sim, registry)
+
+    def _bind_generics(
+        self,
+        entity: ast.EntityDecl,
+        generic_map: tuple[ast.AssociationElement, ...],
+        overrides: dict[str, Value],
+        scope: Scope,
+        parent: Scope,
+    ) -> None:
+        actuals = self._associate(
+            entity.generics, generic_map, "generic", entity.name
+        )
+        for generic in entity.generics:
+            actual = actuals.get(generic.name)
+            if generic.name in overrides:
+                scope.generics[generic.name] = overrides[generic.name]
+            elif actual is not None:
+                scope.generics[generic.name] = self._eval_static(actual, parent)
+            elif generic.default is not None:
+                scope.generics[generic.name] = self._eval_static(
+                    generic.default, scope
+                )
+            else:
+                raise ElaborationError(
+                    f"entity {entity.name!r}: generic {generic.name!r} "
+                    f"has no value"
+                )
+
+    @staticmethod
+    def _associate(
+        formals, associations, what: str, context: str
+    ) -> dict[str, Optional[ast.Expr]]:
+        result: dict[str, Optional[ast.Expr]] = {f.name: None for f in formals}
+        order = [f.name for f in formals]
+        position = 0
+        for element in associations:
+            if element.formal is not None:
+                if element.formal not in result:
+                    raise ElaborationError(
+                        f"{context}: unknown {what} {element.formal!r}"
+                    )
+                result[element.formal] = element.actual
+            else:
+                if position >= len(order):
+                    raise ElaborationError(
+                        f"{context}: too many positional {what}s"
+                    )
+                result[order[position]] = element.actual
+                position += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+    def _make_signal(
+        self,
+        sim: Simulator,
+        name: str,
+        subtype: ast.SubtypeIndication,
+        init: Value,
+        scope: Scope,
+        registry: dict[str, Signal],
+    ) -> Signal:
+        if subtype.resolution is not None:
+            if subtype.resolution != "resolved":
+                raise ElaborationError(
+                    f"signal {name!r}: unknown resolution "
+                    f"{subtype.resolution!r} (only 'resolved' is supported)"
+                )
+            resolution = resolve_rt
+        else:
+            resolution = None
+        full = f"{scope.path}/{name}" if scope.path else name
+        signal = sim.signal(full, init=init, resolution=resolution)
+        registry[full] = signal
+        return signal
+
+    def _default_value(
+        self,
+        subtype: ast.SubtypeIndication,
+        init: Optional[ast.Expr],
+        scope: Scope,
+    ) -> Value:
+        if init is not None:
+            return self._eval_static(init, scope)
+        mark = subtype.type_mark
+        if mark in ("natural", "positive"):
+            return 0 if mark == "natural" else 1
+        if mark == "integer":
+            return DISC
+        etype = scope.types.get(mark)
+        if etype is not None:
+            return etype.by_index(0)
+        raise ElaborationError(f"unknown type {mark!r}")
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def _elaborate_process(
+        self,
+        proc: ast.ProcessStmt,
+        label: str,
+        scope: Scope,
+        sim: Simulator,
+    ) -> None:
+        has_wait = _contains_wait(proc.body)
+        if proc.sensitivity and has_wait:
+            raise ElaborationError(
+                f"process {label!r}: sensitivity list and wait statements "
+                f"are mutually exclusive (IEEE-1076)"
+            )
+        if not proc.sensitivity and not has_wait:
+            raise ElaborationError(
+                f"process {label!r}: no sensitivity list and no wait -- "
+                f"the process would loop forever in delta time"
+            )
+        # Pre-create drivers for every signal the process assigns.
+        drivers: dict[str, Driver] = {}
+        full_label = f"{scope.path}/{label}" if scope.path else label
+        for target in sorted(_assigned_signals(proc.body)):
+            signal = scope.signals.get(target)
+            if signal is None:
+                raise ElaborationError(
+                    f"process {full_label!r}: assignment to unknown "
+                    f"signal {target!r}"
+                )
+            init = scope.driver_defaults.get(target, signal.value)
+            drivers[target] = sim.driver(signal, owner=full_label, init=init)
+        sens_signals = []
+        for name in proc.sensitivity:
+            signal = scope.signals.get(name)
+            if signal is None:
+                raise ElaborationError(
+                    f"process {full_label!r}: unknown signal {name!r} in "
+                    f"sensitivity list"
+                )
+            sens_signals.append(signal)
+
+        interpreter = _ProcessInterpreter(
+            self, proc, scope, drivers, full_label,
+            assertion_log=getattr(self, "_assertion_log", []),
+        )
+        sim.add_process(
+            full_label, interpreter.run, tuple(sens_signals)
+        )
+
+    # ------------------------------------------------------------------
+    # static expression evaluation (no variables)
+    # ------------------------------------------------------------------
+    def _eval_static(self, expr: ast.Expr, scope: Scope) -> Value:
+        return _eval(expr, scope, variables=None, allow_signals=False)
+
+
+# ----------------------------------------------------------------------
+# statement interpretation
+# ----------------------------------------------------------------------
+class _ProcessInterpreter:
+    def __init__(
+        self,
+        elaborator: Elaborator,
+        proc: ast.ProcessStmt,
+        scope: Scope,
+        drivers: dict[str, Driver],
+        label: str,
+        assertion_log: Optional[list] = None,
+    ) -> None:
+        self.proc = proc
+        self.scope = scope
+        self.drivers = drivers
+        self.label = label
+        self.assertion_log = assertion_log if assertion_log is not None else []
+
+    def run(self, sens_signals):
+        variables: dict[str, Value] = {}
+        for decl in self.proc.decls:
+            for name in decl.names:
+                if decl.init is not None:
+                    variables[name] = _eval(
+                        decl.init, self.scope, variables, allow_signals=False
+                    )
+                else:
+                    variables[name] = _default_for(decl.subtype, self.scope)
+        while True:
+            yield from self._exec_block(self.proc.body, variables)
+            if sens_signals:
+                yield wait_on(*sens_signals)
+            # Processes built around explicit waits simply loop.
+
+    def _exec_block(self, body, variables):
+        for stmt in body:
+            if isinstance(stmt, ast.WaitStmt):
+                yield self._make_wait(stmt, variables)
+            elif isinstance(stmt, ast.SignalAssign):
+                driver = self.drivers.get(stmt.target)
+                if driver is None:
+                    raise InterpretationError(
+                        f"{self.label}: no driver for {stmt.target!r}"
+                    )
+                driver.set(
+                    _eval(stmt.value, self.scope, variables)
+                )
+            elif isinstance(stmt, ast.VarAssign):
+                if stmt.target not in variables:
+                    raise InterpretationError(
+                        f"{self.label}: assignment to undeclared variable "
+                        f"{stmt.target!r}"
+                    )
+                variables[stmt.target] = _eval(
+                    stmt.value, self.scope, variables
+                )
+            elif isinstance(stmt, ast.IfStmt):
+                for condition, branch in stmt.branches:
+                    if condition is None or _truthy(
+                        _eval(condition, self.scope, variables), self.label
+                    ):
+                        yield from self._exec_block(branch, variables)
+                        break
+            elif isinstance(stmt, ast.AssertStmt):
+                held = _truthy(
+                    _eval(stmt.condition, self.scope, variables),
+                    f"{self.label}: assert",
+                )
+                if not held:
+                    message = stmt.report or "assertion violation"
+                    if stmt.severity in ("error", "failure"):
+                        raise InterpretationError(
+                            f"{self.label}: {message} "
+                            f"(severity {stmt.severity})"
+                        )
+                    self.assertion_log.append(
+                        f"{self.label}: {message} (severity {stmt.severity})"
+                    )
+            elif isinstance(stmt, ast.NullStmt):
+                pass
+            else:  # pragma: no cover - parser only builds the above
+                raise InterpretationError(
+                    f"{self.label}: unsupported statement {stmt!r}"
+                )
+
+    def _make_wait(self, stmt: ast.WaitStmt, variables):
+        if stmt.condition is not None:
+            sens = [
+                self.scope.signals[name]
+                for name in sorted(_expr_signals(stmt.condition, self.scope))
+            ]
+            if not sens:
+                raise InterpretationError(
+                    f"{self.label}: wait-until condition mentions no signal"
+                )
+            condition = stmt.condition
+            scope = self.scope
+            label = self.label
+            return wait_until(
+                lambda: _truthy(_eval(condition, scope, variables), label),
+                *sens,
+            )
+        if stmt.on_signals:
+            sens = []
+            for name in stmt.on_signals:
+                signal = self.scope.signals.get(name)
+                if signal is None:
+                    raise InterpretationError(
+                        f"{self.label}: wait on unknown signal {name!r}"
+                    )
+                sens.append(signal)
+            return wait_on(*sens)
+        return wait_forever()
+
+
+# ----------------------------------------------------------------------
+# expression evaluation
+# ----------------------------------------------------------------------
+def _eval(
+    expr: ast.Expr,
+    scope: Scope,
+    variables: Optional[dict[str, Value]],
+    allow_signals: bool = True,
+) -> Value:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        name = expr.ident
+        if variables is not None and name in variables:
+            return variables[name]
+        if name in scope.generics:
+            return scope.generics[name]
+        if allow_signals and name in scope.signals:
+            return scope.signals[name].value
+        if name in scope.constants:
+            return scope.constants[name]
+        if name in scope.enum_literals:
+            return scope.enum_literals[name]
+        raise InterpretationError(f"unbound name {name!r}")
+    if isinstance(expr, ast.Attr):
+        return _eval_attr(expr, scope, variables, allow_signals)
+    if isinstance(expr, ast.Unary):
+        operand = _eval(expr.operand, scope, variables, allow_signals)
+        if expr.op == "-":
+            return -_int(operand, "unary -")
+        if expr.op == "not":
+            return not _truthy(operand, "not")
+        raise InterpretationError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.Binary):
+        return _eval_binary(expr, scope, variables, allow_signals)
+    raise InterpretationError(f"cannot evaluate {expr!r}")
+
+
+def _eval_attr(expr: ast.Attr, scope, variables, allow_signals) -> Value:
+    etype = scope.types.get(expr.prefix)
+    if etype is None:
+        raise InterpretationError(
+            f"attribute prefix {expr.prefix!r} is not a type"
+        )
+    attr = expr.name
+    if attr in ("high", "right"):
+        return etype.by_index(len(etype.literals) - 1)
+    if attr in ("low", "left"):
+        return etype.by_index(0)
+    if attr in ("succ", "pred"):
+        if expr.arg is None:
+            raise InterpretationError(f"{expr.prefix}'{attr} needs an argument")
+        value = _eval(expr.arg, scope, variables, allow_signals)
+        if not isinstance(value, EnumValue) or value.type_name != etype.name:
+            raise InterpretationError(
+                f"{expr.prefix}'{attr}: argument is not of type "
+                f"{etype.name!r}"
+            )
+        delta = 1 if attr == "succ" else -1
+        return etype.by_index(value.index + delta)
+    if attr == "pos":
+        value = _eval(expr.arg, scope, variables, allow_signals)
+        if not isinstance(value, EnumValue):
+            raise InterpretationError(f"'pos argument must be an enum value")
+        return value.index
+    if attr == "val":
+        index = _int(
+            _eval(expr.arg, scope, variables, allow_signals), "'val"
+        )
+        return etype.by_index(index)
+    raise InterpretationError(f"unsupported attribute '{attr}")
+
+
+def _eval_binary(expr: ast.Binary, scope, variables, allow_signals) -> Value:
+    op = expr.op
+    left = _eval(expr.left, scope, variables, allow_signals)
+    if op in ("and", "or"):
+        lbool = _truthy(left, op)
+        # VHDL's and/or are not short-circuit for booleans, but the
+        # result is identical; evaluate eagerly for simplicity.
+        rbool = _truthy(
+            _eval(expr.right, scope, variables, allow_signals), op
+        )
+        return (lbool and rbool) if op == "and" else (lbool or rbool)
+    right = _eval(expr.right, scope, variables, allow_signals)
+    if op == "xor":
+        return _truthy(left, op) != _truthy(right, op)
+    if op in ("=", "/="):
+        equal = left == right
+        return equal if op == "=" else not equal
+    if op in ("<", "<=", ">", ">="):
+        lv = left.index if isinstance(left, EnumValue) else _int(left, op)
+        rv = right.index if isinstance(right, EnumValue) else _int(right, op)
+        return {
+            "<": lv < rv,
+            "<=": lv <= rv,
+            ">": lv > rv,
+            ">=": lv >= rv,
+        }[op]
+    li, ri = _int(left, op), _int(right, op)
+    if op == "+":
+        return li + ri
+    if op == "-":
+        return li - ri
+    if op == "*":
+        return li * ri
+    if op == "/":
+        if ri == 0:
+            raise InterpretationError("division by zero")
+        return int(li / ri) if (li < 0) != (ri < 0) else li // ri
+    if op == "mod":
+        if ri == 0:
+            raise InterpretationError("mod by zero")
+        return li % ri
+    if op == "rem":
+        if ri == 0:
+            raise InterpretationError("rem by zero")
+        return li - int(li / ri) * ri if (li < 0) != (ri < 0) else li % ri
+    if op == "**":
+        return li**ri
+    raise InterpretationError(f"unknown operator {op!r}")
+
+
+def _int(value: Value, context: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InterpretationError(f"{context}: expected an integer, got {value!r}")
+    return value
+
+
+def _truthy(value: Value, context: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise InterpretationError(
+        f"{context}: expected a boolean condition, got {value!r}"
+    )
+
+
+def _default_for(subtype: ast.SubtypeIndication, scope: Scope) -> Value:
+    mark = subtype.type_mark
+    if mark == "natural":
+        return 0
+    if mark == "positive":
+        return 1
+    if mark == "integer":
+        return DISC
+    etype = scope.types.get(mark)
+    if etype is not None:
+        return etype.by_index(0)
+    raise InterpretationError(f"unknown type {mark!r}")
+
+
+# ----------------------------------------------------------------------
+# static analysis helpers
+# ----------------------------------------------------------------------
+def _contains_wait(body) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.WaitStmt):
+            return True
+        if isinstance(stmt, ast.IfStmt):
+            for _, branch in stmt.branches:
+                if _contains_wait(branch):
+                    return True
+    return False
+
+
+def _assigned_signals(body) -> set[str]:
+    out: set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, ast.SignalAssign):
+            out.add(stmt.target)
+        elif isinstance(stmt, ast.IfStmt):
+            for _, branch in stmt.branches:
+                out |= _assigned_signals(branch)
+    return out
+
+
+def _expr_signals(expr: ast.Expr, scope: Scope) -> set[str]:
+    """Names in an expression that resolve to signals (for wait-until
+    sensitivity, as VHDL infers it)."""
+    out: set[str] = set()
+    if isinstance(expr, ast.Name):
+        if expr.ident in scope.signals:
+            out.add(expr.ident)
+    elif isinstance(expr, ast.Attr):
+        if expr.arg is not None:
+            out |= _expr_signals(expr.arg, scope)
+    elif isinstance(expr, ast.Unary):
+        out |= _expr_signals(expr.operand, scope)
+    elif isinstance(expr, ast.Binary):
+        out |= _expr_signals(expr.left, scope)
+        out |= _expr_signals(expr.right, scope)
+    return out

@@ -1,0 +1,314 @@
+"""Emission of RT models as VHDL source in the paper's subset.
+
+Inverse of the elaboration path: given an
+:class:`repro.core.model.RTModel`, produce the §2.7-style concrete
+architecture -- CONTROLLER / REG / module / TRANS instances wired over
+resolved signals -- together with generated module entities whose
+process bodies follow the §2.6 pattern (output at ``cm``, variable
+pipeline, all-or-none operand rule, sticky-ILLEGAL guard).
+
+Emitted designs parse, conform to the subset and elaborate back to a
+simulation whose register results equal the native elaboration
+(experiment E12 checks this on a corpus of models).
+
+Expressible operations: the subset's expressions offer VHDL integer
+arithmetic, so module operations must be built from ``+ - * / mod``.
+The standard ops ADD, SUB, MULT, PASS/COPY, INC, DEC, NEG, RSHIFT and
+LSHIFT qualify; coarse-grain ops (the IKS CORDIC core) do not -- they
+would be separate design entities in a real flow -- and cause an
+:class:`EmitterError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.model import RTModel
+from ..core.modules_lib import ModuleSpec
+from ..core.values import DISC
+
+
+class EmitterError(ValueError):
+    """Raised when a model is not expressible in the subset."""
+
+
+#: op name -> VHDL expression template over a/b with mask m.
+_OP_TEMPLATES = {
+    "ADD": "({a} + {b}) mod {m}",
+    "SUB": "({a} - {b}) mod {m}",
+    "MULT": "({a} * {b}) mod {m}",
+    "PASS": "{a}",
+    "COPY": "{a}",
+    "INC": "({a} + 1) mod {m}",
+    "DEC": "({a} - 1) mod {m}",
+    "NEG": "(0 - {a}) mod {m}",
+    "RSHIFT": "{a} / (2 ** {b})",
+    "LSHIFT": "({a} * (2 ** {b})) mod {m}",
+}
+
+_UNARY_OPS = {"PASS", "COPY", "INC", "DEC", "NEG"}
+
+
+def emit_model_vhdl(
+    model: RTModel,
+    entity_name: Optional[str] = None,
+    checks: Optional[dict] = None,
+) -> str:
+    """Render a complete design file for ``model``.
+
+    The file contains one generated module entity per
+    :class:`ModuleSpec` plus the top-level architecture; the paper's
+    CONTROLLER/TRANS/REG library is assumed present (the elaborator
+    includes it automatically).
+
+    ``checks`` maps register names to expected final values: the
+    emitted architecture then contains a **self-checking testbench
+    process** that samples the registers in the final control step's
+    CR phase and raises error-severity assertions on mismatches --
+    "simulating designs at a very early stage" with the checks baked
+    into the VHDL artifact.
+    """
+    top = _ident(entity_name or model.name)
+    pieces = [f"-- generated from RT model {model.name!r}\n"]
+    for spec in model.modules.values():
+        pieces.append(emit_module_entity(spec))
+    pieces.append(_emit_top(model, top, checks=checks))
+    return "\n".join(pieces)
+
+
+def emit_module_entity(spec: ModuleSpec) -> str:
+    """Generate the §2.6-style entity for one functional unit."""
+    if not spec.pipelined and spec.latency > 1:
+        raise EmitterError(
+            f"module {spec.name!r}: non-pipelined multi-step units are "
+            f"not expressible in the generated pattern"
+        )
+    arities = {op.arity for op in spec.operations.values()}
+    if len(arities) > 1:
+        raise EmitterError(
+            f"module {spec.name!r}: mixed operand counts within one unit "
+            f"are not expressible"
+        )
+    arity = arities.pop()
+    for name in spec.operations:
+        if name not in _OP_TEMPLATES:
+            raise EmitterError(
+                f"module {spec.name!r}: operation {name!r} has no VHDL "
+                f"expression template (coarse-grain unit)"
+            )
+    unit = _unit_entity_name(spec)
+    mask = 1 << spec.width
+    lines: list[str] = []
+    w = lines.append
+
+    ports = ["PH: in Phase"]
+    if arity == 2:
+        ports.append("M_in1, M_in2: in Integer")
+    else:
+        ports.append("M_in1: in Integer")
+    if spec.multi_op:
+        ports.append("M_op: in Integer")
+    ports.append("M_out: out Integer := DISC")
+    w(f"entity {unit} is")
+    w("  port (" + ";\n        ".join(ports) + ");")
+    w(f"end {unit};")
+    w("")
+    w(f"architecture transfer of {unit} is")
+    w("begin")
+    w("  process")
+    w("    variable V: Integer := DISC;")
+    for stage in range(spec.latency):
+        w(f"    variable P{stage}: Integer := DISC;")
+    if spec.sticky_illegal:
+        w("    variable FROZEN: Natural := 0;")
+    w("  begin")
+    w("    wait until PH = cm;")
+    if spec.sticky_illegal:
+        w("    if FROZEN = 1 then")
+        w("      M_out <= ILLEGAL;")
+        w("    else")
+        body_indent = "      "
+    else:
+        body_indent = "    "
+    combine = _combine_lines(spec, arity, mask)
+    if spec.latency == 0:
+        for line in combine:
+            w(body_indent + line)
+        if spec.sticky_illegal:
+            w(body_indent + "if V = ILLEGAL then")
+            w(body_indent + "  FROZEN := 1;")
+            w(body_indent + "end if;")
+        w(body_indent + "M_out <= V;")
+    else:
+        w(body_indent + f"M_out <= P{spec.latency - 1};")
+        for line in combine:
+            w(body_indent + line)
+        if spec.sticky_illegal:
+            w(body_indent + "if V = ILLEGAL then")
+            w(body_indent + "  FROZEN := 1;")
+            w(body_indent + "end if;")
+        for stage in range(spec.latency - 1, 0, -1):
+            w(body_indent + f"P{stage} := P{stage - 1};")
+        w(body_indent + "P0 := V;")
+    if spec.sticky_illegal:
+        w("    end if;")
+    w("  end process;")
+    w("end transfer;")
+    w("")
+    return "\n".join(lines)
+
+
+def _combine_lines(spec: ModuleSpec, arity: int, mask: int) -> list[str]:
+    """The all-or-none operand combination, with op decode."""
+    lines: list[str] = []
+    if arity == 2:
+        lines.append("if M_in1 = ILLEGAL or M_in2 = ILLEGAL then")
+        lines.append("  V := ILLEGAL;")
+        lines.append("elsif M_in1 = DISC and M_in2 = DISC then")
+        lines.append("  V := DISC;")
+        lines.append("elsif M_in1 = DISC or M_in2 = DISC then")
+        lines.append("  V := ILLEGAL;")
+        lines.append("else")
+    else:
+        lines.append("if M_in1 = ILLEGAL then")
+        lines.append("  V := ILLEGAL;")
+        lines.append("elsif M_in1 = DISC then")
+        lines.append("  V := DISC;")
+        lines.append("else")
+    lines.extend("  " + line for line in _op_decode_lines(spec, mask))
+    lines.append("end if;")
+    return lines
+
+
+def _op_decode_lines(spec: ModuleSpec, mask: int) -> list[str]:
+    def expr(op_name: str) -> str:
+        return _OP_TEMPLATES[op_name].format(a="M_in1", b="M_in2", m=mask)
+
+    if not spec.multi_op:
+        (only,) = spec.operations
+        return [f"V := {expr(only)};"]
+    lines: list[str] = []
+    names = sorted(spec.operations)
+    # DISC on the op port selects the default operation; ILLEGAL (or an
+    # out-of-range code) poisons the result.
+    lines.append(f"if M_op = DISC then")
+    lines.append(f"  V := {expr(spec.default_op)};")
+    for code, name in enumerate(names):
+        lines.append(f"elsif M_op = {code} then")
+        lines.append(f"  V := {expr(name)};")
+    lines.append("else")
+    lines.append("  V := ILLEGAL;")
+    lines.append("end if;")
+    return lines
+
+
+def _emit_top(model: RTModel, top: str, checks: Optional[dict] = None) -> str:
+    lines: list[str] = []
+    w = lines.append
+    w(f"entity {top} is")
+    w("end " + top + ";")
+    w("")
+    w(f"architecture transfer of {top} is")
+    w("  -- timing signals")
+    w("  signal CS: Natural := 0;")
+    w("  signal PH: Phase := cr;")
+    w("  -- register ports")
+    for reg in model.registers.values():
+        name = _ident(reg.name)
+        w(f"  signal {name}_in: resolved Integer := DISC;")
+        init = reg.init if reg.init != DISC else DISC
+        w(f"  signal {name}_out: Integer := {_int_lit(init)};")
+    w("  -- module ports")
+    for spec in model.modules.values():
+        name = _ident(spec.name)
+        for i in range(1, spec.arity + 1):
+            w(f"  signal {name}_in{i}: resolved Integer := DISC;")
+        if spec.multi_op:
+            w(f"  signal {name}_op: resolved Integer := DISC;")
+        w(f"  signal {name}_out: Integer := DISC;")
+    w("  -- buses")
+    for bus in model.buses.values():
+        w(f"  signal {_ident(bus.name)}: resolved Integer := DISC;")
+    op_codes = sorted(
+        {
+            model.modules[t.module].op_code(t.op)
+            for t in model.transfers
+            if t.op is not None
+        }
+    )
+    if op_codes:
+        w("  -- operation-select constants (§3 extension)")
+        for code in op_codes:
+            w(f"  signal OPK{code}: Integer := {code};")
+    w("begin")
+    w("  -- registers")
+    for reg in model.registers.values():
+        name = _ident(reg.name)
+        w(
+            f"  {name}_proc: REG generic map ({_int_lit(reg.init)}) "
+            f"port map (PH, {name}_in, {name}_out);"
+        )
+    w("  -- modules")
+    for spec in model.modules.values():
+        name = _ident(spec.name)
+        unit = _unit_entity_name(spec)
+        ports = ["PH"]
+        ports.extend(f"{name}_in{i}" for i in range(1, spec.arity + 1))
+        if spec.multi_op:
+            ports.append(f"{name}_op")
+        ports.append(f"{name}_out")
+        w(f"  {name}_proc: {unit} port map ({', '.join(ports)});")
+    w("  -- transfers")
+    for spec in model.trans_specs():
+        label = _ident(spec.name)
+        if spec.source.startswith("op:"):
+            op_name = spec.source[3:]
+            module_name = spec.sink.rsplit("_op", 1)[0]
+            code = model.modules[module_name].op_code(op_name)
+            source = f"OPK{code}"
+        else:
+            source = _ident(spec.source)
+        sink = _ident(spec.sink)
+        w(
+            f"  {label}: TRANS generic map ({spec.step}, "
+            f"{spec.phase.vhdl_name}) port map (CS, PH, {source}, {sink});"
+        )
+    w("  -- controller")
+    w(f"  CONTROL: CONTROLLER generic map ({model.cs_max}) port map (CS, PH);")
+    if checks:
+        unknown = set(checks) - set(model.registers)
+        if unknown:
+            raise EmitterError(
+                f"checks reference unknown registers: {sorted(unknown)}"
+            )
+        w("  -- self-checking testbench (samples at the final CR phase)")
+        w("  checker: process")
+        w("  begin")
+        w(f"    wait until CS = {model.cs_max} and PH = cr;")
+        for register, expected in sorted(checks.items()):
+            name = _ident(register)
+            w(
+                f"    assert {name}_out = {_int_lit(expected)} "
+                f'report "{name} expected {expected}" severity error;'
+            )
+        w("    wait;")
+        w("  end process;")
+    w("end transfer;")
+    w("")
+    return "\n".join(lines)
+
+
+def _unit_entity_name(spec: ModuleSpec) -> str:
+    return f"{_ident(spec.name)}_UNIT"
+
+
+def _ident(name: str) -> str:
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not out or not out[0].isalpha():
+        out = "u_" + out
+    return out
+
+
+def _int_lit(value: int) -> str:
+    """VHDL integer literal; negatives need parentheses in maps."""
+    return str(value) if value >= 0 else f"0 - {-value}"

@@ -1,0 +1,242 @@
+"""Pretty-printer for the subset's AST.
+
+Renders parsed design files back to VHDL source text.  The output is
+canonical (normalized casing, indentation and spacing) and satisfies
+
+    parse(format(parse(text))) == parse(text)
+
+for every design the parser accepts -- checked by the formatter tests.
+Useful for normalizing hand-written models, for diffing generated
+designs, and as the display form of programmatically built ASTs.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from . import ast
+
+INDENT = "  "
+
+
+def format_file(design: ast.DesignFile) -> str:
+    """Render a design file."""
+    parts = [format_unit(unit) for unit in design.units]
+    return "\n".join(parts)
+
+
+def format_unit(unit: ast.DesignUnit) -> str:
+    if isinstance(unit, ast.EntityDecl):
+        return _format_entity(unit)
+    if isinstance(unit, ast.ArchitectureDecl):
+        return _format_architecture(unit)
+    if isinstance(unit, ast.PackageDecl):
+        return _format_package(unit)
+    raise TypeError(f"not a design unit: {unit!r}")
+
+
+def format_expr(expr: ast.Expr) -> str:
+    """Render an expression with minimal necessary parentheses."""
+    return _expr(expr, parent_level=-1)
+
+
+# precedence levels matching the parser, loosest (0) to tightest
+_LEVELS = {
+    "or": 0,
+    "and": 1,
+    "xor": 2,
+    "=": 3, "/=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4, "&": 4,
+    "*": 5, "/": 5, "mod": 5, "rem": 5,
+    "**": 6,
+}
+
+
+def _expr(expr: ast.Expr, parent_level: int) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Attr):
+        suffix = f"({_expr(expr.arg, -1)})" if expr.arg is not None else ""
+        return f"{expr.prefix}'{expr.name}{suffix}"
+    if isinstance(expr, ast.Unary):
+        inner = _expr(expr.operand, 10)
+        text = f"not {inner}" if expr.op == "not" else f"-{inner}"
+        return f"({text})" if parent_level >= 0 else text
+    if isinstance(expr, ast.Binary):
+        level = _LEVELS[expr.op]
+        if expr.op == "**":  # right-associative
+            left = _expr(expr.left, level)
+            right = _expr(expr.right, level - 1)
+        else:  # left-associative
+            left = _expr(expr.left, level - 1)
+            right = _expr(expr.right, level)
+        text = f"{left} {expr.op} {right}"
+        if parent_level >= level:
+            return f"({text})"
+        return text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _format_subtype(subtype: ast.SubtypeIndication) -> str:
+    prefix = f"{subtype.resolution} " if subtype.resolution else ""
+    return f"{prefix}{subtype.type_mark}"
+
+
+def _format_entity(entity: ast.EntityDecl) -> str:
+    lines = [f"entity {entity.name} is"]
+    if entity.generics:
+        items = []
+        for generic in entity.generics:
+            default = (
+                f" := {format_expr(generic.default)}"
+                if generic.default is not None
+                else ""
+            )
+            items.append(
+                f"{generic.name}: {_format_subtype(generic.subtype)}{default}"
+            )
+        lines.append(f"{INDENT}generic ({'; '.join(items)});")
+    if entity.ports:
+        items = []
+        for port in entity.ports:
+            init = (
+                f" := {format_expr(port.init)}" if port.init is not None else ""
+            )
+            items.append(
+                f"{port.name}: {port.mode} "
+                f"{_format_subtype(port.subtype)}{init}"
+            )
+        joined = (";\n" + INDENT * 3 + " ").join(items)
+        lines.append(f"{INDENT}port ({joined});")
+    lines.append(f"end {entity.name};")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _format_package(package: ast.PackageDecl) -> str:
+    lines = [f"package {package.name} is"]
+    for decl in package.decls:
+        lines.append(INDENT + _format_decl(decl))
+    lines.append(f"end package {package.name};")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _format_decl(
+    decl: Union[ast.TypeDecl, ast.ConstantDecl, ast.SignalDecl]
+) -> str:
+    if isinstance(decl, ast.TypeDecl):
+        return f"type {decl.name} is ({', '.join(decl.literals)});"
+    if isinstance(decl, ast.ConstantDecl):
+        return (
+            f"constant {decl.name}: {_format_subtype(decl.subtype)} := "
+            f"{format_expr(decl.value)};"
+        )
+    if isinstance(decl, ast.SignalDecl):
+        init = f" := {format_expr(decl.init)}" if decl.init is not None else ""
+        return (
+            f"signal {', '.join(decl.names)}: "
+            f"{_format_subtype(decl.subtype)}{init};"
+        )
+    raise TypeError(f"not a declaration: {decl!r}")
+
+
+def _format_architecture(arch: ast.ArchitectureDecl) -> str:
+    lines = [f"architecture {arch.name} of {arch.entity} is"]
+    for decl in arch.decls:
+        lines.append(INDENT + _format_decl(decl))
+    lines.append("begin")
+    for stmt in arch.statements:
+        if isinstance(stmt, ast.ProcessStmt):
+            lines.extend(_format_process(stmt, 1))
+        else:
+            lines.append(INDENT + _format_instance(stmt))
+    lines.append(f"end {arch.name};")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _format_instance(inst: ast.ComponentInst) -> str:
+    parts = [f"{inst.label}: {inst.entity}"]
+    if inst.generic_map:
+        parts.append(f"generic map ({_format_assocs(inst.generic_map)})")
+    if inst.port_map:
+        parts.append(f"port map ({_format_assocs(inst.port_map)})")
+    return " ".join(parts) + ";"
+
+
+def _format_assocs(assocs) -> str:
+    items = []
+    for element in assocs:
+        actual = format_expr(element.actual)
+        if element.formal is not None:
+            items.append(f"{element.formal} => {actual}")
+        else:
+            items.append(actual)
+    return ", ".join(items)
+
+
+def _format_process(proc: ast.ProcessStmt, depth: int) -> list[str]:
+    pad = INDENT * depth
+    label = f"{proc.label}: " if proc.label else ""
+    sensitivity = f" ({', '.join(proc.sensitivity)})" if proc.sensitivity else ""
+    lines = [f"{pad}{label}process{sensitivity}"]
+    for decl in proc.decls:
+        init = f" := {format_expr(decl.init)}" if decl.init is not None else ""
+        lines.append(
+            f"{pad}{INDENT}variable {', '.join(decl.names)}: "
+            f"{_format_subtype(decl.subtype)}{init};"
+        )
+    lines.append(f"{pad}begin")
+    lines.extend(_format_stmts(proc.body, depth + 1))
+    lines.append(f"{pad}end process;")
+    return lines
+
+
+def _format_stmts(body, depth: int) -> list[str]:
+    pad = INDENT * depth
+    lines: list[str] = []
+    for stmt in body:
+        if isinstance(stmt, ast.WaitStmt):
+            if stmt.condition is not None:
+                lines.append(f"{pad}wait until {format_expr(stmt.condition)};")
+            elif stmt.on_signals:
+                lines.append(f"{pad}wait on {', '.join(stmt.on_signals)};")
+            else:
+                lines.append(f"{pad}wait;")
+        elif isinstance(stmt, ast.SignalAssign):
+            lines.append(f"{pad}{stmt.target} <= {format_expr(stmt.value)};")
+        elif isinstance(stmt, ast.VarAssign):
+            lines.append(f"{pad}{stmt.target} := {format_expr(stmt.value)};")
+        elif isinstance(stmt, ast.NullStmt):
+            lines.append(f"{pad}null;")
+        elif isinstance(stmt, ast.AssertStmt):
+            text = f"{pad}assert {format_expr(stmt.condition)}"
+            if stmt.report is not None:
+                escaped = stmt.report.replace('"', '""')
+                text += f' report "{escaped}"'
+            if stmt.severity != "error":
+                text += f" severity {stmt.severity}"
+            lines.append(text + ";")
+        elif isinstance(stmt, ast.IfStmt):
+            lines.extend(_format_if(stmt, depth))
+        else:  # pragma: no cover - exhaustive over the AST
+            raise TypeError(f"not a statement: {stmt!r}")
+    return lines
+
+
+def _format_if(stmt: ast.IfStmt, depth: int) -> list[str]:
+    pad = INDENT * depth
+    lines: list[str] = []
+    for index, (condition, body) in enumerate(stmt.branches):
+        if index == 0:
+            lines.append(f"{pad}if {format_expr(condition)} then")
+        elif condition is not None:
+            lines.append(f"{pad}elsif {format_expr(condition)} then")
+        else:
+            lines.append(f"{pad}else")
+        lines.extend(_format_stmts(body, depth + 1))
+    lines.append(f"{pad}end if;")
+    return lines

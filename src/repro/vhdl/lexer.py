@@ -1,0 +1,129 @@
+"""Lexer for the paper's VHDL subset.
+
+Tokenizes the language fragment the paper's models are written in:
+identifiers (case-insensitive, normalized to lower case), integer
+literals, the punctuation and compound delimiters of VHDL, and ``--``
+comments.  Source positions are tracked for error reporting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class VhdlSyntaxError(ValueError):
+    """Raised for lexical or syntactic errors, with position info."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+#: Reserved words of the subset (lower case).
+KEYWORDS = frozenset(
+    """
+    architecture assert begin component constant downto else elsif end
+    entity generic if in inout is map mod not null of on or and xor out
+    port process rem report signal severity subtype then to type
+    until use variable wait when library all others range package body
+    return function pure
+    """.split()
+)
+
+#: Compound delimiters, longest first so the scanner is greedy.
+_COMPOUND = ("<=", ":=", "=>", "/=", ">=", "**")
+_SINGLE = "()';:,.=<>+-*/&|"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "ident" | "keyword" | "int" | "delim" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_delim(self, delim: str) -> bool:
+        return self.kind == "delim" and self.text == delim
+
+    def __str__(self) -> str:
+        return f"{self.text!r}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<int>\d+)
+  | (?P<string>"(?:[^"]|"")*")
+  | (?P<ident>[A-Za-z][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan VHDL source into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+
+    def location() -> tuple[int, int]:
+        return line, pos - line_start + 1
+
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match:
+            group = match.lastgroup
+            lexeme = match.group()
+            if group == "ws":
+                newlines = lexeme.count("\n")
+                if newlines:
+                    line += newlines
+                    line_start = pos + lexeme.rfind("\n") + 1
+            elif group == "comment":
+                pass
+            elif group == "int":
+                ln, col = location()
+                tokens.append(Token("int", lexeme, ln, col))
+            elif group == "string":
+                ln, col = location()
+                # Strip quotes; "" escapes a quote, as in VHDL.
+                body = lexeme[1:-1].replace('""', '"')
+                tokens.append(Token("string", body, ln, col))
+            elif group == "ident":
+                ln, col = location()
+                lowered = lexeme.lower()
+                kind = "keyword" if lowered in KEYWORDS else "ident"
+                tokens.append(Token(kind, lowered, ln, col))
+            pos = match.end()
+            continue
+        matched = False
+        for compound in _COMPOUND:
+            if text.startswith(compound, pos):
+                ln, col = location()
+                tokens.append(Token("delim", compound, ln, col))
+                pos += len(compound)
+                matched = True
+                break
+        if matched:
+            continue
+        ch = text[pos]
+        if ch in _SINGLE:
+            ln, col = location()
+            tokens.append(Token("delim", ch, ln, col))
+            pos += 1
+            continue
+        ln, col = location()
+        raise VhdlSyntaxError(f"unexpected character {ch!r}", ln, col)
+    tokens.append(Token("eof", "<eof>", line, pos - line_start + 1))
+    return tokens

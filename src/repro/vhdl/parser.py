@@ -1,0 +1,505 @@
+"""Recursive-descent parser for the paper's VHDL subset."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast
+from .lexer import Token, VhdlSyntaxError, tokenize
+
+
+def parse_file(text: str) -> ast.DesignFile:
+    """Parse VHDL source into a design file."""
+    return _Parser(tokenize(text)).parse_design_file()
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a standalone expression (mainly for tests)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    parser.expect_kind("eof")
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> VhdlSyntaxError:
+        token = self.peek()
+        return VhdlSyntaxError(
+            f"{message}, found {token}", token.line, token.column
+        )
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise self.error(f"expected {word!r}")
+        return self.advance()
+
+    def expect_delim(self, delim: str) -> Token:
+        token = self.peek()
+        if not token.is_delim(delim):
+            raise self.error(f"expected {delim!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.error("expected identifier")
+        return self.advance().text
+
+    def expect_kind(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise self.error(f"expected {kind}")
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def accept_delim(self, delim: str) -> bool:
+        if self.peek().is_delim(delim):
+            self.advance()
+            return True
+        return False
+
+    # -- design file -------------------------------------------------------
+    def parse_design_file(self) -> ast.DesignFile:
+        units: list[ast.DesignUnit] = []
+        while not self.peek().kind == "eof":
+            # Tolerate (and ignore) library/use clauses.
+            if self.accept_keyword("library"):
+                self.expect_ident()
+                self.expect_delim(";")
+                continue
+            if self.accept_keyword("use"):
+                while not self.accept_delim(";"):
+                    self.advance()
+                continue
+            token = self.peek()
+            if token.is_keyword("entity"):
+                units.append(self.parse_entity())
+            elif token.is_keyword("architecture"):
+                units.append(self.parse_architecture())
+            elif token.is_keyword("package"):
+                units.append(self.parse_package())
+            else:
+                raise self.error(
+                    "expected entity, architecture or package declaration"
+                )
+        return ast.DesignFile(tuple(units))
+
+    # -- entities -----------------------------------------------------------
+    def parse_entity(self) -> ast.EntityDecl:
+        self.expect_keyword("entity")
+        name = self.expect_ident()
+        self.expect_keyword("is")
+        generics: tuple[ast.GenericDecl, ...] = ()
+        ports: tuple[ast.PortDecl, ...] = ()
+        if self.accept_keyword("generic"):
+            generics = self.parse_generic_clause()
+        if self.accept_keyword("port"):
+            ports = self.parse_port_clause()
+        self.expect_keyword("end")
+        self.accept_keyword("entity")
+        if self.peek().kind == "ident":
+            closing = self.expect_ident()
+            if closing != name:
+                raise self.error(
+                    f"entity closing name {closing!r} does not match {name!r}"
+                )
+        self.expect_delim(";")
+        return ast.EntityDecl(name, generics, ports)
+
+    def parse_generic_clause(self) -> tuple[ast.GenericDecl, ...]:
+        self.expect_delim("(")
+        decls: list[ast.GenericDecl] = []
+        while True:
+            names = self.parse_ident_list()
+            self.expect_delim(":")
+            subtype = self.parse_subtype()
+            default = None
+            if self.accept_delim(":="):
+                default = self.parse_expr()
+            for ident in names:
+                decls.append(ast.GenericDecl(ident, subtype, default))
+            if not self.accept_delim(";"):
+                break
+        self.expect_delim(")")
+        self.expect_delim(";")
+        return tuple(decls)
+
+    def parse_port_clause(self) -> tuple[ast.PortDecl, ...]:
+        self.expect_delim("(")
+        decls: list[ast.PortDecl] = []
+        while True:
+            names = self.parse_ident_list()
+            self.expect_delim(":")
+            mode = "in"
+            for candidate in ("inout", "in", "out"):
+                if self.accept_keyword(candidate):
+                    mode = candidate
+                    break
+            subtype = self.parse_subtype()
+            init = None
+            if self.accept_delim(":="):
+                init = self.parse_expr()
+            for ident in names:
+                decls.append(ast.PortDecl(ident, mode, subtype, init))
+            if not self.accept_delim(";"):
+                break
+        self.expect_delim(")")
+        self.expect_delim(";")
+        return tuple(decls)
+
+    def parse_ident_list(self) -> list[str]:
+        names = [self.expect_ident()]
+        while self.accept_delim(","):
+            names.append(self.expect_ident())
+        return names
+
+    def parse_subtype(self) -> ast.SubtypeIndication:
+        first = self.expect_ident()
+        if self.peek().kind == "ident":
+            # "resolved Integer": resolution function + type mark.
+            mark = self.expect_ident()
+            return ast.SubtypeIndication(mark, resolution=first)
+        return ast.SubtypeIndication(first)
+
+    # -- packages -------------------------------------------------------------
+    def parse_package(self) -> ast.PackageDecl:
+        self.expect_keyword("package")
+        name = self.expect_ident()
+        self.expect_keyword("is")
+        decls: list = []
+        while not self.peek().is_keyword("end"):
+            token = self.peek()
+            if token.is_keyword("type"):
+                decls.append(self.parse_type_decl())
+            elif token.is_keyword("constant"):
+                decls.append(self.parse_constant_decl())
+            else:
+                raise self.error(
+                    "only type and constant declarations allowed in packages"
+                )
+        self.expect_keyword("end")
+        self.accept_keyword("package")
+        if self.peek().kind == "ident":
+            self.expect_ident()
+        self.expect_delim(";")
+        return ast.PackageDecl(name, tuple(decls))
+
+    # -- architectures -----------------------------------------------------
+    def parse_architecture(self) -> ast.ArchitectureDecl:
+        self.expect_keyword("architecture")
+        name = self.expect_ident()
+        self.expect_keyword("of")
+        entity = self.expect_ident()
+        self.expect_keyword("is")
+        decls: list = []
+        while not self.peek().is_keyword("begin"):
+            token = self.peek()
+            if token.is_keyword("signal"):
+                decls.append(self.parse_signal_decl())
+            elif token.is_keyword("constant"):
+                decls.append(self.parse_constant_decl())
+            elif token.is_keyword("type"):
+                decls.append(self.parse_type_decl())
+            elif token.is_keyword("component"):
+                self.skip_component_decl()
+            else:
+                raise self.error("unexpected architecture declaration")
+        self.expect_keyword("begin")
+        statements: list = []
+        while not self.peek().is_keyword("end"):
+            statements.append(self.parse_concurrent_statement())
+        self.expect_keyword("end")
+        self.accept_keyword("architecture")
+        if self.peek().kind == "ident":
+            self.expect_ident()
+        self.expect_delim(";")
+        return ast.ArchitectureDecl(name, entity, tuple(decls), tuple(statements))
+
+    def parse_signal_decl(self) -> ast.SignalDecl:
+        self.expect_keyword("signal")
+        names = self.parse_ident_list()
+        self.expect_delim(":")
+        subtype = self.parse_subtype()
+        init = None
+        if self.accept_delim(":="):
+            init = self.parse_expr()
+        self.expect_delim(";")
+        return ast.SignalDecl(tuple(names), subtype, init)
+
+    def parse_constant_decl(self) -> ast.ConstantDecl:
+        self.expect_keyword("constant")
+        name = self.expect_ident()
+        self.expect_delim(":")
+        subtype = self.parse_subtype()
+        self.expect_delim(":=")
+        value = self.parse_expr()
+        self.expect_delim(";")
+        return ast.ConstantDecl(name, subtype, value)
+
+    def parse_type_decl(self) -> ast.TypeDecl:
+        self.expect_keyword("type")
+        name = self.expect_ident()
+        self.expect_keyword("is")
+        self.expect_delim("(")
+        literals = self.parse_ident_list()
+        self.expect_delim(")")
+        self.expect_delim(";")
+        return ast.TypeDecl(name, tuple(literals))
+
+    def skip_component_decl(self) -> None:
+        """Component declarations repeat entity interfaces; skip them
+        (instantiations resolve against the entity directly)."""
+        self.expect_keyword("component")
+        depth = 0
+        while True:
+            token = self.advance()
+            if token.kind == "eof":
+                raise self.error("unterminated component declaration")
+            if token.is_keyword("end"):
+                self.accept_keyword("component")
+                if self.peek().kind == "ident":
+                    self.expect_ident()
+                self.expect_delim(";")
+                return
+
+    # -- concurrent statements ------------------------------------------------
+    def parse_concurrent_statement(self):
+        if self.peek().is_keyword("process"):
+            return self.parse_process(label=None)
+        label = self.expect_ident()
+        self.expect_delim(":")
+        if self.peek().is_keyword("process"):
+            return self.parse_process(label=label)
+        return self.parse_component_inst(label)
+
+    def parse_component_inst(self, label: str) -> ast.ComponentInst:
+        self.accept_keyword("entity")  # "entity work.NAME" style
+        entity = self.expect_ident()
+        if self.accept_delim("."):
+            entity = self.expect_ident()  # work.NAME -> NAME
+        generic_map: tuple[ast.AssociationElement, ...] = ()
+        port_map: tuple[ast.AssociationElement, ...] = ()
+        if self.accept_keyword("generic"):
+            self.expect_keyword("map")
+            generic_map = self.parse_association_list()
+        if self.accept_keyword("port"):
+            self.expect_keyword("map")
+            port_map = self.parse_association_list()
+        self.expect_delim(";")
+        return ast.ComponentInst(label, entity, generic_map, port_map)
+
+    def parse_association_list(self) -> tuple[ast.AssociationElement, ...]:
+        self.expect_delim("(")
+        items: list[ast.AssociationElement] = []
+        while True:
+            formal = None
+            if (
+                self.peek().kind == "ident"
+                and self.peek(1).is_delim("=>")
+            ):
+                formal = self.expect_ident()
+                self.expect_delim("=>")
+            items.append(ast.AssociationElement(formal, self.parse_expr()))
+            if not self.accept_delim(","):
+                break
+        self.expect_delim(")")
+        return tuple(items)
+
+    def parse_process(self, label: Optional[str]) -> ast.ProcessStmt:
+        self.expect_keyword("process")
+        sensitivity: tuple[str, ...] = ()
+        if self.accept_delim("("):
+            sensitivity = tuple(self.parse_ident_list())
+            self.expect_delim(")")
+        decls: list[ast.VariableDecl] = []
+        while self.peek().is_keyword("variable"):
+            self.expect_keyword("variable")
+            names = self.parse_ident_list()
+            self.expect_delim(":")
+            subtype = self.parse_subtype()
+            init = None
+            if self.accept_delim(":="):
+                init = self.parse_expr()
+            self.expect_delim(";")
+            decls.append(ast.VariableDecl(tuple(names), subtype, init))
+        self.expect_keyword("begin")
+        body = self.parse_sequential_statements(("end",))
+        self.expect_keyword("end")
+        self.expect_keyword("process")
+        if self.peek().kind == "ident":
+            self.expect_ident()
+        self.expect_delim(";")
+        return ast.ProcessStmt(label, sensitivity, tuple(decls), body)
+
+    # -- sequential statements -------------------------------------------------
+    def parse_sequential_statements(
+        self, terminators: tuple[str, ...]
+    ) -> tuple[ast.Stmt, ...]:
+        statements: list[ast.Stmt] = []
+        while not any(self.peek().is_keyword(t) for t in terminators):
+            statements.append(self.parse_sequential_statement())
+        return tuple(statements)
+
+    def parse_sequential_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.is_keyword("wait"):
+            return self.parse_wait()
+        if token.is_keyword("if"):
+            return self.parse_if()
+        if token.is_keyword("null"):
+            self.advance()
+            self.expect_delim(";")
+            return ast.NullStmt()
+        if token.is_keyword("assert"):
+            return self.parse_assert()
+        if token.kind == "ident":
+            target = self.expect_ident()
+            if self.accept_delim("<="):
+                value = self.parse_expr()
+                self.expect_delim(";")
+                return ast.SignalAssign(target, value)
+            if self.accept_delim(":="):
+                value = self.parse_expr()
+                self.expect_delim(";")
+                return ast.VarAssign(target, value)
+            raise self.error("expected '<=' or ':=' after target")
+        raise self.error("expected sequential statement")
+
+    def parse_assert(self) -> ast.AssertStmt:
+        self.expect_keyword("assert")
+        condition = self.parse_expr()
+        report = None
+        severity = "error"
+        if self.accept_keyword("report"):
+            report = self.expect_kind("string").text
+        if self.accept_keyword("severity"):
+            level = self.expect_ident()
+            if level not in ("note", "warning", "error", "failure"):
+                raise self.error(f"unknown severity level {level!r}")
+            severity = level
+        self.expect_delim(";")
+        return ast.AssertStmt(condition, report, severity)
+
+    def parse_wait(self) -> ast.WaitStmt:
+        self.expect_keyword("wait")
+        if self.accept_keyword("until"):
+            condition = self.parse_expr()
+            self.expect_delim(";")
+            return ast.WaitStmt(condition=condition)
+        if self.accept_keyword("on"):
+            signals = tuple(self.parse_ident_list())
+            self.expect_delim(";")
+            return ast.WaitStmt(on_signals=signals)
+        self.expect_delim(";")
+        return ast.WaitStmt()
+
+    def parse_if(self) -> ast.IfStmt:
+        self.expect_keyword("if")
+        branches: list[tuple[Optional[ast.Expr], tuple[ast.Stmt, ...]]] = []
+        condition = self.parse_expr()
+        self.expect_keyword("then")
+        body = self.parse_sequential_statements(("elsif", "else", "end"))
+        branches.append((condition, body))
+        while self.peek().is_keyword("elsif"):
+            self.expect_keyword("elsif")
+            condition = self.parse_expr()
+            self.expect_keyword("then")
+            body = self.parse_sequential_statements(("elsif", "else", "end"))
+            branches.append((condition, body))
+        if self.accept_keyword("else"):
+            body = self.parse_sequential_statements(("end",))
+            branches.append((None, body))
+        self.expect_keyword("end")
+        self.expect_keyword("if")
+        self.expect_delim(";")
+        return ast.IfStmt(tuple(branches))
+
+    # -- expressions ---------------------------------------------------------
+    # precedence, loosest first
+    _LEVELS = (
+        ("or",),
+        ("and",),
+        ("xor",),
+        ("=", "/=", "<", "<=", ">", ">="),
+        ("+", "-", "&"),
+        ("*", "/", "mod", "rem"),
+    )
+
+    def parse_expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_factor()
+        left = self.parse_expr(level + 1)
+        while True:
+            token = self.peek()
+            ops = self._LEVELS[level]
+            matched = None
+            for op in ops:
+                if token.is_delim(op) or token.is_keyword(op):
+                    matched = op
+                    break
+            if matched is None:
+                return left
+            self.advance()
+            right = self.parse_expr(level + 1)
+            left = ast.Binary(matched, left, right)
+
+    def parse_factor(self) -> ast.Expr:
+        token = self.peek()
+        if token.is_keyword("not"):
+            self.advance()
+            return ast.Unary("not", self.parse_factor())
+        if token.is_delim("-"):
+            self.advance()
+            return ast.Unary("-", self.parse_factor())
+        if token.is_delim("+"):
+            self.advance()
+            return self.parse_factor()
+        primary = self.parse_primary()
+        # Exponentiation binds tightest and is right-associative
+        # (2 ** 3 ** 2 = 2 ** (3 ** 2), as in the LRM).
+        if self.peek().is_delim("**"):
+            self.advance()
+            return ast.Binary("**", primary, self.parse_factor())
+        return primary
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(int(token.text))
+        if token.is_delim("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_delim(")")
+            return inner
+        if token.kind == "ident":
+            ident = self.expect_ident()
+            if self.accept_delim("'"):
+                attr = self.expect_ident()
+                arg = None
+                if self.accept_delim("("):
+                    arg = self.parse_expr()
+                    self.expect_delim(")")
+                return ast.Attr(ident, attr, arg)
+            return ast.Name(ident)
+        raise self.error("expected expression")

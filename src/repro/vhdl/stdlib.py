@@ -1,0 +1,164 @@
+'''The paper's component library as VHDL source.
+
+This is the source code printed in §2.2-§2.6, assembled into one
+library text: the ``rt_pack`` package (Phase type, DISC/ILLEGAL
+constants), CONTROLLER, TRANS, REG and the pipelined ADD example.
+
+Deviations from the printed listings, kept deliberately minimal:
+
+* ``REG`` gains a ``generic (INIT: Integer := -1)`` so concrete models
+  can preload registers (the paper presets via earlier transfers);
+* identifiers use ``_`` instead of the paper's typeset spaces
+  (``R_in`` for ``R in``);
+* the entity/architecture syntax is completed where the typesetting
+  dropped characters (the semantics are exactly the paper's).
+'''
+
+from __future__ import annotations
+
+#: The rt_pack package: value domain and phase type (§2.2, §2.3).
+RT_PACK = """
+package rt_pack is
+  type Phase is (ra, rb, cm, wa, wb, cr);
+  constant DISC: Integer := -1;
+  constant ILLEGAL: Integer := -2;
+end package rt_pack;
+"""
+
+#: CONTROLLER (§2.2): drives the cyclic (CS, PH) sequence in delta time.
+CONTROLLER = """
+entity CONTROLLER is
+  generic (CS_MAX: Natural);
+  port (CS: inout Natural := 0;
+        PH: inout Phase := Phase'High);   -- Phase'High = cr
+end CONTROLLER;
+
+architecture transfer of CONTROLLER is
+begin
+  process (PH)
+  begin
+    if (PH = Phase'High) then
+      if (CS < CS_MAX) then
+        CS <= CS + 1;
+        PH <= Phase'Low;                  -- Phase'Low = ra
+      end if;
+    else
+      PH <= Phase'Succ(PH);
+    end if;
+  end process;
+end transfer;
+"""
+
+#: TRANS (§2.4): one transfer-process instance.
+TRANS = """
+entity TRANS is
+  generic (S: Natural; P: Phase);
+  port (CS: in Natural;
+        PH: in Phase;
+        InS: in Integer;
+        OutS: out Integer := DISC);
+end TRANS;
+
+architecture transfer of TRANS is
+begin
+  process
+  begin
+    wait until CS = S and PH = P;
+    OutS <= InS;
+    wait until CS = S and PH = Phase'Succ(P);
+    OutS <= DISC;
+  end process;
+end transfer;
+"""
+
+#: REG (§2.5): latches in the cr phase when the input carries a value.
+REG = """
+entity REG is
+  generic (INIT: Integer := -1);
+  port (PH: in Phase;
+        R_in: in Integer;
+        R_out: out Integer := INIT);
+end REG;
+
+architecture transfer of REG is
+begin
+  process
+  begin
+    wait until PH = cr;
+    if R_in /= DISC then
+      R_out <= R_in;
+    end if;
+  end process;
+end transfer;
+"""
+
+#: ADD (§2.6): the pipelined adder with the all-or-none operand rule
+#: and the sticky-ILLEGAL guard.
+ADD = """
+entity ADD is
+  port (PH: in Phase;
+        M_in1, M_in2: in Integer;
+        M_out: out Integer := DISC);
+end ADD;
+
+architecture transfer of ADD is
+begin
+  process
+    variable M: Integer := DISC;
+  begin
+    wait until PH = cm;
+    M_out <= M;
+    if M /= ILLEGAL then
+      if M_in1 = DISC and M_in2 = DISC then
+        M := DISC;
+      elsif M_in1 /= DISC and M_in2 /= DISC then
+        M := M_in1 + M_in2;
+      else
+        M := ILLEGAL;
+      end if;
+    end if;
+  end process;
+end transfer;
+"""
+
+#: The complete paper library.
+PAPER_LIBRARY = "\n".join((RT_PACK, CONTROLLER, TRANS, REG, ADD))
+
+#: The paper's §2.7 example architecture, completed (the printed
+#: listing omits B2's declaration and the x/y/z port wiring; here the
+#: operand registers are preloaded through the REG INIT generic).
+EXAMPLE_FIG1 = """
+entity example is
+  port (dummy: in Integer := 0);
+end example;
+
+architecture transfer of example is
+  -- timing signals
+  signal CS: Natural := 0;
+  signal PH: Phase := cr;
+  -- module ports
+  signal ADD_in1, ADD_in2: resolved Integer := DISC;
+  signal ADD_out: Integer := DISC;
+  -- register ports
+  signal R1_in, R2_in: resolved Integer := DISC;
+  signal R1_out, R2_out: Integer := DISC;
+  -- buses
+  signal B1: resolved Integer := DISC;
+  signal B2: resolved Integer := DISC;
+begin
+  -- modules
+  ADD_proc: ADD port map (PH, ADD_in1, ADD_in2, ADD_out);
+  -- registers
+  R1_proc: REG generic map (2) port map (PH, R1_in, R1_out);
+  R2_proc: REG generic map (3) port map (PH, R2_in, R2_out);
+  -- transfers
+  R1_out_B1_5:    TRANS generic map (5, ra) port map (CS, PH, R1_out, B1);
+  B1_ADD_in1_5:   TRANS generic map (5, rb) port map (CS, PH, B1, ADD_in1);
+  R2_out_B2_5:    TRANS generic map (5, ra) port map (CS, PH, R2_out, B2);
+  B2_ADD_in2_5:   TRANS generic map (5, rb) port map (CS, PH, B2, ADD_in2);
+  ADD_out_B1_6:   TRANS generic map (6, wa) port map (CS, PH, ADD_out, B1);
+  B1_R1_in_6:     TRANS generic map (6, wb) port map (CS, PH, B1, R1_in);
+  -- controller
+  CONTROL: CONTROLLER generic map (7) port map (CS, PH);
+end transfer;
+"""

@@ -1,0 +1,230 @@
+"""Subset-conformance checking.
+
+The paper defines its register-transfer style as a *VHDL subset*; this
+module checks that a parsed design actually stays inside it.  The
+grammar already excludes most of full VHDL (no ``after`` clauses, no
+loops, no functions in process bodies); the checker enforces the
+remaining structural rules:
+
+* every process has either a sensitivity list or at least one wait
+  statement (never both, never neither);
+* processes only wait on delta events -- the subset has no ``wait
+  for`` and hence no physical time at all;
+* resolved signals use the paper's resolution (``resolved``);
+* every signal assignment targets a declared signal or out/inout
+  port, every instantiated entity exists, and association lists match
+  the instantiated interfaces;
+* only integer/natural and declared enumeration types appear.
+
+The checker reports all violations instead of stopping at the first,
+so a design can be cleaned up in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from . import ast
+from .parser import parse_file
+from .stdlib import PAPER_LIBRARY
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One subset-conformance violation."""
+
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.where}: {self.message}"
+
+
+@dataclass
+class SubsetReport:
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def conformant(self) -> bool:
+        return not self.violations
+
+    def add(self, where: str, message: str) -> None:
+        self.violations.append(Violation(where, message))
+
+    def __str__(self) -> str:
+        if self.conformant:
+            return "design conforms to the subset"
+        lines = [f"{len(self.violations)} subset violation(s):"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_subset(
+    design: Union[str, ast.DesignFile],
+    include_paper_library: bool = True,
+) -> SubsetReport:
+    """Check a design file for subset conformance."""
+    if isinstance(design, str):
+        design = parse_file(design)
+    known_entities = dict(design.entities())
+    known_types = {"integer", "natural", "positive"}
+    if include_paper_library:
+        library = parse_file(PAPER_LIBRARY)
+        known_entities.update(library.entities())
+        for package in library.packages():
+            for decl in package.decls:
+                if isinstance(decl, ast.TypeDecl):
+                    known_types.add(decl.name)
+    for package in design.packages():
+        for decl in package.decls:
+            if isinstance(decl, ast.TypeDecl):
+                known_types.add(decl.name)
+
+    report = SubsetReport()
+    for unit in design.units:
+        if isinstance(unit, ast.EntityDecl):
+            _check_entity(unit, known_types, report)
+        elif isinstance(unit, ast.ArchitectureDecl):
+            _check_architecture(unit, known_entities, known_types, report)
+    return report
+
+
+def _check_type(
+    subtype: ast.SubtypeIndication, known_types: set[str], where: str,
+    report: SubsetReport,
+) -> None:
+    if subtype.type_mark not in known_types:
+        report.add(where, f"unknown type {subtype.type_mark!r}")
+    if subtype.resolution is not None and subtype.resolution != "resolved":
+        report.add(
+            where,
+            f"resolution {subtype.resolution!r} is outside the subset "
+            f"(only 'resolved' exists)",
+        )
+
+
+def _check_entity(
+    entity: ast.EntityDecl, known_types: set[str], report: SubsetReport
+) -> None:
+    where = f"entity {entity.name}"
+    for generic in entity.generics:
+        _check_type(generic.subtype, known_types, where, report)
+    for port in entity.ports:
+        _check_type(port.subtype, known_types, where, report)
+        if port.mode not in ("in", "out", "inout"):
+            report.add(where, f"port {port.name!r}: bad mode {port.mode!r}")
+
+
+def _check_architecture(
+    arch: ast.ArchitectureDecl,
+    known_entities: dict,
+    known_types: set[str],
+    report: SubsetReport,
+) -> None:
+    where = f"architecture {arch.name} of {arch.entity}"
+    local_types = set(known_types)
+    signals: set[str] = set()
+    entity = known_entities.get(arch.entity)
+    writable_ports: set[str] = set()
+    readable: set[str] = set()
+    if entity is None:
+        report.add(where, f"no entity {arch.entity!r} for this architecture")
+    else:
+        for port in entity.ports:
+            readable.add(port.name)
+            if port.mode in ("out", "inout"):
+                writable_ports.add(port.name)
+    for decl in arch.decls:
+        if isinstance(decl, ast.TypeDecl):
+            local_types.add(decl.name)
+        elif isinstance(decl, ast.SignalDecl):
+            _check_type(decl.subtype, local_types, where, report)
+            signals.update(decl.names)
+            readable.update(decl.names)
+        elif isinstance(decl, ast.ConstantDecl):
+            _check_type(decl.subtype, local_types, where, report)
+    assignable = signals | writable_ports
+    for stmt in arch.statements:
+        if isinstance(stmt, ast.ProcessStmt):
+            _check_process(stmt, where, assignable, local_types, report)
+        elif isinstance(stmt, ast.ComponentInst):
+            _check_instance(stmt, where, known_entities, report)
+
+
+def _check_process(
+    proc: ast.ProcessStmt,
+    arch_where: str,
+    assignable: set[str],
+    known_types: set[str],
+    report: SubsetReport,
+) -> None:
+    label = proc.label or "<anonymous process>"
+    where = f"{arch_where}, process {label}"
+    has_wait = _count_waits(proc.body) > 0
+    if proc.sensitivity and has_wait:
+        report.add(
+            where, "both a sensitivity list and wait statements (illegal VHDL)"
+        )
+    if not proc.sensitivity and not has_wait:
+        report.add(
+            where,
+            "no sensitivity list and no wait statement -- the process "
+            "would never suspend",
+        )
+    for decl in proc.decls:
+        _check_type(decl.subtype, known_types, where, report)
+    for target in _assignment_targets(proc.body):
+        if target not in assignable:
+            report.add(
+                where,
+                f"signal assignment to {target!r}, which is not a local "
+                f"signal or writable port",
+            )
+
+
+def _check_instance(
+    inst: ast.ComponentInst,
+    arch_where: str,
+    known_entities: dict,
+    report: SubsetReport,
+) -> None:
+    where = f"{arch_where}, instance {inst.label}"
+    entity = known_entities.get(inst.entity)
+    if entity is None:
+        report.add(where, f"unknown entity {inst.entity!r}")
+        return
+    if len(inst.port_map) > len(entity.ports):
+        report.add(
+            where,
+            f"{len(inst.port_map)} port associations for "
+            f"{len(entity.ports)} ports",
+        )
+    if len(inst.generic_map) > len(entity.generics):
+        report.add(
+            where,
+            f"{len(inst.generic_map)} generic associations for "
+            f"{len(entity.generics)} generics",
+        )
+
+
+def _count_waits(body) -> int:
+    count = 0
+    for stmt in body:
+        if isinstance(stmt, ast.WaitStmt):
+            count += 1
+        elif isinstance(stmt, ast.IfStmt):
+            for _, branch in stmt.branches:
+                count += _count_waits(branch)
+    return count
+
+
+def _assignment_targets(body) -> set[str]:
+    out: set[str] = set()
+    for stmt in body:
+        if isinstance(stmt, ast.SignalAssign):
+            out.add(stmt.target)
+        elif isinstance(stmt, ast.IfStmt):
+            for _, branch in stmt.branches:
+                out |= _assignment_targets(branch)
+    return out

@@ -1,0 +1,99 @@
+"""Tests for the phase-accurate (six cycles per step) clocked mapping."""
+
+import pytest
+
+from repro.clocked import TranslationError
+from repro.clocked.phase_accurate import (
+    check_phase_accurate_equivalence,
+    simulate_phase_accurate,
+)
+from repro.core import ModuleSpec, RTModel
+from repro.handshake import chain_expected, chain_rt_model
+
+
+def fig1_model():
+    m = RTModel("example", cs_max=7)
+    m.register("R1", init=2)
+    m.register("R2", init=3)
+    m.bus("B1")
+    m.bus("B2")
+    m.module(ModuleSpec("ADD", latency=1))
+    m.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return m
+
+
+class TestPhaseAccurateSimulation:
+    def test_fig1_result(self):
+        run = simulate_phase_accurate(fig1_model())
+        assert run.registers["R1"] == 5
+        assert run.registers["R2"] == 3
+
+    def test_six_cycles_per_step(self):
+        run = simulate_phase_accurate(fig1_model())
+        assert run.clock_cycles == 7 * 6
+
+    def test_per_step_trace(self):
+        run = simulate_phase_accurate(fig1_model())
+        assert run.after_step("R1", 5) == 2
+        assert run.after_step("R1", 6) == 5
+
+    def test_register_overrides(self):
+        run = simulate_phase_accurate(
+            fig1_model(), register_values={"R1": 10, "R2": 30}
+        )
+        assert run.registers["R1"] == 40
+
+    def test_chain_matches_fold(self):
+        ops = list(range(2, 10))
+        run = simulate_phase_accurate(chain_rt_model(ops))
+        assert run.registers["ACC"] == chain_expected(ops)
+
+    def test_multi_op_and_copy_paths(self):
+        m = RTModel("ops", cs_max=6)
+        m.register("A", init=10)
+        m.register("B", init=4)
+        m.register("S")
+        m.bus("X1")
+        m.bus("X2")
+        m.module("ALU", ops=["ADD", "SUB"], latency=0)
+        m.compute("ALU", dest="S", step=1, src1="A", bus1="X1",
+                  src2="B", bus2="X2", op="SUB")
+        m.copy_transfer("S", "A", step=3)
+        run = simulate_phase_accurate(m)
+        native = m.elaborate().run().registers
+        assert run.registers == native
+
+    def test_conflicting_schedule_rejected(self):
+        m = fig1_model()
+        m.register("R3", init=9)
+        m.add_transfer("(R3,B1,-,-,5,ADD,-,-,-)")
+        with pytest.raises(TranslationError, match="conflicting"):
+            simulate_phase_accurate(m)
+
+
+class TestPhaseAccurateEquivalence:
+    @pytest.mark.parametrize(
+        "factory",
+        [fig1_model, lambda: chain_rt_model(list(range(1, 13)))],
+        ids=["fig1", "chain12"],
+    )
+    def test_equivalent_to_clock_free(self, factory):
+        report = check_phase_accurate_equivalence(factory())
+        assert report.equivalent, str(report)
+
+    def test_iks_chip_equivalent(self):
+        from repro.iks.flow import build_ik_model
+
+        model, _ = build_ik_model(2.5, 1.0)
+        report = check_phase_accurate_equivalence(model)
+        assert report.equivalent, str(report)
+
+    def test_cycle_count_tradeoff(self):
+        # The two mappings bracket the design space: dense = cs_max
+        # cycles, phase-accurate = cs_max * 6.
+        from repro.clocked import translate
+
+        model = fig1_model()
+        dense = translate(model)
+        run = simulate_phase_accurate(model)
+        assert run.clock_cycles == dense.cycles * 6

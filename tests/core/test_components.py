@@ -1,0 +1,194 @@
+"""Tests for CONTROLLER, TRANS and REG processes (§2.2, §2.4, §2.5)."""
+
+import pytest
+
+from repro.core.components import make_controller, make_reg, make_trans
+from repro.core.phases import Phase
+from repro.core.values import DISC, resolve_rt
+from repro.kernel import Simulator, wait_on
+
+
+def timing_signals(sim, cs_max):
+    cs = sim.signal("CS", init=0)
+    ph = sim.signal("PH", init=Phase.high())
+    make_controller(sim, cs, ph, cs_max)
+    return cs, ph
+
+
+class TestController:
+    def test_phase_sequence_one_step(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=1)
+        seen = []
+
+        def observer():
+            while True:
+                yield wait_on(ph)
+                seen.append((cs.value, ph.value))
+
+        sim.add_process("observer", observer)
+        sim.run()
+        assert seen == [(1, p) for p in Phase]
+
+    def test_full_run_covers_all_steps(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=4)
+        seen = []
+
+        def observer():
+            while True:
+                yield wait_on(ph)
+                seen.append((cs.value, ph.value))
+
+        sim.add_process("observer", observer)
+        sim.run()
+        expected = [(s, p) for s in range(1, 5) for p in Phase]
+        assert seen == expected
+
+    def test_delta_cycle_count_matches_paper(self):
+        # "The complete simulation takes CS_MAX * 6 delta simulation
+        # cycles."
+        for cs_max in (1, 3, 10):
+            sim = Simulator()
+            timing_signals(sim, cs_max)
+            sim.run()
+            assert sim.stats.delta_cycles == cs_max * 6
+
+    def test_simulation_quiesces_after_last_step(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=2)
+        sim.run()
+        assert sim.quiescent
+        assert cs.value == 2
+        assert ph.value is Phase.CR
+
+    def test_no_physical_time_is_consumed(self):
+        sim = Simulator()
+        timing_signals(sim, cs_max=5)
+        sim.run()
+        assert sim.now.time == 0
+
+    def test_rejects_nonpositive_cs_max(self):
+        sim = Simulator()
+        cs = sim.signal("CS", init=0)
+        ph = sim.signal("PH", init=Phase.high())
+        with pytest.raises(ValueError):
+            make_controller(sim, cs, ph, 0)
+
+
+class TestTrans:
+    def test_transfer_asserts_then_releases(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=3)
+        src = sim.signal("SRC", init=9)
+        sink = sim.signal("SINK", init=DISC, resolution=resolve_rt)
+        make_trans(sim, cs, ph, step=2, phase=Phase.RA, source=src, sink=sink)
+        history = []
+
+        def observer():
+            while True:
+                yield wait_on(ph)
+                history.append((cs.value, ph.value, sink.value))
+
+        sim.add_process("observer", observer)
+        sim.run()
+        by_time = {(c, p): v for c, p, v in history}
+        # Value present exactly during the RB cycle of step 2.
+        assert by_time[(2, Phase.RA)] == DISC
+        assert by_time[(2, Phase.RB)] == 9
+        assert by_time[(2, Phase.CM)] == DISC
+        assert by_time[(3, Phase.RB)] == DISC
+
+    def test_transfer_samples_source_at_activation(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=3)
+        src = sim.signal("SRC", init=1)
+        src_drv = sim.driver(src, owner="env")
+        sink = sim.signal("SINK", init=DISC, resolution=resolve_rt)
+        make_trans(sim, cs, ph, step=2, phase=Phase.RA, source=src, sink=sink)
+        captured = []
+
+        def mutator():
+            # Change the source during step 1; the transfer at step 2
+            # must see the new value.
+            yield wait_on(cs)
+            src_drv.set(77)
+            yield wait_on(ph)
+
+        def observer():
+            while True:
+                yield wait_on(ph)
+                if (cs.value, ph.value) == (2, Phase.RB):
+                    captured.append(sink.value)
+
+        sim.add_process("mutator", mutator)
+        sim.add_process("observer", observer)
+        sim.run()
+        assert captured == [77]
+
+    def test_constant_source_value_for_op_ports(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=2)
+        sink = sim.signal("OP", init=DISC, resolution=resolve_rt)
+        make_trans(
+            sim, cs, ph, step=1, phase=Phase.RB,
+            source=None, sink=sink, source_value=3, name="op_sel",
+        )
+        captured = []
+
+        def observer():
+            while True:
+                yield wait_on(ph)
+                if (cs.value, ph.value) == (1, Phase.CM):
+                    captured.append(sink.value)
+
+        sim.add_process("observer", observer)
+        sim.run()
+        assert captured == [3]
+
+    def test_cr_phase_transfer_rejected(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=2)
+        src = sim.signal("S", init=1)
+        sink = sim.signal("T", init=DISC, resolution=resolve_rt)
+        with pytest.raises(ValueError, match="last phase"):
+            make_trans(sim, cs, ph, step=1, phase=Phase.CR, source=src, sink=sink)
+
+
+class TestReg:
+    def test_register_latches_in_cr_phase(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=2)
+        r_in = sim.signal("R_in", init=DISC, resolution=resolve_rt)
+        r_out = sim.signal("R_out", init=DISC)
+        make_reg(sim, ph, r_in, r_out, name="R")
+        drv = sim.driver(r_in, owner="env", init=DISC)
+
+        def stimulus():
+            # Drive the input during WB of step 1 so it is visible at CR.
+            while not (cs.value == 1 and ph.value is Phase.WB):
+                yield wait_on(ph)
+            drv.set(5)
+            yield wait_on(ph)  # CR cycle
+            drv.set(DISC)
+
+        sim.add_process("stimulus", stimulus)
+        sim.run()
+        assert r_out.value == 5
+
+    def test_register_keeps_value_without_input(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=3)
+        r_in = sim.signal("R_in", init=DISC, resolution=resolve_rt)
+        r_out = sim.signal("R_out", init=42)
+        make_reg(sim, ph, r_in, r_out, name="R", init=42)
+        sim.run()
+        assert r_out.value == 42
+
+    def test_register_init_preloads_output(self):
+        sim = Simulator()
+        cs, ph = timing_signals(sim, cs_max=1)
+        r_in = sim.signal("R_in", init=DISC, resolution=resolve_rt)
+        r_out = sim.signal("R_out", init=7)
+        make_reg(sim, ph, r_in, r_out, name="R", init=7)
+        assert r_out.value == 7

@@ -1,0 +1,175 @@
+"""Tests for the RTModel builder (§2.1, §2.7, §3 desugarings)."""
+
+import pytest
+
+from repro.core import DISC, ModelError, ModuleSpec, RTModel, RegisterTransfer
+
+
+def small_model():
+    m = RTModel("m", cs_max=8)
+    m.register("R1", init=1)
+    m.register("R2", init=2)
+    m.bus("B1")
+    m.bus("B2")
+    m.module(ModuleSpec("ADD", latency=1))
+    return m
+
+
+class TestDeclarations:
+    def test_duplicate_names_rejected_across_kinds(self):
+        m = small_model()
+        with pytest.raises(ModelError, match="duplicate"):
+            m.register("B1")
+        with pytest.raises(ModelError, match="duplicate"):
+            m.bus("ADD")
+        with pytest.raises(ModelError, match="duplicate"):
+            m.module(ModuleSpec("R1"))
+
+    def test_register_init_is_masked_to_width(self):
+        m = RTModel("m", cs_max=1, width=8)
+        m.register("R", init=300)
+        assert m.registers["R"].init == 300 % 256
+
+    def test_register_init_validated(self):
+        m = RTModel("m", cs_max=1)
+        with pytest.raises(ValueError):
+            m.register("R", init=-7)
+
+    def test_module_shorthand(self):
+        m = RTModel("m", cs_max=1)
+        m.module("ALU", ops=["ADD", "SUB"], latency=0)
+        spec = m.modules["ALU"]
+        assert set(spec.operations) == {"ADD", "SUB"}
+        assert spec.latency == 0
+
+    def test_module_width_follows_model(self):
+        m = RTModel("m", cs_max=1, width=16)
+        m.module(ModuleSpec("ADD", latency=1))  # default width 32
+        assert m.modules["ADD"].width == 16
+
+    def test_ports_are_registers(self):
+        m = RTModel("m", cs_max=1)
+        m.input_port("x", value=9)
+        m.output_port("y")
+        assert m.registers["x"].init == 9
+        assert m.registers["y"].init == DISC
+
+    def test_cs_max_must_be_positive(self):
+        with pytest.raises(ModelError):
+            RTModel("m", cs_max=0)
+
+
+class TestTransferValidation:
+    def test_unknown_module_rejected(self):
+        m = small_model()
+        with pytest.raises(ModelError, match="unknown module"):
+            m.add_transfer("(R1,B1,R2,B2,1,MUL,2,B1,R1)")
+
+    def test_unknown_register_rejected(self):
+        m = small_model()
+        with pytest.raises(ModelError, match="unknown register"):
+            m.add_transfer("(RX,B1,R2,B2,1,ADD,2,B1,R1)")
+
+    def test_unknown_bus_rejected(self):
+        m = small_model()
+        with pytest.raises(ModelError, match="unknown bus"):
+            m.add_transfer("(R1,BX,R2,B2,1,ADD,2,B1,R1)")
+
+    def test_step_beyond_cs_max_rejected(self):
+        m = small_model()
+        with pytest.raises(ModelError, match="exceeds cs_max"):
+            m.add_transfer("(R1,B1,R2,B2,8,ADD,9,B1,R1)")
+
+    def test_second_operand_on_unary_module_rejected(self):
+        m = small_model()
+        m.module("CP", ops=["PASS"], latency=0)
+        with pytest.raises(ModelError, match="single input"):
+            m.add_transfer(
+                RegisterTransfer(
+                    src1="R1", bus1="B1", src2="R2", bus2="B2",
+                    read_step=1, module="CP",
+                )
+            )
+
+    def test_op_on_single_function_module_rejected(self):
+        m = small_model()
+        with pytest.raises(ModelError, match="single"):
+            m.add_transfer(
+                RegisterTransfer(
+                    src1="R1", bus1="B1", src2="R2", bus2="B2",
+                    read_step=1, module="ADD", op="SUB",
+                )
+            )
+
+    def test_unknown_op_rejected(self):
+        m = small_model()
+        m.module("ALU", ops=["ADD", "SUB"], latency=0)
+        with pytest.raises(KeyError, match="no operation"):
+            m.add_transfer(
+                RegisterTransfer(
+                    src1="R1", bus1="B1", src2="R2", bus2="B2",
+                    read_step=1, module="ALU", op="DIV",
+                )
+            )
+
+    def test_compute_helper_places_write_step(self):
+        m = small_model()
+        t = m.compute("ADD", dest="R1", step=3, src1="R1", bus1="B1",
+                      src2="R2", bus2="B2")
+        assert t.write_step == 4  # latency 1
+        assert t.write_bus == "B1"
+
+
+class TestDirectLinkDesugaring:
+    """§3: 'it is better to model more resources than to extend the
+    VHDL subset'."""
+
+    def test_direct_link_bus_name_matches_paper_style(self):
+        m = small_model()
+        m.register("P")
+        m.module(ModuleSpec("Z_ADD", latency=0))
+        bus = m.direct_link_bus("P", "Z_ADD", port=2)
+        # "a bus P_Z_ADD_in2 is introduced"
+        assert bus == "P_Z_ADD_in2"
+        assert m.buses[bus].direct_link
+
+    def test_direct_link_bus_is_idempotent(self):
+        m = small_model()
+        m.register("P")
+        m.module(ModuleSpec("Z_ADD", latency=0))
+        assert m.direct_link_bus("P", "Z_ADD", 2) == m.direct_link_bus(
+            "P", "Z_ADD", 2
+        )
+
+    def test_copy_path_introduces_two_buses_and_a_module(self):
+        m = small_model()
+        m.register("Z")
+        m.register("RF")
+        bus_in, copier, bus_out = m.copy_path("Z", "RF")
+        assert copier in m.modules
+        assert m.modules[copier].latency == 0
+        assert bus_in in m.buses and bus_out in m.buses
+
+    def test_copy_transfer_moves_value(self):
+        m = RTModel("m", cs_max=3)
+        m.register("Z", init=11)
+        m.register("RF")
+        m.module(ModuleSpec("ADD", latency=1))  # unrelated
+        m.copy_transfer("Z", "RF", step=2)
+        sim = m.elaborate().run()
+        assert sim["RF"] == 11
+        assert sim.clean
+
+    def test_copy_path_requires_known_registers(self):
+        m = small_model()
+        with pytest.raises(ModelError, match="unknown register"):
+            m.copy_path("Z", "R1")
+
+
+class TestDescribe:
+    def test_describe_mentions_all_resources(self):
+        m = small_model()
+        m.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+        text = m.describe()
+        for token in ("R1", "R2", "B1", "B2", "ADD", "(R1,B1,R2,B2,5,ADD,6,B1,R1)"):
+            assert token in text

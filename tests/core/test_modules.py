@@ -1,0 +1,293 @@
+"""Tests for functional-unit processes (§2.6 and the §3 op extension)."""
+
+import pytest
+
+from repro.core.components import make_controller, make_trans
+from repro.core.modules_lib import (
+    ModuleSpec,
+    Operation,
+    alu_spec,
+    make_module,
+    standard_operation,
+)
+from repro.core.phases import Phase
+from repro.core.values import DISC, ILLEGAL, resolve_rt
+from repro.kernel import Simulator, wait_on
+
+
+class Harness:
+    """A controller plus one module, with helpers to feed operands."""
+
+    def __init__(self, spec, cs_max=6):
+        self.sim = Simulator()
+        self.cs = self.sim.signal("CS", init=0)
+        self.ph = self.sim.signal("PH", init=Phase.high())
+        make_controller(self.sim, self.cs, self.ph, cs_max)
+        self.inputs = [
+            self.sim.signal(f"M_in{i+1}", init=DISC, resolution=resolve_rt)
+            for i in range(spec.arity)
+        ]
+        self.out = self.sim.signal("M_out", init=DISC)
+        self.op = None
+        if spec.multi_op:
+            self.op = self.sim.signal("M_op", init=DISC, resolution=resolve_rt)
+        make_module(self.sim, spec, self.ph, self.inputs, self.out, self.op)
+        self.spec = spec
+        self.samples = {}
+        self.sim.add_process("sampler", self._sampler)
+
+    def _sampler(self):
+        while True:
+            yield wait_on(self.ph)
+            # Sample the output in the WA phase: that is when transfer
+            # processes would move it onto a bus.
+            if self.ph.value is Phase.WA:
+                self.samples[self.cs.value] = self.out.value
+
+    def feed(self, step, *operands, op=None):
+        """Drive the input ports during (step, rb..cm) like TRANS does."""
+        for sig, value in zip(self.inputs, operands):
+            if value is None:
+                continue
+            src = self.sim.signal(f"const_{sig.name}_{step}", init=value)
+            make_trans(
+                self.sim, self.cs, self.ph, step, Phase.RB, src, sig,
+                name=f"feed_{sig.name}_{step}",
+            )
+        if op is not None:
+            make_trans(
+                self.sim, self.cs, self.ph, step, Phase.RB, None, self.op,
+                source_value=self.spec.op_code(op), name=f"op_{step}",
+            )
+
+    def run(self):
+        self.sim.run()
+        return self.samples
+
+
+class TestPaperAdder:
+    """The §2.6 pipelined adder, latency 1."""
+
+    def spec(self):
+        return ModuleSpec("ADD", latency=1, pipelined=True)
+
+    def test_result_appears_one_step_later(self):
+        h = Harness(self.spec())
+        h.feed(2, 10, 20)
+        samples = h.run()
+        assert samples[2] == DISC  # still computing
+        assert samples[3] == 30  # result of step 2's operands
+        assert samples[4] == DISC  # pipeline drained
+
+    def test_pipelining_accepts_operands_every_step(self):
+        h = Harness(self.spec())
+        h.feed(1, 1, 2)
+        h.feed(2, 3, 4)
+        h.feed(3, 5, 6)
+        samples = h.run()
+        assert samples[2] == 3
+        assert samples[3] == 7
+        assert samples[4] == 11
+
+    def test_single_operand_is_illegal(self):
+        # "This model assumes that either both operand values are
+        # natural values or both are DISC."
+        h = Harness(self.spec())
+        h.feed(2, 10, None)
+        samples = h.run()
+        assert samples[3] == ILLEGAL
+
+    def test_illegal_freezes_the_module(self):
+        # Paper's guard: if M /= ILLEGAL then ... -- once poisoned the
+        # unit keeps producing ILLEGAL.
+        h = Harness(self.spec())
+        h.feed(1, 10, None)  # poison
+        h.feed(3, 1, 2)  # would be fine otherwise
+        samples = h.run()
+        assert samples[2] == ILLEGAL
+        assert samples[4] == ILLEGAL
+
+    def test_non_sticky_module_recovers(self):
+        spec = ModuleSpec("ADD", latency=1, pipelined=True, sticky_illegal=False)
+        h = Harness(spec)
+        h.feed(1, 10, None)
+        h.feed(3, 1, 2)
+        samples = h.run()
+        assert samples[2] == ILLEGAL
+        assert samples[4] == 3
+
+
+class TestCombinationalModule:
+    """Latency-0 units (the IKS adders)."""
+
+    def test_result_available_same_step(self):
+        spec = ModuleSpec("XADD", latency=0)
+        h = Harness(spec)
+        h.feed(2, 4, 5)
+        samples = h.run()
+        assert samples[2] == 9
+        assert samples[3] == DISC
+
+    def test_wraparound_at_width(self):
+        spec = ModuleSpec("ADD8", latency=0, width=8)
+        h = Harness(spec)
+        h.feed(1, 200, 100)
+        samples = h.run()
+        assert samples[1] == (200 + 100) % 256
+
+
+class TestPipelinedDepth2:
+    """The IKS multiplier: 2-stage pipelined."""
+
+    def spec(self):
+        return ModuleSpec(
+            "MULT",
+            operations={"MULT": standard_operation("MULT")},
+            latency=2,
+            pipelined=True,
+        )
+
+    def test_two_step_latency(self):
+        h = Harness(self.spec())
+        h.feed(1, 6, 7)
+        samples = h.run()
+        assert samples[1] == DISC
+        assert samples[2] == DISC
+        assert samples[3] == 42
+
+    def test_back_to_back_issue(self):
+        h = Harness(self.spec())
+        h.feed(1, 2, 3)
+        h.feed(2, 4, 5)
+        samples = h.run()
+        assert samples[3] == 6
+        assert samples[4] == 20
+
+
+class TestNonPipelined:
+    def spec(self):
+        return ModuleSpec(
+            "DIVIDER",
+            operations={"MULT": standard_operation("MULT")},
+            latency=2,
+            pipelined=False,
+        )
+
+    def test_result_after_latency(self):
+        # Same convention as pipelined units: operands at step s,
+        # result available for WA at step s + latency.
+        h = Harness(self.spec())
+        h.feed(1, 3, 4)
+        samples = h.run()
+        assert samples[2] == DISC
+        assert samples[3] == 12
+
+    def test_operands_while_busy_poison_result(self):
+        h = Harness(self.spec())
+        h.feed(1, 3, 4)
+        h.feed(2, 5, 6)  # arrives while busy
+        samples = h.run()
+        assert samples[3] == ILLEGAL
+
+    def test_sequential_use_is_fine(self):
+        # Minimum initiation interval of a non-pipelined unit is
+        # latency + 1.
+        h = Harness(self.spec(), cs_max=8)
+        h.feed(1, 3, 4)
+        h.feed(4, 5, 6)
+        samples = h.run()
+        assert samples[3] == 12
+        assert samples[6] == 30
+
+
+class TestOperationSelect:
+    """§3: 'a register transfer also defines the operation to be
+    performed by the module'."""
+
+    def spec(self):
+        return alu_spec("ALU", ["ADD", "SUB", "RSHIFT"], latency=0)
+
+    def test_each_step_selects_its_operation(self):
+        h = Harness(self.spec())
+        h.feed(1, 10, 3, op="ADD")
+        h.feed(2, 10, 3, op="SUB")
+        h.feed(3, 16, 2, op="RSHIFT")
+        samples = h.run()
+        assert samples[1] == 13
+        assert samples[2] == 7
+        assert samples[3] == 4
+
+    def test_default_op_when_port_disc(self):
+        spec = alu_spec("ALU", ["ADD", "SUB"], default_op="ADD", latency=0)
+        h = Harness(spec)
+        h.feed(1, 10, 3)  # no op selected -> default
+        samples = h.run()
+        assert samples[1] == 13
+
+    def test_conflicting_ops_poison_result(self):
+        h = Harness(self.spec())
+        h.feed(1, 10, 3, op="ADD")
+        # A second op-select in the same step collides on the op port.
+        make_trans(
+            h.sim, h.cs, h.ph, 1, Phase.RB, None, h.op,
+            source_value=h.spec.op_code("SUB"), name="op_dup",
+        )
+        samples = h.run()
+        assert samples[1] == ILLEGAL
+
+
+class TestModuleSpecValidation:
+    def test_op_code_roundtrip(self):
+        spec = alu_spec("ALU", ["ADD", "SUB", "MULT"])
+        for name in spec.operations:
+            assert spec.op_by_code(spec.op_code(name)).name == name
+
+    def test_unknown_op_rejected(self):
+        spec = alu_spec("ALU", ["ADD"])
+        with pytest.raises(KeyError):
+            spec.op_code("DIV")
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(ValueError, match="default op"):
+            ModuleSpec(
+                "M",
+                operations={"ADD": standard_operation("ADD")},
+                default_op="SUB",
+            )
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            ModuleSpec("M", latency=-1)
+
+    def test_input_port_count_enforced(self):
+        sim = Simulator()
+        ph = sim.signal("PH", init=Phase.high())
+        out = sim.signal("out", init=DISC)
+        spec = ModuleSpec("ADD", latency=1)
+        with pytest.raises(ValueError, match="input ports"):
+            make_module(sim, spec, ph, [], out)
+
+    def test_multi_op_requires_op_port(self):
+        sim = Simulator()
+        ph = sim.signal("PH", init=Phase.high())
+        spec = alu_spec("ALU", ["ADD", "SUB"])
+        inputs = [
+            sim.signal(f"i{i}", init=DISC, resolution=resolve_rt)
+            for i in range(2)
+        ]
+        out = sim.signal("out", init=DISC)
+        with pytest.raises(ValueError, match="op port"):
+            make_module(sim, spec, ph, inputs, out)
+
+    def test_standard_ops_cover_arities(self):
+        assert standard_operation("PASS").arity == 1
+        assert standard_operation("ADD").arity == 2
+        with pytest.raises(KeyError):
+            standard_operation("NOPE")
+
+    def test_arshift_sign_extends(self):
+        op = standard_operation("ARSHIFT")
+        width = 32
+        minus_8 = (1 << width) - 8
+        result = op.apply([minus_8, 2], width)
+        assert result == (1 << width) - 2  # -8 >> 2 == -2

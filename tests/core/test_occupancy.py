@@ -1,0 +1,77 @@
+"""Tests for the static resource-occupancy analysis."""
+
+import pytest
+
+from repro.core import ModuleSpec, RTModel
+from repro.core.occupancy import occupancy
+
+
+def fig1_model():
+    m = RTModel("example", cs_max=7)
+    m.register("R1", init=2)
+    m.register("R2", init=3)
+    m.bus("B1")
+    m.bus("B2")
+    m.module(ModuleSpec("ADD", latency=1))
+    m.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return m
+
+
+class TestOccupancy:
+    def test_fig1_bus_usage(self):
+        report = occupancy(fig1_model())
+        assert set(report.buses["B1"].steps) == {5, 6}  # read + write
+        assert set(report.buses["B2"].steps) == {5}
+
+    def test_fig1_module_busy_through_latency(self):
+        report = occupancy(fig1_model())
+        assert set(report.modules["ADD"].steps) == {5}  # reads in 5
+
+    def test_multi_step_unit_blocks_longer(self):
+        m = RTModel("mul", cs_max=6)
+        m.register("A", init=1)
+        m.register("B", init=2)
+        m.register("P")
+        m.bus("B1")
+        m.bus("B2")
+        m.module(ModuleSpec("MUL", latency=2))
+        m.add_transfer("(A,B1,B,B2,1,MUL,3,B1,P)")
+        report = occupancy(m)
+        assert set(report.modules["MUL"].steps) == {1, 2}
+
+    def test_register_write_steps(self):
+        report = occupancy(fig1_model())
+        assert set(report.registers["R1"].steps) == {6}
+        assert report.registers["R2"].steps == {}
+
+    def test_utilization_numbers(self):
+        report = occupancy(fig1_model())
+        util = report.utilization()
+        # B1 is busy 2/7 steps, B2 1/7 -> mean 3/14.
+        assert util["bus"] == pytest.approx(3 / 14)
+        assert util["module"] == pytest.approx(1 / 7)
+
+    def test_peak_step(self):
+        report = occupancy(fig1_model())
+        step, count = report.peak_step()
+        assert step == 5  # B1, B2 and ADD all active
+        assert count == 3
+
+    def test_chart_render(self):
+        chart = occupancy(fig1_model()).chart()
+        lines = chart.splitlines()
+        b1_row = next(l for l in lines if l.startswith("B1"))
+        assert b1_row.split()[1] == "....##."
+        assert "-- modules" in chart
+
+    def test_describe_mentions_utilization(self):
+        text = occupancy(fig1_model()).describe()
+        assert "bus utilization" in text
+        assert "peak activity" in text
+
+    def test_empty_model(self):
+        m = RTModel("empty", cs_max=3)
+        m.register("R")
+        report = occupancy(m)
+        assert report.utilization()["register"] == 0.0
+        assert report.peak_step() == (0, 0)

@@ -1,0 +1,87 @@
+"""Tests for control-step phases (§2.2, Fig. 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.phases import (
+    PHASES_PER_STEP,
+    Phase,
+    StepPhase,
+    iter_schedule,
+)
+
+
+class TestPhase:
+    def test_order_matches_figure_2(self):
+        assert [p.vhdl_name for p in Phase] == ["ra", "rb", "cm", "wa", "wb", "cr"]
+
+    def test_six_phases_per_step(self):
+        assert PHASES_PER_STEP == 6
+
+    def test_low_and_high_attributes(self):
+        # Phase'Low = ra, Phase'High = cr (paper's CONTROLLER comments).
+        assert Phase.low() is Phase.RA
+        assert Phase.high() is Phase.CR
+
+    def test_succ_cycles(self):
+        sequence = [Phase.RA]
+        for _ in range(6):
+            sequence.append(sequence[-1].succ())
+        assert sequence[-1] is Phase.RA
+        assert sequence[:-1] == list(Phase)
+
+    def test_pred_inverts_succ(self):
+        for phase in Phase:
+            assert phase.succ().pred() is phase
+
+    def test_from_vhdl_name_roundtrip(self):
+        for phase in Phase:
+            assert Phase.from_vhdl_name(phase.vhdl_name) is phase
+        assert Phase.from_vhdl_name("CM") is Phase.CM  # case-insensitive
+
+    def test_from_vhdl_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            Phase.from_vhdl_name("xx")
+
+
+class TestStepPhase:
+    def test_ordering_is_lexicographic(self):
+        assert StepPhase(1, Phase.CR) < StepPhase(2, Phase.RA)
+        assert StepPhase(3, Phase.RA) < StepPhase(3, Phase.RB)
+
+    def test_succ_crosses_step_boundary(self):
+        assert StepPhase(4, Phase.CR).succ() == StepPhase(5, Phase.RA)
+        assert StepPhase(4, Phase.WA).succ() == StepPhase(4, Phase.WB)
+
+    def test_str_form(self):
+        assert str(StepPhase(5, Phase.RA)) == "cs5.ra"
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            StepPhase(-1, Phase.RA)
+
+    @given(st.integers(min_value=0, max_value=1000), st.sampled_from(list(Phase)))
+    def test_succ_is_strictly_increasing(self, step, phase):
+        point = StepPhase(step, phase)
+        assert point < point.succ()
+
+
+class TestIterSchedule:
+    def test_yields_cs_max_times_six_points(self):
+        points = list(iter_schedule(7))
+        assert len(points) == 7 * 6
+
+    def test_points_are_sorted_and_distinct(self):
+        points = list(iter_schedule(5))
+        assert points == sorted(points)
+        assert len(set(points)) == len(points)
+
+    def test_successive_points_follow_succ(self):
+        points = list(iter_schedule(3))
+        for a, b in zip(points, points[1:]):
+            assert a.succ() == b
+
+    def test_requires_positive_cs_max(self):
+        with pytest.raises(ValueError):
+            list(iter_schedule(0))

@@ -1,0 +1,164 @@
+"""Tests for the automatic transfer rescheduler (paper §2.1's
+'scheduling task')."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    ModuleSpec,
+    RTModel,
+    RegisterTransfer,
+    analyze,
+    standard_operation,
+)
+from repro.core.reschedule import RescheduleError, reschedule
+
+
+def sparse_model():
+    """A deliberately wasteful hand schedule: big gaps between steps."""
+    m = RTModel("sparse", cs_max=20)
+    for name, init in (("A", 3), ("B", 4), ("C", 5)):
+        m.register(name, init=init)
+    m.register("T1")
+    m.register("T2")
+    m.bus("B1")
+    m.bus("B2")
+    m.bus("B3")
+    m.bus("B4")
+    m.module(ModuleSpec("ADD", latency=1))
+    m.module(ModuleSpec("MUL", latency=2))
+    m.add_transfer("(A,B1,B,B2,3,ADD,4,B1,T1)")
+    m.add_transfer("(T1,B1,C,B2,9,MUL,11,B3,T2)")
+    m.add_transfer("(T2,B1,A,B2,15,ADD,16,B4,T2)")
+    return m
+
+
+class TestRescheduleBasics:
+    def test_compacts_sparse_schedule(self):
+        res = reschedule(sparse_model())
+        assert res.new_cs_max < res.original_cs_max
+        assert res.saved_steps > 0
+
+    def test_preserves_results(self):
+        model = sparse_model()
+        res = reschedule(model)
+        assert (
+            res.model.elaborate().run().registers
+            == model.elaborate().run().registers
+        )
+
+    def test_result_is_statically_clean(self):
+        res = reschedule(sparse_model())
+        assert analyze(res.model).clean
+
+    def test_dependences_respected(self):
+        res = reschedule(sparse_model())
+        t = {i: tr for i, tr in enumerate(res.model.transfers)}
+        # MUL reads T1: must issue after ADD's write (read0 + 1).
+        assert t[1].read_step >= t[0].write_step + 1
+        assert t[2].read_step >= t[1].write_step + 1
+
+    def test_keep_cs_max_option(self):
+        model = sparse_model()
+        res = reschedule(model, keep_cs_max=True)
+        assert res.model.cs_max == model.cs_max
+
+    def test_describe_lists_moves(self):
+        text = reschedule(sparse_model()).describe()
+        assert "->" in text and "saved" in text
+
+    def test_partial_tuples_rejected(self):
+        m = RTModel("partial", cs_max=4)
+        m.register("A", init=1)
+        m.bus("B1")
+        m.module(ModuleSpec("ADD", latency=1))
+        m.add_transfer("(A,B1,-,-,1,ADD,-,-,-)".replace("-,-,-", "-,-,-"))
+        with pytest.raises(RescheduleError, match="complete"):
+            reschedule(m)
+
+
+class TestSameStepSemantics:
+    def test_same_step_read_before_write_preserved(self):
+        # The microcode idiom: a unit reads an operand register in the
+        # same step a route overwrites it.  The rescheduler must keep
+        # the read on the OLD value.
+        m = RTModel("rw", cs_max=8)
+        m.register("X", init=10)
+        m.register("NEW", init=99)
+        m.register("OUT1")
+        m.register("OUT2")
+        m.bus("B1")
+        m.bus("B2")
+        m.bus("B3")
+        m.bus("B4")
+        for copier in ("CP1", "CP2"):
+            m.module(ModuleSpec(
+                copier,
+                operations={"PASS": standard_operation("PASS")},
+                latency=0,
+            ))
+        # Step 2: OUT1 := X (old value) while X := NEW in the same step.
+        m.add_transfer(RegisterTransfer(
+            src1="X", bus1="B1", read_step=2, module="CP1",
+            write_step=2, write_bus="B2", dest="OUT1",
+        ))
+        m.add_transfer(RegisterTransfer(
+            src1="NEW", bus1="B3", read_step=2, module="CP2",
+            write_step=2, write_bus="B4", dest="X",
+        ))
+        # Step 4: OUT2 := X (new value).
+        m.add_transfer(RegisterTransfer(
+            src1="X", bus1="B1", read_step=4, module="CP1",
+            write_step=4, write_bus="B2", dest="OUT2",
+        ))
+        baseline = m.elaborate().run().registers
+        assert baseline["OUT1"] == 10 and baseline["OUT2"] == 99
+        res = reschedule(m)
+        assert res.model.elaborate().run().registers == baseline
+
+    def test_inflight_write_war(self):
+        # Reader consumes an older value while a long-latency write to
+        # the same register is already in flight.
+        m = RTModel("flight", cs_max=10)
+        m.register("A", init=2)
+        m.register("B", init=3)
+        m.register("P")
+        m.register("OUT")
+        m.bus("B1")
+        m.bus("B2")
+        m.bus("B3")
+        m.module(ModuleSpec("MUL", latency=2))
+        m.module(ModuleSpec("ADD", latency=1))
+        m.add_transfer("(A,B1,B,B2,1,MUL,3,B3,P)")  # P := 6 at cs3
+        m.add_transfer("(A,B1,B,B2,4,MUL,6,B3,P)")  # P := 6 again at cs6
+        # Reads P at cs5 -- sees the first product while the second is
+        # in flight.
+        m.add_transfer("(P,B1,A,B2,5,ADD,6,B1,OUT)")
+        baseline = m.elaborate().run().registers
+        res = reschedule(m)
+        assert analyze(res.model).clean
+        assert res.model.elaborate().run().registers == baseline
+
+
+class TestIksCompaction:
+    def test_compacts_the_hand_written_microprogram(self):
+        from repro.iks.flow import build_ik_model
+
+        model, _ = build_ik_model(2.5, 1.0)
+        res = reschedule(model)
+        assert res.new_cs_max < model.cs_max
+        assert (
+            res.model.elaborate().run().registers
+            == model.elaborate().run().registers
+        )
+
+    def test_compaction_holds_across_targets(self):
+        from repro.iks.flow import build_ik_model
+
+        for target in [(1.0, 2.0), (0.8, -1.2)]:
+            model, _ = build_ik_model(*target)
+            res = reschedule(model)
+            assert (
+                res.model.elaborate().run().registers
+                == model.elaborate().run().registers
+            )

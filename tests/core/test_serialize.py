@@ -1,0 +1,101 @@
+"""Tests for JSON model (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.core import ModuleSpec, Operation, RTModel
+from repro.core.serialize import (
+    SerializeError,
+    dumps,
+    load,
+    loads,
+    model_from_dict,
+    model_to_dict,
+)
+
+
+def sample_model():
+    m = RTModel("sample", cs_max=6, width=16)
+    m.register("A", init=9)
+    m.register("B")
+    m.bus("B1")
+    m.bus("LINK", direct_link=True)
+    m.module("ALU", ops=["ADD", "SUB"], latency=0, default_op="SUB")
+    m.module(ModuleSpec("MUL", latency=2, sticky_illegal=False))
+    m.add_transfer("(A,B1,B,LINK,1,ALU,1,B1,B)[SUB]")
+    return m
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self):
+        model = sample_model()
+        again = loads(dumps(model))
+        assert again.name == model.name
+        assert again.cs_max == model.cs_max
+        assert again.width == model.width
+        assert set(again.registers) == set(model.registers)
+        assert again.registers["A"].init == 9
+        assert again.buses["LINK"].direct_link
+        assert set(again.modules["ALU"].operations) == {"ADD", "SUB"}
+        assert again.modules["ALU"].default_op == "SUB"
+        assert not again.modules["MUL"].sticky_illegal
+        assert [str(t) for t in again.transfers] == [
+            str(t) for t in model.transfers
+        ]
+
+    def test_roundtripped_model_simulates_identically(self):
+        model = sample_model()
+        again = loads(dumps(model))
+        assert (
+            again.elaborate().run().registers
+            == model.elaborate().run().registers
+        )
+
+    def test_file_io(self, tmp_path):
+        from repro.core.serialize import dump
+
+        path = tmp_path / "model.json"
+        dump(sample_model(), path)
+        assert load(path).name == "sample"
+
+    def test_document_is_stable_json(self):
+        doc = json.loads(dumps(sample_model()))
+        assert doc["format"] == "repro-rt-model"
+        assert doc["version"] == 1
+        assert doc["transfers"] == ["(A,B1,B,LINK,1,ALU,1,B1,B)[SUB]"]
+
+
+class TestErrors:
+    def test_custom_operation_rejected(self):
+        m = RTModel("custom", cs_max=2)
+        m.module(
+            ModuleSpec(
+                "WEIRD",
+                operations={"MYOP": Operation("MYOP", 2, lambda a, b: a)},
+            )
+        )
+        with pytest.raises(SerializeError, match="not a standard operation"):
+            dumps(m)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializeError, match="not a repro-rt-model"):
+            model_from_dict({"format": "other"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SerializeError, match="version"):
+            model_from_dict({"format": "repro-rt-model", "version": 99})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializeError, match="invalid JSON"):
+            loads("{nope")
+
+    def test_missing_field_reported(self):
+        with pytest.raises(SerializeError, match="missing field"):
+            model_from_dict({"format": "repro-rt-model", "version": 1})
+
+    def test_unknown_operation_rejected(self):
+        doc = model_to_dict(sample_model())
+        doc["modules"][0]["operations"] = ["FROBNICATE"]
+        with pytest.raises(SerializeError, match="unknown standard"):
+            model_from_dict(doc)

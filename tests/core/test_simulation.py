@@ -1,0 +1,293 @@
+"""End-to-end tests of elaborated RT models (§2.7): the Fig. 1 example,
+dynamic conflict localization, delta-cycle accounting and tracing."""
+
+import io
+
+import pytest
+
+from repro.core import (
+    DISC,
+    ILLEGAL,
+    ModelError,
+    ModuleSpec,
+    Phase,
+    RTModel,
+    StepPhase,
+)
+
+
+def fig1_model(r1=2, r2=3, cs_max=7):
+    """The paper's Fig. 1 example: R1 <- R1 + R2 via steps 5 and 6."""
+    m = RTModel("example", cs_max=cs_max)
+    m.register("R1", init=r1)
+    m.register("R2", init=r2)
+    m.bus("B1")
+    m.bus("B2")
+    m.module(ModuleSpec("ADD", latency=1))
+    m.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return m
+
+
+class TestFig1:
+    def test_result(self):
+        sim = fig1_model().elaborate().run()
+        assert sim["R1"] == 5
+        assert sim["R2"] == 3
+        assert sim.clean
+
+    def test_delta_cycles_equal_cs_max_times_six(self):
+        sim = fig1_model().elaborate().run()
+        assert sim.stats.delta_cycles == 7 * 6
+
+    def test_no_physical_time(self):
+        sim = fig1_model().elaborate().run()
+        assert sim.sim.now.time == 0
+
+    def test_register_value_overrides(self):
+        sim = fig1_model().elaborate(register_values={"R1": 10, "R2": 20}).run()
+        assert sim["R1"] == 30
+
+    def test_override_of_unknown_register_rejected(self):
+        with pytest.raises(ModelError, match="unknown registers"):
+            fig1_model().elaborate(register_values={"R9": 1})
+
+    def test_trace_shows_bus_occupancy(self):
+        sim = fig1_model().elaborate(trace=True).run()
+        t = sim.tracer
+        # B1 carries R1's value during (5, rb) and ADD's result during
+        # (6, wb); it is DISC elsewhere.
+        assert t.at(5, Phase.RB)["B1"] == 2
+        assert t.at(5, Phase.CM)["B1"] == DISC
+        assert t.at(6, Phase.WB)["B1"] == 5
+        assert t.at(4, Phase.RB)["B1"] == DISC
+
+    def test_trace_shows_module_ports(self):
+        sim = fig1_model().elaborate(trace=True).run()
+        t = sim.tracer
+        assert t.at(5, Phase.CM)["ADD_in1"] == 2
+        assert t.at(5, Phase.CM)["ADD_in2"] == 3
+        assert t.at(6, Phase.WA)["ADD_out"] == 5
+
+    def test_register_updates_at_cr(self):
+        sim = fig1_model().elaborate(trace=True).run()
+        t = sim.tracer
+        # The register latches during CR; the signal assignment takes
+        # one delta, so the new output value is visible from the next
+        # step's RA on -- exactly when transfers may read it.
+        assert t.at(6, Phase.CR)["R1_out"] == 2
+        assert t.at(7, Phase.RA)["R1_out"] == 5
+
+    def test_getitem_unknown_register(self):
+        sim = fig1_model().elaborate()
+        with pytest.raises(KeyError):
+            sim["nope"]
+
+
+class TestConflictLocalization:
+    """§2.7: conflicts appear as ILLEGAL at a specific (step, phase)."""
+
+    def conflicted_model(self):
+        # Two sources loaded onto B1 in the same step -> bus conflict.
+        m = RTModel("conflict", cs_max=4)
+        m.register("R1", init=1)
+        m.register("R2", init=2)
+        m.register("R3", init=3)
+        m.bus("B1")
+        m.bus("B2")
+        m.module(ModuleSpec("ADD", latency=1))
+        m.add_transfer("(R1,B1,R2,B2,2,ADD,3,B1,R1)")
+        m.add_transfer("(R3,B1,-,-,2,ADD,-,-,-)")
+        return m
+
+    def test_conflict_is_observed(self):
+        sim = self.conflicted_model().elaborate().run()
+        assert not sim.clean
+        assert sim.conflicts
+
+    def test_conflict_located_at_exact_step_and_phase(self):
+        sim = self.conflicted_model().elaborate().run()
+        buses = [c for c in sim.conflicts if c.signal == "B1"]
+        assert buses
+        # Both sources drive B1 in (2, ra); the ILLEGAL value becomes
+        # visible one delta later, in (2, rb).
+        assert buses[0].at == StepPhase(2, Phase.RB)
+
+    def test_conflict_sources_identified(self):
+        sim = self.conflicted_model().elaborate().run()
+        event = next(c for c in sim.conflicts if c.signal == "B1")
+        owners = {owner for owner, _ in event.sources}
+        assert owners == {"R1_out_B1_2", "R3_out_B1_2"}
+
+    def test_illegal_propagates_into_register(self):
+        sim = self.conflicted_model().elaborate().run()
+        assert sim["R1"] == ILLEGAL
+
+    def test_monitor_report_format(self):
+        sim = self.conflicted_model().elaborate().run()
+        report = sim.monitor.report()
+        assert "ILLEGAL on B1 at cs2.rb" in report
+
+    def test_clean_model_reports_no_conflicts(self):
+        sim = fig1_model().elaborate().run()
+        assert sim.monitor.report() == "no conflicts observed"
+
+
+class TestChainedTransfers:
+    def test_two_stage_dataflow(self):
+        # R3 <- (R1 + R2) + R2, reusing the adder in successive steps.
+        m = RTModel("chain", cs_max=6)
+        m.register("R1", init=10)
+        m.register("R2", init=5)
+        m.register("R3")
+        m.bus("B1")
+        m.bus("B2")
+        m.module(ModuleSpec("ADD", latency=1))
+        m.add_transfer("(R1,B1,R2,B2,1,ADD,2,B1,R3)")
+        m.add_transfer("(R3,B1,R2,B2,3,ADD,4,B1,R3)")
+        sim = m.elaborate().run()
+        assert sim["R3"] == 20
+        assert sim.clean
+
+    def test_parallel_units_in_same_step(self):
+        # Two adders working in the same control step on different buses.
+        m = RTModel("parallel", cs_max=3)
+        for name, init in (("A", 1), ("B", 2), ("C", 3), ("D", 4)):
+            m.register(name, init=init)
+        m.register("S1")
+        m.register("S2")
+        for bus in ("BA", "BB", "BC", "BD"):
+            m.bus(bus)
+        m.module(ModuleSpec("ADD1", latency=1))
+        m.module(ModuleSpec("ADD2", latency=1))
+        m.add_transfer("(A,BA,B,BB,1,ADD1,2,BA,S1)")
+        m.add_transfer("(C,BC,D,BD,1,ADD2,2,BC,S2)")
+        sim = m.elaborate().run()
+        assert sim["S1"] == 3
+        assert sim["S2"] == 7
+        assert sim.clean
+
+    def test_same_bus_reused_across_steps(self):
+        # Bus reuse in *different* steps is legal.
+        m = RTModel("reuse", cs_max=5)
+        m.register("A", init=1)
+        m.register("B", init=2)
+        m.register("S1")
+        m.register("S2")
+        m.bus("B1")
+        m.bus("B2")
+        m.module(ModuleSpec("ADD", latency=1))
+        m.add_transfer("(A,B1,B,B2,1,ADD,2,B1,S1)")
+        m.add_transfer("(B,B1,A,B2,3,ADD,4,B1,S2)")
+        sim = m.elaborate().run()
+        assert sim["S1"] == 3
+        assert sim["S2"] == 3
+        assert sim.clean
+
+
+class TestTransferRealizations:
+    """The two TRANS realizations (process-per-instance vs the folded
+    engine) must be observationally identical."""
+
+    def test_same_results_and_deltas(self):
+        model = fig1_model()
+        engine = model.elaborate(transfer_engine=True).run()
+        processes = model.elaborate(transfer_engine=False).run()
+        assert engine.registers == processes.registers
+        assert engine.stats.delta_cycles == processes.stats.delta_cycles
+
+    def test_same_traces(self):
+        model = fig1_model()
+        engine = model.elaborate(trace=True, transfer_engine=True).run()
+        processes = model.elaborate(trace=True, transfer_engine=False).run()
+        for sample_e, sample_p in zip(
+            engine.tracer.samples, processes.tracer.samples
+        ):
+            assert sample_e.at == sample_p.at
+            assert sample_e.values == sample_p.values
+
+    def test_same_conflict_attribution(self):
+        def conflicted():
+            m = RTModel("conflict", cs_max=4)
+            m.register("R1", init=1)
+            m.register("R2", init=2)
+            m.register("R3", init=3)
+            m.bus("B1")
+            m.bus("B2")
+            m.module(ModuleSpec("ADD", latency=1))
+            m.add_transfer("(R1,B1,R2,B2,2,ADD,3,B1,R1)")
+            m.add_transfer("(R3,B1,-,-,2,ADD,-,-,-)")
+            return m
+
+        engine = conflicted().elaborate(transfer_engine=True).run()
+        processes = conflicted().elaborate(transfer_engine=False).run()
+        key = lambda c: (c.signal, c.at, tuple(sorted(c.sources)))  # noqa: E731
+        assert sorted(map(key, engine.conflicts)) == sorted(
+            map(key, processes.conflicts)
+        )
+
+    def test_engine_resumes_fewer_processes_on_large_models(self):
+        # The engine costs one wakeup per cycle; process-per-instance
+        # costs O(instances x steps).  On tiny models the engine can
+        # even lose -- the win is asymptotic, so test a wide model.
+        model = RTModel("wide", cs_max=13)
+        for lane in range(12):
+            model.register(f"A{lane}", init=1)
+            model.register(f"B{lane}", init=2)
+            model.register(f"S{lane}")
+            model.bus(f"BA{lane}")
+            model.bus(f"BB{lane}")
+            model.module(ModuleSpec(f"FU{lane}", latency=1))
+            for step in (1, 5, 9):
+                model.add_transfer(
+                    f"(A{lane},BA{lane},B{lane},BB{lane},{step},FU{lane},"
+                    f"{step + 1},BA{lane},S{lane})"
+                )
+        engine = model.elaborate(transfer_engine=True).run()
+        processes = model.elaborate(transfer_engine=False).run()
+        assert engine.registers == processes.registers
+        assert engine.stats.process_resumes < processes.stats.process_resumes
+
+
+class TestRunControl:
+    def test_run_steps_stops_midway(self):
+        sim = fig1_model().elaborate()
+        sim.run_steps(4)
+        assert sim.cs.value == 4
+        assert sim["R1"] == 2  # transfer at steps 5/6 not yet executed
+
+    def test_run_steps_then_full_run(self):
+        sim = fig1_model().elaborate()
+        sim.run_steps(4)
+        sim.run()
+        assert sim["R1"] == 5
+
+
+class TestTraceExport:
+    def test_format_table_contains_values(self):
+        sim = fig1_model().elaborate(trace=True).run()
+        table = sim.tracer.format_table(["B1", "ADD_out", "R1_out"])
+        assert "cs5.rb" in table
+        assert "DISC" in table
+
+    def test_vcd_export_wellformed(self):
+        sim = fig1_model().elaborate(trace=True).run()
+        out = io.StringIO()
+        sim.tracer.write_vcd(out)
+        text = out.getvalue()
+        assert "$enddefinitions" in text
+        assert "$var integer 32" in text
+        assert "bz" in text  # DISC encoded as high-Z
+
+    def test_history_is_change_compressed(self):
+        sim = fig1_model().elaborate(trace=True).run()
+        history = sim.tracer.history("B1")
+        values = [v for _, v in history]
+        # DISC -> 2 -> DISC -> 5 -> DISC
+        assert values == [DISC, 2, DISC, 5, DISC]
+
+    def test_step_values_samples_one_phase(self):
+        sim = fig1_model().elaborate(trace=True).run()
+        per_step = sim.tracer.step_values("R1_out", Phase.RA)
+        assert per_step[5] == 2
+        assert per_step[6] == 2  # latched at (6, CR), visible from (7, RA)
+        assert per_step[7] == 5

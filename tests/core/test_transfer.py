@@ -1,0 +1,234 @@
+"""Tests for register-transfer tuples and the tuple <-> TRANS mapping
+(paper §2.1, §2.4, §2.7)."""
+
+import pytest
+
+from repro.core.phases import Phase
+from repro.core.transfer import (
+    RegisterTransfer,
+    TransferError,
+    TransSpec,
+    expand_all,
+    from_trans_specs,
+    to_trans_specs,
+)
+
+FIG1 = RegisterTransfer(
+    src1="R1",
+    bus1="B1",
+    src2="R2",
+    bus2="B2",
+    read_step=5,
+    module="ADD",
+    write_step=6,
+    write_bus="B1",
+    dest="R1",
+)
+
+
+class TestTupleConstruction:
+    def test_fig1_tuple_roundtrips_through_str(self):
+        text = str(FIG1)
+        assert text == "(R1,B1,R2,B2,5,ADD,6,B1,R1)"
+        assert RegisterTransfer.parse(text) == FIG1
+
+    def test_parse_partial_tuples_from_paper(self):
+        read = RegisterTransfer.parse("(R1, B1, -, -, 5, ADD, -, -, -)")
+        assert read.src1 == "R1" and read.read_step == 5
+        assert not read.has_write
+        write = RegisterTransfer.parse("(-,-,-,-,-,ADD,6,B1,R1)")
+        assert write.has_write and not write.has_read
+
+    def test_parse_op_extension(self):
+        t = RegisterTransfer.parse("(A,B1,C,B2,3,ALU,4,B1,A)[SUB]")
+        assert t.op == "SUB"
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(TransferError, match="9 fields"):
+            RegisterTransfer.parse("(R1,B1,5,ADD)")
+
+    def test_parse_rejects_non_numeric_step(self):
+        with pytest.raises(TransferError, match="control step"):
+            RegisterTransfer.parse("(R1,B1,-,-,x,ADD,-,-,-)")
+
+    def test_source_requires_bus(self):
+        with pytest.raises(TransferError, match="src1 and bus1"):
+            RegisterTransfer(src1="R1", read_step=2, module="ADD")
+
+    def test_read_half_requires_step(self):
+        with pytest.raises(TransferError, match="without read_step"):
+            RegisterTransfer(src1="R1", bus1="B1", module="ADD")
+
+    def test_write_half_requires_bus_and_step(self):
+        with pytest.raises(TransferError, match="dest requires"):
+            RegisterTransfer(module="ADD", dest="R1", write_step=3)
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(TransferError, match="neither read nor write"):
+            RegisterTransfer(module="ADD")
+
+    def test_op_requires_read_half(self):
+        with pytest.raises(TransferError, match="operation select"):
+            RegisterTransfer(
+                module="ALU", write_step=3, write_bus="B1", dest="R1", op="SUB"
+            )
+
+    def test_latency_of_complete_tuple(self):
+        assert FIG1.latency() == 1
+        assert FIG1.read_half().latency() is None
+
+    def test_halves_partition_the_tuple(self):
+        read, write = FIG1.read_half(), FIG1.write_half()
+        assert read.has_read and not read.has_write
+        assert write.has_write and not write.has_read
+        assert read.module == write.module == "ADD"
+
+
+class TestForwardMapping:
+    """Tuple -> TRANS instances, exactly as listed in §2.7."""
+
+    def test_fig1_expansion_names(self):
+        specs = to_trans_specs(FIG1)
+        names = {spec.name for spec in specs}
+        # The paper's six instances (underlined tuple parts):
+        assert names == {
+            "R1_out_B1_5",
+            "B1_ADD_in1_5",
+            "R2_out_B2_5",
+            "B2_ADD_in2_5",
+            "ADD_out_B1_6",
+            "B1_R1_in_6",
+        }
+
+    def test_fig1_expansion_phases(self):
+        by_name = {s.name: s for s in to_trans_specs(FIG1)}
+        assert by_name["R1_out_B1_5"].phase is Phase.RA
+        assert by_name["B1_ADD_in1_5"].phase is Phase.RB
+        assert by_name["R2_out_B2_5"].phase is Phase.RA
+        assert by_name["B2_ADD_in2_5"].phase is Phase.RB
+        assert by_name["ADD_out_B1_6"].phase is Phase.WA
+        assert by_name["B1_R1_in_6"].phase is Phase.WB
+
+    def test_read_half_expands_to_four_instances(self):
+        specs = to_trans_specs(FIG1.read_half())
+        assert len(specs) == 4
+        assert all(spec.step == 5 for spec in specs)
+
+    def test_write_half_expands_to_two_instances(self):
+        specs = to_trans_specs(FIG1.write_half())
+        assert len(specs) == 2
+        assert {s.phase for s in specs} == {Phase.WA, Phase.WB}
+
+    def test_single_operand_uses_in1(self):
+        t = RegisterTransfer(
+            src1="X", bus1="B", read_step=2, module="NEG"
+        )
+        sinks = {s.sink for s in to_trans_specs(t)}
+        assert sinks == {"B", "NEG_in1"}
+
+    def test_op_extension_adds_op_instance(self):
+        t = RegisterTransfer(
+            src1="A",
+            bus1="B1",
+            src2="C",
+            bus2="B2",
+            read_step=3,
+            module="ALU",
+            op="SUB",
+        )
+        specs = to_trans_specs(t)
+        op_specs = [s for s in specs if s.sink == "ALU_op"]
+        assert len(op_specs) == 1
+        assert op_specs[0].phase is Phase.RB
+        assert op_specs[0].source == "op:SUB"
+
+
+class TestInverseMapping:
+    """TRANS instances -> tuples (paper §2.7's three derived tuples)."""
+
+    def test_paper_partial_tuples(self):
+        specs = to_trans_specs(FIG1)
+        partials = from_trans_specs(specs)
+        # Without latency info: one read half (both operands merge into
+        # one tuple because they feed the same module in the same step)
+        # and one write half.
+        assert len(partials) == 2
+        read = next(t for t in partials if t.has_read)
+        write = next(t for t in partials if t.has_write)
+        assert read == RegisterTransfer(
+            src1="R1", bus1="B1", src2="R2", bus2="B2", read_step=5, module="ADD"
+        )
+        assert write == RegisterTransfer(
+            module="ADD", write_step=6, write_bus="B1", dest="R1"
+        )
+
+    def test_roundtrip_with_latency(self):
+        specs = to_trans_specs(FIG1)
+        merged = from_trans_specs(specs, latency_of=lambda m: 1)
+        assert merged == [FIG1]
+
+    def test_roundtrip_preserves_op(self):
+        t = RegisterTransfer(
+            src1="A",
+            bus1="B1",
+            src2="C",
+            bus2="B2",
+            read_step=3,
+            module="ALU",
+            write_step=3,
+            write_bus="B3",
+            dest="D",
+            op="SUB",
+        )
+        assert from_trans_specs(to_trans_specs(t), latency_of=lambda m: 0) == [t]
+
+    def test_missing_ra_instance_detected(self):
+        specs = [TransSpec(5, Phase.RB, "B1", "ADD_in1")]
+        with pytest.raises(TransferError, match="missing ra instance"):
+            from_trans_specs(specs)
+
+    def test_missing_wa_instance_detected(self):
+        specs = [TransSpec(6, Phase.WB, "B1", "R1_in")]
+        with pytest.raises(TransferError, match="missing wa instance"):
+            from_trans_specs(specs)
+
+    def test_double_load_of_bus_detected(self):
+        specs = [
+            TransSpec(5, Phase.RA, "R1_out", "B1"),
+            TransSpec(5, Phase.RA, "R2_out", "B1"),
+        ]
+        with pytest.raises(TransferError, match="already loaded"):
+            from_trans_specs(specs)
+
+    def test_double_feed_of_module_port_detected(self):
+        specs = [
+            TransSpec(5, Phase.RA, "R1_out", "B1"),
+            TransSpec(5, Phase.RA, "R2_out", "B2"),
+            TransSpec(5, Phase.RB, "B1", "ADD_in1"),
+            TransSpec(5, Phase.RB, "B2", "ADD_in1"),
+        ]
+        with pytest.raises(TransferError, match="already fed"):
+            from_trans_specs(specs)
+
+    def test_multiple_transfers_roundtrip(self):
+        t2 = RegisterTransfer(
+            src1="R3",
+            bus1="B3",
+            src2="R4",
+            bus2="B4",
+            read_step=1,
+            module="MUL",
+            write_step=3,
+            write_bus="B3",
+            dest="R3",
+        )
+        latencies = {"ADD": 1, "MUL": 2}
+        specs = expand_all([FIG1, t2])
+        merged = from_trans_specs(specs, latency_of=latencies.__getitem__)
+        assert sorted(map(str, merged)) == sorted(map(str, [FIG1, t2]))
+
+    def test_unmerged_write_survives_without_latency_map(self):
+        # A write whose read half is absent must still be reported.
+        specs = to_trans_specs(FIG1.write_half())
+        partials = from_trans_specs(specs, latency_of=lambda m: 1)
+        assert partials == [FIG1.write_half()]

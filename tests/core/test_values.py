@@ -1,0 +1,115 @@
+"""Tests for the subset's value domain and resolution function (§2.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import (
+    DISC,
+    ILLEGAL,
+    check_value,
+    format_value,
+    is_data,
+    is_disc,
+    is_illegal,
+    resolve_rt,
+)
+
+# A strategy over representable values: naturals, DISC, ILLEGAL.
+rt_values = st.one_of(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.just(DISC),
+    st.just(ILLEGAL),
+)
+
+
+class TestPredicates:
+    def test_constants_match_paper(self):
+        assert DISC == -1
+        assert ILLEGAL == -2
+
+    def test_classification_is_exclusive(self):
+        for value in (0, 1, 17, DISC, ILLEGAL):
+            flags = [is_data(value), is_disc(value), is_illegal(value)]
+            assert sum(flags) == 1
+
+    def test_check_value_accepts_domain(self):
+        for value in (0, 5, DISC, ILLEGAL):
+            assert check_value(value) == value
+
+    def test_check_value_rejects_other_negatives(self):
+        with pytest.raises(ValueError):
+            check_value(-3)
+
+    def test_check_value_rejects_non_ints(self):
+        with pytest.raises(TypeError):
+            check_value("5")
+        with pytest.raises(TypeError):
+            check_value(True)
+
+    def test_format_value(self):
+        assert format_value(DISC) == "DISC"
+        assert format_value(ILLEGAL) == "ILLEGAL"
+        assert format_value(42) == "42"
+
+
+class TestResolution:
+    """The paper's truth table, case by case."""
+
+    def test_all_disc_resolves_disc(self):
+        assert resolve_rt([DISC, DISC, DISC]) == DISC
+
+    def test_empty_resolves_disc(self):
+        assert resolve_rt([]) == DISC
+
+    def test_single_value_passes_through(self):
+        assert resolve_rt([DISC, 7, DISC]) == 7
+
+    def test_two_values_collide(self):
+        assert resolve_rt([3, DISC, 4]) == ILLEGAL
+
+    def test_two_equal_values_still_collide(self):
+        # Two non-DISC drivers are a conflict even with equal values:
+        # the resolution counts sources, not values.
+        assert resolve_rt([5, 5]) == ILLEGAL
+
+    def test_any_illegal_poisons(self):
+        assert resolve_rt([ILLEGAL, DISC]) == ILLEGAL
+        assert resolve_rt([DISC, ILLEGAL, 9]) == ILLEGAL
+
+    def test_zero_is_a_regular_value(self):
+        assert resolve_rt([0, DISC]) == 0
+
+
+class TestResolutionProperties:
+    """Algebraic properties, checked with hypothesis."""
+
+    @given(st.lists(rt_values, max_size=8))
+    def test_result_is_representable(self, values):
+        result = resolve_rt(values)
+        assert result >= ILLEGAL
+
+    @given(st.lists(rt_values, max_size=8))
+    def test_order_independence(self, values):
+        assert resolve_rt(values) == resolve_rt(list(reversed(values)))
+
+    @given(st.lists(rt_values, max_size=8))
+    def test_disc_is_identity_element(self, values):
+        assert resolve_rt(values + [DISC]) == resolve_rt(values)
+
+    @given(st.lists(rt_values, max_size=8))
+    def test_illegal_is_absorbing(self, values):
+        assert resolve_rt(values + [ILLEGAL]) == ILLEGAL
+
+    @given(st.lists(rt_values, max_size=6), st.lists(rt_values, max_size=6))
+    def test_associativity_via_nesting(self, left, right):
+        # Resolving in two stages agrees with resolving flat, i.e. the
+        # function is a commutative monoid fold (required for VHDL
+        # resolution to be well-defined over driver subsets).
+        flat = resolve_rt(left + right)
+        staged = resolve_rt([resolve_rt(left), resolve_rt(right)])
+        assert staged == flat
+
+    @given(rt_values)
+    def test_singleton_is_identity(self, value):
+        assert resolve_rt([value]) == value

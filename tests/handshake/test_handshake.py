@@ -1,0 +1,244 @@
+"""Tests for the asynchronous-handshake baseline."""
+
+import pytest
+
+from repro.handshake import (
+    Channel,
+    HandshakeNetwork,
+    NetworkError,
+    chain_expected,
+    chain_fn,
+    chain_network,
+    chain_rt_model,
+)
+from repro.kernel import Simulator
+
+
+class TestChannel:
+    def test_single_transfer(self):
+        sim = Simulator()
+        ch = Channel(sim, "c")
+        got = []
+
+        def producer():
+            yield from ch.put(42)
+
+        def consumer():
+            got.append((yield from ch.get()))
+
+        sim.add_process("p", producer)
+        sim.add_process("c", consumer)
+        sim.run()
+        assert got == [42]
+        assert sim.quiescent
+
+    def test_stream_preserves_order(self):
+        sim = Simulator()
+        ch = Channel(sim, "c")
+        got = []
+
+        def producer():
+            for v in (1, 2, 3, 4, 5):
+                yield from ch.put(v)
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield from ch.get()))
+
+        sim.add_process("p", producer)
+        sim.add_process("c", consumer)
+        sim.run()
+        assert got == [1, 2, 3, 4, 5]
+
+    def test_consumer_first_does_not_deadlock(self):
+        # Producer raises req before the consumer starts waiting; the
+        # level-check idiom must prevent the classic wait-until deadlock.
+        sim = Simulator()
+        ch = Channel(sim, "c")
+        got = []
+
+        def producer():
+            yield from ch.put(7)
+
+        def late_consumer():
+            # Burn a few deltas before listening.
+            aux = sim.signal("aux", init=0)
+            drv = sim.driver(aux, owner="late")
+            for i in range(3):
+                drv.set(i + 1)
+                from repro.kernel import wait_on
+
+                yield wait_on(aux)
+            got.append((yield from ch.get()))
+
+        sim.add_process("p", producer)
+        sim.add_process("late", late_consumer)
+        sim.run()
+        assert got == [7]
+
+    def test_four_phase_costs_at_least_four_deltas(self):
+        sim = Simulator()
+        ch = Channel(sim, "c")
+
+        def producer():
+            yield from ch.put(1)
+
+        def consumer():
+            yield from ch.get()
+
+        sim.add_process("p", producer)
+        sim.add_process("c", consumer)
+        sim.run()
+        assert sim.stats.delta_cycles >= 4
+
+
+class TestNetwork:
+    def test_binary_tree(self):
+        net = HandshakeNetwork()
+        net.source("a", [3])
+        net.source("b", [4])
+        net.source("c", [5])
+        net.op("sum", lambda a, b: a + b, "a", "b")
+        net.op("prod", lambda s, c: s * c, "sum", "c")
+        net.sink("out", "prod")
+        assert net.run()["out"] == [35]
+
+    def test_fanout_duplicates_tokens(self):
+        net = HandshakeNetwork()
+        net.source("a", [10])
+        net.op("twice", lambda v: v + v, "a")
+        net.op("inc", lambda v: v + 1, "a")
+        net.sink("o1", "twice")
+        net.sink("o2", "inc")
+        results = net.run()
+        assert results["o1"] == [20]
+        assert results["o2"] == [11]
+
+    def test_streams_pipeline(self):
+        net = HandshakeNetwork()
+        net.source("a", [1, 2, 3])
+        net.source("b", [10, 20, 30])
+        net.op("add", lambda a, b: a + b, "a", "b")
+        net.sink("out", "add")
+        assert net.run()["out"] == [11, 22, 33]
+
+    def test_duplicate_node_rejected(self):
+        net = HandshakeNetwork()
+        net.source("a", [1])
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.source("a", [2])
+
+    def test_unknown_input_rejected(self):
+        net = HandshakeNetwork()
+        net.op("op", lambda v: v, "ghost")
+        net.sink("out", "op")
+        with pytest.raises(NetworkError, match="unknown node"):
+            net.run()
+
+    def test_op_without_inputs_rejected(self):
+        net = HandshakeNetwork()
+        with pytest.raises(NetworkError, match="at least one input"):
+            net.op("bad", lambda: 0)
+
+
+class TestTwoPhaseChannel:
+    def build_adder_net(self, cls):
+        from repro.handshake import HandshakeNetwork
+
+        net = HandshakeNetwork(channel_cls=cls)
+        net.source("a", [1, 2, 3])
+        net.source("b", [10, 20, 30])
+        net.op("add", lambda a, b: a + b, "a", "b")
+        net.sink("out", "add")
+        return net
+
+    def test_two_phase_delivers_tokens_in_order(self):
+        from repro.handshake import TwoPhaseChannel
+
+        results = self.build_adder_net(TwoPhaseChannel).run()
+        assert results["out"] == [11, 22, 33]
+
+    def test_two_phase_is_cheaper_than_four_phase(self):
+        from repro.handshake import TwoPhaseChannel
+
+        sims = {}
+        for cls in (Channel, TwoPhaseChannel):
+            sim = Simulator()
+            self.build_adder_net(cls).build(sim)
+            sim.run()
+            sims[cls.__name__] = sim.stats
+        assert sims["TwoPhaseChannel"].events < sims["Channel"].events
+        assert (
+            sims["TwoPhaseChannel"].delta_cycles
+            < sims["Channel"].delta_cycles
+        )
+
+    def test_two_phase_single_transfer(self):
+        from repro.handshake import TwoPhaseChannel
+
+        sim = Simulator()
+        ch = TwoPhaseChannel(sim, "c")
+        got = []
+
+        def producer():
+            yield from ch.put(5)
+            yield from ch.put(6)
+
+        def consumer():
+            got.append((yield from ch.get()))
+            got.append((yield from ch.get()))
+
+        sim.add_process("p", producer)
+        sim.add_process("c", consumer)
+        sim.run()
+        assert got == [5, 6]
+        assert sim.quiescent
+
+    def test_no_duplicate_tokens_on_fast_consumer(self):
+        # Regression: a consumer looping immediately must not re-read
+        # the same token (the stale-parity bug).
+        from repro.handshake import TwoPhaseChannel
+
+        sim = Simulator()
+        ch = TwoPhaseChannel(sim, "c")
+        got = []
+
+        def producer():
+            for v in range(10):
+                yield from ch.put(v)
+
+        def consumer():
+            while len(got) < 10:
+                got.append((yield from ch.get()))
+
+        sim.add_process("p", producer)
+        sim.add_process("c", consumer)
+        sim.run()
+        assert got == list(range(10))
+
+
+class TestChainWorkloads:
+    @pytest.mark.parametrize("n", [2, 5, 16])
+    def test_handshake_chain_result(self, n):
+        ops = list(range(1, n + 1))
+        results = chain_network(ops, chain_fn("ADD")).run()
+        assert results["out"] == [chain_expected(ops)]
+
+    @pytest.mark.parametrize("n", [2, 5, 16])
+    def test_rt_chain_result(self, n):
+        ops = list(range(1, n + 1))
+        sim = chain_rt_model(ops).elaborate().run()
+        assert sim["ACC"] == chain_expected(ops)
+        assert sim.clean
+
+    def test_chain_needs_two_operands(self):
+        with pytest.raises(NetworkError):
+            chain_network([1], chain_fn())
+        with pytest.raises(ValueError):
+            chain_rt_model([1])
+
+    def test_both_styles_agree_on_other_ops(self):
+        ops = [5, 3, 8, 2]
+        hs = chain_network(ops, chain_fn("SUB")).run()["out"][0]
+        rt = chain_rt_model(ops, "SUB").elaborate().run()["ACC"]
+        assert hs == rt == chain_expected(ops, "SUB")

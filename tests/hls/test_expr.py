@@ -1,0 +1,100 @@
+"""Tests for the algorithmic-level language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hls import ExprError, evaluate, parse_expression, parse_program
+from repro.hls.expr import BinOp, Const, Var
+
+
+class TestParsing:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_shift_binds_looser_than_add(self):
+        expr = parse_expression("a >> 2 + 1")
+        # '>>' level is looser than '+': a >> (2 + 1)
+        assert expr.op == ">>"
+        assert isinstance(expr.right, BinOp)
+
+    def test_parentheses(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp)
+
+    def test_program_inputs_and_outputs(self):
+        program = parse_program("t = a + b\nu = t * c\n")
+        assert program.inputs == ["a", "b", "c"]
+        assert program.outputs == ["t", "u"]
+
+    def test_reassignment_reads_previous_value(self):
+        program = parse_program("x = a + 1\nx = x * 2\n")
+        env = evaluate(program, {"a": 5})
+        assert env["x"] == 12
+
+    def test_comments_and_blank_lines(self):
+        program = parse_program("# header\n\nx = a + 1  # trailing\n")
+        assert len(program.statements) == 1
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ExprError, match="bad target"):
+            parse_program("2x = a\n")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ExprError, match="target = expr"):
+            parse_program("a + b\n")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ExprError, match="empty"):
+            parse_program("# nothing\n")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ExprError, match="bad character"):
+            parse_expression("a ? b")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ExprError):
+            parse_expression("(a + b")
+
+
+class TestEvaluation:
+    def test_all_operators(self):
+        program = parse_program(
+            "s = a + b\nd = a - b\np = a * b\nc = a & b\no = a | b\n"
+            "x = a ^ b\nr = a >> 2\nl = a << 2\n"
+        )
+        env = evaluate(program, {"a": 12, "b": 5}, width=16)
+        assert env["s"] == 17
+        assert env["d"] == 7
+        assert env["p"] == 60
+        assert env["c"] == 12 & 5
+        assert env["o"] == 12 | 5
+        assert env["x"] == 12 ^ 5
+        assert env["r"] == 3
+        assert env["l"] == 48
+
+    def test_subtraction_wraps(self):
+        env = evaluate(parse_program("d = a - b\n"), {"a": 1, "b": 2}, width=8)
+        assert env["d"] == 255
+
+    def test_missing_input_reported(self):
+        with pytest.raises(ExprError, match="missing input"):
+            evaluate(parse_program("x = a + 1\n"), {})
+
+    @given(
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_evaluation_is_masked(self, a, b):
+        env = evaluate(
+            parse_program("p = a * b\n"), {"a": a, "b": b}, width=16
+        )
+        assert 0 <= env["p"] < 2**16
+        assert env["p"] == (a * b) % 2**16

@@ -1,0 +1,222 @@
+"""Tests for DFG construction, scheduling, allocation and RT emission."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analyze
+from repro.hls import (
+    ScheduleError,
+    alap_schedule,
+    asap_schedule,
+    build_dataflow,
+    list_schedule,
+    parse_program,
+    synthesize,
+)
+from repro.hls.allocation import allocate
+from repro.hls.scheduling import class_latency
+
+
+PROGRAM = parse_program(
+    "t = (a + b) * (c - d)\n"
+    "u = t + (a >> 2)\n"
+    "out = u * u\n"
+)
+
+
+class TestDataflow:
+    def test_node_counts(self):
+        dfg = build_dataflow(PROGRAM)
+        assert len(dfg.op_nodes) == 6  # +, -, *, >>, +, *
+        assert set(dfg.inputs) == {"a", "b", "c", "d"}
+
+    def test_same_operand_twice(self):
+        dfg = build_dataflow(parse_program("s = a * a\n"))
+        node = dfg.op_nodes[0]
+        left, right = dfg.preds(node)
+        assert left is right
+
+    def test_constants_are_shared(self):
+        dfg = build_dataflow(parse_program("x = a + 3\ny = b + 3\n"))
+        consts = [n for n in dfg.nodes.values() if n.kind == "const"]
+        assert len(consts) == 1
+
+    def test_outputs_track_latest_definition(self):
+        dfg = build_dataflow(parse_program("x = a + 1\nx = x + 2\n"))
+        producer = dfg.nodes[dfg.outputs["x"]]
+        # The second addition is the output.
+        assert producer.kind == "op"
+        assert len(dfg.op_nodes) == 2
+
+    def test_common_subexpressions_are_shared(self):
+        # "a + b" appears three times but is computed once.
+        dfg = build_dataflow(
+            parse_program("x = (a + b) * c\ny = (a + b) * d\nz = a + b\n")
+        )
+        adds = [n for n in dfg.op_nodes if n.op == "+"]
+        assert len(adds) == 1
+
+    def test_cse_respects_reassignment(self):
+        # After x is redefined, "x + 1" means something new.
+        dfg = build_dataflow(
+            parse_program("y = x + 1\nx = x + 1\nz = x + 1\n")
+        )
+        adds = [n for n in dfg.op_nodes if n.op == "+"]
+        # y and the first x-update share; z's is distinct.
+        assert len(adds) == 2
+
+    def test_cse_can_be_disabled(self):
+        program = parse_program("x = a + b\ny = a + b\n")
+        assert len(build_dataflow(program, cse=False).op_nodes) == 2
+        assert len(build_dataflow(program, cse=True).op_nodes) == 1
+
+    def test_cse_preserves_semantics(self):
+        source = "x = (a + b) * (a + b)\ny = (a + b) + c\n"
+        res = synthesize(source)
+        inputs = {"a": 7, "b": 8, "c": 9}
+        assert res.simulate(inputs) == res.reference(inputs)
+
+    def test_critical_path(self):
+        dfg = build_dataflow(PROGRAM)
+        length = dfg.critical_path_length(class_latency)
+        # + (ALU,0) -> * (MUL,2) -> + (ALU,0) -> * (MUL,2):
+        # 1, then 2, result 4, readable 5, then 5, readable 6, then 6.
+        assert length == 6
+
+
+class TestSchedulers:
+    def test_asap_respects_dependences(self):
+        dfg = build_dataflow(PROGRAM)
+        asap = asap_schedule(dfg)
+        for node in dfg.op_nodes:
+            for pred_id in dfg.graph.predecessors(node.ident):
+                pred = dfg.nodes[pred_id]
+                if pred.kind == "op":
+                    ready = asap[pred_id] + class_latency(pred.unit_class) + 1
+                    assert asap[node.ident] >= ready
+
+    def test_alap_never_earlier_than_asap(self):
+        dfg = build_dataflow(PROGRAM)
+        asap = asap_schedule(dfg)
+        alap = alap_schedule(dfg)
+        for ident in asap:
+            assert alap[ident] >= asap[ident]
+
+    def test_alap_infeasible_horizon(self):
+        dfg = build_dataflow(PROGRAM)
+        with pytest.raises(ScheduleError, match="infeasible"):
+            alap_schedule(dfg, horizon=2)
+
+    def test_list_schedule_respects_resources(self):
+        program = parse_program(
+            "\n".join(f"v{i} = a{i} + b{i}" for i in range(6))
+        )
+        dfg = build_dataflow(program)
+        schedule = list_schedule(dfg, {"ALU": 2})
+        per_step = {}
+        for ident, step in schedule.steps.items():
+            per_step.setdefault(step, []).append(ident)
+        assert all(len(ids) <= 2 for ids in per_step.values())
+
+    def test_more_resources_shorten_schedule(self):
+        program = parse_program(
+            "\n".join(f"v{i} = a{i} * b{i}" for i in range(8))
+        )
+        dfg = build_dataflow(program)
+        narrow = list_schedule(dfg, {"MUL": 1}).makespan
+        wide = list_schedule(dfg, {"MUL": 4}).makespan
+        assert wide < narrow
+
+    def test_unknown_class_rejected(self):
+        dfg = build_dataflow(PROGRAM)
+        with pytest.raises(ScheduleError, match="unknown unit class"):
+            list_schedule(dfg, {"FPU": 1})
+
+    def test_zero_instances_rejected(self):
+        dfg = build_dataflow(PROGRAM)
+        with pytest.raises(ScheduleError, match="at least one"):
+            list_schedule(dfg, {"ALU": 0})
+
+
+class TestAllocation:
+    def test_registers_are_reused(self):
+        # Re-assignments kill the previous value of x: the ten
+        # intermediate values have disjoint lifetimes and share
+        # registers (only the final one is an output).
+        program = parse_program(
+            "x = a + 1\n" + "\n".join("x = x + 1" for _ in range(9))
+        )
+        dfg = build_dataflow(program)
+        schedule = list_schedule(dfg, {"ALU": 1})
+        alloc = allocate(dfg, schedule)
+        assert alloc.temp_count <= 2
+
+    def test_reuse_preserves_semantics(self):
+        source = "x = a + 1\n" + "\n".join("x = x * 2" for _ in range(6))
+        res = synthesize(source, resources={"ALU": 1, "MUL": 1})
+        inputs = {"a": 11}
+        assert res.simulate(inputs) == res.reference(inputs)
+
+    def test_output_lifetimes_pinned(self):
+        res = synthesize("x = a + b\ny = a - b\n")
+        # Both outputs live to the end: they must not share a register.
+        assert res.output_regs["x"] != res.output_regs["y"]
+
+    def test_bus_count_covers_widest_step(self):
+        program = parse_program("x = a + b\ny = c - d\n")
+        dfg = build_dataflow(program)
+        schedule = list_schedule(dfg, {"ALU": 2})
+        alloc = allocate(dfg, schedule)
+        assert alloc.bus_count >= 4  # two concurrent 2-operand reads
+
+
+class TestEndToEnd:
+    INPUTS = {"a": 20, "b": 5, "c": 9, "d": 3}
+
+    def test_simulation_matches_reference(self):
+        res = synthesize(PROGRAM)
+        assert res.simulate(self.INPUTS) == res.reference(self.INPUTS)
+
+    def test_emitted_model_is_statically_clean(self):
+        res = synthesize(PROGRAM)
+        report = analyze(res.model)
+        assert report.clean, str(report)
+
+    def test_resource_constrained_variants_agree(self):
+        rich = synthesize(PROGRAM, resources={"ALU": 4, "MUL": 4, "SHIFT": 2})
+        poor = synthesize(PROGRAM, resources={"ALU": 1, "MUL": 1, "SHIFT": 1})
+        assert rich.simulate(self.INPUTS) == poor.simulate(self.INPUTS)
+        assert rich.schedule.makespan <= poor.schedule.makespan
+
+    def test_output_aliased_to_input(self):
+        res = synthesize("x = a\ny = x + b\n")
+        outs = res.simulate({"a": 3, "b": 4})
+        assert outs == {"x": 3, "y": 7}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=0, max_value=10**6))
+    def test_property_random_inputs(self, a, b):
+        res = synthesize("p = (a + b) * (a - b)\nq = p ^ a\n")
+        inputs = {"a": a, "b": b}
+        assert res.simulate(inputs) == res.reference(inputs)
+
+    def test_random_programs_synthesize_correctly(self):
+        rng = random.Random(7)
+        operators = ["+", "-", "*", "&", "|", "^"]
+        for trial in range(5):
+            names = ["i0", "i1", "i2"]
+            lines = []
+            for i in range(rng.randrange(3, 12)):
+                a, b = rng.choice(names), rng.choice(names)
+                lines.append(f"v{i} = {a} {rng.choice(operators)} ({b} + {i + 1})")
+                names.append(f"v{i}")
+            res = synthesize(
+                "\n".join(lines),
+                resources={"ALU": 2, "MUL": 1, "LOGIC": 1},
+            )
+            inputs = {f"i{k}": rng.randrange(0, 10**6) for k in range(3)}
+            assert res.simulate(inputs) == res.reference(inputs), lines

@@ -1,0 +1,81 @@
+"""Tests for the algorithmic-level IK reference."""
+
+import math
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.iks.algorithm import (
+    ArmGeometry,
+    forward_kinematics,
+    reference_ik_float,
+    solve_ik,
+)
+
+GEO = ArmGeometry(2.0, 1.5)
+
+
+def _angle_delta(a: float, b: float) -> float:
+    """Distance between two angles on the circle."""
+    d = (a - b) % (2 * math.pi)
+    return min(d, 2 * math.pi - d)
+
+# Targets comfortably inside the annular workspace.
+radii = st.floats(min_value=0.7, max_value=3.3, allow_nan=False)
+angles = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+
+
+class TestGeometry:
+    def test_reachability(self):
+        assert GEO.reachable(3.4, 0.0)
+        assert not GEO.reachable(4.0, 0.0)
+        assert not GEO.reachable(0.1, 0.0)
+
+    def test_rom_constants_cover_layout(self):
+        from repro.iks.chip import ROM_LAYOUT
+        from repro.iks.fixedpoint import DEFAULT_FORMAT
+
+        rom = GEO.rom_constants(DEFAULT_FORMAT)
+        assert set(rom) == set(ROM_LAYOUT)
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ArmGeometry(0.0, 1.0)
+
+
+class TestSolveIK:
+    @given(radii, angles)
+    def test_forward_kinematics_recovers_target(self, r, phi):
+        px, py = r * math.cos(phi), r * math.sin(phi)
+        assume(GEO.reachable(px, py))
+        sol = solve_ik(px, py, GEO)
+        fx, fy = forward_kinematics(sol.theta1_rad, sol.theta2_rad, GEO)
+        assert math.hypot(fx - px, fy - py) < 0.02
+
+    @given(radii, angles)
+    def test_matches_float_reference(self, r, phi):
+        px, py = r * math.cos(phi), r * math.sin(phi)
+        assume(GEO.reachable(px, py))
+        sol = solve_ik(px, py, GEO)
+        t1, t2 = reference_ik_float(px, py, GEO)
+        # Angles are equal modulo 2*pi (atan2 branch-cut results may
+        # land on either side of +/-pi).
+        assert _angle_delta(sol.theta1_rad, t1) < 0.02
+        assert _angle_delta(sol.theta2_rad, t2) < 0.02
+
+    def test_deterministic(self):
+        a = solve_ik(2.5, 1.0, GEO)
+        b = solve_ik(2.5, 1.0, GEO)
+        assert (a.theta1, a.theta2) == (b.theta1, b.theta2)
+
+    def test_elbow_down_branch(self):
+        # theta2 = atan2(s2, c2) with s2 >= 0: always in [0, pi].
+        for px, py in [(2.5, 1.0), (1.0, 2.0), (-1.5, 2.0), (0.8, -1.2)]:
+            sol = solve_ik(px, py, GEO)
+            assert -1e-9 <= sol.theta2_rad <= math.pi + 1e-9
+
+    def test_fully_stretched_arm(self):
+        sol = solve_ik(3.5, 0.0, GEO)
+        assert abs(sol.theta2_rad) < 0.02
+        assert abs(sol.theta1_rad) < 0.02

@@ -1,0 +1,155 @@
+"""Tests for the Fig.-3 chip model and the end-to-end microcoded flow
+(the paper's §3 case study, experiment E6's correctness core)."""
+
+import math
+
+import pytest
+
+from repro.core import DISC, analyze
+from repro.iks import (
+    ArmGeometry,
+    IKSConfig,
+    build_chip,
+    crosscheck,
+    ik_microprogram,
+    run_ik_chip,
+    solve_ik,
+)
+from repro.iks.chip import ACCUMULATORS, ROM_LAYOUT, adder_operations
+from repro.iks.fixedpoint import DEFAULT_FORMAT as FMT
+from repro.iks.flow import build_ik_model
+from repro.microcode import MicrocodeTranslator
+
+TARGETS = [(2.5, 1.0), (1.0, 2.0), (-1.5, 2.0), (3.0, 0.5), (0.8, -1.2)]
+
+
+class TestChipStructure:
+    def test_fig3_resources_present(self):
+        model = build_chip()
+        for reg in ("P", "X", "Y", "Z", "r", "zang", "F"):
+            assert reg in model.registers
+        for reg in ("x1", "x2", "y1", "y2", "z1", "z2"):
+            assert reg in model.registers
+        assert "BusA" in model.buses and "BusB" in model.buses
+        for unit in ("MULT", "X_ADD", "Y_ADD", "Z_ADD", "CORDIC"):
+            assert unit in model.modules
+
+    def test_multiplier_is_two_stage_pipelined(self):
+        model = build_chip()
+        mult = model.modules["MULT"]
+        assert mult.latency == 2
+        assert mult.pipelined
+
+    def test_adders_are_not_pipelined_multi_function(self):
+        # "The adders are not pipelined" -- modeled as combinational
+        # (latency 0) multi-operation units with op-select ports.
+        model = build_chip()
+        for adder in ("X_ADD", "Y_ADD", "Z_ADD"):
+            spec = model.modules[adder]
+            assert spec.latency == 0
+            assert spec.multi_op
+            assert "ADD" in spec.operations and "SUB" in spec.operations
+
+    def test_adder_shift_variants(self):
+        ops = adder_operations(FMT)
+        a, b = FMT.encode(1.0), FMT.encode(8.0)
+        assert ops["ADD_SHR3"].fn(a, b) == FMT.encode(2.0)
+
+    def test_rom_holds_geometry_constants(self):
+        geo = ArmGeometry(2.0, 1.5)
+        model = build_chip(IKSConfig(geometry=geo))
+        rom = geo.rom_constants(FMT)
+        for i, key in enumerate(ROM_LAYOUT):
+            assert model.registers[f"M{i}"].init == rom[key]
+
+    def test_inputs_preloaded(self):
+        model = build_chip(px=2.5, py=1.0)
+        assert model.registers["J0"].init == FMT.encode(2.5)
+        assert model.registers["J1"].init == FMT.encode(1.0)
+
+    def test_accumulator_map_is_consistent(self):
+        model = build_chip()
+        for unit, acc in ACCUMULATORS.items():
+            assert unit in model.modules
+            assert acc in model.registers
+
+
+class TestMicroprogram:
+    def test_program_fits_cs_max(self):
+        table, _ = ik_microprogram()
+        assert table.total_cycles() <= IKSConfig().cs_max
+
+    def test_static_analysis_is_clean(self):
+        model, _ = build_ik_model(2.5, 1.0)
+        report = analyze(model)
+        assert report.clean, str(report)
+
+    def test_codes_are_shared_between_instructions(self):
+        table, maps = ik_microprogram()
+        opc2s = [i.opc2 for i in table]
+        # The MULT-only pattern is used by several instructions.
+        assert len(opc2s) > len(set(opc2s))
+
+    def test_nop_uses_code_zero(self):
+        table, maps = ik_microprogram()
+        nops = [i for i in table if i.opc1 == 0 and i.opc2 == 0]
+        assert nops  # latency padding exists
+        assert maps.routing[0].routes == ()
+
+
+class TestEndToEnd:
+    """The paper's bottom-up verification: RT model vs algorithmic level."""
+
+    @pytest.mark.parametrize("px,py", TARGETS)
+    def test_bit_exact_against_algorithm(self, px, py):
+        run, ref = crosscheck(px, py)
+        assert run.clean
+        assert run.theta1 == ref.theta1
+        assert run.theta2 == ref.theta2
+
+    @pytest.mark.parametrize("px,py", TARGETS)
+    def test_angles_solve_the_kinematics(self, px, py):
+        from repro.iks import forward_kinematics
+
+        run = run_ik_chip(px, py)
+        fx, fy = forward_kinematics(run.theta1_rad, run.theta2_rad)
+        assert math.hypot(fx - px, fy - py) < 0.02
+
+    def test_no_conflicts_during_program(self):
+        run = run_ik_chip(2.5, 1.0)
+        assert run.simulation.conflicts == []
+
+    def test_delta_cycle_budget(self):
+        # CS_MAX * 6 delta cycles, the paper's cost model.
+        cfg = IKSConfig()
+        run = run_ik_chip(2.5, 1.0, cfg)
+        assert run.simulation.stats.delta_cycles == cfg.cs_max * 6
+
+    def test_intermediate_s2_parked_in_r_file(self):
+        run = run_ik_chip(2.5, 1.0)
+        ref = solve_ik(2.5, 1.0)
+        # R2 holds sin(theta2) (saved for the theta1 computation).
+        s2 = run.simulation["R2"]
+        assert abs(FMT.decode(s2) - math.sin(ref.theta2_rad)) < 5e-3
+
+    def test_different_geometry(self):
+        geo = ArmGeometry(1.0, 1.0)
+        cfg = IKSConfig(geometry=geo)
+        run, ref = crosscheck(1.2, 0.7, cfg)
+        assert run.clean
+        assert run.theta1 == ref.theta1
+        assert run.theta2 == ref.theta2
+
+    def test_translation_inventory(self):
+        _, translation = build_ik_model(2.5, 1.0)
+        kinds = {a.kind for a in translation.actions}
+        assert kinds == {"route", "direct", "unit_op"}
+        # Six multiplications, three Z_ADD combines + one k1 add +
+        # one theta1 subtract, four CORDIC invocations.
+        unit_ops = translation.by_kind("unit_op")
+        by_module = {}
+        for action in unit_ops:
+            by_module.setdefault(action.transfer.module, []).append(action)
+        assert len(by_module["MULT"]) == 6
+        assert len(by_module["CORDIC"]) == 4
+        assert len(by_module["Z_ADD"]) == 5

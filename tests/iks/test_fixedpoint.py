@@ -1,0 +1,116 @@
+"""Tests for the fixed-point encoding layer."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.iks.fixedpoint import DEFAULT_FORMAT, FxFormat, _isqrt
+
+FMT = DEFAULT_FORMAT
+
+reals = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+patterns = st.integers(min_value=0, max_value=FMT.mask)
+
+
+class TestFormat:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FxFormat(width=1)
+        with pytest.raises(ValueError):
+            FxFormat(width=8, frac=8)
+
+    def test_scale_and_bounds(self):
+        fmt = FxFormat(width=16, frac=8)
+        assert fmt.scale == 256
+        assert fmt.min_signed == -(1 << 15)
+        assert fmt.max_signed == (1 << 15) - 1
+
+
+class TestEncodeDecode:
+    @given(reals)
+    def test_roundtrip_within_half_ulp(self, value):
+        pattern = FMT.encode(value)
+        assert 0 <= pattern <= FMT.mask
+        assert abs(FMT.decode(pattern) - value) <= 1.0 / FMT.scale
+
+    def test_negative_values_use_twos_complement(self):
+        pattern = FMT.encode(-1.0)
+        assert pattern == (1 << FMT.width) - FMT.scale
+
+    def test_saturation_at_bounds(self):
+        huge = FMT.encode(1e9)
+        assert FMT.to_signed(huge) == FMT.max_signed
+        tiny = FMT.encode(-1e9)
+        assert FMT.to_signed(tiny) == FMT.min_signed
+
+    @given(patterns)
+    def test_to_signed_from_signed_roundtrip(self, pattern):
+        assert FMT.from_signed(FMT.to_signed(pattern)) == pattern
+
+
+class TestArithmetic:
+    @given(reals, reals)
+    def test_add_matches_real_addition(self, a, b):
+        result = FMT.decode(FMT.add(FMT.encode(a), FMT.encode(b)))
+        expected = max(-130000, min(130000, a + b))
+        assert abs(result - expected) <= 3.0 / FMT.scale
+
+    @given(reals, reals)
+    def test_sub_is_add_of_negation(self, a, b):
+        ea, eb = FMT.encode(a), FMT.encode(b)
+        assert FMT.sub(ea, eb) == FMT.add(ea, FMT.neg(eb))
+
+    @given(
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    )
+    def test_mul_matches_real_multiplication(self, a, b):
+        result = FMT.decode(FMT.mul(FMT.encode(a), FMT.encode(b)))
+        assert abs(result - a * b) < 0.02  # quantization of both inputs
+
+    def test_mul_rounds_to_nearest(self):
+        fmt = FxFormat(width=16, frac=4)
+        # 0.5 * 0.5 = 0.25 -> raw 4 exactly.
+        assert fmt.mul(fmt.encode(0.5), fmt.encode(0.5)) == fmt.encode(0.25)
+
+    @given(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False))
+    def test_sqrt_matches_math_sqrt(self, a):
+        result = FMT.decode(FMT.sqrt(FMT.encode(a)))
+        assert abs(result - math.sqrt(a)) < 0.01
+
+    def test_sqrt_of_negative_clamps_to_zero(self):
+        assert FMT.sqrt(FMT.encode(-2.0)) == 0
+
+    @given(st.floats(min_value=-500.0, max_value=500.0, allow_nan=False),
+           st.integers(min_value=0, max_value=10))
+    def test_arshift_halves(self, a, k):
+        result = FMT.to_signed(FMT.arshift(FMT.encode(a), k))
+        expected = FMT.to_signed(FMT.encode(a)) >> k
+        assert result == expected
+
+    @given(reals, reals)
+    def test_compare_consistent_with_decode(self, a, b):
+        ea, eb = FMT.encode(a), FMT.encode(b)
+        cmp = FMT.compare(ea, eb)
+        da, db = FMT.decode(ea), FMT.decode(eb)
+        if cmp == 0:
+            assert da == db
+        elif cmp < 0:
+            assert da < db
+        else:
+            assert da > db
+
+
+class TestIsqrt:
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_isqrt_is_floor_sqrt(self, n):
+        r = _isqrt(n)
+        assert r * r <= n < (r + 1) * (r + 1)
+
+    def test_isqrt_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _isqrt(-1)

@@ -1,0 +1,77 @@
+"""Tests for the on-chip forward-kinematics microprogram and the
+FK(IK(p)) consistency loop (extension of the §3 case study)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import analyze
+from repro.iks import (
+    ArmGeometry,
+    IKSConfig,
+    build_chip,
+    fk_microprogram,
+    fk_of_ik,
+    forward_kinematics,
+    run_fk_chip,
+)
+from repro.iks.chip import ACCUMULATORS
+from repro.microcode import MicrocodeTranslator
+
+GEO = ArmGeometry()  # L1 = 2.0, L2 = 1.5
+
+ANGLES = [(-0.5, 1.0), (0.5, 1.5), (1.2, 0.3), (-1.0, 2.0), (0.0, 0.0)]
+
+
+class TestFkProgram:
+    def test_schedule_is_statically_clean(self):
+        model = build_chip(IKSConfig(cs_max=31), j_values={2: 0.5, 3: 1.0})
+        table, maps = fk_microprogram()
+        MicrocodeTranslator(model, ACCUMULATORS).translate(table, maps)
+        report = analyze(model)
+        assert report.clean, str(report)
+
+    @pytest.mark.parametrize("t1,t2", ANGLES)
+    def test_matches_floating_point_fk(self, t1, t2):
+        run = run_fk_chip(t1, t2)
+        assert run.clean
+        ex, ey = forward_kinematics(t1, t2, GEO)
+        assert abs(run.x_real - ex) < 5e-3
+        assert abs(run.y_real - ey) < 5e-3
+
+    def test_uses_the_idle_units(self):
+        # FK exercises X_ADD/Y_ADD and the CORDIC SIN/COS ops that the
+        # IK program leaves unused.
+        model = build_chip(IKSConfig(cs_max=31), j_values={2: 0.5, 3: 1.0})
+        table, maps = fk_microprogram()
+        result = MicrocodeTranslator(model, ACCUMULATORS).translate(table, maps)
+        units = {a.transfer.module for a in result.by_kind("unit_op")}
+        assert {"X_ADD", "Y_ADD", "Z_ADD", "MULT", "CORDIC"} <= units
+        ops = {a.transfer.op for a in result.by_kind("unit_op")
+               if a.transfer.module == "CORDIC"}
+        assert ops == {"SIN", "COS"}
+
+    def test_no_conflicts_at_runtime(self):
+        run = run_fk_chip(0.7, -0.9)
+        assert run.simulation.conflicts == []
+
+
+class TestFkOfIk:
+    @pytest.mark.parametrize("px,py", [(2.5, 1.0), (1.0, 2.0), (0.8, -1.2)])
+    def test_loop_closes_on_the_target(self, px, py):
+        ik, fk = fk_of_ik(px, py)
+        assert ik.clean and fk.clean
+        assert math.hypot(fk.x_real - px, fk.y_real - py) < 0.02
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.floats(min_value=0.8, max_value=3.2, allow_nan=False),
+        st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False),
+    )
+    def test_loop_property(self, r, phi):
+        px, py = r * math.cos(phi), r * math.sin(phi)
+        assume(GEO.reachable(px, py))
+        ik, fk = fk_of_ik(px, py)
+        assert math.hypot(fk.x_real - px, fk.y_real - py) < 0.05

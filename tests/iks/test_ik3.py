@@ -1,0 +1,116 @@
+"""Tests for the three-DOF solution (position + tool orientation):
+microprogram composition (prologue + shared IK body + epilogue)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import analyze, reschedule
+from repro.iks import (
+    ArmGeometry,
+    IK3_TOTAL_STEPS,
+    IKSConfig,
+    build_ik3_model,
+    forward_kinematics3,
+    run_ik3_chip,
+    solve_ik3,
+)
+
+GEO = ArmGeometry()  # L1=2.0 L2=1.5 L3=0.5
+
+TARGETS = [
+    (2.8, 1.2, 0.6),
+    (1.5, 2.0, 1.2),
+    (2.0, -1.0, -0.4),
+    (-1.2, 2.2, 2.0),
+]
+
+
+def wrist_reachable(px, py, phi, geo=GEO):
+    xw = px - geo.l3 * math.cos(phi)
+    yw = py - geo.l3 * math.sin(phi)
+    r = math.hypot(xw, yw)
+    # Keep comfortably inside the annulus (fixed point near the edges
+    # amplifies the acos slope).
+    return abs(geo.l1 - geo.l2) + 0.3 <= r <= (geo.l1 + geo.l2) - 0.3
+
+
+class TestAlgorithmicIk3:
+    @pytest.mark.parametrize("px,py,phi", TARGETS)
+    def test_forward_kinematics_recovers_pose(self, px, py, phi):
+        sol = solve_ik3(px, py, phi, GEO)
+        fx, fy, fphi = forward_kinematics3(
+            sol.theta1_rad, sol.theta2_rad, sol.theta3_rad, GEO
+        )
+        assert math.hypot(fx - px, fy - py) < 0.02
+        assert abs(_wrap(fphi - phi)) < 0.02
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=0.8, max_value=3.0, allow_nan=False),
+        st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False),
+        st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False),
+    )
+    def test_pose_property(self, r, direction, phi):
+        px, py = r * math.cos(direction), r * math.sin(direction)
+        assume(wrist_reachable(px, py, phi))
+        sol = solve_ik3(px, py, phi, GEO)
+        fx, fy, fphi = forward_kinematics3(
+            sol.theta1_rad, sol.theta2_rad, sol.theta3_rad, GEO
+        )
+        assert math.hypot(fx - px, fy - py) < 0.05
+        assert abs(_wrap(fphi - phi)) < 0.05
+
+
+class TestChipIk3:
+    def test_composed_program_is_statically_clean(self):
+        model = build_ik3_model(2.8, 1.2, 0.6)
+        report = analyze(model)
+        assert report.clean, str(report)
+
+    @pytest.mark.parametrize("px,py,phi", TARGETS)
+    def test_bit_exact_against_algorithm(self, px, py, phi):
+        run = run_ik3_chip(px, py, phi)
+        ref = solve_ik3(px, py, phi, GEO)
+        assert run.clean
+        assert (run.theta1, run.theta2, run.theta3) == (
+            ref.theta1, ref.theta2, ref.theta3,
+        )
+
+    def test_delta_budget(self):
+        run = run_ik3_chip(2.8, 1.2, 0.6)
+        assert (
+            run.simulation.stats.delta_cycles
+            == (IK3_TOTAL_STEPS + 1) * 6
+        )
+
+    def test_program_composition_lengths(self):
+        from repro.iks import ik3_epilogue, ik3_prologue, ik_microprogram
+        from repro.iks.microprogram import (
+            IK3_BODY_STEPS,
+            IK3_EPILOGUE_STEPS,
+            IK3_PROLOGUE_STEPS,
+        )
+
+        assert ik3_prologue()[0].total_cycles() == IK3_PROLOGUE_STEPS
+        assert ik_microprogram()[0].total_cycles() == IK3_BODY_STEPS
+        assert ik3_epilogue()[0].total_cycles() == IK3_EPILOGUE_STEPS
+
+    def test_reschedule_compacts_the_composition(self):
+        model = build_ik3_model(2.8, 1.2, 0.6)
+        result = reschedule(model)
+        assert result.new_cs_max < model.cs_max
+        assert (
+            result.model.elaborate().run().registers
+            == model.elaborate().run().registers
+        )
+
+
+def _wrap(angle: float) -> float:
+    while angle > math.pi:
+        angle -= 2 * math.pi
+    while angle < -math.pi:
+        angle += 2 * math.pi
+    return angle

@@ -1,0 +1,295 @@
+"""Unit tests for the delta-cycle scheduler."""
+
+import pytest
+
+from repro.kernel import (
+    DeltaCycleLimitError,
+    ElaborationError,
+    ProcessError,
+    SimTime,
+    Simulator,
+    wait_for,
+    wait_forever,
+    wait_on,
+    wait_until,
+)
+
+
+def test_initialize_runs_every_process_once():
+    sim = Simulator()
+    log = []
+
+    def proc(tag):
+        log.append(tag)
+        yield wait_forever()
+
+    sim.add_process("a", proc, "a")
+    sim.add_process("b", proc, "b")
+    sim.initialize()
+    assert log == ["a", "b"]
+
+
+def test_zero_delay_assignment_takes_effect_next_delta():
+    sim = Simulator()
+    s = sim.signal("s", init=0)
+    drv = sim.driver(s, owner="p")
+    observed = []
+
+    def writer():
+        drv.set(7)
+        observed.append(("at_init", s.value))
+        yield wait_forever()
+
+    def reader():
+        yield wait_on(s)
+        observed.append(("after_event", s.value, sim.now.delta))
+
+    sim.add_process("writer", writer)
+    sim.add_process("reader", reader)
+    sim.run()
+    # Value is unchanged in the cycle of the assignment, visible next delta.
+    assert ("at_init", 0) in observed
+    assert ("after_event", 7, 1) in observed
+
+
+def test_delta_chain_counts_cycles():
+    """A chain of N zero-delay hops takes N delta cycles."""
+    sim = Simulator()
+    hops = 5
+    sigs = [sim.signal(f"s{i}", init=0) for i in range(hops + 1)]
+    drivers = [sim.driver(sigs[i + 1], owner=f"p{i}") for i in range(hops)]
+
+    def stage(i):
+        yield wait_on(sigs[i])
+        drivers[i].set(sigs[i].value)
+
+    def source():
+        drv = sim.driver(sigs[0], owner="src")
+        drv.set(42)
+        yield wait_forever()
+
+    for i in range(hops):
+        sim.add_process(f"stage{i}", stage, i)
+    sim.add_process("source", source)
+    sim.run()
+    assert sigs[-1].value == 42
+    # source's assignment lands at delta 1; each stage adds one delta.
+    assert sim.stats.delta_cycles == hops + 1
+
+
+def test_wait_until_predicate_only_sampled_on_events():
+    sim = Simulator()
+    a = sim.signal("a", init=0)
+    b = sim.signal("b", init=0)
+    da = sim.driver(a, owner="pa")
+    db = sim.driver(b, owner="pb")
+    woke = []
+
+    def watcher():
+        yield wait_until(lambda: a.value == 1 and b.value == 1, a, b)
+        woke.append(sim.now)
+
+    def stimulus():
+        da.set(1)
+        yield wait_on(a)
+        # a==1, b==0: watcher must not have woken.
+        assert not woke
+        db.set(1)
+        yield wait_forever()
+
+    sim.add_process("watcher", watcher)
+    sim.add_process("stimulus", stimulus)
+    sim.run()
+    assert len(woke) == 1
+
+
+def test_wait_for_advances_physical_time():
+    sim = Simulator()
+    times = []
+
+    def sleeper():
+        times.append(sim.now.time)
+        yield wait_for(10)
+        times.append(sim.now.time)
+        yield wait_for(5)
+        times.append(sim.now.time)
+
+    sim.add_process("sleeper", sleeper)
+    sim.run()
+    assert times == [0, 10, 15]
+    assert sim.quiescent
+
+
+def test_unresolved_signal_rejects_second_driver():
+    sim = Simulator()
+    s = sim.signal("s", init=0)
+    sim.driver(s, owner="p1")
+    with pytest.raises(ElaborationError, match="unresolved"):
+        sim.driver(s, owner="p2")
+
+
+def test_resolution_function_combines_drivers():
+    sim = Simulator()
+    s = sim.signal("s", init=0, resolution=sum)
+    d1 = sim.driver(s, owner="p1", init=0)
+    d2 = sim.driver(s, owner="p2", init=0)
+
+    def proc1():
+        d1.set(3)
+        yield wait_forever()
+
+    def proc2():
+        d2.set(4)
+        yield wait_forever()
+
+    sim.add_process("p1", proc1)
+    sim.add_process("p2", proc2)
+    sim.run()
+    assert s.value == 7
+
+
+def test_delta_loop_raises_limit_error():
+    sim = Simulator(max_deltas_per_time=50)
+    s = sim.signal("s", init=0)
+    drv = sim.driver(s, owner="osc")
+
+    def oscillator():
+        while True:
+            drv.set(1 - s.value)
+            yield wait_on(s)
+
+    sim.add_process("osc", oscillator)
+    with pytest.raises(DeltaCycleLimitError):
+        sim.run()
+
+
+def test_process_exception_is_wrapped():
+    sim = Simulator()
+
+    def bad():
+        raise ValueError("boom")
+        yield  # pragma: no cover
+
+    sim.add_process("bad", bad)
+    with pytest.raises(ProcessError, match="bad.*boom"):
+        sim.run()
+
+
+def test_positive_delay_schedules_future_time():
+    sim = Simulator()
+    s = sim.signal("s", init=0)
+    drv = sim.driver(s, owner="p")
+    seen = []
+
+    def writer():
+        drv.set(1, delay=20)
+        yield wait_forever()
+
+    def reader():
+        yield wait_on(s)
+        seen.append((sim.now.time, sim.now.delta, s.value))
+
+    sim.add_process("writer", writer)
+    sim.add_process("reader", reader)
+    sim.run()
+    assert seen == [(20, 0, 1)]
+
+
+def test_transport_preemption_drops_later_transactions():
+    sim = Simulator()
+    s = sim.signal("s", init=0)
+    drv = sim.driver(s, owner="p")
+    history = []
+    s.watch(lambda sig, old, new: history.append((sim.now.time, new)))
+
+    def writer():
+        drv.set(1, delay=30)
+        drv.set(2, delay=10)  # preempts the t=30 transaction
+        yield wait_forever()
+
+    sim.add_process("writer", writer)
+    sim.run()
+    assert history == [(10, 2)]
+    assert s.value == 2
+
+
+def test_stats_track_events_and_resumes():
+    sim = Simulator()
+    s = sim.signal("s", init=0)
+    drv = sim.driver(s, owner="p")
+
+    def writer():
+        for v in (1, 2, 3):
+            drv.set(v)
+            yield wait_on(s)
+
+    sim.add_process("writer", writer)
+    sim.run()
+    assert sim.stats.events == 3
+    assert sim.stats.process_resumes == 3
+    assert s.event_count == 3
+
+
+def test_simtime_ordering_and_validation():
+    assert SimTime(0, 1) < SimTime(0, 2) < SimTime(1, 0)
+    assert SimTime(3, 0).advance_delta() == SimTime(3, 1)
+    with pytest.raises(ValueError):
+        SimTime(-1, 0)
+    with pytest.raises(ValueError):
+        SimTime(0, 0).advance_time(0)
+
+
+def test_run_until_time_stops_before_later_cycles():
+    sim = Simulator()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield wait_for(10)
+            ticks.append(sim.now.time)
+
+    sim.add_process("ticker", ticker)
+    sim.run(until_time=35)
+    assert ticks == [10, 20, 30]
+    # Resuming without the bound finishes nothing more (ticker is
+    # eternal), but the next cycle would be at t=40.
+    sim.run(max_cycles=1)
+    assert ticks[-1] == 40
+
+
+def test_run_max_cycles_bounds_work():
+    sim = Simulator()
+    s = sim.signal("s", init=0)
+    drv = sim.driver(s, owner="p")
+
+    def writer():
+        for v in range(1, 100):
+            drv.set(v)
+            yield wait_on(s)
+
+    sim.add_process("w", writer)
+    sim.initialize()
+    sim.run(max_cycles=5)
+    assert s.value == 5
+    sim.run()
+    assert s.value == 99
+
+
+def test_same_value_assignment_is_not_an_event():
+    sim = Simulator()
+    s = sim.signal("s", init=5)
+    drv = sim.driver(s, owner="p")
+    woke = []
+
+    def writer():
+        drv.set(5)  # transaction, but no value change
+        yield wait_forever()
+
+    def reader():
+        yield wait_on(s)
+        woke.append(sim.now)
+
+    sim.add_process("writer", writer)
+    sim.add_process("reader", reader)
+    sim.run()
+    assert not woke

@@ -1,0 +1,214 @@
+"""Unit tests for signals, drivers and wait conditions."""
+
+import pytest
+
+from repro.kernel import (
+    ElaborationError,
+    Simulator,
+    iter_driver_values,
+    wait_for,
+    wait_forever,
+    wait_on,
+    wait_until,
+)
+from repro.kernel.waits import WaitFor, WaitOn, WaitUntil
+
+
+class TestSignalBasics:
+    def test_duplicate_signal_name_rejected(self):
+        sim = Simulator()
+        sim.signal("s", init=0)
+        with pytest.raises(ElaborationError, match="duplicate"):
+            sim.signal("s", init=1)
+
+    def test_repr_shows_value_and_kind(self):
+        sim = Simulator()
+        s = sim.signal("plain", init=3)
+        r = sim.signal("res", init=0, resolution=sum)
+        assert "plain=3" in repr(s)
+        assert repr(r).startswith("<resolved Signal")
+
+    def test_driver_count(self):
+        sim = Simulator()
+        s = sim.signal("s", init=0, resolution=sum)
+        assert s.driver_count == 0
+        sim.driver(s, owner="a", init=0)
+        sim.driver(s, owner="b", init=0)
+        assert s.driver_count == 2
+
+    def test_foreign_signal_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+        s = sim1.signal("s", init=0)
+        with pytest.raises(ElaborationError, match="different simulator"):
+            sim2.driver(s, owner="x")
+
+    def test_driver_default_init_is_signal_value(self):
+        sim = Simulator()
+        s = sim.signal("s", init=42)
+        drv = sim.driver(s, owner="p")
+        assert drv.current == 42
+
+    def test_iter_driver_values(self):
+        sim = Simulator()
+        s = sim.signal("s", init=0, resolution=sum)
+        sim.driver(s, owner="a", init=1)
+        sim.driver(s, owner="b", init=2)
+        assert dict(iter_driver_values(s)) == {"a": 1, "b": 2}
+
+    def test_last_event_and_event_count(self):
+        sim = Simulator()
+        s = sim.signal("s", init=0)
+        drv = sim.driver(s, owner="p")
+
+        def writer():
+            drv.set(1)
+            yield wait_on(s)
+            drv.set(2)
+            yield wait_on(s)
+
+        sim.add_process("w", writer)
+        sim.run()
+        assert s.event_count == 2
+        assert s.last_event is not None
+        assert s.last_event.delta == 2
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        s = sim.signal("s", init=0)
+        drv = sim.driver(s, owner="p")
+
+        def bad():
+            drv.set(1, delay=-1)
+            yield wait_forever()
+
+        sim.add_process("bad", bad)
+        from repro.kernel import ProcessError, SimulationError
+
+        with pytest.raises((ProcessError, SimulationError)):
+            sim.run()
+
+    def test_watchers_see_old_and_new(self):
+        sim = Simulator()
+        s = sim.signal("s", init=5)
+        drv = sim.driver(s, owner="p")
+        seen = []
+        s.watch(lambda sig, old, new: seen.append((sig.name, old, new)))
+
+        def writer():
+            drv.set(9)
+            yield wait_forever()
+
+        sim.add_process("w", writer)
+        sim.run()
+        assert seen == [("s", 5, 9)]
+
+
+class TestResolvedSignals:
+    def test_initial_resolution_at_initialize(self):
+        sim = Simulator()
+        s = sim.signal("s", init=0, resolution=sum)
+        sim.driver(s, owner="a", init=3)
+        sim.driver(s, owner="b", init=4)
+        sim.initialize()
+        assert s.value == 7
+
+    def test_reresolution_on_any_driver_change(self):
+        sim = Simulator()
+        s = sim.signal("s", init=0, resolution=max)
+        d1 = sim.driver(s, owner="a", init=0)
+        d2 = sim.driver(s, owner="b", init=0)
+
+        def p1():
+            d1.set(5)
+            yield wait_forever()
+
+        def p2():
+            yield wait_on(s)
+            d2.set(9)
+
+        sim.add_process("p1", p1)
+        sim.add_process("p2", p2)
+        sim.run()
+        assert s.value == 9
+
+    def test_same_value_transaction_triggers_reresolution(self):
+        # Driver b re-drives its current value while driver a changes:
+        # the signal must still resolve to the combined result.
+        sim = Simulator()
+        s = sim.signal("s", init=0, resolution=sum)
+        d1 = sim.driver(s, owner="a", init=1)
+        d2 = sim.driver(s, owner="b", init=1)
+
+        def both():
+            d1.set(5)
+            d2.set(1)  # same value: still a transaction
+            yield wait_forever()
+
+        sim.add_process("p", both)
+        sim.run()
+        assert s.value == 6
+
+
+class TestWaitConditions:
+    def test_wait_on_requires_signals(self):
+        with pytest.raises(ElaborationError):
+            wait_on()
+
+    def test_wait_until_requires_sensitivity(self):
+        with pytest.raises(ElaborationError, match="sensitivity"):
+            wait_until(lambda: True)
+
+    def test_wait_for_requires_positive_delay(self):
+        with pytest.raises(ElaborationError):
+            wait_for(0)
+
+    def test_condition_types(self):
+        sim = Simulator()
+        s = sim.signal("s", init=0)
+        assert isinstance(wait_on(s), WaitOn)
+        assert isinstance(wait_until(lambda: True, s), WaitUntil)
+        assert isinstance(wait_for(5), WaitFor)
+
+    def test_yielding_non_wait_is_an_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.add_process("bad", bad)
+        from repro.kernel import ProcessError
+
+        with pytest.raises(ProcessError, match="not a wait condition"):
+            sim.run()
+
+    def test_non_generator_process_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ElaborationError, match="generator"):
+            sim.add_process("f", lambda: 42)
+
+    def test_process_after_init_rejected(self):
+        sim = Simulator()
+        sim.initialize()
+        with pytest.raises(ElaborationError, match="already initialized"):
+            sim.add_process("late", lambda: iter(()))
+
+
+class TestStatsArithmetic:
+    def test_snapshot_and_subtract(self):
+        sim = Simulator()
+        s = sim.signal("s", init=0)
+        drv = sim.driver(s, owner="p")
+
+        def writer():
+            for v in range(1, 6):
+                drv.set(v)
+                yield wait_on(s)
+
+        sim.add_process("w", writer)
+        sim.initialize()
+        sim.run(max_cycles=2)
+        before = sim.stats.snapshot()
+        sim.run()
+        delta = sim.stats - before
+        assert delta.events == sim.stats.events - before.events
+        assert before.events + delta.events == 5

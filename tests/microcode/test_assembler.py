@@ -1,0 +1,77 @@
+"""Tests for the textual microcode assembler."""
+
+import pytest
+
+from repro.microcode import MicrocodeError, format_table, parse_text
+
+
+PAPER_FRAGMENT = """
+; IKS microprogram fragment (paper table layout)
+fields: m J R1 MR
+; addr cycle opc1 opc2 m J R1 MR
+7      1     20   2    2 6 0  0
+8      2     21   3    0 0 2  5
+"""
+
+
+class TestNumericRows:
+    def test_parse_paper_fragment(self):
+        table = parse_text(PAPER_FRAGMENT)
+        assert len(table) == 2
+        instr = table[7]
+        assert instr.opc1 == 20
+        assert instr.opc2 == 2
+        assert instr.fields == {"m": 2, "J": 6, "R1": 0, "MR": 0}
+        assert table[8].cycles == 2
+
+    def test_comments_and_blank_lines_ignored(self):
+        table = parse_text("# only comments\n\n; nothing\n")
+        assert len(table) == 0
+
+    def test_non_numeric_column_reported_with_line(self):
+        with pytest.raises(MicrocodeError, match="line 2"):
+            parse_text("fields: a\nx 1 2 3 4\n")
+
+    def test_wrong_column_count_reported(self):
+        with pytest.raises(MicrocodeError, match="columns"):
+            parse_text("fields: a b\n1 1 2\n")
+
+    def test_fields_directive_after_rows_rejected(self):
+        text = "fields: a\n1 1 0 0 5\nfields: b\n"
+        with pytest.raises(MicrocodeError, match="after rows"):
+            parse_text(text)
+
+
+class TestSymbolicRows:
+    def test_symbolic_row(self):
+        table = parse_text("fields: m J R1 MR\n7: opc1=20 opc2=2 J=6 m=2\n")
+        instr = table[7]
+        assert instr.opc1 == 20
+        assert instr.fields["J"] == 6
+        assert instr.fields["R1"] == 0  # defaulted
+
+    def test_symbolic_requires_opcodes(self):
+        with pytest.raises(MicrocodeError, match="missing opc2"):
+            parse_text("7: opc1=20\n")
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(MicrocodeError, match="unknown column"):
+            parse_text("fields: m\n7: opc1=1 opc2=1 zz=3\n")
+
+    def test_cycle_assignment(self):
+        table = parse_text("3: opc1=1 opc2=1 cycle=4\n")
+        assert table[3].cycles == 4
+
+
+class TestRoundTrip:
+    def test_format_then_parse_is_identity(self):
+        table = parse_text(PAPER_FRAGMENT)
+        text = format_table(table)
+        again = parse_text(text)
+        assert len(again) == len(table)
+        for instr in table:
+            other = again[instr.addr]
+            assert other.opc1 == instr.opc1
+            assert other.opc2 == instr.opc2
+            assert other.fields == instr.fields
+            assert other.cycles == instr.cycles

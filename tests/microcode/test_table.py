@@ -1,0 +1,78 @@
+"""Tests for microcode tables and formats."""
+
+import pytest
+
+from repro.microcode import (
+    MicroInstruction,
+    MicrocodeError,
+    MicrocodeFormat,
+    MicrocodeTable,
+)
+
+
+class TestMicroInstruction:
+    def test_field_lookup(self):
+        instr = MicroInstruction(addr=7, opc1=20, opc2=2, fields={"J": 6})
+        assert instr.field_value("J") == 6
+
+    def test_missing_field_reports_available(self):
+        instr = MicroInstruction(addr=7, opc1=20, opc2=2, fields={"J": 6})
+        with pytest.raises(MicrocodeError, match="no field 'i'"):
+            instr.field_value("i")
+
+    def test_negative_addr_rejected(self):
+        with pytest.raises(MicrocodeError):
+            MicroInstruction(addr=-1, opc1=0, opc2=0)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(MicrocodeError):
+            MicroInstruction(addr=0, opc1=0, opc2=0, cycles=0)
+
+
+class TestMicrocodeFormat:
+    def test_parse_row_paper_layout(self):
+        fmt = MicrocodeFormat()  # (m, J, R1, MR)
+        instr = fmt.parse_row([7, 1, 20, 2, 3, 6, 0, 5])
+        assert instr.addr == 7
+        assert instr.opc1 == 20
+        assert instr.opc2 == 2
+        assert instr.fields == {"m": 3, "J": 6, "R1": 0, "MR": 5}
+
+    def test_parse_row_wrong_width(self):
+        fmt = MicrocodeFormat()
+        with pytest.raises(MicrocodeError, match="columns"):
+            fmt.parse_row([7, 1, 20, 2])
+
+    def test_custom_fields(self):
+        fmt = MicrocodeFormat(operand_fields=("a", "b"))
+        instr = fmt.parse_row([0, 1, 5, 6, 10, 20])
+        assert instr.fields == {"a": 10, "b": 20}
+
+
+class TestMicrocodeTable:
+    def test_iteration_in_address_order(self):
+        table = MicrocodeTable()
+        table.add_row(5, 1, 0, 0, 0, 0, 0, 0)
+        table.add_row(2, 1, 0, 0, 0, 0, 0, 0)
+        table.add_row(9, 1, 0, 0, 0, 0, 0, 0)
+        assert [i.addr for i in table] == [2, 5, 9]
+
+    def test_duplicate_address_rejected(self):
+        table = MicrocodeTable()
+        table.add_row(1, 1, 0, 0, 0, 0, 0, 0)
+        with pytest.raises(MicrocodeError, match="duplicate"):
+            table.add_row(1, 1, 0, 0, 0, 0, 0, 0)
+
+    def test_lookup_by_address(self):
+        table = MicrocodeTable()
+        table.add_row(7, 1, 20, 2, 0, 6, 0, 0)
+        assert table[7].opc1 == 20
+        with pytest.raises(MicrocodeError):
+            table[8]
+
+    def test_total_cycles_counts_multicycle_instructions(self):
+        table = MicrocodeTable()
+        table.add_row(1, 3, 0, 0, 0, 0, 0, 0)
+        table.add_row(2, 1, 0, 0, 0, 0, 0, 0)
+        assert table.total_cycles() == 4
+        assert len(table) == 2

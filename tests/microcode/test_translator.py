@@ -1,0 +1,204 @@
+"""Tests for the microcode -> register-transfer translator, including
+the paper's addr-7 derivation (experiment E7's correctness core)."""
+
+import pytest
+
+from repro.core import ILLEGAL, ModuleSpec, RTModel
+from repro.iks import (
+    ArmGeometry,
+    IKSConfig,
+    build_chip,
+    paper_addr7_instruction,
+    paper_code_maps,
+)
+from repro.iks.chip import ACCUMULATORS
+from repro.microcode import (
+    CodeMaps,
+    DIRECT,
+    FlagSet,
+    MicroInstruction,
+    MicrocodeError,
+    MicrocodeTable,
+    OperationCode,
+    RegRef,
+    Route,
+    RoutingCode,
+    UnitOp,
+    MicrocodeTranslator,
+)
+
+
+def paper_table():
+    table = MicrocodeTable()
+    table.add(paper_addr7_instruction())
+    return table
+
+
+def chip_with_paper_setup(cs_max=12):
+    model = build_chip(IKSConfig(cs_max=cs_max), px=1.0, py=2.0)
+    translator = MicrocodeTranslator(model, ACCUMULATORS)
+    return model, translator
+
+
+class TestPaperAddr7:
+    """§3: the transfers and unit operations derived from the table
+    entry at microprogram store address 7."""
+
+    def translate(self):
+        model, translator = chip_with_paper_setup()
+        result = translator.translate(paper_table(), paper_code_maps())
+        return model, result
+
+    def test_route_forms_match_paper(self):
+        _, result = self.translate()
+        forms = result.paper_forms()
+        # "the transfers from registers to buses (J[6],BusA,y2,1),
+        #  (Y,direct,x2,1)"
+        assert "(J[6],BusA,y2,1)" in forms
+        assert "(Y,direct,x2,1)" in forms
+
+    def test_unit_op_forms_match_paper(self):
+        _, result = self.translate()
+        forms = result.paper_forms()
+        # "and the module operations Z := 0 + 0,
+        #  X := 0 + Rshift(x2,i), Y := 0 + y2, F := 1 are derived"
+        assert "Z := 0 + 0" in forms
+        assert "X := 0 + Rshift(x2,2)" in forms  # i = m field = 2
+        assert "Y := 0 + y2" in forms
+        assert "F := 1" in forms
+
+    def test_route_becomes_bus_transfer(self):
+        _, result = self.translate()
+        route = next(a for a in result.by_kind("route"))
+        assert route.transfer.src1 == "J6"
+        assert route.transfer.bus1 == "BusA"
+        assert route.transfer.dest == "y2"
+        assert route.transfer.read_step == 1
+
+    def test_direct_route_uses_copy_path(self):
+        model, result = self.translate()
+        direct = next(a for a in result.by_kind("direct"))
+        assert direct.transfer.src1 == "Y"
+        assert direct.transfer.dest == "x2"
+        assert model.buses[direct.transfer.bus1].direct_link
+
+    def test_unit_ops_carry_operation_select(self):
+        _, result = self.translate()
+        x_ops = [
+            a for a in result.by_kind("unit_op")
+            if a.transfer.module == "X_ADD"
+        ]
+        assert len(x_ops) == 1
+        assert x_ops[0].transfer.op == "ADD_SHR2"
+        assert x_ops[0].transfer.dest == "X"
+
+    def test_flag_set_moves_constant(self):
+        model, result = self.translate()
+        flag = next(a for a in result.by_kind("flag"))
+        assert flag.transfer.dest == "F"
+        assert flag.transfer.src1 == "K1"
+        assert model.registers["K1"].init == 1
+
+    def test_translation_simulates_cleanly(self):
+        # The addr-7 unit ops read x2/y2 in the step that also reloads
+        # them -- in the full program those registers hold values left
+        # by earlier microinstructions, so preset them here.
+        model, _ = self.translate()
+        sim = model.elaborate(
+            register_values={"x2": 40, "y2": 12, "Y": 3}
+        ).run()
+        assert sim.clean
+        # F := 1 took effect.
+        assert sim["F"] == 1
+        # Z := 0 + 0.
+        assert sim["Z"] == 0
+        # X := 0 + Rshift(x2, 2) with the *old* x2 value.
+        assert sim["X"] == 40 >> 2
+        # Y := 0 + y2 with the old y2 value.
+        assert sim["Y"] == 12
+        # The routes then overwrote the operand registers at CR.
+        assert sim["x2"] == 3  # from Y (preset 3) via the direct link
+
+
+class TestTranslatorValidation:
+    def test_unknown_opc1_reported(self):
+        model, translator = chip_with_paper_setup()
+        table = MicrocodeTable()
+        table.add(MicroInstruction(addr=1, opc1=99, opc2=2, fields={}))
+        with pytest.raises(MicrocodeError, match="opc1=99"):
+            translator.translate(table, paper_code_maps())
+
+    def test_unknown_opc2_reported(self):
+        model, translator = chip_with_paper_setup()
+        table = MicrocodeTable()
+        table.add(
+            MicroInstruction(addr=1, opc1=20, opc2=99, fields={"J": 0})
+        )
+        with pytest.raises(MicrocodeError, match="opc2=99"):
+            translator.translate(table, paper_code_maps())
+
+    def test_unknown_unit_in_accumulator_map(self):
+        model = build_chip(IKSConfig(cs_max=4))
+        with pytest.raises(MicrocodeError, match="unknown unit"):
+            MicrocodeTranslator(model, {"NOPE": "X"})
+
+    def test_unknown_accumulator_register(self):
+        model = build_chip(IKSConfig(cs_max=4))
+        with pytest.raises(MicrocodeError, match="unknown register"):
+            MicrocodeTranslator(model, {"MULT": "NOPE"})
+
+    def test_unimplemented_operation_reported(self):
+        model = build_chip(IKSConfig(cs_max=4))
+        translator = MicrocodeTranslator(model, ACCUMULATORS)
+        maps = CodeMaps(
+            operations=[
+                OperationCode(
+                    code=1,
+                    unit_ops=(UnitOp("MULT", "DIV", RegRef("x1"), RegRef("x2")),),
+                )
+            ],
+            routing=[RoutingCode(code=1)],
+        )
+        table = MicrocodeTable()
+        table.add(MicroInstruction(addr=1, opc1=1, opc2=1))
+        with pytest.raises(MicrocodeError, match="does not implement 'DIV'"):
+            translator.translate(table, maps)
+
+    def test_steps_follow_cycle_counts(self):
+        model, translator = chip_with_paper_setup()
+        maps = CodeMaps(
+            routing=[
+                RoutingCode(code=0),
+                RoutingCode(
+                    code=1,
+                    routes=(Route("BusA", RegRef("J0"), RegRef("x1")),),
+                ),
+            ],
+            operations=[OperationCode(code=0)],
+        )
+        table = MicrocodeTable()
+        table.add(MicroInstruction(addr=1, opc1=1, opc2=0, cycles=3))
+        table.add(MicroInstruction(addr=2, opc1=1, opc2=0))
+        result = translator.translate(table, maps)
+        steps = [a.step for a in result.actions]
+        assert steps == [1, 4]  # second instruction starts after 3 cycles
+        assert result.steps_used == 4
+
+
+class TestRegRef:
+    def test_resolve_indexed(self):
+        instr = MicroInstruction(addr=0, opc1=0, opc2=0, fields={"J": 6})
+        assert RegRef("J", index_field="J").resolve(instr) == "J6"
+
+    def test_resolve_plain(self):
+        instr = MicroInstruction(addr=0, opc1=0, opc2=0)
+        assert RegRef("y2").resolve(instr) == "y2"
+
+    def test_resolve_constant(self):
+        instr = MicroInstruction(addr=0, opc1=0, opc2=0)
+        assert RegRef.const(0).resolve(instr) == "K0"
+
+    def test_str_forms(self):
+        assert str(RegRef("J", index_field="J")) == "J[J]"
+        assert str(RegRef.const(5)) == "5"
+        assert str(RegRef("y2")) == "y2"

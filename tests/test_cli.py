@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import ModuleSpec, RTModel
+from repro.core.serialize import dump
+from repro.vhdl import EXAMPLE_FIG1
+
+
+@pytest.fixture
+def fig1_json(tmp_path):
+    model = RTModel("example", cs_max=7)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    path = tmp_path / "fig1.json"
+    dump(model, path)
+    return path
+
+
+@pytest.fixture
+def fig1_vhd(tmp_path):
+    path = tmp_path / "example.vhd"
+    path.write_text(EXAMPLE_FIG1)
+    return path
+
+
+class TestCheckAndRun:
+    def test_check_conformant_file(self, fig1_vhd, capsys):
+        assert main(["check", str(fig1_vhd)]) == 0
+        assert "conforms" in capsys.readouterr().out
+
+    def test_check_nonconformant_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.vhd"
+        bad.write_text(
+            "entity e is end e;\n"
+            "architecture a of e is\n"
+            "  signal x: integer := 0;\n"
+            "begin\n"
+            "  p: process begin x <= 1; end process;\n"
+            "end a;\n"
+        )
+        assert main(["check", str(bad)]) == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_run_paper_example(self, fig1_vhd, capsys):
+        assert main(["run", str(fig1_vhd), "--top", "example",
+                     "--signals", "r1_out,r2_out"]) == 0
+        out = capsys.readouterr().out
+        assert "r1_out = 5" in out
+        assert "42 delta cycles" in out
+
+    def test_run_missing_file_reports_error(self, capsys):
+        assert main(["run", "nope.vhd", "--top", "x"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestModelCommands:
+    def test_analyze_clean_model(self, fig1_json, capsys):
+        assert main(["analyze", str(fig1_json)]) == 0
+        out = capsys.readouterr().out
+        assert "no conflicts predicted" in out
+
+    def test_simulate_prints_registers(self, fig1_json, capsys):
+        assert main(["simulate", str(fig1_json)]) == 0
+        out = capsys.readouterr().out
+        assert "R1 = 5" in out
+        assert "42" in out
+
+    def test_simulate_with_overrides(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--set", "R1=10", "--set", "R2=20",
+        ]) == 0
+        assert "R1 = 30" in capsys.readouterr().out
+
+    def test_simulate_writes_vcd(self, fig1_json, tmp_path, capsys):
+        vcd = tmp_path / "wave.vcd"
+        assert main(["simulate", str(fig1_json), "--vcd", str(vcd)]) == 0
+        assert vcd.exists()
+        assert "$enddefinitions" in vcd.read_text()
+
+    def test_reschedule_verifies_and_saves(self, fig1_json, tmp_path, capsys):
+        out = tmp_path / "compact.json"
+        assert main(["reschedule", str(fig1_json), "-o", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "verified: identical register results" in output
+        assert out.exists()
+
+    def test_emit_writes_vhdl(self, fig1_json, tmp_path):
+        out = tmp_path / "model.vhd"
+        assert main(["emit", str(fig1_json), "-o", str(out)]) == 0
+        assert "entity example is" in out.read_text()
+
+    def test_clocked_with_verification(self, fig1_json, tmp_path):
+        out = tmp_path / "clocked.vhd"
+        assert main([
+            "clocked", str(fig1_json), "-o", str(out), "--verify",
+        ]) == 0
+        assert "rising_edge(clk)" in out.read_text()
+
+    def test_bad_set_syntax(self, fig1_json, capsys):
+        assert main(["simulate", str(fig1_json), "--set", "R1"]) == 1
+        assert "REG=VALUE" in capsys.readouterr().err
+
+
+class TestSynthAndIks:
+    def test_synth_verify_and_save(self, tmp_path, capsys):
+        src = tmp_path / "prog.alg"
+        src.write_text("t = (a + b) * (c - d)\nout = t + t\n")
+        model_out = tmp_path / "model.json"
+        assert main([
+            "synth", str(src), "--resources", "ALU=1,MUL=1",
+            "--verify", "-o", str(model_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "operations scheduled" in out
+        assert "EQUIVALENT" in out
+        doc = json.loads(model_out.read_text())
+        assert doc["format"] == "repro-rt-model"
+
+    def test_iks_case_study(self, capsys):
+        assert main(["iks", "--target", "2.5,1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact   : True" in out
+
+    def test_iks_three_dof(self, capsys):
+        assert main(["iks", "--target", "2.8,1.2", "--phi", "0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "theta3" in out
+        assert "bit-exact   : True" in out
+
+    def test_no_subcommand_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "subcommands" in capsys.readouterr().out

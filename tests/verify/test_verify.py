@@ -1,0 +1,246 @@
+"""Tests for symbolic execution, equivalence checking, and the
+tuple <-> TRANS round-trip proofs (paper's 'automatic proving
+procedure')."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ModuleSpec, RTModel, RegisterTransfer
+from repro.hls import parse_program, synthesize
+from repro.verify import (
+    SymOp,
+    SymVar,
+    SymbolicError,
+    all_equivalent,
+    canonical_tuples,
+    check_model_roundtrip,
+    check_program_vs_model,
+    normalize,
+    program_symbolic_env,
+    sym_vars,
+    symbolic_run,
+)
+
+
+def fig1_model():
+    m = RTModel("example", cs_max=7)
+    m.register("R1")
+    m.register("R2")
+    m.bus("B1")
+    m.bus("B2")
+    m.module(ModuleSpec("ADD", latency=1))
+    m.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return m
+
+
+class TestSymbolicRun:
+    def test_fig1_expression(self):
+        run = symbolic_run(fig1_model(), symbolic_registers=["R1", "R2"])
+        assert str(run.expr("R1")) == "ADD(R1, R2)"
+        assert str(run.expr("R2")) == "R2"
+
+    def test_constant_folding(self):
+        m = RTModel("const", cs_max=3)
+        m.register("A", init=4)
+        m.register("B", init=5)
+        m.register("S")
+        m.bus("B1")
+        m.bus("B2")
+        m.module(ModuleSpec("ADD", latency=1))
+        m.add_transfer("(A,B1,B,B2,1,ADD,2,B1,S)")
+        run = symbolic_run(m)
+        assert str(run.expr("S")) == "9"
+
+    def test_concrete_evaluation(self):
+        run = symbolic_run(fig1_model(), symbolic_registers=["R1", "R2"])
+        assert run.concrete("R1", {"R1": 20, "R2": 22}) == 42
+
+    def test_free_variables(self):
+        run = symbolic_run(fig1_model(), symbolic_registers=["R1", "R2"])
+        assert sym_vars(run.expr("R1")) == {"R1", "R2"}
+
+    def test_unwritten_register_raises(self):
+        m = fig1_model()
+        m.register("R9")  # never written, never read
+        run = symbolic_run(m, symbolic_registers=["R1", "R2"])
+        with pytest.raises(SymbolicError, match="no value"):
+            run.expr("R9")
+
+    def test_reading_empty_register_raises(self):
+        m = fig1_model()  # R1/R2 start DISC and are not symbolic
+        with pytest.raises(SymbolicError, match="holds no value"):
+            symbolic_run(m)
+
+    def test_unknown_symbolic_register(self):
+        with pytest.raises(SymbolicError, match="unknown"):
+            symbolic_run(fig1_model(), symbolic_registers=["R9"])
+
+    def test_conflicting_model_rejected(self):
+        m = fig1_model()
+        m.register("R3", init=1)
+        m.add_transfer("(R3,B1,-,-,5,ADD,-,-,-)")
+        with pytest.raises(SymbolicError, match="conflicting"):
+            symbolic_run(m, symbolic_registers=["R1", "R2"])
+
+    def test_pipelined_latency_respected(self):
+        m = RTModel("mul", cs_max=5)
+        m.register("A")
+        m.register("B")
+        m.register("P")
+        m.bus("B1")
+        m.bus("B2")
+        m.module(
+            ModuleSpec(
+                "MUL",
+                operations={"MULT": ModuleSpec("x").operations["ADD"]},
+                latency=2,
+            )
+        )
+        m.add_transfer("(A,B1,B,B2,1,MUL,3,B1,P)")
+        run = symbolic_run(m, symbolic_registers=["A", "B"])
+        assert str(run.expr("P")) == "MULT(A, B)"
+
+
+class TestNormalization:
+    def ops(self):
+        from repro.core import standard_operation
+
+        return {
+            name: standard_operation(name)
+            for name in ("ADD", "SUB", "MULT")
+        }
+
+    def test_commutativity(self):
+        a, b = SymVar("a"), SymVar("b")
+        left = SymOp("ADD", (a, b))
+        right = SymOp("ADD", (b, a))
+        ops = self.ops()
+        assert normalize(left, 32, ops) == normalize(right, 32, ops)
+
+    def test_associativity(self):
+        a, b, c = SymVar("a"), SymVar("b"), SymVar("c")
+        left = SymOp("ADD", (SymOp("ADD", (a, b)), c))
+        right = SymOp("ADD", (a, SymOp("ADD", (b, c))))
+        ops = self.ops()
+        assert normalize(left, 32, ops) == normalize(right, 32, ops)
+
+    def test_constant_folding_inside_ac(self):
+        from repro.verify import SymConst
+
+        a = SymVar("a")
+        expr = SymOp("ADD", (SymConst(2), SymOp("ADD", (a, SymConst(3)))))
+        ops = self.ops()
+        normalized = normalize(expr, 32, ops)
+        assert normalized == SymOp("ADD", (a, SymConst(5)))
+
+    def test_non_ac_ops_keep_order(self):
+        a, b = SymVar("a"), SymVar("b")
+        ops = self.ops()
+        assert normalize(SymOp("SUB", (a, b)), 32, ops) != normalize(
+            SymOp("SUB", (b, a)), 32, ops
+        )
+
+
+class TestProgramEquivalence:
+    def test_hls_output_verifies(self):
+        res = synthesize("t = (a + b) * (c - d)\nout = t + t\n")
+        results = check_program_vs_model(
+            res.program, res.model, res.output_regs
+        )
+        assert all_equivalent(results)
+        assert all(r.method == "normal-form" for r in results)
+
+    def test_reassociated_program_still_verifies(self):
+        # The RT schedule computes (a+b)+c in some association; a
+        # differently associated source is still equivalent.
+        res = synthesize("s = a + (b + c)\n")
+        program2 = parse_program("s = (a + b) + c\n")
+        results = check_program_vs_model(
+            program2, res.model, res.output_regs
+        )
+        assert all_equivalent(results)
+
+    def test_wrong_model_is_refuted(self):
+        res = synthesize("s = a + b\n")
+        wrong = parse_program("s = a - b\n")
+        results = check_program_vs_model(wrong, res.model, res.output_regs)
+        assert not all_equivalent(results)
+        assert results[0].method == "counterexample"
+        assert results[0].counterexample is not None
+
+    def test_program_symbolic_env_chains_assignments(self):
+        env = program_symbolic_env(parse_program("x = a + 1\ny = x * x\n"))
+        assert sym_vars(env["y"]) == {"a"}
+
+
+class TestRoundtrip:
+    def test_fig1_roundtrip(self):
+        report = check_model_roundtrip(fig1_model())
+        assert report.ok, str(report)
+
+    def test_iks_roundtrip(self):
+        from repro.iks.flow import build_ik_model
+
+        model, _ = build_ik_model(1.5, 0.5)
+        report = check_model_roundtrip(model)
+        assert report.ok, str(report)
+
+    def test_hls_roundtrip(self):
+        res = synthesize("t = (a + b) * (c - d)\nout = t + t\n")
+        report = check_model_roundtrip(res.model)
+        assert report.ok, str(report)
+
+    def test_canonical_merges_split_reads(self):
+        t1 = RegisterTransfer(
+            src1="A", bus1="B1", read_step=1, module="ADD"
+        )
+        t2 = RegisterTransfer(
+            src2="B", bus2="B2", read_step=1, module="ADD"
+        )
+        merged = canonical_tuples([t1, t2])
+        assert len(merged) == 1
+        assert merged[0].src1 == "A" and merged[0].src2 == "B"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),  # read step
+                st.sampled_from(["ADD1", "ADD2"]),
+                st.sampled_from([("A", "B"), ("C", "D"), ("A", "C")]),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_random_schedules_roundtrip(self, issues):
+        """Random (conflict-free by construction) schedules survive the
+        tuple->process->tuple round trip."""
+        m = RTModel("rand", cs_max=14)
+        for reg in ("A", "B", "C", "D"):
+            m.register(reg, init=1)
+        m.register("OUT1")
+        m.register("OUT2")
+        m.module(ModuleSpec("ADD1", latency=1))
+        m.module(ModuleSpec("ADD2", latency=1))
+        seen = set()
+        bus_id = 0
+        for step, module, (s1, s2) in issues:
+            if (step, module) in seen:
+                continue  # one issue per module per step
+            seen.add((step, module))
+            bus1 = m.bus(f"BR{bus_id}")
+            bus2 = m.bus(f"BR{bus_id + 1}")
+            bus3 = m.bus(f"BW{bus_id}")
+            bus_id += 2
+            dest = "OUT1" if module == "ADD1" else "OUT2"
+            m.add_transfer(
+                RegisterTransfer(
+                    src1=s1, bus1=bus1, src2=s2, bus2=bus2,
+                    read_step=step, module=module,
+                    write_step=step + 1, write_bus=bus3, dest=dest,
+                )
+            )
+        report = check_model_roundtrip(m)
+        assert report.ok, str(report)

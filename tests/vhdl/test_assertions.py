@@ -1,0 +1,176 @@
+"""Tests for assert/report/severity and the self-checking testbench
+generator."""
+
+import pytest
+
+from repro.core import ModuleSpec, RTModel
+from repro.kernel import ProcessError
+from repro.vhdl import Elaborator, check_subset, emit_model_vhdl, parse_file
+from repro.vhdl import ast as vast
+from repro.vhdl.emitter import EmitterError
+from repro.vhdl.formatter import format_file
+from repro.vhdl.lexer import tokenize
+
+
+def fig1_model():
+    m = RTModel("example", cs_max=7)
+    m.register("R1", init=2)
+    m.register("R2", init=3)
+    m.bus("B1")
+    m.bus("B2")
+    m.module(ModuleSpec("ADD", latency=1))
+    m.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return m
+
+
+class TestLexerStrings:
+    def test_string_literal(self):
+        tokens = tokenize('report "hello world";')
+        strings = [t for t in tokens if t.kind == "string"]
+        assert strings[0].text == "hello world"
+
+    def test_doubled_quote_escape(self):
+        tokens = tokenize('"say ""hi"""')
+        assert tokens[0].text == 'say "hi"'
+
+
+class TestAssertParsing:
+    def test_full_form(self):
+        design = parse_file(
+            """
+            entity e is end e;
+            architecture a of e is
+            begin
+              p: process
+              begin
+                assert 1 = 1 report "fine" severity warning;
+                wait;
+              end process;
+            end a;
+            """
+        )
+        stmt = design.architectures()["e"].statements[0].body[0]
+        assert isinstance(stmt, vast.AssertStmt)
+        assert stmt.report == "fine"
+        assert stmt.severity == "warning"
+
+    def test_defaults(self):
+        design = parse_file(
+            """
+            entity e is end e;
+            architecture a of e is
+            begin
+              p: process
+              begin
+                assert 1 = 1;
+                wait;
+              end process;
+            end a;
+            """
+        )
+        stmt = design.architectures()["e"].statements[0].body[0]
+        assert stmt.report is None
+        assert stmt.severity == "error"
+
+    def test_bad_severity_rejected(self):
+        from repro.vhdl.lexer import VhdlSyntaxError
+
+        with pytest.raises(VhdlSyntaxError, match="severity"):
+            parse_file(
+                """
+                entity e is end e;
+                architecture a of e is
+                begin
+                  p: process begin assert 1 = 1 severity loud; wait;
+                  end process;
+                end a;
+                """
+            )
+
+    def test_formatter_roundtrip(self):
+        text = '''
+        entity e is end e;
+        architecture a of e is
+        begin
+          p: process
+          begin
+            assert 1 = 2 report "with ""quotes"" inside" severity note;
+            assert 2 = 2;
+            wait;
+          end process;
+        end a;
+        '''
+        design = parse_file(text)
+        assert parse_file(format_file(design)) == design
+
+
+class TestAssertSemantics:
+    def run(self, body: str):
+        text = f"""
+        entity top is end top;
+        architecture t of top is
+          signal a: integer := 3;
+        begin
+          p: process
+          begin
+            {body}
+            wait;
+          end process;
+        end t;
+        """
+        design = Elaborator(text).elaborate("top")
+        design.run()
+        return design
+
+    def test_passing_assert_is_silent(self):
+        design = self.run('assert a = 3 report "nope";')
+        assert design.assertion_log == []
+
+    def test_error_severity_aborts(self):
+        with pytest.raises(ProcessError, match="went wrong"):
+            self.run('assert a = 4 report "went wrong";')
+
+    def test_failure_severity_aborts(self):
+        with pytest.raises(ProcessError):
+            self.run('assert a = 4 severity failure;')
+
+    def test_note_and_warning_collected(self):
+        design = self.run(
+            'assert a = 4 report "n1" severity note;\n'
+            'assert a = 5 report "w1" severity warning;'
+        )
+        assert len(design.assertion_log) == 2
+        assert "n1" in design.assertion_log[0]
+        assert "w1" in design.assertion_log[1]
+
+    def test_default_message(self):
+        with pytest.raises(ProcessError, match="assertion violation"):
+            self.run("assert a = 4;")
+
+
+class TestSelfCheckingTestbench:
+    def test_passing_checks(self):
+        text = emit_model_vhdl(fig1_model(), checks={"R1": 5, "R2": 3})
+        assert check_subset(text).conformant
+        design = Elaborator(text).elaborate("example").run()
+        assert design.assertion_log == []
+
+    def test_failing_check_aborts_with_register_name(self):
+        text = emit_model_vhdl(fig1_model(), checks={"R1": 99})
+        # String literals keep their case (identifiers lower-case).
+        with pytest.raises(ProcessError, match="R1 expected 99"):
+            Elaborator(text).elaborate("example").run()
+
+    def test_unknown_register_rejected_at_emission(self):
+        with pytest.raises(EmitterError, match="unknown registers"):
+            emit_model_vhdl(fig1_model(), checks={"R9": 1})
+
+    def test_checks_with_disc_expectation(self):
+        from repro.core import DISC
+
+        # A never-written register is expected to stay DISC.
+        model = fig1_model()
+        model.register("IDLE")
+        text = emit_model_vhdl(model, checks={"IDLE": DISC})
+        design = Elaborator(text).elaborate("example").run()
+        assert design.assertion_log == []

@@ -1,0 +1,282 @@
+"""Tests for elaboration and interpretation of the subset, including
+the paper's own source code (§2.2-§2.7)."""
+
+import pytest
+
+from repro.core import DISC, ILLEGAL
+from repro.vhdl import (
+    EXAMPLE_FIG1,
+    ElaborationError,
+    Elaborator,
+    check_subset,
+)
+
+
+class TestPaperLibrary:
+    def test_paper_library_conforms_to_subset(self):
+        from repro.vhdl import PAPER_LIBRARY
+
+        report = check_subset(PAPER_LIBRARY, include_paper_library=False)
+        assert report.conformant, str(report)
+
+    def test_fig1_example_runs_from_source(self):
+        design = Elaborator(EXAMPLE_FIG1).elaborate("example").run()
+        assert design.signal("r1_out").value == 5
+        assert design.signal("r2_out").value == 3
+
+    def test_fig1_delta_cycles_match_claim(self):
+        # CS_MAX = 7 in the instantiation -> 42 delta cycles.
+        design = Elaborator(EXAMPLE_FIG1).elaborate("example").run()
+        assert design.sim.stats.delta_cycles == 7 * 6
+
+    def test_fig1_no_physical_time(self):
+        design = Elaborator(EXAMPLE_FIG1).elaborate("example").run()
+        assert design.sim.now.time == 0
+
+    def test_controller_stops_at_cs_max(self):
+        design = Elaborator(EXAMPLE_FIG1).elaborate("example").run()
+        assert design.signal("cs").value == 7
+        assert str(design.signal("ph").value) == "cr"
+        assert design.sim.quiescent
+
+
+class TestInterpreterSemantics:
+    def test_conflicting_trans_instances_produce_illegal(self):
+        # Two TRANS drive B1 in the same step/phase; a latching probe
+        # captures the bus value in the rb cycle, where the ILLEGAL is
+        # observable (paper §2.7).
+        text = """
+        entity probe is
+          port (ph: in phase; sig: in integer; captured: out integer := disc);
+        end probe;
+        architecture a of probe is
+        begin
+          process
+          begin
+            wait until ph = rb;
+            if sig /= disc then
+              captured <= sig;
+            end if;
+          end process;
+        end a;
+
+        entity top is end top;
+        architecture t of top is
+          signal cs: natural := 0;
+          signal ph: phase := cr;
+          signal a_out: integer := 4;
+          signal b_out: integer := 9;
+          signal b1: resolved integer := disc;
+          signal seen: integer := disc;
+        begin
+          t1: trans generic map (1, ra) port map (cs, ph, a_out, b1);
+          t2: trans generic map (1, ra) port map (cs, ph, b_out, b1);
+          p: probe port map (ph, b1, seen);
+          control: controller generic map (2) port map (cs, ph);
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("seen").value == ILLEGAL
+
+    def test_adder_pipeline_from_paper_source(self):
+        # Drive the paper's ADD directly and observe the 1-step latency.
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal cs: natural := 0;
+          signal ph: phase := cr;
+          signal x_out: integer := 10;
+          signal y_out: integer := 20;
+          signal a1, a2: resolved integer := disc;
+          signal sum: integer := disc;
+          signal b1: resolved integer := disc;
+          signal r_in: resolved integer := disc;
+          signal r_out: integer := disc;
+        begin
+          adder: add port map (ph, a1, a2, sum);
+          tx: trans generic map (1, rb) port map (cs, ph, x_out, a1);
+          ty: trans generic map (1, rb) port map (cs, ph, y_out, a2);
+          twa: trans generic map (2, wa) port map (cs, ph, sum, b1);
+          twb: trans generic map (2, wb) port map (cs, ph, b1, r_in);
+          r: reg port map (ph, r_in, r_out);
+          control: controller generic map (3) port map (cs, ph);
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("r_out").value == 30
+
+    def test_reg_init_generic(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal ph: phase := cr;
+          signal cs: natural := 0;
+          signal r_in: resolved integer := disc;
+          signal r_out: integer := disc;
+        begin
+          r: reg generic map (42) port map (ph, r_in, r_out);
+          control: controller generic map (1) port map (cs, ph);
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("r_out").value == 42
+
+    def test_variables_are_process_local_state(self):
+        text = """
+        entity counter is port (tick: in phase; n: out natural := 0); end counter;
+        architecture a of counter is
+        begin
+          process
+            variable c: natural := 0;
+          begin
+            wait until tick = ra;
+            c := c + 1;
+            n <= c;
+          end process;
+        end a;
+
+        entity top is end top;
+        architecture t of top is
+          signal cs: natural := 0;
+          signal ph: phase := cr;
+          signal count: natural := 0;
+        begin
+          u: counter port map (ph, count);
+          control: controller generic map (4) port map (cs, ph);
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("count").value == 4
+
+    def test_generic_defaults_apply(self):
+        text = """
+        entity src is
+          generic (v: integer := 7);
+          port (o: out integer := 0);
+        end src;
+        architecture a of src is
+        begin
+          process
+          begin
+            o <= v;
+            wait;
+          end process;
+        end a;
+        entity top is end top;
+        architecture t of top is
+          signal x: integer := 0;
+        begin
+          u: src port map (x);
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("x").value == 7
+
+    def test_top_generics_via_python(self):
+        text = """
+        entity top is
+          generic (n: natural);
+          port (o: out natural := 0);
+        end top;
+        architecture t of top is
+        begin
+          process
+          begin
+            o <= n * 2;
+            wait;
+          end process;
+        end t;
+        """
+        design = Elaborator(text).elaborate("top", generics={"n": 21}).run()
+        assert design.signal("o").value == 42
+
+
+class TestElaborationErrors:
+    def test_unknown_entity(self):
+        with pytest.raises(ElaborationError, match="no entity"):
+            Elaborator("entity e is end e;").elaborate("nope")
+
+    def test_missing_architecture(self):
+        with pytest.raises(ElaborationError, match="no architecture"):
+            Elaborator("entity e is end e;").elaborate("e")
+
+    def test_unknown_component(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+        begin
+          u: ghost port map (x);
+        end t;
+        """
+        with pytest.raises(ElaborationError, match="unknown entity"):
+            Elaborator(text).elaborate("top")
+
+    def test_unconnected_port(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal cs: natural := 0;
+        begin
+          control: controller generic map (1) port map (cs);
+        end t;
+        """
+        with pytest.raises(ElaborationError, match="unconnected"):
+            Elaborator(text).elaborate("top")
+
+    def test_missing_generic(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal cs: natural := 0;
+          signal ph: phase := cr;
+        begin
+          control: controller port map (cs, ph);
+        end t;
+        """
+        with pytest.raises(ElaborationError, match="generic"):
+            Elaborator(text).elaborate("top")
+
+    def test_process_without_wait_rejected(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal x: integer := 0;
+        begin
+          process
+          begin
+            x <= 1;
+          end process;
+        end t;
+        """
+        with pytest.raises(ElaborationError, match="would loop forever"):
+            Elaborator(text).elaborate("top")
+
+    def test_sensitivity_plus_wait_rejected(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal x: integer := 0;
+        begin
+          process (x)
+          begin
+            wait until x = 1;
+          end process;
+        end t;
+        """
+        with pytest.raises(ElaborationError, match="mutually exclusive"):
+            Elaborator(text).elaborate("top")
+
+    def test_second_driver_on_unresolved_signal(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal x: integer := 0;
+        begin
+          p1: process begin x <= 1; wait; end process;
+          p2: process begin x <= 2; wait; end process;
+        end t;
+        """
+        from repro.kernel import ElaborationError as KernelElabError
+
+        with pytest.raises(KernelElabError, match="unresolved"):
+            Elaborator(text).elaborate("top")

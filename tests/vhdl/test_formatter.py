@@ -1,0 +1,82 @@
+"""Tests for the VHDL pretty-printer: parse(format(parse(x))) == parse(x)."""
+
+import pytest
+
+from repro.core import ModuleSpec, RTModel
+from repro.vhdl import EXAMPLE_FIG1, PAPER_LIBRARY, Elaborator, parse_file
+from repro.vhdl.emitter import emit_model_vhdl
+from repro.vhdl.formatter import format_expr, format_file
+from repro.vhdl.parser import parse_expression
+
+
+class TestExpressionFormatting:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a - b - c",
+            "a - (b - c)",
+            "cs = s and ph = p",
+            "not (a = b)",
+            "-x + 3",
+            "phase'succ(p)",
+            "phase'high",
+            "(a + b) mod 65536",
+        ],
+    )
+    def test_format_parse_fixpoint(self, source):
+        expr = parse_expression(source)
+        text = format_expr(expr)
+        assert parse_expression(text) == expr
+
+    def test_minimal_parentheses(self):
+        assert format_expr(parse_expression("a + (b * c)")) == "a + b * c"
+        assert format_expr(parse_expression("(a + b) * c")) == "(a + b) * c"
+
+    def test_left_associativity_preserved(self):
+        # a - b - c parses left-assoc; the formatter must not turn it
+        # into a - (b - c).
+        expr = parse_expression("a - b - c")
+        assert parse_expression(format_expr(expr)) == expr
+        expr2 = parse_expression("a - (b - c)")
+        text = format_expr(expr2)
+        assert "(" in text
+        assert parse_expression(text) == expr2
+
+
+class TestFileFormatting:
+    @pytest.mark.parametrize(
+        "source",
+        [PAPER_LIBRARY, EXAMPLE_FIG1, PAPER_LIBRARY + EXAMPLE_FIG1],
+        ids=["library", "fig1", "both"],
+    )
+    def test_roundtrip_on_paper_sources(self, source):
+        design = parse_file(source)
+        formatted = format_file(design)
+        assert parse_file(formatted) == design
+
+    def test_idempotence(self):
+        design = parse_file(PAPER_LIBRARY)
+        once = format_file(design)
+        twice = format_file(parse_file(once))
+        assert once == twice
+
+    def test_emitted_models_format_cleanly(self):
+        m = RTModel("fmt", cs_max=4)
+        m.register("A", init=1)
+        m.register("B", init=2)
+        m.register("S")
+        m.bus("B1")
+        m.bus("B2")
+        m.module("ALU", ops=["ADD", "SUB"], latency=0)
+        m.compute("ALU", dest="S", step=1, src1="A", bus1="B1",
+                  src2="B", bus2="B2", op="ADD")
+        text = emit_model_vhdl(m)
+        design = parse_file(text)
+        assert parse_file(format_file(design)) == design
+
+    def test_formatted_source_still_elaborates(self):
+        formatted = format_file(parse_file(EXAMPLE_FIG1))
+        design = Elaborator(formatted).elaborate("example").run()
+        assert design.signal("r1_out").value == 5

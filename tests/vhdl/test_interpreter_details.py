@@ -1,0 +1,213 @@
+"""Detailed semantics tests for the VHDL interpreter: arithmetic
+operators, attributes, and edge cases not covered by the component
+tests."""
+
+import pytest
+
+from repro.vhdl import Elaborator
+from repro.vhdl.elaborator import InterpretationError
+
+
+def run_expr(expr: str, decls: str = "") -> int:
+    """Evaluate an expression in a one-shot process; return the result."""
+    text = f"""
+    entity top is end top;
+    architecture t of top is
+      signal result: integer := 0;
+      {decls}
+    begin
+      p: process
+      begin
+        result <= {expr};
+        wait;
+      end process;
+    end t;
+    """
+    design = Elaborator(text).elaborate("top").run()
+    return design.signal("result").value
+
+
+class TestArithmetic:
+    def test_division_truncates_toward_zero(self):
+        assert run_expr("7 / 2") == 3
+        assert run_expr("(0 - 7) / 2") == -3  # not floor (-4)
+
+    def test_mod_has_divisor_sign(self):
+        assert run_expr("7 mod 3") == 1
+        assert run_expr("(0 - 7) mod 3") == 2  # LRM: sign of divisor
+
+    def test_rem_has_dividend_sign(self):
+        assert run_expr("7 rem 3") == 1
+        assert run_expr("(0 - 7) rem 3") == -1
+
+    def test_exponentiation(self):
+        assert run_expr("2 ** 10") == 1024
+        assert run_expr("64 / (2 ** 2)") == 16
+
+    def test_division_by_zero_reported(self):
+        # Runtime errors inside a process surface as ProcessError with
+        # the original message preserved.
+        from repro.kernel import ProcessError
+
+        with pytest.raises(ProcessError, match="division by zero"):
+            run_expr("1 / 0")
+
+    def test_mod_by_zero_reported(self):
+        from repro.kernel import ProcessError
+
+        with pytest.raises(ProcessError, match="mod by zero"):
+            run_expr("1 mod 0")
+
+    def test_unary_minus_chains(self):
+        assert run_expr("-(3 + 4)") == -7
+
+
+class TestBooleansAndComparison:
+    def test_xor(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal result: integer := 0;
+        begin
+          p: process
+          begin
+            if (1 = 1) xor (2 = 3) then
+              result <= 1;
+            end if;
+            wait;
+          end process;
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("result").value == 1
+
+    def test_enum_comparisons_by_position(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal result: integer := 0;
+        begin
+          p: process
+          begin
+            if ra < cm and cr >= wb then
+              result <= 1;
+            end if;
+            wait;
+          end process;
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("result").value == 1
+
+    def test_integer_condition_rejected(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal result: integer := 0;
+        begin
+          p: process
+          begin
+            if 1 then
+              result <= 1;
+            end if;
+            wait;
+          end process;
+        end t;
+        """
+        from repro.kernel import ProcessError
+
+        with pytest.raises((InterpretationError, ProcessError)):
+            Elaborator(text).elaborate("top").run()
+
+
+class TestAttributes:
+    def test_pos_and_val(self):
+        assert run_expr("phase'pos(cm)") == 2
+
+    def test_val_roundtrip(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal result: integer := 0;
+        begin
+          p: process
+          begin
+            if phase'val(2) = cm then
+              result <= 1;
+            end if;
+            wait;
+          end process;
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("result").value == 1
+
+    def test_succ_out_of_range_reported(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal ph2: phase := cr;
+        begin
+          p: process
+          begin
+            ph2 <= phase'succ(cr);
+            wait;
+          end process;
+        end t;
+        """
+        from repro.kernel import ProcessError
+
+        with pytest.raises((InterpretationError, ProcessError),
+                           match="out of range"):
+            Elaborator(text).elaborate("top").run()
+
+    def test_attr_on_non_type_rejected(self):
+        with pytest.raises((InterpretationError, Exception),
+                           match="not a type"):
+            run_expr("result'high")
+
+    def test_left_right(self):
+        assert run_expr("phase'pos(phase'left)") == 0
+        assert run_expr("phase'pos(phase'right)") == 5
+
+
+class TestWaitOnForm:
+    def test_wait_on_signals(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal a: integer := 0;
+          signal seen: integer := 0;
+        begin
+          writer: process
+          begin
+            a <= 5;
+            wait;
+          end process;
+          reader: process
+          begin
+            wait on a;
+            seen <= a;
+            wait;
+          end process;
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("seen").value == 5
+
+    def test_plain_wait_suspends_forever(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal a: integer := 0;
+        begin
+          p: process
+          begin
+            a <= 1;
+            wait;
+            a <= 2;
+          end process;
+        end t;
+        """
+        design = Elaborator(text).elaborate("top").run()
+        assert design.signal("a").value == 1  # never reaches the second

@@ -1,0 +1,241 @@
+"""Tests for the VHDL subset lexer and parser."""
+
+import pytest
+
+from repro.vhdl import parse_expression, parse_file, tokenize
+from repro.vhdl.lexer import VhdlSyntaxError
+from repro.vhdl import ast as vast
+
+
+class TestLexer:
+    def test_identifiers_are_case_insensitive(self):
+        tokens = tokenize("Foo FOO foo")
+        assert [t.text for t in tokens[:-1]] == ["foo", "foo", "foo"]
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("entity foo is end;")
+        kinds = [(t.kind, t.text) for t in tokens[:-1]]
+        assert kinds[0] == ("keyword", "entity")
+        assert kinds[1] == ("ident", "foo")
+
+    def test_compound_delimiters(self):
+        tokens = tokenize("a <= b := c => d /= e >= f")
+        delims = [t.text for t in tokens if t.kind == "delim"]
+        assert delims == ["<=", ":=", "=>", "/=", ">="]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a -- whole line\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\n  b\nc")
+        assert [(t.text, t.line) for t in tokens[:-1]] == [
+            ("a", 1),
+            ("b", 2),
+            ("c", 3),
+        ]
+
+    def test_bad_character_reports_position(self):
+        with pytest.raises(VhdlSyntaxError, match="line 2"):
+            tokenize("ok\n  @bad")
+
+
+class TestExpressionParser:
+    def test_precedence(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, vast.Binary)
+        assert expr.op == "+"
+        assert isinstance(expr.right, vast.Binary)
+        assert expr.right.op == "*"
+
+    def test_comparison_and_logic(self):
+        expr = parse_expression("cs = s and ph = p")
+        assert expr.op == "and"
+        assert expr.left.op == "="
+
+    def test_attributes(self):
+        expr = parse_expression("phase'succ(p)")
+        assert isinstance(expr, vast.Attr)
+        assert expr.prefix == "phase"
+        assert expr.name == "succ"
+        assert isinstance(expr.arg, vast.Name)
+
+    def test_attribute_without_arg(self):
+        expr = parse_expression("phase'high")
+        assert expr.arg is None
+
+    def test_unary_minus(self):
+        expr = parse_expression("-1")
+        assert isinstance(expr, vast.Unary)
+        assert expr.operand == vast.IntLit(1)
+
+    def test_parenthesized(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_exponentiation_binds_tightest(self):
+        expr = parse_expression("a / 2 ** b")
+        assert expr.op == "/"
+        assert expr.right.op == "**"
+
+    def test_exponentiation_is_right_associative(self):
+        expr = parse_expression("2 ** 3 ** 2")
+        assert expr.op == "**"
+        assert isinstance(expr.right, vast.Binary)
+        assert expr.right.op == "**"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(VhdlSyntaxError):
+            parse_expression("a + b)")
+
+
+class TestDesignParser:
+    ENTITY = """
+    entity trans is
+      generic (s: natural; p: phase);
+      port (cs: in natural;
+            ph: in phase;
+            ins: in integer;
+            outs: out integer := disc);
+    end trans;
+    """
+
+    def test_entity_interface(self):
+        design = parse_file(self.ENTITY)
+        entity = design.entities()["trans"]
+        assert [g.name for g in entity.generics] == ["s", "p"]
+        assert [p.name for p in entity.ports] == ["cs", "ph", "ins", "outs"]
+        assert entity.ports[3].mode == "out"
+        assert entity.ports[3].init is not None
+
+    def test_architecture_with_process(self):
+        text = self.ENTITY + """
+        architecture transfer of trans is
+        begin
+          process
+          begin
+            wait until cs = s and ph = p;
+            outs <= ins;
+            wait until cs = s and ph = phase'succ(p);
+            outs <= disc;
+          end process;
+        end transfer;
+        """
+        design = parse_file(text)
+        arch = design.architectures()["trans"]
+        proc = arch.statements[0]
+        assert isinstance(proc, vast.ProcessStmt)
+        assert len(proc.body) == 4
+        assert isinstance(proc.body[0], vast.WaitStmt)
+        assert isinstance(proc.body[1], vast.SignalAssign)
+
+    def test_process_with_sensitivity_and_variables(self):
+        text = """
+        entity e is
+          port (a: in integer; b: out integer);
+        end e;
+        architecture x of e is
+        begin
+          process (a)
+            variable v: integer := 0;
+          begin
+            v := a + 1;
+            b <= v;
+          end process;
+        end x;
+        """
+        proc = parse_file(text).architectures()["e"].statements[0]
+        assert proc.sensitivity == ("a",)
+        assert proc.decls[0].names == ("v",)
+
+    def test_component_instantiation(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal cs: natural := 0;
+          signal ph: phase := cr;
+          signal b1: resolved integer := disc;
+        begin
+          r1_out_b1_5: trans generic map (5, ra) port map (cs, ph, b1, b1);
+          control: controller generic map (cs_max => 7) port map (cs, ph);
+        end t;
+        """
+        arch = parse_file(text).architectures()["top"]
+        inst = arch.statements[0]
+        assert isinstance(inst, vast.ComponentInst)
+        assert inst.entity == "trans"
+        assert len(inst.generic_map) == 2
+        named = arch.statements[1].generic_map[0]
+        assert named.formal == "cs_max"
+
+    def test_resolved_subtype_indication(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          signal b1: resolved integer := disc;
+        begin
+        end t;
+        """
+        decl = parse_file(text).architectures()["top"].decls[0]
+        assert decl.subtype.resolution == "resolved"
+        assert decl.subtype.type_mark == "integer"
+
+    def test_package_declaration(self):
+        text = """
+        package p is
+          type phase is (ra, rb, cm, wa, wb, cr);
+          constant disc: integer := -1;
+        end package p;
+        """
+        package = parse_file(text).packages()[0]
+        assert package.decls[0].literals == ("ra", "rb", "cm", "wa", "wb", "cr")
+
+    def test_if_elsif_else(self):
+        text = """
+        entity e is port (a: in integer; b: out integer); end e;
+        architecture x of e is
+        begin
+          process (a)
+          begin
+            if a = 0 then
+              b <= 1;
+            elsif a = 1 then
+              b <= 2;
+            else
+              b <= 3;
+            end if;
+          end process;
+        end x;
+        """
+        proc = parse_file(text).architectures()["e"].statements[0]
+        if_stmt = proc.body[0]
+        assert len(if_stmt.branches) == 3
+        assert if_stmt.branches[2][0] is None  # else branch
+
+    def test_library_and_use_clauses_ignored(self):
+        text = """
+        library ieee;
+        use ieee.std_logic_1164.all;
+        entity e is end e;
+        """
+        assert "e" in parse_file(text).entities()
+
+    def test_mismatched_closing_name_rejected(self):
+        with pytest.raises(VhdlSyntaxError, match="does not match"):
+            parse_file("entity a is end b;")
+
+    def test_component_declarations_skipped(self):
+        text = """
+        entity top is end top;
+        architecture t of top is
+          component trans
+            generic (s: natural);
+            port (x: in integer);
+          end component;
+          signal s: integer := 0;
+        begin
+        end t;
+        """
+        arch = parse_file(text).architectures()["top"]
+        assert len(arch.decls) == 1  # only the signal survives

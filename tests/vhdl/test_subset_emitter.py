@@ -1,0 +1,215 @@
+"""Tests for the subset checker and the RT-model VHDL emitter,
+including the emit -> parse -> elaborate -> simulate round trip (E12's
+correctness core)."""
+
+import pytest
+
+from repro.core import ModuleSpec, RTModel
+from repro.handshake import chain_rt_model
+from repro.vhdl import (
+    EmitterError,
+    check_subset,
+    emit_model_vhdl,
+    emit_module_entity,
+    roundtrip_model,
+)
+
+
+def fig1_model(cs_max=7):
+    m = RTModel("example", cs_max=cs_max)
+    m.register("R1", init=2)
+    m.register("R2", init=3)
+    m.bus("B1")
+    m.bus("B2")
+    m.module(ModuleSpec("ADD", latency=1))
+    m.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return m
+
+
+class TestSubsetChecker:
+    def test_paper_example_conforms(self):
+        from repro.vhdl import EXAMPLE_FIG1
+
+        assert check_subset(EXAMPLE_FIG1).conformant
+
+    def test_process_without_wait_flagged(self):
+        text = """
+        entity e is end e;
+        architecture a of e is
+          signal x: integer := 0;
+        begin
+          p: process begin x <= 1; end process;
+        end a;
+        """
+        report = check_subset(text)
+        assert not report.conformant
+        assert any("never suspend" in str(v) for v in report.violations)
+
+    def test_sensitivity_plus_wait_flagged(self):
+        text = """
+        entity e is end e;
+        architecture a of e is
+          signal x: integer := 0;
+        begin
+          p: process (x) begin wait until x = 1; end process;
+        end a;
+        """
+        report = check_subset(text)
+        assert any("illegal VHDL" in str(v) for v in report.violations)
+
+    def test_unknown_type_flagged(self):
+        text = """
+        entity e is
+          port (x: in std_logic);
+        end e;
+        """
+        report = check_subset(text)
+        assert any("unknown type" in str(v) for v in report.violations)
+
+    def test_unknown_resolution_flagged(self):
+        text = """
+        entity e is end e;
+        architecture a of e is
+          signal x: wired_or integer := 0;
+        begin
+        end a;
+        """
+        report = check_subset(text)
+        assert any("resolution" in str(v) for v in report.violations)
+
+    def test_assignment_to_input_port_flagged(self):
+        text = """
+        entity e is
+          port (x: in integer);
+        end e;
+        architecture a of e is
+        begin
+          p: process begin x <= 1; wait; end process;
+        end a;
+        """
+        report = check_subset(text)
+        assert any("not a local signal" in str(v) for v in report.violations)
+
+    def test_unknown_instance_flagged(self):
+        text = """
+        entity e is end e;
+        architecture a of e is
+        begin
+          u: ghost port map (x);
+        end a;
+        """
+        report = check_subset(text)
+        assert any("unknown entity" in str(v) for v in report.violations)
+
+    def test_report_string(self):
+        assert "conforms" in str(check_subset("entity e is end e;"))
+
+
+class TestModuleEmission:
+    def test_adder_entity_follows_paper_pattern(self):
+        text = emit_module_entity(ModuleSpec("ADD", latency=1))
+        assert "wait until PH = cm;" in text
+        assert "M_out <= P0;" in text  # the pipeline variable
+        assert "V := ILLEGAL;" in text  # all-or-none rule
+
+    def test_multi_op_module_decodes_op_port(self):
+        from repro.core import alu_spec
+
+        text = emit_module_entity(alu_spec("ALU", ["ADD", "SUB"], latency=0))
+        assert "M_op: in Integer" in text
+        assert "elsif M_op = 1 then" in text
+
+    def test_unary_module(self):
+        from repro.core import standard_operation, ModuleSpec
+
+        spec = ModuleSpec(
+            "CP", operations={"COPY": standard_operation("COPY")}, latency=0
+        )
+        text = emit_module_entity(spec)
+        assert "M_in1: in Integer" in text
+        assert "M_in2" not in text
+
+    def test_coarse_grain_op_rejected(self):
+        from repro.iks.chip import cordic_operations
+        from repro.iks import CordicSpec, DEFAULT_FORMAT
+
+        spec = ModuleSpec(
+            "CORDIC",
+            operations=cordic_operations(CordicSpec(DEFAULT_FORMAT)),
+            latency=4,
+            pipelined=False,
+        )
+        with pytest.raises(EmitterError):
+            emit_module_entity(spec)
+
+
+class TestRoundTrip:
+    def test_fig1_roundtrip(self):
+        m = fig1_model()
+        assert roundtrip_model(m) == m.elaborate().run().registers
+
+    def test_emitted_design_conforms(self):
+        report = check_subset(emit_model_vhdl(fig1_model()))
+        assert report.conformant, str(report)
+
+    def test_roundtrip_with_register_overrides(self):
+        m = fig1_model()
+        got = roundtrip_model(m, register_values={"R1": 10, "R2": 30})
+        assert got["R1"] == 40
+
+    @pytest.mark.parametrize("n", [3, 8])
+    def test_chain_roundtrip(self, n):
+        m = chain_rt_model(list(range(1, n + 1)))
+        assert roundtrip_model(m) == m.elaborate().run().registers
+
+    def test_opselect_and_copy_roundtrip(self):
+        m = RTModel("opsmodel", cs_max=6)
+        m.register("A", init=10)
+        m.register("B", init=4)
+        m.register("S")
+        m.bus("X1")
+        m.bus("X2")
+        m.module("ALU", ops=["ADD", "SUB"], latency=0)
+        m.compute(
+            "ALU", dest="S", step=1, src1="A", bus1="X1", src2="B", bus2="X2",
+            op="SUB",
+        )
+        m.copy_transfer("S", "A", step=3)
+        assert roundtrip_model(m) == m.elaborate().run().registers
+
+    def test_hls_output_roundtrip(self):
+        from repro.hls import synthesize
+
+        res = synthesize("t = (a + b) * (c - d)\nout = t + t")
+        inputs = {"a": 9, "b": 2, "c": 8, "d": 3}
+        native = res.simulate(inputs)
+        vhdl_regs = roundtrip_model(res.model, register_values=inputs)
+        for var, reg in res.output_regs.items():
+            assert vhdl_regs[reg] == native[var]
+
+    def test_shift_operations_roundtrip(self):
+        # Regression: shift ops emit as "a / (2 ** b)" -- the parser
+        # must accept exponentiation.
+        m = RTModel("shifty", cs_max=4)
+        m.register("A", init=64)
+        m.register("B", init=2)
+        m.register("S")
+        m.bus("X1")
+        m.bus("X2")
+        m.module("SH", ops=["RSHIFT", "LSHIFT"], latency=0)
+        m.compute("SH", dest="S", step=1, src1="A", bus1="X1",
+                  src2="B", bus2="X2", op="RSHIFT")
+        got = roundtrip_model(m)
+        assert got == m.elaborate().run().registers
+        assert got["S"] == 16
+
+    def test_conflicting_model_roundtrips_to_illegal(self):
+        from repro.core import ILLEGAL
+
+        m = fig1_model()
+        m.register("R3", init=9)
+        m.add_transfer("(R3,B1,-,-,5,ADD,-,-,-)")
+        got = roundtrip_model(m)
+        native = m.elaborate().run().registers
+        assert got == native
+        assert got["R1"] == ILLEGAL
