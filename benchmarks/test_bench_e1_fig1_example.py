@@ -46,6 +46,16 @@ class TestFig1Reproduction:
         report_lines.append("R1 = 5 after cs6; 42 delta cycles (= CS_MAX*6)")
 
 
+class TestFig1CompiledParity:
+    def test_compiled_backend_is_bit_identical(self):
+        model = fig1_model()
+        ev = model.elaborate(trace=True).run()
+        co = model.elaborate(trace=True, backend="compiled").run()
+        assert co.registers == ev.registers
+        assert co.tracer.samples == ev.tracer.samples
+        assert co.stats.delta_cycles == ev.stats.delta_cycles == 42
+
+
 class TestFig1Benchmarks:
     def test_bench_fig1_full_run(self, benchmark):
         sim = benchmark(run_fig1)

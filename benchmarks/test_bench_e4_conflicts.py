@@ -101,6 +101,26 @@ class TestConflictReproduction:
         assert owners == {"A0_out_BA0_1", "X_out_BA0_1"}
 
 
+class TestCompiledBackendParity:
+    """The compiled backend must tell the same conflict story: same
+    signals, same (CS, PH) locations, same named sources."""
+
+    @pytest.mark.parametrize(
+        "lanes,steps", [(2, [1]), (4, [3]), (6, [1, 5, 9])]
+    )
+    def test_conflicts_bit_identical(self, lanes, steps):
+        model = conflicted_model(lanes, conflict_steps=steps)
+        ev = model.elaborate().run()
+        co = model.elaborate(backend="compiled").run()
+        assert co.registers == ev.registers
+        assert [
+            (e.signal, e.at, e.sources) for e in co.conflicts
+        ] == [
+            (e.signal, e.at, e.sources) for e in ev.conflicts
+        ]
+        assert not co.clean
+
+
 class TestConflictBenchmarks:
     @pytest.mark.parametrize("lanes", [4, 16])
     def test_bench_static_analysis(self, benchmark, lanes):

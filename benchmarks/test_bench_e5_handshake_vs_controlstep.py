@@ -25,6 +25,7 @@ import time
 import pytest
 
 from repro.clocked import elaborate_clocked, translate
+from repro.engine import run_metrics
 from repro.handshake import (
     Channel,
     HandshakeNetwork,
@@ -54,56 +55,40 @@ def wide_handshake(
     return net
 
 
+def _timed_run(backend) -> dict[str, float]:
+    """Run an elaborated backend and collect its unified metrics row.
+
+    Every style conforms to :class:`repro.engine.Backend`, so one
+    timing+collection path serves all of them (elaboration/build cost
+    is excluded uniformly).
+    """
+    t0 = time.perf_counter()
+    backend.run()
+    return run_metrics(backend, wall=time.perf_counter() - t0)
+
+
 def run_styles(width: int, steps: int) -> dict[str, dict[str, float]]:
-    """Run all three styles on the wide workload; return metrics."""
+    """Run all styles on the wide workload; return metrics per style."""
     results: dict[str, dict[str, float]] = {}
     transfers = width * ((steps + 1) // 2)
 
-    # Time simulation only (elaboration/build is excluded uniformly
-    # for all three styles).
     model = wide_model(width, steps)
-    rt = model.elaborate()
-    t0 = time.perf_counter()
-    rt.run()
-    rt_time = time.perf_counter() - t0
-    results["control-step"] = {
-        "wall": rt_time,
-        "deltas": rt.stats.delta_cycles,
-        "events": rt.stats.events,
-        "resumes": rt.stats.process_resumes,
-        "transfers": transfers,
-    }
+    results["control-step"] = _timed_run(model.elaborate())
+    results["compiled"] = _timed_run(model.elaborate(backend="compiled"))
 
     for label, channel_cls in (
         ("handshake", Channel),
         ("handshake-2ph", TwoPhaseChannel),
     ):
-        sim = Simulator()
-        net = wide_handshake(width, steps, channel_cls)
-        sinks = net.build(sim)
-        t0 = time.perf_counter()
-        sim.run()
-        hs_time = time.perf_counter() - t0
-        assert all(len(v) == (steps + 1) // 2 for v in sinks.values())
-        results[label] = {
-            "wall": hs_time,
-            "deltas": sim.stats.delta_cycles,
-            "events": sim.stats.events,
-            "resumes": sim.stats.process_resumes,
-            "transfers": transfers,
-        }
+        hs = wide_handshake(width, steps, channel_cls).elaborate()
+        results[label] = _timed_run(hs)
+        assert all(
+            len(v) == (steps + 1) // 2 for v in hs.results.values()
+        )
 
-    clocked = elaborate_clocked(translate(model))
-    t0 = time.perf_counter()
-    clocked.run()
-    ck_time = time.perf_counter() - t0
-    results["clocked"] = {
-        "wall": ck_time,
-        "deltas": clocked.stats.delta_cycles,
-        "events": clocked.stats.events,
-        "resumes": clocked.stats.process_resumes,
-        "transfers": transfers,
-    }
+    results["clocked"] = _timed_run(elaborate_clocked(translate(model)))
+    for row in results.values():
+        row["transfers"] = transfers
     return results
 
 
@@ -122,6 +107,7 @@ class TestComparisonShape:
         )
         hops = {
             "control-step": 6,
+            "compiled": 6,
             "handshake": 3,
             "handshake-2ph": 3,
             "clocked": 1,
@@ -137,6 +123,12 @@ class TestComparisonShape:
         cs_hop = cs["events"] / (cs["transfers"] * 6)
         hs_hop = hs["events"] / (hs["transfers"] * 3)
         assert cs_hop < hs_hop
+        # The compiled backend synthesizes the same delta/event budget
+        # (bit-identical accounting) with far fewer dispatches.
+        co = metrics["compiled"]
+        assert co["deltas"] == cs["deltas"]
+        assert co["events"] == cs["events"]
+        assert co["resumes"] * 3 <= cs["resumes"]
 
     def test_controlstep_deltas_are_width_independent(self, report_lines):
         """6 delta cycles per step no matter how many transfers share
@@ -230,14 +222,17 @@ class TestRealizationAblation:
 
 
 class TestComparisonBenchmarks:
-    @pytest.mark.parametrize("style", ["control-step", "handshake", "clocked"])
+    @pytest.mark.parametrize(
+        "style", ["control-step", "compiled", "handshake", "clocked"]
+    )
     def test_bench_wide_workload(self, benchmark, style):
         width, steps = 8, 11
-        if style == "control-step":
+        if style in ("control-step", "compiled"):
             model = wide_model(width, steps)
+            backend = "event" if style == "control-step" else "compiled"
 
             def run():
-                return model.elaborate().run().stats
+                return model.elaborate(backend=backend).run().stats
 
         elif style == "handshake":
 

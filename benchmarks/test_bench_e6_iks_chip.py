@@ -10,6 +10,7 @@ Measures: chip build+translate time and full-program simulation time.
 """
 
 import math
+import time
 
 import pytest
 
@@ -105,6 +106,51 @@ class TestIKSReproduction:
         )
 
 
+class TestCompiledBackendOnChip:
+    """The compiled control-step backend on the paper's big model: same
+    observable run as the event kernel, a fraction of the scheduler
+    work (one fused dispatch per phase instead of one process wakeup
+    per active component)."""
+
+    @pytest.mark.parametrize("px,py", TARGETS)
+    def test_bit_identical_to_event_kernel(self, px, py):
+        run_ev = run_ik_chip(px, py, backend="event")
+        run_co = run_ik_chip(px, py, backend="compiled")
+        assert run_co.simulation.registers == run_ev.simulation.registers
+        assert [
+            (e.signal, e.at, e.sources) for e in run_co.simulation.conflicts
+        ] == [
+            (e.signal, e.at, e.sources) for e in run_ev.simulation.conflicts
+        ]
+        assert (
+            run_co.simulation.stats.delta_cycles
+            == run_ev.simulation.stats.delta_cycles
+        )
+        assert (run_co.theta1, run_co.theta2) == (run_ev.theta1, run_ev.theta2)
+
+    def test_compiled_reduces_wakeups(self, report_lines):
+        model, _ = build_ik_model(2.5, 1.0)
+        ev = model.elaborate()
+        t0 = time.perf_counter()
+        ev.run()
+        ev_wall = time.perf_counter() - t0
+        co = model.elaborate(backend="compiled")
+        t0 = time.perf_counter()
+        co.run()
+        co_wall = time.perf_counter() - t0
+        assert co.registers == ev.registers
+        assert co.stats.delta_cycles == ev.stats.delta_cycles
+        ratio = ev.stats.process_resumes / co.stats.process_resumes
+        report_lines.append(
+            f"IKS chip: event {ev.stats.process_resumes} wakeups / "
+            f"{ev_wall * 1e3:.1f} ms, compiled "
+            f"{co.stats.process_resumes} dispatches / "
+            f"{co_wall * 1e3:.1f} ms ({ratio:.1f}x fewer wakeups, "
+            f"{ev_wall / co_wall:.1f}x wall)"
+        )
+        assert ratio >= 3.0
+
+
 class TestIKSBenchmarks:
     def test_bench_full_chip_run(self, benchmark):
         def run():
@@ -123,11 +169,13 @@ class TestIKSBenchmarks:
         model, translation = benchmark(build)
         benchmark.extra_info["transfers"] = len(model.transfers)
 
-    def test_bench_simulation_only(self, benchmark):
+    @pytest.mark.parametrize("backend", ["event", "compiled"])
+    def test_bench_simulation_only(self, benchmark, backend):
         model, _ = build_ik_model(2.5, 1.0)
 
         def run():
-            return model.elaborate().run()
+            return model.elaborate(backend=backend).run()
 
         sim = benchmark(run)
+        benchmark.extra_info["resumes"] = sim.stats.process_resumes
         assert sim.clean

@@ -123,6 +123,25 @@ class TestHlsBenchmarks:
         outs = benchmark(run)
         assert outs == result.reference(inputs)
 
+    def test_compiled_backend_bit_identical_on_synthesized_model(self):
+        source = fir_program(8)
+        result = synthesize(source)
+        inputs = random_inputs(source, seed=1)
+        values = {
+            name: inputs[name] & ((1 << result.model.width) - 1)
+            for name in result.program.inputs
+        }
+        ev = result.model.elaborate(register_values=values).run()
+        co = result.model.elaborate(
+            register_values=values, backend="compiled"
+        ).run()
+        assert co.registers == ev.registers
+        assert co.conflicts == ev.conflicts == []
+        assert co.stats.delta_cycles == ev.stats.delta_cycles
+        assert {
+            var: co[reg] for var, reg in result.output_regs.items()
+        } == result.reference(inputs)
+
     def test_bench_scheduling_only(self, benchmark):
         from repro.hls import list_schedule
 

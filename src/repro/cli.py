@@ -63,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--signals", default="", help="comma-separated signals to print "
         "(default: all top-level)",
     )
+    _add_backend_args(p)
     p.set_defaults(handler=cmd_run)
 
     p = sub.add_parser("analyze", help="static schedule analysis of a model")
@@ -83,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", action="store_true", help="print the full phase trace"
     )
+    _add_backend_args(p)
     p.set_defaults(handler=cmd_simulate)
 
     p = sub.add_parser(
@@ -130,8 +132,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--phi", type=float, default=None, metavar="RAD",
         help="tool orientation: run the three-DOF solution",
     )
+    _add_backend_args(p)
     p.set_defaults(handler=cmd_iks)
     return parser
+
+
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    from .engine import backend_names
+
+    p.add_argument(
+        "--backend", choices=backend_names(), default="event",
+        help="simulation backend (default: event)",
+    )
+    p.add_argument(
+        "--no-transfer-engine", action="store_true",
+        help="event backend: one kernel process per TRANS instance "
+        "instead of the fused transfer engine",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -150,7 +167,10 @@ def cmd_run(args) -> int:
     from .vhdl import Elaborator
 
     with open(args.file, encoding="utf-8") as handle:
-        design = Elaborator(handle.read()).elaborate(args.top)
+        text = handle.read()
+    if args.backend != "event" or args.no_transfer_engine:
+        return _run_via_model(args, text)
+    design = Elaborator(text).elaborate(args.top)
     design.run()
     wanted = [s.strip().lower() for s in args.signals.split(",") if s.strip()]
     names = wanted or sorted(design.signals)
@@ -163,6 +183,37 @@ def cmd_run(args) -> int:
         f"physical time {design.sim.now.time} ns"
     )
     return 0
+
+
+def _run_via_model(args, text: str) -> int:
+    """Non-default backends interpret the design *structurally*: the
+    §2.7 architecture is recovered into an RT model and handed to the
+    selected engine backend (the VHDL interpreter is event-only)."""
+    from .vhdl import recover_model
+
+    model = recover_model(text, args.top)
+    sim = model.elaborate(
+        backend=args.backend,
+        transfer_engine=not args.no_transfer_engine,
+    ).run()
+    wanted = [s.strip().lower() for s in args.signals.split(",") if s.strip()]
+    values = {
+        f"{name}_out": value for name, value in sim.registers.items()
+    }
+    names = wanted or sorted(values)
+    for name in names:
+        if name not in values:
+            raise ValueError(
+                f"unknown signal {name!r} (the {args.backend!r} backend "
+                f"exposes register outputs only)"
+            )
+        print(f"{name} = {values[name]}")
+    stats = sim.stats
+    print(
+        f"-- {stats.delta_cycles} delta cycles, {stats.events} events, "
+        f"physical time 0 ns"
+    )
+    return 0 if sim.clean else 1
 
 
 def cmd_analyze(args) -> int:
@@ -193,6 +244,8 @@ def cmd_simulate(args) -> int:
     sim = model.elaborate(
         register_values=overrides or None,
         trace=bool(args.vcd or args.trace),
+        backend=args.backend,
+        transfer_engine=not args.no_transfer_engine,
     ).run()
     for name, value in sorted(sim.registers.items()):
         print(f"{name} = {format_value(value)}")
@@ -293,9 +346,13 @@ def cmd_iks(args) -> int:
 
     px_text, _, py_text = args.target.partition(",")
     px, py = float(px_text), float(py_text)
+    backend = args.backend
+    transfer_engine = not args.no_transfer_engine
     if args.phi is not None:
-        return _cmd_iks3(px, py, args.phi)
-    run, ref = crosscheck(px, py)
+        return _cmd_iks3(px, py, args.phi, backend, transfer_engine)
+    run, ref = crosscheck(
+        px, py, backend=backend, transfer_engine=transfer_engine
+    )
     fx, fy = forward_kinematics(run.theta1_rad, run.theta2_rad)
     print(f"target      : ({px}, {py})")
     print(f"chip        : theta1={run.theta1_rad:.6f}  theta2={run.theta2_rad:.6f}")
@@ -310,10 +367,18 @@ def cmd_iks(args) -> int:
     return 0 if (run.clean and exact) else 1
 
 
-def _cmd_iks3(px: float, py: float, phi: float) -> int:
+def _cmd_iks3(
+    px: float,
+    py: float,
+    phi: float,
+    backend: str = "event",
+    transfer_engine: bool = True,
+) -> int:
     from .iks import forward_kinematics3, run_ik3_chip, solve_ik3
 
-    run = run_ik3_chip(px, py, phi)
+    run = run_ik3_chip(
+        px, py, phi, backend=backend, transfer_engine=transfer_engine
+    )
     ref = solve_ik3(px, py, phi)
     fx, fy, fphi = forward_kinematics3(
         run.theta1_rad, run.theta2_rad, run.theta3_rad

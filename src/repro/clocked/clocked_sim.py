@@ -22,7 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
+from ..core.diagnostics import ConflictEvent, ConflictLog
 from ..core.modules_lib import ModuleSpec
+from ..core.phases import Phase, StepPhase
 from ..core.values import DISC, ILLEGAL
 from ..kernel import SimStats, Simulator, wait_for, wait_until
 from .translate import ClockedTranslation, UnitIssue
@@ -118,14 +120,25 @@ def simulate_cycles(
 # ----------------------------------------------------------------------
 @dataclass
 class ClockedKernelSim:
-    """Handle to an elaborated event-driven clocked design."""
+    """Handle to an elaborated event-driven clocked design.
+
+    Conforms to the :class:`repro.engine.Backend` protocol so the
+    benchmark harness compares it against the clock-free backends
+    through one interface.  The clocked translation has no resolved
+    buses -- all sharing was compiled into mux tables -- so conflicts
+    can only surface as ILLEGAL values latched into registers; the
+    monitor localizes those to the clock cycle (reported as control
+    step, phase CR) in which they were latched.
+    """
 
     sim: Simulator
     translation: ClockedTranslation
     _reg_signals: dict = field(default_factory=dict)
+    monitor: ConflictLog = field(default_factory=ConflictLog)
 
     def run(self) -> "ClockedKernelSim":
         self.sim.run()
+        self._scan_illegal()
         return self
 
     @property
@@ -133,8 +146,28 @@ class ClockedKernelSim:
         return {name: sig.value for name, sig in self._reg_signals.items()}
 
     @property
+    def conflicts(self) -> list[ConflictEvent]:
+        return self.monitor.events
+
+    @property
+    def clean(self) -> bool:
+        return self.monitor.clean and not any(
+            value == ILLEGAL for value in self.registers.values()
+        )
+
+    @property
     def stats(self) -> SimStats:
         return self.sim.stats
+
+    def _scan_illegal(self) -> None:
+        cycle = min(self.translation.cycles, self.translation.model.cs_max)
+        for name, sig in self._reg_signals.items():
+            if sig.value == ILLEGAL:
+                self.monitor.record(
+                    ConflictEvent(
+                        f"{name}_q", StepPhase(cycle, Phase.CR), ()
+                    )
+                )
 
 
 def elaborate_clocked(

@@ -16,7 +16,7 @@ Public surface:
 """
 
 from .components import make_controller, make_reg, make_trans
-from .diagnostics import ConflictEvent, ConflictMonitor
+from .diagnostics import ConflictEvent, ConflictLog, ConflictMonitor
 from .model import BusDecl, ModelError, RegisterDecl, RTModel
 from .modules_lib import (
     DEFAULT_WIDTH,
@@ -31,7 +31,7 @@ from .phases import PHASES_PER_STEP, Phase, StepPhase, iter_schedule
 from .reschedule import RescheduleError, RescheduleResult, reschedule
 from .schedule import PredictedConflict, ScheduleReport, analyze
 from .simulator import RTSimulation
-from .trace import Tracer, TraceSample
+from .trace import TraceLog, Tracer, TraceSample
 from .transfer import (
     RegisterTransfer,
     TransferError,
@@ -45,6 +45,7 @@ from .values import DISC, ILLEGAL, format_value, is_data, is_disc, is_illegal, r
 __all__ = [
     "BusDecl",
     "ConflictEvent",
+    "ConflictLog",
     "ConflictMonitor",
     "DEFAULT_WIDTH",
     "DISC",
@@ -65,6 +66,7 @@ __all__ = [
     "ResourceUsage",
     "ScheduleReport",
     "StepPhase",
+    "TraceLog",
     "Tracer",
     "TraceSample",
     "TransSpec",

@@ -43,16 +43,48 @@ class ConflictEvent:
         return f"ILLEGAL on {self.signal} at {self.at} (drivers: {drivers})"
 
 
-class ConflictMonitor:
+class ConflictLog:
+    """Backend-independent record of observed conflicts.
+
+    Every simulation backend (the event-driven kernel elaboration, the
+    compiled control-step executor, the clocked translation) exposes
+    one of these so diagnostics read identically regardless of how the
+    model was executed.  Subclasses decide *how* events get in; this
+    base only stores and reports them.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ConflictEvent] = []
+
+    @property
+    def clean(self) -> bool:
+        """True when no conflict has been observed."""
+        return not self.events
+
+    def record(self, event: ConflictEvent) -> None:
+        """Append one observed conflict."""
+        self.events.append(event)
+
+    def report(self) -> str:
+        """Multi-line human-readable conflict report."""
+        if not self.events:
+            return "no conflicts observed"
+        lines = [f"{len(self.events)} conflict(s) observed:"]
+        lines.extend(f"  {event}" for event in self.events)
+        return "\n".join(lines)
+
+
+class ConflictMonitor(ConflictLog):
     """Watches resolved signals and localizes ILLEGAL values.
 
-    Event-driven: a watcher callback on each resolved signal records
-    ILLEGAL transitions as they happen (costing nothing while the
-    model is clean), and a drain process sensitive to the phase signal
-    attributes each one to the ``(control step, phase)`` in force when
-    it appeared -- by the time processes run, all of the cycle's
-    signal updates (including CS/PH) are final.  A signal is reported
-    once per contiguous ILLEGAL episode.
+    The event-kernel realization of :class:`ConflictLog`: a watcher
+    callback on each resolved signal records ILLEGAL transitions as
+    they happen (costing nothing while the model is clean), and a
+    drain process sensitive to the phase signal attributes each one to
+    the ``(control step, phase)`` in force when it appeared -- by the
+    time processes run, all of the cycle's signal updates (including
+    CS/PH) are final.  A signal is reported once per contiguous
+    ILLEGAL episode.
     """
 
     def __init__(
@@ -63,19 +95,14 @@ class ConflictMonitor:
         watched: Sequence[Signal],
         name: str = "conflict_monitor",
     ) -> None:
+        super().__init__()
         self._cs = cs
         self._ph = ph
-        self.events: list[ConflictEvent] = []
         self._pending: list[Signal] = []
         self._active: set[str] = set()
         for sig in watched:
             sig.watch(self._on_event)
         sim.add_process(name, self._process)
-
-    @property
-    def clean(self) -> bool:
-        """True when no conflict has been observed."""
-        return not self.events
 
     def _on_event(self, sig: Signal, old: int, new: int) -> None:
         if new == ILLEGAL:
@@ -97,13 +124,5 @@ class ConflictMonitor:
                     for owner, value in iter_driver_values(sig)
                     if value != DISC
                 )
-                self.events.append(ConflictEvent(sig.name, at, sources))
+                self.record(ConflictEvent(sig.name, at, sources))
             self._pending.clear()
-
-    def report(self) -> str:
-        """Multi-line human-readable conflict report."""
-        if not self.events:
-            return "no conflicts observed"
-        lines = [f"{len(self.events)} conflict(s) observed:"]
-        lines.extend(f"  {event}" for event in self.events)
-        return "\n".join(lines)

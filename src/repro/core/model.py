@@ -369,8 +369,9 @@ class RTModel:
         watch: Optional[Iterable[str]] = None,
         max_deltas: int = 1_000_000,
         transfer_engine: bool = True,
+        backend: str = "event",
     ):
-        """Build the kernel simulation for this model.
+        """Build an executable simulation for this model.
 
         Parameters
         ----------
@@ -385,12 +386,23 @@ class RTModel:
             Realize the TRANS instances as one folded engine process
             (default) or one kernel process each (the literal paper
             structure); observationally identical, see
-            :class:`repro.core.simulator.RTSimulation`.
-        Returns a :class:`repro.core.simulator.RTSimulation`.
-        """
-        from .simulator import RTSimulation  # local import: avoid cycle
+            :class:`repro.core.simulator.RTSimulation`.  Only
+            meaningful for the event backend.
+        backend:
+            Which simulation engine executes the model: ``"event"``
+            (the delta-cycle kernel, default) or ``"compiled"`` (the
+            per-(step, phase) action-table executor); see
+            :mod:`repro.engine`.  Both are bit-identical in registers,
+            traces and conflict localization.
 
-        return RTSimulation(
+        Returns a :class:`repro.engine.Backend` -- an
+        :class:`repro.core.simulator.RTSimulation` for the default
+        event backend.
+        """
+        from ..engine import create_backend  # local import: avoid cycle
+
+        return create_backend(
+            backend,
             self,
             register_values=register_values,
             trace=trace,

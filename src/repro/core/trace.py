@@ -14,7 +14,7 @@ tick per phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence, TextIO
 
 from ..kernel import Signal, Simulator, wait_on
@@ -33,39 +33,22 @@ class TraceSample:
         return self.values[name]
 
 
-class Tracer:
-    """Records watched signals at every phase change.
+class TraceLog:
+    """Backend-independent store of (step, phase) samples.
 
-    Parameters
-    ----------
-    sim, cs, ph:
-        The kernel simulator and the control-step/phase signals.
-    watched:
-        Signals to record.  Defaults (in :class:`RTSimulation`) to all
-        buses and functional-unit ports.
+    Holds the recorded waveform plus every query and rendering helper;
+    how samples get in is the subclass's business.  The event-kernel
+    :class:`Tracer` fills it from a phase-sensitive process; the
+    compiled backend appends one sample per executed cycle directly.
     """
 
-    def __init__(
-        self,
-        sim: Simulator,
-        cs: Signal,
-        ph: Signal,
-        watched: Sequence[Signal],
-        name: str = "tracer",
-    ) -> None:
-        self._cs = cs
-        self._ph = ph
-        self._watched = list(watched)
+    def __init__(self, watched_names: Sequence[str]) -> None:
+        self.watched_names = list(watched_names)
         self.samples: list[TraceSample] = []
-        sim.add_process(name, self._process)
 
-    def _process(self):
-        while True:
-            yield wait_on(self._ph)
-            at = StepPhase(self._cs.value, Phase(self._ph.value))
-            self.samples.append(
-                TraceSample(at, {s.name: s.value for s in self._watched})
-            )
+    def append(self, at: StepPhase, values: Mapping[str, int]) -> None:
+        """Record one sample (values must cover every watched name)."""
+        self.samples.append(TraceSample(at, dict(values)))
 
     # ------------------------------------------------------------------
     # queries
@@ -101,9 +84,9 @@ class Tracer:
     # ------------------------------------------------------------------
     def format_table(self, signals: Optional[Iterable[str]] = None) -> str:
         """An ASCII table: rows = (step, phase), columns = signals."""
-        names = list(signals) if signals is not None else [
-            s.name for s in self._watched
-        ]
+        names = list(signals) if signals is not None else list(
+            self.watched_names
+        )
         header = ["cs.ph"] + names
         rows = [header]
         for sample in self.samples:
@@ -124,7 +107,7 @@ class Tracer:
         DISC is emitted as ``z`` (high impedance) and ILLEGAL as ``x``,
         matching their intuitive std-logic analogues.
         """
-        names = [s.name for s in self._watched]
+        names = list(self.watched_names)
         idents = {name: _vcd_ident(i) for i, name in enumerate(names)}
         out.write("$date reproduction of Mutz DATE'98 $end\n")
         out.write("$timescale 1ns $end\n")
@@ -145,6 +128,39 @@ class Tracer:
                 out.write(f"#{max(tick, 0)}\n")
                 for name, value in changes:
                     out.write(f"{_vcd_value(value)} {idents[name]}\n")
+
+
+class Tracer(TraceLog):
+    """Records watched signals at every phase change (event kernel).
+
+    Parameters
+    ----------
+    sim, cs, ph:
+        The kernel simulator and the control-step/phase signals.
+    watched:
+        Signals to record.  Defaults (in :class:`RTSimulation`) to all
+        buses and functional-unit ports.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cs: Signal,
+        ph: Signal,
+        watched: Sequence[Signal],
+        name: str = "tracer",
+    ) -> None:
+        super().__init__([s.name for s in watched])
+        self._cs = cs
+        self._ph = ph
+        self._watched = list(watched)
+        sim.add_process(name, self._process)
+
+    def _process(self):
+        while True:
+            yield wait_on(self._ph)
+            at = StepPhase(self._cs.value, Phase(self._ph.value))
+            self.append(at, {s.name: s.value for s in self._watched})
 
 
 def _vcd_ident(index: int) -> str:

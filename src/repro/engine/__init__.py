@@ -1,0 +1,29 @@
+"""Pluggable simulation-engine layer.
+
+See :mod:`repro.engine.backend` for the :class:`Backend` protocol and
+the factory registry, and :mod:`repro.engine.compiled` for the
+compiled control-step backend.
+"""
+
+from .backend import (
+    Backend,
+    BackendError,
+    BackendFactory,
+    backend_names,
+    create_backend,
+    register_backend,
+    run_metrics,
+)
+from .compiled import CompiledRTSimulation, PortView
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BackendFactory",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+    "run_metrics",
+    "CompiledRTSimulation",
+    "PortView",
+]

@@ -1,0 +1,148 @@
+"""The pluggable simulation-engine layer: backend protocol + registry.
+
+Every way of executing a model in this repo -- the event-driven kernel
+elaboration (:class:`repro.core.simulator.RTSimulation`), the compiled
+control-step executor (:class:`repro.engine.compiled.CompiledRTSimulation`),
+the clocked kernel design (:class:`repro.clocked.clocked_sim.ClockedKernelSim`)
+and the handshake network (:class:`repro.handshake.network.HandshakeSimulation`)
+-- presents the same small surface: run to quiescence, then read
+registers, conflicts and :class:`~repro.kernel.SimStats` counters.
+:class:`Backend` names that surface; :func:`run_metrics` turns any
+conforming backend into one comparable metrics row (used by the E5/E6
+benchmarks to compare styles like with like).
+
+RT-model backends -- the ones :meth:`RTModel.elaborate` can select by
+name -- additionally register themselves in a factory registry:
+
+* ``"event"``: the delta-cycle kernel elaboration (the default; the
+  literal semantics of the paper's VHDL).
+* ``"compiled"``: precomputed per-(step, phase) action tables executed
+  as a straight loop, bit-identical to the event kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+from ..kernel import SimStats
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What every simulation backend exposes after elaboration.
+
+    ``run()`` executes to quiescence and returns the backend (so call
+    chains like ``model.elaborate().run().registers`` work on any
+    backend).  The read-only properties are meaningful after (and,
+    where the backend supports stepping, during) the run.
+    """
+
+    def run(self) -> "Backend":  # pragma: no cover - protocol
+        ...
+
+    @property
+    def registers(self) -> dict:  # pragma: no cover - protocol
+        """Final (or current) register values by name."""
+        ...
+
+    @property
+    def conflicts(self) -> list:  # pragma: no cover - protocol
+        """Observed :class:`~repro.core.diagnostics.ConflictEvent` list."""
+        ...
+
+    @property
+    def clean(self) -> bool:  # pragma: no cover - protocol
+        """True when the run produced no ILLEGAL value anywhere."""
+        ...
+
+    @property
+    def stats(self) -> SimStats:  # pragma: no cover - protocol
+        """Unified simulation-cost counters."""
+        ...
+
+
+#: An RT-model backend factory: ``factory(model, **elaborate_kwargs)``.
+BackendFactory = Callable[..., Backend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+class BackendError(ValueError):
+    """Raised for unknown backend names."""
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register an RT-model backend under ``name`` (overwrites)."""
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> List[str]:
+    """The registered RT-model backend names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, model: Any, **kwargs: Any) -> Backend:
+    """Instantiate the named backend for ``model``.
+
+    ``kwargs`` are the :meth:`RTModel.elaborate` parameters
+    (``register_values``, ``trace``, ``watch``, ``max_deltas``,
+    ``transfer_engine``); each backend consumes what applies to it.
+    """
+    _ensure_builtins()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory(model, **kwargs)
+
+
+def _ensure_builtins() -> None:
+    # Deferred: the factories import the core/engine modules, which in
+    # turn import this module.
+    if "event" not in _REGISTRY:
+        register_backend("event", _event_factory)
+    if "compiled" not in _REGISTRY:
+        register_backend("compiled", _compiled_factory)
+
+
+def _event_factory(model: Any, **kwargs: Any) -> Backend:
+    from ..core.simulator import RTSimulation
+
+    return RTSimulation(model, **kwargs)
+
+
+def _compiled_factory(model: Any, **kwargs: Any) -> Backend:
+    from .compiled import CompiledRTSimulation
+
+    return CompiledRTSimulation(model, **kwargs)
+
+
+def run_metrics(
+    backend: Backend,
+    wall: Optional[float] = None,
+    baseline: Optional[SimStats] = None,
+) -> Dict[str, float]:
+    """One comparable metrics row for any backend.
+
+    ``wall`` is the measured wall-clock time in seconds (the caller
+    times the run; elaboration cost is excluded uniformly).
+    ``baseline`` subtracts a stats snapshot taken before the measured
+    interval, for backends whose simulator is reused.
+    """
+    stats = backend.stats
+    if baseline is not None:
+        stats = stats - baseline
+    row: Dict[str, float] = {
+        "deltas": stats.delta_cycles,
+        "events": stats.events,
+        "resumes": stats.process_resumes,
+        "transactions": stats.transactions,
+        "conflicts": len(backend.conflicts),
+    }
+    if wall is not None:
+        row["wall"] = wall
+    return row

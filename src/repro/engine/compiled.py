@@ -1,0 +1,501 @@
+"""The compiled control-step backend.
+
+Instead of elaborating the model onto the generic delta-cycle kernel
+(heap of pending transactions, generator processes, waiter sets), this
+backend *compiles* the model at elaboration time: the static schedule
+is turned into per-``(step, phase)`` action tables -- transfer asserts
+and releases, module evaluations in CM, register latches in CR --
+which :meth:`CompiledRTSimulation.run` then executes as a straight
+loop over :func:`repro.core.phases.iter_schedule`.  This is exactly
+the activation indexing a compiled VHDL simulator derives from the
+subset's ``wait until CS = S and PH = P`` conditions (cf. the AOC
+C-model derivation in PAPERS.md): the schedule is static, so no
+runtime scheduler is needed.
+
+Observable behaviour is **bit-identical** to the event kernel:
+
+* register results, full port-by-port ``(step, phase)`` traces, and
+  conflict events with the same ``(CS, PH)`` locations, sources and
+  order -- the executor replicates the kernel's one-delta-cycle driver
+  update pipeline (a value driven during cycle *k* becomes effective
+  in cycle *k + 1*), VHDL transaction semantics on resolved sinks, and
+  the once-per-episode conflict accounting;
+* the paper's delta accounting: ``stats.delta_cycles`` counts one
+  synthesized delta cycle per executed (step, phase) point -- the
+  ``CS_MAX * 6`` claim of E2 -- plus the same conditional trailing
+  cycle the kernel needs when the final CR still has updates in
+  flight; ``events`` and ``transactions`` count the identical signal
+  activity (model ports plus the CS/PH/tick bookkeeping the kernel's
+  controller generates).
+
+``process_resumes`` is the one honestly *different* counter: the
+compiled loop wakes no processes at all, so it reports one fused
+dispatch per executed cycle -- the measure of scheduler work the E6
+benchmark compares against the event kernel's per-component wakeups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional
+
+from ..core.diagnostics import ConflictEvent, ConflictLog
+from ..core.model import ModelError, RTModel
+from ..core.modules_lib import ModuleSpec, Operation, _combine
+from ..core.phases import PHASES_PER_STEP, Phase, StepPhase, iter_schedule
+from ..core.trace import TraceLog
+from ..core.transfer import TransSpec
+from ..core.values import DISC, ILLEGAL, resolve_rt
+from ..kernel import SimStats
+from ..kernel.errors import DeltaCycleLimitError
+
+#: Per-cycle bookkeeping phases: CS changes in RA, ticks fire in CM/CR.
+_EXTRA_EVENTS = {int(Phase.RA): 1, int(Phase.CM): 1, int(Phase.CR): 1}
+
+#: Bookkeeping transactions the kernel's controller *schedules during*
+#: a cycle at each phase (counted at schedule time, one cycle before
+#: they apply): the next PH always, plus the tick alongside CM/CR and
+#: the CS increment alongside RA (scheduled in the preceding CR).
+_SCHED_TX = {
+    int(Phase.RA): 1,
+    int(Phase.RB): 2,
+    int(Phase.CM): 1,
+    int(Phase.WA): 1,
+    int(Phase.WB): 2,
+    int(Phase.CR): 2,
+}
+
+
+class PortView:
+    """Read-only view of one compiled port (``signal(name)`` result).
+
+    Mimics the slice of the kernel :class:`~repro.kernel.Signal` API
+    that model-level code reads: ``name`` and the current ``value``.
+    """
+
+    __slots__ = ("name", "_values", "_index")
+
+    def __init__(self, name: str, values: List[int], index: int) -> None:
+        self.name = name
+        self._values = values
+        self._index = index
+
+    @property
+    def value(self) -> int:
+        return self._values[self._index]
+
+    def __repr__(self) -> str:
+        return f"<PortView {self.name}={self.value!r}>"
+
+
+class CompiledRTSimulation:
+    """A compiled, ready-to-run elaboration of an RT model.
+
+    Drop-in for :class:`repro.core.simulator.RTSimulation`: same
+    constructor keywords (``transfer_engine`` is accepted and ignored
+    -- both realizations compile to the same action tables), same
+    result surface (``registers``, ``conflicts``, ``clean``, ``stats``,
+    ``monitor``, ``tracer``, ``signal``, ``run_steps``).
+    """
+
+    def __init__(
+        self,
+        model: RTModel,
+        register_values: Optional[Mapping[str, int]] = None,
+        trace: bool = False,
+        watch: Optional[Iterable[str]] = None,
+        max_deltas: int = 1_000_000,
+        transfer_engine: bool = True,
+    ) -> None:
+        del transfer_engine  # one compiled realization covers both
+        self.model = model
+        self._max_deltas = max_deltas
+        overrides = dict(register_values or {})
+        unknown = set(overrides) - set(model.registers)
+        if unknown:
+            raise ModelError(
+                f"register_values for unknown registers: {sorted(unknown)}"
+            )
+
+        # -- port table (same order the event elaboration declares) -----
+        self._names: List[str] = []
+        self._values: List[int] = []
+        self._index: dict[str, int] = {}
+        self._resolved: set[int] = set()
+
+        def port(name: str, init: int, resolved: bool = False) -> int:
+            idx = len(self._names)
+            self._names.append(name)
+            self._values.append(init)
+            self._index[name] = idx
+            if resolved:
+                self._resolved.add(idx)
+            return idx
+
+        for bus in model.buses.values():
+            port(bus.name, DISC, resolved=True)
+        self._reg_out_idx: dict[str, int] = {}
+        reg_latches: List[tuple[int, int]] = []
+        for reg in model.registers.values():
+            init = overrides.get(reg.name, reg.init)
+            if init != DISC:
+                init %= 1 << model.width
+            in_idx = port(f"{reg.name}_in", DISC, resolved=True)
+            out_idx = port(f"{reg.name}_out", init)
+            self._reg_out_idx[reg.name] = out_idx
+            reg_latches.append((in_idx, out_idx))
+        self._reg_latches = reg_latches
+        module_evals = []
+        for spec in model.modules.values():
+            in_idxs = [
+                port(f"{spec.name}_in{i}", DISC, resolved=True)
+                for i in range(1, spec.arity + 1)
+            ]
+            out_idx = port(f"{spec.name}_out", DISC)
+            op_idx = None
+            if spec.multi_op:
+                op_idx = port(f"{spec.name}_op", DISC, resolved=True)
+            module_evals.append(
+                (out_idx, _compile_module(spec, self._values, in_idxs, op_idx))
+            )
+        self._module_evals = module_evals
+
+        # -- driver table (one per TRANS instance, in spec order) --------
+        self._drv_contrib: List[int] = []
+        self._drv_owner: List[str] = []
+        self._drv_sink: List[int] = []
+        self._sink_drivers: dict[int, List[int]] = {}
+        asserts: dict[tuple[int, int], List[tuple[int, Optional[int], int]]] = {}
+        releases: dict[tuple[int, int], List[int]] = {}
+        for spec in model.trans_specs():
+            sink = self._port(spec.sink)
+            if sink not in self._resolved:
+                raise ModelError(
+                    f"transfer {spec.name}: sink {spec.sink!r} is not a "
+                    f"resolved port"
+                )
+            drv = len(self._drv_contrib)
+            self._drv_contrib.append(DISC)
+            self._drv_owner.append(spec.name)
+            self._drv_sink.append(sink)
+            self._sink_drivers.setdefault(sink, []).append(drv)
+            if spec.source.startswith("op:"):
+                src, const = None, self._op_code(spec)
+            else:
+                src, const = self._port(spec.source), 0
+            asserts.setdefault((spec.step, int(spec.phase)), []).append(
+                (drv, src, const)
+            )
+            releases.setdefault(
+                (spec.step, int(spec.phase.succ())), []
+            ).append(drv)
+        self._asserts = asserts
+        self._releases = releases
+
+        # -- observers ---------------------------------------------------
+        self.monitor = ConflictLog()
+        self._active_illegal: set[int] = set()
+        self.tracer: Optional[TraceLog] = None
+        if trace or watch:
+            for extra in watch or ():
+                if extra not in self._index:
+                    raise ModelError(f"cannot watch unknown signal {extra!r}")
+            self.tracer = TraceLog(list(self._names))
+
+        # -- execution state --------------------------------------------
+        self.stats = SimStats()
+        # The kernel's initialization cycle: one cycle, and the
+        # controller's initial CS/PH assignments (two transactions).
+        self.stats.cycles = 1
+        self.stats.transactions = 2
+        self._schedule = list(iter_schedule(model.cs_max))
+        self._pos = 0
+        #: updates scheduled during the current cycle, due next cycle:
+        #: (driver index, value) and (port index, value) respectively.
+        self._pend_drv: List[tuple[int, int]] = []
+        self._pend_out: List[tuple[int, int]] = []
+        self._finished = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> "CompiledRTSimulation":
+        """Run the model to quiescence (all ``cs_max`` control steps)."""
+        self._execute_until(len(self._schedule))
+        if not self._finished:
+            self._finish()
+        self._ran = True
+        return self
+
+    def run_steps(self, steps: int) -> "CompiledRTSimulation":
+        """Run only the first ``steps`` control steps (for debugging).
+
+        Stops right after the (steps, RA) cycle executes -- the cycle
+        in which CS reaches ``steps`` and the previous step's register
+        latches land -- exactly where the event kernel's ``run_steps``
+        loop exits.  ``steps > cs_max`` runs to quiescence.
+        """
+        if steps > self.model.cs_max:
+            return self.run()
+        if steps >= 1:
+            self._execute_until((steps - 1) * PHASES_PER_STEP + 1)
+        self._ran = True
+        return self
+
+    def _execute_until(self, end_pos: int) -> None:
+        stats = self.stats
+        values = self._values
+        contrib = self._drv_contrib
+        tracer = self.tracer
+        while self._pos < end_pos:
+            at = self._schedule[self._pos]
+            self._pos += 1
+            if stats.delta_cycles >= self._max_deltas:
+                raise DeltaCycleLimitError(self._max_deltas)
+            stats.cycles += 1
+            stats.delta_cycles += 1
+            stats.process_resumes += 1  # one fused dispatch per cycle
+            # Controller bookkeeping the kernel performs each cycle: a
+            # PH event always, plus CS in RA and the tick in CM/CR;
+            # transactions follow the controller's schedule-time
+            # profile (nothing is scheduled during the final CR).
+            stats.events += 1 + _EXTRA_EVENTS.get(int(at.phase), 0)
+            if self._pos < len(self._schedule) or at.phase is not Phase.CR:
+                stats.transactions += _SCHED_TX[int(at.phase)]
+            self._apply_pending(at, record_conflicts=True)
+            if tracer is not None:
+                tracer.append(at, dict(zip(self._names, values)))
+            # -- this cycle's actions (due next cycle) -------------------
+            key = (at.step, int(at.phase))
+            for drv, src, const in self._asserts.get(key, ()):
+                self._pend_drv.append(
+                    (drv, values[src] if src is not None else const)
+                )
+                stats.transactions += 1
+            for drv in self._releases.get(key, ()):
+                self._pend_drv.append((drv, DISC))
+                stats.transactions += 1
+            phase = at.phase
+            if phase is Phase.CM:
+                for out_idx, evaluate in self._module_evals:
+                    self._pend_out.append((out_idx, evaluate()))
+                    stats.transactions += 1
+            elif phase is Phase.CR:
+                for in_idx, out_idx in self._reg_latches:
+                    if values[in_idx] != DISC:
+                        self._pend_out.append((out_idx, values[in_idx]))
+                        stats.transactions += 1
+        del contrib
+
+    def _finish(self) -> None:
+        """The trailing delta cycle, when the final CR left updates in
+        flight (WB releases and register latches of step ``cs_max``).
+        No conflicts are attributable there -- the kernel's monitor
+        never drains without a PH event -- and no trace sample is
+        taken, matching the event elaboration exactly."""
+        self._finished = True
+        if not (self._pend_drv or self._pend_out):
+            return
+        self.stats.cycles += 1
+        self.stats.delta_cycles += 1
+        last = self._schedule[-1]
+        self._apply_pending(last, record_conflicts=False)
+
+    def _apply_pending(self, at: StepPhase, record_conflicts: bool) -> None:
+        """Apply updates scheduled in the previous cycle.
+
+        Replicates the kernel's update step: driver contributions land
+        first-touch-ordered on their resolved sinks (a transaction on a
+        resolved sink re-resolves even without a contribution change),
+        single-driver ports change directly, and each effective-value
+        change counts one event.  Conflict events are recorded for
+        sinks that newly resolved to ILLEGAL, with all of the cycle's
+        updates already applied when sources are read -- the kernel's
+        monitor drains after the update phase.
+        """
+        if not (self._pend_drv or self._pend_out):
+            return
+        pend_drv, self._pend_drv = self._pend_drv, []
+        pend_out, self._pend_out = self._pend_out, []
+        values = self._values
+        contrib = self._drv_contrib
+        stats = self.stats
+        dirty: List[int] = []
+        seen: set[int] = set()
+        for drv, value in pend_drv:
+            contrib[drv] = value
+            sink = self._drv_sink[drv]
+            if sink not in seen:
+                seen.add(sink)
+                dirty.append(sink)
+        for idx, value in pend_out:
+            if values[idx] != value:
+                values[idx] = value
+                stats.events += 1
+        newly_illegal: List[int] = []
+        for sink in dirty:
+            new = resolve_rt(
+                [contrib[d] for d in self._sink_drivers[sink]]
+            )
+            if new == values[sink]:
+                continue
+            values[sink] = new
+            stats.events += 1
+            if new == ILLEGAL:
+                if sink not in self._active_illegal:
+                    self._active_illegal.add(sink)
+                    newly_illegal.append(sink)
+            else:
+                self._active_illegal.discard(sink)
+        if record_conflicts:
+            for sink in newly_illegal:
+                sources = tuple(
+                    (self._drv_owner[d], contrib[d])
+                    for d in self._sink_drivers[sink]
+                    if contrib[d] != DISC
+                )
+                self.monitor.record(
+                    ConflictEvent(self._names[sink], at, sources)
+                )
+
+    # ------------------------------------------------------------------
+    # results (mirrors RTSimulation)
+    # ------------------------------------------------------------------
+    @property
+    def registers(self) -> dict[str, int]:
+        """Current value of every register's output port."""
+        return {
+            name: self._values[idx]
+            for name, idx in self._reg_out_idx.items()
+        }
+
+    def __getitem__(self, register: str) -> int:
+        """Value of one register (``sim["R1"]``)."""
+        try:
+            return self._values[self._reg_out_idx[register]]
+        except KeyError:
+            raise KeyError(f"unknown register {register!r}") from None
+
+    @property
+    def conflicts(self) -> list[ConflictEvent]:
+        """Observed ILLEGAL episodes, localized to (step, phase)."""
+        return self.monitor.events
+
+    @property
+    def clean(self) -> bool:
+        """True when the run produced no ILLEGAL value anywhere."""
+        return self.monitor.clean and not any(
+            value == ILLEGAL for value in self.registers.values()
+        )
+
+    def signal(self, name: str) -> PortView:
+        """Access a port/bus value view by name (e.g. ``"ADD_out"``)."""
+        try:
+            return PortView(name, self._values, self._index[name])
+        except KeyError:
+            raise KeyError(f"unknown signal {name!r}") from None
+
+    def _port(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ModelError(
+                f"transfer references unknown port or bus {name!r}"
+            ) from None
+
+    def _op_code(self, spec: TransSpec) -> int:
+        op_name = spec.source[3:]
+        module_name = spec.sink.rsplit("_op", 1)[0]
+        return self.model.modules[module_name].op_code(op_name)
+
+
+def _compile_module(
+    spec: ModuleSpec,
+    values: List[int],
+    in_idxs: List[int],
+    op_idx: Optional[int],
+):
+    """Compile one functional unit into a CM-phase evaluator closure.
+
+    The closure reads the (already updated) input-port values, advances
+    the unit's internal state, and returns the value to drive on the
+    output port this cycle -- the exact state machines of
+    :func:`repro.core.modules_lib.make_module` (combinational,
+    variable-pipeline, and busy-poisoning non-pipelined variants,
+    including the sticky-ILLEGAL freeze and §3 op selection).
+    """
+    names = sorted(spec.operations)
+    default = spec.operations[spec.default_op]
+    width = spec.width
+
+    def select_operation() -> Optional[Operation]:
+        if op_idx is None:
+            return default
+        code = values[op_idx]
+        if code == DISC:
+            return default
+        if code == ILLEGAL or not 0 <= code < len(names):
+            return None
+        return spec.operations[names[code]]
+
+    def combined() -> int:
+        op = select_operation()
+        if op is None:
+            return ILLEGAL
+        return _combine(op, [values[i] for i in in_idxs], width)
+
+    if spec.latency == 0:
+        state = {"frozen": False}
+
+        def comb_eval() -> int:
+            result = combined()
+            if state["frozen"]:
+                result = ILLEGAL
+            elif result == ILLEGAL and spec.sticky_illegal:
+                state["frozen"] = True
+            return result
+
+        return comb_eval
+
+    if spec.pipelined:
+        pipe = [DISC] * spec.latency
+        state = {"frozen": False}
+
+        def pipe_eval() -> int:
+            out = ILLEGAL if state["frozen"] else pipe[-1]
+            if not state["frozen"]:
+                stage = combined()
+                if stage == ILLEGAL and spec.sticky_illegal:
+                    state["frozen"] = True
+                pipe[1:] = pipe[:-1]
+                pipe[0] = stage
+            return out
+
+        return pipe_eval
+
+    state = {"remaining": 0, "result": DISC, "frozen": False}
+
+    def nonpipe_eval() -> int:
+        if state["frozen"]:
+            return ILLEGAL
+        incoming = combined()
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            if incoming != DISC:
+                state["result"] = ILLEGAL
+            out = state["result"] if state["remaining"] == 0 else DISC
+        elif incoming != DISC:
+            state["remaining"] = spec.latency
+            state["result"] = incoming
+            out = state["result"] if state["remaining"] == 0 else DISC
+        else:
+            out = DISC
+        if (
+            state["result"] == ILLEGAL
+            and spec.sticky_illegal
+            and state["remaining"] == 0
+        ):
+            state["frozen"] = True
+        return out
+
+    return nonpipe_eval

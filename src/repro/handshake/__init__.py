@@ -6,12 +6,18 @@ timing-style comparison (:mod:`workloads`).
 """
 
 from .channels import Channel, TwoPhaseChannel
-from .network import HandshakeNetwork, NetworkError, chain_network
+from .network import (
+    HandshakeNetwork,
+    HandshakeSimulation,
+    NetworkError,
+    chain_network,
+)
 from .workloads import chain_expected, chain_fn, chain_rt_model
 
 __all__ = [
     "Channel",
     "HandshakeNetwork",
+    "HandshakeSimulation",
     "NetworkError",
     "TwoPhaseChannel",
     "chain_expected",

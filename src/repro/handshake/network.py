@@ -14,7 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
-from ..kernel import Simulator
+from ..core.diagnostics import ConflictEvent, ConflictLog
+from ..core.values import ILLEGAL
+from ..kernel import SimStats, Simulator
 from .channels import Channel
 
 
@@ -119,6 +121,64 @@ class HandshakeNetwork:
         results = self.build(sim)
         sim.run()
         return results
+
+    def elaborate(self, sim: Optional[Simulator] = None) -> "HandshakeSimulation":
+        """Instantiate the network as a :class:`repro.engine.Backend`.
+
+        Where the control-step backends read final register contents,
+        a dataflow network's observable state is the token streams its
+        sinks collected; :attr:`HandshakeSimulation.registers` maps
+        each sink to its *last* token (DISC-free networks produce no
+        conflicts, but ILLEGAL tokens flowing into a sink are
+        reported).
+        """
+        return HandshakeSimulation(self, sim or Simulator())
+
+
+class HandshakeSimulation:
+    """Backend-protocol adapter over a built handshake network.
+
+    Same result surface as the RT backends (``run``/``registers``/
+    ``conflicts``/``clean``/``stats``), so E5 can collect one metrics
+    row per style through :func:`repro.engine.run_metrics`.
+    """
+
+    def __init__(self, network: HandshakeNetwork, sim: Simulator) -> None:
+        self.network = network
+        self.sim = sim
+        self.results = network.build(sim)
+        self.monitor = ConflictLog()
+        self._ran = False
+
+    def run(self) -> "HandshakeSimulation":
+        self.sim.run()
+        self._ran = True
+        for sink, tokens in self.results.items():
+            for value in tokens:
+                if value == ILLEGAL:
+                    self.monitor.record(ConflictEvent(sink, None, ()))
+        return self
+
+    @property
+    def registers(self) -> dict[str, int]:
+        """Last token collected per sink (the network's final state)."""
+        return {
+            sink: tokens[-1]
+            for sink, tokens in self.results.items()
+            if tokens
+        }
+
+    @property
+    def conflicts(self) -> list[ConflictEvent]:
+        return self.monitor.events
+
+    @property
+    def clean(self) -> bool:
+        return self.monitor.clean
+
+    @property
+    def stats(self) -> SimStats:
+        return self.sim.stats
 
 
 def _source_proc(values: Sequence[int], outs: Sequence[Channel]):

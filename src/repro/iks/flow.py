@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.simulator import RTSimulation
+from ..engine import Backend
 from ..microcode.translator import MicrocodeTranslator, TranslationResult
 from .algorithm import ArmGeometry, IKSolution, solve_ik
 from .chip import ACCUMULATORS, IKSConfig, build_chip
@@ -23,7 +23,7 @@ from .microprogram import RESULT_REGISTERS, ik_microprogram
 class IKSRun:
     """Everything produced by one chip run."""
 
-    simulation: RTSimulation
+    simulation: Backend
     translation: TranslationResult
     theta1: int
     theta2: int
@@ -54,11 +54,15 @@ def run_ik_chip(
     py: float,
     config: Optional[IKSConfig] = None,
     trace: bool = False,
+    backend: str = "event",
+    transfer_engine: bool = True,
 ) -> IKSRun:
     """Simulate the IKS chip solving for target ``(px, py)``."""
     cfg = config or IKSConfig()
     model, translation = build_ik_model(px, py, cfg)
-    sim = model.elaborate(trace=trace).run()
+    sim = model.elaborate(
+        trace=trace, backend=backend, transfer_engine=transfer_engine
+    ).run()
     theta1 = sim[RESULT_REGISTERS["theta1"]]
     theta2 = sim[RESULT_REGISTERS["theta2"]]
     return IKSRun(
@@ -72,7 +76,11 @@ def run_ik_chip(
 
 
 def crosscheck(
-    px: float, py: float, config: Optional[IKSConfig] = None
+    px: float,
+    py: float,
+    config: Optional[IKSConfig] = None,
+    backend: str = "event",
+    transfer_engine: bool = True,
 ) -> tuple[IKSRun, IKSolution]:
     """Run chip and algorithmic reference on the same target.
 
@@ -80,7 +88,9 @@ def crosscheck(
     integer operations in the same order as :func:`solve_ik`.
     """
     cfg = config or IKSConfig()
-    run = run_ik_chip(px, py, cfg)
+    run = run_ik_chip(
+        px, py, cfg, backend=backend, transfer_engine=transfer_engine
+    )
     reference = solve_ik(px, py, cfg.geometry, cfg.fmt, cfg.cordic_spec)
     return run, reference
 
@@ -89,7 +99,7 @@ def crosscheck(
 class FKRun:
     """Result of running the forward-kinematics microprogram."""
 
-    simulation: RTSimulation
+    simulation: Backend
     x: int
     y: int
     x_real: float
@@ -139,7 +149,7 @@ def run_fk_chip(
 class IK3Run:
     """Result of the three-DOF chip run."""
 
-    simulation: RTSimulation
+    simulation: Backend
     theta1: int
     theta2: int
     theta3: int
@@ -180,7 +190,12 @@ def build_ik3_model(
 
 
 def run_ik3_chip(
-    px: float, py: float, phi: float, config: Optional[IKSConfig] = None
+    px: float,
+    py: float,
+    phi: float,
+    config: Optional[IKSConfig] = None,
+    backend: str = "event",
+    transfer_engine: bool = True,
 ) -> IK3Run:
     """Simulate the chip solving the 3-DOF problem (position + tool
     orientation)."""
@@ -188,7 +203,9 @@ def run_ik3_chip(
 
     cfg = config or IKSConfig(cs_max=IK3_TOTAL_STEPS + 1)
     model = build_ik3_model(px, py, phi, cfg)
-    sim = model.elaborate().run()
+    sim = model.elaborate(
+        backend=backend, transfer_engine=transfer_engine
+    ).run()
     theta1 = sim[IK3_RESULT_REGISTERS["theta1"]]
     theta2 = sim[IK3_RESULT_REGISTERS["theta2"]]
     theta3 = sim[IK3_RESULT_REGISTERS["theta3"]]

@@ -20,6 +20,7 @@ from .elaborator import (
 )
 from .emitter import EmitterError, emit_model_vhdl, emit_module_entity
 from .formatter import format_expr, format_file, format_unit
+from .importer import ImporterError, recover_model
 from .lexer import Token, VhdlSyntaxError, tokenize
 from .parser import parse_expression, parse_file
 from .stdlib import EXAMPLE_FIG1, PAPER_LIBRARY
@@ -79,8 +80,10 @@ __all__ = [
     "format_expr",
     "format_file",
     "format_unit",
+    "ImporterError",
     "parse_expression",
     "parse_file",
+    "recover_model",
     "roundtrip_model",
     "tokenize",
 ]

@@ -1,0 +1,578 @@
+"""Recovery of :class:`RTModel` structures from subset VHDL.
+
+The compiled backend executes *models*, not VHDL processes; to offer
+``repro run --backend compiled`` on a VHDL file, this module inverts
+the emitter: it recognizes the paper's §2.7 concrete-architecture shape
+(CONTROLLER / REG / TRANS / module-unit component instances over
+resolved signals) and rebuilds the :class:`repro.core.model.RTModel`
+it denotes.  Module entities are recognized *structurally* -- port
+profile, variable pipeline depth, sticky-ILLEGAL guard, and operation
+bodies matched against the emitter's expression templates -- so both
+emitted designs and the paper's hand-written Fig. 1 (including the
+§2.6 ADD of the component library) import cleanly.
+
+This is a bounded inverse, not a general VHDL synthesizer: designs
+outside the recognized shape raise :class:`ImporterError`, and
+``repro run``'s default event backend keeps interpreting them through
+:class:`repro.vhdl.elaborator.Elaborator` unchanged.  Self-checking
+testbench processes (wait/assert bodies, as produced by
+``emit_model_vhdl(checks=...)``) are accepted and ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..core.model import RTModel
+from ..core.modules_lib import DEFAULT_WIDTH, ModuleSpec, _standard_operations
+from ..core.phases import Phase
+from ..core.transfer import TransSpec, from_trans_specs
+from ..core.values import DISC, ILLEGAL
+from .ast import (
+    ArchitectureDecl,
+    AssertStmt,
+    AssociationElement,
+    Binary,
+    ComponentInst,
+    EntityDecl,
+    IfStmt,
+    IntLit,
+    Name,
+    NullStmt,
+    ProcessStmt,
+    SignalAssign,
+    SignalDecl,
+    Unary,
+    VarAssign,
+    WaitStmt,
+)
+from .emitter import _OP_TEMPLATES
+from .formatter import format_expr
+from .parser import parse_file
+from .stdlib import PAPER_LIBRARY
+
+
+class ImporterError(ValueError):
+    """Raised when a design is outside the recognizable §2.7 shape."""
+
+
+# ----------------------------------------------------------------------
+# operation-template matching
+# ----------------------------------------------------------------------
+def _norm(text: str) -> str:
+    return text.replace(" ", "").replace("(", "").replace(")", "").lower()
+
+
+def _build_op_patterns() -> list[tuple[str, "re.Pattern[str]"]]:
+    patterns: list[tuple[str, re.Pattern[str]]] = []
+    for name, template in _OP_TEMPLATES.items():
+        norm = _norm(template.format(a="m_in1", b="m_in2", m="\x00"))
+        regex = re.escape(norm).replace(re.escape("\x00"), r"(\d+)")
+        patterns.append((name, re.compile(f"^{regex}$")))
+        if norm.endswith("mod\x00"):
+            # The paper's own §2.6 adder computes without a modulus;
+            # accept the bare expression as the same operation at the
+            # default width.
+            bare = re.escape(norm[: -len("mod\x00")])
+            patterns.append((name, re.compile(f"^{bare}$")))
+    return patterns
+
+
+_OP_PATTERNS = _build_op_patterns()
+
+
+def _match_operation(expr) -> Optional[tuple[str, Optional[int]]]:
+    """Match an expression against the emitter's operation templates.
+
+    Returns ``(op_name, mask_or_None)``; PASS/COPY are textually
+    identical (``{a}``) and resolve to PASS.
+    """
+    norm = _norm(format_expr(expr))
+    for name, pattern in _OP_PATTERNS:
+        match = pattern.match(norm)
+        if match:
+            mask = int(match.group(1)) if pattern.groups else None
+            return name, mask
+    return None
+
+
+# ----------------------------------------------------------------------
+# small expression helpers
+# ----------------------------------------------------------------------
+def _int_value(expr) -> int:
+    """Evaluate a constant expression (integer literals, DISC/ILLEGAL,
+    and the emitter's ``0 - n`` negative encoding)."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Unary) and expr.op == "-":
+        return -_int_value(expr.operand)
+    if isinstance(expr, Binary) and expr.op in ("+", "-"):
+        left, right = _int_value(expr.left), _int_value(expr.right)
+        return left + right if expr.op == "+" else left - right
+    if isinstance(expr, Name):
+        if expr.ident == "disc":
+            return DISC
+        if expr.ident == "illegal":
+            return ILLEGAL
+    raise ImporterError(f"not a constant expression: {format_expr(expr)}")
+
+
+def _name_of(expr, what: str) -> str:
+    if not isinstance(expr, Name):
+        raise ImporterError(f"{what}: expected a signal name, got "
+                            f"{format_expr(expr)}")
+    return expr.ident
+
+
+def _associate(
+    formals: list[str], elements: tuple[AssociationElement, ...], what: str
+) -> dict[str, object]:
+    """Resolve positional/named association to formal -> actual expr."""
+    mapping: dict[str, object] = {}
+    position = 0
+    for element in elements:
+        if element.formal is not None:
+            mapping[element.formal] = element.actual
+        else:
+            if position >= len(formals):
+                raise ImporterError(f"{what}: too many positional actuals")
+            mapping[formals[position]] = element.actual
+            position += 1
+    return mapping
+
+
+# ----------------------------------------------------------------------
+# module-unit recognition
+# ----------------------------------------------------------------------
+def _is_checker_process(process: ProcessStmt) -> bool:
+    """A testbench process: only waits, asserts and nulls."""
+    def only_checks(stmts) -> bool:
+        for stmt in stmts:
+            if isinstance(stmt, (WaitStmt, AssertStmt, NullStmt)):
+                continue
+            if isinstance(stmt, IfStmt):
+                if not all(only_checks(body) for _, body in stmt.branches):
+                    return False
+                continue
+            return False
+        return True
+
+    return only_checks(process.body)
+
+
+def _iter_conditions(stmts):
+    for stmt in stmts:
+        if isinstance(stmt, IfStmt):
+            for condition, body in stmt.branches:
+                if condition is not None:
+                    yield condition
+                yield from _iter_conditions(body)
+
+
+def _ordered_events(stmts, out_formal: str, acc: list) -> None:
+    """Flatten the process body into ordered (out/var, expr) events."""
+    for stmt in stmts:
+        if isinstance(stmt, SignalAssign) and stmt.target == out_formal:
+            acc.append(("out", stmt.value))
+        elif isinstance(stmt, VarAssign):
+            acc.append(("var", stmt.target, stmt.value))
+        elif isinstance(stmt, IfStmt):
+            for _, body in stmt.branches:
+                _ordered_events(body, out_formal, acc)
+
+
+class _UnitShape:
+    """Structural description recovered from one module entity."""
+
+    def __init__(
+        self,
+        arity: int,
+        multi_op: bool,
+        latency: int,
+        sticky: bool,
+        operations: dict[str, int],  # op name -> decode code (or -1)
+        default_op: str,
+        mask: Optional[int],
+    ) -> None:
+        self.arity = arity
+        self.multi_op = multi_op
+        self.latency = latency
+        self.sticky = sticky
+        self.operations = operations
+        self.default_op = default_op
+        self.mask = mask
+
+
+def _analyze_unit(entity: EntityDecl, arch: ArchitectureDecl) -> _UnitShape:
+    """Recognize a §2.6-style functional-unit entity."""
+    formals = [port.name for port in entity.ports]
+    arity = sum(1 for f in formals if re.fullmatch(r"m_in\d+", f))
+    if arity not in (1, 2):
+        raise ImporterError(
+            f"entity {entity.name!r}: no m_in1/m_in2 operand ports"
+        )
+    multi_op = "m_op" in formals
+    outs = [p.name for p in entity.ports if p.mode == "out"]
+    if len(outs) != 1:
+        raise ImporterError(
+            f"entity {entity.name!r}: expected exactly one output port"
+        )
+    out_formal = outs[0]
+    processes = [
+        s for s in arch.statements if isinstance(s, ProcessStmt)
+    ]
+    if len(processes) != 1 or any(
+        isinstance(s, ComponentInst) for s in arch.statements
+    ):
+        raise ImporterError(
+            f"entity {entity.name!r}: expected a single-process architecture"
+        )
+    process = processes[0]
+    variables = [n for decl in process.decls for n in decl.names]
+
+    pipe_vars = [v for v in variables if re.fullmatch(r"p\d+", v)]
+    events: list = []
+    _ordered_events(process.body, out_formal, events)
+
+    if pipe_vars:
+        latency = len(pipe_vars)
+    else:
+        latency = 0
+        for event in events:
+            if event[0] == "out":
+                expr = event[1]
+                if isinstance(expr, Name) and expr.ident in (
+                    "disc", "illegal",
+                ):
+                    continue
+                # Output assigned before any computation: the paper's
+                # §2.6 single-variable pipeline (latency 1).
+                if isinstance(expr, Name) and expr.ident in variables:
+                    latency = 1
+                break
+            if event[0] == "var":
+                break
+
+    sticky = "frozen" in variables or any(
+        isinstance(cond, Binary)
+        and cond.op == "/="
+        and isinstance(cond.left, Name)
+        and cond.left.ident in variables
+        and isinstance(cond.right, Name)
+        and cond.right.ident == "illegal"
+        for cond in _iter_conditions(process.body)
+    )
+
+    masks: set[int] = set()
+    operations: dict[str, int] = {}
+    default_op: Optional[str] = None
+    if multi_op:
+        decode = _find_op_decode(process.body, "m_op")
+        if decode is None:
+            raise ImporterError(
+                f"entity {entity.name!r}: no operation decode over m_op"
+            )
+        for condition, body in decode.branches:
+            matched = _first_operation(body)
+            if condition is None:
+                continue  # else-branch: ILLEGAL poison
+            selector = _decode_selector(condition)
+            if selector == "disc":
+                if matched is None:
+                    raise ImporterError(
+                        f"entity {entity.name!r}: default branch has no "
+                        f"recognizable operation"
+                    )
+                default_op = matched[0]
+                if matched[1] is not None:
+                    masks.add(matched[1])
+            else:
+                if matched is None:
+                    raise ImporterError(
+                        f"entity {entity.name!r}: op code {selector} has no "
+                        f"recognizable operation"
+                    )
+                operations[matched[0]] = selector
+                if matched[1] is not None:
+                    masks.add(matched[1])
+        if default_op is None:
+            raise ImporterError(
+                f"entity {entity.name!r}: operation decode lacks the DISC "
+                f"default branch"
+            )
+        codes = sorted(operations.items(), key=lambda item: item[1])
+        if [code for _, code in codes] != list(range(len(codes))) or [
+            name for name, _ in codes
+        ] != sorted(operations):
+            raise ImporterError(
+                f"entity {entity.name!r}: operation codes do not follow the "
+                f"sorted-name encoding"
+            )
+    else:
+        found: dict[str, Optional[int]] = {}
+        for event in events:
+            if event[0] != "var":
+                continue
+            matched = _match_operation(event[2])
+            if matched is not None:
+                found.setdefault(matched[0], matched[1])
+                if matched[1] is not None:
+                    masks.add(matched[1])
+        if len(found) != 1:
+            raise ImporterError(
+                f"entity {entity.name!r}: expected exactly one operation "
+                f"body, recognized {sorted(found) or 'none'}"
+            )
+        (default_op,) = found
+        operations[default_op] = -1
+
+    if len(masks) > 1:
+        raise ImporterError(
+            f"entity {entity.name!r}: inconsistent arithmetic masks {masks}"
+        )
+    return _UnitShape(
+        arity=arity,
+        multi_op=multi_op,
+        latency=latency,
+        sticky=sticky,
+        operations=operations,
+        default_op=default_op,
+        mask=masks.pop() if masks else None,
+    )
+
+
+def _find_op_decode(stmts, op_formal: str) -> Optional[IfStmt]:
+    for stmt in stmts:
+        if isinstance(stmt, IfStmt):
+            first = stmt.branches[0][0]
+            if (
+                isinstance(first, Binary)
+                and first.op == "="
+                and isinstance(first.left, Name)
+                and first.left.ident == op_formal
+            ):
+                return stmt
+            for _, body in stmt.branches:
+                found = _find_op_decode(body, op_formal)
+                if found is not None:
+                    return found
+    return None
+
+
+def _decode_selector(condition) -> object:
+    if (
+        isinstance(condition, Binary)
+        and condition.op == "="
+        and isinstance(condition.left, Name)
+    ):
+        if isinstance(condition.right, Name):
+            return condition.right.ident
+        if isinstance(condition.right, IntLit):
+            return condition.right.value
+    raise ImporterError(
+        f"unrecognized operation-decode condition: {format_expr(condition)}"
+    )
+
+
+def _first_operation(stmts) -> Optional[tuple[str, Optional[int]]]:
+    events: list = []
+    _ordered_events(stmts, out_formal="", acc=events)
+    for event in events:
+        if event[0] == "var":
+            matched = _match_operation(event[2])
+            if matched is not None:
+                return matched
+    return None
+
+
+# ----------------------------------------------------------------------
+# top-level recovery
+# ----------------------------------------------------------------------
+def recover_model(
+    text: str, top: str, include_paper_library: bool = True
+) -> RTModel:
+    """Rebuild the :class:`RTModel` denoted by a §2.7-style design.
+
+    ``top`` names the top entity; its architecture must consist of
+    CONTROLLER/REG/TRANS/module component instances (plus optional
+    checker processes).  Identifiers come back lowercased, as the
+    subset lexer normalizes case.
+    """
+    source = PAPER_LIBRARY + "\n" + text if include_paper_library else text
+    design = parse_file(source)
+    architectures = design.architectures()
+    entities = design.entities()
+    top_name = top.lower()
+    if top_name not in architectures:
+        raise ImporterError(f"no architecture for entity {top!r}")
+    arch = architectures[top_name]
+
+    resolved_signals: list[str] = []
+    signal_inits: dict[str, int] = {}
+    unresolved: set[str] = set()
+    for decl in arch.decls:
+        if not isinstance(decl, SignalDecl):
+            continue
+        for name in decl.names:
+            if decl.subtype.resolution is not None:
+                resolved_signals.append(name)
+            else:
+                unresolved.add(name)
+                if decl.init is not None:
+                    try:
+                        signal_inits[name] = _int_value(decl.init)
+                    except ImporterError:
+                        pass  # e.g. PH's phase-typed init
+
+    cs_max: Optional[int] = None
+    registers: list[tuple[str, int]] = []
+    raw_trans: list[tuple[str, int, Phase, str, str]] = []
+    module_insts: list[tuple[str, ComponentInst]] = []
+    for stmt in arch.statements:
+        if isinstance(stmt, ProcessStmt):
+            if _is_checker_process(stmt):
+                continue
+            raise ImporterError(
+                f"process {stmt.label or '<anonymous>'}: only checker "
+                f"(wait/assert) processes are recognized at the top level"
+            )
+        if not isinstance(stmt, ComponentInst):
+            raise ImporterError(f"unrecognized concurrent statement: {stmt}")
+        if stmt.entity == "controller":
+            generics = _associate(["cs_max"], stmt.generic_map, stmt.label)
+            if "cs_max" not in generics:
+                raise ImporterError(f"{stmt.label}: CONTROLLER needs CS_MAX")
+            cs_max = _int_value(generics["cs_max"])
+        elif stmt.entity == "reg":
+            generics = _associate(["init"], stmt.generic_map, stmt.label)
+            init = (
+                _int_value(generics["init"]) if "init" in generics else DISC
+            )
+            ports = _associate(
+                ["ph", "r_in", "r_out"], stmt.port_map, stmt.label
+            )
+            out_name = _name_of(ports.get("r_out"), f"{stmt.label}: R_out")
+            if not out_name.endswith("_out"):
+                raise ImporterError(
+                    f"{stmt.label}: register output {out_name!r} must be "
+                    f"named <register>_out"
+                )
+            registers.append((out_name[: -len("_out")], init))
+        elif stmt.entity == "trans":
+            generics = _associate(["s", "p"], stmt.generic_map, stmt.label)
+            if "s" not in generics or "p" not in generics:
+                raise ImporterError(f"{stmt.label}: TRANS needs (S, P)")
+            step = _int_value(generics["s"])
+            phase = Phase.from_vhdl_name(
+                _name_of(generics["p"], f"{stmt.label}: P")
+            )
+            ports = _associate(
+                ["cs", "ph", "ins", "outs"], stmt.port_map, stmt.label
+            )
+            source = _name_of(ports.get("ins"), f"{stmt.label}: InS")
+            sink = _name_of(ports.get("outs"), f"{stmt.label}: OutS")
+            raw_trans.append((stmt.label, step, phase, source, sink))
+        else:
+            module_insts.append((stmt.label, stmt))
+
+    if cs_max is None:
+        raise ImporterError("no CONTROLLER instance found")
+
+    # -- modules --------------------------------------------------------
+    module_specs: list[tuple[str, _UnitShape]] = []
+    masks: set[int] = set()
+    shapes: dict[str, _UnitShape] = {}
+    for label, inst in module_insts:
+        entity = entities.get(inst.entity)
+        unit_arch = architectures.get(inst.entity)
+        if entity is None or unit_arch is None:
+            raise ImporterError(
+                f"{label}: unknown component entity {inst.entity!r}"
+            )
+        shape = _analyze_unit(entity, unit_arch)
+        formals = [port.name for port in entity.ports]
+        ports = _associate(formals, inst.port_map, label)
+        out_actual = _name_of(ports.get("m_out"), f"{label}: M_out")
+        if not out_actual.endswith("_out"):
+            raise ImporterError(
+                f"{label}: module output {out_actual!r} must be named "
+                f"<module>_out"
+            )
+        module_name = out_actual[: -len("_out")]
+        shapes[module_name] = shape
+        if shape.mask is not None:
+            masks.add(shape.mask)
+        module_specs.append((module_name, shape))
+
+    if len(masks) > 1:
+        raise ImporterError(f"inconsistent module arithmetic masks: {masks}")
+    width = masks.pop().bit_length() - 1 if masks else DEFAULT_WIDTH
+    standard_ops = _standard_operations(width)
+
+    # -- transfers ------------------------------------------------------
+    module_names = {name for name, _ in module_specs}
+    op_constants = {
+        name: value
+        for name, value in signal_inits.items()
+        if name in unresolved and not name.endswith("_out")
+    }
+    specs: list[TransSpec] = []
+    for label, step, phase, source, sink in raw_trans:
+        if sink.endswith("_op"):
+            module_name = sink.rsplit("_op", 1)[0]
+            if module_name not in shapes:
+                raise ImporterError(
+                    f"{label}: op sink {sink!r} names no module"
+                )
+            if source not in op_constants:
+                raise ImporterError(
+                    f"{label}: op source {source!r} is not a constant signal"
+                )
+            code = op_constants[source]
+            names = sorted(shapes[module_name].operations)
+            if not 0 <= code < len(names):
+                raise ImporterError(
+                    f"{label}: op code {code} out of range for {module_name}"
+                )
+            source = f"op:{names[code]}"
+        specs.append(TransSpec(step, phase, source, sink))
+
+    # -- buses ----------------------------------------------------------
+    port_suffixes = {f"{name}_in" for name, _ in registers}
+    for name in module_names:
+        port_suffixes.add(f"{name}_op")
+        port_suffixes.update(
+            f"{name}_in{i}" for i in range(1, 3)
+        )
+    buses = [s for s in resolved_signals if s not in port_suffixes]
+
+    # -- rebuild --------------------------------------------------------
+    model = RTModel(top_name, cs_max=cs_max, width=width)
+    for name, init in registers:
+        model.register(name, init=init)
+    for bus in buses:
+        model.bus(bus)
+    for name, shape in module_specs:
+        operations = {
+            op: standard_ops[op] for op in shape.operations
+        }
+        if shape.default_op not in operations:
+            operations[shape.default_op] = standard_ops[shape.default_op]
+        model.module(
+            ModuleSpec(
+                name=name,
+                operations=operations,
+                default_op=shape.default_op,
+                latency=shape.latency,
+                pipelined=True,
+                width=width,
+                sticky_illegal=shape.sticky,
+            )
+        )
+    latency_of = {name: shape.latency for name, shape in module_specs}
+    for transfer in from_trans_specs(
+        specs, latency_of=lambda module: latency_of[module]
+    ):
+        model.add_transfer(transfer)
+    return model

@@ -138,3 +138,63 @@ class TestSynthAndIks:
     def test_no_subcommand_prints_help(self, capsys):
         assert main([]) == 2
         assert "subcommands" in capsys.readouterr().out
+
+
+class TestBackendSelection:
+    def test_run_compiled_backend(self, fig1_vhd, capsys):
+        assert main([
+            "run", str(fig1_vhd), "--top", "example",
+            "--backend", "compiled",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "r1_out = 5" in out
+        assert "r2_out = 3" in out
+        assert "42 delta cycles" in out
+
+    def test_run_event_without_transfer_engine(self, fig1_vhd, capsys):
+        assert main([
+            "run", str(fig1_vhd), "--top", "example",
+            "--no-transfer-engine", "--signals", "r1_out",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "r1_out = 5" in out
+
+    def test_run_compiled_unknown_signal(self, fig1_vhd, capsys):
+        assert main([
+            "run", str(fig1_vhd), "--top", "example",
+            "--backend", "compiled", "--signals", "b1",
+        ]) == 1
+        assert "register outputs only" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_backend(self, fig1_vhd, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "run", str(fig1_vhd), "--top", "example",
+                "--backend", "quantum",
+            ])
+
+    def test_simulate_compiled_backend(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "R1 = 5" in out
+        assert "42 delta cycles (= CS_MAX*6 = 42)" in out
+
+    def test_simulate_backends_print_identically(self, fig1_json, capsys):
+        assert main(["simulate", str(fig1_json)]) == 0
+        event_out = capsys.readouterr().out
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled",
+        ]) == 0
+        assert capsys.readouterr().out == event_out
+        assert main([
+            "simulate", str(fig1_json), "--no-transfer-engine",
+        ]) == 0
+        assert capsys.readouterr().out == event_out
+
+    def test_iks_compiled_backend(self, capsys):
+        assert main([
+            "iks", "--target", "2.5,1.0", "--backend", "compiled",
+        ]) == 0
+        assert "bit-exact   : True" in capsys.readouterr().out

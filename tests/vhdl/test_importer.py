@@ -1,0 +1,159 @@
+"""VHDL -> RTModel recovery (the emitter's inverse)."""
+
+import pytest
+
+from repro.core import DISC, ModuleSpec, RTModel
+from repro.core.modules_lib import _standard_operations
+from repro.vhdl import (
+    EXAMPLE_FIG1,
+    ImporterError,
+    emit_model_vhdl,
+    recover_model,
+)
+
+
+def fig1_model(cs_max=7):
+    model = RTModel("example", cs_max=cs_max)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def multi_op_model():
+    ops = _standard_operations(8)
+    model = RTModel("mix", cs_max=6, width=8)
+    model.register("r1", init=7)
+    model.register("r2", init=9)
+    model.register("r3")
+    model.bus("b1")
+    model.bus("b2")
+    model.bus("b3")
+    model.module(
+        ModuleSpec(
+            "alu",
+            operations={k: ops[k] for k in ("ADD", "SUB", "MULT")},
+            default_op="ADD",
+            latency=0,
+            width=8,
+        )
+    )
+    model.module(
+        ModuleSpec(
+            "neg",
+            operations={"NEG": ops["NEG"]},
+            latency=1,
+            width=8,
+            sticky_illegal=False,
+        )
+    )
+    model.compute("alu", "r3", 1, src1="r1", bus1="b1", src2="r2",
+                  bus2="b2", op="SUB")
+    model.compute("neg", "r1", 2, src1="r3", bus1="b3", write_bus="b3")
+    model.compute("alu", "r2", 4, src1="r1", bus1="b1", src2="r3",
+                  bus2="b2", op="MULT")
+    return model
+
+
+class TestPaperExample:
+    def test_fig1_structure(self):
+        model = recover_model(EXAMPLE_FIG1, "example")
+        assert model.cs_max == 7
+        assert {n: d.init for n, d in model.registers.items()} == {
+            "r1": 2, "r2": 3,
+        }
+        assert sorted(model.buses) == ["b1", "b2"]
+        add = model.modules["add"]
+        assert sorted(add.operations) == ["ADD"]
+        assert add.latency == 1
+        assert add.sticky_illegal  # the §2.6 'if M /= ILLEGAL' guard
+        assert len(model.transfers) == 1
+
+    @pytest.mark.parametrize("backend", ["event", "compiled"])
+    def test_fig1_simulates(self, backend):
+        model = recover_model(EXAMPLE_FIG1, "example")
+        sim = model.elaborate(backend=backend).run()
+        assert sim.registers == {"r1": 5, "r2": 3}
+        assert sim.stats.delta_cycles == 42
+        assert sim.clean
+
+
+class TestEmitterRoundTrip:
+    def test_fig1_emit_recover(self):
+        model = fig1_model()
+        recovered = recover_model(emit_model_vhdl(model), "example")
+        assert recovered.cs_max == model.cs_max
+        native = model.elaborate(backend="compiled").run()
+        again = recovered.elaborate(backend="compiled").run()
+        assert {k.lower(): v for k, v in native.registers.items()} == \
+            again.registers
+        assert native.stats.delta_cycles == again.stats.delta_cycles
+
+    def test_multi_op_latency0_nonsticky_roundtrip(self):
+        model = multi_op_model()
+        text = emit_model_vhdl(model)
+        recovered = recover_model(text, "mix")
+        alu = recovered.modules["alu"]
+        assert sorted(alu.operations) == ["ADD", "MULT", "SUB"]
+        assert alu.default_op == "ADD"
+        assert alu.latency == 0
+        neg = recovered.modules["neg"]
+        assert sorted(neg.operations) == ["NEG"]
+        assert neg.latency == 1
+        assert not neg.sticky_illegal
+        assert recovered.width == 8
+        for backend in ("event", "compiled"):
+            native = model.elaborate(backend=backend).run()
+            again = recovered.elaborate(backend=backend).run()
+            assert native.registers == again.registers
+            assert native.stats.delta_cycles == again.stats.delta_cycles
+
+    def test_checker_process_is_skipped(self):
+        model = fig1_model()
+        text = emit_model_vhdl(model, checks={"R1": 5})
+        recovered = recover_model(text, "example")
+        assert recovered.elaborate(backend="compiled").run()["r1"] == 5
+
+    def test_uninitialized_register_recovers_disc(self):
+        model = multi_op_model()
+        recovered = recover_model(emit_model_vhdl(model), "mix")
+        assert recovered.registers["r3"].init == DISC
+
+
+class TestRejections:
+    def test_unknown_top(self):
+        with pytest.raises(ImporterError, match="no architecture"):
+            recover_model(EXAMPLE_FIG1, "missing")
+
+    def test_non_checker_process_rejected(self):
+        text = EXAMPLE_FIG1 + """
+architecture extra of example is
+  signal x: Integer := 0;
+begin
+  rogue: process
+  begin
+    wait until x = 1;
+    x <= 2;
+  end process;
+end extra;
+"""
+        with pytest.raises(ImporterError, match="checker"):
+            recover_model(text, "example")
+
+    def test_missing_controller(self):
+        text = """
+entity bare is
+end bare;
+
+architecture transfer of bare is
+  signal r1_in: resolved Integer := DISC;
+  signal r1_out: Integer := DISC;
+begin
+  r1_proc: REG generic map (0) port map (PH, r1_in, r1_out);
+end transfer;
+"""
+        with pytest.raises(ImporterError, match="CONTROLLER"):
+            recover_model(text, "bare")
