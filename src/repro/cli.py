@@ -10,6 +10,13 @@ Subcommands::
     repro clocked  model.json          translate to clocked RTL (VHDL)
     repro synth    program.alg         HLS: algorithmic source -> model
     repro iks      --target 2.5,1.0    run the IKS case study
+    repro report   run.jsonl           render a recorded run report
+
+The simulating subcommands (``run``, ``simulate``, ``iks``) share the
+observability flags of :mod:`repro.observe`: ``--observe out.jsonl``
+records the structured event stream, ``--vcd out.vcd`` writes a
+GTKWave-ready waveform, and ``--profile`` / ``--profile-out`` print or
+save the per-phase wall-clock profile.
 
 Model files use the JSON format of :mod:`repro.core.serialize`;
 algorithmic sources use the straight-line language of
@@ -63,7 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--signals", default="", help="comma-separated signals to print "
         "(default: all top-level)",
     )
+    p.add_argument("--vcd", help="write a VCD waveform to this path")
     _add_backend_args(p)
+    _add_observe_args(p)
     p.set_defaults(handler=cmd_run)
 
     p = sub.add_parser("analyze", help="static schedule analysis of a model")
@@ -85,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true", help="print the full phase trace"
     )
     _add_backend_args(p)
+    _add_observe_args(p)
     p.set_defaults(handler=cmd_simulate)
 
     p = sub.add_parser(
@@ -132,8 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--phi", type=float, default=None, metavar="RAD",
         help="tool orientation: run the three-DOF solution",
     )
+    p.add_argument("--vcd", help="write a VCD waveform to this path")
     _add_backend_args(p)
+    _add_observe_args(p)
     p.set_defaults(handler=cmd_iks)
+
+    p = sub.add_parser(
+        "report", help="render a recorded JSONL event log as a run report"
+    )
+    p.add_argument("file", help="JSONL event log (from --observe)")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregated report as JSON instead of text",
+    )
+    p.set_defaults(handler=cmd_report)
     return parser
 
 
@@ -151,6 +173,64 @@ def _add_backend_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observe_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--observe", metavar="PATH",
+        help="record the run's event stream as JSONL (see `repro report`)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase wall-clock profile after the run",
+    )
+    p.add_argument(
+        "--profile-out", metavar="PATH",
+        help="write the per-phase profile summary as JSON",
+    )
+
+
+def _validate_backend_flags(args) -> None:
+    """Reject flag combinations that would silently do nothing."""
+    if args.no_transfer_engine and args.backend != "event":
+        raise ValueError(
+            "--no-transfer-engine only applies to the event backend "
+            f"(got --backend {args.backend})"
+        )
+
+
+def _build_probe(args):
+    """Construct the probe requested by the observability flags.
+
+    Returns ``(probe, profiler)``: ``probe`` goes to ``observe=``
+    (None when no flag asked for one -- the zero-cost path), and
+    ``profiler`` is kept for reporting after the run.
+    """
+    from .observe import JsonlRecorder, Profiler, combine_probes
+
+    probes = []
+    profiler = None
+    if getattr(args, "observe", None):
+        probes.append(JsonlRecorder(args.observe))
+    if getattr(args, "profile", False) or getattr(args, "profile_out", None):
+        profiler = Profiler()
+        probes.append(profiler)
+    return combine_probes(probes), profiler
+
+
+def _emit_observe_outputs(args, profiler) -> None:
+    """Post-run reporting for the observability flags."""
+    if getattr(args, "observe", None):
+        print(f"-- wrote {args.observe}")
+    if profiler is None:
+        return
+    if args.profile:
+        print(profiler.report())
+    if args.profile_out:
+        with open(args.profile_out, "w", encoding="utf-8") as handle:
+            handle.write(profiler.to_json(indent=2))
+            handle.write("\n")
+        print(f"-- wrote {args.profile_out}")
+
+
 # ----------------------------------------------------------------------
 # handlers
 # ----------------------------------------------------------------------
@@ -166,9 +246,16 @@ def cmd_check(args) -> int:
 def cmd_run(args) -> int:
     from .vhdl import Elaborator
 
+    _validate_backend_flags(args)
     with open(args.file, encoding="utf-8") as handle:
         text = handle.read()
-    if args.backend != "event" or args.no_transfer_engine:
+    observed = bool(
+        args.vcd or args.observe or args.profile or args.profile_out
+    )
+    if args.backend != "event" or args.no_transfer_engine or observed:
+        # The VHDL interpreter is event-only and untraced; the
+        # observability flags go through the model path, where every
+        # backend exposes the probe/trace seam.
         return _run_via_model(args, text)
     design = Elaborator(text).elaborate(args.top)
     design.run()
@@ -192,9 +279,12 @@ def _run_via_model(args, text: str) -> int:
     from .vhdl import recover_model
 
     model = recover_model(text, args.top)
+    probe, profiler = _build_probe(args)
     sim = model.elaborate(
         backend=args.backend,
         transfer_engine=not args.no_transfer_engine,
+        trace=bool(args.vcd),
+        observe=probe,
     ).run()
     wanted = [s.strip().lower() for s in args.signals.split(",") if s.strip()]
     values = {
@@ -208,6 +298,12 @@ def _run_via_model(args, text: str) -> int:
                 f"exposes register outputs only)"
             )
         print(f"{name} = {values[name]}")
+    if args.vcd:
+        from .observe import export_vcd
+
+        export_vcd(sim, args.vcd)
+        print(f"-- wrote {args.vcd}")
+    _emit_observe_outputs(args, profiler)
     stats = sim.stats
     print(
         f"-- {stats.delta_cycles} delta cycles, {stats.events} events, "
@@ -234,6 +330,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    _validate_backend_flags(args)
     model = load_model(args.file)
     overrides = {}
     for item in args.set:
@@ -241,11 +338,13 @@ def cmd_simulate(args) -> int:
         if not eq:
             raise ValueError(f"--set expects REG=VALUE, got {item!r}")
         overrides[name] = int(value)
+    probe, profiler = _build_probe(args)
     sim = model.elaborate(
         register_values=overrides or None,
         trace=bool(args.vcd or args.trace),
         backend=args.backend,
         transfer_engine=not args.no_transfer_engine,
+        observe=probe,
     ).run()
     for name, value in sorted(sim.registers.items()):
         print(f"{name} = {format_value(value)}")
@@ -259,6 +358,7 @@ def cmd_simulate(args) -> int:
         with open(args.vcd, "w", encoding="utf-8") as handle:
             sim.tracer.write_vcd(handle, design_name=model.name)
         print(f"-- wrote {args.vcd}")
+    _emit_observe_outputs(args, profiler)
     stats = sim.stats
     print(f"-- {stats.delta_cycles} delta cycles (= CS_MAX*6 = {model.cs_max * 6})")
     return 0 if sim.clean else 1
@@ -344,14 +444,17 @@ def cmd_synth(args) -> int:
 def cmd_iks(args) -> int:
     from .iks import crosscheck, forward_kinematics
 
+    _validate_backend_flags(args)
     px_text, _, py_text = args.target.partition(",")
     px, py = float(px_text), float(py_text)
     backend = args.backend
     transfer_engine = not args.no_transfer_engine
+    probe, profiler = _build_probe(args)
     if args.phi is not None:
-        return _cmd_iks3(px, py, args.phi, backend, transfer_engine)
+        return _cmd_iks3(args, px, py, args.phi, probe, profiler)
     run, ref = crosscheck(
-        px, py, backend=backend, transfer_engine=transfer_engine
+        px, py, backend=backend, transfer_engine=transfer_engine,
+        trace=bool(args.vcd), observe=probe,
     )
     fx, fy = forward_kinematics(run.theta1_rad, run.theta2_rad)
     print(f"target      : ({px}, {py})")
@@ -364,20 +467,28 @@ def cmd_iks(args) -> int:
         f"simulation  : {run.simulation.stats.delta_cycles} delta cycles, "
         f"{len(run.simulation.conflicts)} conflicts"
     )
+    _emit_iks_observe(args, run.simulation, profiler)
     return 0 if (run.clean and exact) else 1
 
 
-def _cmd_iks3(
-    px: float,
-    py: float,
-    phi: float,
-    backend: str = "event",
-    transfer_engine: bool = True,
-) -> int:
+def _emit_iks_observe(args, sim, profiler) -> None:
+    if args.vcd:
+        from .observe import export_vcd
+
+        export_vcd(sim, args.vcd)
+        print(f"-- wrote {args.vcd}")
+    _emit_observe_outputs(args, profiler)
+
+
+def _cmd_iks3(args, px: float, py: float, phi: float, probe, profiler) -> int:
     from .iks import forward_kinematics3, run_ik3_chip, solve_ik3
 
     run = run_ik3_chip(
-        px, py, phi, backend=backend, transfer_engine=transfer_engine
+        px, py, phi,
+        backend=args.backend,
+        transfer_engine=not args.no_transfer_engine,
+        trace=bool(args.vcd),
+        observe=probe,
     )
     ref = solve_ik3(px, py, phi)
     fx, fy, fphi = forward_kinematics3(
@@ -401,7 +512,19 @@ def _cmd_iks3(
         f"simulation  : {run.simulation.stats.delta_cycles} delta cycles, "
         f"{len(run.simulation.conflicts)} conflicts"
     )
+    _emit_iks_observe(args, run.simulation, profiler)
     return 0 if (run.clean and exact) else 1
+
+
+def cmd_report(args) -> int:
+    from .observe import RunReport
+
+    report = RunReport.from_jsonl(args.file)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    return 0
 
 
 def _write_output(text: str, output: Optional[str]) -> None:

@@ -135,10 +135,23 @@ class ClockedKernelSim:
     translation: ClockedTranslation
     _reg_signals: dict = field(default_factory=dict)
     monitor: ConflictLog = field(default_factory=ConflictLog)
+    _probe: Optional[object] = None
+
+    #: Engine kind reported to observers (see repro.observe).
+    backend_name = "clocked"
 
     def run(self) -> "ClockedKernelSim":
+        if self._probe is None:
+            self.sim.run()
+            self._scan_illegal()
+            return self
+        import time as _time
+
+        self._probe.on_run_start(self)
+        t0 = _time.perf_counter()
         self.sim.run()
         self._scan_illegal()
+        self._probe.on_run_end(self, _time.perf_counter() - t0)
         return self
 
     @property
@@ -174,6 +187,7 @@ def elaborate_clocked(
     translation: ClockedTranslation,
     register_values: Optional[Mapping[str, int]] = None,
     half_period: int = 5,
+    observe=None,
 ) -> ClockedKernelSim:
     """Build the clocked design as kernel processes with a real clock.
 
@@ -181,6 +195,14 @@ def elaborate_clocked(
     every register process wakes on every rising edge -- the cost
     profile of conventional clocked RTL simulation that the paper's
     subset avoids.
+
+    ``observe`` attaches a :class:`repro.observe.Probe`.  The clocked
+    translation has no six-phase microstructure -- one clock cycle does
+    the work of a whole control step -- so each cycle reports a single
+    phase boundary at ``(cycle, CR)`` and register latches are
+    attributed there too.  There are no resolved buses, hence no
+    ``on_bus_drive`` events; conflicts (ILLEGAL latched into a
+    register) stream through the monitor listener.
     """
     model = translation.model
     sim = Simulator()
@@ -276,4 +298,43 @@ def elaborate_clocked(
         sim.add_process(f"reg_{register}", make_register_process(register))
     for module in pipe_state:
         sim.add_process(f"pipe_{module}", make_pipe_process(module))
-    return ClockedKernelSim(sim=sim, translation=translation, _reg_signals=reg_signals)
+
+    monitor = ConflictLog(
+        listener=observe.on_conflict if observe is not None else None
+    )
+    if observe is not None:
+        # One probe "phase" per clock cycle, at CR: the edge that does
+        # the whole control step's work.  The edge cycle emits the
+        # boundary; the latch driven there becomes effective -- and its
+        # watch callback fires -- one delta cycle later, still before
+        # the next edge, so latches land between their own boundary and
+        # the next one.
+        cycle_box = [0]
+
+        def _make_latch_cb(register: str):
+            def _cb(sig, old, new):
+                observe.on_register_latch(
+                    StepPhase(max(cycle_box[0], 1), Phase.CR), register, new
+                )
+
+            return _cb
+
+        for register, sig in reg_signals.items():
+            sig.watch(_make_latch_cb(register))
+
+        def probe_observer():
+            while True:
+                yield rising_edge()
+                cycle_box[0] += 1
+                observe.on_step(cycle_box[0])
+                observe.on_phase(StepPhase(cycle_box[0], Phase.CR))
+
+        sim.add_process("probe_observer", probe_observer)
+
+    return ClockedKernelSim(
+        sim=sim,
+        translation=translation,
+        _reg_signals=reg_signals,
+        monitor=monitor,
+        _probe=observe,
+    )

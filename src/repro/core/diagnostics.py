@@ -16,7 +16,7 @@ conflict materialized together with the drivers that collided.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from ..kernel import Signal, Simulator, iter_driver_values, wait_on
 from .phases import Phase, StepPhase
@@ -51,10 +51,25 @@ class ConflictLog:
     one of these so diagnostics read identically regardless of how the
     model was executed.  Subclasses decide *how* events get in; this
     base only stores and reports them.
+
+    Repeated materializations of the same ``(signal, CS, PH)`` are
+    recorded once: a long ILLEGAL plateau re-observed at the same
+    localization point adds no information, and the dedup keeps every
+    backend's event list identical however its monitor happens to poll
+    (events without a location -- the handshake style's token
+    conflicts -- are kept verbatim).
+
+    ``listener``, when given, is called with each event that is
+    actually recorded -- the hook :mod:`repro.observe` probes use to
+    see conflicts in stream order.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, listener: Optional[Callable[[ConflictEvent], None]] = None
+    ) -> None:
         self.events: list[ConflictEvent] = []
+        self._listener = listener
+        self._seen: set[tuple[str, StepPhase]] = set()
 
     @property
     def clean(self) -> bool:
@@ -62,8 +77,15 @@ class ConflictLog:
         return not self.events
 
     def record(self, event: ConflictEvent) -> None:
-        """Append one observed conflict."""
+        """Append one observed conflict (deduplicated by location)."""
+        if event.at is not None:
+            key = (event.signal, event.at)
+            if key in self._seen:
+                return
+            self._seen.add(key)
         self.events.append(event)
+        if self._listener is not None:
+            self._listener(event)
 
     def report(self) -> str:
         """Multi-line human-readable conflict report."""
@@ -94,8 +116,9 @@ class ConflictMonitor(ConflictLog):
         ph: Signal,
         watched: Sequence[Signal],
         name: str = "conflict_monitor",
+        listener: Optional[Callable[[ConflictEvent], None]] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(listener=listener)
         self._cs = cs
         self._ph = ph
         self._pending: list[Signal] = []

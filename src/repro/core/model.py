@@ -370,6 +370,7 @@ class RTModel:
         max_deltas: int = 1_000_000,
         transfer_engine: bool = True,
         backend: str = "event",
+        observe=None,
     ):
         """Build an executable simulation for this model.
 
@@ -394,6 +395,11 @@ class RTModel:
             per-(step, phase) action-table executor); see
             :mod:`repro.engine`.  Both are bit-identical in registers,
             traces and conflict localization.
+        observe:
+            A :class:`repro.observe.Probe` receiving the run's event
+            stream (phase boundaries, bus drives, register latches,
+            conflicts) in the same canonical order on every backend.
+            None (the default) installs nothing and costs nothing.
 
         Returns a :class:`repro.engine.Backend` -- an
         :class:`repro.core.simulator.RTSimulation` for the default
@@ -409,6 +415,7 @@ class RTModel:
             watch=watch,
             max_deltas=max_deltas,
             transfer_engine=transfer_engine,
+            observe=observe,
         )
 
     # ------------------------------------------------------------------

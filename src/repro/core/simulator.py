@@ -32,7 +32,17 @@ class RTSimulation:
     * :attr:`stats` carries the kernel counters (the paper's
       ``CS_MAX * 6`` delta claim is checked against
       ``stats.delta_cycles``).
+
+    ``observe`` optionally attaches a :class:`repro.observe.Probe`:
+    conflicts stream through the monitor's record listener, and a
+    drain process (:class:`repro.observe.KernelProbeAdapter`) stamps
+    phase boundaries, bus drives and register latches with their
+    ``(CS, PH)``.  When None (the default) nothing is installed -- the
+    unobserved run costs exactly what it did before.
     """
+
+    #: Engine kind reported to observers (see repro.observe).
+    backend_name = "event"
 
     def __init__(
         self,
@@ -42,6 +52,7 @@ class RTSimulation:
         watch: Optional[Iterable[str]] = None,
         max_deltas: int = 1_000_000,
         transfer_engine: bool = True,
+        observe=None,
     ) -> None:
         self.model = model
         self.sim = Simulator(max_deltas_per_time=max_deltas)
@@ -155,7 +166,11 @@ class RTSimulation:
 
         # -- observers -------------------------------------------------------
         resolved = [sig for sig in self._ports.values() if sig.resolved]
-        self.monitor = ConflictMonitor(self.sim, self.cs, self.ph, resolved)
+        self._probe = observe
+        self.monitor = ConflictMonitor(
+            self.sim, self.cs, self.ph, resolved,
+            listener=observe.on_conflict if observe is not None else None,
+        )
         self.tracer: Optional[Tracer] = None
         if trace or watch:
             watched = list(self._ports.values())
@@ -163,6 +178,22 @@ class RTSimulation:
                 if extra not in self._ports:
                     raise ModelError(f"cannot watch unknown signal {extra!r}")
             self.tracer = Tracer(self.sim, self.cs, self.ph, watched)
+        if observe is not None:
+            # Created after the monitor: its drain then runs later in
+            # the same cycle, so conflicts precede the phase record --
+            # the canonical order the compiled backend also emits.
+            from ..observe.attach import KernelProbeAdapter
+
+            KernelProbeAdapter(
+                self.sim,
+                self.cs,
+                self.ph,
+                buses=[self._ports[b] for b in model.buses],
+                reg_outs=[
+                    (name, sig) for name, sig in self._reg_out.items()
+                ],
+                probe=observe,
+            )
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -170,8 +201,17 @@ class RTSimulation:
     # ------------------------------------------------------------------
     def run(self) -> "RTSimulation":
         """Run the model to quiescence (all ``cs_max`` control steps)."""
+        if self._probe is None:
+            self.sim.run()
+            self._ran = True
+            return self
+        import time as _time
+
+        self._probe.on_run_start(self)
+        t0 = _time.perf_counter()
         self.sim.run()
         self._ran = True
+        self._probe.on_run_end(self, _time.perf_counter() - t0)
         return self
 
     def run_steps(self, steps: int) -> "RTSimulation":

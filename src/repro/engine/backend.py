@@ -87,7 +87,8 @@ def create_backend(name: str, model: Any, **kwargs: Any) -> Backend:
 
     ``kwargs`` are the :meth:`RTModel.elaborate` parameters
     (``register_values``, ``trace``, ``watch``, ``max_deltas``,
-    ``transfer_engine``); each backend consumes what applies to it.
+    ``transfer_engine``, ``observe``); each backend consumes what
+    applies to it.
     """
     _ensure_builtins()
     try:
@@ -125,6 +126,7 @@ def run_metrics(
     backend: Backend,
     wall: Optional[float] = None,
     baseline: Optional[SimStats] = None,
+    profile: Optional[Any] = None,
 ) -> Dict[str, float]:
     """One comparable metrics row for any backend.
 
@@ -132,6 +134,14 @@ def run_metrics(
     times the run; elaboration cost is excluded uniformly).
     ``baseline`` subtracts a stats snapshot taken before the measured
     interval, for backends whose simulator is reused.
+    ``profile`` merges a :class:`repro.observe.Profiler`'s per-phase
+    wall totals into the row as ``wall_<phase>`` columns.
+
+    Trace depth is reported only when the backend actually carries a
+    trace: backends elaborated with ``trace=False`` leave ``tracer``
+    as None, and backends without the attribute at all (the handshake
+    network) are equally fine -- neither grows a ``trace_samples``
+    column.
     """
     stats = backend.stats
     if baseline is not None:
@@ -143,6 +153,12 @@ def run_metrics(
         "transactions": stats.transactions,
         "conflicts": len(backend.conflicts),
     }
+    tracer = getattr(backend, "tracer", None)
+    if tracer is not None:
+        row["trace_samples"] = len(tracer.samples)
     if wall is not None:
         row["wall"] = wall
+    if profile is not None:
+        for phase, seconds in profile.phase_wall.items():
+            row[f"wall_{phase}"] = seconds
     return row

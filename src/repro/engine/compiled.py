@@ -95,7 +95,19 @@ class CompiledRTSimulation:
     -- both realizations compile to the same action tables), same
     result surface (``registers``, ``conflicts``, ``clean``, ``stats``,
     ``monitor``, ``tracer``, ``signal``, ``run_steps``).
+
+    ``observe`` attaches a :class:`repro.observe.Probe`; the executor
+    then emits, per cycle, the canonical stream the event kernel's
+    adapter produces -- conflicts first (via the monitor listener),
+    then the step boundary (RA only), the phase boundary, bus drives
+    in bus declaration order and register latches in register
+    declaration order -- so the same probe sees identical ordered
+    sequences on either backend.  When None, no per-cycle bookkeeping
+    exists at all.
     """
+
+    #: Engine kind reported to observers (see repro.observe).
+    backend_name = "compiled"
 
     def __init__(
         self,
@@ -105,6 +117,7 @@ class CompiledRTSimulation:
         watch: Optional[Iterable[str]] = None,
         max_deltas: int = 1_000_000,
         transfer_engine: bool = True,
+        observe=None,
     ) -> None:
         del transfer_engine  # one compiled realization covers both
         self.model = model
@@ -192,8 +205,15 @@ class CompiledRTSimulation:
         self._releases = releases
 
         # -- observers ---------------------------------------------------
-        self.monitor = ConflictLog()
+        self._probe = observe
+        self.monitor = ConflictLog(
+            listener=observe.on_conflict if observe is not None else None
+        )
         self._active_illegal: set[int] = set()
+        #: port indices whose effective value changed this cycle
+        #: (tracked only while a probe is attached).
+        self._cycle_changed: set[int] = set()
+        self._bus_count = len(model.buses)
         self.tracer: Optional[TraceLog] = None
         if trace or watch:
             for extra in watch or ():
@@ -221,10 +241,21 @@ class CompiledRTSimulation:
     # ------------------------------------------------------------------
     def run(self) -> "CompiledRTSimulation":
         """Run the model to quiescence (all ``cs_max`` control steps)."""
+        if self._probe is None:
+            self._execute_until(len(self._schedule))
+            if not self._finished:
+                self._finish()
+            self._ran = True
+            return self
+        import time as _time
+
+        self._probe.on_run_start(self)
+        t0 = _time.perf_counter()
         self._execute_until(len(self._schedule))
         if not self._finished:
             self._finish()
         self._ran = True
+        self._probe.on_run_end(self, _time.perf_counter() - t0)
         return self
 
     def run_steps(self, steps: int) -> "CompiledRTSimulation":
@@ -265,6 +296,8 @@ class CompiledRTSimulation:
             self._apply_pending(at, record_conflicts=True)
             if tracer is not None:
                 tracer.append(at, dict(zip(self._names, values)))
+            if self._probe is not None:
+                self._emit_cycle(at)
             # -- this cycle's actions (due next cycle) -------------------
             key = (at.step, int(at.phase))
             for drv, src, const in self._asserts.get(key, ()):
@@ -300,6 +333,10 @@ class CompiledRTSimulation:
         self.stats.delta_cycles += 1
         last = self._schedule[-1]
         self._apply_pending(last, record_conflicts=False)
+        # The event kernel's probe adapter never wakes in this cycle
+        # (no PH event), so the trailing updates stay unobserved there
+        # too -- drop them rather than emit an unmatched record.
+        self._cycle_changed.clear()
 
     def _apply_pending(self, at: StepPhase, record_conflicts: bool) -> None:
         """Apply updates scheduled in the previous cycle.
@@ -320,6 +357,7 @@ class CompiledRTSimulation:
         values = self._values
         contrib = self._drv_contrib
         stats = self.stats
+        track = self._cycle_changed if self._probe is not None else None
         dirty: List[int] = []
         seen: set[int] = set()
         for drv, value in pend_drv:
@@ -332,6 +370,8 @@ class CompiledRTSimulation:
             if values[idx] != value:
                 values[idx] = value
                 stats.events += 1
+                if track is not None:
+                    track.add(idx)
         newly_illegal: List[int] = []
         for sink in dirty:
             new = resolve_rt(
@@ -341,6 +381,8 @@ class CompiledRTSimulation:
                 continue
             values[sink] = new
             stats.events += 1
+            if track is not None:
+                track.add(sink)
             if new == ILLEGAL:
                 if sink not in self._active_illegal:
                     self._active_illegal.add(sink)
@@ -357,6 +399,32 @@ class CompiledRTSimulation:
                 self.monitor.record(
                     ConflictEvent(self._names[sink], at, sources)
                 )
+
+    def _emit_cycle(self, at: StepPhase) -> None:
+        """Forward this cycle's observations to the attached probe.
+
+        Mirrors the event kernel's :class:`KernelProbeAdapter` drain:
+        step boundary (RA only), phase boundary, then bus drives and
+        register latches in declaration order.  Conflicts were already
+        forwarded by the monitor listener during ``_apply_pending`` --
+        the same relative order the kernel's monitor process (created
+        before the adapter) produces.
+        """
+        probe = self._probe
+        if at.phase is Phase.RA:
+            probe.on_step(at.step)
+        probe.on_phase(at)
+        changed = self._cycle_changed
+        if changed:
+            values = self._values
+            names = self._names
+            for idx in range(self._bus_count):
+                if idx in changed:
+                    probe.on_bus_drive(at, names[idx], values[idx])
+            for reg, idx in self._reg_out_idx.items():
+                if idx in changed:
+                    probe.on_register_latch(at, reg, values[idx])
+            changed.clear()
 
     # ------------------------------------------------------------------
     # results (mirrors RTSimulation)

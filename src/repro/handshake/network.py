@@ -122,7 +122,9 @@ class HandshakeNetwork:
         sim.run()
         return results
 
-    def elaborate(self, sim: Optional[Simulator] = None) -> "HandshakeSimulation":
+    def elaborate(
+        self, sim: Optional[Simulator] = None, observe=None
+    ) -> "HandshakeSimulation":
         """Instantiate the network as a :class:`repro.engine.Backend`.
 
         Where the control-step backends read final register contents,
@@ -131,8 +133,14 @@ class HandshakeNetwork:
         each sink to its *last* token (DISC-free networks produce no
         conflicts, but ILLEGAL tokens flowing into a sink are
         reported).
+
+        ``observe`` attaches a :class:`repro.observe.Probe`.  The
+        handshake style has no ``(control step, phase)`` clock, so
+        token arrivals are reported as ``on_bus_drive(None, sink,
+        token)`` in collection order after the run, and conflicts carry
+        no location.
         """
-        return HandshakeSimulation(self, sim or Simulator())
+        return HandshakeSimulation(self, sim or Simulator(), observe=observe)
 
 
 class HandshakeSimulation:
@@ -143,21 +151,46 @@ class HandshakeSimulation:
     row per style through :func:`repro.engine.run_metrics`.
     """
 
-    def __init__(self, network: HandshakeNetwork, sim: Simulator) -> None:
+    #: Engine kind reported to observers (see repro.observe).
+    backend_name = "handshake"
+
+    def __init__(
+        self, network: HandshakeNetwork, sim: Simulator, observe=None
+    ) -> None:
         self.network = network
         self.sim = sim
         self.results = network.build(sim)
-        self.monitor = ConflictLog()
+        self._probe = observe
+        self.monitor = ConflictLog(
+            listener=observe.on_conflict if observe is not None else None
+        )
         self._ran = False
 
     def run(self) -> "HandshakeSimulation":
+        probe = self._probe
+        if probe is None:
+            self.sim.run()
+            self._ran = True
+            self._record_illegal()
+            return self
+        import time as _time
+
+        probe.on_run_start(self)
+        t0 = _time.perf_counter()
         self.sim.run()
         self._ran = True
         for sink, tokens in self.results.items():
             for value in tokens:
+                probe.on_bus_drive(None, sink, value)
+        self._record_illegal()
+        probe.on_run_end(self, _time.perf_counter() - t0)
+        return self
+
+    def _record_illegal(self) -> None:
+        for sink, tokens in self.results.items():
+            for value in tokens:
                 if value == ILLEGAL:
                     self.monitor.record(ConflictEvent(sink, None, ()))
-        return self
 
     @property
     def registers(self) -> dict[str, int]:

@@ -56,12 +56,14 @@ def run_ik_chip(
     trace: bool = False,
     backend: str = "event",
     transfer_engine: bool = True,
+    observe=None,
 ) -> IKSRun:
     """Simulate the IKS chip solving for target ``(px, py)``."""
     cfg = config or IKSConfig()
     model, translation = build_ik_model(px, py, cfg)
     sim = model.elaborate(
-        trace=trace, backend=backend, transfer_engine=transfer_engine
+        trace=trace, backend=backend, transfer_engine=transfer_engine,
+        observe=observe,
     ).run()
     theta1 = sim[RESULT_REGISTERS["theta1"]]
     theta2 = sim[RESULT_REGISTERS["theta2"]]
@@ -81,6 +83,8 @@ def crosscheck(
     config: Optional[IKSConfig] = None,
     backend: str = "event",
     transfer_engine: bool = True,
+    trace: bool = False,
+    observe=None,
 ) -> tuple[IKSRun, IKSolution]:
     """Run chip and algorithmic reference on the same target.
 
@@ -89,7 +93,8 @@ def crosscheck(
     """
     cfg = config or IKSConfig()
     run = run_ik_chip(
-        px, py, cfg, backend=backend, transfer_engine=transfer_engine
+        px, py, cfg, trace=trace, backend=backend,
+        transfer_engine=transfer_engine, observe=observe,
     )
     reference = solve_ik(px, py, cfg.geometry, cfg.fmt, cfg.cordic_spec)
     return run, reference
@@ -196,6 +201,8 @@ def run_ik3_chip(
     config: Optional[IKSConfig] = None,
     backend: str = "event",
     transfer_engine: bool = True,
+    trace: bool = False,
+    observe=None,
 ) -> IK3Run:
     """Simulate the chip solving the 3-DOF problem (position + tool
     orientation)."""
@@ -204,7 +211,8 @@ def run_ik3_chip(
     cfg = config or IKSConfig(cs_max=IK3_TOTAL_STEPS + 1)
     model = build_ik3_model(px, py, phi, cfg)
     sim = model.elaborate(
-        backend=backend, transfer_engine=transfer_engine
+        backend=backend, transfer_engine=transfer_engine, trace=trace,
+        observe=observe,
     ).run()
     theta1 = sim[IK3_RESULT_REGISTERS["theta1"]]
     theta2 = sim[IK3_RESULT_REGISTERS["theta2"]]

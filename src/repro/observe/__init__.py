@@ -1,0 +1,54 @@
+"""`repro.observe` -- one observability surface over every backend.
+
+The paper's localizability claim (§2.7) makes the *observation stream*
+of a run -- which (control step, phase) executed, what moved over
+which bus, what latched, where ILLEGAL materialized -- the primary
+debugging artifact.  This package turns that stream into a uniform,
+machine-readable seam across all four execution styles (event kernel,
+compiled executor, clocked translation, handshake network):
+
+* :class:`Probe` / :class:`ProbeSet` -- the callback protocol backends
+  drive via the ``observe=`` elaboration hook (zero cost when absent);
+* :class:`JsonlRecorder` / :class:`RunReport` -- structured JSONL event
+  logs with a stable schema, aggregated into conflict timelines,
+  per-resource occupancy and per-phase wall time (``repro report``);
+* :func:`export_vcd` / :func:`parse_vcd` -- waveforms for GTKWave, with
+  DISC as ``z`` and ILLEGAL as ``x``;
+* :class:`Profiler` -- per-phase wall-clock profiling, surfaced through
+  ``run_metrics(backend, profile=...)`` and ``--profile``.
+
+Future batched/sharded backends are expected to assert parity and
+performance through this same surface (see ROADMAP.md).
+"""
+
+from .attach import KernelProbeAdapter
+from .probe import Probe, ProbeSet, combine_probes
+from .profiler import Profiler
+from .recorder import (
+    SCHEMA_VERSION,
+    JsonlRecorder,
+    RunReport,
+    decode_value,
+    encode_value,
+    read_events,
+)
+from .vcd import VCDError, VCDWave, export_vcd, parse_vcd, step_phase_tick
+
+__all__ = [
+    "KernelProbeAdapter",
+    "Probe",
+    "ProbeSet",
+    "combine_probes",
+    "Profiler",
+    "JsonlRecorder",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "decode_value",
+    "encode_value",
+    "read_events",
+    "VCDError",
+    "VCDWave",
+    "export_vcd",
+    "parse_vcd",
+    "step_phase_tick",
+]

@@ -1,0 +1,111 @@
+"""Per-phase wall-clock profiling as a probe.
+
+A control step spends its six phases on very different work -- RA/RB/
+WA/WB move values through transfer asserts, CM evaluates every
+functional unit, CR latches registers -- so a flat wall-clock number
+hides where a big model actually burns time.  :class:`Profiler`
+attributes the wall-clock interval between successive phase boundaries
+to the phase *whose cycle just executed*, accumulating per-phase totals
+and cycle counts over the whole run.
+
+It is an ordinary :class:`~repro.observe.probe.Probe`: attach it alone
+(``elaborate(observe=Profiler())``) or alongside the JSONL recorder via
+:class:`~repro.observe.probe.ProbeSet`.  Results surface through
+:meth:`report`, :meth:`to_json`, and -- merged into the one comparable
+metrics row -- ``run_metrics(backend, profile=profiler)``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Optional
+
+from ..core.phases import Phase
+from .probe import Probe
+
+
+class Profiler(Probe):
+    """Accumulates wall time and cycle counts per control-step phase."""
+
+    def __init__(self) -> None:
+        #: phase vhdl name -> accumulated seconds.
+        self.phase_wall: Dict[str, float] = {}
+        #: phase vhdl name -> executed cycles.
+        self.phase_cycles: Dict[str, int] = {}
+        self.wall: float = 0.0
+        self.steps: int = 0
+        self._run_t0: Optional[float] = None
+        self._last_phase: Optional[str] = None
+        self._last_t: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Probe interface
+    # ------------------------------------------------------------------
+    def on_run_start(self, backend: Any) -> None:
+        self._run_t0 = time.perf_counter()
+        self._last_phase = None
+        self._last_t = None
+
+    def on_step(self, step: int) -> None:
+        self.steps += 1
+
+    def on_phase(self, at) -> None:
+        now = time.perf_counter()
+        name = at.phase.vhdl_name
+        self.phase_cycles[name] = self.phase_cycles.get(name, 0) + 1
+        if self._last_phase is not None and self._last_t is not None:
+            self.phase_wall[self._last_phase] = (
+                self.phase_wall.get(self._last_phase, 0.0)
+                + (now - self._last_t)
+            )
+        self._last_phase = name
+        self._last_t = now
+
+    def on_run_end(self, backend: Any, wall: float) -> None:
+        now = time.perf_counter()
+        if self._last_phase is not None and self._last_t is not None:
+            self.phase_wall[self._last_phase] = (
+                self.phase_wall.get(self._last_phase, 0.0)
+                + (now - self._last_t)
+            )
+            self._last_phase = None
+        self.wall += wall
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Stable-keyed profile summary (the ``--profile-out`` JSON)."""
+        ordered = [phase.vhdl_name for phase in Phase]
+        return {
+            "wall": self.wall,
+            "steps": self.steps,
+            "phases": {
+                name: {
+                    "wall": self.phase_wall.get(name, 0.0),
+                    "cycles": self.phase_cycles.get(name, 0),
+                }
+                for name in ordered
+                if name in self.phase_cycles or name in self.phase_wall
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.summary(), indent=indent)
+
+    def report(self) -> str:
+        """Human-readable per-phase profile table."""
+        summary = self.summary()
+        total = sum(p["wall"] for p in summary["phases"].values()) or 1.0
+        lines = [
+            f"profile: {self.wall * 1e3:.2f} ms wall, {self.steps} control "
+            f"steps"
+        ]
+        for name, row in summary["phases"].items():
+            lines.append(
+                f"  {name}: {row['wall'] * 1e3:8.3f} ms "
+                f"({100.0 * row['wall'] / total:5.1f}%)  "
+                f"{row['cycles']} cycles"
+            )
+        return "\n".join(lines)

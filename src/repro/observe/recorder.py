@@ -1,0 +1,398 @@
+"""Structured event recording and run-report aggregation.
+
+:class:`JsonlRecorder` is a :class:`~repro.observe.probe.Probe` that
+serializes the observation stream as JSON Lines -- one self-describing
+object per line, with a **stable schema** (version tag on the
+``run_start`` line) so logs written today remain machine-readable:
+
+================  ====================================================
+``run_start``     ``schema``, ``model``, ``backend``, ``cs_max``
+``step``          ``cs``
+``phase``         ``cs``, ``ph`` (vhdl name), ``t`` (seconds since start)
+``bus``           ``cs``, ``ph``, ``signal``, ``value``
+``latch``         ``cs``, ``ph``, ``register``, ``value``
+``conflict``      ``cs``, ``ph``, ``signal``, ``drivers`` ([owner, value])
+``run_end``       ``wall``, ``clean``, ``stats``, ``registers``
+================  ====================================================
+
+Values use the subset's std-logic analogues: naturals stay integers,
+DISC is the string ``"z"`` and ILLEGAL the string ``"x"`` -- the same
+mapping the VCD export uses, so the two artifacts read consistently.
+
+:class:`RunReport` aggregates such a stream (live from a recorder, or
+re-read from a file) into the debugging summary the model-based
+diagnosis literature asks for: counters, the conflict timeline grouped
+by ``(CS, PH)``, per-resource occupancy, and wall time per phase.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
+
+from ..core.values import DISC, ILLEGAL
+from .probe import Probe
+
+#: Schema version stamped on every ``run_start`` line.
+SCHEMA_VERSION = 1
+
+
+def encode_value(value: int) -> Union[int, str]:
+    """JSON encoding of a subset value (DISC -> "z", ILLEGAL -> "x")."""
+    if value == DISC:
+        return "z"
+    if value == ILLEGAL:
+        return "x"
+    return value
+
+
+def decode_value(value: Union[int, str]) -> int:
+    """Inverse of :func:`encode_value`."""
+    if value == "z":
+        return DISC
+    if value == "x":
+        return ILLEGAL
+    return int(value)
+
+
+def _backend_kind(backend: Any) -> Optional[str]:
+    return getattr(backend, "backend_name", None)
+
+
+def _model_name(backend: Any) -> Optional[str]:
+    model = getattr(backend, "model", None)
+    return getattr(model, "name", None)
+
+
+class JsonlRecorder(Probe):
+    """Record the probe stream as JSONL (and/or in memory).
+
+    Parameters
+    ----------
+    out:
+        A path or writable text file object.  None records in memory
+        only (``self.events``).
+    keep_events:
+        Keep the event dicts in ``self.events`` as well as writing
+        them.  Defaults to True when ``out`` is None, else False (a
+        chip-scale sweep should not buffer its own log).
+    """
+
+    def __init__(
+        self,
+        out: Union[str, IO[str], None] = None,
+        keep_events: Optional[bool] = None,
+    ) -> None:
+        self._handle: Optional[IO[str]] = None
+        self._owns_handle = False
+        if out is None:
+            pass
+        elif hasattr(out, "write"):
+            self._handle = out  # type: ignore[assignment]
+        else:
+            self._handle = open(out, "w", encoding="utf-8")
+            self._owns_handle = True
+        self._keep = keep_events if keep_events is not None else out is None
+        self.events: List[dict] = []
+        self._t0: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: dict) -> None:
+        if self._keep:
+            self.events.append(event)
+        if self._handle is not None:
+            self._handle.write(json.dumps(event, separators=(",", ":")))
+            self._handle.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the output file (if this recorder opened it)."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Probe interface
+    # ------------------------------------------------------------------
+    def on_run_start(self, backend: Any) -> None:
+        self._t0 = time.perf_counter()
+        model = getattr(backend, "model", None)
+        self._emit(
+            {
+                "event": "run_start",
+                "schema": SCHEMA_VERSION,
+                "model": _model_name(backend),
+                "backend": _backend_kind(backend),
+                "cs_max": getattr(model, "cs_max", None),
+            }
+        )
+
+    def on_step(self, step: int) -> None:
+        self._emit({"event": "step", "cs": step})
+
+    def on_phase(self, at) -> None:
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+        self._emit(
+            {
+                "event": "phase",
+                "cs": at.step,
+                "ph": at.phase.vhdl_name,
+                "t": time.perf_counter() - self._t0,
+            }
+        )
+
+    def on_bus_drive(self, at, bus: str, value: int) -> None:
+        self._emit(
+            {
+                "event": "bus",
+                "cs": at.step if at is not None else None,
+                "ph": at.phase.vhdl_name if at is not None else None,
+                "signal": bus,
+                "value": encode_value(value),
+            }
+        )
+
+    def on_register_latch(self, at, register: str, value: int) -> None:
+        self._emit(
+            {
+                "event": "latch",
+                "cs": at.step if at is not None else None,
+                "ph": at.phase.vhdl_name if at is not None else None,
+                "register": register,
+                "value": encode_value(value),
+            }
+        )
+
+    def on_conflict(self, event) -> None:
+        at = event.at
+        self._emit(
+            {
+                "event": "conflict",
+                "cs": at.step if at is not None else None,
+                "ph": at.phase.vhdl_name if at is not None else None,
+                "signal": event.signal,
+                "drivers": [
+                    [owner, encode_value(value)]
+                    for owner, value in event.sources
+                ],
+            }
+        )
+
+    def on_run_end(self, backend: Any, wall: float) -> None:
+        stats = getattr(backend, "stats", None)
+        self._emit(
+            {
+                "event": "run_end",
+                "wall": wall,
+                "clean": bool(getattr(backend, "clean", True)),
+                "stats": {
+                    "cycles": stats.cycles,
+                    "delta_cycles": stats.delta_cycles,
+                    "events": stats.events,
+                    "process_resumes": stats.process_resumes,
+                    "transactions": stats.transactions,
+                }
+                if stats is not None
+                else {},
+                "registers": {
+                    name: encode_value(value)
+                    for name, value in getattr(backend, "registers", {}).items()
+                },
+            }
+        )
+        self.close()
+
+
+def read_events(path: Union[str, IO[str]]) -> List[dict]:
+    """Parse a JSONL event log back into event dicts."""
+    if hasattr(path, "read"):
+        lines = path.read().splitlines()  # type: ignore[union-attr]
+    else:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    events = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"line {lineno}: not a JSON event record ({exc.msg})"
+            ) from None
+        if not isinstance(event, dict) or "event" not in event:
+            raise ValueError(f"line {lineno}: missing 'event' field")
+        events.append(event)
+    return events
+
+
+@dataclass
+class RunReport:
+    """Aggregated view of one observed run.
+
+    Built from a recorded event stream; serializes with
+    :meth:`to_json` (stable keys) and renders with :meth:`render`
+    (the human-readable form behind ``repro report``).
+    """
+
+    model: Optional[str] = None
+    backend: Optional[str] = None
+    cs_max: Optional[int] = None
+    schema: int = SCHEMA_VERSION
+    wall: Optional[float] = None
+    clean: Optional[bool] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+    registers: Dict[str, Any] = field(default_factory=dict)
+    #: events per record type ("phase", "bus", "latch", ...).
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: conflict records in observation order.
+    conflicts: List[dict] = field(default_factory=list)
+    #: "cs<N>.<ph>" -> conflicting signal names, in timeline order.
+    conflicts_by_location: Dict[str, List[str]] = field(default_factory=dict)
+    #: bus -> number of observed effective-value changes (drives).
+    bus_occupancy: Dict[str, int] = field(default_factory=dict)
+    #: register -> number of observed latches.
+    register_activity: Dict[str, int] = field(default_factory=dict)
+    #: phase vhdl name -> accumulated wall seconds spent in its cycles.
+    phase_wall: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_events(cls, events: Iterable[dict]) -> "RunReport":
+        report = cls()
+        last_phase: Optional[str] = None
+        last_t: Optional[float] = None
+        for event in events:
+            kind = event.get("event", "?")
+            report.counts[kind] = report.counts.get(kind, 0) + 1
+            if kind == "run_start":
+                report.model = event.get("model")
+                report.backend = event.get("backend")
+                report.cs_max = event.get("cs_max")
+                report.schema = event.get("schema", SCHEMA_VERSION)
+            elif kind == "phase":
+                t = event.get("t")
+                if t is not None and last_t is not None and last_phase:
+                    report.phase_wall[last_phase] = (
+                        report.phase_wall.get(last_phase, 0.0) + (t - last_t)
+                    )
+                last_phase, last_t = event.get("ph"), t
+            elif kind == "bus":
+                name = event.get("signal", "?")
+                report.bus_occupancy[name] = (
+                    report.bus_occupancy.get(name, 0) + 1
+                )
+            elif kind == "latch":
+                name = event.get("register", "?")
+                report.register_activity[name] = (
+                    report.register_activity.get(name, 0) + 1
+                )
+            elif kind == "conflict":
+                report.conflicts.append(event)
+                where = f"cs{event.get('cs')}.{event.get('ph')}"
+                report.conflicts_by_location.setdefault(where, []).append(
+                    event.get("signal", "?")
+                )
+            elif kind == "run_end":
+                report.wall = event.get("wall")
+                report.clean = event.get("clean")
+                report.stats = dict(event.get("stats", {}))
+                report.registers = dict(event.get("registers", {}))
+                if report.wall is not None and last_t is not None and last_phase:
+                    report.phase_wall[last_phase] = (
+                        report.phase_wall.get(last_phase, 0.0)
+                        + max(report.wall - last_t, 0.0)
+                    )
+        return report
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, IO[str]]) -> "RunReport":
+        return cls.from_events(read_events(path))
+
+    @classmethod
+    def from_recorder(cls, recorder: JsonlRecorder) -> "RunReport":
+        return cls.from_events(recorder.events)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "backend": self.backend,
+            "cs_max": self.cs_max,
+            "schema": self.schema,
+            "wall": self.wall,
+            "clean": self.clean,
+            "stats": self.stats,
+            "registers": self.registers,
+            "counts": self.counts,
+            "conflicts": self.conflicts,
+            "conflicts_by_location": self.conflicts_by_location,
+            "bus_occupancy": self.bus_occupancy,
+            "register_activity": self.register_activity,
+            "phase_wall": self.phase_wall,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        """Human-readable multi-section run report."""
+        lines = []
+        title = self.model or "run"
+        backend = f" [{self.backend}]" if self.backend else ""
+        lines.append(f"run report: {title}{backend}")
+        if self.cs_max is not None:
+            lines.append(f"  control steps : {self.cs_max}")
+        if self.wall is not None:
+            lines.append(f"  wall time     : {self.wall * 1e3:.2f} ms")
+        if self.clean is not None:
+            lines.append(f"  clean         : {self.clean}")
+        if self.stats:
+            stat_text = ", ".join(f"{k}={v}" for k, v in self.stats.items())
+            lines.append(f"  stats         : {stat_text}")
+        if self.counts:
+            count_text = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.counts.items())
+            )
+            lines.append(f"  events        : {count_text}")
+        if self.conflicts_by_location:
+            lines.append(f"conflicts ({len(self.conflicts)}):")
+            for where, signals in self.conflicts_by_location.items():
+                lines.append(f"  {where}: {', '.join(signals)}")
+        else:
+            lines.append("conflicts: none observed")
+        if self.phase_wall:
+            total = sum(self.phase_wall.values()) or 1.0
+            lines.append("wall time per phase:")
+            for name, secs in self.phase_wall.items():
+                lines.append(
+                    f"  {name}: {secs * 1e3:8.3f} ms"
+                    f"  ({100.0 * secs / total:5.1f}%)"
+                )
+        if self.bus_occupancy:
+            lines.append("bus occupancy (effective-value changes):")
+            for name, count in sorted(
+                self.bus_occupancy.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                lines.append(f"  {name}: {count}")
+        if self.register_activity:
+            lines.append("register latches:")
+            for name, count in sorted(
+                self.register_activity.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                lines.append(f"  {name}: {count}")
+        if self.registers:
+            lines.append("final registers:")
+            for name, value in sorted(self.registers.items()):
+                lines.append(f"  {name} = {value}")
+        return "\n".join(lines)

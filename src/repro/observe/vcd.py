@@ -1,0 +1,187 @@
+"""VCD waveform export and a small reader for round-trip checks.
+
+The abstract RT level indexes waveforms by ``(control step, phase)``;
+the VCD mapping (shared with :meth:`repro.core.trace.TraceLog.write_vcd`)
+lays those out on a synthetic timescale of **one tick per phase**::
+
+    tick = (step - 1) * 6 + int(phase)        # cs1.ra -> #0, cs1.rb -> #1 ...
+
+and maps the subset's special values onto their std-logic analogues:
+DISC becomes ``z`` (high impedance -- nothing drives the bus) and
+ILLEGAL becomes ``x`` (conflict), so any run opens in GTKWave with
+conflicts showing as the familiar red ``x`` regions.
+
+:func:`export_vcd` writes the waveform of any traced backend;
+:func:`parse_vcd` reads a VCD file back into per-signal change lists
+(value-change-dump semantics: one entry per effective change), which
+the round-trip tests compare against the original trace.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+from typing import IO, Any, Dict, List, Tuple, Union
+
+from ..core.phases import PHASES_PER_STEP
+from ..core.trace import TraceLog
+from ..core.values import DISC, ILLEGAL
+
+
+class VCDError(ValueError):
+    """Raised for malformed VCD input or untraced sources."""
+
+
+def export_vcd(
+    source: Union[TraceLog, Any],
+    out: Union[str, IO[str]],
+    design_name: str = "rt_model",
+) -> None:
+    """Write ``source``'s waveform as VCD.
+
+    ``source`` is a :class:`~repro.core.trace.TraceLog` or any backend
+    exposing one as ``.tracer`` (i.e. elaborated with ``trace=True``).
+    ``out`` is a path or a writable text file.
+    """
+    trace = source if isinstance(source, TraceLog) else getattr(
+        source, "tracer", None
+    )
+    if trace is None:
+        raise VCDError(
+            "source has no trace; elaborate with trace=True to export VCD"
+        )
+    model = getattr(source, "model", None)
+    if design_name == "rt_model" and getattr(model, "name", None):
+        design_name = model.name
+    if hasattr(out, "write"):
+        trace.write_vcd(out, design_name=design_name)  # type: ignore[arg-type]
+    else:
+        with open(out, "w", encoding="utf-8") as handle:
+            trace.write_vcd(handle, design_name=design_name)
+
+
+def step_phase_tick(step: int, phase: int) -> int:
+    """The VCD tick of a ``(step, phase)`` point (cs1.ra -> 0)."""
+    return max((step - 1) * PHASES_PER_STEP + phase, 0)
+
+
+class VCDWave:
+    """Parsed VCD contents: declared variables plus their change lists."""
+
+    def __init__(self) -> None:
+        self.timescale: str = ""
+        self.design_name: str = ""
+        #: signal name -> short identifier, in declaration order.
+        self.idents: Dict[str, str] = {}
+        #: signal name -> [(tick, value)] with DISC/ILLEGAL decoded.
+        self.changes: Dict[str, List[Tuple[int, int]]] = {}
+
+    @property
+    def signals(self) -> List[str]:
+        return list(self.idents)
+
+    def history(self, name: str) -> List[Tuple[int, int]]:
+        """The (tick, value) change sequence of one signal."""
+        try:
+            return self.changes[name]
+        except KeyError:
+            raise KeyError(f"unknown VCD signal {name!r}") from None
+
+    def value_at(self, name: str, tick: int) -> int:
+        """The signal's value in force at ``tick`` (DISC before any
+        change)."""
+        value = DISC
+        for when, new in self.history(name):
+            if when > tick:
+                break
+            value = new
+        return value
+
+
+def _decode_vcd_value(text: str) -> int:
+    body = text.lower()
+    if body in ("z", "bz"):
+        return DISC
+    if body in ("x", "bx"):
+        return ILLEGAL
+    if body.startswith("b"):
+        body = body[1:]
+    if not body or set(body) - {"0", "1"}:
+        raise VCDError(f"unparseable VCD value {text!r}")
+    return int(body, 2)
+
+
+def parse_vcd(source: Union[str, IO[str]]) -> VCDWave:
+    """Parse VCD text (or a readable file) into a :class:`VCDWave`.
+
+    Understands the subset this repo emits -- header sections,
+    ``$var`` declarations, ``#tick`` markers, vector (``b...``) and
+    scalar value changes -- which is also the common core every VCD
+    writer produces.
+    """
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        text = source
+    if "\n" not in text and not text.lstrip().startswith("$"):
+        # A path-like string rather than VCD text.
+        with open(text, encoding="utf-8") as handle:
+            text = handle.read()
+
+    wave = VCDWave()
+    by_ident: Dict[str, str] = {}
+    tick = 0
+    in_definitions = True
+    tokens_iter = iter(text.split("\n"))
+    for raw in tokens_iter:
+        line = raw.strip()
+        if not line:
+            continue
+        if in_definitions:
+            if line.startswith("$timescale"):
+                wave.timescale = " ".join(
+                    line.replace("$timescale", "").replace("$end", "").split()
+                )
+            elif line.startswith("$scope"):
+                parts = line.split()
+                if len(parts) >= 3:
+                    wave.design_name = parts[2]
+            elif line.startswith("$var"):
+                parts = line.split()
+                # $var <type> <width> <ident> <name...> $end
+                if len(parts) < 6 or parts[-1] != "$end":
+                    raise VCDError(f"malformed $var line: {line!r}")
+                ident = parts[3]
+                name = " ".join(parts[4:-1])
+                wave.idents[name] = ident
+                wave.changes[name] = []
+                by_ident[ident] = name
+            elif line.startswith("$enddefinitions"):
+                in_definitions = False
+            continue
+        if line.startswith("#"):
+            try:
+                tick = int(line[1:])
+            except ValueError:
+                raise VCDError(f"malformed time marker {line!r}") from None
+            continue
+        if line.startswith("$"):  # $dumpvars etc. -- skip sections
+            continue
+        if line[0] in "bB":
+            try:
+                value_text, ident = line.split()
+            except ValueError:
+                raise VCDError(f"malformed value change {line!r}") from None
+        else:  # scalar: value and ident juxtaposed
+            value_text, ident = line[0], line[1:].strip()
+        name = by_ident.get(ident)
+        if name is None:
+            raise VCDError(f"value change for undeclared ident {ident!r}")
+        wave.changes[name].append((tick, _decode_vcd_value(value_text)))
+    return wave
+
+
+def trace_to_vcd_text(trace: TraceLog, design_name: str = "rt_model") -> str:
+    """Render a trace as VCD text in memory (testing convenience)."""
+    out = StringIO()
+    trace.write_vcd(out, design_name=design_name)
+    return out.getvalue()

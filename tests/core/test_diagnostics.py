@@ -1,0 +1,73 @@
+"""ConflictLog behaviour: dedup by location, listener streaming."""
+
+from repro.core.diagnostics import ConflictEvent, ConflictLog
+from repro.core.phases import Phase, StepPhase
+
+
+def event(signal="B1", step=2, phase=Phase.RB, sources=(("t1", 1), ("t2", 2))):
+    return ConflictEvent(signal, StepPhase(step, phase), tuple(sources))
+
+
+class TestDedup:
+    def test_repeated_location_recorded_once(self):
+        log = ConflictLog()
+        log.record(event())
+        log.record(event())
+        assert len(log.events) == 1
+
+    def test_distinct_signals_both_kept(self):
+        log = ConflictLog()
+        log.record(event("B1"))
+        log.record(event("B2"))
+        assert len(log.events) == 2
+
+    def test_distinct_locations_both_kept(self):
+        log = ConflictLog()
+        log.record(event(step=2))
+        log.record(event(step=3))
+        log.record(event(step=3, phase=Phase.CM))
+        assert len(log.events) == 3
+
+    def test_unlocated_events_kept_verbatim(self):
+        # The handshake style reports token conflicts without a
+        # (CS, PH) location; those must never collapse.
+        log = ConflictLog()
+        log.record(ConflictEvent("out", None, ()))
+        log.record(ConflictEvent("out", None, ()))
+        assert len(log.events) == 2
+
+    def test_dedup_keeps_first_sources(self):
+        log = ConflictLog()
+        log.record(event(sources=(("t1", 1),)))
+        log.record(event(sources=(("t9", 9),)))
+        assert log.events[0].sources == (("t1", 1),)
+
+    def test_clean_flag(self):
+        log = ConflictLog()
+        assert log.clean
+        log.record(event())
+        assert not log.clean
+
+
+class TestListener:
+    def test_listener_sees_each_recorded_event(self):
+        seen = []
+        log = ConflictLog(listener=seen.append)
+        first = event("B1")
+        log.record(first)
+        log.record(event("B2"))
+        assert seen[0] is first
+        assert len(seen) == 2
+
+    def test_listener_not_called_for_duplicates(self):
+        seen = []
+        log = ConflictLog(listener=seen.append)
+        log.record(event())
+        log.record(event())
+        assert len(seen) == 1
+
+    def test_report_still_renders(self):
+        log = ConflictLog()
+        log.record(event())
+        assert "ILLEGAL on B1" in log.report()
+        assert "1 conflict(s)" in log.report()

@@ -130,3 +130,29 @@ class TestRunMetrics:
         assert ev["events"] == co["events"]
         assert ev["transactions"] == co["transactions"]
         assert co["resumes"] < ev["resumes"]
+
+    def test_tolerates_trace_false_backends(self):
+        # Regression: backends elaborated without tracing leave
+        # ``tracer`` as None; the row must simply omit trace_samples.
+        for backend in ("event", "compiled"):
+            sim = fig1_model().elaborate(backend=backend).run()
+            assert sim.tracer is None
+            assert "trace_samples" not in run_metrics(sim)
+
+    def test_tolerates_backends_without_trace_attribute(self):
+        # The handshake backend has no ``tracer`` attribute at all.
+        net = HandshakeNetwork()
+        net.source("a", [3])
+        net.source("b", [4])
+        net.op("sum", lambda a, b: a + b, "a", "b")
+        net.sink("out", "sum")
+        sim = net.elaborate().run()
+        assert not hasattr(sim, "tracer")
+        row = run_metrics(sim)
+        assert "trace_samples" not in row
+        assert row["conflicts"] == 0
+
+    def test_trace_samples_reported_when_traced(self):
+        sim = fig1_model().elaborate(trace=True).run()
+        row = run_metrics(sim)
+        assert row["trace_samples"] == len(sim.tracer.samples) == 42

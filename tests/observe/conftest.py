@@ -1,0 +1,96 @@
+"""Shared fixtures for the observability tests."""
+
+import pytest
+
+from repro.core import ModuleSpec, RTModel
+from repro.observe import Probe
+
+
+def fig1_model(cs_max=7, r1=2, r2=3):
+    """The paper's Fig.-1 example (R1 <- R1 + R2)."""
+    model = RTModel("example", cs_max=cs_max)
+    model.register("R1", init=r1)
+    model.register("R2", init=r2)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def tiny_model(cs_max=2):
+    """Minimal model whose schedule fits in two control steps."""
+    model = RTModel("tiny", cs_max=cs_max)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,1,ADD,2,B1,R1)")
+    return model
+
+
+def conflict_model():
+    """Two sources on B1 in step 2: a deliberate bus conflict."""
+    model = RTModel("clash", cs_max=4)
+    model.register("R1", init=1)
+    model.register("R2", init=2)
+    model.register("R3")
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,2,ADD,3,B1,R3)")
+    model.add_transfer("(R2,B1,R1,B2,2,ADD,3,B2,R3)")
+    return model
+
+
+class CollectingProbe(Probe):
+    """Records every callback as a comparable tuple."""
+
+    def __init__(self):
+        self.events = []
+        self.run_started = 0
+        self.run_ended = 0
+        self.wall = None
+
+    def on_run_start(self, backend):
+        self.run_started += 1
+        self.events.append(("run_start", backend.backend_name))
+
+    def on_step(self, step):
+        self.events.append(("step", step))
+
+    def on_phase(self, at):
+        self.events.append(("phase", at.step, int(at.phase)))
+
+    def on_bus_drive(self, at, bus, value):
+        where = (at.step, int(at.phase)) if at is not None else None
+        self.events.append(("bus", where, bus, value))
+
+    def on_register_latch(self, at, register, value):
+        where = (at.step, int(at.phase)) if at is not None else None
+        self.events.append(("latch", where, register, value))
+
+    def on_conflict(self, event):
+        where = (
+            (event.at.step, int(event.at.phase))
+            if event.at is not None
+            else None
+        )
+        self.events.append(("conflict", where, event.signal, event.sources))
+
+    def on_run_end(self, backend, wall):
+        self.run_ended += 1
+        self.wall = wall
+        self.events.append(("run_end", backend.backend_name))
+
+    def body(self):
+        """The events between run_start and run_end (the run proper)."""
+        return [
+            e for e in self.events if e[0] not in ("run_start", "run_end")
+        ]
+
+
+@pytest.fixture
+def collector():
+    return CollectingProbe()

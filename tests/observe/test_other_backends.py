@@ -1,0 +1,78 @@
+"""Probe coverage of the clocked and handshake execution styles."""
+
+from repro.clocked import elaborate_clocked, translate
+from repro.core.phases import Phase
+from repro.core.values import ILLEGAL
+from repro.handshake import HandshakeNetwork
+from repro.observe import JsonlRecorder, RunReport
+
+from .conftest import CollectingProbe, fig1_model
+
+
+class TestClockedProbe:
+    def _run(self, probe):
+        return elaborate_clocked(translate(fig1_model()), observe=probe).run()
+
+    def test_run_bracket_and_backend_name(self, collector):
+        self._run(collector)
+        assert collector.events[0] == ("run_start", "clocked")
+        assert collector.events[-1] == ("run_end", "clocked")
+
+    def test_one_phase_per_clock_cycle_at_cr(self, collector):
+        self._run(collector)
+        phases = [e for e in collector.events if e[0] == "phase"]
+        assert [p[1] for p in phases] == list(range(1, 8))
+        assert all(p[2] == int(Phase.CR) for p in phases)
+
+    def test_latch_observed(self, collector):
+        self._run(collector)
+        latches = [e for e in collector.events if e[0] == "latch"]
+        assert ("latch", (6, int(Phase.CR)), "R1", 5) in latches
+
+    def test_no_bus_events(self, collector):
+        # The translation compiled all bus sharing into mux tables.
+        self._run(collector)
+        assert not [e for e in collector.events if e[0] == "bus"]
+
+    def test_unobserved_run_unchanged(self):
+        plain = elaborate_clocked(translate(fig1_model())).run()
+        probed = self._run(CollectingProbe())
+        assert plain.registers == probed.registers
+
+    def test_recorder_report_works(self):
+        recorder = JsonlRecorder()
+        self._run(recorder)
+        report = RunReport.from_recorder(recorder)
+        assert report.backend == "clocked"
+        assert report.registers["R1"] == 5
+
+
+class TestHandshakeProbe:
+    def _net(self):
+        net = HandshakeNetwork()
+        net.source("a", [3])
+        net.source("b", [4])
+        net.op("sum", lambda a, b: a + b, "a", "b")
+        net.sink("out", "sum")
+        return net
+
+    def test_tokens_reported_without_location(self, collector):
+        self._net().elaborate(observe=collector).run()
+        assert collector.events[0] == ("run_start", "handshake")
+        assert ("bus", None, "out", 7) in collector.events
+        assert collector.events[-1] == ("run_end", "handshake")
+
+    def test_illegal_token_streams_conflict(self, collector):
+        net = HandshakeNetwork()
+        net.source("a", [1])
+        net.op("bad", lambda a: ILLEGAL, "a")
+        net.sink("out", "bad")
+        sim = net.elaborate(observe=collector).run()
+        conflicts = [e for e in collector.events if e[0] == "conflict"]
+        assert conflicts == [("conflict", None, "out", ())]
+        assert not sim.clean
+
+    def test_unobserved_run_unchanged(self):
+        plain = self._net().elaborate().run()
+        probed = self._net().elaborate(observe=CollectingProbe()).run()
+        assert plain.registers == probed.registers == {"out": 7}

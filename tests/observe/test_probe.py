@@ -1,0 +1,96 @@
+"""The Probe protocol, fan-out, and the observe= attachment seam."""
+
+from repro.core.phases import Phase, StepPhase
+from repro.observe import Probe, ProbeSet, combine_probes
+
+from .conftest import CollectingProbe, fig1_model, tiny_model
+
+
+class TestProbeBase:
+    def test_base_probe_is_a_no_op(self):
+        sim = fig1_model().elaborate(observe=Probe()).run()
+        assert sim.registers == {"R1": 5, "R2": 3}
+
+    def test_default_elaboration_installs_nothing(self):
+        sim = fig1_model().elaborate()
+        assert sim._probe is None
+
+    def test_probe_receives_run_bracket(self, collector):
+        fig1_model().elaborate(observe=collector).run()
+        assert collector.run_started == 1
+        assert collector.run_ended == 1
+        assert collector.wall > 0.0
+        assert collector.events[0] == ("run_start", "event")
+        assert collector.events[-1] == ("run_end", "event")
+
+    def test_step_and_phase_cadence(self, collector):
+        tiny_model(cs_max=3).elaborate(observe=collector).run()
+        steps = [e[1] for e in collector.events if e[0] == "step"]
+        assert steps == [1, 2, 3]
+        phases = [e for e in collector.events if e[0] == "phase"]
+        assert len(phases) == 3 * 6
+        # Six phases per step, in schedule order.
+        assert [p[2] for p in phases[:6]] == [
+            int(ph) for ph in Phase
+        ]
+
+    def test_latch_reported_one_cycle_after_cr(self, collector):
+        # The CR latch of step 6 is driven during the CR cycle and
+        # becomes effective one delta cycle later (VHDL transaction
+        # semantics) -- the probe reports the effective change.
+        fig1_model().elaborate(observe=collector).run()
+        latches = [e for e in collector.events if e[0] == "latch"]
+        assert latches == [("latch", (7, int(Phase.RA)), "R1", 5)]
+
+    def test_bus_drives_carry_location_and_value(self, collector):
+        fig1_model().elaborate(observe=collector).run()
+        drives = [e for e in collector.events if e[0] == "bus"]
+        # The step-5 reads assert R1 onto B1 and R2 onto B2; both
+        # become effective in the RB cycle and release to DISC after.
+        assert ("bus", (5, int(Phase.RB)), "B1", 2) in drives
+        assert ("bus", (5, int(Phase.RB)), "B2", 3) in drives
+        assert ("bus", (5, int(Phase.CM)), "B1", -1) in drives
+
+
+class TestProbeSet:
+    def test_fans_out_in_order(self):
+        seen = []
+
+        class Tagged(Probe):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_step(self, step):
+                seen.append((self.tag, step))
+
+        tiny_model(cs_max=2).elaborate(
+            observe=ProbeSet(Tagged("a"), Tagged("b"))
+        ).run()
+        assert seen == [("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_fans_out_every_callback(self):
+        a, b = CollectingProbe(), CollectingProbe()
+        fig1_model().elaborate(observe=ProbeSet(a, b)).run()
+        assert a.events == b.events
+        assert a.run_started == b.run_started == 1
+
+    def test_combine_probes(self):
+        assert combine_probes([]) is None
+        only = CollectingProbe()
+        assert combine_probes([only]) is only
+        combined = combine_probes([CollectingProbe(), CollectingProbe()])
+        assert isinstance(combined, ProbeSet)
+
+
+class TestStepPhaseIdentity:
+    def test_locations_are_stepphase_values(self):
+        locations = []
+
+        class AtProbe(Probe):
+            def on_phase(self, at):
+                locations.append(at)
+
+        tiny_model(cs_max=2).elaborate(observe=AtProbe()).run()
+        assert locations[0] == StepPhase(1, Phase.RA)
+        assert locations[5] == StepPhase(1, Phase.CR)
+        assert locations[-1] == StepPhase(2, Phase.CR)

@@ -1,0 +1,87 @@
+"""The per-phase profiler and its run_metrics() integration."""
+
+import json
+
+from repro.engine import run_metrics
+from repro.observe import Profiler, ProbeSet, JsonlRecorder
+
+from .conftest import fig1_model
+
+
+class TestProfiler:
+    def _profiled(self, backend="event"):
+        profiler = Profiler()
+        sim = fig1_model().elaborate(
+            backend=backend, observe=profiler
+        ).run()
+        return profiler, sim
+
+    def test_counts_steps_and_cycles(self):
+        profiler, _ = self._profiled()
+        assert profiler.steps == 7
+        assert profiler.phase_cycles == {
+            "ra": 7, "rb": 7, "cm": 7, "wa": 7, "wb": 7, "cr": 7,
+        }
+
+    def test_wall_accumulates(self):
+        profiler, _ = self._profiled()
+        assert profiler.wall > 0.0
+        assert set(profiler.phase_wall) == {
+            "ra", "rb", "cm", "wa", "wb", "cr",
+        }
+        assert all(secs >= 0.0 for secs in profiler.phase_wall.values())
+
+    def test_works_on_compiled_backend(self):
+        profiler, _ = self._profiled("compiled")
+        assert profiler.steps == 7
+        assert sum(profiler.phase_cycles.values()) == 42
+
+    def test_summary_shape(self):
+        profiler, _ = self._profiled()
+        summary = profiler.summary()
+        assert set(summary) == {"wall", "steps", "phases"}
+        assert list(summary["phases"]) == ["ra", "rb", "cm", "wa", "wb", "cr"]
+        for row in summary["phases"].values():
+            assert set(row) == {"wall", "cycles"}
+
+    def test_to_json_parses(self):
+        profiler, _ = self._profiled()
+        decoded = json.loads(profiler.to_json())
+        assert decoded["steps"] == 7
+
+    def test_report_is_readable(self):
+        profiler, _ = self._profiled()
+        text = profiler.report()
+        assert "profile:" in text
+        assert "ra:" in text and "cr:" in text
+
+    def test_reusable_across_runs(self):
+        profiler = Profiler()
+        fig1_model().elaborate(observe=profiler).run()
+        fig1_model().elaborate(observe=profiler).run()
+        assert profiler.steps == 14
+        assert profiler.phase_cycles["cr"] == 14
+
+    def test_composes_with_recorder(self):
+        profiler = Profiler()
+        recorder = JsonlRecorder()
+        fig1_model().elaborate(
+            observe=ProbeSet(recorder, profiler)
+        ).run()
+        assert profiler.steps == 7
+        assert recorder.events[0]["event"] == "run_start"
+
+
+class TestRunMetricsProfile:
+    def test_profile_merges_phase_walls(self):
+        profiler = Profiler()
+        sim = fig1_model().elaborate(observe=profiler).run()
+        row = run_metrics(sim, wall=profiler.wall, profile=profiler)
+        for phase in ("ra", "rb", "cm", "wa", "wb", "cr"):
+            assert f"wall_{phase}" in row
+        assert row["wall"] == profiler.wall
+
+    def test_no_profile_no_phase_columns(self):
+        sim = fig1_model().elaborate().run()
+        row = run_metrics(sim)
+        assert not any(key.startswith("wall_") for key in row)

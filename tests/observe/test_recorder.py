@@ -1,0 +1,148 @@
+"""The JSONL recorder: schema stability, value encoding, round-trip
+through files, and RunReport aggregation."""
+
+import json
+
+import pytest
+
+from repro.core.values import DISC, ILLEGAL
+from repro.observe import (
+    SCHEMA_VERSION,
+    JsonlRecorder,
+    RunReport,
+    decode_value,
+    encode_value,
+    read_events,
+)
+
+from .conftest import conflict_model, fig1_model
+
+
+class TestValueEncoding:
+    def test_std_logic_analogues(self):
+        assert encode_value(DISC) == "z"
+        assert encode_value(ILLEGAL) == "x"
+        assert encode_value(42) == 42
+
+    @pytest.mark.parametrize("value", [DISC, ILLEGAL, 0, 1, 255])
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+
+class TestJsonlRecorder:
+    def test_in_memory_recording(self):
+        recorder = JsonlRecorder()
+        fig1_model().elaborate(observe=recorder).run()
+        kinds = [e["event"] for e in recorder.events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "phase" in kinds and "bus" in kinds and "latch" in kinds
+
+    def test_schema_version_stamped(self):
+        recorder = JsonlRecorder()
+        fig1_model().elaborate(observe=recorder).run()
+        start = recorder.events[0]
+        assert start["schema"] == SCHEMA_VERSION
+        assert start["model"] == "example"
+        assert start["backend"] == "event"
+        assert start["cs_max"] == 7
+
+    def test_file_output_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        recorder = JsonlRecorder(str(path), keep_events=True)
+        fig1_model().elaborate(observe=recorder).run()
+        reread = read_events(str(path))
+        assert reread == recorder.events
+        # Every line is standalone JSON.
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["event"]
+
+    def test_disc_encoded_as_z_in_stream(self):
+        recorder = JsonlRecorder()
+        fig1_model().elaborate(observe=recorder).run()
+        releases = [
+            e for e in recorder.events
+            if e["event"] == "bus" and e["value"] == "z"
+        ]
+        assert releases, "bus releases must appear as std-logic 'z'"
+
+    def test_conflict_records_location_and_drivers(self):
+        recorder = JsonlRecorder()
+        conflict_model().elaborate(observe=recorder).run()
+        conflicts = [e for e in recorder.events if e["event"] == "conflict"]
+        assert conflicts
+        first = conflicts[0]
+        assert first["signal"] == "B1"
+        assert first["cs"] == 2
+        assert len(first["drivers"]) == 2
+
+    def test_run_end_carries_stats_and_registers(self):
+        recorder = JsonlRecorder()
+        fig1_model().elaborate(observe=recorder).run()
+        end = recorder.events[-1]
+        assert end["clean"] is True
+        assert end["stats"]["delta_cycles"] == 42
+        assert end["registers"] == {"R1": 5, "R2": 3}
+
+    def test_read_events_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event":"step"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(str(path))
+        path.write_text('{"no_event_key": 1}\n')
+        with pytest.raises(ValueError, match="missing 'event'"):
+            read_events(str(path))
+
+
+class TestRunReport:
+    def _recorded(self, model):
+        recorder = JsonlRecorder()
+        model.elaborate(observe=recorder).run()
+        return RunReport.from_recorder(recorder)
+
+    def test_aggregates_counts_and_registers(self):
+        report = self._recorded(fig1_model())
+        assert report.model == "example"
+        assert report.backend == "event"
+        assert report.clean is True
+        assert report.counts["phase"] == 42
+        assert report.registers == {"R1": 5, "R2": 3}
+        assert report.bus_occupancy["B1"] == 4
+        assert report.register_activity == {"R1": 1}
+
+    def test_conflict_timeline_grouped_by_location(self):
+        report = self._recorded(conflict_model())
+        assert report.clean is False
+        assert report.conflicts_by_location
+        # Signals grouped under "cs<N>.<ph>" keys.
+        for where, signals in report.conflicts_by_location.items():
+            assert where.startswith("cs")
+            assert "." in where
+            assert signals
+
+    def test_from_jsonl_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        fig1_model().elaborate(observe=JsonlRecorder(str(path))).run()
+        report = RunReport.from_jsonl(str(path))
+        assert report.registers == {"R1": 5, "R2": 3}
+        assert report.wall is not None and report.wall > 0
+
+    def test_to_json_stable_keys(self):
+        report = self._recorded(fig1_model())
+        decoded = json.loads(report.to_json())
+        assert list(decoded) == [
+            "model", "backend", "cs_max", "schema", "wall", "clean",
+            "stats", "registers", "counts", "conflicts",
+            "conflicts_by_location", "bus_occupancy",
+            "register_activity", "phase_wall",
+        ]
+
+    def test_render_mentions_the_essentials(self):
+        text = self._recorded(conflict_model()).render()
+        assert "run report: clash [event]" in text
+        assert "conflicts" in text
+        assert "B1" in text
+
+    def test_phase_wall_covers_all_six_phases(self):
+        report = self._recorded(fig1_model())
+        assert set(report.phase_wall) == {"ra", "rb", "cm", "wa", "wb", "cr"}

@@ -1,0 +1,116 @@
+"""VCD export round-trip: emitted waveforms parse back to the trace."""
+
+import io
+
+import pytest
+
+from repro.core.phases import PHASES_PER_STEP, Phase
+from repro.core.values import DISC, ILLEGAL
+from repro.observe import (
+    VCDError,
+    export_vcd,
+    parse_vcd,
+    step_phase_tick,
+)
+
+from .conftest import conflict_model, fig1_model
+
+
+def traced_run(model, backend="event"):
+    return model.elaborate(trace=True, backend=backend).run()
+
+
+class TestExport:
+    def test_export_from_backend(self, tmp_path):
+        sim = traced_run(fig1_model())
+        path = tmp_path / "fig1.vcd"
+        export_vcd(sim, str(path))
+        text = path.read_text()
+        assert "$timescale" in text
+        assert "$enddefinitions" in text
+
+    def test_export_uses_model_name(self, tmp_path):
+        sim = traced_run(fig1_model())
+        out = io.StringIO()
+        export_vcd(sim, out)
+        assert "example" in out.getvalue()
+
+    def test_untraced_backend_raises(self):
+        sim = fig1_model().elaborate().run()
+        with pytest.raises(VCDError, match="trace=True"):
+            export_vcd(sim, io.StringIO())
+
+    def test_export_from_trace_log_directly(self):
+        sim = traced_run(fig1_model())
+        out = io.StringIO()
+        export_vcd(sim.tracer, out)
+        assert "$var" in out.getvalue()
+
+
+class TestRoundTrip:
+    def _wave(self, model, backend="event"):
+        sim = traced_run(model, backend)
+        out = io.StringIO()
+        export_vcd(sim, out)
+        return sim, parse_vcd(out.getvalue())
+
+    def test_fig1_signals_declared(self):
+        sim, wave = self._wave(fig1_model())
+        assert set(wave.signals) == set(sim.tracer.watched_names)
+
+    def test_change_lists_match_trace_history(self):
+        sim, wave = self._wave(fig1_model())
+        for name in ("B1", "R1_out"):
+            expected = [
+                (step_phase_tick(at.step, int(at.phase)), value)
+                for at, value in sim.tracer.history(name)
+            ]
+            assert wave.history(name) == expected
+
+    def test_value_at_final_tick(self):
+        sim, wave = self._wave(fig1_model())
+        last = step_phase_tick(7, int(Phase.CR))
+        assert wave.value_at("R1_out", last) == 5
+        assert wave.value_at("R2_out", last) == 3
+
+    def test_disc_round_trips_as_z(self):
+        _, wave = self._wave(fig1_model())
+        # Buses start disconnected: first change (if any) is from DISC.
+        assert wave.value_at("B1", 0) == DISC
+
+    def test_illegal_round_trips_as_x(self):
+        sim, wave = self._wave(conflict_model())
+        assert any(
+            value == ILLEGAL for _, value in wave.history("B1")
+        ), "the conflict must appear as 'x' in the waveform"
+        assert not sim.clean
+
+    def test_compiled_backend_round_trips_identically(self):
+        _, ev_wave = self._wave(fig1_model(), "event")
+        _, co_wave = self._wave(fig1_model(), "compiled")
+        assert ev_wave.changes == co_wave.changes
+
+    def test_tick_layout(self):
+        assert step_phase_tick(1, int(Phase.RA)) == 0
+        assert step_phase_tick(1, int(Phase.CR)) == 5
+        assert step_phase_tick(2, int(Phase.RA)) == PHASES_PER_STEP
+
+
+class TestParserErrors:
+    def test_malformed_var_line(self):
+        with pytest.raises(VCDError, match="malformed"):
+            parse_vcd("$var wire 8 ! $end\n$enddefinitions $end\n")
+
+    def test_undeclared_ident(self):
+        text = (
+            "$enddefinitions $end\n"
+            "#0\n"
+            "b101 ?\n"
+        )
+        with pytest.raises(VCDError, match="undeclared"):
+            parse_vcd(text)
+
+    def test_bad_time_marker(self):
+        text = "$enddefinitions $end\n#zap\n"
+        with pytest.raises(VCDError, match="time marker"):
+            parse_vcd(text)

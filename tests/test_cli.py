@@ -198,3 +198,127 @@ class TestBackendSelection:
             "iks", "--target", "2.5,1.0", "--backend", "compiled",
         ]) == 0
         assert "bit-exact   : True" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_simulate_observe_writes_jsonl(self, fig1_json, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main([
+            "simulate", str(fig1_json), "--observe", str(log),
+        ]) == 0
+        assert f"-- wrote {log}" in capsys.readouterr().out
+        lines = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert lines[0]["event"] == "run_start"
+        assert lines[0]["backend"] == "event"
+        assert lines[-1]["event"] == "run_end"
+
+    def test_simulate_profile_prints_table(self, fig1_json, capsys):
+        assert main(["simulate", str(fig1_json), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "cr:" in out
+
+    def test_simulate_profile_out_writes_json(
+        self, fig1_json, tmp_path, capsys
+    ):
+        prof = tmp_path / "prof.json"
+        assert main([
+            "simulate", str(fig1_json), "--profile-out", str(prof),
+        ]) == 0
+        summary = json.loads(prof.read_text())
+        assert summary["steps"] == 7
+        assert set(summary["phases"]) == {"ra", "rb", "cm", "wa", "wb", "cr"}
+        # --profile-out alone does not print the table.
+        assert "profile:" not in capsys.readouterr().out.split("-- wrote")[0]
+
+    def test_run_vcd_routes_via_model_path(self, fig1_vhd, tmp_path, capsys):
+        vcd = tmp_path / "wave.vcd"
+        assert main([
+            "run", str(fig1_vhd), "--top", "example", "--vcd", str(vcd),
+        ]) == 0
+        assert "$enddefinitions" in vcd.read_text()
+        assert "r1_out = 5" in capsys.readouterr().out
+
+    def test_iks_observe_and_profile(self, tmp_path, capsys):
+        log = tmp_path / "iks.jsonl"
+        assert main([
+            "iks", "--target", "2.5,1.0", "--backend", "compiled",
+            "--observe", str(log), "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact   : True" in out
+        assert "profile:" in out
+        assert log.exists()
+
+    def test_report_renders_recorded_run(self, fig1_json, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(["simulate", str(fig1_json), "--observe", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "run report: example [event]" in out
+        assert "final registers:" in out
+        assert "R1 = 5" in out
+
+    def test_report_json_mode(self, fig1_json, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert main(["simulate", str(fig1_json), "--observe", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(log), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["registers"] == {"R1": 5, "R2": 3}
+        assert doc["counts"]["phase"] == 42
+
+
+class TestCliErrorPaths:
+    def test_simulate_missing_file(self, capsys):
+        assert main(["simulate", "no-such-model.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "no-such-log.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_malformed_log(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["report", str(bad)]) == 1
+        assert "not a JSON event record" in capsys.readouterr().err
+
+    def test_simulate_rejects_unknown_backend(self, fig1_json, capsys):
+        # argparse rejects values outside the registered choices.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", str(fig1_json), "--backend", "quantum"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_conflicting_backend_flags(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json),
+            "--backend", "compiled", "--no-transfer-engine",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "only applies to the event backend" in err
+
+    def test_conflicting_backend_flags_on_run(self, fig1_vhd, capsys):
+        assert main([
+            "run", str(fig1_vhd), "--top", "example",
+            "--backend", "compiled", "--no-transfer-engine",
+        ]) == 1
+        assert "only applies to the event backend" in capsys.readouterr().err
+
+    def test_conflicting_backend_flags_on_iks(self, capsys):
+        assert main([
+            "iks", "--target", "2.5,1.0",
+            "--backend", "compiled", "--no-transfer-engine",
+        ]) == 1
+        assert "only applies to the event backend" in capsys.readouterr().err
+
+    def test_vcd_to_unwritable_path(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json),
+            "--vcd", "/no/such/directory/wave.vcd",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
