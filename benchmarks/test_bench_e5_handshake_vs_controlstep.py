@@ -25,6 +25,7 @@ import time
 import pytest
 
 from repro.clocked import elaborate_clocked, translate
+from repro.core.values_np import have_numpy
 from repro.engine import run_metrics
 from repro.handshake import (
     Channel,
@@ -219,6 +220,82 @@ class TestRealizationAblation:
 
         stats = benchmark(run)
         benchmark.extra_info["resumes"] = stats.process_resumes
+
+
+class TestBatchedSweep:
+    """The multi-vector regime: N stimulus vectors over the same wide
+    schedule.  Sequential compiled pays the table walk N times; the
+    batched backend pays it once and carries an (N, ports) plane."""
+
+    N = 64
+
+    @staticmethod
+    def _vectors(model, n):
+        import random
+
+        rng = random.Random(42)
+        regs = [r for r in model.registers if r.startswith(("A", "B"))]
+        return [
+            {r: rng.randrange(0, 1 << model.width) for r in regs}
+            for _ in range(n)
+        ]
+
+    @pytest.mark.skipif(not have_numpy(), reason="numpy not installed")
+    def test_batched_amortizes_the_table_walk(self, report_lines):
+        model = wide_model(8, 11)
+        vectors = self._vectors(model, self.N)
+
+        t0 = time.perf_counter()
+        rows = [
+            model.elaborate(register_values=v, backend="compiled").run()
+            for v in vectors
+        ]
+        seq_wall = time.perf_counter() - t0
+
+        batched = model.elaborate(
+            register_values=vectors, backend="compiled-batched"
+        )
+        t0 = time.perf_counter()
+        batched.run()
+        bat_wall = time.perf_counter() - t0
+
+        for i, scalar in enumerate(rows):
+            assert batched.registers[i] == scalar.registers
+        metrics = run_metrics(batched, wall=bat_wall)
+        assert metrics["vectors"] == self.N
+        assert metrics["deltas"] == rows[0].stats.delta_cycles
+        report_lines.append(
+            f"wide 8x11, {self.N} vectors: sequential compiled "
+            f"{seq_wall * 1e3:.1f} ms, batched {bat_wall * 1e3:.1f} ms "
+            f"({seq_wall / bat_wall:.1f}x)"
+        )
+
+    @pytest.mark.skipif(not have_numpy(), reason="numpy not installed")
+    @pytest.mark.parametrize("mode", ["sequential", "batched"])
+    def test_bench_multi_vector_sweep(self, benchmark, mode):
+        model = wide_model(8, 11)
+        vectors = self._vectors(model, self.N)
+
+        if mode == "sequential":
+
+            def run():
+                return [
+                    model.elaborate(
+                        register_values=v, backend="compiled"
+                    ).run().registers
+                    for v in vectors
+                ]
+
+        else:
+
+            def run():
+                return model.elaborate(
+                    register_values=vectors, backend="compiled-batched"
+                ).run().registers
+
+        results = benchmark(run)
+        benchmark.extra_info["vectors"] = self.N
+        assert len(results) == self.N
 
 
 class TestComparisonBenchmarks:

@@ -10,10 +10,13 @@ Measures: synthesis time and simulation time as the DFG grows.
 """
 
 import random
+import time
 
 import pytest
 
 from repro.core import analyze
+from repro.core.values_np import have_numpy
+from repro.engine import run_metrics
 from repro.hls import build_dataflow, parse_program, synthesize
 
 
@@ -148,3 +151,63 @@ class TestHlsBenchmarks:
         dfg = build_dataflow(parse_program(fir_program(16)))
         schedule = benchmark(list_schedule, dfg, {"ALU": 2, "MUL": 2})
         assert schedule.makespan > 0
+
+
+@pytest.mark.skipif(not have_numpy(), reason="numpy not installed")
+class TestBatchedValidationSweep:
+    """The post-synthesis validation sweep as one batched run: N random
+    stimulus vectors through the synthesized model per table walk."""
+
+    N = 128
+
+    def _vectors(self, source: str) -> list[dict]:
+        return [random_inputs(source, seed=s) for s in range(self.N)]
+
+    def test_batched_sweep_matches_reference(self, report_lines):
+        source = fir_program(8)
+        result = synthesize(source)
+        vectors = self._vectors(source)
+        t0 = time.perf_counter()
+        outs = result.simulate_batch(vectors)
+        wall = time.perf_counter() - t0
+        for vec, out in zip(vectors, outs):
+            assert out == result.reference(vec)
+        report_lines.append(
+            f"fir8 sweep: {self.N} vectors in {wall * 1e3:.1f} ms "
+            f"({self.N / wall:.0f} vectors/s, one batched run)"
+        )
+
+    def test_batched_sweep_metrics_row(self):
+        source = fir_program(4)
+        result = synthesize(source)
+        mask = (1 << result.model.width) - 1
+        batch = [
+            {name: vec[name] & mask for name in result.program.inputs}
+            for vec in self._vectors(source)[:32]
+        ]
+        sim = result.model.elaborate(
+            register_values=batch, backend="compiled-batched"
+        )
+        t0 = time.perf_counter()
+        sim.run()
+        row = run_metrics(sim, wall=time.perf_counter() - t0)
+        assert row["vectors"] == 32
+        assert row["conflicts"] == 0
+        scalar = result.model.elaborate(
+            register_values=batch[0], backend="compiled"
+        ).run()
+        assert row["deltas"] == scalar.stats.delta_cycles
+
+    @pytest.mark.parametrize("mode", ["sequential", "batched"])
+    def test_bench_validation_sweep(self, benchmark, mode):
+        source = fir_program(8)
+        result = synthesize(source)
+        vectors = self._vectors(source)
+        backend = "compiled" if mode == "sequential" else "compiled-batched"
+
+        def run():
+            return result.simulate_batch(vectors, backend=backend)
+
+        outs = benchmark(run)
+        benchmark.extra_info["vectors"] = self.N
+        assert len(outs) == self.N

@@ -11,6 +11,7 @@ Subcommands::
     repro synth    program.alg         HLS: algorithmic source -> model
     repro iks      --target 2.5,1.0    run the IKS case study
     repro report   run.jsonl           render a recorded run report
+    repro bench    [--model m.json]    batched-vs-sequential sweep benchmark
 
 The simulating subcommands (``run``, ``simulate``, ``iks``) share the
 observability flags of :mod:`repro.observe`: ``--observe out.jsonl``
@@ -93,6 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", action="store_true", help="print the full phase trace"
     )
+    p.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="compiled-batched: sweep N input vectors in one run "
+        "(replicas of --set, or random per register with --seed)",
+    )
+    p.add_argument(
+        "--vectors-from", metavar="JSONL",
+        help="compiled-batched: read input vectors from a JSONL file "
+        "(one {register: value} object per line)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="with --batch: draw N random register-value vectors",
+    )
     _add_backend_args(p)
     _add_observe_args(p)
     p.set_defaults(handler=cmd_simulate)
@@ -156,6 +171,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the aggregated report as JSON instead of text",
     )
     p.set_defaults(handler=cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the batched backend against sequential compiled runs",
+    )
+    p.add_argument(
+        "--model", help="model JSON file (default: the built-in Fig. 1 "
+        "example)",
+    )
+    p.add_argument(
+        "--vectors", type=int, default=1000, metavar="N",
+        help="sweep size (default 1000)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=12345,
+        help="rng seed for the input vectors (default 12345)",
+    )
+    p.add_argument(
+        "--out", default="BENCH_batched.json", metavar="PATH",
+        help="write the benchmark record here (default BENCH_batched.json)",
+    )
+    p.set_defaults(handler=cmd_bench)
     return parser
 
 
@@ -188,12 +225,18 @@ def _add_observe_args(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _validate_backend_flags(args) -> None:
+def _validate_backend_flags(args, allow_batched: bool = False) -> None:
     """Reject flag combinations that would silently do nothing."""
     if args.no_transfer_engine and args.backend != "event":
         raise ValueError(
             "--no-transfer-engine only applies to the event backend "
             f"(got --backend {args.backend})"
+        )
+    if args.backend == "compiled-batched" and not allow_batched:
+        raise ValueError(
+            "the compiled-batched backend produces batch-shaped results; "
+            "use `repro simulate` (with --batch/--vectors-from) or "
+            "`repro bench`"
         )
 
 
@@ -330,7 +373,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    _validate_backend_flags(args)
+    _validate_backend_flags(args, allow_batched=True)
     model = load_model(args.file)
     overrides = {}
     for item in args.set:
@@ -338,6 +381,12 @@ def cmd_simulate(args) -> int:
         if not eq:
             raise ValueError(f"--set expects REG=VALUE, got {item!r}")
         overrides[name] = int(value)
+    if args.backend == "compiled-batched":
+        return _simulate_batched(args, model, overrides)
+    if args.batch is not None or args.vectors_from:
+        raise ValueError(
+            "--batch/--vectors-from require --backend compiled-batched"
+        )
     probe, profiler = _build_probe(args)
     sim = model.elaborate(
         register_values=overrides or None,
@@ -362,6 +411,82 @@ def cmd_simulate(args) -> int:
     stats = sim.stats
     print(f"-- {stats.delta_cycles} delta cycles (= CS_MAX*6 = {model.cs_max * 6})")
     return 0 if sim.clean else 1
+
+
+def _simulate_batched(args, model, overrides: dict) -> int:
+    """`repro simulate --backend compiled-batched`: the sweep path.
+
+    Vectors come from ``--vectors-from`` (JSONL, one register mapping
+    per line), or ``--batch N`` (N replicas of the ``--set`` overrides,
+    or N random vectors when ``--seed`` is given).  Exit status is 0
+    iff every vector's run stayed clean.
+    """
+    import json
+    import random
+
+    if args.vcd or args.trace or args.observe or args.profile \
+            or args.profile_out:
+        raise ValueError(
+            "--vcd/--trace/--observe/--profile produce single-run output; "
+            "not supported with the compiled-batched backend"
+        )
+    if args.vectors_from:
+        if args.batch is not None or args.seed is not None:
+            raise ValueError(
+                "--vectors-from is exclusive with --batch/--seed"
+            )
+        vectors = []
+        with open(args.vectors_from, encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError(
+                        f"{args.vectors_from}:{line_no}: expected a "
+                        f"{{register: value}} object"
+                    )
+                vectors.append({**overrides, **{
+                    str(k): int(v) for k, v in record.items()
+                }})
+        if not vectors:
+            raise ValueError(f"{args.vectors_from} holds no vectors")
+    else:
+        count = args.batch if args.batch is not None else 1
+        if count < 1:
+            raise ValueError(f"--batch must be >= 1, got {count}")
+        if args.seed is not None:
+            rng = random.Random(args.seed)
+            vectors = [
+                {
+                    name: rng.randrange(0, 1 << model.width)
+                    for name in model.registers
+                }
+                for _ in range(count)
+            ]
+        else:
+            vectors = [dict(overrides) for _ in range(count)]
+    sim = model.elaborate(
+        register_values=vectors, backend="compiled-batched"
+    ).run()
+    clean_count = int(sim.clean_mask.sum())
+    total = len(vectors)
+    if total <= 8:
+        for i in range(total):
+            row = " ".join(
+                f"{name}={format_value(value)}"
+                for name, value in sorted(sim.registers[i].items())
+            )
+            flag = "" if sim.clean_mask[i] else "  [conflicts]"
+            print(f"vector {i}: {row}{flag}")
+    conflict_total = sum(len(events) for events in sim.conflicts)
+    print(
+        f"-- {total} vectors, {clean_count} clean, "
+        f"{conflict_total} conflict events, "
+        f"{sim.stats.delta_cycles} delta cycles "
+        f"(= CS_MAX*6 = {model.cs_max * 6})"
+    )
+    return 0 if clean_count == total else 1
 
 
 def cmd_reschedule(args) -> int:
@@ -524,6 +649,119 @@ def cmd_report(args) -> int:
         print(report.to_json(indent=2))
     else:
         print(report.render())
+    return 0
+
+
+def _bench_default_model():
+    """The paper's Fig. 1 example (R1 + R2 -> R1 in steps 5/6)."""
+    from .core import ModuleSpec, RTModel
+
+    model = RTModel("example", cs_max=7)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def cmd_bench(args) -> int:
+    """Batched-vs-sequential sweep: the repo's recorded perf trajectory.
+
+    Runs ``--vectors`` random register-value vectors through N
+    sequential ``compiled`` elaborations and through one
+    ``compiled-batched`` run, verifies the results are identical, and
+    writes a JSON record (vectors/sec per backend, speedup, model
+    size) -- the artifact CI uploads as ``BENCH_batched.json``.
+    """
+    import json
+    import random
+    import time
+
+    if args.vectors < 1:
+        raise ValueError(f"--vectors must be >= 1, got {args.vectors}")
+    if args.model:
+        model = load_model(args.model)
+        model_name = model.name
+    else:
+        model = _bench_default_model()
+        model_name = "fig1 (built-in)"
+    rng = random.Random(args.seed)
+    vectors = [
+        {
+            name: rng.randrange(0, 1 << model.width)
+            for name in model.registers
+        }
+        for _ in range(args.vectors)
+    ]
+
+    from .engine import run_metrics
+
+    t0 = time.perf_counter()
+    sequential = [
+        model.elaborate(register_values=vec, backend="compiled").run()
+        for vec in vectors
+    ]
+    seq_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched = model.elaborate(
+        register_values=vectors, backend="compiled-batched"
+    ).run()
+    batch_wall = time.perf_counter() - t0
+
+    mismatches = [
+        i
+        for i, sim in enumerate(sequential)
+        if batched.registers[i] != sim.registers
+        or bool(batched.clean_mask[i]) != sim.clean
+    ]
+    if mismatches:
+        print(
+            f"error: batched results differ from sequential runs for "
+            f"vectors {mismatches[:8]}",
+            file=sys.stderr,
+        )
+        return 1
+
+    seq_rate = args.vectors / seq_wall if seq_wall > 0 else float("inf")
+    batch_rate = args.vectors / batch_wall if batch_wall > 0 else float("inf")
+    speedup = seq_wall / batch_wall if batch_wall > 0 else float("inf")
+    record = {
+        "benchmark": "batched-vs-sequential",
+        "model": {
+            "name": model_name,
+            "cs_max": model.cs_max,
+            "width": model.width,
+            "registers": len(model.registers),
+            "buses": len(model.buses),
+            "modules": len(model.modules),
+            "transfers": len(model.trans_specs()),
+        },
+        "vectors": args.vectors,
+        "seed": args.seed,
+        "sequential": {
+            "backend": "compiled",
+            "wall": seq_wall,
+            "vectors_per_sec": seq_rate,
+        },
+        "batched": {
+            "backend": "compiled-batched",
+            "wall": batch_wall,
+            "vectors_per_sec": batch_rate,
+            "metrics": run_metrics(batched, wall=batch_wall),
+        },
+        "speedup": speedup,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{model_name}: {args.vectors} vectors -- sequential "
+        f"{seq_rate:,.0f} vec/s, batched {batch_rate:,.0f} vec/s, "
+        f"speedup {speedup:.1f}x"
+    )
+    print(f"-- wrote {args.out}")
     return 0
 
 

@@ -378,11 +378,16 @@ class RTModel:
         ----------
         register_values:
             Per-run overrides of register presets (for parameter
-            sweeps without rebuilding the model).
+            sweeps without rebuilding the model).  The
+            ``"compiled-batched"`` backend also accepts a *sequence*
+            of such mappings -- one register-value vector per batch
+            lane, all swept in a single run.
         trace:
             Record a full (step, phase) waveform of every bus and port.
         watch:
-            Additional signal names to trace.
+            Signal names to trace.  On the compiled backends this is a
+            subset fast path: only the watched ports are sampled
+            (``trace=True`` without ``watch`` still records all).
         transfer_engine:
             Realize the TRANS instances as one folded engine process
             (default) or one kernel process each (the literal paper
@@ -391,10 +396,14 @@ class RTModel:
             meaningful for the event backend.
         backend:
             Which simulation engine executes the model: ``"event"``
-            (the delta-cycle kernel, default) or ``"compiled"`` (the
-            per-(step, phase) action-table executor); see
-            :mod:`repro.engine`.  Both are bit-identical in registers,
-            traces and conflict localization.
+            (the delta-cycle kernel, default), ``"compiled"`` (the
+            per-(step, phase) action-table executor) or
+            ``"compiled-batched"`` (the same tables walked once for N
+            input vectors over a numpy value plane; batch-shaped
+            results -- ``registers[i]``, ``conflicts[i]``,
+            ``clean_mask``); see :mod:`repro.engine`.  All are
+            bit-identical per vector in registers, traces and
+            conflict localization.
         observe:
             A :class:`repro.observe.Probe` receiving the run's event
             stream (phase boundaries, bus drives, register latches,

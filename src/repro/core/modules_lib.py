@@ -58,11 +58,18 @@ OpFn = Callable[..., int]
 
 @dataclass(frozen=True)
 class Operation:
-    """One operation a module can perform."""
+    """One operation a module can perform.
+
+    ``vector_key`` names a vectorized implementation in
+    :mod:`repro.core.values_np` (set only by the standard library;
+    custom operations leave it None and are evaluated element-wise by
+    the batched backend, which keeps arbitrary ``fn`` bodies exact).
+    """
 
     name: str
     arity: int
     fn: OpFn
+    vector_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.arity not in (1, 2):
@@ -90,7 +97,7 @@ def _standard_operations(width: int) -> dict[str, Operation]:
             shifted |= mask & ~(mask >> min(b, width))
         return shifted
 
-    return {
+    table = {
         "ADD": Operation("ADD", 2, lambda a, b: a + b),
         "SUB": Operation("SUB", 2, lambda a, b: a - b),
         "MULT": Operation("MULT", 2, lambda a, b: a * b),
@@ -107,6 +114,13 @@ def _standard_operations(width: int) -> dict[str, Operation]:
         "NEG": Operation("NEG", 1, lambda a: -a),
         "INC": Operation("INC", 1, lambda a: a + 1),
         "DEC": Operation("DEC", 1, lambda a: a - 1),
+    }
+    # Standard operations are safe to vectorize by name; custom
+    # Operation instances (which may reuse these names with different
+    # bodies, e.g. the IKS fixed-point MULT) keep vector_key=None.
+    return {
+        name: Operation(op.name, op.arity, op.fn, vector_key=name)
+        for name, op in table.items()
     }
 
 

@@ -1,0 +1,265 @@
+"""Numpy-vectorized value plane: N vectors of subset values at once.
+
+The paper's value domain (naturals plus the DISC/ILLEGAL sentinels of
+:mod:`repro.core.values`) and its resolution function are pointwise --
+nothing about them couples different input vectors.  The control-step
+schedule is *static* (activation tables are input-independent), so a
+batch of N register-value vectors can be swept through one walk of the
+schedule if the value plane itself vectorizes.  This module provides
+that plane:
+
+* :class:`BatchValueStore` -- an ``(N, num_ports)`` int64 array holding
+  one row per input vector, DISC/ILLEGAL encoded exactly as in the
+  scalar layer (``-1``/``-2``);
+* :func:`resolve_rt_batch` -- the paper's resolution function over an
+  ``(N, drivers)`` contribution array, by mask arithmetic: all-DISC
+  rows resolve to DISC, exactly-one-driver rows to that driver's value,
+  everything else to ILLEGAL;
+* :func:`combine_batch` -- the all-or-none operand rule of
+  :func:`repro.core.modules_lib._combine` over ``(N,)`` operand columns,
+  dispatching to vectorized implementations of the standard operation
+  library (modulo ``2**width`` arithmetic in uint64, exact for
+  ``width <= 63``).
+
+Numpy is an *optional* dependency (the ``repro[fast]`` extra): the
+scalar backends never import this module, and :func:`require_numpy`
+turns its absence into an actionable error instead of an ImportError
+deep inside an elaboration.
+
+Only operations created by :func:`repro.core.modules_lib._standard_operations`
+carry a ``vector_key`` and take the vectorized path; custom operations
+(e.g. the IKS chip's CORDIC library) fall back to an element-wise loop
+over ``Operation.apply``, which keeps results bit-identical at reduced
+speedup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+try:  # pragma: no cover - exercised via require_numpy/have_numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .modules_lib import Operation
+
+from .values import DISC, ILLEGAL
+
+#: Widest data width the int64 value plane represents exactly.
+MAX_BATCH_WIDTH = 63
+
+
+class BatchSupportError(RuntimeError):
+    """Raised when the vectorized value plane cannot be used."""
+
+
+def have_numpy() -> bool:
+    """True when the vectorized value plane is importable."""
+    return _np is not None
+
+
+def require_numpy(feature: str = "the compiled-batched backend"):
+    """Return the numpy module, or raise an actionable error.
+
+    The error names the pure-python alternative so callers hitting it
+    in a numpy-less environment know the sequential path still works.
+    """
+    if _np is None:
+        raise BatchSupportError(
+            f"{feature} requires numpy, which is not installed; "
+            f"install the fast extra (pip install 'repro[fast]') or run "
+            f"the pure-python 'compiled' backend once per vector instead"
+        )
+    return _np
+
+
+class BatchValueStore:
+    """``(N, num_ports)`` int64 value plane with DISC/ILLEGAL sentinels.
+
+    Row ``i`` is input vector ``i``'s complete port state; column ``j``
+    is port ``j`` across the batch.  Ports are declared in the same
+    order the scalar backends declare them, so column indices are
+    interchangeable with the compiled backend's port table.
+    """
+
+    def __init__(
+        self,
+        batch_size: int,
+        names: Sequence[str],
+        inits: Sequence[int],
+        resolved: Optional[set] = None,
+    ) -> None:
+        np = require_numpy("BatchValueStore")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if len(names) != len(inits):
+            raise ValueError("names and inits must have equal length")
+        self.batch_size = batch_size
+        self.names: List[str] = list(names)
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(self.names)}
+        self.resolved = set(resolved or ())
+        row = np.asarray(list(inits), dtype=np.int64)
+        self.values = np.tile(row, (batch_size, 1))
+
+    @property
+    def num_ports(self) -> int:
+        return len(self.names)
+
+    def column(self, idx: int):
+        """The ``(N,)`` value column of one port (a live view)."""
+        return self.values[:, idx]
+
+    def vector(self, i: int) -> dict:
+        """One input vector's named port values, as plain ints."""
+        row = self.values[i]
+        return {name: int(row[j]) for j, name in enumerate(self.names)}
+
+
+# ----------------------------------------------------------------------
+# resolution
+# ----------------------------------------------------------------------
+def resolve_rt_batch(contribs):
+    """Vectorized resolution (paper §2.3) over ``(N, drivers)`` rows.
+
+    Truth table per row, via mask arithmetic:
+
+    * no non-DISC driver            -> DISC
+    * any ILLEGAL driver            -> ILLEGAL
+    * two or more non-DISC drivers  -> ILLEGAL
+    * exactly one non-DISC driver   -> that driver's value
+
+    An empty driver axis resolves to DISC, like the scalar function.
+    """
+    np = require_numpy("resolve_rt_batch")
+    contribs = np.asarray(contribs)
+    if contribs.ndim != 2:
+        raise ValueError(f"expected (N, drivers) array, got {contribs.shape}")
+    n = contribs.shape[0]
+    out = np.full(n, ILLEGAL, dtype=np.int64)
+    if contribs.shape[1] == 0:
+        out[:] = DISC
+        return out
+    driving = contribs != DISC
+    count = driving.sum(axis=1)
+    any_illegal = (contribs == ILLEGAL).any(axis=1)
+    # Sum of the driving entries: with exactly one driver this *is* the
+    # driver's value (DISC entries are zeroed out of the sum).
+    single = np.where(driving, contribs, 0).sum(axis=1)
+    out[count == 0] = DISC
+    one = (count == 1) & ~any_illegal
+    out[one] = single[one]
+    return out
+
+
+# ----------------------------------------------------------------------
+# vectorized standard operations
+# ----------------------------------------------------------------------
+# Each implementation receives uint64 operand columns already known to
+# be regular data values (< 2**width) and the data width; it returns a
+# uint64 column which the caller reduces modulo 2**width.  uint64
+# arithmetic wraps modulo 2**64, and 2**width divides 2**64 for
+# width <= 63, so the reduction is exact.
+
+def _vec_rshift(args, width):
+    np = _np
+    return args[0] >> np.minimum(args[1], width)
+
+
+def _vec_lshift(args, width):
+    np = _np
+    return args[0] << np.minimum(args[1], width)
+
+
+def _vec_arshift(args, width):
+    np = _np
+    mask = np.uint64((1 << width) - 1)
+    shift = np.minimum(args[1], width)
+    sign = (args[0] >> np.uint64(width - 1)) & np.uint64(1)
+    shifted = args[0] >> shift
+    fill = mask & ~(mask >> shift)
+    return np.where(sign.astype(bool), shifted | fill, shifted)
+
+
+def _vec_neg(args, width):
+    # Operands are < 2**width, so two's complement needs no wrap-around.
+    return _np.uint64(1 << width) - args[0]
+
+
+VECTOR_OPS: Dict[str, Callable] = {}
+
+
+def _install_vector_ops() -> None:
+    np = _np
+    VECTOR_OPS.update(
+        {
+            "ADD": lambda a, w: a[0] + a[1],
+            "SUB": lambda a, w: a[0] - a[1],
+            "MULT": lambda a, w: a[0] * a[1],
+            "AND": lambda a, w: a[0] & a[1],
+            "OR": lambda a, w: a[0] | a[1],
+            "XOR": lambda a, w: a[0] ^ a[1],
+            "MIN": lambda a, w: np.minimum(a[0], a[1]),
+            "MAX": lambda a, w: np.maximum(a[0], a[1]),
+            "RSHIFT": _vec_rshift,
+            "ARSHIFT": _vec_arshift,
+            "LSHIFT": _vec_lshift,
+            "PASS": lambda a, w: a[0],
+            "COPY": lambda a, w: a[0],
+            "NEG": _vec_neg,
+            "INC": lambda a, w: a[0] + np.uint64(1),
+            "DEC": lambda a, w: a[0] - np.uint64(1),
+        }
+    )
+
+
+if _np is not None:
+    _install_vector_ops()
+
+
+def apply_operation_batch(op: "Operation", operands, width: int):
+    """Vectorized ``op.apply`` over ``(N,)`` operand columns.
+
+    ``operands`` must already contain regular data values only (the
+    caller masks out DISC/ILLEGAL rows -- see :func:`combine_batch`).
+    Standard operations (tagged with ``vector_key``) run as uint64
+    array arithmetic; anything else falls back to an element-wise loop
+    so custom operation libraries stay bit-identical.
+    """
+    np = require_numpy("apply_operation_batch")
+    fn = VECTOR_OPS.get(getattr(op, "vector_key", None) or "")
+    if fn is None:
+        rows = zip(*[col.tolist() for col in operands])
+        return np.fromiter(
+            (op.apply(row, width) for row in rows),
+            dtype=np.int64,
+            count=len(operands[0]),
+        )
+    mask = np.uint64((1 << width) - 1)
+    args = [col.astype(np.uint64) for col in operands]
+    return (fn(args, width) & mask).astype(np.int64)
+
+
+def combine_batch(op: "Operation", operands, width: int):
+    """The all-or-none operand rule, vectorized over the batch.
+
+    Mirrors :func:`repro.core.modules_lib._combine` per row: any
+    ILLEGAL operand poisons the row, all-DISC rows stay DISC, partially
+    connected rows are ILLEGAL, fully connected rows compute ``op``.
+    """
+    np = require_numpy("combine_batch")
+    used = list(operands[: op.arity])
+    any_illegal = used[0] == ILLEGAL
+    all_disc = used[0] == DISC
+    any_disc = all_disc.copy()
+    for col in used[1:]:
+        any_illegal = any_illegal | (col == ILLEGAL)
+        disc = col == DISC
+        all_disc = all_disc & disc
+        any_disc = any_disc | disc
+    safe = [np.where(col >= 0, col, 0) for col in used]
+    data = apply_operation_batch(op, safe, width)
+    out = np.where(any_disc, ILLEGAL, data)
+    out = np.where(all_disc, DISC, out)
+    return np.where(any_illegal, ILLEGAL, out)

@@ -14,6 +14,7 @@ from .backend import (
     register_backend,
     run_metrics,
 )
+from .batched import CompiledBatchedRTSimulation
 from .compiled import CompiledRTSimulation, PortView
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "create_backend",
     "register_backend",
     "run_metrics",
+    "CompiledBatchedRTSimulation",
     "CompiledRTSimulation",
     "PortView",
 ]

@@ -18,6 +18,10 @@ name -- additionally register themselves in a factory registry:
   literal semantics of the paper's VHDL).
 * ``"compiled"``: precomputed per-(step, phase) action tables executed
   as a straight loop, bit-identical to the event kernel.
+* ``"compiled-batched"``: the same action tables walked once for N
+  register-value vectors over a numpy value plane (requires the
+  ``repro[fast]`` extra); pass ``register_values`` as a sequence of
+  mappings to set the batch.
 """
 
 from __future__ import annotations
@@ -108,6 +112,8 @@ def _ensure_builtins() -> None:
         register_backend("event", _event_factory)
     if "compiled" not in _REGISTRY:
         register_backend("compiled", _compiled_factory)
+    if "compiled-batched" not in _REGISTRY:
+        register_backend("compiled-batched", _compiled_batched_factory)
 
 
 def _event_factory(model: Any, **kwargs: Any) -> Backend:
@@ -120,6 +126,12 @@ def _compiled_factory(model: Any, **kwargs: Any) -> Backend:
     from .compiled import CompiledRTSimulation
 
     return CompiledRTSimulation(model, **kwargs)
+
+
+def _compiled_batched_factory(model: Any, **kwargs: Any) -> Backend:
+    from .batched import CompiledBatchedRTSimulation
+
+    return CompiledBatchedRTSimulation(model, **kwargs)
 
 
 def run_metrics(
@@ -142,17 +154,29 @@ def run_metrics(
     as None, and backends without the attribute at all (the handshake
     network) are equally fine -- neither grows a ``trace_samples``
     column.
+
+    Batched backends (those carrying a ``batch_size``) report a
+    ``vectors`` column and count conflicts summed over the batch --
+    their ``conflicts`` is a list of per-vector event lists.
     """
     stats = backend.stats
     if baseline is not None:
         stats = stats - baseline
+    batch_size = getattr(backend, "batch_size", None)
+    conflicts = backend.conflicts
+    if batch_size is not None:
+        conflict_count = sum(len(events) for events in conflicts)
+    else:
+        conflict_count = len(conflicts)
     row: Dict[str, float] = {
         "deltas": stats.delta_cycles,
         "events": stats.events,
         "resumes": stats.process_resumes,
         "transactions": stats.transactions,
-        "conflicts": len(backend.conflicts),
+        "conflicts": conflict_count,
     }
+    if batch_size is not None:
+        row["vectors"] = batch_size
     tracer = getattr(backend, "tracer", None)
     if tracer is not None:
         row["trace_samples"] = len(tracer.samples)

@@ -1,0 +1,633 @@
+"""The compiled-batched backend: N input vectors, one schedule walk.
+
+:class:`CompiledBatchedRTSimulation` compiles the model exactly like
+:class:`repro.engine.compiled.CompiledRTSimulation` -- same port table,
+same driver table, same per-``(step, phase)`` action tables -- but
+holds the value plane as an ``(N, num_ports)`` numpy array
+(:class:`repro.core.values_np.BatchValueStore`) and executes the
+static schedule **once** for all N register-value vectors.  Everything
+input-independent (the activation tables, the driver release schedule,
+the delta-cycle walk itself) is paid once; everything value-dependent
+(resolution, module arithmetic, register latching, conflict episodes)
+is computed as array arithmetic over the batch.
+
+Per-vector semantics are bit-identical to N sequential ``compiled``
+runs: vector ``i``'s final registers, its conflict events (same
+``(CS, PH)`` locations, sources and order) and its clean flag match
+``compiled`` elaborated with that vector's ``register_values`` -- the
+differential tests in ``tests/engine/test_batched_backend.py`` assert
+this for randomized models.  Conflicts *can* differ across vectors in
+one batch: overrides may leave a source register DISC, and a
+structural two-driver collision only materializes for vectors whose
+sources actually carry data.
+
+Result surface (batch-shaped):
+
+* ``registers`` -- list of per-vector register dicts (``registers[i]``);
+* ``conflicts`` -- list of per-vector :class:`ConflictEvent` lists
+  (``conflicts[i]``), keyed by ``(vector, signal, CS, PH)``;
+* ``clean_mask`` -- ``(N,)`` bool array; ``clean`` is its conjunction;
+* ``register_array(name)`` -- one register across the batch;
+* ``tracers`` -- per-vector :class:`TraceLog` when tracing a watched
+  subset (``tracer`` stays the scalar alias for N == 1).
+
+Stats accounting: controller bookkeeping (cycles, delta cycles, the
+fused per-cycle dispatch, CS/PH/tick events and transactions) is
+counted once per cycle -- the schedule really is walked once -- while
+value-dependent activity (port events, assert/release/eval/latch
+transactions) is summed over the batch.  At N == 1 this reduces to
+exactly the ``compiled`` backend's counters.
+
+Probes: at N == 1 the canonical per-cycle stream is emitted
+(conflicts, step boundary, phase, bus drives, register latches --
+identical order to the other backends, differential-tested).  At
+N > 1 only ``on_run_start`` / ``on_conflict`` / ``on_run_end`` fire;
+per-cycle value callbacks have no single-vector meaning there (see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..core.diagnostics import ConflictEvent, ConflictLog
+from ..core.model import ModelError, RTModel
+from ..core.modules_lib import ModuleSpec
+from ..core.phases import PHASES_PER_STEP, Phase, StepPhase, iter_schedule
+from ..core.trace import TraceLog
+from ..core.transfer import TransSpec
+from ..core.values import DISC, ILLEGAL
+from ..core.values_np import (
+    MAX_BATCH_WIDTH,
+    BatchValueStore,
+    combine_batch,
+    require_numpy,
+    resolve_rt_batch,
+)
+from ..kernel import SimStats
+from ..kernel.errors import DeltaCycleLimitError
+from .compiled import _EXTRA_EVENTS, _SCHED_TX
+
+#: ``register_values`` accepted shapes: one mapping (N=1) or a
+#: sequence of mappings (N=len).
+BatchInits = Union[Mapping[str, int], Sequence[Mapping[str, int]], None]
+
+
+class CompiledBatchedRTSimulation:
+    """A compiled elaboration sweeping N input vectors per table walk."""
+
+    #: Engine kind reported to observers (see repro.observe).
+    backend_name = "compiled-batched"
+
+    def __init__(
+        self,
+        model: RTModel,
+        register_values: BatchInits = None,
+        trace: bool = False,
+        watch: Optional[Iterable[str]] = None,
+        max_deltas: int = 1_000_000,
+        transfer_engine: bool = True,
+        observe=None,
+    ) -> None:
+        del transfer_engine  # one compiled realization covers both
+        np = require_numpy("the compiled-batched backend")
+        if model.width > MAX_BATCH_WIDTH:
+            raise ModelError(
+                f"compiled-batched supports width <= {MAX_BATCH_WIDTH} "
+                f"bits (int64 value plane), model width is {model.width}; "
+                f"use the 'compiled' backend"
+            )
+        self.model = model
+        self._np = np
+        self._max_deltas = max_deltas
+
+        if register_values is None or isinstance(register_values, Mapping):
+            vectors = [dict(register_values or {})]
+        else:
+            vectors = [dict(v) for v in register_values]
+            if not vectors:
+                raise ModelError(
+                    "compiled-batched needs at least one register_values "
+                    "vector"
+                )
+        unknown = set().union(*vectors) - set(model.registers)
+        if unknown:
+            raise ModelError(
+                f"register_values for unknown registers: {sorted(unknown)}"
+            )
+        self.batch_size = len(vectors)
+
+        # -- port table (same order the scalar backends declare) ---------
+        names: List[str] = []
+        inits: List[int] = []
+        resolved: set[int] = set()
+        self._index: dict[str, int] = {}
+
+        def port(name: str, init: int, is_resolved: bool = False) -> int:
+            idx = len(names)
+            names.append(name)
+            inits.append(init)
+            self._index[name] = idx
+            if is_resolved:
+                resolved.add(idx)
+            return idx
+
+        for bus in model.buses.values():
+            port(bus.name, DISC, is_resolved=True)
+        self._reg_out_idx: dict[str, int] = {}
+        reg_latches: List[tuple[int, int]] = []
+        for reg in model.registers.values():
+            in_idx = port(f"{reg.name}_in", DISC, is_resolved=True)
+            out_idx = port(f"{reg.name}_out", reg.init)
+            self._reg_out_idx[reg.name] = out_idx
+            reg_latches.append((in_idx, out_idx))
+        self._reg_latches = reg_latches
+        module_ports: List[tuple[ModuleSpec, List[int], int, Optional[int]]] = []
+        for spec in model.modules.values():
+            in_idxs = [
+                port(f"{spec.name}_in{i}", DISC, is_resolved=True)
+                for i in range(1, spec.arity + 1)
+            ]
+            out_idx = port(f"{spec.name}_out", DISC)
+            op_idx = None
+            if spec.multi_op:
+                op_idx = port(f"{spec.name}_op", DISC, is_resolved=True)
+            module_ports.append((spec, in_idxs, out_idx, op_idx))
+
+        self._store = BatchValueStore(
+            self.batch_size, names, inits, resolved
+        )
+        self._names = self._store.names
+        values = self._store.values
+        # Per-vector register overrides (same masking as the scalar
+        # backends: anything but DISC is reduced modulo 2**width).
+        for i, overrides in enumerate(vectors):
+            for reg, init in overrides.items():
+                if init != DISC:
+                    init %= 1 << model.width
+                values[i, self._reg_out_idx[reg]] = init
+        self._module_evals = [
+            (
+                out_idx,
+                _compile_module_batch(
+                    spec, values, in_idxs, op_idx, self.batch_size
+                ),
+            )
+            for spec, in_idxs, out_idx, op_idx in module_ports
+        ]
+
+        # -- driver table (one per TRANS instance, in spec order) --------
+        self._drv_owner: List[str] = []
+        self._drv_sink: List[int] = []
+        self._sink_drivers: dict[int, List[int]] = {}
+        asserts: dict[tuple[int, int], List[tuple[int, Optional[int], int]]] = {}
+        releases: dict[tuple[int, int], List[int]] = {}
+        for spec in model.trans_specs():
+            sink = self._port(spec.sink)
+            if sink not in self._store.resolved:
+                raise ModelError(
+                    f"transfer {spec.name}: sink {spec.sink!r} is not a "
+                    f"resolved port"
+                )
+            drv = len(self._drv_owner)
+            self._drv_owner.append(spec.name)
+            self._drv_sink.append(sink)
+            self._sink_drivers.setdefault(sink, []).append(drv)
+            if spec.source.startswith("op:"):
+                src, const = None, self._op_code(spec)
+            else:
+                src, const = self._port(spec.source), 0
+            asserts.setdefault((spec.step, int(spec.phase)), []).append(
+                (drv, src, const)
+            )
+            releases.setdefault(
+                (spec.step, int(spec.phase.succ())), []
+            ).append(drv)
+        self._asserts = asserts
+        self._releases = releases
+        self._contrib = np.full(
+            (self.batch_size, len(self._drv_owner)), DISC, dtype=np.int64
+        )
+
+        # -- observers ---------------------------------------------------
+        self._probe = observe
+        listener = observe.on_conflict if observe is not None else None
+        self._monitors = [
+            ConflictLog(listener=listener) for _ in range(self.batch_size)
+        ]
+        self._active_illegal = np.zeros(
+            (self.batch_size, len(self._names)), dtype=bool
+        )
+        #: port indices whose vector-0 value changed this cycle (only
+        #: tracked for the N == 1 canonical probe stream).
+        self._cycle_changed: set[int] = set()
+        self._bus_count = len(model.buses)
+        self._tracers: List[TraceLog] = []
+        self._trace_items: Optional[List[tuple[str, int]]] = None
+        if trace or watch:
+            watched = list(watch) if watch else list(self._names)
+            for extra in watched:
+                if extra not in self._index:
+                    raise ModelError(f"cannot watch unknown signal {extra!r}")
+            self._trace_items = [(n, self._index[n]) for n in watched]
+            self._tracers = [
+                TraceLog(watched) for _ in range(self.batch_size)
+            ]
+
+        # -- execution state --------------------------------------------
+        self.stats = SimStats()
+        self.stats.cycles = 1
+        self.stats.transactions = 2
+        self._schedule = list(iter_schedule(model.cs_max))
+        self._pos = 0
+        #: updates scheduled during the current cycle, due next cycle:
+        #: (driver, column-or-scalar) and (port, column, lane-mask).
+        self._pend_drv: List[tuple[int, object]] = []
+        self._pend_out: List[tuple[int, object, object]] = []
+        self._finished = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> "CompiledBatchedRTSimulation":
+        """Run all ``cs_max`` control steps for the whole batch."""
+        if self._probe is None:
+            self._execute_until(len(self._schedule))
+            if not self._finished:
+                self._finish()
+            self._ran = True
+            return self
+        import time as _time
+
+        self._probe.on_run_start(self)
+        t0 = _time.perf_counter()
+        self._execute_until(len(self._schedule))
+        if not self._finished:
+            self._finish()
+        self._ran = True
+        self._probe.on_run_end(self, _time.perf_counter() - t0)
+        return self
+
+    def run_steps(self, steps: int) -> "CompiledBatchedRTSimulation":
+        """Run only the first ``steps`` control steps (for debugging)."""
+        if steps > self.model.cs_max:
+            return self.run()
+        if steps >= 1:
+            self._execute_until((steps - 1) * PHASES_PER_STEP + 1)
+        self._ran = True
+        return self
+
+    def _execute_until(self, end_pos: int) -> None:
+        stats = self.stats
+        values = self._store.values
+        n = self.batch_size
+        emit_cycles = self._probe is not None and n == 1
+        while self._pos < end_pos:
+            at = self._schedule[self._pos]
+            self._pos += 1
+            if stats.delta_cycles >= self._max_deltas:
+                raise DeltaCycleLimitError(self._max_deltas)
+            # Controller bookkeeping is input-independent and the
+            # schedule is walked once for the whole batch: count it
+            # once per cycle, exactly the scalar compiled profile.
+            stats.cycles += 1
+            stats.delta_cycles += 1
+            stats.process_resumes += 1
+            stats.events += 1 + _EXTRA_EVENTS.get(int(at.phase), 0)
+            if self._pos < len(self._schedule) or at.phase is not Phase.CR:
+                stats.transactions += _SCHED_TX[int(at.phase)]
+            self._apply_pending(at, record_conflicts=True)
+            if self._trace_items is not None:
+                items = self._trace_items
+                for i, tracer in enumerate(self._tracers):
+                    row = values[i]
+                    tracer.append(
+                        at, {name: int(row[idx]) for name, idx in items}
+                    )
+            if emit_cycles:
+                self._emit_cycle(at)
+            # -- this cycle's actions (due next cycle) -------------------
+            key = (at.step, int(at.phase))
+            for drv, src, const in self._asserts.get(key, ()):
+                self._pend_drv.append(
+                    (drv, values[:, src].copy() if src is not None else const)
+                )
+                stats.transactions += n
+            for drv in self._releases.get(key, ()):
+                self._pend_drv.append((drv, DISC))
+                stats.transactions += n
+            phase = at.phase
+            if phase is Phase.CM:
+                for out_idx, evaluate in self._module_evals:
+                    self._pend_out.append((out_idx, evaluate(), None))
+                    stats.transactions += n
+            elif phase is Phase.CR:
+                for in_idx, out_idx in self._reg_latches:
+                    lanes = values[:, in_idx] != DISC
+                    count = int(lanes.sum())
+                    if count:
+                        self._pend_out.append(
+                            (out_idx, values[:, in_idx].copy(), lanes)
+                        )
+                        stats.transactions += count
+
+    def _finish(self) -> None:
+        """The trailing delta cycle (final CR left updates in flight).
+
+        The release schedule is structural, so every vector agrees on
+        whether this cycle exists except in the pure-latch case --
+        where the lane masks make it a no-op for vectors whose latch
+        inputs stayed DISC, matching their scalar runs.  No conflicts
+        are attributable here and no trace sample is taken.
+        """
+        self._finished = True
+        if not (self._pend_drv or self._pend_out):
+            return
+        self.stats.cycles += 1
+        self.stats.delta_cycles += 1
+        last = self._schedule[-1]
+        self._apply_pending(last, record_conflicts=False)
+        self._cycle_changed.clear()
+
+    def _apply_pending(self, at: StepPhase, record_conflicts: bool) -> None:
+        """Apply updates scheduled in the previous cycle, batch-wide.
+
+        The vectorized twin of the scalar backend's update step:
+        driver contributions land first-touch-ordered, dirty sinks
+        re-resolve as ``(N, drivers)`` mask arithmetic, per-lane
+        effective-value changes are counted, and lanes that newly
+        resolved to ILLEGAL record one conflict event in *their*
+        vector's log (once per episode, sources read after all of the
+        cycle's updates).
+        """
+        if not (self._pend_drv or self._pend_out):
+            return
+        np = self._np
+        pend_drv, self._pend_drv = self._pend_drv, []
+        pend_out, self._pend_out = self._pend_out, []
+        values = self._store.values
+        contrib = self._contrib
+        stats = self.stats
+        track = (
+            self._cycle_changed
+            if self._probe is not None and self.batch_size == 1
+            else None
+        )
+        dirty: List[int] = []
+        seen: set[int] = set()
+        for drv, value in pend_drv:
+            contrib[:, drv] = value
+            sink = self._drv_sink[drv]
+            if sink not in seen:
+                seen.add(sink)
+                dirty.append(sink)
+        for idx, col, lanes in pend_out:
+            cur = values[:, idx]
+            new = col if lanes is None else np.where(lanes, col, cur)
+            changed = new != cur
+            count = int(changed.sum())
+            if count:
+                values[:, idx] = new
+                stats.events += count
+                if track is not None and changed[0]:
+                    track.add(idx)
+        newly_by_sink: List[tuple[int, object]] = []
+        for sink in dirty:
+            new = resolve_rt_batch(contrib[:, self._sink_drivers[sink]])
+            cur = values[:, sink]
+            changed = new != cur
+            count = int(changed.sum())
+            if not count:
+                continue
+            values[:, sink] = new
+            stats.events += count
+            if track is not None and changed[0]:
+                track.add(sink)
+            is_ill = new == ILLEGAL
+            active = self._active_illegal[:, sink]
+            newly = changed & is_ill & ~active
+            self._active_illegal[:, sink] = (active | newly) & ~(
+                changed & ~is_ill
+            )
+            if newly.any():
+                newly_by_sink.append((sink, newly))
+        if record_conflicts:
+            for sink, newly in newly_by_sink:
+                drvs = self._sink_drivers[sink]
+                name = self._names[sink]
+                for i in np.nonzero(newly)[0]:
+                    sources = tuple(
+                        (self._drv_owner[d], int(contrib[i, d]))
+                        for d in drvs
+                        if contrib[i, d] != DISC
+                    )
+                    self._monitors[int(i)].record(
+                        ConflictEvent(name, at, sources)
+                    )
+
+    def _emit_cycle(self, at: StepPhase) -> None:
+        """N == 1 canonical probe stream (same order as every backend)."""
+        probe = self._probe
+        if at.phase is Phase.RA:
+            probe.on_step(at.step)
+        probe.on_phase(at)
+        changed = self._cycle_changed
+        if changed:
+            row = self._store.values[0]
+            names = self._names
+            for idx in range(self._bus_count):
+                if idx in changed:
+                    probe.on_bus_drive(at, names[idx], int(row[idx]))
+            for reg, idx in self._reg_out_idx.items():
+                if idx in changed:
+                    probe.on_register_latch(at, reg, int(row[idx]))
+            changed.clear()
+
+    # ------------------------------------------------------------------
+    # results (batch-shaped)
+    # ------------------------------------------------------------------
+    @property
+    def registers(self) -> list:
+        """Per-vector register dicts (``registers[i][name]``)."""
+        return [self.vector_registers(i) for i in range(self.batch_size)]
+
+    def vector_registers(self, i: int) -> dict[str, int]:
+        """Register values of one input vector, as plain ints."""
+        row = self._store.values[i]
+        return {
+            name: int(row[idx]) for name, idx in self._reg_out_idx.items()
+        }
+
+    def register_array(self, name: str):
+        """One register's values across the batch, as an ``(N,)`` array."""
+        try:
+            idx = self._reg_out_idx[name]
+        except KeyError:
+            raise KeyError(f"unknown register {name!r}") from None
+        return self._store.values[:, idx].copy()
+
+    def __getitem__(self, register: str):
+        """``sim["R1"]`` -> the register's ``(N,)`` batch column."""
+        return self.register_array(register)
+
+    @property
+    def conflicts(self) -> list:
+        """Per-vector conflict-event lists (``conflicts[i]``)."""
+        return [monitor.events for monitor in self._monitors]
+
+    @property
+    def monitors(self) -> List[ConflictLog]:
+        return list(self._monitors)
+
+    @property
+    def monitor(self) -> Optional[ConflictLog]:
+        """The scalar alias: vector 0's log when N == 1, else None."""
+        return self._monitors[0] if self.batch_size == 1 else None
+
+    @property
+    def clean_mask(self):
+        """``(N,)`` bool array: True where a vector's run stayed clean."""
+        np = self._np
+        values = self._store.values
+        reg_idx = list(self._reg_out_idx.values())
+        if reg_idx:
+            reg_illegal = (values[:, reg_idx] == ILLEGAL).any(axis=1)
+        else:
+            reg_illegal = np.zeros(self.batch_size, dtype=bool)
+        monitor_clean = np.array(
+            [monitor.clean for monitor in self._monitors], dtype=bool
+        )
+        return monitor_clean & ~reg_illegal
+
+    @property
+    def clean(self) -> bool:
+        """True when *every* vector's run stayed clean."""
+        return bool(self.clean_mask.all())
+
+    @property
+    def tracers(self) -> List[TraceLog]:
+        """Per-vector traces of the watched subset (``tracers[i]``)."""
+        return list(self._tracers)
+
+    @property
+    def tracer(self) -> Optional[TraceLog]:
+        """The scalar alias: vector 0's trace when N == 1, else None."""
+        if self._tracers and self.batch_size == 1:
+            return self._tracers[0]
+        return None
+
+    def signal_array(self, name: str):
+        """One port's values across the batch, as an ``(N,)`` array."""
+        try:
+            idx = self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown signal {name!r}") from None
+        return self._store.values[:, idx].copy()
+
+    def _port(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ModelError(
+                f"transfer references unknown port or bus {name!r}"
+            ) from None
+
+    def _op_code(self, spec: TransSpec) -> int:
+        op_name = spec.source[3:]
+        module_name = spec.sink.rsplit("_op", 1)[0]
+        return self.model.modules[module_name].op_code(op_name)
+
+
+def _compile_module_batch(
+    spec: ModuleSpec,
+    values,
+    in_idxs: List[int],
+    op_idx: Optional[int],
+    n: int,
+):
+    """Compile one functional unit into a batched CM-phase evaluator.
+
+    The lane-wise twin of :func:`repro.engine.compiled._compile_module`:
+    internal state becomes ``(N,)`` (or ``(latency, N)``) arrays, the
+    scalar branches become lane masks, and the returned closure yields
+    the ``(N,)`` column to drive on the output port this cycle.
+    """
+    np = require_numpy("the compiled-batched backend")
+    names = sorted(spec.operations)
+    default = spec.operations[spec.default_op]
+    default_code = names.index(spec.default_op)
+    width = spec.width
+
+    def combined():
+        cols = [values[:, i] for i in in_idxs]
+        if op_idx is None:
+            return combine_batch(default, cols, width)
+        codes = values[:, op_idx]
+        effective = np.where(codes == DISC, default_code, codes)
+        valid = (
+            (codes != ILLEGAL)
+            & (effective >= 0)
+            & (effective < len(names))
+        )
+        out = np.full(n, ILLEGAL, dtype=np.int64)
+        for code in np.unique(effective[valid]):
+            lanes = valid & (effective == code)
+            op = spec.operations[names[int(code)]]
+            out[lanes] = combine_batch(
+                op, [col[lanes] for col in cols], width
+            )
+        return out
+
+    if spec.latency == 0:
+        frozen = np.zeros(n, dtype=bool)
+
+        def comb_eval():
+            result = combined()
+            out = np.where(frozen, ILLEGAL, result)
+            if spec.sticky_illegal:
+                frozen[:] = frozen | (result == ILLEGAL)
+            return out
+
+        return comb_eval
+
+    if spec.pipelined:
+        pipe = np.full((spec.latency, n), DISC, dtype=np.int64)
+        frozen = np.zeros(n, dtype=bool)
+
+        def pipe_eval():
+            out = np.where(frozen, ILLEGAL, pipe[-1])
+            active = ~frozen
+            stage = combined()
+            if spec.sticky_illegal:
+                frozen[:] = frozen | (active & (stage == ILLEGAL))
+            shifted = np.vstack([stage[None, :], pipe[:-1]])
+            pipe[:] = np.where(active[None, :], shifted, pipe)
+            return out
+
+        return pipe_eval
+
+    remaining = np.zeros(n, dtype=np.int64)
+    result = np.full(n, DISC, dtype=np.int64)
+    frozen = np.zeros(n, dtype=bool)
+
+    def nonpipe_eval():
+        active = ~frozen
+        incoming = combined()
+        busy = remaining > 0
+        m_busy = active & busy
+        remaining[:] = np.where(m_busy, remaining - 1, remaining)
+        result[:] = np.where(
+            m_busy & (incoming != DISC), ILLEGAL, result
+        )
+        m_start = active & ~busy & (incoming != DISC)
+        remaining[:] = np.where(m_start, spec.latency, remaining)
+        result[:] = np.where(m_start, incoming, result)
+        done = remaining == 0
+        out = np.where((m_busy | m_start) & done, result, DISC)
+        out = np.where(frozen, ILLEGAL, out)
+        if spec.sticky_illegal:
+            frozen[:] = frozen | (active & (result == ILLEGAL) & done)
+        return out
+
+    return nonpipe_eval

@@ -215,11 +215,17 @@ class CompiledRTSimulation:
         self._cycle_changed: set[int] = set()
         self._bus_count = len(model.buses)
         self.tracer: Optional[TraceLog] = None
+        self._trace_items: Optional[List[tuple[str, int]]] = None
         if trace or watch:
-            for extra in watch or ():
+            watched = list(watch) if watch else list(self._names)
+            for extra in watched:
                 if extra not in self._index:
                     raise ModelError(f"cannot watch unknown signal {extra!r}")
-            self.tracer = TraceLog(list(self._names))
+            if watch:
+                # Subset fast path: sample only the watched ports, so
+                # chip-scale sweeps don't pay all-ports trace memory.
+                self._trace_items = [(n, self._index[n]) for n in watched]
+            self.tracer = TraceLog(watched)
 
         # -- execution state --------------------------------------------
         self.stats = SimStats()
@@ -295,7 +301,13 @@ class CompiledRTSimulation:
                 stats.transactions += _SCHED_TX[int(at.phase)]
             self._apply_pending(at, record_conflicts=True)
             if tracer is not None:
-                tracer.append(at, dict(zip(self._names, values)))
+                if self._trace_items is not None:
+                    tracer.append(
+                        at,
+                        {name: values[idx] for name, idx in self._trace_items},
+                    )
+                else:
+                    tracer.append(at, dict(zip(self._names, values)))
             if self._probe is not None:
                 self._emit_cycle(at)
             # -- this cycle's actions (due next cycle) -------------------

@@ -17,7 +17,7 @@ Generated structure:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 from ..core.model import RTModel
 from ..core.modules_lib import alu_spec
@@ -40,13 +40,17 @@ class SynthesisResult:
     #: program output variable -> register holding it after the run
     output_regs: dict[str, str]
 
-    def simulate(self, inputs: Mapping[str, int]) -> dict[str, int]:
+    def simulate(
+        self, inputs: Mapping[str, int], backend: str = "event"
+    ) -> dict[str, int]:
         """Run the RT model on concrete inputs; returns the outputs."""
         values = {
             name: inputs[name] & ((1 << self.model.width) - 1)
             for name in self.program.inputs
         }
-        sim = self.model.elaborate(register_values=values).run()
+        sim = self.model.elaborate(
+            register_values=values, backend=backend
+        ).run()
         if not sim.clean:
             raise ScheduleError(
                 f"synthesized model reported conflicts:\n"
@@ -55,6 +59,41 @@ class SynthesisResult:
         return {
             var: sim[reg] for var, reg in self.output_regs.items()
         }
+
+    def simulate_batch(
+        self,
+        input_vectors: Sequence[Mapping[str, int]],
+        backend: str = "compiled-batched",
+    ) -> list[dict[str, int]]:
+        """Run the RT model on many input vectors; per-vector outputs.
+
+        The E9 validation sweep: with the default ``compiled-batched``
+        backend all vectors go through one walk of the action tables;
+        any scalar backend name falls back to one run per vector with
+        identical results.
+        """
+        mask = (1 << self.model.width) - 1
+        batch = [
+            {name: vec[name] & mask for name in self.program.inputs}
+            for vec in input_vectors
+        ]
+        if backend != "compiled-batched":
+            return [self.simulate(vec, backend=backend) for vec in batch]
+        sim = self.model.elaborate(
+            register_values=batch, backend=backend
+        ).run()
+        if not sim.clean:
+            bad = [i for i, ok in enumerate(sim.clean_mask) if not ok]
+            raise ScheduleError(
+                f"synthesized model reported conflicts for "
+                f"{len(bad)}/{len(batch)} vectors (first: {bad[0]}):\n"
+                + sim.monitors[bad[0]].report()
+            )
+        regs = sim.registers
+        return [
+            {var: regs[i][reg] for var, reg in self.output_regs.items()}
+            for i in range(len(batch))
+        ]
 
     def reference(self, inputs: Mapping[str, int]) -> dict[str, int]:
         """Direct evaluation of the program (the algorithmic level)."""

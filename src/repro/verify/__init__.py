@@ -21,6 +21,7 @@ from .equivalence import (
     EquivalenceResult,
     all_equivalent,
     check_program_vs_model,
+    draw_trial_vectors,
     normalize,
     program_symbolic_env,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "canonical_tuples",
     "check_model_roundtrip",
     "check_program_vs_model",
+    "draw_trial_vectors",
     "normalize",
     "program_symbolic_env",
     "sym_vars",

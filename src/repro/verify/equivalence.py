@@ -124,18 +124,79 @@ class EquivalenceResult:
         )
 
 
+def draw_trial_vectors(
+    inputs: Sequence[str], width: int, trials: int, seed: int
+) -> list[dict[str, int]]:
+    """Materialize all randomized-refutation input vectors up front.
+
+    One rng walk per check: vector ``t`` depends only on ``(seed, t)``,
+    never on how many trials an earlier register pair consumed before
+    an early exit -- and the resulting list is exactly the
+    ``register_values`` batch the ``compiled-batched`` backend takes.
+    """
+    rng = random.Random(seed)
+    return [
+        {name: rng.randrange(0, 1 << width) for name in inputs}
+        for _ in range(trials)
+    ]
+
+
+class _ModelEvaluator:
+    """Refutation oracle that *simulates* the model (``backend=`` path).
+
+    Lazily sweeps the full trial batch through the chosen backend --
+    one run for ``compiled-batched``, one elaboration per vector for
+    scalar backends -- and serves every register pair from the same
+    sweep.  Nothing runs if every pair already decided by normal form.
+    """
+
+    def __init__(
+        self, model: RTModel, envs: Sequence[Mapping[str, int]], backend: str
+    ) -> None:
+        self._model = model
+        self._envs = envs
+        self._backend = backend
+        self._results: Optional[list[dict[str, int]]] = None
+
+    def value(self, register: str, trial: int) -> int:
+        if self._results is None:
+            self._results = self._sweep()
+        return self._results[trial][register]
+
+    def _sweep(self) -> list[dict[str, int]]:
+        if self._backend == "compiled-batched":
+            sim = self._model.elaborate(
+                register_values=list(self._envs), backend=self._backend
+            ).run()
+            return sim.registers
+        return [
+            self._model.elaborate(
+                register_values=env, backend=self._backend
+            ).run().registers
+            for env in self._envs
+        ]
+
+
 def check_program_vs_model(
     program: Program,
     model: RTModel,
     output_regs: Mapping[str, str],
     trials: int = 64,
     seed: int = 12345,
+    backend: Optional[str] = None,
 ) -> list[EquivalenceResult]:
     """Verify an RT model against its algorithmic source program.
 
     ``output_regs`` maps program variables to the registers holding
     them (as produced by :func:`repro.hls.synthesize`).  Registers
     named after program inputs are treated as symbolic.
+
+    ``backend`` selects how the randomized-refutation side evaluates
+    the model: None (the default) evaluates the symbolic run's
+    expressions directly; a backend name simulates the model itself on
+    the trial vectors -- ``"compiled-batched"`` sweeps the whole trial
+    batch in one run.  The trial vectors are identical either way
+    (drawn up front from ``seed``).
     """
     run = symbolic_run(model, symbolic_registers=list(program.inputs))
     prog_env = program_symbolic_env(program)
@@ -147,7 +208,14 @@ def check_program_vs_model(
     for symbol, op_name in OP_NAMES_BY_SYMBOL.items():
         ops.setdefault(op_name, standard_operation(op_name))
 
-    rng = random.Random(seed)
+    trial_envs = draw_trial_vectors(
+        program.inputs, model.width, trials, seed
+    )
+    evaluator = (
+        _ModelEvaluator(model, trial_envs, backend)
+        if backend is not None
+        else None
+    )
     results: list[EquivalenceResult] = []
     for variable, register in output_regs.items():
         model_expr = normalize(run.expr(register), model.width, ops)
@@ -159,15 +227,14 @@ def check_program_vs_model(
             continue
         # Randomized refutation.
         counterexample = None
-        for _ in range(trials):
-            env = {
-                name: rng.randrange(0, 1 << model.width)
-                for name in program.inputs
-            }
-            lhs = run.concrete(register, env)
+        for t, env in enumerate(trial_envs):
+            if evaluator is not None:
+                lhs = evaluator.value(register, t)
+            else:
+                lhs = run.concrete(register, env)
             rhs = evaluate(program, env, model.width)[variable]
             if lhs != rhs:
-                counterexample = env
+                counterexample = dict(env)
                 break
         if counterexample is not None:
             results.append(

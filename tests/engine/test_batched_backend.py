@@ -1,0 +1,275 @@
+"""CompiledBatchedRTSimulation: N vectors, one table walk, bit-identical.
+
+The acceptance property of the batched backend: for every batch size
+the per-vector results (registers, conflict events with their
+``(CS, PH)`` locations and sources, clean flags, watched-subset
+traces) must be bit-identical to N sequential ``compiled`` runs.
+Plus the batch-only surface: ``clean_mask``, ``register_array``,
+``run_metrics`` vectors rows, the numpy guard, and the element-wise
+fallback that keeps custom operation libraries (the IKS chip) exact.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DISC, ILLEGAL, ModelError, ModuleSpec, RTModel
+from repro.core.values_np import (
+    combine_batch,
+    have_numpy,
+    resolve_rt_batch,
+)
+from repro.core.values import resolve_rt
+from repro.core.modules_lib import Operation, _combine, _standard_operations
+from repro.engine import CompiledBatchedRTSimulation, run_metrics
+
+np = pytest.importorskip("numpy")
+
+
+def fig1_model(cs_max=7, width=32):
+    model = RTModel("example", cs_max=cs_max, width=width)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def conflict_model():
+    """Two sources on B1 in step 2: a deliberate bus conflict."""
+    model = RTModel("clash", cs_max=4)
+    model.register("R1", init=1)
+    model.register("R2", init=2)
+    model.register("R3")
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,2,ADD,3,B1,R3)")
+    model.add_transfer("(R2,B1,R1,B2,2,ADD,3,B2,R3)")
+    return model
+
+
+def busy_model():
+    """A non-pipelined 2-step unit hit again while busy."""
+    model = RTModel("busy", cs_max=6)
+    model.register("R1", init=5)
+    model.register("R2", init=9)
+    model.register("R3")
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("MUL", latency=2, pipelined=False))
+    model.add_transfer("(R1,B1,R2,B2,1,MUL,3,B1,R3)")
+    model.add_transfer("(R2,B1,R1,B2,2,MUL,4,B2,R3)")
+    return model
+
+
+def conflict_signature(events):
+    return [(e.signal, e.at, e.sources) for e in events]
+
+
+def random_vectors(model, n, seed, disc_chance=0.25):
+    rng = random.Random(seed)
+    vectors = []
+    for _ in range(n):
+        vector = {}
+        for reg in model.registers:
+            if rng.random() < disc_chance:
+                vector[reg] = DISC
+            else:
+                vector[reg] = rng.randrange(0, 1 << model.width)
+        vectors.append(vector)
+    return vectors
+
+
+class TestDifferentialVsSequential:
+    """The headline property: batched == N sequential compiled runs."""
+
+    @pytest.mark.parametrize("n", [1, 7, 64])
+    @pytest.mark.parametrize(
+        "builder", [fig1_model, conflict_model, busy_model]
+    )
+    def test_bit_identical_for_all_batch_sizes(self, builder, n):
+        model = builder()
+        vectors = random_vectors(model, n, seed=n * 101)
+        watch = [f"{next(iter(model.registers))}_out"]
+        batched = model.elaborate(
+            register_values=vectors, watch=watch,
+            backend="compiled-batched",
+        ).run()
+        assert batched.batch_size == n
+        for i, vector in enumerate(vectors):
+            compiled = model.elaborate(
+                register_values=vector, watch=watch, backend="compiled"
+            ).run()
+            assert batched.registers[i] == compiled.registers
+            assert conflict_signature(
+                batched.conflicts[i]
+            ) == conflict_signature(compiled.conflicts)
+            assert bool(batched.clean_mask[i]) == compiled.clean
+            assert batched.tracers[i].samples == compiled.tracer.samples
+
+    def test_pinned_conflicting_vector(self):
+        # The structural collision materializes only for lanes whose
+        # source registers carry data: lane 0 is pinned to the
+        # conflicting assignment, lane 1 disconnects every source, so
+        # the double-driven signals all resolve to DISC and stay legal.
+        model = conflict_model()
+        vectors = [{"R1": 1, "R2": 2}, {"R1": DISC, "R2": DISC}]
+        batched = model.elaborate(
+            register_values=vectors, backend="compiled-batched"
+        ).run()
+        assert not batched.clean_mask[0]
+        assert batched.clean_mask[1]
+        assert batched.conflicts[0] and not batched.conflicts[1]
+        event = batched.conflicts[0][0]
+        assert event.signal == "B1" and event.at.step == 2
+
+
+class TestBatchSurface:
+    def test_register_array_and_getitem(self):
+        model = fig1_model()
+        vectors = [{"R1": a, "R2": b} for a, b in [(1, 2), (10, 20)]]
+        sim = model.elaborate(
+            register_values=vectors, backend="compiled-batched"
+        ).run()
+        assert sim.register_array("R1").tolist() == [3, 30]
+        assert sim["R2"].tolist() == [2, 20]
+        with pytest.raises(KeyError):
+            sim.register_array("R9")
+
+    def test_run_metrics_reports_vectors_and_summed_conflicts(self):
+        model = conflict_model()
+        sim = model.elaborate(
+            register_values=[{}, {}, {"R1": DISC}],
+            backend="compiled-batched",
+        ).run()
+        row = run_metrics(sim, wall=0.5)
+        assert row["vectors"] == 3
+        assert row["conflicts"] == sum(len(c) for c in sim.conflicts)
+        assert row["conflicts"] >= 2  # default lanes both conflict
+
+    def test_scalar_aliases_only_at_n1(self):
+        model = fig1_model()
+        one = model.elaborate(
+            trace=True, backend="compiled-batched"
+        ).run()
+        assert one.monitor is not None and one.tracer is not None
+        many = model.elaborate(
+            register_values=[{}, {}], trace=True,
+            backend="compiled-batched",
+        ).run()
+        assert many.monitor is None and many.tracer is None
+        assert len(many.tracers) == 2
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ModelError):
+            CompiledBatchedRTSimulation(fig1_model(), register_values=[])
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ModelError):
+            CompiledBatchedRTSimulation(
+                fig1_model(), register_values=[{"R9": 1}]
+            )
+
+    def test_wide_models_rejected(self):
+        with pytest.raises(ModelError):
+            CompiledBatchedRTSimulation(fig1_model(width=64))
+
+    def test_run_steps_matches_compiled(self):
+        model = fig1_model()
+        for steps in (1, 3, 6, 8):
+            ba = model.elaborate(backend="compiled-batched")
+            ba.run_steps(steps)
+            co = model.elaborate(backend="compiled")
+            co.run_steps(steps)
+            assert ba.registers[0] == co.registers
+            assert ba.stats.delta_cycles == co.stats.delta_cycles
+
+
+class TestCustomOperationFallback:
+    def test_custom_op_reusing_standard_name_stays_exact(self):
+        # The IKS hazard: a custom Operation named MULT whose body is
+        # *not* a*b must not silently vectorize as the standard MULT.
+        custom = Operation("MULT", 2, lambda a, b: (a * b) >> 3)
+        assert custom.vector_key is None
+        model = RTModel("custom", cs_max=4, width=16)
+        model.register("R1", init=40)
+        model.register("R2", init=10)
+        model.bus("B1")
+        model.bus("B2")
+        model.module(
+            ModuleSpec("MUL", operations={"MULT": custom}, latency=1)
+        )
+        model.add_transfer("(R1,B1,R2,B2,1,MUL,2,B1,R1)")
+        ba = model.elaborate(backend="compiled-batched").run()
+        co = model.elaborate(backend="compiled").run()
+        assert ba.registers[0] == co.registers
+        assert ba.registers[0]["R1"] == (40 * 10) >> 3
+
+    def test_iks_chip_batch_matches_compiled(self):
+        # Whole-chip check: CORDIC/fixed-point custom operations run
+        # through the element-wise fallback, bit-identical.
+        from repro.iks.flow import build_ik_model
+
+        model, _ = build_ik_model(6.0, 4.0)
+        ba = model.elaborate(
+            register_values=[{}, {}], backend="compiled-batched"
+        ).run()
+        co = model.elaborate(backend="compiled").run()
+        for i in range(2):
+            assert ba.registers[i] == co.registers
+            assert bool(ba.clean_mask[i]) == co.clean
+
+
+class TestVectorizedValuePlane:
+    """values_np primitives vs their scalar twins, exhaustively-ish."""
+
+    def test_resolve_rt_batch_matches_scalar(self):
+        rng = random.Random(5)
+        pool = [DISC, ILLEGAL, 0, 1, 7, 255]
+        for drivers in (1, 2, 3, 4):
+            rows = [
+                [rng.choice(pool) for _ in range(drivers)]
+                for _ in range(200)
+            ]
+            got = resolve_rt_batch(np.array(rows, dtype=np.int64))
+            want = [resolve_rt(row) for row in rows]
+            assert got.tolist() == want
+
+    def test_resolve_rt_batch_empty_driver_axis(self):
+        got = resolve_rt_batch(np.empty((4, 0), dtype=np.int64))
+        assert got.tolist() == [DISC] * 4
+
+    @pytest.mark.parametrize("width", [8, 16, 32, 63])
+    def test_combine_batch_matches_scalar_combine(self, width):
+        rng = random.Random(width)
+        mask = (1 << width) - 1
+        pool = [DISC, ILLEGAL, 0, 1, 2, 3, 5, width, 2 * width, mask,
+                mask - 1, mask >> 1, (mask >> 1) + 1]
+        for op in _standard_operations(width).values():
+            rows = [
+                [rng.choice(pool) for _ in range(op.arity)]
+                for _ in range(300)
+            ]
+            cols = [
+                np.array([row[j] for row in rows], dtype=np.int64)
+                for j in range(op.arity)
+            ]
+            got = combine_batch(op, cols, width)
+            want = [_combine(op, row, width) for row in rows]
+            assert got.tolist() == want, op.name
+
+    def test_have_numpy_reports_presence(self):
+        assert have_numpy()
+
+    def test_missing_numpy_error_is_actionable(self, monkeypatch):
+        import repro.core.values_np as values_np
+
+        monkeypatch.setattr(values_np, "_np", None)
+        with pytest.raises(values_np.BatchSupportError) as err:
+            values_np.require_numpy("the compiled-batched backend")
+        message = str(err.value)
+        assert "repro[fast]" in message
+        assert "compiled" in message

@@ -119,12 +119,46 @@ class TestTraceParity:
         assert ev.tracer.watched_names == co.tracer.watched_names
         assert ev.tracer.samples == co.tracer.samples
 
-    def test_watch_enables_tracing(self):
+    def test_watch_traces_only_the_subset(self):
+        # The subset fast path: watch= samples only the named ports.
         model = fig1_model()
         co = model.elaborate(watch=["R1_out", "B1"], backend="compiled").run()
-        ev = model.elaborate(watch=["R1_out", "B1"]).run()
         assert co.tracer is not None
-        assert co.tracer.watched_names == ev.tracer.watched_names
+        assert co.tracer.watched_names == ["R1_out", "B1"]
+        assert all(
+            set(sample.values) == {"R1_out", "B1"}
+            for sample in co.tracer.samples
+        )
+
+    def test_watched_subset_matches_event_kernel_port_for_port(self):
+        # Same sample times, same values -- just restricted columns.
+        model = fig1_model()
+        co = model.elaborate(watch=["R1_out", "B1"], backend="compiled").run()
+        ev = model.elaborate(trace=True).run()
+        assert len(co.tracer.samples) == len(ev.tracer.samples)
+        for ours, theirs in zip(co.tracer.samples, ev.tracer.samples):
+            assert ours.at == theirs.at
+            for name in ("R1_out", "B1"):
+                assert ours.values[name] == theirs.values[name]
+
+    def test_subset_trace_cuts_memory_on_the_iks_chip(self):
+        # The E6 chip: watching two result registers instead of every
+        # port shrinks the per-sample payload by the port ratio.
+        from repro.iks.flow import build_ik_model
+        from repro.iks.microprogram import RESULT_REGISTERS
+
+        watch = [f"{RESULT_REGISTERS['theta1']}_out",
+                 f"{RESULT_REGISTERS['theta2']}_out"]
+        model, _ = build_ik_model(6.0, 4.0)
+        full = model.elaborate(trace=True, backend="compiled").run()
+        subset = model.elaborate(watch=watch, backend="compiled").run()
+        full_cells = sum(len(s.values) for s in full.tracer.samples)
+        subset_cells = sum(len(s.values) for s in subset.tracer.samples)
+        assert len(full.tracer.samples) == len(subset.tracer.samples)
+        assert subset_cells * 10 < full_cells
+        # ...and the retained columns are still bit-identical.
+        for ours, theirs in zip(subset.tracer.samples, full.tracer.samples):
+            assert all(ours.values[n] == theirs.values[n] for n in watch)
 
     def test_unknown_watch_rejected(self):
         with pytest.raises(ModelError):

@@ -322,3 +322,98 @@ class TestCliErrorPaths:
             "--vcd", "/no/such/directory/wave.vcd",
         ]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestBatchedCli:
+    """`repro simulate --backend compiled-batched` and `repro bench`."""
+
+    def test_simulate_batched_single_vector(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vector 0: R1=5 R2=3" in out
+        assert "-- 1 vectors, 1 clean" in out
+
+    def test_simulate_batched_random_sweep(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+            "--batch", "5", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-- 5 vectors, 5 clean" in out
+        # Per-vector rows are printed for small sweeps.
+        assert "vector 4:" in out
+
+    def test_simulate_batched_seed_is_reproducible(self, fig1_json, capsys):
+        args = [
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+            "--batch", "3", "--seed", "7",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_simulate_vectors_from_jsonl(self, fig1_json, tmp_path, capsys):
+        vecs = tmp_path / "vecs.jsonl"
+        vecs.write_text(
+            '{"R1": 1, "R2": 2}\n'
+            '\n'
+            '{"R1": 10, "R2": 20}\n'
+        )
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+            "--vectors-from", str(vecs),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vector 0: R1=3 R2=2" in out
+        assert "vector 1: R1=30 R2=20" in out
+        assert "-- 2 vectors, 2 clean" in out
+
+    def test_batch_requires_batched_backend(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--batch", "4",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "require --backend compiled-batched" in err
+
+    def test_batched_rejects_single_run_output_flags(
+        self, fig1_json, tmp_path, capsys
+    ):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+            "--vcd", str(tmp_path / "wave.vcd"),
+        ]) == 1
+        assert "single-run output" in capsys.readouterr().err
+
+    def test_run_rejects_batched_backend(self, fig1_vhd, capsys):
+        assert main([
+            "run", str(fig1_vhd), "--top", "example",
+            "--backend", "compiled-batched",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "batch-shaped results" in err
+
+    def test_bench_writes_record(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--vectors", "40", "--seed", "3", "--out", str(out),
+        ]) == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "batched-vs-sequential"
+        assert record["vectors"] == 40
+        assert record["batched"]["metrics"]["vectors"] == 40
+        assert record["sequential"]["backend"] == "compiled"
+        assert record["speedup"] > 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_accepts_model_file(self, fig1_json, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--model", str(fig1_json), "--vectors", "10",
+            "--out", str(out),
+        ]) == 0
+        record = json.loads(out.read_text())
+        assert record["model"]["name"] == "example"
+        assert record["vectors"] == 10
