@@ -1,0 +1,103 @@
+"""E14: sharded multi-process execution at control-step barriers.
+
+The paper's six-phase scheme needs no synchronization *within* a
+control step -- register outputs are stable for the whole step and
+register inputs only matter at CR -- so a model partitions across
+worker processes with exactly one barrier per step.  This experiment
+measures what that buys and what it costs:
+
+* **identity**: the sharded run is bit-identical to the compiled
+  reference on the wide workload at every shard count (the invariant
+  the differential suite proves exhaustively; re-asserted here on the
+  benchmark shapes).
+* **barrier accounting**: syncs per shard == CS_MAX, and the bytes
+  exchanged per barrier stay bounded by the boundary-register set --
+  *not* the model size -- which is the whole point of cutting at
+  step boundaries.
+* **overhead shape**: per-step barrier cost is real (pickling + pipe
+  round-trips), so tiny models lose; an honest reproduction records
+  the crossover regime rather than claiming a universal speedup.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import run_metrics, shard_metrics_rows
+
+from .conftest import wide_model
+
+
+def _timed_run(backend) -> dict[str, float]:
+    t0 = time.perf_counter()
+    backend.run()
+    return run_metrics(backend, wall=time.perf_counter() - t0)
+
+
+class TestShardedIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_wide_workload_bit_identical(self, shards):
+        model = wide_model(8, 9)
+        reference = model.elaborate(backend="compiled").run()
+        sharded = model.elaborate(backend="sharded", shards=shards).run()
+        assert sharded.registers == reference.registers
+        assert sharded.clean == reference.clean
+        assert sharded.stats.delta_cycles == reference.stats.delta_cycles
+
+
+class TestBarrierAccounting:
+    def test_one_sync_per_control_step(self):
+        model = wide_model(8, 9)
+        sim = model.elaborate(backend="sharded", shards=4).run()
+        for row in shard_metrics_rows(sim):
+            assert row["syncs"] == model.cs_max
+
+    def test_barrier_traffic_scales_with_boundary_not_model(self):
+        """Doubling lanes at fixed shard count roughly doubles bytes
+        (the boundary registers double); the *per-shard* traffic stays
+        proportional to that shard's slice, not to the whole model."""
+        small = wide_model(4, 9).elaborate(backend="sharded", shards=2)
+        large = wide_model(8, 9).elaborate(backend="sharded", shards=2)
+        small.run()
+        large.run()
+        small_bytes = sum(
+            r["bytes_from_worker"] for r in shard_metrics_rows(small)
+        )
+        large_bytes = sum(
+            r["bytes_from_worker"] for r in shard_metrics_rows(large)
+        )
+        assert small_bytes < large_bytes < 4 * small_bytes
+
+    def test_metrics_row_reports_shard_columns(self):
+        sim = wide_model(4, 5).elaborate(backend="sharded", shards=2)
+        row = _timed_run(sim)
+        assert row["shards"] == 2
+        assert row["syncs"] == sim.model.cs_max
+        assert row["sync_bytes"] > 0
+
+
+class TestOverheadShape:
+    def test_crossover_report(self, report_lines):
+        """Record the wall-time shape; assert only what is structural.
+
+        Worker startup + per-step pickling dominate at these sizes, so
+        the single-process run wins -- the honest result.  The numbers
+        document the overhead budget a model must amortize (more work
+        per (step, shard), e.g. chip-scale units) before K > 1 pays.
+        """
+        model = wide_model(16, 11)
+        compiled_row = _timed_run(model.elaborate(backend="compiled"))
+        report_lines.append(
+            f"compiled     : {compiled_row['wall'] * 1e3:8.2f} ms"
+        )
+        for shards in (1, 2, 4):
+            sim = model.elaborate(backend="sharded", shards=shards)
+            row = _timed_run(sim)
+            per_sync = row["wall"] / row["syncs"]
+            report_lines.append(
+                f"sharded K={shards} : {row['wall'] * 1e3:8.2f} ms "
+                f"({per_sync * 1e6:6.1f} us/barrier, "
+                f"{row['sync_bytes'] / row['syncs']:.0f} B/barrier)"
+            )
+            # Structural floor: every run pays CS_MAX barriers.
+            assert row["syncs"] == model.cs_max

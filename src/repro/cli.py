@@ -189,8 +189,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="rng seed for the input vectors (default 12345)",
     )
     p.add_argument(
-        "--out", default="BENCH_batched.json", metavar="PATH",
-        help="write the benchmark record here (default BENCH_batched.json)",
+        "--out", default=None, metavar="PATH",
+        help="write the benchmark record here (default "
+        "BENCH_batched.json, or BENCH_sharded.json with --sharded); "
+        "parent directories are created",
+    )
+    p.add_argument(
+        "--sharded", action="store_true",
+        help="benchmark the sharded backend against single-process "
+        "compiled runs instead of the batched sweep",
+    )
+    p.add_argument(
+        "--shards", type=int, default=4, metavar="K",
+        help="with --sharded: worker-process count (default 4)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="with --sharded: timed runs per backend, best-of (default 3)",
     )
     p.set_defaults(handler=cmd_bench)
     return parser
@@ -207,6 +222,10 @@ def _add_backend_args(p: argparse.ArgumentParser) -> None:
         "--no-transfer-engine", action="store_true",
         help="event backend: one kernel process per TRANS instance "
         "instead of the fused transfer engine",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="sharded backend: worker-process count (default 2)",
     )
 
 
@@ -238,6 +257,13 @@ def _validate_backend_flags(args, allow_batched: bool = False) -> None:
             "use `repro simulate` (with --batch/--vectors-from) or "
             "`repro bench`"
         )
+    if args.shards is not None and args.backend != "sharded":
+        raise ValueError(
+            "--shards only applies to the sharded backend "
+            f"(got --backend {args.backend})"
+        )
+    if args.shards is not None and args.shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {args.shards}")
 
 
 def _build_probe(args):
@@ -328,6 +354,7 @@ def _run_via_model(args, text: str) -> int:
         transfer_engine=not args.no_transfer_engine,
         trace=bool(args.vcd),
         observe=probe,
+        shards=args.shards,
     ).run()
     wanted = [s.strip().lower() for s in args.signals.split(",") if s.strip()]
     values = {
@@ -394,6 +421,7 @@ def cmd_simulate(args) -> int:
         backend=args.backend,
         transfer_engine=not args.no_transfer_engine,
         observe=probe,
+        shards=args.shards,
     ).run()
     for name, value in sorted(sim.registers.items()):
         print(f"{name} = {format_value(value)}")
@@ -579,7 +607,7 @@ def cmd_iks(args) -> int:
         return _cmd_iks3(args, px, py, args.phi, probe, profiler)
     run, ref = crosscheck(
         px, py, backend=backend, transfer_engine=transfer_engine,
-        trace=bool(args.vcd), observe=probe,
+        trace=bool(args.vcd), observe=probe, shards=args.shards,
     )
     fx, fy = forward_kinematics(run.theta1_rad, run.theta2_rad)
     print(f"target      : ({px}, {py})")
@@ -614,6 +642,7 @@ def _cmd_iks3(args, px: float, py: float, phi: float, probe, profiler) -> int:
         transfer_engine=not args.no_transfer_engine,
         trace=bool(args.vcd),
         observe=probe,
+        shards=args.shards,
     )
     ref = solve_ik3(px, py, phi)
     fx, fy, fphi = forward_kinematics3(
@@ -666,6 +695,24 @@ def _bench_default_model():
     return model
 
 
+def _bench_write_record(record: dict, out: str) -> str:
+    """Write a benchmark record, creating parent directories.
+
+    Returns the resolved path actually written, so callers (and CI
+    logs) always name the real location instead of a CWD-relative
+    guess.
+    """
+    import json
+    from pathlib import Path
+
+    out_path = Path(out).resolve()
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return str(out_path)
+
+
 def cmd_bench(args) -> int:
     """Batched-vs-sequential sweep: the repo's recorded perf trajectory.
 
@@ -674,11 +721,18 @@ def cmd_bench(args) -> int:
     ``compiled-batched`` run, verifies the results are identical, and
     writes a JSON record (vectors/sec per backend, speedup, model
     size) -- the artifact CI uploads as ``BENCH_batched.json``.
+
+    ``--sharded`` switches to the multi-process benchmark: the same
+    model run once per backend (``compiled`` vs ``sharded`` at
+    ``--shards`` workers, best of ``--repeat``), verified bit-identical
+    and recorded as ``BENCH_sharded.json`` with per-shard barrier
+    metrics.
     """
-    import json
     import random
     import time
 
+    if args.sharded:
+        return _bench_sharded(args)
     if args.vectors < 1:
         raise ValueError(f"--vectors must be >= 1, got {args.vectors}")
     if args.model:
@@ -729,15 +783,7 @@ def cmd_bench(args) -> int:
     speedup = seq_wall / batch_wall if batch_wall > 0 else float("inf")
     record = {
         "benchmark": "batched-vs-sequential",
-        "model": {
-            "name": model_name,
-            "cs_max": model.cs_max,
-            "width": model.width,
-            "registers": len(model.registers),
-            "buses": len(model.buses),
-            "modules": len(model.modules),
-            "transfers": len(model.trans_specs()),
-        },
+        "model": _bench_model_record(model, model_name),
         "vectors": args.vectors,
         "seed": args.seed,
         "sequential": {
@@ -753,15 +799,124 @@ def cmd_bench(args) -> int:
         },
         "speedup": speedup,
     }
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    written = _bench_write_record(record, args.out or "BENCH_batched.json")
     print(
         f"{model_name}: {args.vectors} vectors -- sequential "
         f"{seq_rate:,.0f} vec/s, batched {batch_rate:,.0f} vec/s, "
         f"speedup {speedup:.1f}x"
     )
-    print(f"-- wrote {args.out}")
+    print(f"-- wrote {written}")
+    return 0
+
+
+def _bench_model_record(model, model_name: str) -> dict:
+    return {
+        "name": model_name,
+        "cs_max": model.cs_max,
+        "width": model.width,
+        "registers": len(model.registers),
+        "buses": len(model.buses),
+        "modules": len(model.modules),
+        "transfers": len(model.trans_specs()),
+    }
+
+
+def _bench_sharded_default_model(lanes: int = 8):
+    """Independent adder lanes: a model the planner can actually cut.
+
+    Fig. 1 is a single connectivity cluster (one adder), so it can
+    never occupy more than one shard; the lanes model gives the
+    planner ``lanes`` clusters with uniform weight.
+    """
+    from .core import ModuleSpec, RTModel
+
+    model = RTModel(f"lanes{lanes}", cs_max=2 * lanes + 2)
+    for lane in range(lanes):
+        model.register(f"A{lane}", init=lane + 1)
+        model.register(f"B{lane}", init=lane + 2)
+        model.register(f"S{lane}")
+        model.bus(f"BA{lane}")
+        model.bus(f"BB{lane}")
+        model.module(ModuleSpec(f"FU{lane}", latency=1))
+        step = 2 * lane + 1
+        model.add_transfer(
+            f"(A{lane},BA{lane},B{lane},BB{lane},{step},FU{lane},"
+            f"{step + 1},BA{lane},S{lane})"
+        )
+    return model
+
+
+def _bench_sharded(args) -> int:
+    """`repro bench --sharded`: multi-process vs single-process runs."""
+    import time
+
+    from .engine import run_metrics, shard_metrics_rows
+
+    if args.shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {args.shards}")
+    if args.repeat < 1:
+        raise ValueError(f"--repeat must be >= 1, got {args.repeat}")
+    if args.model:
+        model = load_model(args.model)
+        model_name = model.name
+    else:
+        model = _bench_sharded_default_model()
+        model_name = "lanes8 (built-in)"
+
+    def timed(backend: str, **kwargs):
+        best_wall, best_sim = None, None
+        for _ in range(args.repeat):
+            sim = model.elaborate(backend=backend, **kwargs)
+            t0 = time.perf_counter()
+            sim.run()
+            wall = time.perf_counter() - t0
+            if best_wall is None or wall < best_wall:
+                best_wall, best_sim = wall, sim
+        return best_wall, best_sim
+
+    seq_wall, seq_sim = timed("compiled")
+    shard_wall, shard_sim = timed("sharded", shards=args.shards)
+
+    same = (
+        shard_sim.registers == seq_sim.registers
+        and shard_sim.clean == seq_sim.clean
+        and [(e.signal, e.at) for e in shard_sim.conflicts]
+        == [(e.signal, e.at) for e in seq_sim.conflicts]
+    )
+    if not same:
+        print(
+            "error: sharded results differ from the compiled run",
+            file=sys.stderr,
+        )
+        return 1
+
+    record = {
+        "benchmark": "sharded-vs-compiled",
+        "model": _bench_model_record(model, model_name),
+        "shards": args.shards,
+        "repeat": args.repeat,
+        "compiled": {
+            "backend": "compiled",
+            "wall": seq_wall,
+            "metrics": run_metrics(seq_sim, wall=seq_wall),
+        },
+        "sharded": {
+            "backend": "sharded",
+            "wall": shard_wall,
+            "metrics": run_metrics(shard_sim, wall=shard_wall),
+            "per_shard": shard_metrics_rows(shard_sim),
+            "plan": shard_sim.plan.describe(),
+        },
+        "speedup": seq_wall / shard_wall if shard_wall > 0 else float("inf"),
+    }
+    written = _bench_write_record(record, args.out or "BENCH_sharded.json")
+    print(
+        f"{model_name}: compiled {seq_wall * 1e3:.2f} ms, sharded(K="
+        f"{args.shards}) {shard_wall * 1e3:.2f} ms "
+        f"(barrier sync each of {model.cs_max} steps)"
+    )
+    print(shard_sim.plan.describe())
+    print(f"-- wrote {written}")
     return 0
 
 

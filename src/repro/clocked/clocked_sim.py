@@ -27,7 +27,7 @@ from ..core.modules_lib import ModuleSpec
 from ..core.phases import Phase, StepPhase
 from ..core.values import DISC, ILLEGAL
 from ..kernel import SimStats, Simulator, wait_for, wait_until
-from .translate import ClockedTranslation, UnitIssue
+from .translate import ClockedTranslation
 
 
 def _combine_clocked(

@@ -32,9 +32,9 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from ..core.model import RTModel
-from ..core.phases import PHASES_PER_STEP, Phase
+from ..core.phases import Phase
 from ..core.schedule import analyze
-from ..core.values import DISC, ILLEGAL
+from ..core.values import DISC
 from .clocked_sim import _combine_clocked
 from .translate import TranslationError
 

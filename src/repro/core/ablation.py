@@ -32,7 +32,6 @@ from .diagnostics import ConflictMonitor
 from .model import RTModel
 from .modules_lib import make_module
 from .phases import Phase
-from .transfer import RegisterTransfer
 from .values import DISC, resolve_rt
 
 #: The merged scheme's phase sequence (4 of the 6 phases).

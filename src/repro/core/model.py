@@ -22,15 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from .modules_lib import DEFAULT_WIDTH, ModuleSpec, alu_spec, standard_operation
-from .phases import Phase
-from .transfer import (
-    RegisterTransfer,
-    TransferError,
-    TransSpec,
-    expand_all,
-    register_in_port,
-    register_out_port,
-)
+from .transfer import RegisterTransfer, TransSpec, expand_all
 from .values import DISC, check_value
 
 
@@ -371,6 +363,8 @@ class RTModel:
         transfer_engine: bool = True,
         backend: str = "event",
         observe=None,
+        shards: Optional[int] = None,
+        partition: Optional[Mapping[str, int]] = None,
     ):
         """Build an executable simulation for this model.
 
@@ -409,6 +403,12 @@ class RTModel:
             stream (phase boundaries, bus drives, register latches,
             conflicts) in the same canonical order on every backend.
             None (the default) installs nothing and costs nothing.
+        shards / partition:
+            ``"sharded"``-backend only: worker-process count (default
+            2) and an optional resource-name -> shard-index mapping
+            overriding the planner heuristic (see
+            :mod:`repro.engine.partition`).  Passing either with any
+            other backend is an error.
 
         Returns a :class:`repro.engine.Backend` -- an
         :class:`repro.core.simulator.RTSimulation` for the default
@@ -416,9 +416,7 @@ class RTModel:
         """
         from ..engine import create_backend  # local import: avoid cycle
 
-        return create_backend(
-            backend,
-            self,
+        kwargs = dict(
             register_values=register_values,
             trace=trace,
             watch=watch,
@@ -426,6 +424,16 @@ class RTModel:
             transfer_engine=transfer_engine,
             observe=observe,
         )
+        if backend == "sharded":
+            kwargs["shards"] = 2 if shards is None else shards
+            if partition is not None:
+                kwargs["partition"] = partition
+        elif shards is not None or partition is not None:
+            raise ModelError(
+                "shards/partition apply to backend='sharded' only "
+                f"(got backend={backend!r})"
+            )
+        return create_backend(backend, self, **kwargs)
 
     # ------------------------------------------------------------------
     # internals

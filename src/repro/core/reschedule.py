@@ -34,7 +34,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Optional
 
 from .model import RTModel
 from .transfer import RegisterTransfer

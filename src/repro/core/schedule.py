@@ -30,11 +30,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Optional
 
 from .model import RTModel
 from .phases import Phase, StepPhase
-from .transfer import TransSpec, to_trans_specs
 
 
 @dataclass(frozen=True)

@@ -13,9 +13,12 @@ from .backend import (
     create_backend,
     register_backend,
     run_metrics,
+    shard_metrics_rows,
 )
 from .batched import CompiledBatchedRTSimulation
 from .compiled import CompiledRTSimulation, PortView
+from .partition import PartitionError, ShardPlan, connectivity_clusters, plan_shards
+from .sharded import ShardedRTSimulation, ShardFailure
 
 __all__ = [
     "Backend",
@@ -25,7 +28,14 @@ __all__ = [
     "create_backend",
     "register_backend",
     "run_metrics",
+    "shard_metrics_rows",
     "CompiledBatchedRTSimulation",
     "CompiledRTSimulation",
     "PortView",
+    "PartitionError",
+    "ShardPlan",
+    "connectivity_clusters",
+    "plan_shards",
+    "ShardedRTSimulation",
+    "ShardFailure",
 ]

@@ -22,6 +22,9 @@ name -- additionally register themselves in a factory registry:
   register-value vectors over a numpy value plane (requires the
   ``repro[fast]`` extra); pass ``register_values`` as a sequence of
   mappings to set the batch.
+* ``"sharded"``: the compiled action tables partitioned over K worker
+  processes synchronized at control-step boundaries (pass ``shards``
+  and optionally ``partition`` to :meth:`RTModel.elaborate`).
 """
 
 from __future__ import annotations
@@ -114,6 +117,8 @@ def _ensure_builtins() -> None:
         register_backend("compiled", _compiled_factory)
     if "compiled-batched" not in _REGISTRY:
         register_backend("compiled-batched", _compiled_batched_factory)
+    if "sharded" not in _REGISTRY:
+        register_backend("sharded", _sharded_factory)
 
 
 def _event_factory(model: Any, **kwargs: Any) -> Backend:
@@ -132,6 +137,12 @@ def _compiled_batched_factory(model: Any, **kwargs: Any) -> Backend:
     from .batched import CompiledBatchedRTSimulation
 
     return CompiledBatchedRTSimulation(model, **kwargs)
+
+
+def _sharded_factory(model: Any, **kwargs: Any) -> Backend:
+    from .sharded import ShardedRTSimulation
+
+    return ShardedRTSimulation(model, **kwargs)
 
 
 def run_metrics(
@@ -158,6 +169,11 @@ def run_metrics(
     Batched backends (those carrying a ``batch_size``) report a
     ``vectors`` column and count conflicts summed over the batch --
     their ``conflicts`` is a list of per-vector event lists.
+
+    Sharded backends (those carrying ``shard_metrics``) additionally
+    report ``shards``, ``syncs`` (step barriers per shard) and
+    ``sync_bytes`` (total bytes exchanged over all worker pipes); the
+    per-shard breakdown is available via :func:`shard_metrics_rows`.
     """
     stats = backend.stats
     if baseline is not None:
@@ -185,4 +201,26 @@ def run_metrics(
     if profile is not None:
         for phase, seconds in profile.phase_wall.items():
             row[f"wall_{phase}"] = seconds
+    shard_metrics = getattr(backend, "shard_metrics", None)
+    if shard_metrics:
+        row["shards"] = len(shard_metrics)
+        row["syncs"] = max(m["syncs"] for m in shard_metrics)
+        row["sync_bytes"] = sum(
+            m["bytes_to_worker"] + m["bytes_from_worker"]
+            for m in shard_metrics
+        )
     return row
+
+
+def shard_metrics_rows(backend: Backend) -> List[Dict[str, float]]:
+    """Per-shard metrics rows for a sharded backend (empty otherwise).
+
+    One row per shard: ``shard`` index, ``syncs`` (control-step
+    barriers completed), ``bytes_to_worker`` / ``bytes_from_worker``
+    (pickled barrier traffic each way) and ``worker_wall`` (seconds the
+    worker spent executing its cycles, excluding barrier waits).
+    """
+    shard_metrics = getattr(backend, "shard_metrics", None)
+    if not shard_metrics:
+        return []
+    return [dict(m) for m in shard_metrics]

@@ -1,0 +1,821 @@
+"""The sharded multi-process backend: K workers, one barrier per step.
+
+:class:`ShardedRTSimulation` partitions a model with
+:func:`repro.engine.partition.plan_shards` and executes each shard's
+buses and functional units in a worker process.  The control-step
+boundary is the only synchronization point (the paper's six-phase
+timing scheme makes it one naturally): register outputs are stable for
+a whole step and register inputs only matter at the step's CR cycle,
+so the coordinator ships boundary register values to the workers at
+the top of each step and merges the workers' register-write
+contributions at the bottom.
+
+Observable behaviour is **bit-identical per run** to the ``compiled``
+backend (and therefore to the event kernel):
+
+* final registers, full traces and the conflict event list -- same
+  ``(CS, PH)`` locations, same colliding sources, same order.  Bus and
+  module-port conflicts are detected inside the owning worker exactly
+  as ``compiled`` detects them; register-input conflicts are detected
+  by merging the per-shard driver sets at the barrier (each
+  contribution carries its global TRANS index, so merged driver sets
+  keep the single-process driver order) and localize to the writing
+  step's ``(CS, CR)`` cycle like every other backend.
+* the canonical probe stream: workers record their cycles' bus drives
+  and conflicts, and the coordinator re-serializes the merged stream
+  in the canonical per-cycle order (conflicts, step boundary on RA,
+  phase boundary, bus drives in declaration order, register latches in
+  declaration order).  Probes observe step ``s``'s cycles right after
+  its barrier -- same order, one step latent.
+* the paper's delta accounting (``CS_MAX * 6`` plus the conditional
+  trailing cycle) and the compiled backend's event/transaction
+  profile: schedule bookkeeping is counted once by the coordinator,
+  value activity by the worker that owns the port.
+
+A worker that dies (or wedges past ``sync_timeout``) never hangs the
+barrier: the coordinator terminates the fleet and raises
+:class:`ShardFailure` naming the shard and its last completed
+``(CS, PH)``.
+
+Models must be picklable when the platform lacks the ``fork`` start
+method; on fork platforms (Linux) arbitrary operation closures work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..core.diagnostics import ConflictEvent, ConflictLog
+from ..core.model import ModelError, RTModel
+from ..core.phases import PHASES_PER_STEP, Phase, StepPhase
+from ..core.trace import TraceLog
+from ..core.transfer import TransSpec
+from ..core.values import DISC, ILLEGAL, resolve_rt
+from ..kernel import SimStats
+from ..kernel.errors import DeltaCycleLimitError
+from .compiled import _EXTRA_EVENTS, _SCHED_TX, PortView, _compile_module
+from .partition import ShardPlan, plan_shards
+
+#: Order-key offset for release pends, so same-cycle conflict events
+#: sort exactly like the single-process dirty order (all asserts in
+#: global TRANS order, then all releases).
+_RELEASE_ORDER_BASE = 1 << 32
+
+
+class ShardFailure(RuntimeError):
+    """A shard worker died or stopped responding at the barrier.
+
+    ``shard`` is the failing shard index; ``last_completed`` is the
+    last ``(CS, PH)`` the shard is known to have finished (the CR
+    cycle of its last synchronized step), or None when it died before
+    completing any step.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        last_completed: Optional[StepPhase],
+        reason: str = "worker process died",
+    ) -> None:
+        self.shard = shard
+        self.last_completed = last_completed
+        self.reason = reason
+        where = (
+            f"after completing {last_completed}"
+            if last_completed is not None
+            else "before completing any control step"
+        )
+        super().__init__(f"shard {shard}: {reason} ({where})")
+
+
+# ----------------------------------------------------------------------
+# the per-worker engine (runs inside the worker process)
+# ----------------------------------------------------------------------
+class _ShardEngine:
+    """One shard's compiled executor: owned buses + owned units only.
+
+    Mirrors :class:`repro.engine.compiled.CompiledRTSimulation` cycle
+    for cycle on the shard's slice of the port/driver tables.  Foreign
+    register outputs appear as ghost ports refreshed from the barrier
+    message; register-input drives are exported as ``(global TRANS
+    index, value)`` contributions instead of resolving locally.
+    """
+
+    def __init__(
+        self,
+        model: RTModel,
+        plan: ShardPlan,
+        shard: int,
+        trace_names: Optional[Iterable[str]],
+        probe_on: bool,
+    ) -> None:
+        self.model = model
+        self.shard = shard
+        self._probe_on = probe_on
+
+        self._names: List[str] = []
+        self._values: List[int] = []
+        self._index: Dict[str, int] = {}
+        self._resolved: set[int] = set()
+
+        def port(name: str, init: int, resolved: bool = False) -> int:
+            idx = len(self._names)
+            self._names.append(name)
+            self._values.append(init)
+            self._index[name] = idx
+            if resolved:
+                self._resolved.add(idx)
+            return idx
+
+        # Owned buses, with their global declaration index (canonical
+        # probe order is bus declaration order across all shards).
+        self._bus_decl: Dict[int, int] = {}
+        for decl, bus in enumerate(model.buses.values()):
+            if plan.bus_shard[bus.name] == shard:
+                idx = port(bus.name, DISC, resolved=True)
+                self._bus_decl[idx] = decl
+        # Ghost register outputs (values arrive with each step message).
+        self._ghosts: Dict[str, int] = {}
+        for reg in plan.reads[shard]:
+            self._ghosts[reg] = port(f"{reg}_out", DISC)
+        # Owned functional units.
+        module_evals = []
+        for spec in model.modules.values():
+            if plan.module_shard[spec.name] != shard:
+                continue
+            in_idxs = [
+                port(f"{spec.name}_in{i}", DISC, resolved=True)
+                for i in range(1, spec.arity + 1)
+            ]
+            out_idx = port(f"{spec.name}_out", DISC)
+            op_idx = None
+            if spec.multi_op:
+                op_idx = port(f"{spec.name}_op", DISC, resolved=True)
+            module_evals.append(
+                (out_idx, _compile_module(spec, self._values, in_idxs, op_idx))
+            )
+        self._module_evals = module_evals
+
+        # Driver table for owned TRANS instances, in global spec order.
+        self._drv_contrib: List[int] = []
+        self._drv_owner: List[str] = []
+        self._drv_sink: List[int] = []
+        self._sink_drivers: Dict[int, List[int]] = {}
+        # asserts[key] -> (local driver | None, export register | None,
+        #                  source index | None, const, global index)
+        asserts: Dict[tuple, List[tuple]] = {}
+        releases: Dict[tuple, List[tuple]] = {}
+        for gidx, spec in enumerate(model.trans_specs()):
+            if plan.spec_shards[gidx] != shard:
+                continue
+            export_reg = self._export_register(spec)
+            if spec.source.startswith("op:"):
+                src, const = None, self._op_code(spec)
+            else:
+                src, const = self._index[spec.source], 0
+            if export_reg is None:
+                sink = self._index[spec.sink]
+                drv = len(self._drv_contrib)
+                self._drv_contrib.append(DISC)
+                self._drv_owner.append(spec.name)
+                self._drv_sink.append(sink)
+                self._sink_drivers.setdefault(sink, []).append(drv)
+            else:
+                drv = None
+            key = (spec.step, int(spec.phase))
+            asserts.setdefault(key, []).append(
+                (drv, export_reg, src, const, gidx)
+            )
+            releases.setdefault((spec.step, int(spec.phase.succ())), []).append(
+                (drv, gidx)
+            )
+        self._asserts = asserts
+        self._releases = releases
+
+        self._trace_items: Optional[List[tuple]] = None
+        if trace_names is not None:
+            self._trace_items = [
+                (name, self._index[name])
+                for name in trace_names
+                if name in self._index and name not in self._ghosts
+            ]
+
+        self._active_illegal: set[int] = set()
+        self._pend_drv: List[tuple] = []  # (driver, value, order tag)
+        self._pend_out: List[tuple] = []  # (port, value)
+
+    def _export_register(self, spec: TransSpec) -> Optional[str]:
+        if spec.phase is Phase.WB and spec.sink.endswith("_in"):
+            base = spec.sink[: -len("_in")]
+            if base in self.model.registers:
+                return base
+        return None
+
+    def _op_code(self, spec: TransSpec) -> int:
+        op_name = spec.source[3:]
+        module_name = spec.sink.rsplit("_op", 1)[0]
+        return self.model.modules[module_name].op_code(op_name)
+
+    # ------------------------------------------------------------------
+    def run_step(self, step: int, reg_updates: Mapping[str, int]) -> dict:
+        """Execute the six cycles of ``step``; return the barrier payload."""
+        values = self._values
+        events = 0
+        transactions = 0
+        exports: Dict[str, List[tuple]] = {}
+        conflicts: List[tuple] = []
+        bus_changes: Dict[int, list] = {}
+        trace_rows: Dict[int, dict] = {}
+        for phase in Phase:
+            if phase is Phase.RA:
+                for name, value in reg_updates.items():
+                    values[self._ghosts[name]] = value
+            changed = self._apply_pending() if (
+                self._pend_drv or self._pend_out
+            ) else None
+            if changed is not None:
+                events += changed[0]
+                for sink, order in changed[1]:
+                    conflicts.append(
+                        (
+                            self._names[sink],
+                            int(phase),
+                            tuple(
+                                (self._drv_owner[d], self._drv_contrib[d])
+                                for d in self._sink_drivers[sink]
+                                if self._drv_contrib[d] != DISC
+                            ),
+                            order,
+                        )
+                    )
+                if self._probe_on and changed[2]:
+                    bus_changes[int(phase)] = [
+                        (self._bus_decl[idx], self._names[idx], values[idx])
+                        for idx in sorted(
+                            changed[2], key=lambda i: self._bus_decl[i]
+                        )
+                    ]
+            if self._trace_items is not None:
+                trace_rows[int(phase)] = {
+                    name: values[idx] for name, idx in self._trace_items
+                }
+            key = (step, int(phase))
+            for drv, export_reg, src, const, gidx in self._asserts.get(
+                key, ()
+            ):
+                value = values[src] if src is not None else const
+                if export_reg is None:
+                    self._pend_drv.append((drv, value, gidx))
+                else:
+                    exports.setdefault(export_reg, []).append((gidx, value))
+                transactions += 1
+            for drv, gidx in self._releases.get(key, ()):
+                if drv is not None:
+                    self._pend_drv.append(
+                        (drv, DISC, _RELEASE_ORDER_BASE + gidx)
+                    )
+                transactions += 1
+            if phase is Phase.CM:
+                for out_idx, evaluate in self._module_evals:
+                    self._pend_out.append((out_idx, evaluate()))
+                    transactions += 1
+        return {
+            "exports": exports,
+            "conflicts": conflicts,
+            "bus_changes": bus_changes,
+            "trace": trace_rows,
+            "events": events,
+            "transactions": transactions,
+        }
+
+    def _apply_pending(self) -> tuple:
+        """Apply last cycle's updates; returns (events, conflicts, buses).
+
+        The exact update step of the compiled backend: contributions
+        land first-touch-ordered, dirty sinks re-resolve, and newly
+        ILLEGAL sinks yield conflict records tagged with the global
+        first-touch order so the coordinator can interleave same-cycle
+        conflicts from different shards canonically.
+        """
+        pend_drv, self._pend_drv = self._pend_drv, []
+        pend_out, self._pend_out = self._pend_out, []
+        values = self._values
+        contrib = self._drv_contrib
+        events = 0
+        dirty: List[int] = []
+        first_touch: Dict[int, int] = {}
+        changed_buses: set[int] = set()
+        for drv, value, order in pend_drv:
+            contrib[drv] = value
+            sink = self._drv_sink[drv]
+            if sink not in first_touch:
+                first_touch[sink] = order
+                dirty.append(sink)
+        for idx, value in pend_out:
+            if values[idx] != value:
+                values[idx] = value
+                events += 1
+        newly_illegal: List[tuple] = []
+        for sink in dirty:
+            new = resolve_rt([contrib[d] for d in self._sink_drivers[sink]])
+            if new == values[sink]:
+                continue
+            values[sink] = new
+            events += 1
+            if sink in self._bus_decl:
+                changed_buses.add(sink)
+            if new == ILLEGAL:
+                if sink not in self._active_illegal:
+                    self._active_illegal.add(sink)
+                    newly_illegal.append((sink, first_touch[sink]))
+            else:
+                self._active_illegal.discard(sink)
+        return events, newly_illegal, changed_buses
+
+    def final_values(self) -> Dict[str, int]:
+        """Port name -> final value for every owned (non-ghost) port."""
+        ghost_idxs = set(self._ghosts.values())
+        return {
+            name: self._values[idx]
+            for name, idx in self._index.items()
+            if idx not in ghost_idxs
+        }
+
+
+def _shard_worker_main(
+    shard: int,
+    model: RTModel,
+    plan: ShardPlan,
+    conn,
+    trace_names: Optional[List[str]],
+    probe_on: bool,
+    fail_at_step: Optional[int],
+) -> None:
+    """Worker loop: build the shard engine, then serve step messages."""
+    wall = 0.0
+    try:
+        engine = _ShardEngine(model, plan, shard, trace_names, probe_on)
+        conn.send_bytes(pickle.dumps(("ready", shard)))
+        while True:
+            message = pickle.loads(conn.recv_bytes())
+            kind = message[0]
+            if kind == "step":
+                _, step, reg_updates = message
+                if fail_at_step is not None and step == fail_at_step:
+                    os._exit(17)  # test hook: simulate a dying worker
+                t0 = time.perf_counter()
+                payload = engine.run_step(step, reg_updates)
+                wall += time.perf_counter() - t0
+                conn.send_bytes(pickle.dumps(("done", step, payload)))
+            elif kind == "finish":
+                conn.send_bytes(
+                    pickle.dumps(("final", engine.final_values(), wall))
+                )
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown message {kind!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    except Exception:
+        try:
+            conn.send_bytes(
+                pickle.dumps(("error", traceback.format_exc()))
+            )
+        except (OSError, ValueError):  # pragma: no cover - pipe gone
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# the coordinator (the Backend the registry hands out)
+# ----------------------------------------------------------------------
+class ShardedRTSimulation:
+    """A sharded, ready-to-run elaboration of an RT model.
+
+    Result surface mirrors :class:`CompiledRTSimulation`: ``registers``,
+    ``conflicts``, ``clean``, ``stats``, ``monitor``, ``tracer``,
+    ``signal`` (after the run).  Additionally ``plan`` exposes the
+    shard plan and ``shard_metrics`` the per-shard barrier accounting
+    (sync count, bytes each way, worker wall) that
+    :func:`repro.engine.run_metrics` folds into its row.
+    """
+
+    #: Engine kind reported to observers (see repro.observe).
+    backend_name = "sharded"
+
+    def __init__(
+        self,
+        model: RTModel,
+        register_values: Optional[Mapping[str, int]] = None,
+        trace: bool = False,
+        watch: Optional[Iterable[str]] = None,
+        max_deltas: int = 1_000_000,
+        transfer_engine: bool = True,
+        observe=None,
+        shards: int = 2,
+        partition: Optional[Mapping[str, int]] = None,
+        sync_timeout: float = 60.0,
+        _test_fail_at: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        del transfer_engine  # one compiled realization covers both
+        if register_values is not None and not isinstance(
+            register_values, Mapping
+        ):
+            raise ModelError(
+                "the sharded backend runs one vector per elaboration; "
+                "use backend='compiled-batched' for vector sweeps"
+            )
+        self.model = model
+        self._max_deltas = max_deltas
+        self._probe = observe
+        self._sync_timeout = sync_timeout
+        self._test_fail_at = dict(_test_fail_at or {})
+        overrides = dict(register_values or {})
+        unknown = set(overrides) - set(model.registers)
+        if unknown:
+            raise ModelError(
+                f"register_values for unknown registers: {sorted(unknown)}"
+            )
+        self.plan = plan_shards(model, shards, partition)
+        self.num_shards = self.plan.num_shards
+
+        # Register plane (the barrier state) + initial values.
+        self._plane: Dict[str, int] = {}
+        for reg in model.registers.values():
+            init = overrides.get(reg.name, reg.init)
+            if init != DISC:
+                init %= 1 << model.width
+            self._plane[reg.name] = init
+
+        # Global port-name table, in the compiled backend's declaration
+        # order (for full traces, watch validation and signal()).
+        self._global_names: List[str] = []
+        for bus in model.buses.values():
+            self._global_names.append(bus.name)
+        for reg in model.registers.values():
+            self._global_names.append(f"{reg.name}_in")
+            self._global_names.append(f"{reg.name}_out")
+        for spec in model.modules.values():
+            for i in range(1, spec.arity + 1):
+                self._global_names.append(f"{spec.name}_in{i}")
+            self._global_names.append(f"{spec.name}_out")
+            if spec.multi_op:
+                self._global_names.append(f"{spec.name}_op")
+        global_set = set(self._global_names)
+
+        self.tracer: Optional[TraceLog] = None
+        self._watched: Optional[List[str]] = None
+        if trace or watch:
+            watched = list(watch) if watch else list(self._global_names)
+            for extra in watched:
+                if extra not in global_set:
+                    raise ModelError(f"cannot watch unknown signal {extra!r}")
+            self._watched = watched
+            self.tracer = TraceLog(watched)
+
+        # Global spec table (driver identities for barrier merges).
+        self._specs = model.trans_specs()
+        self._has_final_wb = any(
+            spec.step == model.cs_max and spec.phase is Phase.WB
+            for spec in self._specs
+        )
+
+        self.monitor = ConflictLog(
+            listener=observe.on_conflict if observe is not None else None
+        )
+        self.stats = SimStats()
+        self.stats.cycles = 1
+        self.stats.transactions = 2
+        self.shard_metrics: List[Dict[str, float]] = []
+        self._final_values: Optional[Dict[str, int]] = None
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> "ShardedRTSimulation":
+        """Run to quiescence (all ``cs_max`` steps, one barrier each)."""
+        if self._ran:
+            return self
+        total_cycles = self.model.cs_max * PHASES_PER_STEP
+        if total_cycles > self._max_deltas:
+            raise DeltaCycleLimitError(self._max_deltas)
+        if self._probe is not None:
+            self._probe.on_run_start(self)
+        t0 = time.perf_counter()
+        self._run_barriers()
+        self._ran = True
+        if self._probe is not None:
+            self._probe.on_run_end(self, time.perf_counter() - t0)
+        return self
+
+    def _run_barriers(self) -> None:
+        ctx = _mp_context()
+        watched = self._watched
+        conns = []
+        procs = []
+        bytes_to = [0] * self.num_shards
+        bytes_from = [0] * self.num_shards
+        last_step = [0] * self.num_shards
+        try:
+            for k in range(self.num_shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        k,
+                        self.model,
+                        self.plan,
+                        child,
+                        watched,
+                        self._probe is not None,
+                        self._test_fail_at.get(k),
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                conns.append(parent)
+                procs.append(proc)
+            for k in range(self.num_shards):
+                self._recv(conns, procs, k, last_step, bytes_from)
+
+            latch_changes: List[str] = []
+            resolutions: Dict[str, int] = {}
+            reads = self.plan.reads
+            for step in range(1, self.model.cs_max + 1):
+                for k in range(self.num_shards):
+                    updates = {
+                        reg: self._plane[reg]
+                        for reg in reads[k]
+                        if step == 1 or reg in latch_changes
+                    }
+                    payload = pickle.dumps(("step", step, updates))
+                    bytes_to[k] += len(payload)
+                    conns[k].send_bytes(payload)
+                replies = []
+                for k in range(self.num_shards):
+                    message = self._recv(
+                        conns, procs, k, last_step, bytes_from
+                    )
+                    last_step[k] = step
+                    replies.append(message[2])
+                resolutions, reg_conflicts = self._merge_exports(
+                    step, replies
+                )
+                self._emit_step(
+                    step, replies, reg_conflicts, resolutions, latch_changes
+                )
+                latch_changes = self._latch(resolutions)
+
+            trailing = self._has_final_wb or bool(latch_changes)
+            if trailing:
+                self.stats.cycles += 1
+                self.stats.delta_cycles += 1
+
+            worker_walls = [0.0] * self.num_shards
+            final_values: Dict[str, int] = {}
+            for k in range(self.num_shards):
+                payload = pickle.dumps(("finish",))
+                bytes_to[k] += len(payload)
+                conns[k].send_bytes(payload)
+            for k in range(self.num_shards):
+                message = self._recv(conns, procs, k, last_step, bytes_from)
+                final_values.update(message[1])
+                worker_walls[k] = message[2]
+            for reg, value in self._plane.items():
+                final_values[f"{reg}_out"] = value
+                final_values[f"{reg}_in"] = DISC
+            self._final_values = final_values
+            self.shard_metrics = [
+                {
+                    "shard": k,
+                    "syncs": self.model.cs_max,
+                    "bytes_to_worker": bytes_to[k],
+                    "bytes_from_worker": bytes_from[k],
+                    "worker_wall": worker_walls[k],
+                }
+                for k in range(self.num_shards)
+            ]
+        finally:
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=5.0)
+
+    def _recv(
+        self,
+        conns,
+        procs,
+        k: int,
+        last_step: List[int],
+        bytes_from: List[int],
+    ):
+        """One barrier receive, with liveness checks instead of hanging."""
+        deadline = time.monotonic() + self._sync_timeout
+        while True:
+            if conns[k].poll(0.05):
+                try:
+                    data = conns[k].recv_bytes()
+                except (EOFError, OSError):
+                    self._fail(k, last_step, "worker pipe closed")
+                bytes_from[k] += len(data)
+                message = pickle.loads(data)
+                if message[0] == "error":
+                    self._fail(
+                        k, last_step, f"worker raised:\n{message[1]}"
+                    )
+                return message
+            if not procs[k].is_alive():
+                if conns[k].poll(0.2):
+                    continue  # a message was still in flight
+                self._fail(k, last_step, "worker process died")
+            if time.monotonic() > deadline:
+                self._fail(k, last_step, "barrier timeout")
+
+    def _fail(self, k: int, last_step: List[int], reason: str) -> None:
+        completed = (
+            StepPhase(last_step[k], Phase.CR) if last_step[k] >= 1 else None
+        )
+        raise ShardFailure(k, completed, reason)
+
+    # ------------------------------------------------------------------
+    # barrier bookkeeping
+    # ------------------------------------------------------------------
+    def _merge_exports(self, step: int, replies: List[dict]):
+        """Merge per-shard register-write driver sets for this step.
+
+        Contributions are reunited in global TRANS order, resolved with
+        the paper's resolution function, and ILLEGAL results become
+        conflict events at ``(step, CR)`` -- the cycle in which the
+        colliding drives take effect in every backend.
+        """
+        merged: Dict[str, List[tuple]] = {}
+        for payload in replies:
+            for reg, contribs in payload["exports"].items():
+                merged.setdefault(reg, []).extend(contribs)
+        resolutions: Dict[str, int] = {}
+        conflicts: List[tuple] = []
+        for reg, contribs in merged.items():
+            contribs.sort()
+            resolved = resolve_rt([value for _, value in contribs])
+            resolutions[reg] = resolved
+            if resolved == ILLEGAL:
+                sources = tuple(
+                    (self._specs[gidx].name, value)
+                    for gidx, value in contribs
+                    if value != DISC
+                )
+                conflicts.append(
+                    (f"{reg}_in", sources, contribs[0][0])
+                )
+        return resolutions, conflicts
+
+    def _emit_step(
+        self,
+        step: int,
+        replies: List[dict],
+        reg_conflicts: List[tuple],
+        resolutions: Dict[str, int],
+        latch_changes: List[str],
+    ) -> None:
+        """Re-serialize step ``step``'s merged cycles canonically.
+
+        Per cycle: schedule bookkeeping, conflict records (workers' and
+        the barrier's, interleaved by global first-touch order), probe
+        callbacks in the canonical order, and the trace sample.
+        """
+        stats = self.stats
+        probe = self._probe
+        tracer = self.tracer
+        schedule_end = step == self.model.cs_max
+        for phase in Phase:
+            at = StepPhase(step, phase)
+            stats.cycles += 1
+            stats.delta_cycles += 1
+            stats.process_resumes += 1
+            stats.events += 1 + _EXTRA_EVENTS.get(int(phase), 0)
+            if not (schedule_end and phase is Phase.CR):
+                stats.transactions += _SCHED_TX[int(phase)]
+            cycle_conflicts = []
+            for payload in replies:
+                for signal, conflict_phase, sources, order in payload[
+                    "conflicts"
+                ]:
+                    if conflict_phase == int(phase):
+                        cycle_conflicts.append((order, signal, sources))
+            if phase is Phase.CR:
+                for signal, sources, order in reg_conflicts:
+                    cycle_conflicts.append((order, signal, sources))
+            for order, signal, sources in sorted(cycle_conflicts):
+                self.monitor.record(ConflictEvent(signal, at, sources))
+            if probe is not None:
+                if phase is Phase.RA:
+                    probe.on_step(step)
+                probe.on_phase(at)
+                drives = []
+                for payload in replies:
+                    drives.extend(payload["bus_changes"].get(int(phase), ()))
+                for _, bus, value in sorted(drives):
+                    probe.on_bus_drive(at, bus, value)
+                if phase is Phase.RA and latch_changes:
+                    for reg in self.model.registers:
+                        if reg in latch_changes:
+                            probe.on_register_latch(at, reg, self._plane[reg])
+            if tracer is not None:
+                row: Dict[str, int] = {}
+                for payload in replies:
+                    row.update(payload["trace"].get(int(phase), ()))
+                assert self._watched is not None
+                for name in self._watched:
+                    if name in row:
+                        continue
+                    if name.endswith("_out") and name[:-4] in self._plane:
+                        row[name] = self._plane[name[:-4]]
+                    elif name.endswith("_in") and name[:-3] in self._plane:
+                        row[name] = (
+                            resolutions.get(name[:-3], DISC)
+                            if phase is Phase.CR
+                            else DISC
+                        )
+                tracer.append(at, row)
+        for payload in replies:
+            stats.events += payload["events"]
+            stats.transactions += payload["transactions"]
+
+    def _latch(self, resolutions: Dict[str, int]) -> List[str]:
+        """Apply the merged CR latches; returns changed register names."""
+        stats = self.stats
+        changed: List[str] = []
+        for reg, resolved in resolutions.items():
+            if resolved == DISC:
+                continue
+            # The reg_in port took the resolved value at CR (one event)
+            # and releases back to DISC one cycle later (another), and
+            # the latch itself is one scheduled transaction -- the
+            # single-process accounting, attributed here in bulk.
+            stats.events += 2
+            stats.transactions += 1
+            if self._plane[reg] != resolved:
+                self._plane[reg] = resolved
+                stats.events += 1
+                changed.append(reg)
+        return changed
+
+    # ------------------------------------------------------------------
+    # results (mirrors CompiledRTSimulation)
+    # ------------------------------------------------------------------
+    @property
+    def registers(self) -> Dict[str, int]:
+        """Current value of every register's output port."""
+        return dict(self._plane)
+
+    def __getitem__(self, register: str) -> int:
+        try:
+            return self._plane[register]
+        except KeyError:
+            raise KeyError(f"unknown register {register!r}") from None
+
+    @property
+    def conflicts(self) -> List[ConflictEvent]:
+        """Observed ILLEGAL episodes, localized to (step, phase)."""
+        return self.monitor.events
+
+    @property
+    def clean(self) -> bool:
+        """True when the run produced no ILLEGAL value anywhere."""
+        return self.monitor.clean and not any(
+            value == ILLEGAL for value in self._plane.values()
+        )
+
+    def signal(self, name: str) -> PortView:
+        """Final value view of one port (available after ``run()``)."""
+        if self._final_values is None:
+            raise RuntimeError(
+                "signal() on the sharded backend is available after run()"
+            )
+        try:
+            value = self._final_values[name]
+        except KeyError:
+            raise KeyError(f"unknown signal {name!r}") from None
+        return PortView(name, [value], 0)
+
+
+def _mp_context():
+    """Fork where available (closures work), spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )

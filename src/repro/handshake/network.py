@@ -11,7 +11,7 @@ comparable -- which is the whole point (experiment E5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..core.diagnostics import ConflictEvent, ConflictLog

@@ -17,10 +17,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from .dfg import Dataflow
-from .scheduling import OpSchedule, class_latency
+from .scheduling import OpSchedule
 
 
 @dataclass

@@ -20,7 +20,7 @@ from typing import Optional
 
 import networkx as nx
 
-from .expr import Assignment, BinOp, Const, ExprError, Expr, Program, Var
+from .expr import Const, Expr, Program, Var
 
 #: Operator symbol -> functional-unit class.
 OP_CLASSES = {

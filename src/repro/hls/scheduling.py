@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
-from .dfg import Dataflow, DfgNode, UNIT_CLASSES
+from .dfg import Dataflow, UNIT_CLASSES
 
 
 class ScheduleError(ValueError):

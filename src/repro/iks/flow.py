@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..engine import Backend
 from ..microcode.translator import MicrocodeTranslator, TranslationResult
-from .algorithm import ArmGeometry, IKSolution, solve_ik
+from .algorithm import IKSolution, solve_ik
 from .chip import ACCUMULATORS, IKSConfig, build_chip
 from .microprogram import RESULT_REGISTERS, ik_microprogram
 
@@ -57,13 +57,14 @@ def run_ik_chip(
     backend: str = "event",
     transfer_engine: bool = True,
     observe=None,
+    shards: Optional[int] = None,
 ) -> IKSRun:
     """Simulate the IKS chip solving for target ``(px, py)``."""
     cfg = config or IKSConfig()
     model, translation = build_ik_model(px, py, cfg)
     sim = model.elaborate(
         trace=trace, backend=backend, transfer_engine=transfer_engine,
-        observe=observe,
+        observe=observe, shards=shards,
     ).run()
     theta1 = sim[RESULT_REGISTERS["theta1"]]
     theta2 = sim[RESULT_REGISTERS["theta2"]]
@@ -85,6 +86,7 @@ def crosscheck(
     transfer_engine: bool = True,
     trace: bool = False,
     observe=None,
+    shards: Optional[int] = None,
 ) -> tuple[IKSRun, IKSolution]:
     """Run chip and algorithmic reference on the same target.
 
@@ -94,7 +96,7 @@ def crosscheck(
     cfg = config or IKSConfig()
     run = run_ik_chip(
         px, py, cfg, trace=trace, backend=backend,
-        transfer_engine=transfer_engine, observe=observe,
+        transfer_engine=transfer_engine, observe=observe, shards=shards,
     )
     reference = solve_ik(px, py, cfg.geometry, cfg.fmt, cfg.cordic_spec)
     return run, reference
@@ -203,6 +205,7 @@ def run_ik3_chip(
     transfer_engine: bool = True,
     trace: bool = False,
     observe=None,
+    shards: Optional[int] = None,
 ) -> IK3Run:
     """Simulate the chip solving the 3-DOF problem (position + tool
     orientation)."""
@@ -212,7 +215,7 @@ def run_ik3_chip(
     model = build_ik3_model(px, py, phi, cfg)
     sim = model.elaborate(
         backend=backend, transfer_engine=transfer_engine, trace=trace,
-        observe=observe,
+        observe=observe, shards=shards,
     ).run()
     theta1 = sim[IK3_RESULT_REGISTERS["theta1"]]
     theta2 = sim[IK3_RESULT_REGISTERS["theta2"]]

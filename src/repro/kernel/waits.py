@@ -22,8 +22,8 @@ VHDL ``wait`` statement forms the paper's subset uses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Tuple
+from dataclasses import dataclass
+from typing import Callable, Tuple
 
 from .errors import ElaborationError
 from .signals import Signal

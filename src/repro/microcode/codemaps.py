@@ -18,8 +18,8 @@ from a microword field (the built-in shifter on the IKS X-adder input).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from .table import MicroInstruction, MicrocodeError
 

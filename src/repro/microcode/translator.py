@@ -31,7 +31,7 @@ paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping
 
 from ..core.model import RTModel
 from ..core.transfer import RegisterTransfer

@@ -17,7 +17,6 @@ computes the same function as the native operation table.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 

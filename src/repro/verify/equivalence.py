@@ -18,20 +18,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..core.model import RTModel
 from ..hls.dfg import OP_NAMES as OP_NAMES_BY_SYMBOL
-from ..hls.expr import BinOp, Const, Expr, Program, Var, evaluate
-from .symbolic import (
-    SymConst,
-    SymExpr,
-    SymOp,
-    SymVar,
-    SymbolicRun,
-    sym_vars,
-    symbolic_run,
-)
+from ..hls.expr import Const, Expr, Program, Var, evaluate
+from .symbolic import SymConst, SymExpr, SymOp, SymVar, symbolic_run
 
 #: Operations that may be flattened and sorted (associative+commutative).
 AC_OPS = {"ADD", "MULT", "AND", "OR", "XOR", "MIN", "MAX"}

@@ -9,8 +9,8 @@ expression language with attributes (``Phase'High``, ``Phase'Succ(...)``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Optional, Union
 
 
 # ----------------------------------------------------------------------

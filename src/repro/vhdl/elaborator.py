@@ -27,7 +27,7 @@ deliberate simplifications that do not affect the paper's models):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Union
+from typing import Mapping, Optional, Union
 
 from ..core.values import DISC, resolve_rt
 from ..kernel import Driver, Signal, Simulator, wait_forever, wait_on, wait_until

@@ -14,11 +14,18 @@ budget -- per vector, for the batched case.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import DISC, RTModel, RegisterTransfer
+from repro.core.values_np import have_numpy
 from repro.observe import Probe
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(),
+    reason="the compiled-batched backend needs the repro[fast] extra",
+)
 
 UNIT_MENU = [
     ("ADD", ["ADD"], 1),
@@ -133,6 +140,7 @@ def observe_batched_lane(sim, i):
     }
 
 
+@needs_numpy
 @SETTINGS
 @given(colliding_models())
 def test_batched_n1_matches_every_realization(model):
@@ -173,6 +181,7 @@ class RecordingProbe(Probe):
         self.events.append(("conflict", event.signal, event.at, event.sources))
 
 
+@needs_numpy
 @SETTINGS
 @given(colliding_models())
 def test_batched_n1_probe_event_order_matches(model):
@@ -208,6 +217,7 @@ def override_batches(draw, model):
     return vectors
 
 
+@needs_numpy
 @SETTINGS
 @given(colliding_models().flatmap(
     lambda model: st.tuples(st.just(model), override_batches(model))

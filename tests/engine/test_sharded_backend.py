@@ -1,0 +1,174 @@
+"""The sharded backend's own surface: failures, metrics, validation.
+
+Bit-identity against the compiled reference lives in
+``test_sharded_differential.py``; this module covers what is *new* in
+the multi-process backend -- the barrier failure path, the per-shard
+metrics, the elaborate plumbing and the error paths.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core import DISC, ModelError, ModuleSpec, Phase, RTModel, StepPhase
+from repro.engine import ShardFailure, ShardedRTSimulation, run_metrics
+from repro.engine.backend import shard_metrics_rows
+from repro.kernel.errors import DeltaCycleLimitError
+
+
+def fig1_model() -> RTModel:
+    model = RTModel("example", cs_max=7)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def lanes_model(lanes: int = 4) -> RTModel:
+    model = RTModel(f"lanes{lanes}", cs_max=2 * lanes + 2)
+    for lane in range(lanes):
+        model.register(f"A{lane}", init=lane + 1)
+        model.register(f"B{lane}", init=lane + 2)
+        model.register(f"S{lane}")
+        model.bus(f"BA{lane}")
+        model.bus(f"BB{lane}")
+        model.module(ModuleSpec(f"FU{lane}", latency=1))
+        step = 2 * lane + 1
+        model.add_transfer(
+            f"(A{lane},BA{lane},B{lane},BB{lane},{step},FU{lane},"
+            f"{step + 1},BA{lane},S{lane})"
+        )
+    return model
+
+
+class TestBasicRuns:
+    def test_elaborate_selects_sharded_backend(self):
+        sim = fig1_model().elaborate(backend="sharded", shards=2)
+        assert isinstance(sim, ShardedRTSimulation)
+        assert sim.backend_name == "sharded"
+        assert sim.run().registers == {"R1": 5, "R2": 3}
+
+    def test_default_shard_count_is_two(self):
+        sim = fig1_model().elaborate(backend="sharded")
+        assert sim.num_shards == 2
+
+    def test_register_overrides_apply(self):
+        sim = fig1_model().elaborate(
+            backend="sharded", shards=2, register_values={"R1": 10}
+        ).run()
+        assert sim.registers == {"R1": 13, "R2": 3}
+
+    def test_getitem_and_signal(self):
+        sim = fig1_model().elaborate(backend="sharded", shards=2).run()
+        assert sim["R1"] == 5
+        assert sim.signal("R1_out").value == 5
+        assert sim.signal("B1").value == DISC
+        with pytest.raises(KeyError):
+            sim.signal("nope")
+        with pytest.raises(KeyError):
+            sim["nope"]
+
+    def test_signal_before_run_is_an_error(self):
+        sim = fig1_model().elaborate(backend="sharded", shards=2)
+        with pytest.raises(RuntimeError, match="after run"):
+            sim.signal("B1")
+
+    def test_run_is_idempotent(self):
+        sim = fig1_model().elaborate(backend="sharded", shards=2).run()
+        deltas = sim.stats.delta_cycles
+        assert sim.run().stats.delta_cycles == deltas
+
+    def test_partition_override_reaches_the_plan(self):
+        sim = lanes_model(2).elaborate(
+            backend="sharded", shards=2, partition={"FU1": 0, "FU0": 1}
+        ).run()
+        assert sim.plan.module_shard == {"FU1": 0, "FU0": 1}
+        assert sim.clean
+
+    def test_max_deltas_limit_enforced(self):
+        with pytest.raises(DeltaCycleLimitError):
+            fig1_model().elaborate(
+                backend="sharded", shards=2, max_deltas=10
+            ).run()
+
+    def test_no_workers_leak_after_run(self):
+        fig1_model().elaborate(backend="sharded", shards=3).run()
+        assert not multiprocessing.active_children()
+
+
+class TestValidation:
+    def test_batch_vectors_rejected(self):
+        with pytest.raises(ModelError, match="compiled-batched"):
+            fig1_model().elaborate(
+                backend="sharded", register_values=[{"R1": 1}]
+            )
+
+    def test_unknown_register_override_rejected(self):
+        with pytest.raises(ModelError, match="unknown registers"):
+            fig1_model().elaborate(
+                backend="sharded", register_values={"NOPE": 1}
+            )
+
+    def test_unknown_watch_rejected(self):
+        with pytest.raises(ModelError, match="unknown signal"):
+            fig1_model().elaborate(backend="sharded", watch=["nope"])
+
+    def test_shards_flag_rejected_on_other_backends(self):
+        with pytest.raises(ModelError, match="sharded"):
+            fig1_model().elaborate(backend="compiled", shards=2)
+
+    def test_partition_flag_rejected_on_other_backends(self):
+        with pytest.raises(ModelError, match="sharded"):
+            fig1_model().elaborate(backend="event", partition={"B1": 0})
+
+
+class TestShardFailure:
+    def test_killed_worker_surfaces_failure_with_location(self):
+        sim = ShardedRTSimulation(
+            lanes_model(2), shards=2, _test_fail_at={1: 3}
+        )
+        with pytest.raises(ShardFailure) as excinfo:
+            sim.run()
+        failure = excinfo.value
+        assert failure.shard == 1
+        assert failure.last_completed == StepPhase(2, Phase.CR)
+        assert "cs2.cr" in str(failure)
+        assert not multiprocessing.active_children()
+
+    def test_worker_dying_before_first_step(self):
+        sim = ShardedRTSimulation(
+            lanes_model(2), shards=2, _test_fail_at={0: 1}
+        )
+        with pytest.raises(ShardFailure) as excinfo:
+            sim.run()
+        assert excinfo.value.shard == 0
+        assert excinfo.value.last_completed is None
+        assert "before completing any control step" in str(excinfo.value)
+        assert not multiprocessing.active_children()
+
+
+class TestMetrics:
+    def test_per_shard_rows(self):
+        sim = lanes_model(4).elaborate(backend="sharded", shards=2).run()
+        rows = shard_metrics_rows(sim)
+        assert [row["shard"] for row in rows] == [0, 1]
+        for row in rows:
+            assert row["syncs"] == sim.model.cs_max
+            assert row["bytes_to_worker"] > 0
+            assert row["bytes_from_worker"] > 0
+            assert row["worker_wall"] >= 0
+
+    def test_run_metrics_gains_shard_columns(self):
+        sim = lanes_model(2).elaborate(backend="sharded", shards=2).run()
+        row = run_metrics(sim)
+        assert row["shards"] == 2
+        assert row["syncs"] == sim.model.cs_max
+        assert row["sync_bytes"] > 0
+
+    def test_non_sharded_backends_grow_no_shard_columns(self):
+        sim = fig1_model().elaborate(backend="compiled").run()
+        assert "shards" not in run_metrics(sim)
+        assert shard_metrics_rows(sim) == []

@@ -1,0 +1,174 @@
+"""Differential property: the sharded backend IS the compiled backend.
+
+The multi-process realization must be bit-identical *per run* to the
+single-process compiled executor -- final registers, full traces,
+conflict events at exact (CS, PH) locations with identical source
+lists, the clean flag, the delta budget and the canonical probe event
+order.  Checked at K in {1, 2, 4} shards on the paper's E1 example, the
+E4 conflict-injection lanes, the E6 IKS chip, and hypothesis-generated
+colliding models (the same strategy the other backends are held to in
+``test_differential.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ModuleSpec, RTModel
+from repro.observe import Probe
+
+from .test_differential import colliding_models, observe
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+class RecordingProbe(Probe):
+    """Flat ordered record of every callback, for order parity."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_step(self, step):
+        self.events.append(("step", step))
+
+    def on_phase(self, at):
+        self.events.append(("phase", at))
+
+    def on_bus_drive(self, at, bus, value):
+        self.events.append(("bus", at, bus, value))
+
+    def on_register_latch(self, at, register, value):
+        self.events.append(("latch", at, register, value))
+
+    def on_conflict(self, event):
+        self.events.append(
+            ("conflict", event.signal, event.at, event.sources)
+        )
+
+
+def fig1_model() -> RTModel:
+    """E1: the paper's Fig. 1 example."""
+    model = RTModel("example", cs_max=7)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def conflicted_model(n_lanes: int, conflict_steps: list) -> RTModel:
+    """E4: independent adder lanes plus deliberate bus collisions."""
+    model = RTModel(f"conflicts_{n_lanes}", cs_max=2 * n_lanes + 2)
+    model.register("X", init=99)
+    for lane in range(n_lanes):
+        model.register(f"A{lane}", init=lane + 1)
+        model.register(f"B{lane}", init=lane + 2)
+        model.register(f"S{lane}")
+        model.bus(f"BA{lane}")
+        model.bus(f"BB{lane}")
+        model.module(ModuleSpec(f"FU{lane}", latency=1))
+        step = 2 * lane + 1
+        model.add_transfer(
+            f"(A{lane},BA{lane},B{lane},BB{lane},{step},FU{lane},"
+            f"{step + 1},BA{lane},S{lane})"
+        )
+    for step in conflict_steps:
+        lane = (step - 1) // 2
+        model.add_transfer(f"(X,BA{lane},-,-,{step},FU{lane},-,-,-)")
+    return model
+
+
+def assert_bit_identical(model, shards: int) -> None:
+    """Full-surface comparison of one sharded run vs compiled."""
+    ref_probe = RecordingProbe()
+    reference = observe(
+        model.elaborate(
+            trace=True, observe=ref_probe, backend="compiled"
+        ).run()
+    )
+    sharded_probe = RecordingProbe()
+    sharded = model.elaborate(
+        trace=True,
+        observe=sharded_probe,
+        backend="sharded",
+        shards=shards,
+    ).run()
+    assert observe(sharded) == reference
+    assert sharded_probe.events == ref_probe.events
+
+
+class TestPaperExperiments:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_e1_fig1(self, shards):
+        assert_bit_identical(fig1_model(), shards)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_e4_injected_conflicts(self, shards):
+        model = conflicted_model(6, [1, 5, 9])
+        # The injected collisions must actually be observed ...
+        assert not model.elaborate(backend="compiled").run().clean
+        # ... and identically on every shard count.
+        assert_bit_identical(model, shards)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_e6_iks_chip(self, shards):
+        from repro.iks.flow import build_ik_model
+
+        model, _ = build_ik_model(2.5, 1.0)
+        reference = model.elaborate(backend="compiled").run()
+        sharded = model.elaborate(backend="sharded", shards=shards).run()
+        assert sharded.registers == reference.registers
+        assert sharded.clean == reference.clean
+        assert [
+            (e.signal, e.at, e.sources) for e in sharded.conflicts
+        ] == [(e.signal, e.at, e.sources) for e in reference.conflicts]
+        for counter in ("cycles", "delta_cycles", "events",
+                        "transactions", "process_resumes"):
+            assert getattr(sharded.stats, counter) == getattr(
+                reference.stats, counter
+            )
+
+
+class TestStatsParity:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_full_counter_parity_on_conflicted_lanes(self, shards):
+        model = conflicted_model(4, [3, 5])
+        reference = model.elaborate(backend="compiled").run()
+        sharded = model.elaborate(backend="sharded", shards=shards).run()
+        for counter in ("cycles", "delta_cycles", "events",
+                        "transactions", "process_resumes"):
+            assert getattr(sharded.stats, counter) == getattr(
+                reference.stats, counter
+            )
+
+
+class TestWatchSubset:
+    def test_watch_subset_traces_match(self):
+        model = conflicted_model(3, [3])
+        watch = ["BA1", "S1_in", "S1_out", "FU1_out"]
+        reference = model.elaborate(watch=watch, backend="compiled").run()
+        sharded = model.elaborate(
+            watch=watch, backend="sharded", shards=2
+        ).run()
+        assert sharded.tracer.samples == reference.tracer.samples
+
+
+# Worker processes make each example ~10x the cost of an in-process
+# backend comparison; fork start-up keeps it tolerable, but trim the
+# example count and exempt the suite from hypothesis' per-example
+# deadline checks.
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(colliding_models(), st.sampled_from(SHARD_COUNTS))
+def test_sharded_matches_compiled_on_colliding_models(model, shards):
+    assert_bit_identical(model, shards)

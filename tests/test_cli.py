@@ -7,7 +7,13 @@ import pytest
 from repro.cli import main
 from repro.core import ModuleSpec, RTModel
 from repro.core.serialize import dump
+from repro.core.values_np import have_numpy
 from repro.vhdl import EXAMPLE_FIG1
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(),
+    reason="compiled-batched sweeps need the repro[fast] extra",
+)
 
 
 @pytest.fixture
@@ -327,6 +333,7 @@ class TestCliErrorPaths:
 class TestBatchedCli:
     """`repro simulate --backend compiled-batched` and `repro bench`."""
 
+    @needs_numpy
     def test_simulate_batched_single_vector(self, fig1_json, capsys):
         assert main([
             "simulate", str(fig1_json), "--backend", "compiled-batched",
@@ -335,6 +342,7 @@ class TestBatchedCli:
         assert "vector 0: R1=5 R2=3" in out
         assert "-- 1 vectors, 1 clean" in out
 
+    @needs_numpy
     def test_simulate_batched_random_sweep(self, fig1_json, capsys):
         assert main([
             "simulate", str(fig1_json), "--backend", "compiled-batched",
@@ -345,6 +353,7 @@ class TestBatchedCli:
         # Per-vector rows are printed for small sweeps.
         assert "vector 4:" in out
 
+    @needs_numpy
     def test_simulate_batched_seed_is_reproducible(self, fig1_json, capsys):
         args = [
             "simulate", str(fig1_json), "--backend", "compiled-batched",
@@ -355,6 +364,7 @@ class TestBatchedCli:
         assert main(args) == 0
         assert capsys.readouterr().out == first
 
+    @needs_numpy
     def test_simulate_vectors_from_jsonl(self, fig1_json, tmp_path, capsys):
         vecs = tmp_path / "vecs.jsonl"
         vecs.write_text(
@@ -395,6 +405,7 @@ class TestBatchedCli:
         err = capsys.readouterr().err
         assert "batch-shaped results" in err
 
+    @needs_numpy
     def test_bench_writes_record(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
         assert main([
@@ -408,6 +419,7 @@ class TestBatchedCli:
         assert record["speedup"] > 0
         assert "speedup" in capsys.readouterr().out
 
+    @needs_numpy
     def test_bench_accepts_model_file(self, fig1_json, tmp_path, capsys):
         out = tmp_path / "bench.json"
         assert main([

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Gate batched-backend performance against the committed baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py BASELINE.json NEW.json [--floor 0.5]
+
+Both files are ``repro bench`` records (``benchmark: batched-vs-sequential``).
+The gate fails (exit 1) when the new batched-vs-sequential speedup drops
+below ``floor`` times the committed baseline speedup.  A *relative* floor
+keeps the gate robust to runner hardware: absolute walls vary wildly
+across CI machines, but the batched/sequential ratio is measured on the
+same machine in the same job, so a halving of that ratio is a genuine
+regression in the batched table walk, not noise.
+
+Exit codes: 0 pass, 1 regression, 2 unusable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_speedup(path: Path) -> float:
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    kind = record.get("benchmark")
+    if kind != "batched-vs-sequential":
+        raise SystemExit(
+            f"error: {path} is a {kind!r} record, expected "
+            "'batched-vs-sequential'"
+        )
+    speedup = record.get("speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        raise SystemExit(f"error: {path} has no usable 'speedup' field")
+    return float(speedup)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed bench record")
+    parser.add_argument("new", type=Path, help="freshly measured bench record")
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.5,
+        help="minimum allowed fraction of the baseline speedup "
+        "(default: 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_speedup(args.baseline)
+    new = load_speedup(args.new)
+    threshold = args.floor * baseline
+    ratio = new / baseline
+
+    print(f"baseline speedup : {baseline:8.2f}x  ({args.baseline})")
+    print(f"measured speedup : {new:8.2f}x  ({args.new})")
+    print(f"floor            : {threshold:8.2f}x  ({args.floor:.0%} of baseline)")
+    if new < threshold:
+        print(
+            f"FAIL: batched speedup regressed to {ratio:.0%} of the "
+            f"baseline (floor {args.floor:.0%})"
+        )
+        return 1
+    print(f"OK: measured speedup is {ratio:.0%} of the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
