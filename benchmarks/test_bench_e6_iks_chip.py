@@ -242,6 +242,57 @@ class TestObserverOverhead:
             )
             assert path.exists()
 
+    @pytest.mark.parametrize("backend", ["event", "compiled"])
+    def test_disabled_monitor_under_five_percent(
+        self, backend, report_lines
+    ):
+        """Satellite of the monitor PR: with the assertion subsystem
+        loaded and a property set compiled, NOT attaching the monitor
+        must stay under 5% wall over the pre-monitor observer
+        baseline (observe=None, same seam PR 2 measured)."""
+        from repro.observe import AssertionMonitor, default_properties
+
+        model, _ = build_ik_model(2.5, 1.0)
+        # Build the monitor up front: property compilation is paid at
+        # construction, so the disabled path carries only whatever the
+        # elaborate/run seam itself leaks -- which must be nothing.
+        AssertionMonitor(default_properties(model))
+        overhead = float("inf")
+        for _ in range(3):
+            base, off = self._min_wall_pair(
+                lambda: model.elaborate(backend=backend),
+                lambda: model.elaborate(backend=backend, observe=None),
+            )
+            overhead = min(overhead, off / base - 1.0)
+            if overhead < 0.05:
+                break
+        report_lines.append(
+            f"{backend}: observer baseline {base * 1e3:.2f} ms, "
+            f"monitors loaded but disabled {off * 1e3:.2f} ms "
+            f"({overhead * 100.0:+.1f}%)"
+        )
+        assert overhead < 0.05
+
+    def test_monitor_cost_measured(self, report_lines):
+        """Enabling the monitor is allowed to cost -- measure it.  The
+        default property set (never_illegal + no_conflicts) over the
+        full IKS run, per backend, against the bare run."""
+        from repro.observe import AssertionMonitor, default_properties
+
+        model, _ = build_ik_model(2.5, 1.0)
+        for backend in ("event", "compiled"):
+            monitor = AssertionMonitor(default_properties(model))
+            base, monitored = self._min_wall_pair(
+                lambda: model.elaborate(backend=backend),
+                lambda: model.elaborate(backend=backend, observe=monitor),
+            )
+            assert monitor.report is not None and monitor.report.ok
+            report_lines.append(
+                f"{backend}: bare {base * 1e3:.2f} ms, monitored "
+                f"{monitored * 1e3:.2f} ms ({monitored / base:.2f}x, "
+                f"{monitor.report.cycles} cycles checked)"
+            )
+
 
 class TestIKSBenchmarks:
     def test_bench_full_chip_run(self, benchmark):
@@ -272,16 +323,27 @@ class TestIKSBenchmarks:
         benchmark.extra_info["resumes"] = sim.stats.process_resumes
         assert sim.clean
 
-    @pytest.mark.parametrize("probe", ["none", "jsonl"])
+    @pytest.mark.parametrize("probe", ["none", "jsonl", "monitor"])
     def test_bench_observer_overhead(self, benchmark, tmp_path, probe):
-        """Satellite of the observability PR: the no-probe and
-        JSONL-probe runs side by side in the benchmark table."""
+        """Satellite of the observability PRs: no-probe, JSONL-probe
+        and assertion-monitor runs side by side in the benchmark
+        table."""
+        from repro.observe import AssertionMonitor, default_properties
+
         model, _ = build_ik_model(2.5, 1.0)
         path = tmp_path / "bench.jsonl"
 
+        def make_probe():
+            if probe == "jsonl":
+                return JsonlRecorder(str(path))
+            if probe == "monitor":
+                return AssertionMonitor(default_properties(model))
+            return None
+
         def run():
-            observe = JsonlRecorder(str(path)) if probe == "jsonl" else None
-            return model.elaborate(backend="compiled", observe=observe).run()
+            return model.elaborate(
+                backend="compiled", observe=make_probe()
+            ).run()
 
         sim = benchmark(run)
         assert sim.clean

@@ -11,13 +11,18 @@ Subcommands::
     repro synth    program.alg         HLS: algorithmic source -> model
     repro iks      --target 2.5,1.0    run the IKS case study
     repro report   run.jsonl           render a recorded run report
+    repro watch    HOST:PORT           tail a live --stream NDJSON feed
     repro bench    [--model m.json]    batched-vs-sequential sweep benchmark
 
 The simulating subcommands (``run``, ``simulate``, ``iks``) share the
 observability flags of :mod:`repro.observe`: ``--observe out.jsonl``
 records the structured event stream, ``--vcd out.vcd`` writes a
-GTKWave-ready waveform, and ``--profile`` / ``--profile-out`` print or
-save the per-phase wall-clock profile.
+GTKWave-ready waveform, ``--profile`` / ``--profile-out`` print or
+save the per-phase wall-clock profile (``--profile-sample N`` samples
+every N-th control step), ``--monitor`` / ``--assert-file`` evaluate
+temporal assertions online (``--assert-out`` saves the
+AssertionReport), and ``--stream HOST:PORT`` serves the event stream
+as NDJSON for ``repro watch``.
 
 Model files use the JSON format of :mod:`repro.core.serialize`;
 algorithmic sources use the straight-line language of
@@ -173,6 +178,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_report)
 
     p = sub.add_parser(
+        "watch",
+        help="connect to a --stream endpoint and tail the live NDJSON feed",
+    )
+    p.add_argument(
+        "endpoint", metavar="HOST:PORT",
+        help="the --stream endpoint (a bare PORT means 127.0.0.1)",
+    )
+    p.add_argument(
+        "--raw", action="store_true",
+        help="print the NDJSON records verbatim instead of rendering them",
+    )
+    p.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="disconnect after N events",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECS",
+        help="socket timeout while waiting for events",
+    )
+    p.set_defaults(handler=cmd_watch)
+
+    p = sub.add_parser(
         "bench",
         help="benchmark the batched backend against sequential compiled runs",
     )
@@ -242,6 +269,34 @@ def _add_observe_args(p: argparse.ArgumentParser) -> None:
         "--profile-out", metavar="PATH",
         help="write the per-phase profile summary as JSON",
     )
+    p.add_argument(
+        "--profile-sample", type=int, default=None, metavar="N",
+        help="profile only every N-th control step (cheaper on long runs)",
+    )
+    p.add_argument(
+        "--monitor", action="store_true",
+        help="check the default assertions (no ILLEGAL values, no bus "
+        "conflicts) online and print the assertion report",
+    )
+    p.add_argument(
+        "--assert-file", metavar="PATH",
+        help="check the temporal properties declared in this JSON file "
+        "(see docs/observability.md for the format)",
+    )
+    p.add_argument(
+        "--assert-out", metavar="PATH",
+        help="write the AssertionReport as JSON",
+    )
+    p.add_argument(
+        "--stream", metavar="HOST:PORT",
+        help="serve the live event stream as NDJSON on this endpoint "
+        "(connect with `repro watch`); port 0 picks a free port",
+    )
+    p.add_argument(
+        "--stream-wait", type=float, default=None, metavar="SECS",
+        help="with --stream: wait up to SECS for a watcher to connect "
+        "before the run starts",
+    )
 
 
 def _validate_backend_flags(args, allow_batched: bool = False) -> None:
@@ -266,38 +321,112 @@ def _validate_backend_flags(args, allow_batched: bool = False) -> None:
         raise ValueError(f"--shards must be >= 1, got {args.shards}")
 
 
-def _build_probe(args):
-    """Construct the probe requested by the observability flags.
+class _ObserveSession:
+    """Everything the observability flags attached to one run.
 
-    Returns ``(probe, profiler)``: ``probe`` goes to ``observe=``
-    (None when no flag asked for one -- the zero-cost path), and
-    ``profiler`` is kept for reporting after the run.
+    ``probe`` goes to ``observe=`` (None when no flag asked for one --
+    the zero-cost path); the rest is kept for post-run reporting.
     """
-    from .observe import JsonlRecorder, Profiler, combine_probes
+
+    def __init__(self, probe, profiler, monitor, server):
+        self.probe = probe
+        self.profiler = profiler
+        self.monitor = monitor
+        self.server = server
+
+
+def _build_probe(args) -> _ObserveSession:
+    """Construct the probes requested by the observability flags."""
+    from .observe import (
+        AssertionMonitor,
+        JsonlRecorder,
+        Profiler,
+        StreamServer,
+        combine_probes,
+        default_properties,
+        load_properties,
+        parse_endpoint,
+    )
 
     probes = []
-    profiler = None
+    profiler = monitor = server = None
+    profiling = getattr(args, "profile", False) or getattr(
+        args, "profile_out", None
+    )
+    sample = getattr(args, "profile_sample", None)
+    if sample is not None and not profiling:
+        raise ValueError(
+            "--profile-sample needs --profile or --profile-out"
+        )
+    if getattr(args, "stream_wait", None) is not None \
+            and not getattr(args, "stream", None):
+        raise ValueError("--stream-wait needs --stream")
+    monitoring = getattr(args, "monitor", False) or getattr(
+        args, "assert_file", None
+    )
+    if getattr(args, "assert_out", None) and not monitoring:
+        raise ValueError("--assert-out needs --monitor or --assert-file")
     if getattr(args, "observe", None):
         probes.append(JsonlRecorder(args.observe))
-    if getattr(args, "profile", False) or getattr(args, "profile_out", None):
-        profiler = Profiler()
+    if getattr(args, "stream", None):
+        host, port = parse_endpoint(args.stream)
+        server = StreamServer(
+            host=host, port=port,
+            wait_for_client=getattr(args, "stream_wait", None) or 0.0,
+        )
+        probes.append(server)
+        print(f"-- streaming on {server.address[0]}:{server.address[1]}")
+    if monitoring:
+        properties = []
+        if args.monitor:
+            properties.extend(default_properties())
+        if getattr(args, "assert_file", None):
+            properties.extend(load_properties(args.assert_file))
+        monitor = AssertionMonitor(
+            properties,
+            listener=server.emit_violation if server else None,
+        )
+        # First in the fan-out: violations reach the stream server the
+        # moment they are detected, ahead of the raw event records.
+        probes.insert(0, monitor)
+    if profiling:
+        profiler = Profiler(sample_every=sample if sample is not None else 1)
         probes.append(profiler)
-    return combine_probes(probes), profiler
+    return _ObserveSession(combine_probes(probes), profiler, monitor, server)
 
 
-def _emit_observe_outputs(args, profiler) -> None:
-    """Post-run reporting for the observability flags."""
+def _emit_observe_outputs(args, obs: _ObserveSession) -> bool:
+    """Post-run reporting for the observability flags.
+
+    Returns False when the assertion monitor found violations (the
+    handlers fold this into their exit status)."""
+    ok = True
+    if obs.server is not None:
+        obs.server.close()
+        print(
+            f"-- streamed {obs.server.events} events "
+            f"({obs.server.dropped} dropped)"
+        )
     if getattr(args, "observe", None):
         print(f"-- wrote {args.observe}")
-    if profiler is None:
-        return
-    if args.profile:
-        print(profiler.report())
-    if args.profile_out:
-        with open(args.profile_out, "w", encoding="utf-8") as handle:
-            handle.write(profiler.to_json(indent=2))
-            handle.write("\n")
-        print(f"-- wrote {args.profile_out}")
+    if obs.monitor is not None and obs.monitor.report is not None:
+        report = obs.monitor.report
+        print(report.render())
+        if getattr(args, "assert_out", None):
+            with open(args.assert_out, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json(indent=2))
+                handle.write("\n")
+            print(f"-- wrote {args.assert_out}")
+        ok = report.ok
+    if obs.profiler is not None:
+        if args.profile:
+            print(obs.profiler.report())
+        if args.profile_out:
+            with open(args.profile_out, "w", encoding="utf-8") as handle:
+                handle.write(obs.profiler.to_json(indent=2))
+                handle.write("\n")
+            print(f"-- wrote {args.profile_out}")
+    return ok
 
 
 # ----------------------------------------------------------------------
@@ -320,6 +449,7 @@ def cmd_run(args) -> int:
         text = handle.read()
     observed = bool(
         args.vcd or args.observe or args.profile or args.profile_out
+        or args.monitor or args.assert_file or args.stream
     )
     if args.backend != "event" or args.no_transfer_engine or observed:
         # The VHDL interpreter is event-only and untraced; the
@@ -348,12 +478,12 @@ def _run_via_model(args, text: str) -> int:
     from .vhdl import recover_model
 
     model = recover_model(text, args.top)
-    probe, profiler = _build_probe(args)
+    obs = _build_probe(args)
     sim = model.elaborate(
         backend=args.backend,
         transfer_engine=not args.no_transfer_engine,
         trace=bool(args.vcd),
-        observe=probe,
+        observe=obs.probe,
         shards=args.shards,
     ).run()
     wanted = [s.strip().lower() for s in args.signals.split(",") if s.strip()]
@@ -373,13 +503,13 @@ def _run_via_model(args, text: str) -> int:
 
         export_vcd(sim, args.vcd)
         print(f"-- wrote {args.vcd}")
-    _emit_observe_outputs(args, profiler)
+    assertions_ok = _emit_observe_outputs(args, obs)
     stats = sim.stats
     print(
         f"-- {stats.delta_cycles} delta cycles, {stats.events} events, "
         f"physical time 0 ns"
     )
-    return 0 if sim.clean else 1
+    return 0 if (sim.clean and assertions_ok) else 1
 
 
 def cmd_analyze(args) -> int:
@@ -414,13 +544,13 @@ def cmd_simulate(args) -> int:
         raise ValueError(
             "--batch/--vectors-from require --backend compiled-batched"
         )
-    probe, profiler = _build_probe(args)
+    obs = _build_probe(args)
     sim = model.elaborate(
         register_values=overrides or None,
         trace=bool(args.vcd or args.trace),
         backend=args.backend,
         transfer_engine=not args.no_transfer_engine,
-        observe=probe,
+        observe=obs.probe,
         shards=args.shards,
     ).run()
     for name, value in sorted(sim.registers.items()):
@@ -435,10 +565,10 @@ def cmd_simulate(args) -> int:
         with open(args.vcd, "w", encoding="utf-8") as handle:
             sim.tracer.write_vcd(handle, design_name=model.name)
         print(f"-- wrote {args.vcd}")
-    _emit_observe_outputs(args, profiler)
+    assertions_ok = _emit_observe_outputs(args, obs)
     stats = sim.stats
     print(f"-- {stats.delta_cycles} delta cycles (= CS_MAX*6 = {model.cs_max * 6})")
-    return 0 if sim.clean else 1
+    return 0 if (sim.clean and assertions_ok) else 1
 
 
 def _simulate_batched(args, model, overrides: dict) -> int:
@@ -446,18 +576,24 @@ def _simulate_batched(args, model, overrides: dict) -> int:
 
     Vectors come from ``--vectors-from`` (JSONL, one register mapping
     per line), or ``--batch N`` (N replicas of the ``--set`` overrides,
-    or N random vectors when ``--seed`` is given).  Exit status is 0
-    iff every vector's run stayed clean.
+    or N random vectors when ``--seed`` is given).  ``--monitor`` /
+    ``--assert-file`` check every lane (per-lane trace replay,
+    bit-identical verdicts to N scalar runs).  Exit status is 0 iff
+    every vector's run stayed clean and no lane violated an assertion.
     """
     import json
     import random
 
     if args.vcd or args.trace or args.observe or args.profile \
-            or args.profile_out:
+            or args.profile_out or args.stream:
         raise ValueError(
-            "--vcd/--trace/--observe/--profile produce single-run output; "
-            "not supported with the compiled-batched backend"
+            "--vcd/--trace/--observe/--profile/--stream produce "
+            "single-run output; not supported with the compiled-batched "
+            "backend"
         )
+    monitoring = bool(args.monitor or args.assert_file)
+    if args.assert_out and not monitoring:
+        raise ValueError("--assert-out needs --monitor or --assert-file")
     if args.vectors_from:
         if args.batch is not None or args.seed is not None:
             raise ValueError(
@@ -494,8 +630,13 @@ def _simulate_batched(args, model, overrides: dict) -> int:
             ]
         else:
             vectors = [dict(overrides) for _ in range(count)]
+    watch = None
+    if monitoring:
+        from .observe import monitored_watch_list
+
+        watch = monitored_watch_list(model)
     sim = model.elaborate(
-        register_values=vectors, backend="compiled-batched"
+        register_values=vectors, backend="compiled-batched", watch=watch
     ).run()
     clean_count = int(sim.clean_mask.sum())
     total = len(vectors)
@@ -507,6 +648,37 @@ def _simulate_batched(args, model, overrides: dict) -> int:
             )
             flag = "" if sim.clean_mask[i] else "  [conflicts]"
             print(f"vector {i}: {row}{flag}")
+    violation_total = 0
+    if monitoring:
+        from .observe import (
+            default_properties, evaluate_trace, load_properties,
+        )
+
+        properties = []
+        if args.monitor:
+            properties.extend(default_properties(model))
+        if args.assert_file:
+            properties.extend(load_properties(args.assert_file))
+        reports = [
+            evaluate_trace(model, sim.tracers[i], properties, sim.conflicts[i])
+            for i in range(total)
+        ]
+        violation_total = sum(len(r.violations) for r in reports)
+        failing = [i for i, r in enumerate(reports) if not r.ok]
+        print(
+            f"assertions: {len(properties)} properties, "
+            f"{violation_total} violations over {total} lanes"
+        )
+        for i in failing[:8]:
+            for line in reports[i].render().splitlines()[1:]:
+                print(f"  lane {i}:{line}")
+        if len(failing) > 8:
+            print(f"  ... and {len(failing) - 8} more failing lanes")
+        if args.assert_out:
+            with open(args.assert_out, "w", encoding="utf-8") as handle:
+                json.dump([r.to_dict() for r in reports], handle, indent=2)
+                handle.write("\n")
+            print(f"-- wrote {args.assert_out}")
     conflict_total = sum(len(events) for events in sim.conflicts)
     print(
         f"-- {total} vectors, {clean_count} clean, "
@@ -514,7 +686,7 @@ def _simulate_batched(args, model, overrides: dict) -> int:
         f"{sim.stats.delta_cycles} delta cycles "
         f"(= CS_MAX*6 = {model.cs_max * 6})"
     )
-    return 0 if clean_count == total else 1
+    return 0 if (clean_count == total and violation_total == 0) else 1
 
 
 def cmd_reschedule(args) -> int:
@@ -602,12 +774,12 @@ def cmd_iks(args) -> int:
     px, py = float(px_text), float(py_text)
     backend = args.backend
     transfer_engine = not args.no_transfer_engine
-    probe, profiler = _build_probe(args)
+    obs = _build_probe(args)
     if args.phi is not None:
-        return _cmd_iks3(args, px, py, args.phi, probe, profiler)
+        return _cmd_iks3(args, px, py, args.phi, obs)
     run, ref = crosscheck(
         px, py, backend=backend, transfer_engine=transfer_engine,
-        trace=bool(args.vcd), observe=probe, shards=args.shards,
+        trace=bool(args.vcd), observe=obs.probe, shards=args.shards,
     )
     fx, fy = forward_kinematics(run.theta1_rad, run.theta2_rad)
     print(f"target      : ({px}, {py})")
@@ -620,20 +792,20 @@ def cmd_iks(args) -> int:
         f"simulation  : {run.simulation.stats.delta_cycles} delta cycles, "
         f"{len(run.simulation.conflicts)} conflicts"
     )
-    _emit_iks_observe(args, run.simulation, profiler)
-    return 0 if (run.clean and exact) else 1
+    assertions_ok = _emit_iks_observe(args, run.simulation, obs)
+    return 0 if (run.clean and exact and assertions_ok) else 1
 
 
-def _emit_iks_observe(args, sim, profiler) -> None:
+def _emit_iks_observe(args, sim, obs: _ObserveSession) -> bool:
     if args.vcd:
         from .observe import export_vcd
 
         export_vcd(sim, args.vcd)
         print(f"-- wrote {args.vcd}")
-    _emit_observe_outputs(args, profiler)
+    return _emit_observe_outputs(args, obs)
 
 
-def _cmd_iks3(args, px: float, py: float, phi: float, probe, profiler) -> int:
+def _cmd_iks3(args, px: float, py: float, phi: float, obs: _ObserveSession) -> int:
     from .iks import forward_kinematics3, run_ik3_chip, solve_ik3
 
     run = run_ik3_chip(
@@ -641,7 +813,7 @@ def _cmd_iks3(args, px: float, py: float, phi: float, probe, profiler) -> int:
         backend=args.backend,
         transfer_engine=not args.no_transfer_engine,
         trace=bool(args.vcd),
-        observe=probe,
+        observe=obs.probe,
         shards=args.shards,
     )
     ref = solve_ik3(px, py, phi)
@@ -666,8 +838,8 @@ def _cmd_iks3(args, px: float, py: float, phi: float, probe, profiler) -> int:
         f"simulation  : {run.simulation.stats.delta_cycles} delta cycles, "
         f"{len(run.simulation.conflicts)} conflicts"
     )
-    _emit_iks_observe(args, run.simulation, profiler)
-    return 0 if (run.clean and exact) else 1
+    assertions_ok = _emit_iks_observe(args, run.simulation, obs)
+    return 0 if (run.clean and exact and assertions_ok) else 1
 
 
 def cmd_report(args) -> int:
@@ -678,6 +850,23 @@ def cmd_report(args) -> int:
         print(report.to_json(indent=2))
     else:
         print(report.render())
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from .observe import parse_endpoint, watch_stream
+
+    host, port = parse_endpoint(args.endpoint)
+    if args.max_events is not None and args.max_events < 1:
+        raise ValueError(f"--max-events must be >= 1, got {args.max_events}")
+    count = watch_stream(
+        host, port,
+        out=sys.stdout,
+        raw=args.raw,
+        max_events=args.max_events,
+        timeout=args.timeout,
+    )
+    print(f"-- stream closed after {count} events", file=sys.stderr)
     return 0
 
 

@@ -105,7 +105,11 @@ class TraceLog:
         """Write the trace as a VCD file (one tick per phase).
 
         DISC is emitted as ``z`` (high impedance) and ILLEGAL as ``x``,
-        matching their intuitive std-logic analogues.
+        matching their intuitive std-logic analogues.  The first sample
+        is written as a ``$dumpvars`` initialization block covering
+        *every* watched signal, so a DISC signal reads back ``z`` from
+        tick 0 and stays distinguishable from a wire the file never
+        values at all (which VCD semantics leave uninitialized = ``x``).
         """
         names = list(self.watched_names)
         idents = {name: _vcd_ident(i) for i, name in enumerate(names)}
@@ -116,6 +120,7 @@ class TraceLog:
             out.write(f"$var integer 32 {idents[name]} {name} $end\n")
         out.write("$upscope $end\n$enddefinitions $end\n")
         last: dict[str, Optional[int]] = {name: None for name in names}
+        first = True
         for sample in self.samples:
             tick = (sample.at.step - 1) * PHASES_PER_STEP + int(sample.at.phase)
             changes = []
@@ -124,7 +129,13 @@ class TraceLog:
                 if value != last[name]:
                     last[name] = value
                     changes.append((name, value))
-            if changes:
+            if first:
+                out.write(f"#{max(tick, 0)}\n$dumpvars\n")
+                for name, value in changes:
+                    out.write(f"{_vcd_value(value)} {idents[name]}\n")
+                out.write("$end\n")
+                first = False
+            elif changes:
                 out.write(f"#{max(tick, 0)}\n")
                 for name, value in changes:
                     out.write(f"{_vcd_value(value)} {idents[name]}\n")

@@ -150,6 +150,8 @@ def run_metrics(
     wall: Optional[float] = None,
     baseline: Optional[SimStats] = None,
     profile: Optional[Any] = None,
+    stream: Optional[Any] = None,
+    monitor: Optional[Any] = None,
 ) -> Dict[str, float]:
     """One comparable metrics row for any backend.
 
@@ -159,6 +161,12 @@ def run_metrics(
     interval, for backends whose simulator is reused.
     ``profile`` merges a :class:`repro.observe.Profiler`'s per-phase
     wall totals into the row as ``wall_<phase>`` columns.
+    ``stream`` merges a :class:`repro.observe.StreamServer`'s delivery
+    counters as ``stream_events`` / ``stream_dropped`` (the drop
+    counter is the bounded queue's backpressure evidence).
+    ``monitor`` merges an :class:`repro.observe.AssertionMonitor`'s (or
+    :class:`~repro.observe.monitor.AssertionReport`'s) verdict as a
+    ``violations`` column.
 
     Trace depth is reported only when the backend actually carries a
     trace: backends elaborated with ``trace=False`` leave ``tracer``
@@ -201,6 +209,14 @@ def run_metrics(
     if profile is not None:
         for phase, seconds in profile.phase_wall.items():
             row[f"wall_{phase}"] = seconds
+    if stream is not None:
+        row["stream_events"] = stream.events
+        row["stream_dropped"] = stream.dropped
+    if monitor is not None:
+        report = getattr(monitor, "report", monitor)
+        violations = getattr(report, "violations", None)
+        if violations is not None:
+            row["violations"] = len(violations)
     shard_metrics = getattr(backend, "shard_metrics", None)
     if shard_metrics:
         row["shards"] = len(shard_metrics)

@@ -66,6 +66,7 @@ from ..core.values_np import (
 )
 from ..kernel import SimStats
 from ..kernel.errors import DeltaCycleLimitError
+from ..observe.emit import emit_canonical_cycle
 from .compiled import _EXTRA_EVENTS, _SCHED_TX
 
 #: ``register_values`` accepted shapes: one mapping (N=1) or a
@@ -428,21 +429,21 @@ class CompiledBatchedRTSimulation:
 
     def _emit_cycle(self, at: StepPhase) -> None:
         """N == 1 canonical probe stream (same order as every backend)."""
-        probe = self._probe
-        if at.phase is Phase.RA:
-            probe.on_step(at.step)
-        probe.on_phase(at)
         changed = self._cycle_changed
-        if changed:
-            row = self._store.values[0]
-            names = self._names
-            for idx in range(self._bus_count):
-                if idx in changed:
-                    probe.on_bus_drive(at, names[idx], int(row[idx]))
-            for reg, idx in self._reg_out_idx.items():
-                if idx in changed:
-                    probe.on_register_latch(at, reg, int(row[idx]))
-            changed.clear()
+        row = self._store.values[0]
+        names = self._names
+        drives = [
+            (names[idx], int(row[idx]))
+            for idx in range(self._bus_count)
+            if idx in changed
+        ]
+        latches = [
+            (reg, int(row[idx]))
+            for reg, idx in self._reg_out_idx.items()
+            if idx in changed
+        ]
+        changed.clear()
+        emit_canonical_cycle(self._probe, at, drives, latches)
 
     # ------------------------------------------------------------------
     # results (batch-shaped)

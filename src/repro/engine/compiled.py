@@ -47,6 +47,7 @@ from ..core.transfer import TransSpec
 from ..core.values import DISC, ILLEGAL, resolve_rt
 from ..kernel import SimStats
 from ..kernel.errors import DeltaCycleLimitError
+from ..observe.emit import emit_canonical_cycle
 
 #: Per-cycle bookkeeping phases: CS changes in RA, ticks fire in CM/CR.
 _EXTRA_EVENTS = {int(Phase.RA): 1, int(Phase.CM): 1, int(Phase.CR): 1}
@@ -415,28 +416,29 @@ class CompiledRTSimulation:
     def _emit_cycle(self, at: StepPhase) -> None:
         """Forward this cycle's observations to the attached probe.
 
-        Mirrors the event kernel's :class:`KernelProbeAdapter` drain:
-        step boundary (RA only), phase boundary, then bus drives and
-        register latches in declaration order.  Conflicts were already
-        forwarded by the monitor listener during ``_apply_pending`` --
-        the same relative order the kernel's monitor process (created
-        before the adapter) produces.
+        Collects the changed ports and defers to
+        :func:`~repro.observe.emit.emit_canonical_cycle` -- the same
+        canonical-order helper the event kernel's adapter and the
+        sharded coordinator use.  Conflicts were already forwarded by
+        the monitor listener during ``_apply_pending`` -- the same
+        relative order the kernel's monitor process (created before
+        the adapter) produces.
         """
-        probe = self._probe
-        if at.phase is Phase.RA:
-            probe.on_step(at.step)
-        probe.on_phase(at)
         changed = self._cycle_changed
-        if changed:
-            values = self._values
-            names = self._names
-            for idx in range(self._bus_count):
-                if idx in changed:
-                    probe.on_bus_drive(at, names[idx], values[idx])
-            for reg, idx in self._reg_out_idx.items():
-                if idx in changed:
-                    probe.on_register_latch(at, reg, values[idx])
-            changed.clear()
+        values = self._values
+        names = self._names
+        drives = [
+            (names[idx], values[idx])
+            for idx in range(self._bus_count)
+            if idx in changed
+        ]
+        latches = [
+            (reg, values[idx])
+            for reg, idx in self._reg_out_idx.items()
+            if idx in changed
+        ]
+        changed.clear()
+        emit_canonical_cycle(self._probe, at, drives, latches)
 
     # ------------------------------------------------------------------
     # results (mirrors RTSimulation)

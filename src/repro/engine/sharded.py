@@ -58,6 +58,7 @@ from ..core.transfer import TransSpec
 from ..core.values import DISC, ILLEGAL, resolve_rt
 from ..kernel import SimStats
 from ..kernel.errors import DeltaCycleLimitError
+from ..observe.emit import emit_canonical_cycle
 from .compiled import _EXTRA_EVENTS, _SCHED_TX, PortView, _compile_module
 from .partition import ShardPlan, plan_shards
 
@@ -722,18 +723,24 @@ class ShardedRTSimulation:
             for order, signal, sources in sorted(cycle_conflicts):
                 self.monitor.record(ConflictEvent(signal, at, sources))
             if probe is not None:
-                if phase is Phase.RA:
-                    probe.on_step(step)
-                probe.on_phase(at)
                 drives = []
                 for payload in replies:
                     drives.extend(payload["bus_changes"].get(int(phase), ()))
-                for _, bus, value in sorted(drives):
-                    probe.on_bus_drive(at, bus, value)
-                if phase is Phase.RA and latch_changes:
-                    for reg in self.model.registers:
-                        if reg in latch_changes:
-                            probe.on_register_latch(at, reg, self._plane[reg])
+                latches = (
+                    [
+                        (reg, self._plane[reg])
+                        for reg in self.model.registers
+                        if reg in latch_changes
+                    ]
+                    if phase is Phase.RA and latch_changes
+                    else []
+                )
+                emit_canonical_cycle(
+                    probe,
+                    at,
+                    [(bus, value) for _, bus, value in sorted(drives)],
+                    latches,
+                )
             if tracer is not None:
                 row: Dict[str, int] = {}
                 for payload in replies:

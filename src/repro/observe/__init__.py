@@ -9,19 +9,48 @@ compiled executor, clocked translation, handshake network):
 
 * :class:`Probe` / :class:`ProbeSet` -- the callback protocol backends
   drive via the ``observe=`` elaboration hook (zero cost when absent);
+* :func:`emit_canonical_cycle` -- the canonical per-cycle emission
+  order, shared by every backend's probe plumbing;
 * :class:`JsonlRecorder` / :class:`RunReport` -- structured JSONL event
   logs with a stable schema, aggregated into conflict timelines,
   per-resource occupancy and per-phase wall time (``repro report``);
+* :class:`AssertionMonitor` + the property catalogue (:func:`never`,
+  :func:`always_at`, :func:`implies_within`, :func:`stable_between`,
+  ...) -- temporal assertions evaluated online over the stream, with
+  per-lane verdicts on the batched backend (``--monitor`` /
+  ``--assert-file``);
+* :class:`StreamServer` / :func:`watch_stream` -- live NDJSON event
+  streaming over a socket with bounded-queue backpressure
+  (``--stream`` / ``repro watch``);
 * :func:`export_vcd` / :func:`parse_vcd` -- waveforms for GTKWave, with
   DISC as ``z`` and ILLEGAL as ``x``;
-* :class:`Profiler` -- per-phase wall-clock profiling, surfaced through
-  ``run_metrics(backend, profile=...)`` and ``--profile``.
-
-Future batched/sharded backends are expected to assert parity and
-performance through this same surface (see ROADMAP.md).
+* :class:`Profiler` -- per-phase wall-clock profiling with a
+  ``sample_every=N`` sampling mode for chip-scale sweeps, surfaced
+  through ``run_metrics(backend, profile=...)`` and ``--profile``.
 """
 
 from .attach import KernelProbeAdapter
+from .emit import emit_canonical_cycle
+from .monitor import (
+    AssertionMonitor,
+    AssertionReport,
+    MonitorError,
+    Property,
+    Violation,
+    always_at,
+    check_model,
+    default_properties,
+    evaluate_trace,
+    implies_within,
+    load_properties,
+    monitored_watch_list,
+    never,
+    never_illegal,
+    no_conflicts,
+    parse_properties,
+    stable_between,
+    when,
+)
 from .probe import Probe, ProbeSet, combine_probes
 from .profiler import Profiler
 from .recorder import (
@@ -32,6 +61,7 @@ from .recorder import (
     encode_value,
     read_events,
 )
+from .stream import StreamServer, format_event, parse_endpoint, watch_stream
 from .vcd import VCDError, VCDWave, export_vcd, parse_vcd, step_phase_tick
 
 __all__ = [
@@ -39,6 +69,7 @@ __all__ = [
     "Probe",
     "ProbeSet",
     "combine_probes",
+    "emit_canonical_cycle",
     "Profiler",
     "JsonlRecorder",
     "RunReport",
@@ -46,6 +77,28 @@ __all__ = [
     "decode_value",
     "encode_value",
     "read_events",
+    "AssertionMonitor",
+    "AssertionReport",
+    "MonitorError",
+    "Property",
+    "Violation",
+    "always_at",
+    "check_model",
+    "default_properties",
+    "evaluate_trace",
+    "implies_within",
+    "load_properties",
+    "monitored_watch_list",
+    "never",
+    "never_illegal",
+    "no_conflicts",
+    "parse_properties",
+    "stable_between",
+    "when",
+    "StreamServer",
+    "format_event",
+    "parse_endpoint",
+    "watch_stream",
     "VCDError",
     "VCDWave",
     "export_vcd",

@@ -5,10 +5,12 @@ what :class:`~repro.core.diagnostics.ConflictMonitor` is to
 :class:`~repro.core.diagnostics.ConflictLog`: watcher callbacks record
 raw signal activity as it happens (cheap, no process wakeups), and one
 drain process sensitive to the phase signal stamps each cycle's
-observations with the ``(CS, PH)`` in force and forwards them to the
-probe in the canonical per-cycle order -- step boundary (RA only),
-phase boundary, bus drives in bus declaration order, register latches
-in register declaration order.
+observations with the ``(CS, PH)`` in force and forwards them through
+:func:`~repro.observe.emit.emit_canonical_cycle` -- the shared
+canonical per-cycle order (step boundary on RA only, phase boundary,
+bus drives in bus declaration order, register latches in register
+declaration order) that the sharded coordinator and the compiled
+executors use too.
 
 Conflicts are *not* produced here: the simulation's own
 :class:`ConflictMonitor` forwards them via its record listener, which
@@ -23,6 +25,7 @@ from typing import Sequence
 
 from ..core.phases import Phase, StepPhase
 from ..kernel import Signal, Simulator, wait_on
+from .emit import emit_canonical_cycle
 from .probe import Probe
 
 
@@ -75,16 +78,16 @@ class KernelProbeAdapter:
         while True:
             yield wait_on(self._ph)
             at = StepPhase(self._cs.value, Phase(self._ph.value))
-            if at.phase is Phase.RA:
-                probe.on_step(at.step)
-            probe.on_phase(at)
-            if self._changed_buses:
-                for sig in self._buses:
-                    if sig.name in self._changed_buses:
-                        probe.on_bus_drive(at, sig.name, sig.value)
-                self._changed_buses.clear()
-            if self._changed_regs:
-                for reg, sig in self._reg_outs:
-                    if sig.name in self._changed_regs:
-                        probe.on_register_latch(at, reg, sig.value)
-                self._changed_regs.clear()
+            drives = [
+                (sig.name, sig.value)
+                for sig in self._buses
+                if sig.name in self._changed_buses
+            ]
+            latches = [
+                (reg, sig.value)
+                for reg, sig in self._reg_outs
+                if sig.name in self._changed_regs
+            ]
+            self._changed_buses.clear()
+            self._changed_regs.clear()
+            emit_canonical_cycle(probe, at, drives, latches)

@@ -13,6 +13,13 @@ It is an ordinary :class:`~repro.observe.probe.Probe`: attach it alone
 :class:`~repro.observe.probe.ProbeSet`.  Results surface through
 :meth:`report`, :meth:`to_json`, and -- merged into the one comparable
 metrics row -- ``run_metrics(backend, profile=profiler)``.
+
+For chip-scale sweeps the per-cycle ``perf_counter`` pair is itself
+measurable overhead, so ``Profiler(sample_every=N)`` profiles only
+every N-th control step (the first, the (N+1)-th, ...): boundaries in
+unsampled steps are ignored entirely, per-phase walls and cycle counts
+cover only the sampled steps, and the summary records ``sample_every``
+and ``sampled_steps`` so consumers can extrapolate.
 """
 
 from __future__ import annotations
@@ -28,16 +35,23 @@ from .probe import Probe
 class Profiler(Probe):
     """Accumulates wall time and cycle counts per control-step phase."""
 
-    def __init__(self) -> None:
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        #: profile every N-th control step (1 = profile everything).
+        self.sample_every = sample_every
         #: phase vhdl name -> accumulated seconds.
         self.phase_wall: Dict[str, float] = {}
         #: phase vhdl name -> executed cycles.
         self.phase_cycles: Dict[str, int] = {}
         self.wall: float = 0.0
         self.steps: int = 0
+        #: control steps actually profiled (== steps when sample_every=1).
+        self.sampled_steps: int = 0
         self._run_t0: Optional[float] = None
         self._last_phase: Optional[str] = None
         self._last_t: Optional[float] = None
+        self._active = True
 
     # ------------------------------------------------------------------
     # Probe interface
@@ -46,11 +60,25 @@ class Profiler(Probe):
         self._run_t0 = time.perf_counter()
         self._last_phase = None
         self._last_t = None
+        self._active = True
 
     def on_step(self, step: int) -> None:
         self.steps += 1
+        if self.sample_every > 1:
+            self._active = (self.steps - 1) % self.sample_every == 0
+            if self._active:
+                self.sampled_steps += 1
+            else:
+                # leaving a sampled step: close its last open interval
+                # at the boundary instead of spilling into skipped steps
+                self._last_phase = None
+                self._last_t = None
+        else:
+            self.sampled_steps += 1
 
     def on_phase(self, at) -> None:
+        if not self._active:
+            return
         now = time.perf_counter()
         name = at.phase.vhdl_name
         self.phase_cycles[name] = self.phase_cycles.get(name, 0) + 1
@@ -81,6 +109,8 @@ class Profiler(Probe):
         return {
             "wall": self.wall,
             "steps": self.steps,
+            "sample_every": self.sample_every,
+            "sampled_steps": self.sampled_steps,
             "phases": {
                 name: {
                     "wall": self.phase_wall.get(name, 0.0),
@@ -98,9 +128,14 @@ class Profiler(Probe):
         """Human-readable per-phase profile table."""
         summary = self.summary()
         total = sum(p["wall"] for p in summary["phases"].values()) or 1.0
+        sampled = (
+            f" ({self.sampled_steps} sampled, every {self.sample_every})"
+            if self.sample_every > 1
+            else ""
+        )
         lines = [
             f"profile: {self.wall * 1e3:.2f} ms wall, {self.steps} control "
-            f"steps"
+            f"steps{sampled}"
         ]
         for name, row in summary["phases"].items():
             lines.append(

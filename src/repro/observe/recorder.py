@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
@@ -64,6 +65,88 @@ def _backend_kind(backend: Any) -> Optional[str]:
 def _model_name(backend: Any) -> Optional[str]:
     model = getattr(backend, "model", None)
     return getattr(model, "name", None)
+
+
+# ----------------------------------------------------------------------
+# event-dict builders -- the one place the wire schema is spelled out.
+# JsonlRecorder writes these to files; the NDJSON stream server
+# (repro.observe.stream) pushes the identical dicts over a socket.
+# ----------------------------------------------------------------------
+def run_start_event(backend: Any) -> dict:
+    model = getattr(backend, "model", None)
+    return {
+        "event": "run_start",
+        "schema": SCHEMA_VERSION,
+        "model": _model_name(backend),
+        "backend": _backend_kind(backend),
+        "cs_max": getattr(model, "cs_max", None),
+    }
+
+
+def step_event(step: int) -> dict:
+    return {"event": "step", "cs": step}
+
+
+def phase_event(at: Any, t: Optional[float] = None) -> dict:
+    return {
+        "event": "phase",
+        "cs": at.step,
+        "ph": at.phase.vhdl_name,
+        "t": t,
+    }
+
+
+def bus_event(at: Any, bus: str, value: int) -> dict:
+    return {
+        "event": "bus",
+        "cs": at.step if at is not None else None,
+        "ph": at.phase.vhdl_name if at is not None else None,
+        "signal": bus,
+        "value": encode_value(value),
+    }
+
+
+def latch_event(at: Any, register: str, value: int) -> dict:
+    return {
+        "event": "latch",
+        "cs": at.step if at is not None else None,
+        "ph": at.phase.vhdl_name if at is not None else None,
+        "register": register,
+        "value": encode_value(value),
+    }
+
+
+def conflict_event(event: Any) -> dict:
+    at = event.at
+    return {
+        "event": "conflict",
+        "cs": at.step if at is not None else None,
+        "ph": at.phase.vhdl_name if at is not None else None,
+        "signal": event.signal,
+        "drivers": [[owner, encode_value(value)] for owner, value in event.sources],
+    }
+
+
+def run_end_event(backend: Any, wall: float) -> dict:
+    stats = getattr(backend, "stats", None)
+    return {
+        "event": "run_end",
+        "wall": wall,
+        "clean": bool(getattr(backend, "clean", True)),
+        "stats": {
+            "cycles": stats.cycles,
+            "delta_cycles": stats.delta_cycles,
+            "events": stats.events,
+            "process_resumes": stats.process_resumes,
+            "transactions": stats.transactions,
+        }
+        if stats is not None
+        else {},
+        "registers": {
+            name: encode_value(value)
+            for name, value in getattr(backend, "registers", {}).items()
+        },
+    }
 
 
 class JsonlRecorder(Probe):
@@ -125,113 +208,74 @@ class JsonlRecorder(Probe):
     # ------------------------------------------------------------------
     def on_run_start(self, backend: Any) -> None:
         self._t0 = time.perf_counter()
-        model = getattr(backend, "model", None)
-        self._emit(
-            {
-                "event": "run_start",
-                "schema": SCHEMA_VERSION,
-                "model": _model_name(backend),
-                "backend": _backend_kind(backend),
-                "cs_max": getattr(model, "cs_max", None),
-            }
-        )
+        self._emit(run_start_event(backend))
 
     def on_step(self, step: int) -> None:
-        self._emit({"event": "step", "cs": step})
+        self._emit(step_event(step))
 
     def on_phase(self, at) -> None:
         if self._t0 is None:
             self._t0 = time.perf_counter()
-        self._emit(
-            {
-                "event": "phase",
-                "cs": at.step,
-                "ph": at.phase.vhdl_name,
-                "t": time.perf_counter() - self._t0,
-            }
-        )
+        self._emit(phase_event(at, time.perf_counter() - self._t0))
 
     def on_bus_drive(self, at, bus: str, value: int) -> None:
-        self._emit(
-            {
-                "event": "bus",
-                "cs": at.step if at is not None else None,
-                "ph": at.phase.vhdl_name if at is not None else None,
-                "signal": bus,
-                "value": encode_value(value),
-            }
-        )
+        self._emit(bus_event(at, bus, value))
 
     def on_register_latch(self, at, register: str, value: int) -> None:
-        self._emit(
-            {
-                "event": "latch",
-                "cs": at.step if at is not None else None,
-                "ph": at.phase.vhdl_name if at is not None else None,
-                "register": register,
-                "value": encode_value(value),
-            }
-        )
+        self._emit(latch_event(at, register, value))
 
     def on_conflict(self, event) -> None:
-        at = event.at
-        self._emit(
-            {
-                "event": "conflict",
-                "cs": at.step if at is not None else None,
-                "ph": at.phase.vhdl_name if at is not None else None,
-                "signal": event.signal,
-                "drivers": [
-                    [owner, encode_value(value)]
-                    for owner, value in event.sources
-                ],
-            }
-        )
+        self._emit(conflict_event(event))
 
     def on_run_end(self, backend: Any, wall: float) -> None:
-        stats = getattr(backend, "stats", None)
-        self._emit(
-            {
-                "event": "run_end",
-                "wall": wall,
-                "clean": bool(getattr(backend, "clean", True)),
-                "stats": {
-                    "cycles": stats.cycles,
-                    "delta_cycles": stats.delta_cycles,
-                    "events": stats.events,
-                    "process_resumes": stats.process_resumes,
-                    "transactions": stats.transactions,
-                }
-                if stats is not None
-                else {},
-                "registers": {
-                    name: encode_value(value)
-                    for name, value in getattr(backend, "registers", {}).items()
-                },
-            }
-        )
+        self._emit(run_end_event(backend, wall))
         self.close()
 
 
-def read_events(path: Union[str, IO[str]]) -> List[dict]:
-    """Parse a JSONL event log back into event dicts."""
+def read_events(path: Union[str, IO[str]], strict: bool = True) -> List[dict]:
+    """Parse a JSONL event log back into event dicts.
+
+    With ``strict=False`` a malformed *final* record -- the partial
+    last line a killed run leaves behind -- is skipped with a warning
+    instead of raising; malformed records anywhere else still raise
+    (that is corruption, not truncation).  ``repro report`` and
+    :meth:`RunReport.from_jsonl` use the lenient mode so a recording
+    survives its producer's death.
+    """
     if hasattr(path, "read"):
         lines = path.read().splitlines()  # type: ignore[union-attr]
     else:
         with open(path, encoding="utf-8") as handle:
             lines = handle.read().splitlines()
+    numbered = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(lines, 1)
+        if line.strip()
+    ]
+    last_lineno = numbered[-1][0] if numbered else None
     events = []
-    for lineno, line in enumerate(lines, 1):
-        line = line.strip()
-        if not line:
-            continue
+    for lineno, line in numbered:
         try:
             event = json.loads(line)
         except json.JSONDecodeError as exc:
+            if not strict and lineno == last_lineno:
+                warnings.warn(
+                    f"skipping truncated trailing record on line {lineno} "
+                    f"({exc.msg})",
+                    stacklevel=2,
+                )
+                continue
             raise ValueError(
                 f"line {lineno}: not a JSON event record ({exc.msg})"
             ) from None
         if not isinstance(event, dict) or "event" not in event:
+            if not strict and lineno == last_lineno:
+                warnings.warn(
+                    f"skipping malformed trailing record on line {lineno} "
+                    "(missing 'event' field)",
+                    stacklevel=2,
+                )
+                continue
             raise ValueError(f"line {lineno}: missing 'event' field")
         events.append(event)
     return events
@@ -316,8 +360,8 @@ class RunReport:
         return report
 
     @classmethod
-    def from_jsonl(cls, path: Union[str, IO[str]]) -> "RunReport":
-        return cls.from_events(read_events(path))
+    def from_jsonl(cls, path: Union[str, IO[str]], strict: bool = False) -> "RunReport":
+        return cls.from_events(read_events(path, strict=strict))
 
     @classmethod
     def from_recorder(cls, recorder: JsonlRecorder) -> "RunReport":

@@ -1,0 +1,291 @@
+"""Live NDJSON probe streaming over a socket.
+
+:class:`StreamServer` is an ordinary :class:`~repro.observe.probe.Probe`
+attached through the same ``observe=`` hook as every other observer, so
+it inherits the canonical per-cycle emission order for free.  Each
+callback serializes to the *same* event dicts the JSONL recorder
+writes (one JSON object per ``\\n``-terminated line -- NDJSON), pushed
+to every connected client; ``repro watch HOST:PORT`` is the matching
+tail/pretty-print client.
+
+Backpressure is explicit, never blocking: events pass through a
+bounded queue between the simulation thread and the sender thread, and
+when the queue is full the event is *dropped* and counted
+(``server.dropped``) rather than stalling the run.
+``run_metrics(stream=server)`` surfaces ``stream_events`` /
+``stream_dropped`` next to the kernel counters.
+
+Monitors compose with streaming: wire an
+:class:`~repro.observe.monitor.AssertionMonitor` listener to
+:meth:`StreamServer.emit_violation` and watchers see each assertion
+failure live, as an extra ``{"event": "violation", ...}`` record type
+on the same wire.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import threading
+from typing import IO, TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from . import recorder
+from .probe import Probe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .monitor import Violation
+
+#: Sentinel shutting down the sender thread.
+_CLOSE = object()
+
+
+class StreamServer(Probe):
+    """Serve the probe event stream as NDJSON over TCP.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 (default) picks a free port --
+        ``server.address`` is the bound ``(host, port)`` pair.
+    max_queue:
+        Bound of the event queue between the simulation and the sender
+        thread; a full queue drops events (counted in ``dropped``).
+    wait_for_client:
+        Seconds ``on_run_start`` waits for at least one client before
+        the run proceeds (0 = do not wait).  Lets ``repro watch``
+        attach before the first event without racing the run.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = 1024,
+        wait_for_client: float = 0.0,
+    ) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(8)
+        self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        self.wait_for_client = wait_for_client
+        self.events = 0
+        self.dropped = 0
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_queue)
+        self._clients: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._have_client = threading.Event()
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-stream-accept", daemon=True
+        )
+        self._sender_thread = threading.Thread(
+            target=self._sender_loop, name="repro-stream-send", daemon=True
+        )
+        self._accept_thread.start()
+        self._sender_thread.start()
+
+    # ------------------------------------------------------------------
+    # server plumbing
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:  # listening socket closed
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._clients.append(conn)
+            self._have_client.set()
+
+    def _sender_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _CLOSE:
+                return
+            data = (json.dumps(item, separators=(",", ":")) + "\n").encode("utf-8")
+            with self._lock:
+                clients = list(self._clients)
+            dead = []
+            for conn in clients:
+                try:
+                    conn.sendall(data)
+                except OSError:
+                    dead.append(conn)
+            if dead:
+                with self._lock:
+                    for conn in dead:
+                        if conn in self._clients:
+                            self._clients.remove(conn)
+                        conn.close()
+
+    def emit(self, record: dict) -> None:
+        """Enqueue one event dict for every connected client.
+
+        Never blocks the simulation: a full queue counts a drop."""
+        try:
+            self._queue.put_nowait(record)
+        except queue.Full:
+            self.dropped += 1
+        else:
+            self.events += 1
+
+    def emit_violation(self, violation: "Violation") -> None:
+        """Monitor listener hook: stream an assertion failure live."""
+        self.emit({"event": "violation", **violation.to_dict()})
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain the queue, hang up on clients, stop both threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._queue.put(_CLOSE, timeout=timeout)
+        except queue.Full:
+            pass
+        self._sender_thread.join(timeout=timeout)
+        self._sock.close()
+        with self._lock:
+            clients, self._clients = self._clients, []
+        for conn in clients:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        self._accept_thread.join(timeout=timeout)
+
+    def __enter__(self) -> "StreamServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # probe interface -- same wire records as the JSONL recorder
+    # ------------------------------------------------------------------
+    def on_run_start(self, backend: Any) -> None:
+        if self.wait_for_client > 0:
+            self._have_client.wait(self.wait_for_client)
+        self.emit(recorder.run_start_event(backend))
+
+    def on_step(self, step: int) -> None:
+        self.emit(recorder.step_event(step))
+
+    def on_phase(self, at: Any) -> None:
+        self.emit(recorder.phase_event(at))
+
+    def on_bus_drive(self, at: Any, bus: str, value: int) -> None:
+        self.emit(recorder.bus_event(at, bus, value))
+
+    def on_register_latch(self, at: Any, register: str, value: int) -> None:
+        self.emit(recorder.latch_event(at, register, value))
+
+    def on_conflict(self, event: Any) -> None:
+        self.emit(recorder.conflict_event(event))
+
+    def on_run_end(self, backend: Any, wall: float) -> None:
+        self.emit(recorder.run_end_event(backend, wall))
+
+
+# ----------------------------------------------------------------------
+# the watch client
+# ----------------------------------------------------------------------
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` endpoint (host defaults to localhost)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", text
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad endpoint {text!r} (expected HOST:PORT)") from None
+    if not (0 < port < 65536):
+        raise ValueError(f"bad port {port} in endpoint {text!r}")
+    return host, port
+
+
+def format_event(event: dict) -> str:
+    """One human-readable line per wire record (the watch pretty-printer)."""
+    kind = event.get("event", "?")
+    cs, ph = event.get("cs"), event.get("ph")
+    where = f"cs{cs}.{ph}" if cs is not None and ph is not None else "--"
+    if kind == "run_start":
+        return (
+            f"run_start  model={event.get('model')} backend={event.get('backend')} "
+            f"cs_max={event.get('cs_max')}"
+        )
+    if kind == "step":
+        return f"step       cs{cs}"
+    if kind == "phase":
+        return f"phase      {where}"
+    if kind == "bus":
+        return f"bus        {where} {event.get('signal')} = {event.get('value')}"
+    if kind == "latch":
+        return f"latch      {where} {event.get('register')} = {event.get('value')}"
+    if kind == "conflict":
+        drivers = ", ".join(f"{o}={v}" for o, v in event.get("drivers", []))
+        return f"CONFLICT   {where} {event.get('signal')} (drivers: {drivers})"
+    if kind == "violation":
+        return (
+            f"VIOLATION  {where} [{event.get('property')}] "
+            f"{event.get('signal') or ''} {event.get('message')}".rstrip()
+        )
+    if kind == "run_end":
+        return (
+            f"run_end    clean={event.get('clean')} "
+            f"wall={event.get('wall', 0.0):.4f}s"
+        )
+    return f"{kind}  {json.dumps(event, separators=(',', ':'))}"
+
+
+def watch_stream(
+    host: str,
+    port: int,
+    out: IO[str],
+    raw: bool = False,
+    max_events: Optional[int] = None,
+    timeout: Optional[float] = None,
+    on_event: Optional[Callable[[dict], None]] = None,
+) -> int:
+    """Tail a :class:`StreamServer` until EOF (or ``max_events``).
+
+    Prints one line per event (raw NDJSON with ``raw=True``) and
+    returns the number of events received.  ``timeout`` bounds both the
+    connect and each read; ``on_event`` sees every decoded record
+    (used by tests and embedders)."""
+    seen = 0
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        if timeout is not None:
+            conn.settimeout(timeout)
+        buffer = b""
+        while max_events is None or seen < max_events:
+            try:
+                chunk = conn.recv(65536)
+            except socket.timeout:
+                break
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                seen += 1
+                if on_event is not None:
+                    on_event(event)
+                out.write((line.decode("utf-8") if raw else format_event(event)) + "\n")
+                if max_events is not None and seen >= max_events:
+                    break
+    return seen

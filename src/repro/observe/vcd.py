@@ -74,6 +74,11 @@ class VCDWave:
         self.idents: Dict[str, str] = {}
         #: signal name -> [(tick, value)] with DISC/ILLEGAL decoded.
         self.changes: Dict[str, List[Tuple[int, int]]] = {}
+        #: signals valued inside a ``$dumpvars`` block -- i.e. wires
+        #: whose tick-0 state the file states explicitly.  Everything
+        #: else is VCD-uninitialized and reads ``x`` before its first
+        #: change (see :meth:`value_at`).
+        self.initialized: set = set()
 
     @property
     def signals(self) -> List[str]:
@@ -87,10 +92,21 @@ class VCDWave:
             raise KeyError(f"unknown VCD signal {name!r}") from None
 
     def value_at(self, name: str, tick: int) -> int:
-        """The signal's value in force at ``tick`` (DISC before any
-        change)."""
-        value = DISC
-        for when, new in self.history(name):
+        """The signal's value in force at ``tick``.
+
+        Before a signal's first recorded change it is *uninitialized*,
+        which four-state VCD semantics render as ``x`` (ILLEGAL) -- a
+        deliberately different answer from an explicit ``z`` dump.
+        Our own exporter opens with a ``$dumpvars`` block valuing every
+        watched signal at tick 0 (DISC wires as ``bz``), so the
+        x-vs-uninitialized distinction survives a round trip: only a
+        wire the file never values reads ILLEGAL here.
+        """
+        history = self.history(name)
+        if not history or tick < history[0][0]:
+            return ILLEGAL
+        value = history[0][1]
+        for when, new in history:
             if when > tick:
                 break
             value = new
@@ -131,6 +147,7 @@ def parse_vcd(source: Union[str, IO[str]]) -> VCDWave:
     by_ident: Dict[str, str] = {}
     tick = 0
     in_definitions = True
+    in_dumpvars = False
     tokens_iter = iter(text.split("\n"))
     for raw in tokens_iter:
         line = raw.strip()
@@ -164,7 +181,13 @@ def parse_vcd(source: Union[str, IO[str]]) -> VCDWave:
             except ValueError:
                 raise VCDError(f"malformed time marker {line!r}") from None
             continue
-        if line.startswith("$"):  # $dumpvars etc. -- skip sections
+        if line.startswith("$"):
+            # The $dumpvars initialization block contains ordinary
+            # value changes; remember which signals it covers.
+            if line.startswith("$dumpvars"):
+                in_dumpvars = True
+            elif line.startswith("$end"):
+                in_dumpvars = False
             continue
         if line[0] in "bB":
             try:
@@ -176,6 +199,8 @@ def parse_vcd(source: Union[str, IO[str]]) -> VCDWave:
         name = by_ident.get(ident)
         if name is None:
             raise VCDError(f"value change for undeclared ident {ident!r}")
+        if in_dumpvars:
+            wave.initialized.add(name)
         wave.changes[name].append((tick, _decode_vcd_value(value_text)))
     return wave
 

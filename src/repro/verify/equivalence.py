@@ -176,6 +176,7 @@ def check_program_vs_model(
     trials: int = 64,
     seed: int = 12345,
     backend: Optional[str] = None,
+    properties: Optional[Sequence] = None,
 ) -> list[EquivalenceResult]:
     """Verify an RT model against its algorithmic source program.
 
@@ -189,6 +190,16 @@ def check_program_vs_model(
     the trial vectors -- ``"compiled-batched"`` sweeps the whole trial
     batch in one run.  The trial vectors are identical either way
     (drawn up front from ``seed``).
+
+    ``properties`` (a sequence of :class:`repro.observe.Property`)
+    adds the runtime monitors as an extra oracle: every trial vector
+    is swept through the assertion checker and each property
+    contributes one ``method="monitor"`` result -- failing with the
+    first offending vector as counterexample, or passing over the
+    whole trial batch.  Functional equivalence alone misses these
+    (a bus conflict that resolves to the right value, a transient
+    ILLEGAL overwritten before the output step); the monitor oracle
+    rejects them.
     """
     run = symbolic_run(model, symbolic_registers=list(program.inputs))
     prog_env = program_symbolic_env(program)
@@ -241,6 +252,61 @@ def check_program_vs_model(
         else:
             results.append(
                 EquivalenceResult(register, variable, "random", True)
+            )
+    if properties:
+        results.extend(
+            _monitor_oracle(model, trial_envs, properties, backend)
+        )
+    return results
+
+
+def _monitor_oracle(
+    model: RTModel,
+    trial_envs: Sequence[Mapping[str, int]],
+    properties: Sequence,
+    backend: Optional[str],
+) -> list[EquivalenceResult]:
+    """Sweep the trial vectors through the runtime monitors.
+
+    One result per property: the first trial vector violating it is
+    the counterexample; a property no vector violates passes with
+    ``register="*"`` (it constrains the whole run, not one output)."""
+    from ..observe import check_model
+
+    sweep_backend = backend or "compiled-batched"
+    reports = check_model(
+        model, properties, backend=sweep_backend,
+        register_values=list(trial_envs),
+    ) if sweep_backend == "compiled-batched" else [
+        check_model(model, properties, backend=sweep_backend,
+                    register_values=dict(env))
+        for env in trial_envs
+    ]
+    results: list[EquivalenceResult] = []
+    for prop in properties:
+        offending = next(
+            (
+                (t, violation)
+                for t, report in enumerate(reports)
+                for violation in report.violations
+                if violation.prop == prop.label
+            ),
+            None,
+        )
+        if offending is None:
+            results.append(
+                EquivalenceResult("*", prop.label, "monitor", True)
+            )
+        else:
+            t, violation = offending
+            results.append(
+                EquivalenceResult(
+                    violation.signal or "*",
+                    prop.label,
+                    "monitor",
+                    False,
+                    dict(trial_envs[t]),
+                )
             )
     return results
 

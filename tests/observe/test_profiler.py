@@ -39,7 +39,11 @@ class TestProfiler:
     def test_summary_shape(self):
         profiler, _ = self._profiled()
         summary = profiler.summary()
-        assert set(summary) == {"wall", "steps", "phases"}
+        assert set(summary) == {
+            "wall", "steps", "sample_every", "sampled_steps", "phases",
+        }
+        assert summary["sample_every"] == 1
+        assert summary["sampled_steps"] == summary["steps"]
         assert list(summary["phases"]) == ["ra", "rb", "cm", "wa", "wb", "cr"]
         for row in summary["phases"].values():
             assert set(row) == {"wall", "cycles"}
@@ -85,3 +89,54 @@ class TestRunMetricsProfile:
         sim = fig1_model().elaborate().run()
         row = run_metrics(sim)
         assert not any(key.startswith("wall_") for key in row)
+
+
+class TestSampling:
+    def _sampled(self, every, cs_max=7):
+        profiler = Profiler(sample_every=every)
+        fig1_model(cs_max=cs_max).elaborate(observe=profiler).run()
+        return profiler
+
+    def test_sample_every_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Profiler(sample_every=0)
+
+    def test_every_one_profiles_everything(self):
+        profiler = self._sampled(1)
+        assert profiler.sampled_steps == 7
+        assert sum(profiler.phase_cycles.values()) == 42
+
+    def test_every_n_profiles_first_of_each_stride(self):
+        profiler = self._sampled(3)
+        # Steps 1, 4, 7 are sampled out of 7.
+        assert profiler.steps == 7
+        assert profiler.sampled_steps == 3
+        assert sum(profiler.phase_cycles.values()) == 3 * 6
+        assert all(n == 3 for n in profiler.phase_cycles.values())
+
+    def test_stride_larger_than_run_keeps_first_step(self):
+        profiler = self._sampled(100)
+        assert profiler.sampled_steps == 1
+        assert sum(profiler.phase_cycles.values()) == 6
+
+    def test_wall_only_accumulates_sampled_steps(self):
+        profiler = self._sampled(2)
+        assert profiler.wall > 0.0
+        assert all(s >= 0.0 for s in profiler.phase_wall.values())
+
+    def test_summary_and_report_state_the_sampling(self):
+        profiler = self._sampled(2)
+        summary = profiler.summary()
+        assert summary["sample_every"] == 2
+        assert summary["sampled_steps"] == 4
+        assert "every 2" in profiler.report()
+
+    def test_sampling_identical_on_compiled_backend(self):
+        event = Profiler(sample_every=3)
+        fig1_model().elaborate(observe=event).run()
+        compiled = Profiler(sample_every=3)
+        fig1_model().elaborate(backend="compiled", observe=compiled).run()
+        assert compiled.sampled_steps == event.sampled_steps
+        assert compiled.phase_cycles == event.phase_cycles

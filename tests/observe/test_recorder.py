@@ -146,3 +146,58 @@ class TestRunReport:
     def test_phase_wall_covers_all_six_phases(self):
         report = self._recorded(fig1_model())
         assert set(report.phase_wall) == {"ra", "rb", "cm", "wa", "wb", "cr"}
+
+
+class TestTruncatedLogs:
+    """`repro report` on a truncated/partial recording (a crashed or
+    still-running simulation) must degrade gracefully, not crash."""
+
+    def _recorded_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        recorder = JsonlRecorder(str(path))
+        fig1_model().elaborate(observe=recorder).run()
+        return path, path.read_text().splitlines()
+
+    def test_lenient_read_skips_truncated_tail(self, tmp_path):
+        path, lines = self._recorded_lines(tmp_path)
+        # Chop the final record mid-JSON, as a killed writer would.
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:7])
+        with pytest.warns(UserWarning, match="truncated"):
+            events = read_events(str(path), strict=False)
+        assert len(events) == len(lines) - 1
+
+    def test_lenient_read_skips_malformed_tail(self, tmp_path):
+        path, lines = self._recorded_lines(tmp_path)
+        path.write_text("\n".join(lines) + '\n{"no_event_key": 1}\n')
+        with pytest.warns(UserWarning, match="malformed"):
+            events = read_events(str(path), strict=False)
+        assert len(events) == len(lines)
+
+    def test_strict_read_still_rejects_truncated_tail(self, tmp_path):
+        path, lines = self._recorded_lines(tmp_path)
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:7])
+        with pytest.raises(ValueError):
+            read_events(str(path))
+
+    def test_lenient_read_still_rejects_mid_file_corruption(self, tmp_path):
+        path, lines = self._recorded_lines(tmp_path)
+        lines[3] = "garbage"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 4"):
+            read_events(str(path), strict=False)
+
+    def test_run_report_from_truncated_log(self, tmp_path):
+        path, lines = self._recorded_lines(tmp_path)
+        # Drop run_end entirely and truncate the new last line.
+        path.write_text("\n".join(lines[:-2]) + "\n" + lines[-2][:5])
+        with pytest.warns(UserWarning):
+            report = RunReport.from_jsonl(str(path))
+        assert report.model == "example"
+        assert report.render()
+
+    def test_empty_file_reports_cleanly(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_events(str(path), strict=False) == []
+        report = RunReport.from_jsonl(str(path))
+        assert report.render()

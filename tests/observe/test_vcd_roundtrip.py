@@ -114,3 +114,62 @@ class TestParserErrors:
         text = "$enddefinitions $end\n#zap\n"
         with pytest.raises(VCDError, match="time marker"):
             parse_vcd(text)
+
+
+class TestUninitializedVsDisc:
+    """The x-vs-uninitialized pin: an explicit `z` dump and a wire the
+    file never values must stay distinguishable through a round trip."""
+
+    def _wave(self, model, backend="event"):
+        sim = traced_run(model, backend)
+        out = io.StringIO()
+        export_vcd(sim, out)
+        return sim, out.getvalue(), parse_vcd(out.getvalue())
+
+    def test_exporter_opens_with_dumpvars(self):
+        _, text, _ = self._wave(fig1_model())
+        body = text.split("$enddefinitions $end", 1)[1]
+        first_block = body.strip().splitlines()
+        assert first_block[0] == "#0"
+        assert first_block[1] == "$dumpvars"
+        assert "$end" in first_block
+
+    def test_dumpvars_covers_every_watched_signal(self):
+        sim, _, wave = self._wave(fig1_model())
+        assert wave.initialized == set(sim.tracer.watched_names)
+
+    def test_disc_at_tick_zero_reads_z_not_x(self):
+        # Buses are undriven at cs1.ra; the dump states that as 'z'.
+        _, _, wave = self._wave(fig1_model())
+        assert wave.value_at("B1", 0) == DISC
+
+    def test_undumped_signal_reads_x_before_first_change(self):
+        # Hand-written VCD with a declared-but-never-initialized wire:
+        # VCD semantics leave it uninitialized (= x), not DISC.
+        text = (
+            "$timescale 1ns $end\n"
+            "$scope module t $end\n"
+            "$var integer 32 ! A $end\n"
+            "$var integer 32 \" B $end\n"
+            "$upscope $end\n$enddefinitions $end\n"
+            "#0\n$dumpvars\nb10 !\n$end\n"
+            "#5\nb11 \"\n"
+        )
+        wave = parse_vcd(text)
+        assert wave.initialized == {"A"}
+        assert wave.value_at("A", 0) == 2
+        assert wave.value_at("B", 0) == ILLEGAL  # uninitialized, not z
+        assert wave.value_at("B", 5) == 3
+
+    def test_round_trip_preserves_the_distinction(self):
+        sim, _, wave = self._wave(conflict_model())
+        # Every watched signal was dumped, so nothing reads the
+        # uninitialized-x fallback at tick 0 unless it truly was x.
+        for name in sim.tracer.watched_names:
+            expected = sim.tracer.samples[0].values[name]
+            assert wave.value_at(name, 0) == expected
+
+    def test_compiled_backend_dumps_identically(self):
+        _, text_event, _ = self._wave(fig1_model())
+        _, text_compiled, _ = self._wave(fig1_model(), backend="compiled")
+        assert text_event == text_compiled

@@ -288,8 +288,10 @@ class TestCliErrorPaths:
         assert "error:" in capsys.readouterr().err
 
     def test_report_malformed_log(self, tmp_path, capsys):
+        # Mid-file corruption is still an error; only a malformed
+        # *final* record (truncation) is skipped leniently.
         bad = tmp_path / "bad.jsonl"
-        bad.write_text("this is not json\n")
+        bad.write_text('this is not json\n{"event":"step"}\n')
         assert main(["report", str(bad)]) == 1
         assert "not a JSON event record" in capsys.readouterr().err
 
@@ -429,3 +431,238 @@ class TestBatchedCli:
         record = json.loads(out.read_text())
         assert record["model"]["name"] == "example"
         assert record["vectors"] == 10
+
+
+@pytest.fixture
+def clash_json(tmp_path):
+    model = RTModel("clash", cs_max=4)
+    model.register("R1", init=1)
+    model.register("R2", init=2)
+    model.register("R3")
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,2,ADD,3,B1,R3)")
+    model.add_transfer("(R2,B1,R1,B2,2,ADD,3,B2,R3)")
+    path = tmp_path / "clash.json"
+    dump(model, path)
+    return path
+
+
+class TestMonitorCli:
+    def test_monitor_clean_run_passes(self, fig1_json, capsys):
+        assert main(["simulate", str(fig1_json), "--monitor"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS never_illegal" in out
+        assert "PASS no_conflicts" in out
+
+    def test_monitor_violations_fail_the_run(self, clash_json, capsys):
+        assert main(["simulate", str(clash_json), "--monitor"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL never_illegal" in out
+        assert "cs2.rb" in out
+
+    def test_assert_out_writes_report_json(
+        self, clash_json, tmp_path, capsys
+    ):
+        report = tmp_path / "report.json"
+        assert main([
+            "simulate", str(clash_json), "--monitor",
+            "--backend", "compiled", "--assert-out", str(report),
+        ]) == 1
+        doc = json.loads(report.read_text())
+        assert doc["ok"] is False
+        assert doc["violations"][0]["cs"] == 2
+
+    def test_assert_file_drives_the_monitor(
+        self, fig1_json, tmp_path, capsys
+    ):
+        props = tmp_path / "props.json"
+        props.write_text(json.dumps([
+            {"type": "stable_between", "register": "R1",
+             "from": 1, "to": 7, "label": "r1-frozen"},
+        ]))
+        assert main([
+            "simulate", str(fig1_json), "--assert-file", str(props),
+        ]) == 1  # R1 latches 5 at cs7.ra
+        out = capsys.readouterr().out
+        assert "FAIL r1-frozen" in out
+
+    def test_monitor_on_run_subcommand(self, fig1_vhd, capsys):
+        assert main([
+            "run", str(fig1_vhd), "--top", "example", "--monitor",
+        ]) == 0
+        assert "PASS no_conflicts" in capsys.readouterr().out
+
+    def test_monitor_on_iks(self, capsys):
+        assert main([
+            "iks", "--target", "2.5,1.0", "--backend", "compiled",
+            "--monitor",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact   : True" in out
+        assert "assertion report:" in out
+
+    @needs_numpy
+    def test_monitor_on_batched_sweep(self, clash_json, tmp_path, capsys):
+        report = tmp_path / "lanes.json"
+        assert main([
+            "simulate", str(clash_json), "--backend", "compiled-batched",
+            "--batch", "3", "--monitor", "--assert-out", str(report),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "violations over 3 lanes" in out
+        assert "lane 0:" in out
+        docs = json.loads(report.read_text())
+        assert len(docs) == 3
+        assert all(not d["ok"] for d in docs)
+
+    def test_assert_out_requires_monitoring(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--assert-out", "r.json",
+        ]) == 1
+        assert "--assert-out needs" in capsys.readouterr().err
+
+    def test_bad_assert_file_reports_error(
+        self, fig1_json, tmp_path, capsys
+    ):
+        props = tmp_path / "bad.json"
+        props.write_text('[{"type": "bogus"}]')
+        assert main([
+            "simulate", str(fig1_json), "--assert-file", str(props),
+        ]) == 1
+        assert "property #1" in capsys.readouterr().err
+
+    def test_profile_sample_flag(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--profile", "--profile-sample", "3",
+        ]) == 0
+        assert "every 3" in capsys.readouterr().out
+
+    def test_profile_sample_requires_profile(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--profile-sample", "3",
+        ]) == 1
+        assert "--profile-sample needs" in capsys.readouterr().err
+
+
+class TestStreamCli:
+    def _free_port(self):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        return port
+
+    def test_stream_serves_the_run(self, clash_json):
+        import io
+        import threading
+
+        from repro.observe import watch_stream
+
+        port = self._free_port()
+        codes = {}
+
+        def runner():
+            codes["rc"] = main([
+                "simulate", str(clash_json), "--monitor",
+                "--stream", f"127.0.0.1:{port}", "--stream-wait", "10",
+            ])
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        events = []
+        deadline = 50
+        while deadline:
+            try:
+                watch_stream(
+                    "127.0.0.1", port, out=io.StringIO(), timeout=10.0,
+                    on_event=events.append,
+                )
+                break
+            except OSError:
+                import time
+
+                time.sleep(0.1)
+                deadline -= 1
+        thread.join(timeout=30.0)
+        assert codes["rc"] == 1  # conflicts + violations
+        kinds = {e["event"] for e in events}
+        assert "violation" in kinds and "conflict" in kinds
+        assert events[-1]["event"] == "run_end"
+
+    def test_watch_renders_a_live_stream(self, capsys):
+        import threading
+
+        from repro.observe import StreamServer
+
+        with StreamServer(wait_for_client=10.0) as server:
+            host, port = server.address
+
+            def feeder():
+                server._have_client.wait(10.0)
+                server.emit({"event": "step", "cs": 1})
+                server.emit({
+                    "event": "violation", "cs": 2, "ph": "rb",
+                    "property": "never_illegal", "signal": "B1",
+                    "message": "observed ILLEGAL",
+                })
+                server.close()
+
+            thread = threading.Thread(target=feeder, daemon=True)
+            thread.start()
+            assert main([
+                "watch", f"{host}:{port}", "--timeout", "10",
+            ]) == 0
+            thread.join(timeout=10.0)
+        captured = capsys.readouterr()
+        assert "VIOLATION" in captured.out
+        assert "never_illegal" in captured.out
+
+    def test_watch_connection_refused(self, capsys):
+        port = self._free_port()
+        assert main([
+            "watch", f"127.0.0.1:{port}", "--timeout", "0.5",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_watch_bad_endpoint(self, capsys):
+        assert main(["watch", "not-a-port"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_wait_requires_stream(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--stream-wait", "5",
+        ]) == 1
+        assert "--stream-wait needs" in capsys.readouterr().err
+
+    @needs_numpy
+    def test_batched_rejects_stream(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+            "--stream", "127.0.0.1:0",
+        ]) == 1
+        assert "single-run output" in capsys.readouterr().err
+
+
+class TestReportOnTruncatedLogs:
+    def test_report_survives_a_truncated_recording(
+        self, fig1_json, tmp_path, capsys
+    ):
+        log = tmp_path / "run.jsonl"
+        assert main(["simulate", str(fig1_json), "--observe", str(log)]) == 0
+        capsys.readouterr()
+        lines = log.read_text().splitlines()
+        log.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:9])
+        with pytest.warns(UserWarning, match="truncated"):
+            assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "run report: example [event]" in out
+
+    def test_report_on_empty_log(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        assert main(["report", str(log)]) == 0
+        assert capsys.readouterr().out

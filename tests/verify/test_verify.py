@@ -244,3 +244,65 @@ class TestRoundtrip:
             )
         report = check_model_roundtrip(m)
         assert report.ok, str(report)
+
+
+class TestMonitorOracle:
+    """``check_program_vs_model(properties=...)``: the runtime monitors
+    as an extra oracle over the same trial vectors."""
+
+    def _properties(self, model):
+        from repro.observe import default_properties
+
+        return default_properties(model)
+
+    def test_clean_synthesis_passes_the_monitor_oracle(self):
+        res = synthesize("s = a + b\nt = s * a\n")
+        results = check_program_vs_model(
+            res.program, res.model, res.output_regs, trials=6,
+            properties=self._properties(res.model),
+        )
+        assert all_equivalent(results)
+        monitor_results = [r for r in results if r.method == "monitor"]
+        assert [r.variable for r in monitor_results] == [
+            "never_illegal", "no_conflicts",
+        ]
+
+    def test_scalar_backend_sweep_agrees(self):
+        res = synthesize("s = a + b\n")
+        batched = check_program_vs_model(
+            res.program, res.model, res.output_regs, trials=4,
+            properties=self._properties(res.model),
+        )
+        scalar = check_program_vs_model(
+            res.program, res.model, res.output_regs, trials=4,
+            backend="compiled",
+            properties=self._properties(res.model),
+        )
+        assert [(r.variable, r.equivalent) for r in batched] \
+            == [(r.variable, r.equivalent) for r in scalar]
+
+    def test_temporal_property_failure_is_a_monitor_result(self):
+        # Functional equivalence holds, but a temporal property the
+        # schedule breaks (the output register is latched mid-run, so
+        # it is NOT stable over the whole run) fails with the first
+        # offending trial vector as counterexample -- something the
+        # expression-level check cannot express at all.
+        from repro.observe import stable_between
+
+        res = synthesize("t = a + b\ns = t * a\n")
+        out_reg = res.output_regs["t"]  # latched mid-run (cs2.ra)
+        results = check_program_vs_model(
+            res.program, res.model, res.output_regs, trials=4,
+            properties=[
+                stable_between(out_reg, 1, res.model.cs_max),
+            ],
+        )
+        functional = [r for r in results if r.method != "monitor"]
+        assert all_equivalent(functional)
+        monitor_results = [r for r in results if r.method == "monitor"]
+        assert len(monitor_results) == 1
+        failing = monitor_results[0]
+        assert not failing.equivalent
+        assert failing.register == out_reg
+        assert failing.counterexample is not None
+        assert set(failing.counterexample) == set(res.program.inputs)
