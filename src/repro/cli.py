@@ -10,6 +10,7 @@ Subcommands::
     repro clocked  model.json          translate to clocked RTL (VHDL)
     repro synth    program.alg         HLS: algorithmic source -> model
     repro iks      --target 2.5,1.0    run the IKS case study
+    repro plan     model.json          lower a model, inspect its Plan IR
     repro report   run.jsonl           render a recorded run report
     repro watch    HOST:PORT           tail a live --stream NDJSON feed
     repro bench    [--model m.json]    batched-vs-sequential sweep benchmark
@@ -168,6 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_iks)
 
     p = sub.add_parser(
+        "plan",
+        help="lower a model through the shared pipeline and inspect "
+        "the resulting Plan IR",
+    )
+    p.add_argument("file", help="model JSON file")
+    p.add_argument(
+        "--digest", action="store_true",
+        help="print only the plan's content digest",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the plan summary as JSON instead of text",
+    )
+    p.add_argument(
+        "--plan-cache", nargs="?", const=True, default=None, metavar="DIR",
+        help="consult (and fill) the on-disk plan cache; default root is "
+        "$REPRO_PLAN_CACHE or ~/.cache/repro, pass DIR to override",
+    )
+    p.set_defaults(handler=cmd_plan)
+
+    p = sub.add_parser(
         "report", help="render a recorded JSONL event log as a run report"
     )
     p.add_argument("file", help="JSONL event log (from --observe)")
@@ -218,8 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the benchmark record here (default "
-        "BENCH_batched.json, or BENCH_sharded.json with --sharded); "
-        "parent directories are created",
+        "BENCH_batched.json, BENCH_sharded.json with --sharded, or "
+        "BENCH_plan.json with --plan); parent directories are created",
     )
     p.add_argument(
         "--sharded", action="store_true",
@@ -232,7 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--repeat", type=int, default=3, metavar="N",
-        help="with --sharded: timed runs per backend, best-of (default 3)",
+        help="with --sharded/--plan: timed runs, best-of (default 3)",
+    )
+    p.add_argument(
+        "--plan", action="store_true",
+        help="benchmark cold lowering vs a warm plan-cache hit "
+        "(default model: the E6 IKS chip)",
     )
     p.set_defaults(handler=cmd_bench)
     return parser
@@ -253,6 +280,16 @@ def _add_backend_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--shards", type=int, default=None, metavar="K",
         help="sharded backend: worker-process count (default 2)",
+    )
+    p.add_argument(
+        "--plan-cache", nargs="?", const=True, default=None, metavar="DIR",
+        help="compiled backends: reuse lowered plans from the on-disk "
+        "content-addressed cache (default root: $REPRO_PLAN_CACHE or "
+        "~/.cache/repro; pass DIR to override)",
+    )
+    p.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="lower from scratch, ignoring any plan cache (the default)",
     )
 
 
@@ -319,6 +356,34 @@ def _validate_backend_flags(args, allow_batched: bool = False) -> None:
         )
     if args.shards is not None and args.shards < 1:
         raise ValueError(f"--shards must be >= 1, got {args.shards}")
+    if getattr(args, "plan_cache", None) is not None:
+        if getattr(args, "no_plan_cache", False):
+            raise ValueError("--plan-cache and --no-plan-cache are exclusive")
+        if args.backend == "event":
+            raise ValueError(
+                "--plan-cache applies to the compiled backends only "
+                "(got --backend event)"
+            )
+
+
+def _plan_cache_arg(args):
+    """The ``plan_cache=`` value the backend flags asked for."""
+    if getattr(args, "no_plan_cache", False):
+        return False
+    return getattr(args, "plan_cache", None)
+
+
+def _print_plan_line(sim) -> None:
+    """One-line plan-cache verdict for runs through the lowering
+    pipeline (CI greps for ``plan_cache: hit``)."""
+    state = getattr(sim, "plan_cache_state", None)
+    if state is None or state == "off":
+        return
+    digest = sim.model_plan.digest
+    print(
+        f"-- plan_cache: {state} digest={digest[:16]} "
+        f"build_ms={sim.plan_build_ms:.2f}"
+    )
 
 
 class _ObserveSession:
@@ -485,7 +550,9 @@ def _run_via_model(args, text: str) -> int:
         trace=bool(args.vcd),
         observe=obs.probe,
         shards=args.shards,
+        plan_cache=_plan_cache_arg(args),
     ).run()
+    _print_plan_line(sim)
     wanted = [s.strip().lower() for s in args.signals.split(",") if s.strip()]
     values = {
         f"{name}_out": value for name, value in sim.registers.items()
@@ -552,7 +619,9 @@ def cmd_simulate(args) -> int:
         transfer_engine=not args.no_transfer_engine,
         observe=obs.probe,
         shards=args.shards,
+        plan_cache=_plan_cache_arg(args),
     ).run()
+    _print_plan_line(sim)
     for name, value in sorted(sim.registers.items()):
         print(f"{name} = {format_value(value)}")
     if sim.conflicts:
@@ -636,8 +705,10 @@ def _simulate_batched(args, model, overrides: dict) -> int:
 
         watch = monitored_watch_list(model)
     sim = model.elaborate(
-        register_values=vectors, backend="compiled-batched", watch=watch
+        register_values=vectors, backend="compiled-batched", watch=watch,
+        plan_cache=_plan_cache_arg(args),
     ).run()
+    _print_plan_line(sim)
     clean_count = int(sim.clean_mask.sum())
     total = len(vectors)
     if total <= 8:
@@ -780,7 +851,9 @@ def cmd_iks(args) -> int:
     run, ref = crosscheck(
         px, py, backend=backend, transfer_engine=transfer_engine,
         trace=bool(args.vcd), observe=obs.probe, shards=args.shards,
+        plan_cache=_plan_cache_arg(args),
     )
+    _print_plan_line(run.simulation)
     fx, fy = forward_kinematics(run.theta1_rad, run.theta2_rad)
     print(f"target      : ({px}, {py})")
     print(f"chip        : theta1={run.theta1_rad:.6f}  theta2={run.theta2_rad:.6f}")
@@ -815,7 +888,9 @@ def _cmd_iks3(args, px: float, py: float, phi: float, obs: _ObserveSession) -> i
         trace=bool(args.vcd),
         observe=obs.probe,
         shards=args.shards,
+        plan_cache=_plan_cache_arg(args),
     )
+    _print_plan_line(run.simulation)
     ref = solve_ik3(px, py, phi)
     fx, fy, fphi = forward_kinematics3(
         run.theta1_rad, run.theta2_rad, run.theta3_rad
@@ -840,6 +915,35 @@ def _cmd_iks3(args, px: float, py: float, phi: float, obs: _ObserveSession) -> i
     )
     assertions_ok = _emit_iks_observe(args, run.simulation, obs)
     return 0 if (run.clean and exact and assertions_ok) else 1
+
+
+def cmd_plan(args) -> int:
+    """`repro plan`: lower a model and print the Plan IR summary.
+
+    The model goes through the exact pipeline every compiled backend
+    elaborates with (:func:`repro.engine.plan.lower`), so the printed
+    digest is the cache key a ``--plan-cache`` run would use.
+    """
+    from .engine.plan import resolve_plan
+
+    model = load_model(args.file)
+    handle = resolve_plan(model, plan_cache=args.plan_cache)
+    plan = handle.plan
+    if args.digest:
+        print(plan.digest)
+        return 0
+    if args.json:
+        import json
+
+        print(json.dumps(plan.summary(), indent=2))
+    else:
+        print(plan.describe())
+    if handle.source != "off":
+        print(
+            f"-- plan_cache: {handle.source} "
+            f"build_ms={handle.build_ms:.2f}"
+        )
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -916,10 +1020,18 @@ def cmd_bench(args) -> int:
     ``--shards`` workers, best of ``--repeat``), verified bit-identical
     and recorded as ``BENCH_sharded.json`` with per-shard barrier
     metrics.
+
+    ``--plan`` switches to the lowering benchmark: cold plan lowering
+    vs a warm content-addressed cache hit, recorded as
+    ``BENCH_plan.json`` (see :func:`_bench_plan`).
     """
     import random
     import time
 
+    if args.plan and args.sharded:
+        raise ValueError("--plan and --sharded are exclusive")
+    if args.plan:
+        return _bench_plan(args)
     if args.sharded:
         return _bench_sharded(args)
     if args.vectors < 1:
@@ -1105,6 +1217,85 @@ def _bench_sharded(args) -> int:
         f"(barrier sync each of {model.cs_max} steps)"
     )
     print(shard_sim.plan.describe())
+    print(f"-- wrote {written}")
+    return 0
+
+
+def _bench_plan(args) -> int:
+    """`repro bench --plan`: cold lowering vs a warm plan-cache hit.
+
+    Cold is the lowering step a cache miss pays
+    (:func:`repro.engine.plan.lower` + cache fill); warm is what a hit
+    replaces it with (read + unpickle).  The content digest is the
+    cache *key* and is computed identically on both paths, so it is
+    timed separately (``digest_ms``) rather than folded into the
+    ratio.  Everything is best-of ``--repeat`` against a fresh
+    temporary cache; the record lands in ``BENCH_plan.json`` -- the
+    artifact CI tracks for the lowering pipeline.
+    """
+    import tempfile
+    import time
+
+    from .engine.plan import PlanCache, lower, model_digest
+
+    if args.repeat < 1:
+        raise ValueError(f"--repeat must be >= 1, got {args.repeat}")
+    if args.model:
+        model = load_model(args.model)
+        model_name = model.name
+    else:
+        from .iks.flow import build_ik_model
+
+        model, _ = build_ik_model(2.5, 1.0)
+        model_name = "iks E6 (built-in)"
+
+    digest_best = cold_best = warm_best = None
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = PlanCache(tmp)
+        plan = None
+        for _ in range(args.repeat):
+            t0 = time.perf_counter()
+            digest = model_digest(model)
+            digest_ms = time.perf_counter() - t0
+            stale = cache.path_for(digest)
+            if stale.exists():
+                stale.unlink()
+            t0 = time.perf_counter()
+            plan = lower(model, digest=digest)
+            cache.put(plan)
+            cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm_plan = cache.get(digest)
+            warm = time.perf_counter() - t0
+            if warm_plan is None or warm_plan.digest != plan.digest:
+                print("error: warm cache read did not return the plan",
+                      file=sys.stderr)
+                return 1
+
+            def best(prev, cur):
+                return cur if prev is None else min(prev, cur)
+
+            digest_best = best(digest_best, digest_ms)
+            cold_best = best(cold_best, cold)
+            warm_best = best(warm_best, warm)
+
+    speedup = cold_best / warm_best if warm_best > 0 else float("inf")
+    record = {
+        "benchmark": "plan-cache",
+        "model": _bench_model_record(model, model_name),
+        "digest": plan.digest,
+        "repeat": args.repeat,
+        "digest_ms": digest_best * 1e3,
+        "cold_ms": cold_best * 1e3,
+        "warm_ms": warm_best * 1e3,
+        "speedup": speedup,
+    }
+    written = _bench_write_record(record, args.out or "BENCH_plan.json")
+    print(
+        f"{model_name}: cold lower {cold_best * 1e3:.2f} ms, warm hit "
+        f"{warm_best * 1e3:.2f} ms, speedup {speedup:.1f}x "
+        f"(digest {plan.digest[:16]}, keyed in {digest_best * 1e3:.2f} ms)"
+    )
     print(f"-- wrote {written}")
     return 0
 

@@ -365,6 +365,8 @@ class RTModel:
         observe=None,
         shards: Optional[int] = None,
         partition: Optional[Mapping[str, int]] = None,
+        plan=None,
+        plan_cache=None,
     ):
         """Build an executable simulation for this model.
 
@@ -409,6 +411,14 @@ class RTModel:
             overriding the planner heuristic (see
             :mod:`repro.engine.partition`).  Passing either with any
             other backend is an error.
+        plan / plan_cache:
+            Compiled backends only.  ``plan`` supplies a pre-lowered
+            :class:`repro.engine.plan.Plan` for this model (skipping
+            lowering entirely); ``plan_cache`` enables the on-disk
+            content-addressed plan cache -- ``True`` for the default
+            root (``$REPRO_PLAN_CACHE`` or ``~/.cache/repro``), a path,
+            or a :class:`repro.engine.plan.PlanCache`.  The event
+            backend interprets the model directly and accepts neither.
 
         Returns a :class:`repro.engine.Backend` -- an
         :class:`repro.core.simulator.RTSimulation` for the default
@@ -433,6 +443,14 @@ class RTModel:
                 "shards/partition apply to backend='sharded' only "
                 f"(got backend={backend!r})"
             )
+        if plan is not None or plan_cache not in (None, False):
+            if backend == "event":
+                raise ModelError(
+                    "plan/plan_cache apply to the compiled backends only "
+                    "(got backend='event')"
+                )
+            kwargs["plan"] = plan
+            kwargs["plan_cache"] = plan_cache
         return create_backend(backend, self, **kwargs)
 
     # ------------------------------------------------------------------

@@ -17,7 +17,25 @@ from .backend import (
 )
 from .batched import CompiledBatchedRTSimulation
 from .compiled import CompiledRTSimulation, PortView
-from .partition import PartitionError, ShardPlan, connectivity_clusters, plan_shards
+from .partition import (
+    PartitionError,
+    ShardPlan,
+    connectivity_clusters,
+    plan_shards,
+    plan_shards_for,
+)
+from .plan import (
+    PLAN_VERSION,
+    ModulePlan,
+    Plan,
+    PlanCache,
+    PlanHandle,
+    PlanSlice,
+    lower,
+    model_digest,
+    resolve_plan,
+    slice_for_shard,
+)
 from .sharded import ShardedRTSimulation, ShardFailure
 
 __all__ = [
@@ -36,6 +54,17 @@ __all__ = [
     "ShardPlan",
     "connectivity_clusters",
     "plan_shards",
+    "plan_shards_for",
+    "PLAN_VERSION",
+    "ModulePlan",
+    "Plan",
+    "PlanCache",
+    "PlanHandle",
+    "PlanSlice",
+    "lower",
+    "model_digest",
+    "resolve_plan",
+    "slice_for_shard",
     "ShardedRTSimulation",
     "ShardFailure",
 ]

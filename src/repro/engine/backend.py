@@ -152,7 +152,7 @@ def run_metrics(
     profile: Optional[Any] = None,
     stream: Optional[Any] = None,
     monitor: Optional[Any] = None,
-) -> Dict[str, float]:
+) -> Dict[str, Any]:
     """One comparable metrics row for any backend.
 
     ``wall`` is the measured wall-clock time in seconds (the caller
@@ -182,6 +182,12 @@ def run_metrics(
     report ``shards``, ``syncs`` (step barriers per shard) and
     ``sync_bytes`` (total bytes exchanged over all worker pipes); the
     per-shard breakdown is available via :func:`shard_metrics_rows`.
+
+    Backends elaborated through the shared lowering pipeline (see
+    :mod:`repro.engine.plan`) report ``plan_cache`` -- one of ``hit``,
+    ``miss``, ``off`` or ``given`` -- and ``plan_build_ms``, the wall
+    time spent resolving the :class:`~repro.engine.plan.Plan` (digest
+    plus lower on a miss, digest plus unpickle on a hit).
     """
     stats = backend.stats
     if baseline is not None:
@@ -192,7 +198,7 @@ def run_metrics(
         conflict_count = sum(len(events) for events in conflicts)
     else:
         conflict_count = len(conflicts)
-    row: Dict[str, float] = {
+    row: Dict[str, Any] = {
         "deltas": stats.delta_cycles,
         "events": stats.events,
         "resumes": stats.process_resumes,
@@ -217,6 +223,10 @@ def run_metrics(
         violations = getattr(report, "violations", None)
         if violations is not None:
             row["violations"] = len(violations)
+    plan_cache_state = getattr(backend, "plan_cache_state", None)
+    if plan_cache_state is not None:
+        row["plan_cache"] = plan_cache_state
+        row["plan_build_ms"] = getattr(backend, "plan_build_ms", 0.0)
     shard_metrics = getattr(backend, "shard_metrics", None)
     if shard_metrics:
         row["shards"] = len(shard_metrics)

@@ -1,8 +1,10 @@
 """The compiled-batched backend: N input vectors, one schedule walk.
 
-:class:`CompiledBatchedRTSimulation` compiles the model exactly like
+:class:`CompiledBatchedRTSimulation` executes the same lowered
+:class:`~repro.engine.plan.Plan` as
 :class:`repro.engine.compiled.CompiledRTSimulation` -- same port table,
-same driver table, same per-``(step, phase)`` action tables -- but
+same driver table, same per-``(step, phase)`` action tables, produced
+by the one shared :func:`repro.engine.plan.lower` pipeline -- but
 holds the value plane as an ``(N, num_ports)`` numpy array
 (:class:`repro.core.values_np.BatchValueStore`) and executes the
 static schedule **once** for all N register-value vectors.  Everything
@@ -52,15 +54,12 @@ from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..core.diagnostics import ConflictEvent, ConflictLog
 from ..core.model import ModelError, RTModel
-from ..core.modules_lib import ModuleSpec
 from ..core.phases import PHASES_PER_STEP, Phase, StepPhase, iter_schedule
 from ..core.trace import TraceLog
-from ..core.transfer import TransSpec
 from ..core.values import DISC, ILLEGAL
 from ..core.values_np import (
     MAX_BATCH_WIDTH,
     BatchValueStore,
-    combine_batch,
     require_numpy,
     resolve_rt_batch,
 )
@@ -68,6 +67,13 @@ from ..kernel import SimStats
 from ..kernel.errors import DeltaCycleLimitError
 from ..observe.emit import emit_canonical_cycle
 from .compiled import _EXTRA_EVENTS, _SCHED_TX
+from .plan import (
+    Plan,
+    PlanCacheArg,
+    PlanHandle,
+    compile_module_eval_batch,
+    resolve_plan,
+)
 
 #: ``register_values`` accepted shapes: one mapping (N=1) or a
 #: sequence of mappings (N=len).
@@ -89,6 +95,8 @@ class CompiledBatchedRTSimulation:
         max_deltas: int = 1_000_000,
         transfer_engine: bool = True,
         observe=None,
+        plan: Union[None, Plan, PlanHandle] = None,
+        plan_cache: PlanCacheArg = None,
     ) -> None:
         del transfer_engine  # one compiled realization covers both
         np = require_numpy("the compiled-batched backend")
@@ -118,45 +126,26 @@ class CompiledBatchedRTSimulation:
             )
         self.batch_size = len(vectors)
 
-        # -- port table (same order the scalar backends declare) ---------
-        names: List[str] = []
-        inits: List[int] = []
-        resolved: set[int] = set()
-        self._index: dict[str, int] = {}
+        # -- the lowered IR (shared with every compiled-style backend) ---
+        handle = resolve_plan(model, plan, plan_cache)
+        p = handle.plan
+        self.model_plan: Plan = p
+        self.plan_cache_state: str = handle.source
+        self.plan_build_ms: float = handle.build_ms
 
-        def port(name: str, init: int, is_resolved: bool = False) -> int:
-            idx = len(names)
-            names.append(name)
-            inits.append(init)
-            self._index[name] = idx
-            if is_resolved:
-                resolved.add(idx)
-            return idx
-
-        for bus in model.buses.values():
-            port(bus.name, DISC, is_resolved=True)
-        self._reg_out_idx: dict[str, int] = {}
-        reg_latches: List[tuple[int, int]] = []
-        for reg in model.registers.values():
-            in_idx = port(f"{reg.name}_in", DISC, is_resolved=True)
-            out_idx = port(f"{reg.name}_out", reg.init)
-            self._reg_out_idx[reg.name] = out_idx
-            reg_latches.append((in_idx, out_idx))
-        self._reg_latches = reg_latches
-        module_ports: List[tuple[ModuleSpec, List[int], int, Optional[int]]] = []
-        for spec in model.modules.values():
-            in_idxs = [
-                port(f"{spec.name}_in{i}", DISC, is_resolved=True)
-                for i in range(1, spec.arity + 1)
-            ]
-            out_idx = port(f"{spec.name}_out", DISC)
-            op_idx = None
-            if spec.multi_op:
-                op_idx = port(f"{spec.name}_op", DISC, is_resolved=True)
-            module_ports.append((spec, in_idxs, out_idx, op_idx))
-
+        # -- port table (plan declaration order) -------------------------
+        self._index: dict[str, int] = dict(p.port_index)
+        self._reg_out_idx: dict[str, int] = {
+            reg: out_idx for reg, _in_idx, out_idx in p.reg_ports
+        }
+        self._reg_latches: List[tuple[int, int]] = [
+            (in_idx, out_idx) for _reg, in_idx, out_idx in p.reg_ports
+        ]
         self._store = BatchValueStore(
-            self.batch_size, names, inits, resolved
+            self.batch_size,
+            list(p.port_names),
+            list(p.port_inits),
+            set(p.resolved),
         )
         self._names = self._store.names
         values = self._store.values
@@ -167,47 +156,28 @@ class CompiledBatchedRTSimulation:
                 if init != DISC:
                     init %= 1 << model.width
                 values[i, self._reg_out_idx[reg]] = init
+        # Operation bodies live in the model; the plan carries layout.
         self._module_evals = [
             (
-                out_idx,
-                _compile_module_batch(
-                    spec, values, in_idxs, op_idx, self.batch_size
+                mp.out_idx,
+                compile_module_eval_batch(
+                    mp,
+                    model.modules[mp.name].operations,
+                    values,
+                    self.batch_size,
                 ),
             )
-            for spec, in_idxs, out_idx, op_idx in module_ports
+            for mp in p.modules
         ]
 
         # -- driver table (one per TRANS instance, in spec order) --------
-        self._drv_owner: List[str] = []
-        self._drv_sink: List[int] = []
-        self._sink_drivers: dict[int, List[int]] = {}
-        asserts: dict[tuple[int, int], List[tuple[int, Optional[int], int]]] = {}
-        releases: dict[tuple[int, int], List[int]] = {}
-        for spec in model.trans_specs():
-            sink = self._port(spec.sink)
-            if sink not in self._store.resolved:
-                raise ModelError(
-                    f"transfer {spec.name}: sink {spec.sink!r} is not a "
-                    f"resolved port"
-                )
-            drv = len(self._drv_owner)
-            self._drv_owner.append(spec.name)
-            self._drv_sink.append(sink)
-            self._sink_drivers.setdefault(sink, []).append(drv)
-            if spec.source.startswith("op:"):
-                src, const = None, self._op_code(spec)
-            else:
-                src, const = self._port(spec.source), 0
-            asserts.setdefault((spec.step, int(spec.phase)), []).append(
-                (drv, src, const)
-            )
-            releases.setdefault(
-                (spec.step, int(spec.phase.succ())), []
-            ).append(drv)
-        self._asserts = asserts
-        self._releases = releases
+        self._drv_owner = p.drv_owner
+        self._drv_sink = p.drv_sink
+        self._sink_drivers = p.sink_drivers
+        self._asserts = p.asserts
+        self._releases = p.releases
         self._contrib = np.full(
-            (self.batch_size, len(self._drv_owner)), DISC, dtype=np.int64
+            (self.batch_size, p.num_drivers), DISC, dtype=np.int64
         )
 
         # -- observers ---------------------------------------------------
@@ -525,110 +495,3 @@ class CompiledBatchedRTSimulation:
         except KeyError:
             raise KeyError(f"unknown signal {name!r}") from None
         return self._store.values[:, idx].copy()
-
-    def _port(self, name: str) -> int:
-        try:
-            return self._index[name]
-        except KeyError:
-            raise ModelError(
-                f"transfer references unknown port or bus {name!r}"
-            ) from None
-
-    def _op_code(self, spec: TransSpec) -> int:
-        op_name = spec.source[3:]
-        module_name = spec.sink.rsplit("_op", 1)[0]
-        return self.model.modules[module_name].op_code(op_name)
-
-
-def _compile_module_batch(
-    spec: ModuleSpec,
-    values,
-    in_idxs: List[int],
-    op_idx: Optional[int],
-    n: int,
-):
-    """Compile one functional unit into a batched CM-phase evaluator.
-
-    The lane-wise twin of :func:`repro.engine.compiled._compile_module`:
-    internal state becomes ``(N,)`` (or ``(latency, N)``) arrays, the
-    scalar branches become lane masks, and the returned closure yields
-    the ``(N,)`` column to drive on the output port this cycle.
-    """
-    np = require_numpy("the compiled-batched backend")
-    names = sorted(spec.operations)
-    default = spec.operations[spec.default_op]
-    default_code = names.index(spec.default_op)
-    width = spec.width
-
-    def combined():
-        cols = [values[:, i] for i in in_idxs]
-        if op_idx is None:
-            return combine_batch(default, cols, width)
-        codes = values[:, op_idx]
-        effective = np.where(codes == DISC, default_code, codes)
-        valid = (
-            (codes != ILLEGAL)
-            & (effective >= 0)
-            & (effective < len(names))
-        )
-        out = np.full(n, ILLEGAL, dtype=np.int64)
-        for code in np.unique(effective[valid]):
-            lanes = valid & (effective == code)
-            op = spec.operations[names[int(code)]]
-            out[lanes] = combine_batch(
-                op, [col[lanes] for col in cols], width
-            )
-        return out
-
-    if spec.latency == 0:
-        frozen = np.zeros(n, dtype=bool)
-
-        def comb_eval():
-            result = combined()
-            out = np.where(frozen, ILLEGAL, result)
-            if spec.sticky_illegal:
-                frozen[:] = frozen | (result == ILLEGAL)
-            return out
-
-        return comb_eval
-
-    if spec.pipelined:
-        pipe = np.full((spec.latency, n), DISC, dtype=np.int64)
-        frozen = np.zeros(n, dtype=bool)
-
-        def pipe_eval():
-            out = np.where(frozen, ILLEGAL, pipe[-1])
-            active = ~frozen
-            stage = combined()
-            if spec.sticky_illegal:
-                frozen[:] = frozen | (active & (stage == ILLEGAL))
-            shifted = np.vstack([stage[None, :], pipe[:-1]])
-            pipe[:] = np.where(active[None, :], shifted, pipe)
-            return out
-
-        return pipe_eval
-
-    remaining = np.zeros(n, dtype=np.int64)
-    result = np.full(n, DISC, dtype=np.int64)
-    frozen = np.zeros(n, dtype=bool)
-
-    def nonpipe_eval():
-        active = ~frozen
-        incoming = combined()
-        busy = remaining > 0
-        m_busy = active & busy
-        remaining[:] = np.where(m_busy, remaining - 1, remaining)
-        result[:] = np.where(
-            m_busy & (incoming != DISC), ILLEGAL, result
-        )
-        m_start = active & ~busy & (incoming != DISC)
-        remaining[:] = np.where(m_start, spec.latency, remaining)
-        result[:] = np.where(m_start, incoming, result)
-        done = remaining == 0
-        out = np.where((m_busy | m_start) & done, result, DISC)
-        out = np.where(frozen, ILLEGAL, out)
-        if spec.sticky_illegal:
-            frozen[:] = frozen | (active & (result == ILLEGAL) & done)
-        return out
-
-    return nonpipe_eval

@@ -2,15 +2,18 @@
 
 Instead of elaborating the model onto the generic delta-cycle kernel
 (heap of pending transactions, generator processes, waiter sets), this
-backend *compiles* the model at elaboration time: the static schedule
-is turned into per-``(step, phase)`` action tables -- transfer asserts
-and releases, module evaluations in CM, register latches in CR --
-which :meth:`CompiledRTSimulation.run` then executes as a straight
-loop over :func:`repro.core.phases.iter_schedule`.  This is exactly
-the activation indexing a compiled VHDL simulator derives from the
-subset's ``wait until CS = S and PH = P`` conditions (cf. the AOC
+backend executes the model's lowered :class:`~repro.engine.plan.Plan`:
+the static schedule turned into per-``(step, phase)`` action tables --
+transfer asserts and releases, module evaluations in CM, register
+latches in CR -- which :meth:`CompiledRTSimulation.run` walks as a
+straight loop over :func:`repro.core.phases.iter_schedule`.  This is
+exactly the activation indexing a compiled VHDL simulator derives from
+the subset's ``wait until CS = S and PH = P`` conditions (cf. the AOC
 C-model derivation in PAPERS.md): the schedule is static, so no
-runtime scheduler is needed.
+runtime scheduler is needed.  Lowering itself lives in
+:func:`repro.engine.plan.lower` (shared with the batched and sharded
+backends) and can be skipped entirely on a
+:class:`~repro.engine.plan.PlanCache` hit.
 
 Observable behaviour is **bit-identical** to the event kernel:
 
@@ -36,18 +39,23 @@ benchmark compares against the event kernel's per-component wakeups.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional
+from typing import Iterable, List, Mapping, Optional, Union
 
 from ..core.diagnostics import ConflictEvent, ConflictLog
 from ..core.model import ModelError, RTModel
-from ..core.modules_lib import ModuleSpec, Operation, _combine
 from ..core.phases import PHASES_PER_STEP, Phase, StepPhase, iter_schedule
 from ..core.trace import TraceLog
-from ..core.transfer import TransSpec
 from ..core.values import DISC, ILLEGAL, resolve_rt
 from ..kernel import SimStats
 from ..kernel.errors import DeltaCycleLimitError
 from ..observe.emit import emit_canonical_cycle
+from .plan import (
+    Plan,
+    PlanCacheArg,
+    PlanHandle,
+    compile_module_eval,
+    resolve_plan,
+)
 
 #: Per-cycle bookkeeping phases: CS changes in RA, ticks fire in CM/CR.
 _EXTRA_EVENTS = {int(Phase.RA): 1, int(Phase.CM): 1, int(Phase.CR): 1}
@@ -97,6 +105,13 @@ class CompiledRTSimulation:
     result surface (``registers``, ``conflicts``, ``clean``, ``stats``,
     ``monitor``, ``tracer``, ``signal``, ``run_steps``).
 
+    ``plan`` / ``plan_cache`` select the lowered IR the executor runs:
+    an explicit :class:`~repro.engine.plan.Plan` skips lowering, and a
+    cache turns repeat elaborations of the same model into a digest +
+    unpickle.  ``model_plan`` exposes the Plan in use;
+    ``plan_cache_state`` (``hit`` / ``miss`` / ``off`` / ``given``) and
+    ``plan_build_ms`` feed the :func:`repro.engine.run_metrics` row.
+
     ``observe`` attaches a :class:`repro.observe.Probe`; the executor
     then emits, per cycle, the canonical stream the event kernel's
     adapter produces -- conflicts first (via the monitor listener),
@@ -119,6 +134,8 @@ class CompiledRTSimulation:
         max_deltas: int = 1_000_000,
         transfer_engine: bool = True,
         observe=None,
+        plan: Union[None, Plan, PlanHandle] = None,
+        plan_cache: PlanCacheArg = None,
     ) -> None:
         del transfer_engine  # one compiled realization covers both
         self.model = model
@@ -130,80 +147,46 @@ class CompiledRTSimulation:
                 f"register_values for unknown registers: {sorted(unknown)}"
             )
 
-        # -- port table (same order the event elaboration declares) -----
-        self._names: List[str] = []
-        self._values: List[int] = []
-        self._index: dict[str, int] = {}
-        self._resolved: set[int] = set()
+        # -- the lowered IR (shared with every compiled-style backend) ---
+        handle = resolve_plan(model, plan, plan_cache)
+        p = handle.plan
+        self.model_plan: Plan = p
+        self.plan_cache_state: str = handle.source
+        self.plan_build_ms: float = handle.build_ms
 
-        def port(name: str, init: int, resolved: bool = False) -> int:
-            idx = len(self._names)
-            self._names.append(name)
-            self._values.append(init)
-            self._index[name] = idx
-            if resolved:
-                self._resolved.add(idx)
-            return idx
-
-        for bus in model.buses.values():
-            port(bus.name, DISC, resolved=True)
-        self._reg_out_idx: dict[str, int] = {}
-        reg_latches: List[tuple[int, int]] = []
-        for reg in model.registers.values():
-            init = overrides.get(reg.name, reg.init)
+        # -- port table (plan declaration order) -------------------------
+        self._names: List[str] = list(p.port_names)
+        self._values: List[int] = list(p.port_inits)
+        self._index: dict[str, int] = dict(p.port_index)
+        self._resolved: set[int] = set(p.resolved)
+        self._reg_out_idx: dict[str, int] = {
+            reg: out_idx for reg, _in_idx, out_idx in p.reg_ports
+        }
+        for reg, init in overrides.items():
             if init != DISC:
                 init %= 1 << model.width
-            in_idx = port(f"{reg.name}_in", DISC, resolved=True)
-            out_idx = port(f"{reg.name}_out", init)
-            self._reg_out_idx[reg.name] = out_idx
-            reg_latches.append((in_idx, out_idx))
-        self._reg_latches = reg_latches
-        module_evals = []
-        for spec in model.modules.values():
-            in_idxs = [
-                port(f"{spec.name}_in{i}", DISC, resolved=True)
-                for i in range(1, spec.arity + 1)
-            ]
-            out_idx = port(f"{spec.name}_out", DISC)
-            op_idx = None
-            if spec.multi_op:
-                op_idx = port(f"{spec.name}_op", DISC, resolved=True)
-            module_evals.append(
-                (out_idx, _compile_module(spec, self._values, in_idxs, op_idx))
+            self._values[self._reg_out_idx[reg]] = init
+        self._reg_latches: List[tuple[int, int]] = [
+            (in_idx, out_idx) for _reg, in_idx, out_idx in p.reg_ports
+        ]
+        # Operation bodies live in the model; the plan carries layout.
+        self._module_evals = [
+            (
+                mp.out_idx,
+                compile_module_eval(
+                    mp, model.modules[mp.name].operations, self._values
+                ),
             )
-        self._module_evals = module_evals
+            for mp in p.modules
+        ]
 
         # -- driver table (one per TRANS instance, in spec order) --------
-        self._drv_contrib: List[int] = []
-        self._drv_owner: List[str] = []
-        self._drv_sink: List[int] = []
-        self._sink_drivers: dict[int, List[int]] = {}
-        asserts: dict[tuple[int, int], List[tuple[int, Optional[int], int]]] = {}
-        releases: dict[tuple[int, int], List[int]] = {}
-        for spec in model.trans_specs():
-            sink = self._port(spec.sink)
-            if sink not in self._resolved:
-                raise ModelError(
-                    f"transfer {spec.name}: sink {spec.sink!r} is not a "
-                    f"resolved port"
-                )
-            drv = len(self._drv_contrib)
-            self._drv_contrib.append(DISC)
-            self._drv_owner.append(spec.name)
-            self._drv_sink.append(sink)
-            self._sink_drivers.setdefault(sink, []).append(drv)
-            if spec.source.startswith("op:"):
-                src, const = None, self._op_code(spec)
-            else:
-                src, const = self._port(spec.source), 0
-            asserts.setdefault((spec.step, int(spec.phase)), []).append(
-                (drv, src, const)
-            )
-            releases.setdefault(
-                (spec.step, int(spec.phase.succ())), []
-            ).append(drv)
-        self._asserts = asserts
-        self._releases = releases
+        self._drv_contrib: List[int] = [DISC] * p.num_drivers
+        self._drv_owner = p.drv_owner
+        self._drv_sink = p.drv_sink
+        self._sink_drivers = p.sink_drivers
+        self._asserts = p.asserts
+        self._releases = p.releases
 
         # -- observers ---------------------------------------------------
         self._probe = observe
@@ -214,7 +197,7 @@ class CompiledRTSimulation:
         #: port indices whose effective value changed this cycle
         #: (tracked only while a probe is attached).
         self._cycle_changed: set[int] = set()
-        self._bus_count = len(model.buses)
+        self._bus_count = p.bus_count
         self.tracer: Optional[TraceLog] = None
         self._trace_items: Optional[List[tuple[str, int]]] = None
         if trace or watch:
@@ -283,7 +266,6 @@ class CompiledRTSimulation:
     def _execute_until(self, end_pos: int) -> None:
         stats = self.stats
         values = self._values
-        contrib = self._drv_contrib
         tracer = self.tracer
         while self._pos < end_pos:
             at = self._schedule[self._pos]
@@ -331,7 +313,6 @@ class CompiledRTSimulation:
                     if values[in_idx] != DISC:
                         self._pend_out.append((out_idx, values[in_idx]))
                         stats.transactions += 1
-        del contrib
 
     def _finish(self) -> None:
         """The trailing delta cycle, when the final CR left updates in
@@ -476,108 +457,3 @@ class CompiledRTSimulation:
             return PortView(name, self._values, self._index[name])
         except KeyError:
             raise KeyError(f"unknown signal {name!r}") from None
-
-    def _port(self, name: str) -> int:
-        try:
-            return self._index[name]
-        except KeyError:
-            raise ModelError(
-                f"transfer references unknown port or bus {name!r}"
-            ) from None
-
-    def _op_code(self, spec: TransSpec) -> int:
-        op_name = spec.source[3:]
-        module_name = spec.sink.rsplit("_op", 1)[0]
-        return self.model.modules[module_name].op_code(op_name)
-
-
-def _compile_module(
-    spec: ModuleSpec,
-    values: List[int],
-    in_idxs: List[int],
-    op_idx: Optional[int],
-):
-    """Compile one functional unit into a CM-phase evaluator closure.
-
-    The closure reads the (already updated) input-port values, advances
-    the unit's internal state, and returns the value to drive on the
-    output port this cycle -- the exact state machines of
-    :func:`repro.core.modules_lib.make_module` (combinational,
-    variable-pipeline, and busy-poisoning non-pipelined variants,
-    including the sticky-ILLEGAL freeze and §3 op selection).
-    """
-    names = sorted(spec.operations)
-    default = spec.operations[spec.default_op]
-    width = spec.width
-
-    def select_operation() -> Optional[Operation]:
-        if op_idx is None:
-            return default
-        code = values[op_idx]
-        if code == DISC:
-            return default
-        if code == ILLEGAL or not 0 <= code < len(names):
-            return None
-        return spec.operations[names[code]]
-
-    def combined() -> int:
-        op = select_operation()
-        if op is None:
-            return ILLEGAL
-        return _combine(op, [values[i] for i in in_idxs], width)
-
-    if spec.latency == 0:
-        state = {"frozen": False}
-
-        def comb_eval() -> int:
-            result = combined()
-            if state["frozen"]:
-                result = ILLEGAL
-            elif result == ILLEGAL and spec.sticky_illegal:
-                state["frozen"] = True
-            return result
-
-        return comb_eval
-
-    if spec.pipelined:
-        pipe = [DISC] * spec.latency
-        state = {"frozen": False}
-
-        def pipe_eval() -> int:
-            out = ILLEGAL if state["frozen"] else pipe[-1]
-            if not state["frozen"]:
-                stage = combined()
-                if stage == ILLEGAL and spec.sticky_illegal:
-                    state["frozen"] = True
-                pipe[1:] = pipe[:-1]
-                pipe[0] = stage
-            return out
-
-        return pipe_eval
-
-    state = {"remaining": 0, "result": DISC, "frozen": False}
-
-    def nonpipe_eval() -> int:
-        if state["frozen"]:
-            return ILLEGAL
-        incoming = combined()
-        if state["remaining"] > 0:
-            state["remaining"] -= 1
-            if incoming != DISC:
-                state["result"] = ILLEGAL
-            out = state["result"] if state["remaining"] == 0 else DISC
-        elif incoming != DISC:
-            state["remaining"] = spec.latency
-            state["result"] = incoming
-            out = state["result"] if state["remaining"] == 0 else DISC
-        else:
-            out = DISC
-        if (
-            state["result"] == ILLEGAL
-            and spec.sticky_illegal
-            and state["remaining"] == 0
-        ):
-            state["frozen"] = True
-        return out
-
-    return nonpipe_eval

@@ -24,15 +24,31 @@ sorted by (weight, name) and greedily packed onto the least-loaded
 shard, so the same model always yields the same plan on every machine.
 A user-supplied ``partition`` mapping overrides the heuristic and is
 validated against the co-location constraint.
+
+Since the single-lowering refactor the planner consumes the lowered
+:class:`~repro.engine.plan.Plan` (whose ``spec_rows`` and ``clusters``
+already carry the connectivity): :func:`plan_shards_for` is the core;
+:func:`plan_shards` and :func:`connectivity_clusters` remain as
+model-level conveniences producing identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.phases import Phase
-from ..core.transfer import TransSpec
+
+#: (step, phase_int, source, sink) -- one lowered TRANS instance.
+SpecRow = Tuple[int, int, str, str]
 
 
 class PartitionError(ValueError):
@@ -81,7 +97,13 @@ class ShardPlan:
         return "\n".join(lines)
 
 
-def _executing_resource(spec: TransSpec) -> Optional[str]:
+def _row_label(row: SpecRow) -> str:
+    """The TRANS instance label of a spec row (matches TransSpec.__str__)."""
+    step, phase_int, source, sink = row
+    return f"{source}_{sink}_{step}@{Phase(phase_int).vhdl_name}"
+
+
+def _executing_resource(row: SpecRow) -> Optional[str]:
     """The bus/module resource whose shard executes this TRANS instance.
 
     RA instances execute where their sink bus lives (the source is a
@@ -91,17 +113,20 @@ def _executing_resource(spec: TransSpec) -> Optional[str]:
     the instance is pinned to a bus or module name; register endpoints
     never pin anything.
     """
-    if spec.phase is Phase.RA:
-        return spec.sink  # the bus being loaded
-    if spec.phase is Phase.RB:
+    step, phase_int, source, sink = row
+    if phase_int == int(Phase.RA):
+        return sink  # the bus being loaded
+    if phase_int == int(Phase.RB):
         # bus -> module input port (or op: constant -> op port); pin to
         # the module owning the sink port.
-        return _port_owner(spec.sink)
-    if spec.phase is Phase.WA:
-        return spec.sink  # module output -> bus; bus is clustered with it
-    if spec.phase is Phase.WB:
-        return spec.source  # bus -> register input: runs where the bus is
-    raise PartitionError(f"transfer {spec} activates outside ra/rb/wa/wb")
+        return _port_owner(sink)
+    if phase_int == int(Phase.WA):
+        return sink  # module output -> bus; bus is clustered with it
+    if phase_int == int(Phase.WB):
+        return source  # bus -> register input: runs where the bus is
+    raise PartitionError(
+        f"transfer {_row_label(row)} activates outside ra/rb/wa/wb"
+    )
 
 
 def _port_owner(port: str) -> str:
@@ -112,8 +137,12 @@ def _port_owner(port: str) -> str:
     return port
 
 
-def connectivity_clusters(model) -> List[Set[str]]:
-    """Union-find clusters over the transfer connectivity graph.
+def clusters_from_rows(
+    bus_names: Sequence[str],
+    module_names: Sequence[str],
+    rows: Sequence[SpecRow],
+) -> List[Set[str]]:
+    """Union-find clusters over the lowered transfer connectivity.
 
     Nodes are buses and functional units; an edge joins a module with
     every bus feeding its input/op ports and every bus carrying its
@@ -134,17 +163,18 @@ def connectivity_clusters(model) -> List[Set[str]]:
         if ra != rb:
             parent[rb] = ra
 
-    for name in model.buses:
+    for name in bus_names:
         find(name)
-    for name in model.modules:
+    for name in module_names:
         find(name)
-    for spec in model.trans_specs():
-        if spec.phase is Phase.RB:
-            module = _port_owner(spec.sink)
-            if not spec.source.startswith("op:"):
-                union(module, spec.source)
-        elif spec.phase is Phase.WA:
-            union(_port_owner(spec.source), spec.sink)
+    rb_phase, wa_phase = int(Phase.RB), int(Phase.WA)
+    for _step, phase_int, source, sink in rows:
+        if phase_int == rb_phase:
+            module = _port_owner(sink)
+            if not source.startswith("op:"):
+                union(module, source)
+        elif phase_int == wa_phase:
+            union(_port_owner(source), sink)
         # RA reads a register output (no constraint); WB reads a bus
         # and writes a register input (merged at the barrier).
     groups: Dict[str, Set[str]] = {}
@@ -153,12 +183,21 @@ def connectivity_clusters(model) -> List[Set[str]]:
     return sorted(groups.values(), key=lambda g: min(g))
 
 
-def plan_shards(
-    model,
+def connectivity_clusters(model) -> List[Set[str]]:
+    """Model-level convenience wrapper around :func:`clusters_from_rows`."""
+    rows = [
+        (spec.step, int(spec.phase), spec.source, spec.sink)
+        for spec in model.trans_specs()
+    ]
+    return clusters_from_rows(tuple(model.buses), tuple(model.modules), rows)
+
+
+def plan_shards_for(
+    plan,
     num_shards: int,
     partition: Optional[Mapping[str, int]] = None,
 ) -> ShardPlan:
-    """Build (or validate) the shard plan for ``model`` at ``num_shards``.
+    """Build (or validate) the shard plan for a lowered ``plan``.
 
     ``partition`` optionally maps resource names (buses, modules,
     registers) to shard indices; resources it names pin their whole
@@ -168,9 +207,15 @@ def plan_shards(
     """
     if num_shards < 1:
         raise PartitionError(f"num_shards must be >= 1, got {num_shards}")
-    specs = model.trans_specs()
-    clusters = connectivity_clusters(model)
-    known = set(model.buses) | set(model.modules) | set(model.registers)
+    rows: Sequence[SpecRow] = plan.spec_rows
+    clusters: Sequence[Tuple[str, ...]] = plan.clusters
+    bus_names = set(plan.port_names[: plan.bus_count])
+    register_names = tuple(name for name, _, _ in plan.reg_ports)
+    known = (
+        bus_names
+        | {mp.name for mp in plan.modules}
+        | set(register_names)
+    )
     partition = dict(partition or {})
     unknown = set(partition) - known
     if unknown:
@@ -185,7 +230,7 @@ def plan_shards(
             )
 
     # -- place clusters: pinned ones first, the rest greedily ------------
-    weights = _cluster_weights(clusters, specs)
+    weights = _cluster_weights(clusters, rows)
     load = [0] * num_shards
     cluster_shard: Dict[int, int] = {}
     order = sorted(
@@ -212,40 +257,41 @@ def plan_shards(
     module_shard: Dict[str, int] = {}
     for i, cluster in enumerate(clusters):
         for name in cluster:
-            if name in model.buses:
+            if name in bus_names:
                 bus_shard[name] = cluster_shard[i]
             else:
                 module_shard[name] = cluster_shard[i]
 
     # -- pin each TRANS instance to its executing resource's shard -------
     spec_shards = tuple(
-        _resource_shard(
-            _executing_resource(spec), bus_shard, module_shard, spec
-        )
-        for spec in specs
+        _resource_shard(_executing_resource(row), bus_shard, module_shard, row)
+        for row in rows
     )
 
     # -- registers: honor pins, else follow their traffic ----------------
-    affinity: Dict[str, Dict[int, int]] = {r: {} for r in model.registers}
+    register_set = set(register_names)
+    affinity: Dict[str, Dict[int, int]] = {r: {} for r in register_names}
     reads: List[Set[str]] = [set() for _ in range(num_shards)]
     writer_shards: Dict[str, Set[int]] = {}
-    for index, spec in enumerate(specs):
+    ra_phase, wb_phase = int(Phase.RA), int(Phase.WB)
+    for index, row in enumerate(rows):
+        _step, phase_int, source, sink = row
         shard = spec_shards[index]
-        if spec.phase is Phase.RA and spec.source.endswith("_out"):
-            register = spec.source[: -len("_out")]
-            if register in model.registers:
+        if phase_int == ra_phase and source.endswith("_out"):
+            register = source[: -len("_out")]
+            if register in register_set:
                 reads[shard].add(register)
                 counts = affinity[register]
                 counts[shard] = counts.get(shard, 0) + 1
-        elif spec.phase is Phase.WB and spec.sink.endswith("_in"):
-            register = spec.sink[: -len("_in")]
-            if register in model.registers:
+        elif phase_int == wb_phase and sink.endswith("_in"):
+            register = sink[: -len("_in")]
+            if register in register_set:
                 writer_shards.setdefault(register, set()).add(shard)
                 counts = affinity[register]
                 counts[shard] = counts.get(shard, 0) + 1
     register_shard: Dict[str, int] = {}
     reg_load = [0] * num_shards
-    for register in model.registers:
+    for register in register_names:
         if register in partition:
             shard = partition[register]
         else:
@@ -272,8 +318,19 @@ def plan_shards(
     )
 
 
+def plan_shards(
+    model,
+    num_shards: int,
+    partition: Optional[Mapping[str, int]] = None,
+) -> ShardPlan:
+    """Model-level convenience: lower, then :func:`plan_shards_for`."""
+    from .plan import lower  # deferred: plan.py imports this module
+
+    return plan_shards_for(lower(model), num_shards, partition)
+
+
 def _cluster_weights(
-    clusters: Sequence[Set[str]], specs: Sequence[TransSpec]
+    clusters: Sequence[Tuple[str, ...]], rows: Sequence[SpecRow]
 ) -> List[int]:
     """Cluster weight = resources + TRANS instances it executes."""
     index_of: Dict[str, int] = {}
@@ -281,8 +338,8 @@ def _cluster_weights(
         for name in cluster:
             index_of[name] = i
     weights = [len(cluster) for cluster in clusters]
-    for spec in specs:
-        resource = _executing_resource(spec)
+    for row in rows:
+        resource = _executing_resource(row)
         if resource is not None and resource in index_of:
             weights[index_of[resource]] += 1
     return weights
@@ -292,7 +349,7 @@ def _resource_shard(
     resource: Optional[str],
     bus_shard: Mapping[str, int],
     module_shard: Mapping[str, int],
-    spec: TransSpec,
+    row: SpecRow,
 ) -> int:
     if resource is not None:
         if resource in bus_shard:
@@ -300,5 +357,5 @@ def _resource_shard(
         if resource in module_shard:
             return module_shard[resource]
     raise PartitionError(
-        f"transfer {spec} references no placeable bus or module"
+        f"transfer {_row_label(row)} references no placeable bus or module"
     )

@@ -1,8 +1,11 @@
 """The sharded multi-process backend: K workers, one barrier per step.
 
-:class:`ShardedRTSimulation` partitions a model with
-:func:`repro.engine.partition.plan_shards` and executes each shard's
-buses and functional units in a worker process.  The control-step
+:class:`ShardedRTSimulation` lowers a model once
+(:func:`repro.engine.plan.lower`, or a plan-cache hit), partitions the
+resulting Plan with :func:`repro.engine.partition.plan_shards_for`,
+and executes each shard's buses and functional units in a worker
+process fed a :class:`~repro.engine.plan.PlanSlice` of the tables it
+owns.  The control-step
 boundary is the only synchronization point (the paper's six-phase
 timing scheme makes it one naturally): register outputs are stable for
 a whole step and register inputs only matter at the step's CR cycle,
@@ -48,19 +51,28 @@ import os
 import pickle
 import time
 import traceback
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from ..core.diagnostics import ConflictEvent, ConflictLog
 from ..core.model import ModelError, RTModel
+from ..core.modules_lib import Operation
 from ..core.phases import PHASES_PER_STEP, Phase, StepPhase
 from ..core.trace import TraceLog
-from ..core.transfer import TransSpec
 from ..core.values import DISC, ILLEGAL, resolve_rt
 from ..kernel import SimStats
 from ..kernel.errors import DeltaCycleLimitError
 from ..observe.emit import emit_canonical_cycle
-from .compiled import _EXTRA_EVENTS, _SCHED_TX, PortView, _compile_module
-from .partition import ShardPlan, plan_shards
+from .compiled import _EXTRA_EVENTS, _SCHED_TX, PortView
+from .partition import plan_shards_for
+from .plan import (
+    Plan,
+    PlanCacheArg,
+    PlanHandle,
+    PlanSlice,
+    compile_module_eval,
+    resolve_plan,
+    slice_for_shard,
+)
 
 #: Order-key offset for release pends, so same-cycle conflict events
 #: sort exactly like the single-process dirty order (all asserts in
@@ -101,102 +113,51 @@ class _ShardEngine:
     """One shard's compiled executor: owned buses + owned units only.
 
     Mirrors :class:`repro.engine.compiled.CompiledRTSimulation` cycle
-    for cycle on the shard's slice of the port/driver tables.  Foreign
-    register outputs appear as ghost ports refreshed from the barrier
-    message; register-input drives are exported as ``(global TRANS
-    index, value)`` contributions instead of resolving locally.
+    for cycle on the shard's :class:`~repro.engine.plan.PlanSlice` --
+    the pre-sliced port/driver tables the coordinator ships instead of
+    a model fragment.  Foreign register outputs appear as ghost ports
+    refreshed from the barrier message; register-input drives are
+    exported as ``(global TRANS index, value)`` contributions instead
+    of resolving locally.  ``module_ops`` carries the live operation
+    bodies (by module name) the slice deliberately does not.
     """
 
     def __init__(
         self,
-        model: RTModel,
-        plan: ShardPlan,
-        shard: int,
+        plan_slice: PlanSlice,
+        module_ops: Mapping[str, Mapping[str, Operation]],
         trace_names: Optional[Iterable[str]],
         probe_on: bool,
     ) -> None:
-        self.model = model
-        self.shard = shard
+        self.shard = plan_slice.shard
         self._probe_on = probe_on
 
-        self._names: List[str] = []
-        self._values: List[int] = []
-        self._index: Dict[str, int] = {}
-        self._resolved: set[int] = set()
-
-        def port(name: str, init: int, resolved: bool = False) -> int:
-            idx = len(self._names)
-            self._names.append(name)
-            self._values.append(init)
-            self._index[name] = idx
-            if resolved:
-                self._resolved.add(idx)
-            return idx
-
+        self._names: List[str] = list(plan_slice.names)
+        self._values: List[int] = list(plan_slice.inits)
+        self._index: Dict[str, int] = dict(plan_slice.index)
         # Owned buses, with their global declaration index (canonical
         # probe order is bus declaration order across all shards).
-        self._bus_decl: Dict[int, int] = {}
-        for decl, bus in enumerate(model.buses.values()):
-            if plan.bus_shard[bus.name] == shard:
-                idx = port(bus.name, DISC, resolved=True)
-                self._bus_decl[idx] = decl
+        self._bus_decl: Dict[int, int] = dict(plan_slice.bus_decl)
         # Ghost register outputs (values arrive with each step message).
-        self._ghosts: Dict[str, int] = {}
-        for reg in plan.reads[shard]:
-            self._ghosts[reg] = port(f"{reg}_out", DISC)
-        # Owned functional units.
-        module_evals = []
-        for spec in model.modules.values():
-            if plan.module_shard[spec.name] != shard:
-                continue
-            in_idxs = [
-                port(f"{spec.name}_in{i}", DISC, resolved=True)
-                for i in range(1, spec.arity + 1)
-            ]
-            out_idx = port(f"{spec.name}_out", DISC)
-            op_idx = None
-            if spec.multi_op:
-                op_idx = port(f"{spec.name}_op", DISC, resolved=True)
-            module_evals.append(
-                (out_idx, _compile_module(spec, self._values, in_idxs, op_idx))
+        self._ghosts: Dict[str, int] = dict(plan_slice.ghosts)
+        # Owned functional units (bodies resolved by name).
+        self._module_evals = [
+            (
+                mp.out_idx,
+                compile_module_eval(mp, module_ops[mp.name], self._values),
             )
-        self._module_evals = module_evals
+            for mp in plan_slice.modules
+        ]
 
         # Driver table for owned TRANS instances, in global spec order.
-        self._drv_contrib: List[int] = []
-        self._drv_owner: List[str] = []
-        self._drv_sink: List[int] = []
-        self._sink_drivers: Dict[int, List[int]] = {}
+        self._drv_contrib: List[int] = [DISC] * len(plan_slice.drv_owner)
+        self._drv_owner = plan_slice.drv_owner
+        self._drv_sink = plan_slice.drv_sink
+        self._sink_drivers = plan_slice.sink_drivers
         # asserts[key] -> (local driver | None, export register | None,
         #                  source index | None, const, global index)
-        asserts: Dict[tuple, List[tuple]] = {}
-        releases: Dict[tuple, List[tuple]] = {}
-        for gidx, spec in enumerate(model.trans_specs()):
-            if plan.spec_shards[gidx] != shard:
-                continue
-            export_reg = self._export_register(spec)
-            if spec.source.startswith("op:"):
-                src, const = None, self._op_code(spec)
-            else:
-                src, const = self._index[spec.source], 0
-            if export_reg is None:
-                sink = self._index[spec.sink]
-                drv = len(self._drv_contrib)
-                self._drv_contrib.append(DISC)
-                self._drv_owner.append(spec.name)
-                self._drv_sink.append(sink)
-                self._sink_drivers.setdefault(sink, []).append(drv)
-            else:
-                drv = None
-            key = (spec.step, int(spec.phase))
-            asserts.setdefault(key, []).append(
-                (drv, export_reg, src, const, gidx)
-            )
-            releases.setdefault((spec.step, int(spec.phase.succ())), []).append(
-                (drv, gidx)
-            )
-        self._asserts = asserts
-        self._releases = releases
+        self._asserts = plan_slice.asserts
+        self._releases = plan_slice.releases
 
         self._trace_items: Optional[List[tuple]] = None
         if trace_names is not None:
@@ -209,18 +170,6 @@ class _ShardEngine:
         self._active_illegal: set[int] = set()
         self._pend_drv: List[tuple] = []  # (driver, value, order tag)
         self._pend_out: List[tuple] = []  # (port, value)
-
-    def _export_register(self, spec: TransSpec) -> Optional[str]:
-        if spec.phase is Phase.WB and spec.sink.endswith("_in"):
-            base = spec.sink[: -len("_in")]
-            if base in self.model.registers:
-                return base
-        return None
-
-    def _op_code(self, spec: TransSpec) -> int:
-        op_name = spec.source[3:]
-        module_name = spec.sink.rsplit("_op", 1)[0]
-        return self.model.modules[module_name].op_code(op_name)
 
     # ------------------------------------------------------------------
     def run_step(self, step: int, reg_updates: Mapping[str, int]) -> dict:
@@ -350,8 +299,8 @@ class _ShardEngine:
 
 def _shard_worker_main(
     shard: int,
-    model: RTModel,
-    plan: ShardPlan,
+    plan_slice: PlanSlice,
+    module_ops: Mapping[str, Mapping[str, Operation]],
     conn,
     trace_names: Optional[List[str]],
     probe_on: bool,
@@ -360,7 +309,7 @@ def _shard_worker_main(
     """Worker loop: build the shard engine, then serve step messages."""
     wall = 0.0
     try:
-        engine = _ShardEngine(model, plan, shard, trace_names, probe_on)
+        engine = _ShardEngine(plan_slice, module_ops, trace_names, probe_on)
         conn.send_bytes(pickle.dumps(("ready", shard)))
         while True:
             message = pickle.loads(conn.recv_bytes())
@@ -422,6 +371,8 @@ class ShardedRTSimulation:
         shards: int = 2,
         partition: Optional[Mapping[str, int]] = None,
         sync_timeout: float = 60.0,
+        plan: Union[None, Plan, PlanHandle] = None,
+        plan_cache: PlanCacheArg = None,
         _test_fail_at: Optional[Mapping[int, int]] = None,
     ) -> None:
         del transfer_engine  # one compiled realization covers both
@@ -443,7 +394,13 @@ class ShardedRTSimulation:
             raise ModelError(
                 f"register_values for unknown registers: {sorted(unknown)}"
             )
-        self.plan = plan_shards(model, shards, partition)
+        # One lowering, shared: the shard planner walks the same Plan
+        # the workers' slices are cut from.
+        handle = resolve_plan(model, plan, plan_cache)
+        self.model_plan: Plan = handle.plan
+        self.plan_cache_state: str = handle.source
+        self.plan_build_ms: float = handle.build_ms
+        self.plan = plan_shards_for(self.model_plan, shards, partition)
         self.num_shards = self.plan.num_shards
 
         # Register plane (the barrier state) + initial values.
@@ -455,19 +412,9 @@ class ShardedRTSimulation:
             self._plane[reg.name] = init
 
         # Global port-name table, in the compiled backend's declaration
-        # order (for full traces, watch validation and signal()).
-        self._global_names: List[str] = []
-        for bus in model.buses.values():
-            self._global_names.append(bus.name)
-        for reg in model.registers.values():
-            self._global_names.append(f"{reg.name}_in")
-            self._global_names.append(f"{reg.name}_out")
-        for spec in model.modules.values():
-            for i in range(1, spec.arity + 1):
-                self._global_names.append(f"{spec.name}_in{i}")
-            self._global_names.append(f"{spec.name}_out")
-            if spec.multi_op:
-                self._global_names.append(f"{spec.name}_op")
+        # order (for full traces, watch validation and signal()) --
+        # exactly the plan's port table.
+        self._global_names: List[str] = list(self.model_plan.port_names)
         global_set = set(self._global_names)
 
         self.tracer: Optional[TraceLog] = None
@@ -480,11 +427,11 @@ class ShardedRTSimulation:
             self._watched = watched
             self.tracer = TraceLog(watched)
 
-        # Global spec table (driver identities for barrier merges).
-        self._specs = model.trans_specs()
+        # Driver identities for barrier merges live in the plan
+        # (``drv_owner[gidx]`` is the TRANS instance name).
         self._has_final_wb = any(
-            spec.step == model.cs_max and spec.phase is Phase.WB
-            for spec in self._specs
+            step == model.cs_max and phase_int == int(Phase.WB)
+            for step, phase_int, _source, _sink in self.model_plan.spec_rows
         )
 
         self.monitor = ConflictLog(
@@ -524,15 +471,27 @@ class ShardedRTSimulation:
         bytes_to = [0] * self.num_shards
         bytes_from = [0] * self.num_shards
         last_step = [0] * self.num_shards
+        # Each worker receives its slice of the lowered plan plus the
+        # live operation bodies of the modules it owns -- never the
+        # whole model.
+        module_ops = {
+            mp.name: self.model.modules[mp.name].operations
+            for mp in self.model_plan.modules
+        }
         try:
             for k in range(self.num_shards):
                 parent, child = ctx.Pipe()
+                plan_slice = slice_for_shard(self.model_plan, self.plan, k)
+                owned_ops = {
+                    mp.name: module_ops[mp.name]
+                    for mp in plan_slice.modules
+                }
                 proc = ctx.Process(
                     target=_shard_worker_main,
                     args=(
                         k,
-                        self.model,
-                        self.plan,
+                        plan_slice,
+                        owned_ops,
                         child,
                         watched,
                         self._probe is not None,
@@ -675,7 +634,7 @@ class ShardedRTSimulation:
             resolutions[reg] = resolved
             if resolved == ILLEGAL:
                 sources = tuple(
-                    (self._specs[gidx].name, value)
+                    (self.model_plan.drv_owner[gidx], value)
                     for gidx, value in contribs
                     if value != DISC
                 )

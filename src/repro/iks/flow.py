@@ -58,13 +58,14 @@ def run_ik_chip(
     transfer_engine: bool = True,
     observe=None,
     shards: Optional[int] = None,
+    plan_cache=None,
 ) -> IKSRun:
     """Simulate the IKS chip solving for target ``(px, py)``."""
     cfg = config or IKSConfig()
     model, translation = build_ik_model(px, py, cfg)
     sim = model.elaborate(
         trace=trace, backend=backend, transfer_engine=transfer_engine,
-        observe=observe, shards=shards,
+        observe=observe, shards=shards, plan_cache=plan_cache,
     ).run()
     theta1 = sim[RESULT_REGISTERS["theta1"]]
     theta2 = sim[RESULT_REGISTERS["theta2"]]
@@ -87,6 +88,7 @@ def crosscheck(
     trace: bool = False,
     observe=None,
     shards: Optional[int] = None,
+    plan_cache=None,
 ) -> tuple[IKSRun, IKSolution]:
     """Run chip and algorithmic reference on the same target.
 
@@ -97,6 +99,7 @@ def crosscheck(
     run = run_ik_chip(
         px, py, cfg, trace=trace, backend=backend,
         transfer_engine=transfer_engine, observe=observe, shards=shards,
+        plan_cache=plan_cache,
     )
     reference = solve_ik(px, py, cfg.geometry, cfg.fmt, cfg.cordic_spec)
     return run, reference
@@ -206,6 +209,7 @@ def run_ik3_chip(
     trace: bool = False,
     observe=None,
     shards: Optional[int] = None,
+    plan_cache=None,
 ) -> IK3Run:
     """Simulate the chip solving the 3-DOF problem (position + tool
     orientation)."""
@@ -215,7 +219,7 @@ def run_ik3_chip(
     model = build_ik3_model(px, py, phi, cfg)
     sim = model.elaborate(
         backend=backend, transfer_engine=transfer_engine, trace=trace,
-        observe=observe, shards=shards,
+        observe=observe, shards=shards, plan_cache=plan_cache,
     ).run()
     theta1 = sim[IK3_RESULT_REGISTERS["theta1"]]
     theta2 = sim[IK3_RESULT_REGISTERS["theta2"]]

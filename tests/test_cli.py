@@ -666,3 +666,91 @@ class TestReportOnTruncatedLogs:
         log.write_text("")
         assert main(["report", str(log)]) == 0
         assert capsys.readouterr().out
+
+
+class TestPlanCli:
+    def test_plan_describes_the_model(self, fig1_json, capsys):
+        assert main(["plan", str(fig1_json)]) == 0
+        out = capsys.readouterr().out
+        assert "plan: model 'example'" in out
+        assert "digest" in out
+
+    def test_plan_digest_is_stable(self, fig1_json, capsys):
+        assert main(["plan", str(fig1_json), "--digest"]) == 0
+        first = capsys.readouterr().out.strip()
+        assert main(["plan", str(fig1_json), "--digest"]) == 0
+        second = capsys.readouterr().out.strip()
+        assert first == second
+        assert len(first) == 64
+
+    def test_plan_json_summary(self, fig1_json, capsys):
+        assert main(["plan", str(fig1_json), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "example"
+        assert doc["buses"] == 2
+        assert doc["registers"] == 2
+
+    def test_plan_cache_flag_fills_and_hits(
+        self, fig1_json, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "plan", str(fig1_json), "--plan-cache", cache_dir,
+        ]) == 0
+        assert "plan_cache: miss" in capsys.readouterr().out
+        assert main([
+            "plan", str(fig1_json), "--plan-cache", cache_dir,
+        ]) == 0
+        assert "plan_cache: hit" in capsys.readouterr().out
+
+    def test_simulate_reports_cache_verdict(
+        self, fig1_json, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled",
+            "--plan-cache", cache_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan_cache: miss" in out
+        assert "R1 = 5" in out
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled",
+            "--plan-cache", cache_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan_cache: hit" in out
+        assert "R1 = 5" in out
+
+    def test_plan_cache_rejects_event_backend(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--plan-cache",
+        ]) == 1
+        assert "compiled backends only" in capsys.readouterr().err
+
+    def test_plan_cache_conflicting_flags(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled",
+            "--plan-cache", "--no-plan-cache",
+        ]) == 1
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_bench_plan_writes_record(self, fig1_json, tmp_path, capsys):
+        out = tmp_path / "BENCH_plan.json"
+        assert main([
+            "bench", "--plan", "--model", str(fig1_json),
+            "--repeat", "2", "--out", str(out),
+        ]) == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "plan-cache"
+        assert record["model"]["name"] == "example"
+        assert record["cold_ms"] > 0
+        assert record["warm_ms"] > 0
+        assert record["digest_ms"] > 0
+        assert record["speedup"] > 0
+        assert len(record["digest"]) == 64
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_plan_excludes_sharded(self, capsys):
+        assert main(["bench", "--plan", "--sharded"]) == 1
+        assert "exclusive" in capsys.readouterr().err
