@@ -273,6 +273,97 @@ class TestObserverOverhead:
         )
         assert overhead < 0.05
 
+    @pytest.mark.parametrize("backend", ["event", "compiled"])
+    def test_disabled_coverage_is_structurally_free(self, backend):
+        """Satellite of the coverage PR: with the coverage engine and
+        metrics registry imported (and a CoverageModel derived for the
+        chip), NOT attaching a CoverageProbe must leave the run
+        identical, kernel counter for kernel counter, to one that never
+        heard of coverage.  Metrics hooks fire after run() returns, so
+        they cannot perturb the kernel counters either."""
+        from repro.observe import CoverageModel
+        from repro.engine.plan import lower
+
+        model, _ = build_ik_model(2.5, 1.0)
+        # Pay universe derivation up front, like monitor compilation.
+        CoverageModel.from_plan(lower(model))
+        plain = model.elaborate(backend=backend).run()
+        off = model.elaborate(backend=backend, observe=None).run()
+        assert off._probe is None
+        assert off.registers == plain.registers
+        assert off.stats.delta_cycles == plain.stats.delta_cycles
+        assert off.stats.process_resumes == plain.stats.process_resumes
+        assert off.stats.events == plain.stats.events
+
+    @pytest.mark.parametrize("backend", ["event", "compiled"])
+    def test_disabled_coverage_under_five_percent(
+        self, backend, report_lines
+    ):
+        """Wall-clock side of the coverage/metrics zero-cost claim:
+        with the observability layer loaded, the uninstrumented run
+        stays under 5% over the bare baseline."""
+        from repro.observe import CoverageModel
+        from repro.engine.plan import lower
+
+        model, _ = build_ik_model(2.5, 1.0)
+        CoverageModel.from_plan(lower(model))
+        overhead = float("inf")
+        for _ in range(3):
+            base, off = self._min_wall_pair(
+                lambda: model.elaborate(backend=backend),
+                lambda: model.elaborate(backend=backend, observe=None),
+            )
+            overhead = min(overhead, off / base - 1.0)
+            if overhead < 0.05:
+                break
+        report_lines.append(
+            f"{backend}: bare {base * 1e3:.2f} ms, coverage loaded but "
+            f"disabled {off * 1e3:.2f} ms ({overhead * 100.0:+.1f}%)"
+        )
+        assert overhead < 0.05
+
+    def test_coverage_probe_cost_measured(self, report_lines):
+        """Enabling structural coverage is allowed to cost -- measure
+        it.  Full-universe collection over the IKS run, per backend,
+        against the bare run; the report itself is sanity-checked so
+        the measured run did real work."""
+        from repro.observe import CoverageProbe
+
+        model, _ = build_ik_model(2.5, 1.0)
+        for backend in ("event", "compiled"):
+            probe = CoverageProbe()
+            base, covered = self._min_wall_pair(
+                lambda: model.elaborate(backend=backend),
+                lambda: model.elaborate(backend=backend, observe=probe),
+            )
+            report = probe.report
+            assert report is not None and report.hit_count > 0
+            report_lines.append(
+                f"{backend}: bare {base * 1e3:.2f} ms, coverage probe "
+                f"{covered * 1e3:.2f} ms ({covered / base:.2f}x, "
+                f"{report.hit_count}/{report.point_count} points)"
+            )
+
+    def test_span_tracer_cost_measured(self, report_lines):
+        """Span tracing cost on the chip, per backend: one step span
+        per control step plus six phase spans each."""
+        from repro.observe import SpanTracer
+
+        model, _ = build_ik_model(2.5, 1.0)
+        for backend in ("event", "compiled"):
+            tracer = SpanTracer()
+            base, traced = self._min_wall_pair(
+                lambda: model.elaborate(backend=backend),
+                lambda: model.elaborate(backend=backend, observe=tracer),
+            )
+            spans = len(tracer.spans)
+            assert spans > 0
+            report_lines.append(
+                f"{backend}: bare {base * 1e3:.2f} ms, span tracer "
+                f"{traced * 1e3:.2f} ms ({traced / base:.2f}x, "
+                f"{spans} spans)"
+            )
+
     def test_monitor_cost_measured(self, report_lines):
         """Enabling the monitor is allowed to cost -- measure it.  The
         default property set (never_illegal + no_conflicts) over the
@@ -323,12 +414,19 @@ class TestIKSBenchmarks:
         benchmark.extra_info["resumes"] = sim.stats.process_resumes
         assert sim.clean
 
-    @pytest.mark.parametrize("probe", ["none", "jsonl", "monitor"])
+    @pytest.mark.parametrize(
+        "probe", ["none", "jsonl", "monitor", "coverage", "tracer"]
+    )
     def test_bench_observer_overhead(self, benchmark, tmp_path, probe):
-        """Satellite of the observability PRs: no-probe, JSONL-probe
-        and assertion-monitor runs side by side in the benchmark
-        table."""
-        from repro.observe import AssertionMonitor, default_properties
+        """Satellite of the observability PRs: no-probe, JSONL-probe,
+        assertion-monitor, coverage-probe and span-tracer runs side by
+        side in the benchmark table."""
+        from repro.observe import (
+            AssertionMonitor,
+            CoverageProbe,
+            SpanTracer,
+            default_properties,
+        )
 
         model, _ = build_ik_model(2.5, 1.0)
         path = tmp_path / "bench.jsonl"
@@ -338,6 +436,10 @@ class TestIKSBenchmarks:
                 return JsonlRecorder(str(path))
             if probe == "monitor":
                 return AssertionMonitor(default_properties(model))
+            if probe == "coverage":
+                return CoverageProbe()
+            if probe == "tracer":
+                return SpanTracer()
             return None
 
         def run():

@@ -190,6 +190,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_plan)
 
     p = sub.add_parser(
+        "cover",
+        help="run a model and measure its structural coverage "
+        "(identical on every backend)",
+    )
+    p.add_argument("file", help="model JSON file")
+    p.add_argument(
+        "--set", action="append", default=[], metavar="REG=VALUE",
+        help="override a register's initial value (repeatable)",
+    )
+    p.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="with --backend compiled-batched: sweep N vectors in one "
+        "run and merge the per-lane reports",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None,
+        help="with --batch: fill the batch with random register vectors",
+    )
+    p.add_argument(
+        "--per-lane", action="store_true",
+        help="with --batch: print each lane's report before the merge",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the CoverageReport as JSON instead of text",
+    )
+    p.add_argument(
+        "--cover-out", metavar="PATH",
+        help="write the CoverageReport as JSON",
+    )
+    p.add_argument(
+        "--cover-min", type=float, default=None, metavar="PCT",
+        help="exit non-zero when overall coverage is below PCT percent "
+        "(checked against the cumulative report when --cover-db is "
+        "given)",
+    )
+    p.add_argument(
+        "--cover-db", nargs="?", const=True, default=None, metavar="DIR",
+        help="merge the run into the cumulative on-disk coverage DB "
+        "(default root: $REPRO_PLAN_CACHE or ~/.cache/repro)",
+    )
+    _add_backend_args(p)
+    p.set_defaults(handler=cmd_cover)
+
+    p = sub.add_parser(
+        "metrics",
+        help="export the process metrics registry (Prometheus text)",
+    )
+    p.add_argument(
+        "file", nargs="?", default=None,
+        help="model JSON file to run first, so the registry holds that "
+        "run's samples (a bare `repro metrics` exports an empty "
+        "registry: metrics live per process)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON instead of Prometheus text",
+    )
+    p.add_argument(
+        "--out", metavar="PATH",
+        help="write the exposition here instead of stdout",
+    )
+    _add_backend_args(p)
+    p.set_defaults(handler=cmd_metrics)
+
+    p = sub.add_parser(
         "report", help="render a recorded JSONL event log as a run report"
     )
     p.add_argument("file", help="JSONL event log (from --observe)")
@@ -334,6 +400,37 @@ def _add_observe_args(p: argparse.ArgumentParser) -> None:
         help="with --stream: wait up to SECS for a watcher to connect "
         "before the run starts",
     )
+    p.add_argument(
+        "--cover", action="store_true",
+        help="measure structural coverage (transfers, (CS,PH) cells, "
+        "port value classes, conflict pairs) and print the report",
+    )
+    p.add_argument(
+        "--cover-out", metavar="PATH",
+        help="write the CoverageReport as JSON (implies --cover)",
+    )
+    p.add_argument(
+        "--cover-min", type=float, default=None, metavar="PCT",
+        help="exit non-zero when overall coverage is below PCT percent "
+        "(implies --cover; checked against the cumulative report when "
+        "--cover-db is given)",
+    )
+    p.add_argument(
+        "--cover-db", nargs="?", const=True, default=None, metavar="DIR",
+        help="merge the run into the cumulative on-disk coverage DB, "
+        "keyed by model digest (implies --cover; default root is "
+        "$REPRO_PLAN_CACHE or ~/.cache/repro, pass DIR to override)",
+    )
+    p.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the process metrics registry after the run "
+        "(Prometheus text exposition, or JSON when PATH ends in .json)",
+    )
+    p.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the run as hierarchical wall-clock spans in Chrome "
+        "trace-event JSON (load in Perfetto or chrome://tracing)",
+    )
 
 
 def _validate_backend_flags(args, allow_batched: bool = False) -> None:
@@ -393,11 +490,14 @@ class _ObserveSession:
     the zero-cost path); the rest is kept for post-run reporting.
     """
 
-    def __init__(self, probe, profiler, monitor, server):
+    def __init__(self, probe, profiler, monitor, server,
+                 coverage=None, tracer=None):
         self.probe = probe
         self.profiler = profiler
         self.monitor = monitor
         self.server = server
+        self.coverage = coverage
+        self.tracer = tracer
 
 
 def _build_probe(args) -> _ObserveSession:
@@ -414,7 +514,7 @@ def _build_probe(args) -> _ObserveSession:
     )
 
     probes = []
-    profiler = monitor = server = None
+    profiler = monitor = server = coverage = tracer = None
     profiling = getattr(args, "profile", False) or getattr(
         args, "profile_out", None
     )
@@ -454,17 +554,51 @@ def _build_probe(args) -> _ObserveSession:
         # First in the fan-out: violations reach the stream server the
         # moment they are detected, ahead of the raw event records.
         probes.insert(0, monitor)
+    if _covering(args):
+        from .observe import CoverageProbe
+
+        coverage = CoverageProbe()
+        probes.append(coverage)
     if profiling:
         profiler = Profiler(sample_every=sample if sample is not None else 1)
         probes.append(profiler)
-    return _ObserveSession(combine_probes(probes), profiler, monitor, server)
+    if getattr(args, "trace_out", None):
+        from .observe import SpanTracer
+
+        tracer = SpanTracer()
+        probes.append(tracer)
+    return _ObserveSession(
+        combine_probes(probes), profiler, monitor, server,
+        coverage=coverage, tracer=tracer,
+    )
 
 
-def _emit_observe_outputs(args, obs: _ObserveSession) -> bool:
+def _covering(args) -> bool:
+    """True when any coverage flag asked for a report."""
+    return bool(
+        getattr(args, "cover", False)
+        or getattr(args, "cover_out", None)
+        or getattr(args, "cover_min", None) is not None
+        or getattr(args, "cover_db", None) is not None
+    )
+
+
+def _elaborate_span(obs: _ObserveSession):
+    """Bracket elaboration as a span when a tracer is attached."""
+    import contextlib
+
+    if obs.tracer is None:
+        return contextlib.nullcontext()
+    return obs.tracer.span("elaborate")
+
+
+def _emit_observe_outputs(args, obs: _ObserveSession, sim=None) -> bool:
     """Post-run reporting for the observability flags.
 
-    Returns False when the assertion monitor found violations (the
-    handlers fold this into their exit status)."""
+    Returns False when the assertion monitor found violations or the
+    coverage floor (--cover-min) was missed (the handlers fold this
+    into their exit status).  ``sim`` lets the span tracer synthesize
+    backend-side spans (plan resolution, shard workers)."""
     ok = True
     if obs.server is not None:
         obs.server.close()
@@ -491,7 +625,67 @@ def _emit_observe_outputs(args, obs: _ObserveSession) -> bool:
                 handle.write(obs.profiler.to_json(indent=2))
                 handle.write("\n")
             print(f"-- wrote {args.profile_out}")
+    if obs.coverage is not None and obs.coverage.report is not None:
+        ok = _emit_coverage_report(args, obs.coverage.report) and ok
+    if obs.tracer is not None and getattr(args, "trace_out", None):
+        if sim is not None:
+            obs.tracer.annotate_backend(sim)
+        obs.tracer.write(args.trace_out)
+        print(f"-- wrote {args.trace_out}")
+    _emit_metrics_out(args)
     return ok
+
+
+def _emit_coverage_report(args, report) -> bool:
+    """Print/write/accumulate one CoverageReport; False on a missed
+    ``--cover-min`` floor (checked against the cumulative report when
+    ``--cover-db`` accumulates, else against this run's)."""
+    from .observe import as_coverage_db
+
+    if getattr(args, "json", False):
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    if getattr(args, "cover_out", None):
+        with open(args.cover_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(indent=2))
+            handle.write("\n")
+        print(f"-- wrote {args.cover_out}")
+    gated = report
+    db = as_coverage_db(getattr(args, "cover_db", None))
+    if db is not None:
+        gated = db.update(report)
+        print(
+            f"-- coverage db: {gated.hit_count}/{gated.point_count} "
+            f"cumulative ({100.0 * gated.coverage:.1f}%) at "
+            f"{db.path_for(report.digest)}"
+        )
+    floor = getattr(args, "cover_min", None)
+    if floor is not None and 100.0 * gated.coverage < floor:
+        print(
+            f"-- coverage {100.0 * gated.coverage:.1f}% below "
+            f"--cover-min {floor:g}%"
+        )
+        return False
+    return True
+
+
+def _emit_metrics_out(args) -> None:
+    """Write the process metrics registry when --metrics-out asked."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    from .observe import REGISTRY
+
+    text = (
+        REGISTRY.to_json(indent=2) if path.endswith(".json")
+        else REGISTRY.to_prometheus()
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    print(f"-- wrote {path}")
 
 
 # ----------------------------------------------------------------------
@@ -515,6 +709,7 @@ def cmd_run(args) -> int:
     observed = bool(
         args.vcd or args.observe or args.profile or args.profile_out
         or args.monitor or args.assert_file or args.stream
+        or _covering(args) or args.metrics_out or args.trace_out
     )
     if args.backend != "event" or args.no_transfer_engine or observed:
         # The VHDL interpreter is event-only and untraced; the
@@ -544,14 +739,16 @@ def _run_via_model(args, text: str) -> int:
 
     model = recover_model(text, args.top)
     obs = _build_probe(args)
-    sim = model.elaborate(
-        backend=args.backend,
-        transfer_engine=not args.no_transfer_engine,
-        trace=bool(args.vcd),
-        observe=obs.probe,
-        shards=args.shards,
-        plan_cache=_plan_cache_arg(args),
-    ).run()
+    with _elaborate_span(obs):
+        sim = model.elaborate(
+            backend=args.backend,
+            transfer_engine=not args.no_transfer_engine,
+            trace=bool(args.vcd),
+            observe=obs.probe,
+            shards=args.shards,
+            plan_cache=_plan_cache_arg(args),
+        )
+    sim.run()
     _print_plan_line(sim)
     wanted = [s.strip().lower() for s in args.signals.split(",") if s.strip()]
     values = {
@@ -570,7 +767,7 @@ def _run_via_model(args, text: str) -> int:
 
         export_vcd(sim, args.vcd)
         print(f"-- wrote {args.vcd}")
-    assertions_ok = _emit_observe_outputs(args, obs)
+    assertions_ok = _emit_observe_outputs(args, obs, sim)
     stats = sim.stats
     print(
         f"-- {stats.delta_cycles} delta cycles, {stats.events} events, "
@@ -612,15 +809,17 @@ def cmd_simulate(args) -> int:
             "--batch/--vectors-from require --backend compiled-batched"
         )
     obs = _build_probe(args)
-    sim = model.elaborate(
-        register_values=overrides or None,
-        trace=bool(args.vcd or args.trace),
-        backend=args.backend,
-        transfer_engine=not args.no_transfer_engine,
-        observe=obs.probe,
-        shards=args.shards,
-        plan_cache=_plan_cache_arg(args),
-    ).run()
+    with _elaborate_span(obs):
+        sim = model.elaborate(
+            register_values=overrides or None,
+            trace=bool(args.vcd or args.trace),
+            backend=args.backend,
+            transfer_engine=not args.no_transfer_engine,
+            observe=obs.probe,
+            shards=args.shards,
+            plan_cache=_plan_cache_arg(args),
+        )
+    sim.run()
     _print_plan_line(sim)
     for name, value in sorted(sim.registers.items()):
         print(f"{name} = {format_value(value)}")
@@ -634,7 +833,7 @@ def cmd_simulate(args) -> int:
         with open(args.vcd, "w", encoding="utf-8") as handle:
             sim.tracer.write_vcd(handle, design_name=model.name)
         print(f"-- wrote {args.vcd}")
-    assertions_ok = _emit_observe_outputs(args, obs)
+    assertions_ok = _emit_observe_outputs(args, obs, sim)
     stats = sim.stats
     print(f"-- {stats.delta_cycles} delta cycles (= CS_MAX*6 = {model.cs_max * 6})")
     return 0 if (sim.clean and assertions_ok) else 1
@@ -654,13 +853,14 @@ def _simulate_batched(args, model, overrides: dict) -> int:
     import random
 
     if args.vcd or args.trace or args.observe or args.profile \
-            or args.profile_out or args.stream:
+            or args.profile_out or args.stream or args.trace_out:
         raise ValueError(
-            "--vcd/--trace/--observe/--profile/--stream produce "
-            "single-run output; not supported with the compiled-batched "
-            "backend"
+            "--vcd/--trace/--observe/--profile/--stream/--trace-out "
+            "produce single-run output; not supported with the "
+            "compiled-batched backend"
         )
     monitoring = bool(args.monitor or args.assert_file)
+    covering = _covering(args)
     if args.assert_out and not monitoring:
         raise ValueError("--assert-out needs --monitor or --assert-file")
     if args.vectors_from:
@@ -700,7 +900,7 @@ def _simulate_batched(args, model, overrides: dict) -> int:
         else:
             vectors = [dict(overrides) for _ in range(count)]
     watch = None
-    if monitoring:
+    if monitoring or covering:
         from .observe import monitored_watch_list
 
         watch = monitored_watch_list(model)
@@ -750,6 +950,18 @@ def _simulate_batched(args, model, overrides: dict) -> int:
                 json.dump([r.to_dict() for r in reports], handle, indent=2)
                 handle.write("\n")
             print(f"-- wrote {args.assert_out}")
+    coverage_ok = True
+    if covering:
+        from .observe import CoverageModel, coverage_from_trace
+
+        cov = CoverageModel.from_plan(sim.model_plan)
+        merged = coverage_from_trace(cov, sim.tracers[0], sim.conflicts[0])
+        for i in range(1, total):
+            merged = merged.merge(
+                coverage_from_trace(cov, sim.tracers[i], sim.conflicts[i])
+            )
+        coverage_ok = _emit_coverage_report(args, merged)
+    _emit_metrics_out(args)
     conflict_total = sum(len(events) for events in sim.conflicts)
     print(
         f"-- {total} vectors, {clean_count} clean, "
@@ -757,7 +969,9 @@ def _simulate_batched(args, model, overrides: dict) -> int:
         f"{sim.stats.delta_cycles} delta cycles "
         f"(= CS_MAX*6 = {model.cs_max * 6})"
     )
-    return 0 if (clean_count == total and violation_total == 0) else 1
+    return 0 if (
+        clean_count == total and violation_total == 0 and coverage_ok
+    ) else 1
 
 
 def cmd_reschedule(args) -> int:
@@ -875,7 +1089,7 @@ def _emit_iks_observe(args, sim, obs: _ObserveSession) -> bool:
 
         export_vcd(sim, args.vcd)
         print(f"-- wrote {args.vcd}")
-    return _emit_observe_outputs(args, obs)
+    return _emit_observe_outputs(args, obs, sim)
 
 
 def _cmd_iks3(args, px: float, py: float, phi: float, obs: _ObserveSession) -> int:
@@ -943,6 +1157,112 @@ def cmd_plan(args) -> int:
             f"-- plan_cache: {handle.source} "
             f"build_ms={handle.build_ms:.2f}"
         )
+    return 0
+
+
+def cmd_cover(args) -> int:
+    """`repro cover`: measure a model's structural coverage.
+
+    One run under the selected backend (or one batched sweep with
+    ``--batch``), reported against the Plan-derived universe --
+    transfers, (CS, PH) cells, port value classes and conflict pairs.
+    The numbers are backend-identical, so the backend choice is purely
+    about execution cost.  ``--cover-db`` accumulates runs across
+    processes (content-addressed by model digest); ``--cover-min``
+    turns the overall percentage into an exit-status gate for CI.
+    """
+    from .observe import measure_coverage
+
+    _validate_backend_flags(args, allow_batched=True)
+    model = load_model(args.file)
+    overrides = {}
+    for item in args.set:
+        name, eq, value = item.partition("=")
+        if not eq:
+            raise ValueError(f"--set expects REG=VALUE, got {item!r}")
+        overrides[name] = int(value)
+    if args.backend != "compiled-batched":
+        if args.batch is not None or args.seed is not None or args.per_lane:
+            raise ValueError(
+                "--batch/--seed/--per-lane require --backend "
+                "compiled-batched"
+            )
+        report = measure_coverage(
+            model,
+            backend=args.backend,
+            register_values=overrides or None,
+            transfer_engine=not args.no_transfer_engine,
+            shards=args.shards,
+            plan_cache=_plan_cache_arg(args),
+        )
+    else:
+        import random
+
+        count = args.batch if args.batch is not None else 1
+        if count < 1:
+            raise ValueError(f"--batch must be >= 1, got {count}")
+        if args.seed is not None:
+            rng = random.Random(args.seed)
+            vectors = [
+                {
+                    name: rng.randrange(0, 1 << model.width)
+                    for name in model.registers
+                }
+                for _ in range(count)
+            ]
+        else:
+            vectors = [dict(overrides) for _ in range(count)]
+        reports = measure_coverage(
+            model,
+            backend="compiled-batched",
+            register_values=vectors,
+            per_lane=True,
+            plan_cache=_plan_cache_arg(args),
+        )
+        if args.per_lane:
+            for i, lane in enumerate(reports):
+                print(
+                    f"lane {i}: {lane.hit_count}/{lane.point_count} "
+                    f"({100.0 * lane.coverage:.1f}%)"
+                )
+        report = reports[0]
+        for lane in reports[1:]:
+            report = report.merge(lane)
+    return 0 if _emit_coverage_report(args, report) else 1
+
+
+def cmd_metrics(args) -> int:
+    """`repro metrics`: export the process metrics registry.
+
+    Metrics live per process, so the optional model file runs first in
+    *this* process and the exposition then carries that run's samples
+    (plan-cache verdicts, per-backend run counters).  Long-lived
+    embedders export :data:`repro.observe.REGISTRY` directly.
+    """
+    from .observe import REGISTRY
+
+    if args.file is not None:
+        _validate_backend_flags(args)
+        model = load_model(args.file)
+        sim = model.elaborate(
+            backend=args.backend,
+            transfer_engine=not args.no_transfer_engine,
+            shards=args.shards,
+            plan_cache=_plan_cache_arg(args),
+        ).run()
+        _print_plan_line(sim)
+    text = (
+        REGISTRY.to_json(indent=2) if args.json
+        else REGISTRY.to_prometheus()
+    )
+    if not text.endswith("\n"):
+        text += "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"-- wrote {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 

@@ -201,9 +201,12 @@ class RTSimulation:
     # ------------------------------------------------------------------
     def run(self) -> "RTSimulation":
         """Run the model to quiescence (all ``cs_max`` control steps)."""
+        from ..observe.metrics import record_backend_run
+
         if self._probe is None:
             self.sim.run()
             self._ran = True
+            record_backend_run(self)
             return self
         import time as _time
 
@@ -212,6 +215,7 @@ class RTSimulation:
         self.sim.run()
         self._ran = True
         self._probe.on_run_end(self, _time.perf_counter() - t0)
+        record_backend_run(self)
         return self
 
     def run_steps(self, steps: int) -> "RTSimulation":

@@ -162,8 +162,10 @@ def run_metrics(
     ``profile`` merges a :class:`repro.observe.Profiler`'s per-phase
     wall totals into the row as ``wall_<phase>`` columns.
     ``stream`` merges a :class:`repro.observe.StreamServer`'s delivery
-    counters as ``stream_events`` / ``stream_dropped`` (the drop
-    counter is the bounded queue's backpressure evidence).
+    counters as ``stream_events`` / ``stream_dropped`` /
+    ``stream_clients`` (drops are the bounded queue's backpressure
+    evidence; clients counts watcher connections accepted over the
+    server's lifetime).
     ``monitor`` merges an :class:`repro.observe.AssertionMonitor`'s (or
     :class:`~repro.observe.monitor.AssertionReport`'s) verdict as a
     ``violations`` column.
@@ -218,6 +220,7 @@ def run_metrics(
     if stream is not None:
         row["stream_events"] = stream.events
         row["stream_dropped"] = stream.dropped
+        row["stream_clients"] = getattr(stream, "clients_total", 0)
     if monitor is not None:
         report = getattr(monitor, "report", monitor)
         violations = getattr(report, "violations", None)

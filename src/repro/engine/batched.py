@@ -223,11 +223,14 @@ class CompiledBatchedRTSimulation:
     # ------------------------------------------------------------------
     def run(self) -> "CompiledBatchedRTSimulation":
         """Run all ``cs_max`` control steps for the whole batch."""
+        from ..observe.metrics import record_backend_run
+
         if self._probe is None:
             self._execute_until(len(self._schedule))
             if not self._finished:
                 self._finish()
             self._ran = True
+            record_backend_run(self)
             return self
         import time as _time
 
@@ -238,6 +241,7 @@ class CompiledBatchedRTSimulation:
             self._finish()
         self._ran = True
         self._probe.on_run_end(self, _time.perf_counter() - t0)
+        record_backend_run(self)
         return self
 
     def run_steps(self, steps: int) -> "CompiledBatchedRTSimulation":

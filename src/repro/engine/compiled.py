@@ -231,11 +231,14 @@ class CompiledRTSimulation:
     # ------------------------------------------------------------------
     def run(self) -> "CompiledRTSimulation":
         """Run the model to quiescence (all ``cs_max`` control steps)."""
+        from ..observe.metrics import record_backend_run
+
         if self._probe is None:
             self._execute_until(len(self._schedule))
             if not self._finished:
                 self._finish()
             self._ran = True
+            record_backend_run(self)
             return self
         import time as _time
 
@@ -246,6 +249,7 @@ class CompiledRTSimulation:
             self._finish()
         self._ran = True
         self._probe.on_run_end(self, _time.perf_counter() - t0)
+        record_backend_run(self)
         return self
 
     def run_steps(self, steps: int) -> "CompiledRTSimulation":

@@ -639,23 +639,34 @@ def resolve_plan(
                 f"supplied plan was lowered from a different model "
                 f"(plan: {handle.plan.name!r}, model: {model.name!r})"
             )
-        return handle
+        return _recorded(handle)
     cache = as_plan_cache(plan_cache)
     t0 = time.perf_counter()
     if cache is None:
         lowered = lower(model)
-        return PlanHandle(
+        return _recorded(PlanHandle(
             lowered, "off", (time.perf_counter() - t0) * 1000.0
-        )
+        ))
     digest = model_digest(model)
     cached = cache.get(digest)
     if cached is not None:
-        return PlanHandle(
+        return _recorded(PlanHandle(
             cached, "hit", (time.perf_counter() - t0) * 1000.0
-        )
+        ))
     lowered = lower(model, digest=digest)
     cache.put(lowered)
-    return PlanHandle(lowered, "miss", (time.perf_counter() - t0) * 1000.0)
+    return _recorded(
+        PlanHandle(lowered, "miss", (time.perf_counter() - t0) * 1000.0)
+    )
+
+
+def _recorded(handle: PlanHandle) -> PlanHandle:
+    """Report the resolution to the process metrics registry (one
+    counter bump + one histogram sample; never on the per-cycle path)."""
+    from ..observe.metrics import record_plan_resolution
+
+    record_plan_resolution(handle.source, handle.build_ms)
+    return handle
 
 
 # ----------------------------------------------------------------------

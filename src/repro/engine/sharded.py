@@ -461,6 +461,9 @@ class ShardedRTSimulation:
         self._ran = True
         if self._probe is not None:
             self._probe.on_run_end(self, time.perf_counter() - t0)
+        from ..observe.metrics import record_backend_run
+
+        record_backend_run(self)
         return self
 
     def _run_barriers(self) -> None:

@@ -26,11 +26,40 @@ compiled executor, clocked translation, handshake network):
   DISC as ``z`` and ILLEGAL as ``x``;
 * :class:`Profiler` -- per-phase wall-clock profiling with a
   ``sample_every=N`` sampling mode for chip-scale sweeps, surfaced
-  through ``run_metrics(backend, profile=...)`` and ``--profile``.
+  through ``run_metrics(backend, profile=...)`` and ``--profile``;
+* :class:`CoverageModel` / :class:`CoverageProbe` /
+  :class:`CoverageReport` / :class:`CoverageDB` -- structural coverage
+  over the Plan IR (transfers, (CS, PH) cells, port value classes,
+  conflict pairs), backend-identical and cumulative on disk
+  (``repro cover`` / ``--cover``);
+* :data:`~repro.observe.metrics.REGISTRY` -- the process-wide typed
+  metrics registry (counters/gauges/histograms) fed by the plan cache,
+  every backend and the stream server, exported as Prometheus text or
+  JSON (``repro metrics`` / ``--metrics-out``);
+* :class:`SpanTracer` -- hierarchical wall-clock spans (elaborate,
+  plan, run, per-step, per-phase, per-shard worker) on the Profiler's
+  clock, exported as Chrome trace-event JSON (``--trace-out``).
 """
 
 from .attach import KernelProbeAdapter
+from .coverage import (
+    CoverageDB,
+    CoverageError,
+    CoverageModel,
+    CoverageProbe,
+    CoverageReport,
+    as_coverage_db,
+    coverage_from_trace,
+    coverage_model_for,
+    measure_coverage,
+)
 from .emit import emit_canonical_cycle
+from .metrics import (
+    REGISTRY,
+    MetricsError,
+    MetricsRegistry,
+    parse_prometheus,
+)
 from .monitor import (
     AssertionMonitor,
     AssertionReport,
@@ -62,10 +91,25 @@ from .recorder import (
     read_events,
 )
 from .stream import StreamServer, format_event, parse_endpoint, watch_stream
+from .trace import SpanTracer
 from .vcd import VCDError, VCDWave, export_vcd, parse_vcd, step_phase_tick
 
 __all__ = [
     "KernelProbeAdapter",
+    "CoverageDB",
+    "CoverageError",
+    "CoverageModel",
+    "CoverageProbe",
+    "CoverageReport",
+    "as_coverage_db",
+    "coverage_from_trace",
+    "coverage_model_for",
+    "measure_coverage",
+    "REGISTRY",
+    "MetricsError",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "SpanTracer",
     "Probe",
     "ProbeSet",
     "combine_probes",

@@ -12,7 +12,9 @@ object per line, with a **stable schema** (version tag on the
 ``bus``           ``cs``, ``ph``, ``signal``, ``value``
 ``latch``         ``cs``, ``ph``, ``register``, ``value``
 ``conflict``      ``cs``, ``ph``, ``signal``, ``drivers`` ([owner, value])
-``run_end``       ``wall``, ``clean``, ``stats``, ``registers``
+``run_end``       ``wall``, ``clean``, ``stats``, ``registers``, plus
+                  ``plan_cache`` / ``plan_build_ms`` for runs through
+                  the shared lowering pipeline
 ================  ====================================================
 
 Values use the subset's std-logic analogues: naturals stay integers,
@@ -129,7 +131,7 @@ def conflict_event(event: Any) -> dict:
 
 def run_end_event(backend: Any, wall: float) -> dict:
     stats = getattr(backend, "stats", None)
-    return {
+    record = {
         "event": "run_end",
         "wall": wall,
         "clean": bool(getattr(backend, "clean", True)),
@@ -147,6 +149,14 @@ def run_end_event(backend: Any, wall: float) -> dict:
             for name, value in getattr(backend, "registers", {}).items()
         },
     }
+    # Backends elaborated through the shared lowering pipeline carry
+    # their plan-cache verdict; record it so `repro report` can render
+    # it (additive -- readers of schema 1 logs ignore absent keys).
+    plan_state = getattr(backend, "plan_cache_state", None)
+    if plan_state is not None:
+        record["plan_cache"] = plan_state
+        record["plan_build_ms"] = getattr(backend, "plan_build_ms", 0.0)
+    return record
 
 
 class JsonlRecorder(Probe):
@@ -296,6 +306,10 @@ class RunReport:
     schema: int = SCHEMA_VERSION
     wall: Optional[float] = None
     clean: Optional[bool] = None
+    #: plan-cache verdict ("hit"/"miss"/"given") and resolution wall
+    #: milliseconds, for runs through the shared lowering pipeline.
+    plan_cache: Optional[str] = None
+    plan_build_ms: Optional[float] = None
     stats: Dict[str, int] = field(default_factory=dict)
     registers: Dict[str, Any] = field(default_factory=dict)
     #: events per record type ("phase", "bus", "latch", ...).
@@ -350,6 +364,8 @@ class RunReport:
             elif kind == "run_end":
                 report.wall = event.get("wall")
                 report.clean = event.get("clean")
+                report.plan_cache = event.get("plan_cache")
+                report.plan_build_ms = event.get("plan_build_ms")
                 report.stats = dict(event.get("stats", {}))
                 report.registers = dict(event.get("registers", {}))
                 if report.wall is not None and last_t is not None and last_phase:
@@ -376,6 +392,8 @@ class RunReport:
             "schema": self.schema,
             "wall": self.wall,
             "clean": self.clean,
+            "plan_cache": self.plan_cache,
+            "plan_build_ms": self.plan_build_ms,
             "stats": self.stats,
             "registers": self.registers,
             "counts": self.counts,
@@ -401,6 +419,13 @@ class RunReport:
             lines.append(f"  wall time     : {self.wall * 1e3:.2f} ms")
         if self.clean is not None:
             lines.append(f"  clean         : {self.clean}")
+        if self.plan_cache is not None:
+            build = (
+                f" (build {self.plan_build_ms:.2f} ms)"
+                if self.plan_build_ms is not None
+                else ""
+            )
+            lines.append(f"  plan cache    : {self.plan_cache}{build}")
         if self.stats:
             stat_text = ", ".join(f"{k}={v}" for k, v in self.stats.items())
             lines.append(f"  stats         : {stat_text}")

@@ -72,6 +72,10 @@ class StreamServer(Probe):
         self.wait_for_client = wait_for_client
         self.events = 0
         self.dropped = 0
+        #: watcher connections accepted over the server's lifetime
+        #: (``run_metrics(stream=server)`` reports it next to the
+        #: delivery counters).
+        self.clients_total = 0
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_queue)
         self._clients: List[socket.socket] = []
         self._lock = threading.Lock()
@@ -101,6 +105,7 @@ class StreamServer(Probe):
                     conn.close()
                     return
                 self._clients.append(conn)
+                self.clients_total += 1
             self._have_client.set()
 
     def _sender_loop(self) -> None:
@@ -139,12 +144,22 @@ class StreamServer(Probe):
         """Monitor listener hook: stream an assertion failure live."""
         self.emit({"event": "violation", **violation.to_dict()})
 
+    @property
+    def client_count(self) -> int:
+        """Watchers connected right now."""
+        with self._lock:
+            return len(self._clients)
+
     def close(self, timeout: float = 5.0) -> None:
         """Drain the queue, hang up on clients, stop both threads."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        # One process-metrics sample per server lifetime.
+        from .metrics import record_stream_close
+
+        record_stream_close(self)
         try:
             self._queue.put(_CLOSE, timeout=timeout)
         except queue.Full:

@@ -177,6 +177,7 @@ def check_program_vs_model(
     seed: int = 12345,
     backend: Optional[str] = None,
     properties: Optional[Sequence] = None,
+    coverage_db: object = None,
 ) -> list[EquivalenceResult]:
     """Verify an RT model against its algorithmic source program.
 
@@ -200,6 +201,13 @@ def check_program_vs_model(
     (a bus conflict that resolves to the right value, a transient
     ILLEGAL overwritten before the output step); the monitor oracle
     rejects them.
+
+    ``coverage_db`` (any :data:`repro.observe.coverage.CoverageDBArg`
+    shape -- True, a path, or a ready ``CoverageDB``) additionally
+    measures the structural coverage the trial sweep achieved and
+    merges it into the cumulative on-disk DB, so refutation trials
+    feed the same saturation campaign as ``repro cover`` runs.  Needs
+    ``backend`` (the symbolic path never executes the model).
     """
     run = symbolic_run(model, symbolic_registers=list(program.inputs))
     prog_env = program_symbolic_env(program)
@@ -257,7 +265,41 @@ def check_program_vs_model(
         results.extend(
             _monitor_oracle(model, trial_envs, properties, backend)
         )
+    if coverage_db is not None and coverage_db is not False:
+        _accumulate_coverage(model, trial_envs, backend, coverage_db)
     return results
+
+
+def _accumulate_coverage(
+    model: RTModel,
+    trial_envs: Sequence[Mapping[str, int]],
+    backend: Optional[str],
+    coverage_db: object,
+) -> None:
+    """Merge the trial sweep's structural coverage into the DB."""
+    from ..observe import as_coverage_db, measure_coverage
+
+    db = as_coverage_db(coverage_db)
+    if db is None:
+        return
+    if backend is None:
+        raise ValueError(
+            "coverage_db needs a backend= that executes the model "
+            "(the symbolic oracle never runs it)"
+        )
+    if backend == "compiled-batched":
+        report = measure_coverage(
+            model, backend=backend, register_values=list(trial_envs)
+        )
+    else:
+        report = None
+        for env in trial_envs:
+            lane = measure_coverage(
+                model, backend=backend, register_values=dict(env)
+            )
+            report = lane if report is None else report.merge(lane)
+    if report is not None:
+        db.update(report)
 
 
 def _monitor_oracle(

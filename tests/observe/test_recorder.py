@@ -132,6 +132,7 @@ class TestRunReport:
         decoded = json.loads(report.to_json())
         assert list(decoded) == [
             "model", "backend", "cs_max", "schema", "wall", "clean",
+            "plan_cache", "plan_build_ms",
             "stats", "registers", "counts", "conflicts",
             "conflicts_by_location", "bus_occupancy",
             "register_activity", "phase_wall",
@@ -146,6 +147,24 @@ class TestRunReport:
     def test_phase_wall_covers_all_six_phases(self):
         report = self._recorded(fig1_model())
         assert set(report.phase_wall) == {"ra", "rb", "cm", "wa", "wb", "cr"}
+
+    def test_plan_cache_rows_survive_and_render(self, tmp_path):
+        recorder = JsonlRecorder()
+        fig1_model().elaborate(
+            backend="compiled", plan_cache=tmp_path, observe=recorder
+        ).run()
+        report = RunReport.from_recorder(recorder)
+        assert report.plan_cache == "miss"
+        assert report.plan_build_ms is not None
+        assert report.plan_build_ms >= 0.0
+        text = report.render()
+        assert "plan cache    : miss" in text
+        assert "ms)" in text
+
+    def test_event_backend_has_no_plan_rows(self):
+        report = self._recorded(fig1_model())
+        assert report.plan_cache is None
+        assert "plan cache" not in report.render()
 
 
 class TestTruncatedLogs:

@@ -106,6 +106,20 @@ class TestStreamServer:
         row = run_metrics(sim, stream=server)
         assert row["stream_events"] == server.events
         assert row["stream_dropped"] == server.dropped
+        assert row["stream_clients"] == 0
+
+    def test_clients_total_counts_lifetime_connections(self):
+        with StreamServer(wait_for_client=10.0) as server:
+            host, port = server.address
+            events, thread = drain(host, port)
+            sim = fig1_model().elaborate(observe=server).run()
+            assert server.clients_total == 1
+            assert server.client_count == 1
+        thread.join(timeout=10.0)
+        # The lifetime count survives disconnects (and close()).
+        assert server.clients_total == 1
+        row = run_metrics(sim, stream=server)
+        assert row["stream_clients"] == 1
 
     def test_no_stream_no_columns(self):
         sim = fig1_model().elaborate().run()

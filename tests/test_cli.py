@@ -754,3 +754,164 @@ class TestPlanCli:
     def test_bench_plan_excludes_sharded(self, capsys):
         assert main(["bench", "--plan", "--sharded"]) == 1
         assert "exclusive" in capsys.readouterr().err
+
+
+class TestCoverCli:
+    def test_cover_prints_the_report(self, fig1_json, capsys):
+        assert main(["cover", str(fig1_json)]) == 0
+        out = capsys.readouterr().out
+        assert "coverage: model 'example'" in out
+        assert "transfers" in out
+        assert "conflict pairs" in out
+
+    def test_cover_json_output(self, fig1_json, capsys):
+        assert main(["cover", str(fig1_json), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "example"
+        assert payload["totals"]["transfers"] == len(
+            payload["hits"]["transfers"]
+        )
+
+    def test_cover_is_backend_identical(self, clash_json, capsys):
+        assert main(["cover", str(clash_json), "--json",
+                     "--backend", "event"]) in (0, 1)
+        event = json.loads(capsys.readouterr().out)
+        assert main(["cover", str(clash_json), "--json",
+                     "--backend", "compiled"]) in (0, 1)
+        compiled = json.loads(capsys.readouterr().out)
+        assert event == compiled
+
+    def test_cover_out_writes_json(self, fig1_json, tmp_path, capsys):
+        out = tmp_path / "cov.json"
+        assert main(["cover", str(fig1_json), "--cover-out", str(out)]) == 0
+        assert json.loads(out.read_text())["model"] == "example"
+        assert f"-- wrote {out}" in capsys.readouterr().out
+
+    def test_cover_min_gates_the_exit_status(self, fig1_json, capsys):
+        assert main(["cover", str(fig1_json), "--cover-min", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cover", str(fig1_json), "--cover-min", "99"]) == 1
+        assert "below --cover-min" in capsys.readouterr().out
+
+    def test_cover_db_accumulates_across_processes(
+        self, fig1_json, tmp_path, capsys
+    ):
+        db = tmp_path / "covdb"
+        assert main(["cover", str(fig1_json), "--cover-db", str(db)]) == 0
+        first = capsys.readouterr().out
+        assert "coverage db:" in first
+        assert main(["cover", str(fig1_json), "--cover-db", str(db)]) == 0
+        second = capsys.readouterr().out
+        # Idempotent: the cumulative count does not change on a rerun.
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+        entries = list((db / "coverage" / "v1").glob("*.json"))
+        assert len(entries) == 1
+
+    @needs_numpy
+    def test_cover_batched_sweep_with_lanes(self, fig1_json, capsys):
+        assert main([
+            "cover", str(fig1_json), "--backend", "compiled-batched",
+            "--batch", "4", "--seed", "9", "--per-lane",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lane 0:" in out
+        assert "lane 3:" in out
+        assert "coverage: model 'example'" in out
+
+    def test_batch_requires_batched_backend(self, fig1_json, capsys):
+        assert main(["cover", str(fig1_json), "--batch", "3"]) == 1
+        assert "compiled-batched" in capsys.readouterr().err
+
+    def test_simulate_cover_flag(self, fig1_json, capsys):
+        assert main(["simulate", str(fig1_json), "--cover",
+                     "--backend", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage: model 'example'" in out
+        assert "R1 = 5" in out
+
+    @needs_numpy
+    def test_simulate_batched_cover_merges_lanes(
+        self, fig1_json, capsys
+    ):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+            "--batch", "3", "--cover",
+        ]) == 0
+        assert "coverage: model 'example'" in capsys.readouterr().out
+
+    def test_run_subcommand_cover_via_model_path(self, fig1_vhd, capsys):
+        assert main(["run", str(fig1_vhd), "--top", "example",
+                     "--cover"]) == 0
+        assert "coverage: model 'example'" in capsys.readouterr().out
+
+
+class TestMetricsCli:
+    def test_metrics_exports_prometheus_text(self, fig1_json, capsys):
+        from repro.observe import parse_prometheus
+
+        assert main(["metrics", str(fig1_json), "--backend",
+                     "compiled"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        samples = {
+            s["labels"]["backend"]: s["value"]
+            for s in parsed["repro_runs_total"]["samples"]
+        }
+        assert samples["compiled"] >= 1.0
+
+    def test_metrics_json_and_out_file(self, fig1_json, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(["metrics", str(fig1_json), "--json",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "repro_runs_total" in payload
+        assert f"-- wrote {out}" in capsys.readouterr().out
+
+    def test_metrics_out_flag_on_simulate(self, fig1_json, tmp_path, capsys):
+        from repro.observe import parse_prometheus
+
+        prom = tmp_path / "run.prom"
+        assert main(["simulate", str(fig1_json), "--backend", "compiled",
+                     "--metrics-out", str(prom)]) == 0
+        parsed = parse_prometheus(prom.read_text())
+        assert "repro_runs_total" in parsed
+
+    def test_metrics_out_json_by_extension(
+        self, fig1_json, tmp_path, capsys
+    ):
+        path = tmp_path / "run-metrics.json"
+        assert main(["simulate", str(fig1_json),
+                     "--metrics-out", str(path)]) == 0
+        assert "repro_runs_total" in json.loads(path.read_text())
+
+
+class TestTraceCli:
+    def test_trace_out_writes_chrome_json(self, fig1_json, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["simulate", str(fig1_json), "--backend", "compiled",
+                     "--trace-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "elaborate" in names
+        assert "run" in names
+        assert "cs1" in names
+
+    def test_trace_out_carries_plan_and_shard_spans(
+        self, fig1_json, tmp_path, capsys
+    ):
+        out = tmp_path / "trace.json"
+        cache = tmp_path / "plans"
+        assert main(["simulate", str(fig1_json), "--backend", "sharded",
+                     "--shards", "2", "--plan-cache", str(cache),
+                     "--trace-out", str(out)]) == 0
+        names = {e["name"] for e in json.loads(out.read_text())["traceEvents"]}
+        assert "plan:miss" in names
+        assert "shard0:execute" in names
+        assert "shard1:execute" in names
+
+    @needs_numpy
+    def test_batched_rejects_trace_out(self, fig1_json, tmp_path, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+            "--batch", "2", "--trace-out", str(tmp_path / "t.json"),
+        ]) == 1
+        assert "single-run output" in capsys.readouterr().err

@@ -306,3 +306,52 @@ class TestMonitorOracle:
         assert failing.register == out_reg
         assert failing.counterexample is not None
         assert set(failing.counterexample) == set(res.program.inputs)
+
+
+class TestCoverageOracle:
+    """``check_program_vs_model(coverage_db=...)``: the equivalence
+    sweep's trial vectors double as coverage stimulus, accumulated
+    into the persistent database."""
+
+    def test_scalar_sweep_accumulates_coverage(self, tmp_path):
+        from repro.engine.plan import lower
+        from repro.observe import CoverageDB
+
+        res = synthesize("s = a + b\n")
+        results = check_program_vs_model(
+            res.program, res.model, res.output_regs, trials=4,
+            backend="compiled", coverage_db=tmp_path,
+        )
+        assert all_equivalent(results)
+        report = CoverageDB(tmp_path).get(lower(res.model).digest)
+        assert report is not None
+        assert report.hit_count > 0
+        assert report.fractions()["transfers"] > 0.0
+
+    def test_second_sweep_only_grows_the_db(self, tmp_path):
+        from repro.engine.plan import lower
+        from repro.observe import CoverageDB
+
+        res = synthesize("s = a + b\n")
+        digest = lower(res.model).digest
+        db = CoverageDB(tmp_path)
+        check_program_vs_model(
+            res.program, res.model, res.output_regs, trials=2,
+            backend="compiled", coverage_db=tmp_path,
+        )
+        first = db.get(digest)
+        check_program_vs_model(
+            res.program, res.model, res.output_regs, trials=2,
+            backend="compiled", coverage_db=tmp_path,
+        )
+        second = db.get(digest)
+        assert second.hit_count >= first.hit_count
+        assert second.merge(first) == second  # first is absorbed
+
+    def test_symbolic_oracle_rejects_coverage_db(self, tmp_path):
+        res = synthesize("s = a + b\n")
+        with pytest.raises(ValueError, match="backend"):
+            check_program_vs_model(
+                res.program, res.model, res.output_regs,
+                coverage_db=tmp_path,
+            )
