@@ -16,6 +16,14 @@ from .backend import (
     shard_metrics_rows,
 )
 from .batched import CompiledBatchedRTSimulation
+from .codegen import (
+    CODEGEN_VERSION,
+    CodegenBatchedRTSimulation,
+    CodegenCache,
+    CodegenRTSimulation,
+    gc_caches,
+    generate_source,
+)
 from .compiled import CompiledRTSimulation, PortView
 from .partition import (
     PartitionError,
@@ -50,6 +58,12 @@ __all__ = [
     "CompiledBatchedRTSimulation",
     "CompiledRTSimulation",
     "PortView",
+    "CODEGEN_VERSION",
+    "CodegenBatchedRTSimulation",
+    "CodegenCache",
+    "CodegenRTSimulation",
+    "gc_caches",
+    "generate_source",
     "PartitionError",
     "ShardPlan",
     "connectivity_clusters",

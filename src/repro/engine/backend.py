@@ -25,6 +25,13 @@ name -- additionally register themselves in a factory registry:
 * ``"sharded"``: the compiled action tables partitioned over K worker
   processes synchronized at control-step boundaries (pass ``shards``
   and optionally ``partition`` to :meth:`RTModel.elaborate`).
+* ``"compiled-py"``: a per-model specialized executor generated from
+  the Plan IR (:mod:`repro.engine.codegen`) -- straight-line per-(step,
+  phase) code with tables constant-folded into the source, cached as
+  ``codegen/v1/<digest>.py``, optionally numba-jitted via the
+  ``repro[jit]`` extra.
+* ``"compiled-py-batched"``: the generated numpy plane sweep over the
+  same artifact (requires the ``repro[fast]`` extra).
 """
 
 from __future__ import annotations
@@ -119,6 +126,10 @@ def _ensure_builtins() -> None:
         register_backend("compiled-batched", _compiled_batched_factory)
     if "sharded" not in _REGISTRY:
         register_backend("sharded", _sharded_factory)
+    if "compiled-py" not in _REGISTRY:
+        register_backend("compiled-py", _codegen_factory)
+    if "compiled-py-batched" not in _REGISTRY:
+        register_backend("compiled-py-batched", _codegen_batched_factory)
 
 
 def _event_factory(model: Any, **kwargs: Any) -> Backend:
@@ -143,6 +154,18 @@ def _sharded_factory(model: Any, **kwargs: Any) -> Backend:
     from .sharded import ShardedRTSimulation
 
     return ShardedRTSimulation(model, **kwargs)
+
+
+def _codegen_factory(model: Any, **kwargs: Any) -> Backend:
+    from .codegen import CodegenRTSimulation
+
+    return CodegenRTSimulation(model, **kwargs)
+
+
+def _codegen_batched_factory(model: Any, **kwargs: Any) -> Backend:
+    from .codegen import CodegenBatchedRTSimulation
+
+    return CodegenBatchedRTSimulation(model, **kwargs)
 
 
 def run_metrics(
@@ -190,6 +213,13 @@ def run_metrics(
     ``miss``, ``off`` or ``given`` -- and ``plan_build_ms``, the wall
     time spent resolving the :class:`~repro.engine.plan.Plan` (digest
     plus lower on a miss, digest plus unpickle on a hit).
+
+    Codegen backends (see :mod:`repro.engine.codegen`) additionally
+    report ``codegen_cache`` (``hit`` / ``miss`` / ``off``),
+    ``codegen_build_ms`` (wall time spent resolving the generated
+    executor -- artifact load on a hit, generate + compile on a miss)
+    and ``codegen_mode`` (``exec``, ``jit`` or ``interpreter`` when the
+    generated path was unavailable and the backend fell back).
     """
     stats = backend.stats
     if baseline is not None:
@@ -230,6 +260,11 @@ def run_metrics(
     if plan_cache_state is not None:
         row["plan_cache"] = plan_cache_state
         row["plan_build_ms"] = getattr(backend, "plan_build_ms", 0.0)
+    codegen_cache_state = getattr(backend, "codegen_cache_state", None)
+    if codegen_cache_state is not None:
+        row["codegen_cache"] = codegen_cache_state
+        row["codegen_build_ms"] = getattr(backend, "codegen_build_ms", 0.0)
+        row["codegen_mode"] = getattr(backend, "codegen_mode", "interpreter")
     shard_metrics = getattr(backend, "shard_metrics", None)
     if shard_metrics:
         row["shards"] = len(shard_metrics)

@@ -510,16 +510,38 @@ def default_cache_root() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+#: Per-process dedupe for lenient cache reads: one RuntimeWarning per
+#: unusable entry path, not one per resolve.  A damaged entry that
+#: cannot be unlinked (read-only cache directory) would otherwise
+#: re-warn on every elaboration in the same process.
+_WARNED_ENTRIES: set = set()
+
+
+def warn_entry_once(path: Union[str, Path], message: str) -> None:
+    """Emit ``message`` as a RuntimeWarning once per path per process.
+
+    Shared by the plan cache and the codegen artifact cache (see
+    :mod:`repro.engine.codegen`): both discard corrupt entries
+    leniently, and both should say so exactly once.
+    """
+    key = str(path)
+    if key in _WARNED_ENTRIES:
+        return
+    _WARNED_ENTRIES.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
 class PlanCache:
     """Content-addressed on-disk Plan store.
 
     Entries live at ``<root>/plans/v<PLAN_VERSION>/<digest>.plan`` and
     carry a ``(magic, version, plan)`` pickle payload.  Reads are
     lenient: any unreadable, truncated, foreign or digest-mismatched
-    entry is discarded with a :class:`RuntimeWarning` and ``get``
-    returns None -- the caller just re-lowers.  Writes are atomic
-    (tmp + rename) and best-effort: a read-only cache directory
-    disables caching rather than failing the run.
+    entry is discarded with a :class:`RuntimeWarning` (once per entry
+    per process) and ``get`` returns None -- the caller just
+    re-lowers.  Writes are atomic (tmp + rename) and best-effort: a
+    read-only cache directory disables caching rather than failing the
+    run.
     """
 
     def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
@@ -547,11 +569,10 @@ class PlanCache:
             if not isinstance(plan, Plan) or plan.digest != digest:
                 raise ValueError("entry does not match its digest")
         except Exception as exc:
-            warnings.warn(
+            warn_entry_once(
+                path,
                 f"plan cache: discarding unusable entry {path} "
                 f"({exc}); re-lowering",
-                RuntimeWarning,
-                stacklevel=2,
             )
             try:
                 path.unlink()

@@ -48,6 +48,7 @@ __all__ = [
     "MetricsError",
     "parse_prometheus",
     "record_backend_run",
+    "record_codegen_request",
     "record_plan_resolution",
     "record_stream_close",
 ]
@@ -287,6 +288,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._families: Dict[str, _Family] = {}
+        #: Bumped by reset(); lets hot callers memoize labelled children
+        #: safely (a stale memo entry would resurrect dropped families).
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # declaration
@@ -349,6 +353,7 @@ class MetricsRegistry:
         """Drop every family (tests; a fresh process-equivalent state)."""
         with self._lock:
             self._families.clear()
+            self.generation += 1
 
     def families(self) -> List[_Family]:
         with self._lock:
@@ -561,31 +566,59 @@ def record_plan_resolution(source: str, build_ms: float) -> None:
     ).observe(build_ms)
 
 
+def record_codegen_request(source: str, build_ms: float) -> None:
+    """Report one :func:`repro.engine.codegen.resolve_codegen` outcome."""
+    REGISTRY.counter(
+        "repro_codegen_requests_total",
+        "Codegen artifact resolutions by outcome (hit/miss/off).",
+        ("source",),
+    ).labels(source=source).inc()
+    REGISTRY.histogram(
+        "repro_codegen_build_ms",
+        "Wall milliseconds spent resolving a generated executor "
+        "(artifact load or generate + compile + exec).",
+    ).observe(build_ms)
+
+
+#: Per-backend memo of the three per-run labelled children, keyed by
+#: backend name and guarded by the registry generation -- declaring a
+#: family and resolving its labels costs regex validation and locking
+#: that would otherwise dominate sub-100us simulation runs.
+_RUN_SERIES: Dict[str, Tuple[int, Any, Any, Any]] = {}
+
+
 def record_backend_run(backend: Any) -> None:
     """Report one completed backend run (called at the end of run())."""
     name = getattr(backend, "backend_name", type(backend).__name__)
-    runs = REGISTRY.counter(
-        "repro_runs_total",
-        "Completed simulation runs by backend.",
-        ("backend",),
-    )
-    runs.labels(backend=name).inc()
-    model = getattr(backend, "model", None)
-    steps = getattr(model, "cs_max", 0)
-    if steps:
-        REGISTRY.counter(
+    cached = _RUN_SERIES.get(name)
+    if cached is None or cached[0] != REGISTRY.generation:
+        runs = REGISTRY.counter(
+            "repro_runs_total",
+            "Completed simulation runs by backend.",
+            ("backend",),
+        ).labels(backend=name)
+        steps_series = REGISTRY.counter(
             "repro_steps_total",
             "Control steps executed by backend.",
             ("backend",),
-        ).labels(backend=name).inc(steps)
-    stats = getattr(backend, "stats", None)
-    if stats is not None:
-        REGISTRY.counter(
+        ).labels(backend=name)
+        dispatches = REGISTRY.counter(
             "repro_dispatches_total",
             "Process dispatches (kernel resumes / compiled cycle "
             "dispatches) by backend.",
             ("backend",),
-        ).labels(backend=name).inc(stats.process_resumes)
+        ).labels(backend=name)
+        cached = (REGISTRY.generation, runs, steps_series, dispatches)
+        _RUN_SERIES[name] = cached
+    _gen, runs, steps_series, dispatches = cached
+    runs.inc()
+    model = getattr(backend, "model", None)
+    steps = getattr(model, "cs_max", 0)
+    if steps:
+        steps_series.inc(steps)
+    stats = getattr(backend, "stats", None)
+    if stats is not None:
+        dispatches.inc(stats.process_resumes)
     batch_size = getattr(backend, "batch_size", None)
     if batch_size is not None:
         REGISTRY.counter(

@@ -388,7 +388,7 @@ class TestBatchedCli:
             "simulate", str(fig1_json), "--batch", "4",
         ]) == 1
         err = capsys.readouterr().err
-        assert "require --backend compiled-batched" in err
+        assert "require a batched backend" in err
 
     def test_batched_rejects_single_run_output_flags(
         self, fig1_json, tmp_path, capsys
@@ -915,3 +915,118 @@ class TestTraceCli:
             "--batch", "2", "--trace-out", str(tmp_path / "t.json"),
         ]) == 1
         assert "single-run output" in capsys.readouterr().err
+
+
+class TestCodegenCli:
+    def test_simulate_compiled_py_prints_verdict_line(
+        self, fig1_json, capsys
+    ):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-py",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-- codegen: off mode=" in out
+        assert "R1 = 5" in out
+
+    def test_simulate_compiled_py_cache_miss_then_hit(
+        self, fig1_json, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-py",
+            "--plan-cache", str(cache),
+        ]) == 0
+        assert "-- codegen: miss mode=" in capsys.readouterr().out
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-py",
+            "--plan-cache", str(cache),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-- plan_cache: hit" in out
+        assert "-- codegen: hit mode=" in out
+
+    @needs_numpy
+    def test_simulate_compiled_py_batched_sweep(self, fig1_json, capsys):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-py-batched",
+            "--batch", "3", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 vectors, 3 clean" in out
+
+    @needs_numpy
+    def test_batched_backends_print_identical_sweeps(
+        self, fig1_json, capsys
+    ):
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-batched",
+            "--batch", "4", "--seed", "11",
+        ]) == 0
+        reference = capsys.readouterr().out
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-py-batched",
+            "--batch", "4", "--seed", "11",
+        ]) == 0
+        generated = capsys.readouterr().out
+        stripped = [
+            line for line in generated.splitlines()
+            if not line.startswith("-- codegen:")
+        ]
+        assert stripped == reference.splitlines()
+
+    def test_run_rejects_codegen_batched_backend(self, fig1_vhd, capsys):
+        assert main([
+            "run", str(fig1_vhd), "--top", "example",
+            "--backend", "compiled-py-batched",
+        ]) == 1
+        assert "batch-shaped results" in capsys.readouterr().err
+
+    def test_plan_emit_code_prints_artifact_source(
+        self, fig1_json, capsys
+    ):
+        assert main(["plan", str(fig1_json), "--emit-code"]) == 0
+        out = capsys.readouterr().out
+        assert "CODEGEN_VERSION = " in out
+        assert 'PLAN_DIGEST = "' in out
+        assert "def bind(" in out
+
+    def test_plan_gc_prunes_and_reports(self, fig1_json, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main([
+            "simulate", str(fig1_json), "--backend", "compiled-py",
+            "--plan-cache", str(cache),
+        ]) == 0
+        capsys.readouterr()
+        (cache / "plans" / "v1" / "junk.plan").write_text("junk")
+        assert main(["plan", "--gc", "--plan-cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "plans: kept 1, removed 1" in out
+        assert "codegen: kept 2, removed 0" in out
+
+    def test_plan_gc_rejects_inspection_flags(self, fig1_json, capsys):
+        assert main(["plan", str(fig1_json), "--gc"]) == 1
+        assert "no model file" in capsys.readouterr().err
+
+    def test_plan_requires_file_or_gc(self, capsys):
+        assert main(["plan"]) == 1
+        assert "model JSON file is required" in capsys.readouterr().err
+
+    def test_bench_codegen_writes_record(self, fig1_json, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--codegen", "--model", str(fig1_json),
+            "--repeat", "1", "--out", str(out),
+        ]) == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "codegen-vs-compiled"
+        assert record["speedup"] > 0
+        case = record["cases"][0]
+        assert case["codegen"]["mode"] in ("exec", "jit")
+        assert case["codegen"]["warm_build_ms"] >= 0.0
+        assert case["compiled"]["metrics"]["deltas"] == 42
+        text = capsys.readouterr().out
+        assert "speedup" in text
+
+    def test_bench_modes_are_exclusive(self, capsys):
+        assert main(["bench", "--codegen", "--plan"]) == 1
+        assert "exclusive" in capsys.readouterr().err
