@@ -298,6 +298,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_watch)
 
     p = sub.add_parser(
+        "serve",
+        help="run the batching simulation service (HTTP + WebSocket)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8349,
+        help="bind port; 0 picks a free one (default 8349)",
+    )
+    p.add_argument(
+        "--serve-backend", default="auto", metavar="NAME",
+        help="sweep backend: auto, adaptive, compiled, compiled-py, "
+        "compiled-batched, compiled-py-batched (default auto = "
+        "adaptive: re-armed scalar loop for small batches, numpy "
+        "plane above the crossover)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="most lanes coalesced into one sweep (default 64)",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=256, metavar="N",
+        help="admission bound: queued requests beyond this are "
+        "rejected with 503 (default 256)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=0.0, metavar="MS",
+        help="gather window before each sweep (default 0: natural "
+        "batching only)",
+    )
+    p.add_argument(
+        "--max-models", type=int, default=64, metavar="N",
+        help="resident compiled-model cache size (default 64)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="sweep executor threads (default 4)",
+    )
+    p.add_argument(
+        "--plan-cache", nargs="?", const=True, default=None, metavar="DIR",
+        help="warm-start submitted models from the on-disk plan cache "
+        "(default root: $REPRO_PLAN_CACHE or ~/.cache/repro; pass DIR "
+        "to override)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="graceful-shutdown budget for in-flight sweeps (default 10)",
+    )
+    p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser(
         "bench",
         help="benchmark the batched backend against sequential compiled runs",
     )
@@ -343,6 +396,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--codegen", action="store_true",
         help="benchmark the generated compiled-py executor against the "
         "compiled interpreter on Fig. 1 and the E6 IKS chip",
+    )
+    p.add_argument(
+        "--serve", action="store_true",
+        help="benchmark the simulation service (concurrent clients "
+        "against one server) vs per-request sequential compiled runs",
+    )
+    p.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="with --serve: concurrent load clients (default 8)",
     )
     p.set_defaults(handler=cmd_bench)
     return parser
@@ -1368,6 +1430,62 @@ def cmd_watch(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """`repro serve`: the batching simulation service, until Ctrl-C.
+
+    Boots :class:`repro.serve.ServeServer` on its own event-loop
+    thread and blocks; SIGINT *or* SIGTERM (what process managers
+    send) triggers the graceful drain (in-flight sweeps finish inside
+    ``--drain-timeout``, new requests are rejected with 503
+    ``closing``).
+    """
+    import signal
+    import threading
+
+    from .serve import serve_in_thread
+
+    handle = serve_in_thread(
+        host=args.host,
+        port=args.port,
+        backend=args.serve_backend,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        batch_window_ms=args.batch_window_ms,
+        plan_cache=args.plan_cache,
+        max_models=args.max_models,
+        max_workers=args.workers,
+        drain_timeout=args.drain_timeout,
+    )
+    host, port = handle.address
+    print(
+        f"-- repro serve on http://{host}:{port} "
+        f"(backend {handle.server.engine.backend}, "
+        f"max_batch {args.max_batch}, max_pending {args.max_pending})",
+        file=sys.stderr,
+    )
+    # Block until a shutdown signal.  SIGINT arrives as
+    # KeyboardInterrupt; SIGTERM would otherwise take the default
+    # handler and kill the process without draining, so route it to
+    # the same path (main thread only — the server loop runs on its
+    # own daemon thread).
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    try:
+        while not stop.wait(3600):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    print("-- draining in-flight sweeps...", file=sys.stderr)
+    drained = handle.close()
+    print(
+        f"-- shut down ({'drained' if drained else 'drain timed out'})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _bench_default_model():
     """The paper's Fig. 1 example (R1 + R2 -> R1 in steps 5/6)."""
     from .core import ModuleSpec, RTModel
@@ -1423,6 +1541,12 @@ def cmd_bench(args) -> int:
     ``compiled-py`` backend vs the ``compiled`` interpreter on Fig. 1
     and the E6 IKS chip, recorded as ``BENCH_codegen.json`` (see
     :func:`_bench_codegen`).
+
+    ``--serve`` switches to the service load benchmark: ``--clients``
+    concurrent connections against one in-process server vs
+    per-request sequential ``compiled`` runs, every response verified
+    bit-identical, recorded as ``BENCH_serve.json`` (see
+    :func:`_bench_serve`).
     """
     import random
     import time
@@ -1432,10 +1556,13 @@ def cmd_bench(args) -> int:
             ("--plan", args.plan),
             ("--sharded", args.sharded),
             ("--codegen", args.codegen),
+            ("--serve", args.serve),
         ) if flag
     ]
     if len(modes) > 1:
         raise ValueError(f"{' and '.join(modes)} are exclusive")
+    if args.serve:
+        return _bench_serve(args)
     if args.codegen:
         return _bench_codegen(args)
     if args.plan:
@@ -1528,6 +1655,171 @@ def _bench_model_record(model, model_name: str) -> dict:
         "modules": len(model.modules),
         "transfers": len(model.trans_specs()),
     }
+
+
+def _bench_serve(args) -> int:
+    """`repro bench --serve`: service throughput vs per-request runs.
+
+    Both sides are measured end to end through the service at the same
+    concurrency, so the comparison isolates exactly what the tentpole
+    adds.  The *sequential* baseline is the ablation: a server with no
+    compiled-model cache (``max_models=0`` -- every request ships the
+    model document inline and pays decode + lower), no armed-sim reuse
+    and no coalescing (``max_batch=1`` -- every request is its own
+    sequential ``compiled`` elaborate + run).  The *serve* side is the
+    real configuration: the model is submitted once, and ``--vectors``
+    single-vector simulate requests over ``--clients`` keep-alive
+    connections coalesce into plane sweeps over re-armed cached
+    elaborations.  Every response's registers and clean flag are
+    verified bit-identical to an in-process sequential ``compiled``
+    run before the record is written (``BENCH_serve.json``).
+    """
+    import random
+    import time
+
+    from .core.serialize import model_to_dict
+    from .serve import ServeClient, drive_load, serve_in_thread
+    from .serve.protocol import decode_registers
+
+    if args.vectors < 1:
+        raise ValueError(f"--vectors must be >= 1, got {args.vectors}")
+    if args.clients < 1:
+        raise ValueError(f"--clients must be >= 1, got {args.clients}")
+    if args.model:
+        model = load_model(args.model)
+        model_name = model.name
+    else:
+        model = _bench_default_model()
+        model_name = "fig1 (built-in)"
+    rng = random.Random(args.seed)
+    vectors = [
+        {
+            name: rng.randrange(0, 1 << model.width)
+            for name in model.registers
+        }
+        for _ in range(args.vectors)
+    ]
+
+    # In-process reference results for the bit-identity check (and a
+    # transport-free reference rate for the record).
+    t0 = time.perf_counter()
+    sequential = [
+        model.elaborate(register_values=vec, backend="compiled").run()
+        for vec in vectors
+    ]
+    ref_wall = time.perf_counter() - t0
+
+    document = model_to_dict(model)
+    warm = min(4 * args.clients, args.vectors)
+
+    # -- baseline: per-request sequential compiled service (ablation) --
+    base = serve_in_thread(
+        backend="compiled",
+        max_batch=1,
+        max_models=0,
+        reuse_sims=False,
+        max_pending=max(256, 4 * args.clients),
+    )
+    try:
+        host, port = base.address
+        drive_load(host, port, document, vectors[:warm], clients=args.clients)
+        seq_results: dict = {}
+        seq_load = drive_load(
+            host, port, document, vectors,
+            clients=args.clients, results=seq_results,
+        )
+    finally:
+        base.close()
+
+    # -- the real thing: cache + batched lane multiplexing -------------
+    handle = serve_in_thread(max_pending=max(256, 4 * args.clients))
+    try:
+        client = ServeClient(*handle.address)
+        digest = client.submit(model)["digest"]
+        client.close()
+        host, port = handle.address
+        # Warm-up pass: connection setup, lane creation, first sweep.
+        drive_load(host, port, digest, vectors[:warm], clients=args.clients)
+        results: dict = {}
+        load = drive_load(
+            host, port, digest, vectors,
+            clients=args.clients, results=results,
+        )
+        stats = handle.server.engine.stats()
+    finally:
+        handle.close()
+
+    for side, run in (("sequential", seq_load), ("serve", load)):
+        if run["errors"]:
+            print(
+                f"error: {run['errors']} of {args.vectors} {side} requests "
+                f"failed ({', '.join(run['error_codes'])})",
+                file=sys.stderr,
+            )
+            return 1
+    mismatches = [
+        i
+        for i, sim in enumerate(sequential)
+        for got in (results, seq_results)
+        if i not in got
+        or decode_registers(got[i]["registers"]) != sim.registers
+        or got[i]["clean"] != sim.clean
+    ]
+    if mismatches:
+        print(
+            f"error: served results differ from sequential runs for "
+            f"vectors {sorted(set(mismatches))[:8]}",
+            file=sys.stderr,
+        )
+        return 1
+
+    speedup = (
+        load["rps"] / seq_load["rps"] if seq_load["rps"] > 0 else float("inf")
+    )
+    record = {
+        "benchmark": "serve",
+        "model": _bench_model_record(model, model_name),
+        "vectors": args.vectors,
+        "seed": args.seed,
+        "clients": args.clients,
+        "backend": stats["backend"],
+        "sequential": {
+            "backend": "compiled",
+            "per_request": "decode + lower + elaborate + run, no "
+                           "coalescing (max_models=0, max_batch=1)",
+            "wall": seq_load["wall_s"],
+            "requests_per_sec": seq_load["rps"],
+            "p50_ms": seq_load["p50_ms"],
+            "p99_ms": seq_load["p99_ms"],
+        },
+        "reference_in_process": {
+            "backend": "compiled",
+            "wall": ref_wall,
+            "requests_per_sec": (
+                args.vectors / ref_wall if ref_wall > 0 else float("inf")
+            ),
+        },
+        "serve": {
+            "wall": load["wall_s"],
+            "requests_per_sec": load["rps"],
+            "p50_ms": load["p50_ms"],
+            "p99_ms": load["p99_ms"],
+            "mean_ms": load["mean_ms"],
+            "sweeps": stats["sweeps"],
+            "batch_mean": stats["batch_mean"],
+        },
+        "speedup": speedup,
+    }
+    written = _bench_write_record(record, args.out or "BENCH_serve.json")
+    print(
+        f"{model_name}: {args.vectors} requests x {args.clients} clients "
+        f"-- per-request {seq_load['rps']:,.0f} req/s, served "
+        f"{load['rps']:,.0f} req/s (p50 {load['p50_ms']}ms, p99 "
+        f"{load['p99_ms']}ms, mean batch {stats['batch_mean']}), "
+        f"speedup {speedup:.1f}x"
+    )
+    print(f"-- wrote {written}")
+    return 0
 
 
 def _bench_sharded_default_model(lanes: int = 8):

@@ -136,3 +136,18 @@ def iter_schedule(cs_max: int) -> Iterator[StepPhase]:
     for step in range(1, cs_max + 1):
         for phase in Phase:
             yield StepPhase(step, phase)
+
+
+#: Memoized full schedules: the points depend only on ``cs_max`` and
+#: StepPhase is frozen, so hot elaboration paths (one elaboration per
+#: service request) share one tuple instead of re-walking the grid.
+_SCHEDULES: dict = {}
+
+
+def schedule_points(cs_max: int) -> "tuple[StepPhase, ...]":
+    """The full schedule of :func:`iter_schedule` as a shared tuple."""
+    points = _SCHEDULES.get(cs_max)
+    if points is None:
+        points = tuple(iter_schedule(cs_max))
+        _SCHEDULES[cs_max] = points
+    return points

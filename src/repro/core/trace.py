@@ -50,6 +50,15 @@ class TraceLog:
         """Record one sample (values must cover every watched name)."""
         self.samples.append(TraceSample(at, dict(values)))
 
+    def reset(self) -> None:
+        """Drop every recorded sample, keeping the watch list.
+
+        Clears in place so holders of this object (generated-kernel
+        observation hooks bind the tracer at elaboration time) see the
+        reset -- the re-arm path of the compiled backends relies on it.
+        """
+        self.samples.clear()
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -54,7 +54,12 @@ from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..core.diagnostics import ConflictEvent, ConflictLog
 from ..core.model import ModelError, RTModel
-from ..core.phases import PHASES_PER_STEP, Phase, StepPhase, iter_schedule
+from ..core.phases import (
+    PHASES_PER_STEP,
+    Phase,
+    StepPhase,
+    schedule_points,
+)
 from ..core.trace import TraceLog
 from ..core.values import DISC, ILLEGAL
 from ..core.values_np import (
@@ -209,7 +214,7 @@ class CompiledBatchedRTSimulation:
         self.stats = SimStats()
         self.stats.cycles = 1
         self.stats.transactions = 2
-        self._schedule = list(iter_schedule(model.cs_max))
+        self._schedule = schedule_points(model.cs_max)
         self._pos = 0
         #: updates scheduled during the current cycle, due next cycle:
         #: (driver, column-or-scalar) and (port, column, lane-mask).

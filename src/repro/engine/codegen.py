@@ -967,6 +967,13 @@ def resolve_codegen(
     return CodegenHandle(namespace, state, build_ms)
 
 
+#: Memoized numba module (False = import failed).  A *failed* import
+#: is not cached by Python -- it re-scans sys.path every time -- and
+#: _jit_chunks runs once per elaboration, which profiles as ~40% of a
+#: warm-plan scalar elaborate when numba is absent.
+_NUMBA: Any = None
+
+
 def _jit_chunks(chunks):
     """numba-wrap the bound chunk thunks (``repro[jit]``), else None.
 
@@ -978,10 +985,16 @@ def _jit_chunks(chunks):
     flag = os.environ.get("REPRO_CODEGEN_JIT", "").strip().lower()
     if flag in ("0", "off", "no", "false"):
         return None
-    try:
-        import numba  # type: ignore[import-not-found]
-    except Exception:
+    global _NUMBA
+    if _NUMBA is None:
+        try:
+            import numba  # type: ignore[import-not-found]
+            _NUMBA = numba
+        except Exception:
+            _NUMBA = False
+    if _NUMBA is False:
         return None
+    numba = _NUMBA
     try:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
@@ -1208,6 +1221,20 @@ class CodegenRTSimulation(CompiledRTSimulation):
         if steps >= 1:
             self._run_chunks(steps)
         self._ran = True
+        return self
+
+    def rearm(
+        self, register_values: Optional[Mapping[str, int]] = None
+    ) -> "CodegenRTSimulation":
+        """Reset to time zero (see the base class).  The generated
+        kernel bound the value plane, driver storage and the scratch
+        buffers at elaboration time, so all are reset in place."""
+        super().rearm(register_values)
+        if self._chunks is not None:
+            self._act[:] = bytes(len(self._act))
+            self._nd[:] = [0] * len(self._nd)
+            self._vs[:] = [0] * len(self._vs)
+            self._chunk_pos = 0
         return self
 
 

@@ -43,7 +43,12 @@ from typing import Iterable, List, Mapping, Optional, Union
 
 from ..core.diagnostics import ConflictEvent, ConflictLog
 from ..core.model import ModelError, RTModel
-from ..core.phases import PHASES_PER_STEP, Phase, StepPhase, iter_schedule
+from ..core.phases import (
+    PHASES_PER_STEP,
+    Phase,
+    StepPhase,
+    schedule_points,
+)
 from ..core.trace import TraceLog
 from ..core.values import DISC, ILLEGAL, resolve_rt
 from ..kernel import SimStats
@@ -217,7 +222,7 @@ class CompiledRTSimulation:
         # controller's initial CS/PH assignments (two transactions).
         self.stats.cycles = 1
         self.stats.transactions = 2
-        self._schedule = list(iter_schedule(model.cs_max))
+        self._schedule = schedule_points(model.cs_max)
         self._pos = 0
         #: updates scheduled during the current cycle, due next cycle:
         #: (driver index, value) and (port index, value) respectively.
@@ -250,6 +255,56 @@ class CompiledRTSimulation:
         self._ran = True
         self._probe.on_run_end(self, _time.perf_counter() - t0)
         record_backend_run(self)
+        return self
+
+    def rearm(
+        self, register_values: Optional[Mapping[str, int]] = None
+    ) -> "CompiledRTSimulation":
+        """Reset this elaboration to time zero with new overrides.
+
+        Every compiled table (ports, drivers, action tables, module
+        evaluators) is input-independent, so re-running the same design
+        only needs the *state* reset: the value plane and driver
+        contributions are rewritten **in place** -- the module-eval
+        closures (and the generated kernels of the codegen subclass)
+        bind those containers at elaboration time -- the monitor and
+        stats restart, and an attached tracer is cleared.  This is the
+        serving hot path (:mod:`repro.serve` re-arms one cached
+        elaboration per lane instead of re-elaborating per request);
+        results are bit-identical to a fresh elaboration with the same
+        ``register_values``.  Not supported with a probe attached (its
+        emission hooks snapshot previous values at elaboration time).
+        """
+        if self._probe is not None:
+            raise ModelError("rearm() does not support an attached probe")
+        overrides = dict(register_values or {})
+        unknown = set(overrides) - set(self.model.registers)
+        if unknown:
+            raise ModelError(
+                f"register_values for unknown registers: {sorted(unknown)}"
+            )
+        p = self.model_plan
+        values = self._values
+        values[:] = p.port_inits
+        width = self.model.width
+        for reg, init in overrides.items():
+            if init != DISC:
+                init %= 1 << width
+            values[self._reg_out_idx[reg]] = init
+        self._drv_contrib[:] = [DISC] * p.num_drivers
+        self.monitor = ConflictLog()
+        self._active_illegal.clear()
+        self._cycle_changed.clear()
+        if self.tracer is not None:
+            self.tracer.reset()
+        self.stats = SimStats()
+        self.stats.cycles = 1
+        self.stats.transactions = 2
+        self._pos = 0
+        self._pend_drv.clear()
+        self._pend_out.clear()
+        self._finished = False
+        self._ran = False
         return self
 
     def run_steps(self, steps: int) -> "CompiledRTSimulation":

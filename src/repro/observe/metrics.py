@@ -50,7 +50,13 @@ __all__ = [
     "record_backend_run",
     "record_codegen_request",
     "record_plan_resolution",
+    "record_serve_batch",
+    "record_serve_model",
+    "record_serve_rejection",
+    "record_serve_request",
     "record_stream_close",
+    "serve_models",
+    "serve_queue_depth",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -642,6 +648,96 @@ def record_backend_run(backend: Any) -> None:
             "repro_shards",
             "Worker-process count of the most recent sharded run.",
         ).set(len(shard_metrics))
+
+
+# ----------------------------------------------------------------------
+# serve hooks (the simulation service; see repro.serve)
+# ----------------------------------------------------------------------
+#: Batch-occupancy buckets: lanes coalesced per sweep.
+_BATCH_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+)
+
+#: Memo of labelled serve series, keyed like :data:`_RUN_SERIES` --
+#: these hooks fire on every request of a server pushing thousands of
+#: requests per second, so family declaration (regex + registry lock)
+#: must not sit on the hot path.
+_SERVE_SERIES: Dict[Tuple[str, ...], Tuple[int, Any]] = {}
+
+
+def _serve_series(key: Tuple[str, ...], build) -> Any:
+    cached = _SERVE_SERIES.get(key)
+    if cached is None or cached[0] != REGISTRY.generation:
+        cached = (REGISTRY.generation, build())
+        _SERVE_SERIES[key] = cached
+    return cached[1]
+
+
+def record_serve_request(op: str, code: str, latency_ms: float) -> None:
+    """Report one completed service request (op: simulate/verify/submit;
+    code: ``ok`` or the :data:`repro.serve.protocol.ERROR_STATUS` key)."""
+    _serve_series(("requests", op, code), lambda: REGISTRY.counter(
+        "repro_serve_requests_total",
+        "Service requests by operation and outcome code.",
+        ("op", "code"),
+    ).labels(op=op, code=code)).inc()
+    _serve_series(("latency", op), lambda: REGISTRY.histogram(
+        "repro_serve_request_ms",
+        "End-to-end request latency (parse + queue + sweep + encode).",
+        ("op",),
+    ).labels(op=op)).observe(latency_ms)
+
+
+def record_serve_batch(lanes: int, sweep_ms: float) -> None:
+    """Report one coalesced plane sweep (lanes = batch occupancy)."""
+    _serve_series(("sweeps",), lambda: REGISTRY.counter(
+        "repro_serve_sweeps_total",
+        "Coalesced plane sweeps executed by the batching scheduler.",
+    )).inc()
+    _serve_series(("lanes",), lambda: REGISTRY.histogram(
+        "repro_serve_batch_lanes",
+        "Lanes (concurrent requests) coalesced per sweep.",
+        buckets=_BATCH_BUCKETS,
+    )).observe(lanes)
+    _serve_series(("sweep_ms",), lambda: REGISTRY.histogram(
+        "repro_serve_sweep_ms",
+        "Wall milliseconds per coalesced sweep (executor side).",
+    )).observe(sweep_ms)
+
+
+def record_serve_rejection(reason: str) -> None:
+    """Report one rejected/expired request (queue_full/closing/deadline)."""
+    _serve_series(("rejections", reason), lambda: REGISTRY.counter(
+        "repro_serve_rejections_total",
+        "Requests rejected by admission control or expired deadlines.",
+        ("reason",),
+    ).labels(reason=reason)).inc()
+
+
+def record_serve_model(cached: bool) -> None:
+    """Report one model submission (cached = digest already resident)."""
+    outcome = "hit" if cached else "miss"
+    _serve_series(("models", outcome), lambda: REGISTRY.counter(
+        "repro_serve_models_total",
+        "Model submissions by cache outcome.",
+        ("outcome",),
+    ).labels(outcome=outcome)).inc()
+
+
+def serve_queue_depth() -> Any:
+    """The admitted-but-unswept request gauge (set by the scheduler)."""
+    return _serve_series(("queue_depth",), lambda: REGISTRY.gauge(
+        "repro_serve_queue_depth",
+        "Requests admitted and waiting for (or riding) a sweep.",
+    ))
+
+
+def serve_models() -> Any:
+    """The resident compiled-model count gauge (set by the server)."""
+    return _serve_series(("resident",), lambda: REGISTRY.gauge(
+        "repro_serve_models",
+        "Designs resident in the in-process compiled-model cache.",
+    ))
 
 
 def record_stream_close(server: Any) -> None:

@@ -8,12 +8,17 @@ writes (one JSON object per ``\\n``-terminated line -- NDJSON), pushed
 to every connected client; ``repro watch HOST:PORT`` is the matching
 tail/pretty-print client.
 
-Backpressure is explicit, never blocking: events pass through a
-bounded queue between the simulation thread and the sender thread, and
-when the queue is full the event is *dropped* and counted
-(``server.dropped``) rather than stalling the run.
-``run_metrics(stream=server)`` surfaces ``stream_events`` /
-``stream_dropped`` next to the kernel counters.
+Backpressure is explicit, never blocking, and accounted *per client*:
+every watcher gets its own bounded :class:`RecordQueue` drained by its
+own sender thread, and when a watcher falls behind only *its* queue
+overflows -- the event is dropped and counted against that client
+(``server.client_drops()``) while faster watchers keep receiving the
+full stream.  ``server.dropped`` aggregates the per-client counts (so
+one slow ``repro watch`` can no longer mask another's losses, they are
+itemized) and ``run_metrics(stream=server)`` surfaces
+``stream_events`` / ``stream_dropped`` next to the kernel counters.
+:mod:`repro.serve` reuses :class:`RecordQueue` for the same
+per-connection backpressure accounting on its WebSocket watch feeds.
 
 Monitors compose with streaming: wire an
 :class:`~repro.observe.monitor.AssertionMonitor` listener to
@@ -36,8 +41,83 @@ from .probe import Probe
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .monitor import Violation
 
-#: Sentinel shutting down the sender thread.
+#: Sentinel shutting down a sender thread.
 _CLOSE = object()
+
+
+class RecordQueue:
+    """A bounded, never-blocking handoff queue with loss accounting.
+
+    The producer calls :meth:`offer`; when the consumer has fallen
+    behind and the queue is full the record is dropped and counted
+    instead of stalling the producer.  One instance per consumer makes
+    losses attributable: :class:`StreamServer` keeps one per watcher,
+    :mod:`repro.serve` one per WebSocket watch subscription.
+
+    Thread-safe.  Consumers either block in :meth:`get` (dedicated
+    sender threads) or batch-drain with :meth:`drain` (asyncio tasks
+    scheduled right after the producer's :meth:`offer`).
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self._q: "queue.Queue[Any]" = queue.Queue(maxsize=maxsize)
+        #: records accepted into the queue
+        self.accepted = 0
+        #: records dropped because this consumer's queue was full
+        self.dropped = 0
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue without blocking; count (and report) a full queue."""
+        try:
+            self._q.put_nowait(item)
+        except queue.Full:
+            self.dropped += 1
+            return False
+        self.accepted += 1
+        return True
+
+    def get(self) -> Any:
+        """Blocking take (sender-thread consumers)."""
+        return self._q.get()
+
+    def drain(self) -> List[Any]:
+        """Take everything currently queued without blocking."""
+        items: List[Any] = []
+        while True:
+            try:
+                items.append(self._q.get_nowait())
+            except queue.Empty:
+                return items
+
+    def close(self) -> None:
+        """Wake the consumer with the close sentinel, even when full."""
+        while True:
+            try:
+                self._q.put_nowait(_CLOSE)
+                return
+            except queue.Full:
+                try:  # make room: the consumer is gone anyway
+                    self._q.get_nowait()
+                except queue.Empty:
+                    pass
+
+
+class _ClientSlot:
+    """One connected watcher: its socket, queue, and delivery counters."""
+
+    __slots__ = ("conn", "peer", "queue", "sent", "thread")
+
+    def __init__(self, conn: socket.socket, max_queue: int) -> None:
+        self.conn = conn
+        try:
+            host, port = conn.getpeername()[:2]
+            self.peer = f"{host}:{port}"
+        except OSError:  # racing a disconnect
+            self.peer = "?"
+        self.queue = RecordQueue(max_queue)
+        #: records actually written to this watcher's socket
+        self.sent = 0
+        self.thread: Optional[threading.Thread] = None
 
 
 class StreamServer(Probe):
@@ -49,8 +129,9 @@ class StreamServer(Probe):
         Bind address; port 0 (default) picks a free port --
         ``server.address`` is the bound ``(host, port)`` pair.
     max_queue:
-        Bound of the event queue between the simulation and the sender
-        thread; a full queue drops events (counted in ``dropped``).
+        Bound of each *watcher's* event queue; a watcher that falls
+        behind drops events from its own queue only, counted against
+        that client (see :meth:`client_drops`).
     wait_for_client:
         Seconds ``on_run_start`` waits for at least one client before
         the run proceeds (0 = do not wait).  Lets ``repro watch``
@@ -70,25 +151,24 @@ class StreamServer(Probe):
         self._sock.listen(8)
         self.address: Tuple[str, int] = self._sock.getsockname()[:2]
         self.wait_for_client = wait_for_client
+        self.max_queue = max_queue
+        #: records offered to the fanout (one per probe callback)
         self.events = 0
-        self.dropped = 0
         #: watcher connections accepted over the server's lifetime
         #: (``run_metrics(stream=server)`` reports it next to the
         #: delivery counters).
         self.clients_total = 0
-        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_queue)
-        self._clients: List[socket.socket] = []
+        self._slots: List[_ClientSlot] = []
+        #: (peer, sent, dropped) tallies of departed watchers, so the
+        #: aggregate counters survive disconnects.
+        self._departed: List[Tuple[str, int, int]] = []
         self._lock = threading.Lock()
         self._have_client = threading.Event()
         self._closed = False
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-stream-accept", daemon=True
         )
-        self._sender_thread = threading.Thread(
-            target=self._sender_loop, name="repro-stream-send", daemon=True
-        )
         self._accept_thread.start()
-        self._sender_thread.start()
 
     # ------------------------------------------------------------------
     # server plumbing
@@ -100,45 +180,60 @@ class StreamServer(Probe):
             except OSError:  # listening socket closed
                 return
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            slot = _ClientSlot(conn, self.max_queue)
             with self._lock:
                 if self._closed:
                     conn.close()
                     return
-                self._clients.append(conn)
+                self._slots.append(slot)
                 self.clients_total += 1
+            slot.thread = threading.Thread(
+                target=self._sender_loop,
+                args=(slot,),
+                name=f"repro-stream-send-{slot.peer}",
+                daemon=True,
+            )
+            slot.thread.start()
             self._have_client.set()
 
-    def _sender_loop(self) -> None:
+    def _sender_loop(self, slot: _ClientSlot) -> None:
+        """Drain one watcher's queue onto its socket (one thread each,
+        so a stalled watcher only ever stalls itself)."""
         while True:
-            item = self._queue.get()
+            item = slot.queue.get()
             if item is _CLOSE:
                 return
             data = (json.dumps(item, separators=(",", ":")) + "\n").encode("utf-8")
-            with self._lock:
-                clients = list(self._clients)
-            dead = []
-            for conn in clients:
-                try:
-                    conn.sendall(data)
-                except OSError:
-                    dead.append(conn)
-            if dead:
-                with self._lock:
-                    for conn in dead:
-                        if conn in self._clients:
-                            self._clients.remove(conn)
-                        conn.close()
+            try:
+                slot.conn.sendall(data)
+            except OSError:
+                self._retire(slot)
+                return
+            slot.sent += 1
+
+    def _retire(self, slot: _ClientSlot) -> None:
+        """Move a dead watcher's counters into the departed tally."""
+        with self._lock:
+            if slot in self._slots:
+                self._slots.remove(slot)
+                self._departed.append(
+                    (slot.peer, slot.sent, slot.queue.dropped)
+                )
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
 
     def emit(self, record: dict) -> None:
-        """Enqueue one event dict for every connected client.
+        """Offer one event dict to every connected client's queue.
 
-        Never blocks the simulation: a full queue counts a drop."""
-        try:
-            self._queue.put_nowait(record)
-        except queue.Full:
-            self.dropped += 1
-        else:
-            self.events += 1
+        Never blocks the simulation: a full queue counts a drop
+        against that client alone."""
+        self.events += 1
+        with self._lock:
+            slots = list(self._slots)
+        for slot in slots:
+            slot.queue.offer(record)
 
     def emit_violation(self, violation: "Violation") -> None:
         """Monitor listener hook: stream an assertion failure live."""
@@ -148,10 +243,46 @@ class StreamServer(Probe):
     def client_count(self) -> int:
         """Watchers connected right now."""
         with self._lock:
-            return len(self._clients)
+            return len(self._slots)
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to backpressure, summed over all watchers
+        (including departed ones); itemize with :meth:`client_drops`."""
+        with self._lock:
+            return sum(s.queue.dropped for s in self._slots) + sum(
+                d for _peer, _sent, d in self._departed
+            )
+
+    def client_drops(self) -> List[dict]:
+        """Per-client delivery accounting, one row per watcher.
+
+        Each row is ``{"peer", "sent", "dropped", "connected"}``;
+        departed watchers keep their rows so a slow client's losses
+        stay visible (and attributable) after it hangs up."""
+        with self._lock:
+            live = [
+                {
+                    "peer": s.peer,
+                    "sent": s.sent,
+                    "dropped": s.queue.dropped,
+                    "connected": True,
+                }
+                for s in self._slots
+            ]
+            gone = [
+                {
+                    "peer": peer,
+                    "sent": sent,
+                    "dropped": dropped,
+                    "connected": False,
+                }
+                for peer, sent, dropped in self._departed
+            ]
+        return live + gone
 
     def close(self, timeout: float = 5.0) -> None:
-        """Drain the queue, hang up on clients, stop both threads."""
+        """Drain the per-client queues, hang up, stop every thread."""
         with self._lock:
             if self._closed:
                 return
@@ -160,20 +291,26 @@ class StreamServer(Probe):
         from .metrics import record_stream_close
 
         record_stream_close(self)
-        try:
-            self._queue.put(_CLOSE, timeout=timeout)
-        except queue.Full:
-            pass
-        self._sender_thread.join(timeout=timeout)
         self._sock.close()
         with self._lock:
-            clients, self._clients = self._clients, []
-        for conn in clients:
+            slots = list(self._slots)
+        for slot in slots:
+            slot.queue.close()
+        for slot in slots:
+            if slot.thread is not None:
+                slot.thread.join(timeout=timeout)
+        with self._lock:
+            slots, self._slots = self._slots, []
+            for slot in slots:
+                self._departed.append(
+                    (slot.peer, slot.sent, slot.queue.dropped)
+                )
+        for slot in slots:
             try:
-                conn.shutdown(socket.SHUT_RDWR)
+                slot.conn.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-            conn.close()
+            slot.conn.close()
         self._accept_thread.join(timeout=timeout)
 
     def __enter__(self) -> "StreamServer":

@@ -1,0 +1,500 @@
+"""The per-design batching scheduler.
+
+Concurrent single-vector simulate/verify requests against the same
+design (and the same property set) coalesce into one
+``compiled-batched`` plane sweep: the first request wakes the design's
+worker, which drains everything else that queued behind it (up to
+``max_batch``) into a single ``register_values`` batch, runs the sweep
+on an executor thread, and de-multiplexes per-lane registers,
+conflicts, monitor violations and clean flags back to each caller's
+future.  Batching is *natural*: while one sweep is in flight on the
+executor, new arrivals pile up in the queue and form the next batch --
+no timer is needed at load, though ``batch_window_ms`` can force a
+gathering pause (tests use it to pin deterministic batch shapes).
+
+Admission control is a server-wide bound on queued requests
+(``max_pending``): when the backlog is full a request is rejected
+immediately with a ``queue_full`` error (HTTP 503) instead of growing
+an unbounded queue.  Per-request deadlines cover queue wait and sweep:
+requests already past their deadline when the batch forms are failed
+without occupying a lane, and callers waiting on a future time out on
+their own clock (the lane result of a timed-out or disconnected caller
+is simply discarded -- the sweep itself is never torn down, matching
+the cancellation semantics documented in ``docs/serving.md``).
+
+Per-lane verdicts are bit-identical to scalar ``compiled`` runs: the
+sweep reuses the exact differential-tested machinery of
+:mod:`repro.engine.batched` and, for verify requests, the per-lane
+trace replay of :func:`repro.observe.monitor.evaluate_trace` --
+the same path ``repro.observe.monitor.check_model`` takes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.values_np import have_numpy
+from ..engine.plan import Plan
+from ..observe import recorder
+from ..observe.metrics import (
+    record_serve_batch,
+    record_serve_rejection,
+    serve_queue_depth,
+)
+from ..observe.monitor import (
+    Property,
+    default_properties,
+    evaluate_trace,
+    monitored_watch_list,
+    parse_properties,
+)
+from .cache import CachedDesign
+from .protocol import ServeError, SimRequest
+
+#: Backends the service can sweep with, and the auto preference order.
+SERVE_BACKENDS = (
+    "auto",
+    "adaptive",
+    "compiled",
+    "compiled-py",
+    "compiled-batched",
+    "compiled-py-batched",
+)
+
+#: ``adaptive`` batch size at which the numpy plane sweep takes over
+#: from the re-armed generated-kernel loop.  Below it, per-lane cost of
+#: the scalar loop (~15us on Fig. 1) beats the batched backends' fixed
+#: per-sweep numpy overhead; above it the batched plane amortizes.
+ADAPTIVE_CROSSOVER = 32
+
+#: Wakes a lane worker during shutdown.
+_STOP = object()
+
+
+def resolve_serve_backend(name: str) -> str:
+    """Map ``auto`` to the best locally available sweep policy."""
+    if name not in SERVE_BACKENDS:
+        raise ValueError(
+            f"unknown serve backend {name!r} (use one of {SERVE_BACKENDS})"
+        )
+    if name == "auto":
+        return "adaptive"
+    if name.endswith("-batched") and not have_numpy():
+        raise ValueError(
+            f"the {name} backend needs numpy (install repro[fast]) -- "
+            "use --serve-backend compiled for the scalar fallback"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+# the sweep itself (runs on an executor thread)
+# ----------------------------------------------------------------------
+def run_sweep(
+    entry: CachedDesign,
+    vectors: Sequence[Dict[str, int]],
+    properties: Optional[Sequence[Property]],
+    backend: str,
+    state: Optional[dict] = None,
+) -> List[dict]:
+    """Execute one coalesced sweep; returns one lane dict per vector.
+
+    Each lane dict carries ``registers`` (plain ints), ``conflicts``
+    (wire-schema conflict records), ``clean``, and -- when properties
+    were requested -- the lane's ``report``
+    (:class:`~repro.observe.monitor.AssertionReport` ``to_dict``).
+
+    ``backend`` selects the sweep realization: an explicit batched
+    backend runs one numpy plane sweep over all vectors; a scalar
+    backend runs the lanes through **one re-armed elaboration**
+    (:meth:`~repro.engine.compiled.CompiledRTSimulation.rearm`) -- the
+    serving hot path, ~15us per lane on Fig. 1; ``adaptive`` picks the
+    re-armed generated-kernel loop below :data:`ADAPTIVE_CROSSOVER`
+    lanes and the numpy plane above it.  All realizations are
+    bit-identical per lane (differential-tested in ``tests/serve``).
+
+    ``state``, when given, persists the armed elaboration across
+    sweeps of the same lane (the caller must guarantee the lane's
+    sweeps never overlap -- the per-lane worker serializes them).
+    """
+    model = entry.model
+    plan: Plan = entry.plan
+    watch = monitored_watch_list(model) if properties is not None else None
+    if backend == "adaptive":
+        if len(vectors) <= ADAPTIVE_CROSSOVER or not have_numpy():
+            backend = "compiled-py"
+        else:
+            backend = "compiled-py-batched"
+    lanes: List[dict] = []
+    if backend.endswith("-batched"):
+        sim = model.elaborate(
+            backend=backend,
+            register_values=list(vectors),
+            plan=plan,
+            watch=watch,
+        )
+        sim.run()
+        for i in range(sim.batch_size):
+            conflicts = sim.conflicts[i]
+            lane = {
+                "registers": sim.vector_registers(i),
+                "conflicts": [recorder.conflict_event(e) for e in conflicts],
+                "clean": bool(sim.clean_mask[i]),
+            }
+            if properties is not None:
+                report = evaluate_trace(
+                    model, sim.tracers[i], properties, conflicts
+                )
+                lane["report"] = report.to_dict()
+                lane["clean"] = lane["clean"] and report.ok
+            lanes.append(lane)
+        return lanes
+    # Scalar lanes share one armed elaboration: the compiled tables are
+    # input-independent, so each lane is a value-plane reset + kernel
+    # run instead of a fresh elaboration.
+    key = (backend, properties is not None)
+    sim = state.get(key) if state is not None else None
+    if sim is None:
+        sim = model.elaborate(backend=backend, plan=plan, watch=watch)
+        if state is not None:
+            state[key] = sim
+    for vector in vectors:
+        sim.rearm(vector)
+        sim.run()
+        conflicts = list(sim.conflicts)
+        lane = {
+            "registers": dict(sim.registers),
+            "conflicts": [recorder.conflict_event(e) for e in conflicts],
+            "clean": bool(sim.clean),
+        }
+        if properties is not None:
+            report = evaluate_trace(model, sim.tracer, properties, conflicts)
+            lane["report"] = report.to_dict()
+            lane["clean"] = lane["clean"] and report.ok
+        lanes.append(lane)
+    return lanes
+
+
+# ----------------------------------------------------------------------
+# scheduling
+# ----------------------------------------------------------------------
+class PendingRequest:
+    """One admitted request waiting for (or riding) a sweep."""
+
+    __slots__ = ("vector", "deadline", "enqueued", "future", "id")
+
+    def __init__(
+        self,
+        vector: Dict[str, int],
+        deadline: Optional[float],
+        future: "asyncio.Future[dict]",
+        request_id: Any,
+        enqueued: float,
+    ) -> None:
+        self.vector = vector
+        self.deadline = deadline  # loop-clock absolute, or None
+        self.enqueued = enqueued
+        self.future = future
+        self.id = request_id
+
+
+class _Lane:
+    """One (design, property-set) batching queue and its worker."""
+
+    __slots__ = ("entry", "properties", "queue", "task", "key", "state")
+
+    def __init__(
+        self,
+        entry: CachedDesign,
+        properties: Optional[List[Property]],
+        key: Tuple[str, Optional[str]],
+    ) -> None:
+        self.entry = entry
+        self.properties = properties
+        self.key = key
+        self.queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self.task: Optional[asyncio.Task] = None
+        #: armed-elaboration store for run_sweep (executor-confined:
+        #: this lane's sweeps never overlap, the worker awaits each).
+        self.state: dict = {}
+
+
+class BatchingEngine:
+    """Admission control + per-design lanes + executor dispatch."""
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        max_batch: int = 64,
+        max_pending: int = 256,
+        batch_window_ms: float = 0.0,
+        executor: Any = None,
+        reuse_sims: bool = True,
+        on_records: Optional[Callable[[str, List[dict]], None]] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.backend = resolve_serve_backend(backend)
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.batch_window_ms = batch_window_ms
+        #: False drops the per-lane armed-elaboration store, forcing a
+        #: fresh elaboration every sweep -- the bench ablation mode.
+        self.reuse_sims = reuse_sims
+        self._executor = executor
+        #: observer hook: (digest, wire records of one sweep) -- the
+        #: server fans these out to WebSocket watch subscriptions.
+        self.on_records = on_records
+        self._lanes: Dict[Tuple[str, Optional[str]], _Lane] = {}
+        self._pending = 0
+        self._in_flight: set = set()
+        self._closing = False
+        #: lifetime counters (healthz)
+        self.sweeps = 0
+        self.lanes_swept = 0
+        self.rejected = 0
+        self.expired = 0
+        self.discarded = 0
+
+    # -- lane management -------------------------------------------------
+    def _lane_for(self, entry: CachedDesign, request: SimRequest) -> _Lane:
+        key = (entry.digest, request.prop_key())
+        lane = self._lanes.get(key)
+        if lane is not None:
+            return lane
+        properties: Optional[List[Property]] = None
+        if request.properties is not None:
+            if request.properties == "default":
+                properties = default_properties(entry.model)
+            else:
+                try:
+                    properties = parse_properties(request.properties)
+                except Exception as exc:
+                    raise ServeError("bad_request", f"bad properties: {exc}")
+        lane = _Lane(entry, properties, key)
+        lane.task = asyncio.get_running_loop().create_task(
+            self._worker(lane), name=f"repro-serve-lane-{entry.digest[:12]}"
+        )
+        self._lanes[key] = lane
+        return lane
+
+    # -- admission --------------------------------------------------------
+    async def submit(
+        self, entry: CachedDesign, request: SimRequest
+    ) -> dict:
+        """Admit one request and wait for its lane result.
+
+        Raises :class:`ServeError` with ``queue_full`` (admission),
+        ``closing`` (shutdown), ``deadline`` (budget exhausted at any
+        point of the queue-wait/sweep path) or ``bad_request``.
+        """
+        if self._closing:
+            record_serve_rejection("closing")
+            self.rejected += 1
+            raise ServeError("closing", "server is draining; try another replica")
+        if self._pending >= self.max_pending:
+            record_serve_rejection("queue_full")
+            self.rejected += 1
+            raise ServeError(
+                "queue_full",
+                f"admission queue is full ({self.max_pending} pending); "
+                "retry with backoff",
+            )
+        registers = entry.model.registers
+        for name in request.register_values:
+            if name not in registers:
+                unknown = set(request.register_values) - set(registers)
+                raise ServeError(
+                    "bad_request",
+                    f"register_values for unknown registers: "
+                    f"{sorted(unknown)}",
+                )
+        loop = asyncio.get_running_loop()
+        lane = self._lane_for(entry, request)
+        deadline = (
+            loop.time() + request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else None
+        )
+        pending = PendingRequest(
+            vector=request.register_values,
+            deadline=deadline,
+            future=loop.create_future(),
+            request_id=request.id,
+            enqueued=time.perf_counter(),
+        )
+        self._pending += 1
+        serve_queue_depth().set(self._pending)
+        self._in_flight.add(pending.future)
+        pending.future.add_done_callback(self._in_flight.discard)
+        lane.queue.put_nowait(pending)
+        try:
+            if deadline is None:
+                return await pending.future
+            remaining = deadline - loop.time()
+            try:
+                return await asyncio.wait_for(pending.future, timeout=remaining)
+            except asyncio.TimeoutError:
+                self.expired += 1
+                record_serve_rejection("deadline")
+                raise ServeError(
+                    "deadline",
+                    f"deadline of {request.deadline_ms:g}ms exhausted "
+                    "while the request was queued or in a sweep",
+                ) from None
+        finally:
+            # Guarantee a caller that bails (disconnect, cancellation)
+            # leaves a done future behind, so the worker discards its
+            # lane instead of resolving into the void.
+            if not pending.future.done():
+                pending.future.cancel()
+
+    # -- the per-lane worker ----------------------------------------------
+    async def _worker(self, lane: _Lane) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await lane.queue.get()
+            if first is _STOP:
+                return
+            if self.batch_window_ms > 0:
+                await asyncio.sleep(self.batch_window_ms / 1000.0)
+            batch: List[PendingRequest] = [first]
+            stopped = False
+            while len(batch) < self.max_batch:
+                try:
+                    item = lane.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is _STOP:
+                    stopped = True
+                    break
+                batch.append(item)
+            now = loop.time()
+            live: List[PendingRequest] = []
+            for req in batch:
+                self._pending -= 1
+                if req.future.done():  # caller already gone
+                    self.discarded += 1
+                    continue
+                if req.deadline is not None and now >= req.deadline:
+                    self.expired += 1
+                    record_serve_rejection("deadline")
+                    req.future.set_exception(ServeError(
+                        "deadline", "deadline expired before dispatch"
+                    ))
+                    continue
+                live.append(req)
+            serve_queue_depth().set(self._pending)
+            if live:
+                await self._dispatch(lane, live)
+            if stopped:
+                return
+
+    async def _dispatch(
+        self, lane: _Lane, live: List[PendingRequest]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
+        try:
+            lanes = await loop.run_in_executor(
+                self._executor,
+                run_sweep,
+                lane.entry,
+                [req.vector for req in live],
+                lane.properties,
+                self.backend,
+                lane.state if self.reuse_sims else None,
+            )
+        except Exception as exc:  # a sweep bug must not kill the lane
+            for req in live:
+                if not req.future.done():
+                    req.future.set_exception(
+                        ServeError("internal", f"sweep failed: {exc}")
+                    )
+            return
+        sweep_ms = (time.perf_counter() - t0) * 1000.0
+        self.sweeps += 1
+        self.lanes_swept += len(live)
+        record_serve_batch(len(live), sweep_ms)
+        now = time.perf_counter()
+        fanout: List[dict] = []
+        for req, result in zip(live, lanes):
+            result["batch"] = len(live)
+            result["sweep_ms"] = sweep_ms
+            result["queue_ms"] = max(
+                0.0, (now - req.enqueued) * 1000.0 - sweep_ms
+            )
+            result["id"] = req.id
+            for record in result["conflicts"]:
+                fanout.append(dict(record, digest=lane.entry.digest))
+            for violation in (result.get("report") or {}).get("violations", ()):
+                fanout.append({
+                    "event": "violation",
+                    **violation,
+                    "digest": lane.entry.digest,
+                })
+            if req.future.done():
+                self.discarded += 1
+                continue
+            req.future.set_result(result)
+        if fanout and self.on_records is not None:
+            self.on_records(lane.entry.digest, fanout)
+
+    # -- shutdown -----------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._pending
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, then wait for every admitted request.
+
+        Returns True when everything drained inside ``timeout``.
+        """
+        self._closing = True
+        waiting = [f for f in self._in_flight if not f.done()]
+        if not waiting:
+            return True
+        gather = asyncio.gather(*waiting, return_exceptions=True)
+        try:
+            await asyncio.wait_for(asyncio.shield(gather), timeout=timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def close(self, timeout: Optional[float] = 10.0) -> bool:
+        """Graceful shutdown: drain in-flight sweeps, stop the workers."""
+        drained = await self.drain(timeout=timeout)
+        for lane in self._lanes.values():
+            lane.queue.put_nowait(_STOP)
+        for lane in self._lanes.values():
+            if lane.task is not None:
+                try:
+                    await asyncio.wait_for(lane.task, timeout=5.0)
+                except asyncio.TimeoutError:  # pragma: no cover - defensive
+                    lane.task.cancel()
+        self._lanes.clear()
+        return drained
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.backend,
+            "queue_depth": self._pending,
+            "lanes": len(self._lanes),
+            "sweeps": self.sweeps,
+            "lanes_swept": self.lanes_swept,
+            "batch_mean": (
+                round(self.lanes_swept / self.sweeps, 3) if self.sweeps else 0.0
+            ),
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "discarded": self.discarded,
+            "closing": self._closing,
+        }

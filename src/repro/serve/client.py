@@ -1,0 +1,295 @@
+"""Clients for the simulation service.
+
+:class:`ServeClient` is the synchronous HTTP client (stdlib
+``http.client``, keep-alive): submit a model once, then issue
+simulate/verify calls against its digest.  :func:`run_load` is the
+asyncio load driver behind ``repro bench --serve`` and the CI smoke
+job -- N concurrent clients, each with its own persistent connection,
+hammering one design and collecting per-request latencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..core.model import RTModel
+from ..core.serialize import model_to_dict
+from .protocol import (
+    ERROR_STATUS,
+    ServeError,
+    decode_ndjson,
+    decode_registers,
+    dump_record,
+)
+
+ModelArg = Union[str, Mapping[str, Any], RTModel]
+
+
+def _model_field(model: ModelArg) -> Union[str, dict]:
+    if isinstance(model, RTModel):
+        return model_to_dict(model)
+    if isinstance(model, str):
+        return model
+    return dict(model)
+
+
+class ServeClientError(Exception):
+    """An error record returned by the service."""
+
+    def __init__(self, record: Mapping[str, Any], status: int = 0) -> None:
+        self.code = record.get("code", "internal")
+        self.message = record.get("message", "")
+        self.record = dict(record)
+        self.status = status or ERROR_STATUS.get(self.code, (0, ""))[0]
+        super().__init__(f"[{self.code}] {self.message}")
+
+
+def _check(records: List[dict], status: int = 200) -> List[dict]:
+    for record in records:
+        if record.get("event") == "error":
+            raise ServeClientError(record, status)
+    if status >= 400:
+        raise ServeClientError(
+            {"code": "internal", "message": f"HTTP {status}"}, status
+        )
+    return records
+
+
+def result_of(records: List[dict]) -> dict:
+    """The terminal result record of one response, registers decoded."""
+    for record in records:
+        if record.get("event") == "result":
+            out = dict(record)
+            out["registers"] = decode_registers(record["registers"])
+            return out
+    raise ServeClientError(
+        {"code": "internal", "message": "response carries no result record"}
+    )
+
+
+class ServeClient:
+    """Synchronous keep-alive HTTP client for one service endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ---------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Tuple[int, bytes]:
+        body = (
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        try:
+            self._conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = self._conn.getresponse()
+            data = response.read()
+        except (ConnectionError, http.client.HTTPException):
+            # One reconnect: the server may have closed an idle
+            # keep-alive connection under us.
+            self._conn.close()
+            self._conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = self._conn.getresponse()
+            data = response.read()
+        return response.status, data
+
+    def _ndjson(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> List[dict]:
+        status, data = self._request(method, path, payload)
+        return _check(decode_ndjson(data), status)
+
+    # -- API ----------------------------------------------------------------
+    def submit(self, model: ModelArg) -> dict:
+        """Submit a model document; returns its cache record (digest)."""
+        field = _model_field(model)
+        if isinstance(field, str):
+            raise ServeError("bad_request", "submit needs a model document")
+        return self._ndjson("POST", "/v1/models", field)[0]
+
+    def simulate(
+        self,
+        model: ModelArg,
+        register_values: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+        id: Any = None,
+    ) -> List[dict]:
+        """One simulate request; returns the full NDJSON record list."""
+        return self._ndjson("POST", "/v1/simulate", self._sim_payload(
+            model, register_values, deadline_ms, id
+        ))
+
+    def verify(
+        self,
+        model: ModelArg,
+        properties: Optional[Any] = None,
+        register_values: Optional[Mapping[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+        id: Any = None,
+    ) -> List[dict]:
+        """One verify request (``properties=None`` = the default set)."""
+        payload = self._sim_payload(model, register_values, deadline_ms, id)
+        if properties is not None:
+            payload["properties"] = properties
+        return self._ndjson("POST", "/v1/verify", payload)
+
+    @staticmethod
+    def _sim_payload(model, register_values, deadline_ms, id) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"model": _model_field(model)}
+        if register_values:
+            payload["register_values"] = dict(register_values)
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if id is not None:
+            payload["id"] = id
+        return payload
+
+    def models(self) -> List[dict]:
+        return self._ndjson("GET", "/v1/models")
+
+    def health(self) -> dict:
+        return self._ndjson("GET", "/v1/healthz")[0]
+
+    def metrics(self) -> str:
+        status, data = self._request("GET", "/v1/metrics")
+        if status != 200:
+            raise ServeClientError(
+                {"code": "internal", "message": f"HTTP {status}"}, status
+            )
+        return data.decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# the asyncio load driver (bench + CI smoke)
+# ----------------------------------------------------------------------
+async def _client_worker(
+    host: str,
+    port: int,
+    payloads: List[dict],
+    latencies: List[float],
+    errors: List[str],
+    results: Optional[Dict[Any, dict]] = None,
+) -> None:
+    """One persistent connection issuing its payloads back to back."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for payload in payloads:
+            body = dump_record(payload).encode("utf-8")
+            head = (
+                "POST /v1/simulate HTTP/1.1\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            t0 = time.perf_counter()
+            writer.write(head + body)
+            await writer.drain()
+            # Read the response head, then exactly Content-Length bytes.
+            raw = await reader.readuntil(b"\r\n\r\n")
+            length = 0
+            for line in raw.decode("latin-1").split("\r\n")[1:]:
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value)
+            data = await reader.readexactly(length)
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+            for record in decode_ndjson(data):
+                if record.get("event") == "error":
+                    errors.append(record.get("code", "internal"))
+                elif record.get("event") == "result" and results is not None:
+                    results[record.get("id")] = record
+    finally:
+        writer.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    model: Union[str, Mapping[str, Any]],
+    vectors: List[Dict[str, int]],
+    clients: int = 8,
+    deadline_ms: Optional[float] = None,
+    results: Optional[Dict[Any, dict]] = None,
+) -> Dict[str, Any]:
+    """Drive ``len(vectors)`` simulate requests over ``clients``
+    concurrent persistent connections; returns latency/throughput
+    aggregates (``rps``, ``p50_ms``, ``p99_ms``, ``errors``).
+    ``model`` is a submitted design's digest, or an inline model
+    document to ship with *every* request (the bench's cache-less
+    ablation).  Pass a ``results`` dict to collect each request's
+    terminal result record keyed by its id (= the vector index) for
+    identity checks."""
+    field = model if isinstance(model, str) else dict(model)
+    payloads: List[List[dict]] = [[] for _ in range(clients)]
+    for i, vector in enumerate(vectors):
+        payload: Dict[str, Any] = {"model": field, "id": i}
+        if vector:
+            payload["register_values"] = vector
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        payloads[i % clients].append(payload)
+    latencies: List[float] = []
+    errors: List[str] = []
+    t0 = time.perf_counter()
+    await asyncio.gather(*(
+        _client_worker(host, port, chunk, latencies, errors, results)
+        for chunk in payloads if chunk
+    ))
+    wall_s = time.perf_counter() - t0
+    ok = len(latencies) - len(errors)
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "clients": clients,
+        "requests": len(vectors),
+        "ok": ok,
+        "errors": len(errors),
+        "error_codes": sorted(set(errors)),
+        "wall_s": round(wall_s, 6),
+        "rps": round(len(latencies) / wall_s, 3) if wall_s > 0 else 0.0,
+        "p50_ms": round(pct(0.50), 3),
+        "p99_ms": round(pct(0.99), 3),
+        "mean_ms": round(sum(ordered) / len(ordered), 3) if ordered else 0.0,
+    }
+
+
+def drive_load(
+    host: str,
+    port: int,
+    model: Union[str, Mapping[str, Any]],
+    vectors: List[Dict[str, int]],
+    clients: int = 8,
+    deadline_ms: Optional[float] = None,
+    results: Optional[Dict[Any, dict]] = None,
+) -> Dict[str, Any]:
+    """Synchronous wrapper around :func:`run_load` (own event loop)."""
+    return asyncio.run(run_load(
+        host, port, model, vectors,
+        clients=clients, deadline_ms=deadline_ms, results=results,
+    ))

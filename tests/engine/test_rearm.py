@@ -1,0 +1,87 @@
+"""`rearm()`: re-running one elaboration in place must be
+bit-identical to a fresh elaboration -- registers, conflicts, stats
+and trace samples -- on both scalar backends.  This is the serving
+hot path (repro.serve re-arms one cached elaboration per lane)."""
+
+import random
+
+import pytest
+
+from repro.core import ModelError
+from repro.core.values import DISC
+from repro.observe import Probe
+from repro.observe.monitor import monitored_watch_list
+
+from ..observe.conftest import conflict_model, fig1_model, tiny_model
+
+SCALAR_BACKENDS = ("compiled", "compiled-py")
+
+
+def _snapshot(sim):
+    return {
+        "registers": dict(sim.registers),
+        "clean": sim.clean,
+        "conflicts": [
+            (e.signal, tuple(e.sources), None if e.at is None else
+             (e.at.step, int(e.at.phase)))
+            for e in sim.conflicts
+        ],
+        "cycles": sim.stats.cycles,
+        "transactions": sim.stats.transactions,
+    }
+
+
+@pytest.mark.parametrize("backend", SCALAR_BACKENDS)
+@pytest.mark.parametrize("build", [fig1_model, tiny_model, conflict_model])
+def test_rearm_matches_fresh_elaboration(backend, build):
+    model = build()
+    rng = random.Random(4242)
+    vectors = [
+        {name: rng.randrange(0, 1 << model.width) for name in model.registers}
+        for _ in range(20)
+    ]
+    vectors.append({"R1": DISC})  # disconnect override travels too
+    sim = model.elaborate(backend=backend)
+    for vector in vectors:
+        sim.rearm(vector)
+        sim.run()
+        fresh = model.elaborate(
+            register_values=vector, backend=backend
+        ).run()
+        assert _snapshot(sim) == _snapshot(fresh), vector
+
+
+@pytest.mark.parametrize("backend", SCALAR_BACKENDS)
+def test_rearm_resets_trace(backend):
+    model = fig1_model()
+    watch = monitored_watch_list(model)
+    sim = model.elaborate(backend=backend, watch=watch)
+    sim.run()
+    first = list(sim.tracer.samples)
+    assert first, "watch list produced no samples"
+    sim.rearm()
+    assert sim.tracer.samples == []
+    sim.run()
+    assert sim.tracer.samples == first  # same inputs, same trace
+
+
+@pytest.mark.parametrize("backend", SCALAR_BACKENDS)
+def test_rearm_override_wraps_to_width(backend):
+    model = fig1_model()
+    wrapped = model.elaborate(backend=backend)
+    wrapped.rearm({"R1": (1 << model.width) + 3})
+    wrapped.run()
+    fresh = model.elaborate(register_values={"R1": 3}, backend=backend).run()
+    assert wrapped.registers == fresh.registers
+
+
+def test_rearm_rejects_unknown_register():
+    sim = fig1_model().elaborate(backend="compiled")
+    with pytest.raises(ModelError, match="unknown register"):
+        sim.rearm({"BOGUS": 1})
+
+
+def test_rearm_rejects_probe():
+    sim = fig1_model().elaborate(backend="compiled", observe=Probe())
+    with pytest.raises(ModelError, match="probe"):
+        sim.rearm()

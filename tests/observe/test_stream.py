@@ -91,14 +91,67 @@ class TestStreamServer:
             fig1_model().elaborate(observe=server).run()
             assert server.events > 0
 
-    def test_bounded_queue_drops_and_counts(self):
-        with StreamServer(max_queue=1) as server:
-            # Stall the sender by never connecting and flooding the
-            # queue synchronously.
-            for i in range(100):
-                server.emit({"event": "step", "cs": i})
-        assert server.dropped > 0
-        assert server.events + server.dropped == 100
+    def test_slow_client_drops_are_counted_per_client(self):
+        """One stalled watcher loses events; a live one loses none --
+        and the losses are attributed, not pooled."""
+        with StreamServer(max_queue=64) as server:
+            # Shrink the send buffer (accepted sockets inherit it) so
+            # a non-reading client stalls its sender almost at once.
+            server._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF, 4096
+            )
+            host, port = server.address
+            # The slow client connects but never reads.
+            slow = socket.create_connection((host, port))
+            slow.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1)
+            # The fast client drains everything.
+            events, thread = drain(host, port)
+            while server.clients_total < 2:
+                pass
+            total = 400
+            padding = "x" * 1024
+            for i in range(total):
+                server.emit({"event": "step", "cs": i, "pad": padding})
+                if i % 8 == 0:  # let the fast sender keep up
+                    threading.Event().wait(0.001)
+            # Wait until the fast client's queue is fully delivered.
+            deadline = threading.Event()
+            for _ in range(100):
+                if len(events) >= total:
+                    break
+                deadline.wait(0.05)
+            rows = {row["peer"]: row for row in server.client_drops()}
+            assert len(rows) == 2
+            dropped = sorted(row["dropped"] for row in rows.values())
+            assert dropped[0] == 0, "the fast client lost events"
+            assert dropped[1] > 0, "the slow client's losses went uncounted"
+            assert server.dropped == dropped[1]
+            assert server.events == total
+            assert len(events) == total
+            slow.close()
+        thread.join(timeout=10.0)
+
+    def test_record_queue_drops_when_full(self):
+        from repro.observe.stream import RecordQueue
+
+        q = RecordQueue(maxsize=2)
+        assert q.offer(1) and q.offer(2)
+        assert not q.offer(3)
+        assert q.accepted == 2 and q.dropped == 1
+        assert q.drain() == [1, 2]
+        assert q.offer(4)
+        assert q.get() == 4
+
+    def test_departed_client_keeps_its_drop_row(self):
+        with StreamServer(wait_for_client=10.0) as server:
+            host, port = server.address
+            events, thread = drain(host, port)
+            fig1_model().elaborate(observe=server).run()
+        thread.join(timeout=10.0)
+        rows = server.client_drops()
+        assert len(rows) == 1
+        assert rows[0]["dropped"] == 0
+        assert rows[0]["sent"] > 0
 
     def test_run_metrics_stream_columns(self):
         with StreamServer() as server:

@@ -1,0 +1,167 @@
+"""Shared fixtures for the simulation-service tests."""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.core import ModuleSpec, RTModel
+from repro.serve import serve_in_thread
+from repro.serve.wsproto import encode_close, encode_text, read_frame, OP_TEXT
+
+
+def fig1_model(cs_max=7, r1=2, r2=3):
+    """The paper's Fig.-1 example (R1 <- R1 + R2)."""
+    model = RTModel("example", cs_max=cs_max)
+    model.register("R1", init=r1)
+    model.register("R2", init=r2)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def tiny_model(cs_max=2):
+    """Minimal model whose schedule fits in two control steps."""
+    model = RTModel("tiny", cs_max=cs_max)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,1,ADD,2,B1,R1)")
+    return model
+
+
+def conflict_model():
+    """Two sources on B1 in step 2: a deliberate bus conflict."""
+    model = RTModel("clash", cs_max=4)
+    model.register("R1", init=1)
+    model.register("R2", init=2)
+    model.register("R3")
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,2,ADD,3,B1,R3)")
+    model.add_transfer("(R2,B1,R1,B2,2,ADD,3,B2,R3)")
+    return model
+
+
+@pytest.fixture
+def server():
+    """A default-configuration server on its own loop thread."""
+    with serve_in_thread() as handle:
+        yield handle
+
+
+# ----------------------------------------------------------------------
+# raw-socket helpers (pipelining, disconnect and WebSocket tests)
+# ----------------------------------------------------------------------
+def raw_socket(host, port):
+    """A connected TCP socket with Nagle off (so tiny test requests
+    are not batched by the kernel into misleading arrival patterns)."""
+    sock = socket.create_connection((host, port), timeout=30.0)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def http_request(path, payload, method="POST"):
+    """One raw HTTP/1.1 request as bytes."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    return (
+        f"{method} {path} HTTP/1.1\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    ).encode() + body
+
+
+def read_http_response(sock):
+    """Read one response off a raw socket; returns (status, records)."""
+    buf = b""
+    while b"\r\n\r\n" not in buf:
+        chunk = sock.recv(8192)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        buf += chunk
+    head, _, rest = buf.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    while len(rest) < length:
+        chunk = sock.recv(8192)
+        if not chunk:
+            raise ConnectionError("server closed mid-body")
+        rest += chunk
+    records = [
+        json.loads(line)
+        for line in rest[:length].split(b"\n")
+        if line.strip()
+    ]
+    return status, records
+
+
+class WsClient:
+    """Minimal synchronous WebSocket test client (own event loop)."""
+
+    def __init__(self, host, port):
+        self._loop = asyncio.new_event_loop()
+        self.reader, self.writer = self._loop.run_until_complete(
+            self._connect(host, port)
+        )
+
+    async def _connect(self, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        sock = writer.get_extra_info("socket")
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        writer.write((
+            "GET /v1/ws HTTP/1.1\r\n"
+            "Host: test\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            "Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        ).encode())
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        assert b" 101 " in head.split(b"\r\n")[0] + b" ", head
+        return reader, writer
+
+    def send(self, payload):
+        self.writer.write(encode_text(json.dumps(payload), mask=True))
+        self._loop.run_until_complete(self.writer.drain())
+
+    def recv(self, timeout=30.0):
+        """The next text frame, decoded."""
+        op, data = self._loop.run_until_complete(
+            asyncio.wait_for(read_frame(self.reader), timeout)
+        )
+        assert op == OP_TEXT, f"unexpected opcode {op}"
+        return json.loads(data)
+
+    def call(self, payload, terminal=("result", "error", "model", "pong",
+                                      "health", "watching")):
+        """Send one op and collect records up to the terminal one."""
+        self.send(payload)
+        records = []
+        while True:
+            record = self.recv()
+            records.append(record)
+            if record.get("event") in terminal:
+                return records
+
+    def close(self):
+        try:
+            self.writer.write(encode_close(mask=True))
+            self._loop.run_until_complete(self.writer.drain())
+        except (ConnectionError, OSError):
+            pass
+        self.writer.close()
+        self._loop.close()

@@ -1,0 +1,142 @@
+"""Wire-schema unit tests: request parsing, NDJSON, value encoding."""
+
+import pytest
+
+from repro.core.values import DISC
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    ServeError,
+    decode_ndjson,
+    decode_registers,
+    dump_record,
+    encode_ndjson,
+    encode_registers,
+    error_record,
+    parse_sim_request,
+    result_record,
+)
+
+
+class TestParseSimRequest:
+    def test_digest_request(self):
+        request = parse_sim_request({"model": "abc123", "id": 7})
+        assert request.model == "abc123"
+        assert request.id == 7
+        assert request.register_values == {}
+        assert request.deadline_ms is None
+        assert not request.verify
+        assert request.prop_key() is None
+
+    def test_inline_document(self):
+        document = {"name": "m", "cs_max": 2}
+        request = parse_sim_request({"model": document})
+        assert request.model == document
+
+    def test_register_values_decode(self):
+        request = parse_sim_request({
+            "model": "d", "register_values": {"R1": 9, "R2": "z"},
+        })
+        assert request.register_values == {"R1": 9, "R2": DISC}
+
+    def test_deadline(self):
+        request = parse_sim_request({"model": "d", "deadline_ms": 250})
+        assert request.deadline_ms == 250.0
+
+    def test_verify_defaults_properties(self):
+        request = parse_sim_request({"model": "d"}, verify=True)
+        assert request.verify
+        assert request.properties == "default"
+        assert request.prop_key() is not None
+
+    def test_prop_key_is_canonical(self):
+        a = parse_sim_request(
+            {"model": "d", "properties": [{"a": 1, "b": 2}]}, verify=True
+        )
+        b = parse_sim_request(
+            {"model": "d", "properties": [{"b": 2, "a": 1}]}, verify=True
+        )
+        assert a.prop_key() == b.prop_key()
+
+    @pytest.mark.parametrize("payload", [
+        "not an object",
+        {"model": ""},
+        {"model": "   "},
+        {"model": 42},
+        {"model": None},
+        {"model": "d", "deadline_ms": 0},
+        {"model": "d", "deadline_ms": -1},
+        {"model": "d", "deadline_ms": True},
+        {"model": "d", "deadline_ms": "fast"},
+        {"model": "d", "register_values": "R1=2"},
+        {"model": "d", "register_values": {"R1": True}},
+        {"model": "d", "register_values": {"R1": "bogus"}},
+        {"model": "d", "register_values": {"R1": 1.5}},
+    ])
+    def test_bad_requests(self, payload):
+        with pytest.raises(ServeError) as exc:
+            parse_sim_request(payload)
+        assert exc.value.code == "bad_request"
+
+
+class TestNdjson:
+    def test_roundtrip(self):
+        records = [{"event": "result", "id": 1}, {"event": "error"}]
+        assert decode_ndjson(encode_ndjson(records)) == records
+
+    def test_blank_lines_skipped(self):
+        assert decode_ndjson(b'\n{"a":1}\n\n') == [{"a": 1}]
+
+    def test_garbage_raises(self):
+        with pytest.raises(ServeError):
+            decode_ndjson(b"{nope}\n")
+
+    def test_dump_record_compact(self):
+        assert dump_record({"a": 1, "b": 2}) == '{"a":1,"b":2}'
+
+
+class TestValues:
+    def test_register_roundtrip_with_disconnect(self):
+        values = {"R1": 7, "R2": DISC}
+        wire = encode_registers(values)
+        assert wire["R2"] == "z"
+        assert decode_registers(wire) == values
+
+
+class TestErrors:
+    def test_every_code_has_a_status(self):
+        for code, (status, _reason) in ERROR_STATUS.items():
+            assert ServeError(code, "x").status == status
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            ServeError("teapot", "x")
+
+    def test_record_shape(self):
+        record = error_record("deadline", "too slow", id=3)
+        assert record == {
+            "event": "error", "code": "deadline",
+            "message": "too slow", "id": 3,
+        }
+        assert "id" not in error_record("deadline", "too slow")
+
+
+class TestResultRecord:
+    def test_simulate_shape(self):
+        record = result_record(5, "dig", {"R1": 1}, True, 4, 0.5, 1.25)
+        assert record["event"] == "result"
+        assert record["id"] == 5
+        assert record["digest"] == "dig"
+        assert record["registers"] == {"R1": 1}
+        assert record["clean"] is True
+        assert record["batch"] == 4
+        assert "ok" not in record
+
+    def test_verify_shape_carries_report(self):
+        report = {"ok": False, "cycles": 3, "properties": 2}
+        record = result_record(
+            None, "dig", {}, False, 1, 0.0, 0.1, report=report
+        )
+        assert record["ok"] is False
+        assert record["cycles"] == 3
+        assert record["properties"] == 2
+        assert "id" not in record

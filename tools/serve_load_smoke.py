@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""CI synthetic load against the simulation service.
+
+Boots a :class:`repro.serve.ServeServer` on an ephemeral port, then
+drives the scenario the CI ``serve`` job gates on:
+
+* **two designs** (the paper's Fig. 1 example and a deliberate
+  bus-conflict model) submitted once and hammered concurrently, so
+  batches of both lanes interleave on the executor;
+* **concurrent clients** (default 8) per design, coalescing into
+  multi-lane sweeps -- the run fails if no sweep ever batched more
+  than one lane;
+* **one deadline-expired request**: a 1ms budget against a design
+  whose lane is pinned behind a gathering window must come back as the
+  wire-stable ``deadline`` error, not a success or a hang;
+* **batched-vs-sequential identity**: every served register file and
+  clean flag is compared against an in-process sequential ``compiled``
+  run of the same vector.
+
+Exit codes: 0 pass, 1 any assertion failed.  Needs only the repo
+(``PYTHONPATH=src``); no third-party packages.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.core import ModuleSpec, RTModel  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServeClient,
+    ServeClientError,
+    drive_load,
+    serve_in_thread,
+)
+from repro.serve.protocol import decode_registers  # noqa: E402
+
+CLIENTS = 8
+VECTORS = 120
+
+
+def fig1_model() -> RTModel:
+    model = RTModel("example", cs_max=7)
+    model.register("R1", init=2)
+    model.register("R2", init=3)
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,5,ADD,6,B1,R1)")
+    return model
+
+
+def conflict_model() -> RTModel:
+    model = RTModel("clash", cs_max=4)
+    model.register("R1", init=1)
+    model.register("R2", init=2)
+    model.register("R3")
+    model.bus("B1")
+    model.bus("B2")
+    model.module(ModuleSpec("ADD", latency=1))
+    model.add_transfer("(R1,B1,R2,B2,2,ADD,3,B1,R3)")
+    model.add_transfer("(R2,B1,R1,B2,2,ADD,3,B2,R3)")
+    return model
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def main() -> int:
+    rng = random.Random(2026)
+    designs = {"fig1": fig1_model(), "clash": conflict_model()}
+    with serve_in_thread() as handle:
+        host, port = handle.address
+        digests = {}
+        with ServeClient(host, port) as client:
+            for name, model in designs.items():
+                digests[name] = client.submit(model)["digest"]
+
+            # -- one deadline-expired request -------------------------
+            # Pin a third design's lane behind a long window on a second
+            # server so the deadline reliably expires in the queue.
+            with serve_in_thread(batch_window_ms=300.0) as slow:
+                with ServeClient(*slow.address) as sc:
+                    slow_digest = sc.submit(fig1_model())["digest"]
+                    try:
+                        sc.simulate(slow_digest, deadline_ms=1.0)
+                        check(False, "1ms deadline unexpectedly met")
+                    except ServeClientError as exc:
+                        check(
+                            exc.code == "deadline",
+                            f"expected 'deadline', got {exc.code!r}",
+                        )
+            print("deadline expiry: ok (wire-stable 504 'deadline' record)")
+
+        # -- concurrent load on both designs -------------------------
+        for name, model in designs.items():
+            vectors = [
+                {
+                    reg: rng.randrange(0, 1 << model.width)
+                    for reg in model.registers
+                }
+                for _ in range(VECTORS)
+            ]
+            results: dict = {}
+            load = drive_load(
+                host, port, digests[name], vectors,
+                clients=CLIENTS, results=results,
+            )
+            check(
+                load["errors"] == 0,
+                f"{name}: {load['errors']} request(s) failed "
+                f"({load['error_codes']})",
+            )
+            # batched-vs-sequential identity, every vector
+            mismatched = 0
+            for i, vector in enumerate(vectors):
+                sim = model.elaborate(
+                    register_values=vector, backend="compiled"
+                ).run()
+                got = results.get(i)
+                if (
+                    got is None
+                    or decode_registers(got["registers"]) != sim.registers
+                    or got["clean"] != sim.clean
+                ):
+                    mismatched += 1
+            check(mismatched == 0, f"{name}: {mismatched} lane(s) differ")
+            print(
+                f"{name}: {VECTORS} requests x {CLIENTS} clients, "
+                f"{load['rps']:,.0f} req/s, p99 {load['p99_ms']}ms, "
+                "identity ok"
+            )
+
+        stats = handle.server.engine.stats()
+    check(
+        stats["batch_mean"] > 1.0,
+        f"no coalescing happened (batch_mean={stats['batch_mean']})",
+    )
+    print(
+        f"scheduler: {stats['sweeps']} sweeps, "
+        f"{stats['lanes_swept']} lanes, mean batch {stats['batch_mean']}"
+    )
+    print("serve load smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as exc:
+        print(f"serve load smoke: FAIL -- {exc}", file=sys.stderr)
+        sys.exit(1)
