@@ -348,7 +348,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0, metavar="S",
         help="graceful-shutdown budget for in-flight sweeps (default 10)",
     )
+    p.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="wide-event JSON access log: one line per request with "
+        "trace id, op, digest, queue/sweep ms, batch, status ('-' = "
+        "stdout; bounded async writer, drops are counted in /v1/healthz)",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable request-scoped span tracing and write the Chrome "
+        "trace (accept/parse/queue/coalesce/sweep/serialize spans per "
+        "request) here on shutdown",
+    )
+    p.add_argument(
+        "--flight-dir", default=".", metavar="DIR",
+        help="directory for flight-recorder dumps (default: cwd); the "
+        "ring of recent requests is dumped on any 5xx and on SIGUSR1",
+    )
+    p.add_argument(
+        "--flight-size", type=int, default=256, metavar="N",
+        help="flight-recorder ring capacity (default 256)",
+    )
     p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live service dashboard: poll /v1/metrics and render "
+        "rps, latency quantiles, cache hits, queue depth",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="service address (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8349,
+        help="service port (default 8349)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="poll interval (default 1.0)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N polls (default 0 = until interrupted)",
+    )
+    p.add_argument(
+        "--no-clear", action="store_true",
+        help="append each refresh instead of clearing the screen "
+        "(scripts, CI logs)",
+    )
+    p.set_defaults(handler=cmd_top)
 
     p = sub.add_parser(
         "bench",
@@ -1455,6 +1504,10 @@ def cmd_serve(args) -> int:
         max_models=args.max_models,
         max_workers=args.workers,
         drain_timeout=args.drain_timeout,
+        access_log=args.access_log,
+        trace_out=args.trace_out,
+        flight_dir=args.flight_dir,
+        flight_size=args.flight_size,
     )
     host, port = handle.address
     print(
@@ -1470,6 +1523,16 @@ def cmd_serve(args) -> int:
     # own daemon thread).
     stop = threading.Event()
     previous = signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    # SIGUSR1 dumps the flight recorder (recent requests + health
+    # snapshot) without disturbing the server -- the operator's
+    # "what just happened" button.
+    previous_usr1 = None
+    if hasattr(signal, "SIGUSR1"):
+        def _dump(signum, frame):
+            path = handle.server.dump_flight("sigusr1", force=True)
+            print(f"-- flight recorder dumped to {path}", file=sys.stderr)
+
+        previous_usr1 = signal.signal(signal.SIGUSR1, _dump)
     try:
         while not stop.wait(3600):
             pass
@@ -1477,6 +1540,8 @@ def cmd_serve(args) -> int:
         pass
     finally:
         signal.signal(signal.SIGTERM, previous)
+        if previous_usr1 is not None:
+            signal.signal(signal.SIGUSR1, previous_usr1)
     print("-- draining in-flight sweeps...", file=sys.stderr)
     drained = handle.close()
     print(
@@ -1484,6 +1549,117 @@ def cmd_serve(args) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _top_buckets(parsed: dict, family: str, **labels: str) -> dict:
+    """Cumulative ``le`` buckets of one histogram label set."""
+    buckets: dict = {}
+    for sample in parsed.get(f"{family}_bucket", {}).get("samples", []):
+        row = sample["labels"]
+        if any(row.get(k) != v for k, v in labels.items()):
+            continue
+        buckets[float(row["le"])] = sample["value"]
+    return buckets
+
+
+def _top_counter(parsed: dict, family: str, **labels: str) -> float:
+    total = 0.0
+    for sample in parsed.get(family, {}).get("samples", []):
+        row = sample["labels"]
+        if any(row.get(k) != v for k, v in labels.items()):
+            continue
+        total += sample["value"]
+    return total
+
+
+def _top_render(parsed: dict, prev: dict, elapsed: float) -> str:
+    """One dashboard frame from a parsed /v1/metrics scrape.
+
+    ``prev`` maps op -> the previous scrape's request total, so rps is
+    a true rate over the poll window, not a lifetime average."""
+    from .observe.metrics import histogram_quantile
+
+    ops = sorted({
+        sample["labels"]["op"]
+        for sample in parsed.get("repro_serve_requests_total", {}).get(
+            "samples", []
+        )
+    })
+    lines = [
+        f"{'OP':<10} {'TOTAL':>8} {'RPS':>8} {'P50 MS':>9} "
+        f"{'P99 MS':>9} {'ERRORS':>7}"
+    ]
+    for op in ops:
+        total = _top_counter(parsed, "repro_serve_requests_total", op=op)
+        ok = _top_counter(
+            parsed, "repro_serve_requests_total", op=op, code="ok"
+        )
+        rps = max(0.0, total - prev.get(op, 0.0)) / elapsed if elapsed else 0.0
+        prev[op] = total
+        buckets = _top_buckets(parsed, "repro_serve_request_ms", op=op)
+        p50 = histogram_quantile(buckets, 0.50) if buckets else 0.0
+        p99 = histogram_quantile(buckets, 0.99) if buckets else 0.0
+        lines.append(
+            f"{op:<10} {int(total):>8} {rps:>8.1f} {p50:>9.3f} "
+            f"{p99:>9.3f} {int(total - ok):>7}"
+        )
+    hits = _top_counter(parsed, "repro_serve_models_total", outcome="hit")
+    submits = _top_counter(parsed, "repro_serve_models_total")
+    depth = _top_counter(parsed, "repro_serve_queue_depth")
+    rejected = _top_counter(parsed, "repro_serve_rejections_total")
+    sweeps = _top_counter(parsed, "repro_serve_sweeps_total")
+    hit_rate = f"{100.0 * hits / submits:.1f}%" if submits else "n/a"
+    lines.append(
+        f"cache hit {hit_rate} ({int(hits)}/{int(submits)})  "
+        f"queue depth {int(depth)}  rejections {int(rejected)}  "
+        f"sweeps {int(sweeps)}"
+    )
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """`repro top`: a live table over the service's /v1/metrics.
+
+    Polls every ``--interval`` seconds and renders per-op request
+    totals, rps over the window, p50/p99 latency (upper-bound
+    estimates from the histogram buckets), cache hit rate, queue depth
+    and rejection counts.  ``--iterations N`` bounds the run (scripts,
+    tests); the default polls until Ctrl-C.
+    """
+    import time
+
+    from .observe.metrics import parse_prometheus
+    from .serve.client import ServeClient, ServeClientError
+
+    prev: dict = {}
+    last_poll = None
+    count = 0
+    try:
+        with ServeClient(args.host, args.port) as client:
+            while True:
+                try:
+                    text = client.metrics()
+                except (ServeClientError, ConnectionError, OSError) as exc:
+                    print(
+                        f"repro top: cannot scrape "
+                        f"http://{args.host}:{args.port}/v1/metrics: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                now = time.perf_counter()
+                elapsed = (now - last_poll) if last_poll is not None else 0.0
+                last_poll = now
+                frame = _top_render(parse_prometheus(text), prev, elapsed)
+                if not args.no_clear:
+                    print("\x1b[2J\x1b[H", end="")
+                print(f"repro top -- http://{args.host}:{args.port}")
+                print(frame, flush=True)
+                count += 1
+                if args.iterations and count >= args.iterations:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _bench_default_model():

@@ -42,6 +42,7 @@ compiled executor, clocked translation, handshake network):
 """
 
 from .attach import KernelProbeAdapter
+from .log import AccessLogWriter, parse_access_log, wide_event
 from .coverage import (
     CoverageDB,
     CoverageError,
@@ -58,6 +59,7 @@ from .metrics import (
     REGISTRY,
     MetricsError,
     MetricsRegistry,
+    histogram_quantile,
     parse_prometheus,
 )
 from .monitor import (
@@ -91,7 +93,7 @@ from .recorder import (
     read_events,
 )
 from .stream import StreamServer, format_event, parse_endpoint, watch_stream
-from .trace import SpanTracer
+from .trace import RequestContext, SpanTracer, new_trace_id
 from .vcd import VCDError, VCDWave, export_vcd, parse_vcd, step_phase_tick
 
 __all__ = [
@@ -108,8 +110,14 @@ __all__ = [
     "REGISTRY",
     "MetricsError",
     "MetricsRegistry",
+    "histogram_quantile",
     "parse_prometheus",
+    "AccessLogWriter",
+    "parse_access_log",
+    "wide_event",
+    "RequestContext",
     "SpanTracer",
+    "new_trace_id",
     "Probe",
     "ProbeSet",
     "combine_probes",

@@ -46,14 +46,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsError",
+    "histogram_quantile",
     "parse_prometheus",
     "record_backend_run",
     "record_codegen_request",
     "record_plan_resolution",
     "record_serve_batch",
+    "record_serve_deadline_budget",
     "record_serve_model",
     "record_serve_rejection",
     "record_serve_request",
+    "record_serve_stage",
     "record_stream_close",
     "serve_models",
     "serve_queue_depth",
@@ -503,6 +506,12 @@ def parse_prometheus(text: str) -> Dict[str, Any]:
         if line.startswith("# HELP "):
             rest = line[len("# HELP "):]
             name, _, help_text = rest.partition(" ")
+            if name in helps:
+                # Exposition hygiene: HELP/TYPE belong to the family,
+                # exactly once, no matter how many label sets it has.
+                raise MetricsError(
+                    f"line {line_no}: duplicate # HELP for {name!r}"
+                )
             helps[name] = help_text
             continue
         if line.startswith("# TYPE "):
@@ -512,6 +521,10 @@ def parse_prometheus(text: str) -> Dict[str, Any]:
             if kind not in _KINDS:
                 raise MetricsError(
                     f"line {line_no}: unknown metric type {kind!r}"
+                )
+            if name in types:
+                raise MetricsError(
+                    f"line {line_no}: duplicate # TYPE for {name!r}"
                 )
             types[name] = kind
             continue
@@ -553,6 +566,36 @@ def parse_prometheus(text: str) -> Dict[str, Any]:
         entry["type"] = types.get(name, types.get(base))
         entry["help"] = helps.get(name, helps.get(base, ""))
     return metrics
+
+
+def histogram_quantile(
+    buckets: Mapping[float, float], quantile: float
+) -> float:
+    """Upper-bound quantile estimate from cumulative ``le`` buckets.
+
+    ``buckets`` maps bucket upper bounds (including ``inf`` for the
+    ``+Inf`` series) to cumulative counts -- the shape a scraped
+    ``*_bucket`` family parses into.  Returns the smallest bound whose
+    cumulative count covers the quantile; a quantile landing in the
+    ``+Inf`` bucket reports the largest finite bound (the estimate is
+    then a floor, which is the honest direction for a tail latency).
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise MetricsError(f"quantile must be in [0, 1], got {quantile}")
+    items = sorted(buckets.items())
+    if not items:
+        return 0.0
+    total = items[-1][1]
+    if total <= 0:
+        return 0.0
+    target = quantile * total
+    finite = [bound for bound, _ in items if bound != float("inf")]
+    for bound, cumulative in items:
+        if cumulative >= target:
+            if bound == float("inf"):
+                break
+            return bound
+    return finite[-1] if finite else float("inf")
 
 
 # ----------------------------------------------------------------------
@@ -703,6 +746,34 @@ def record_serve_batch(lanes: int, sweep_ms: float) -> None:
         "repro_serve_sweep_ms",
         "Wall milliseconds per coalesced sweep (executor side).",
     )).observe(sweep_ms)
+
+
+#: Deadline-budget buckets: the SLO-facing fraction of a request's own
+#: ``deadline_ms`` consumed by the time it resolved (>1 = blown).
+_BUDGET_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.5, 2.0, 5.0,
+)
+
+
+def record_serve_stage(stage: str, ms: float) -> None:
+    """Report one per-stage request latency (parse/queue/serialize --
+    the sweep stage has its own ``repro_serve_sweep_ms`` family)."""
+    _serve_series(("stage", stage), lambda: REGISTRY.histogram(
+        "repro_serve_stage_ms",
+        "Per-stage request latency: parse (decode + validate), queue "
+        "(enqueue to sweep dispatch), serialize (encode + write).",
+        ("stage",),
+    ).labels(stage=stage)).observe(ms)
+
+
+def record_serve_deadline_budget(fraction: float) -> None:
+    """Report the deadline-budget fraction one request consumed."""
+    _serve_series(("budget",), lambda: REGISTRY.histogram(
+        "repro_serve_deadline_budget_consumed",
+        "Fraction of a request's deadline_ms consumed when it "
+        "resolved; above 1.0 the deadline was blown.",
+        buckets=_BUDGET_BUCKETS,
+    )).observe(fraction)
 
 
 def record_serve_rejection(reason: str) -> None:

@@ -80,6 +80,15 @@ class RecordQueue:
         """Blocking take (sender-thread consumers)."""
         return self._q.get()
 
+    def pending(self) -> bool:
+        """True while items are queued (consumer-side peek)."""
+        return not self._q.empty()
+
+    def put(self, item: Any) -> None:
+        """Blocking enqueue that never drops (shutdown sentinels that
+        must preserve already-queued records, unlike :meth:`close`)."""
+        self._q.put(item)
+
     def drain(self) -> List[Any]:
         """Take everything currently queued without blocking."""
         items: List[Any] = []

@@ -28,6 +28,7 @@ profiler's).
 from __future__ import annotations
 
 import json
+import os
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
@@ -35,11 +36,16 @@ from typing import Any, Dict, Iterator, List, Optional
 from ..core.phases import Phase
 from .probe import Probe
 
-__all__ = ["SpanTracer"]
+__all__ = ["RequestContext", "SpanTracer", "new_trace_id"]
 
 #: Track ids: the coordinator's spans live on tid 0; shard K's
 #: synthesized worker span lives on tid K + 1.
 MAIN_TID = 0
+
+
+def new_trace_id() -> str:
+    """A 16-hex-char random trace id for one service request."""
+    return os.urandom(8).hex()
 
 
 class SpanTracer(Probe):
@@ -50,10 +56,26 @@ class SpanTracer(Probe):
         self.t0 = time.perf_counter()
         #: Completed spans as Chrome trace events (``ph="X"``).
         self.spans: List[Dict[str, Any]] = []
+        #: Explicit track names (tid -> label) set via
+        #: :meth:`alloc_track`; tids without a label keep the
+        #: main/shard naming convention in :meth:`_metadata`.
+        self.track_labels: Dict[int, str] = {}
+        self._next_tid = 1
         self._run_start: Optional[float] = None
         self._step_open: Optional[tuple] = None  # (step, start)
         self._phase_open: Optional[tuple] = None  # (StepPhase, start)
         self._elaborate_span: Optional[Dict[str, Any]] = None
+
+    def alloc_track(self, label: str) -> int:
+        """Reserve a named track (Chrome tid) for a span source.
+
+        The service uses one track per connection and one per batching
+        lane so overlapping request spans render side by side instead
+        of stacking on tid 0."""
+        tid = self._next_tid
+        self._next_tid += 1
+        self.track_labels[tid] = label
+        return tid
 
     # ------------------------------------------------------------------
     # span plumbing
@@ -224,7 +246,9 @@ class SpanTracer(Probe):
             "args": {"name": "repro"},
         }]
         for tid in tids:
-            label = "main" if tid == MAIN_TID else f"shard {tid - 1} worker"
+            label = self.track_labels.get(tid) or (
+                "main" if tid == MAIN_TID else f"shard {tid - 1} worker"
+            )
             events.append({
                 "name": "thread_name",
                 "ph": "M",
@@ -271,3 +295,64 @@ class SpanTracer(Probe):
             for span in self.spans
             if span["name"] == "run"
         )
+
+
+class RequestContext:
+    """Trace id + span plumbing for one service request.
+
+    Minted by the server at HTTP/WebSocket accept and threaded through
+    the batching scheduler, so every stage of a request's life --
+    accept, parse, queue, coalesce, sweep, serialize -- lands in *one*
+    :class:`SpanTracer` under one ``trace`` id (the Chrome trace's
+    ``args.trace``).  ``tracer=None`` makes every method a no-op, so
+    the context can be threaded unconditionally while tracing stays
+    structurally free when disabled.
+    """
+
+    __slots__ = ("trace_id", "tracer", "tid", "op")
+
+    def __init__(
+        self,
+        trace_id: str,
+        tracer: Optional[SpanTracer] = None,
+        tid: int = MAIN_TID,
+        op: str = "",
+    ) -> None:
+        self.trace_id = trace_id
+        self.tracer = tracer
+        self.tid = tid
+        self.op = op
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+        tid: Optional[int] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """One complete request-stage span tagged with the trace id."""
+        if self.tracer is None:
+            return None
+        merged: Dict[str, Any] = {"trace": self.trace_id}
+        if self.op:
+            merged["op"] = self.op
+        if args:
+            merged.update(args)
+        return self.tracer.add_span(
+            name, start, end,
+            tid=self.tid if tid is None else tid,
+            cat="serve", args=merged,
+        )
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        """Bracket one request stage (no-op without a tracer)."""
+        if self.tracer is None:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_span(name, start, time.perf_counter(), args=args or None)

@@ -20,6 +20,7 @@ See ``docs/serving.md`` for the wire schema and semantics.
 
 from .batcher import SERVE_BACKENDS, BatchingEngine, resolve_serve_backend
 from .cache import CachedDesign, ModelCache
+from .flight import FlightRecorder
 from .client import (
     ServeClient,
     ServeClientError,
@@ -42,6 +43,7 @@ __all__ = [
     "SERVE_BACKENDS",
     "BatchingEngine",
     "CachedDesign",
+    "FlightRecorder",
     "ModelCache",
     "ServeClient",
     "ServeClientError",

@@ -40,9 +40,12 @@ from ..engine.plan import Plan
 from ..observe import recorder
 from ..observe.metrics import (
     record_serve_batch,
+    record_serve_deadline_budget,
     record_serve_rejection,
+    record_serve_stage,
     serve_queue_depth,
 )
+from ..observe.trace import MAIN_TID, RequestContext, SpanTracer
 from ..observe.monitor import (
     Property,
     default_properties,
@@ -183,7 +186,10 @@ def run_sweep(
 class PendingRequest:
     """One admitted request waiting for (or riding) a sweep."""
 
-    __slots__ = ("vector", "deadline", "enqueued", "future", "id")
+    __slots__ = (
+        "vector", "deadline", "enqueued", "future", "id",
+        "trace", "ctx", "budget_ms",
+    )
 
     def __init__(
         self,
@@ -192,24 +198,33 @@ class PendingRequest:
         future: "asyncio.Future[dict]",
         request_id: Any,
         enqueued: float,
+        trace: Optional[str] = None,
+        ctx: Optional[RequestContext] = None,
+        budget_ms: Optional[float] = None,
     ) -> None:
         self.vector = vector
         self.deadline = deadline  # loop-clock absolute, or None
         self.enqueued = enqueued
         self.future = future
         self.id = request_id
+        #: the request's trace id, echoed on its result record
+        self.trace = trace
+        #: span plumbing (None when the server runs untraced)
+        self.ctx = ctx
+        self.budget_ms = budget_ms
 
 
 class _Lane:
     """One (design, property-set) batching queue and its worker."""
 
-    __slots__ = ("entry", "properties", "queue", "task", "key", "state")
+    __slots__ = ("entry", "properties", "queue", "task", "key", "state", "tid")
 
     def __init__(
         self,
         entry: CachedDesign,
         properties: Optional[List[Property]],
         key: Tuple[str, Optional[str]],
+        tid: int = MAIN_TID,
     ) -> None:
         self.entry = entry
         self.properties = properties
@@ -219,6 +234,9 @@ class _Lane:
         #: armed-elaboration store for run_sweep (executor-confined:
         #: this lane's sweeps never overlap, the worker awaits each).
         self.state: dict = {}
+        #: trace track: coalesce/sweep spans of this lane render on
+        #: their own Chrome-trace row.
+        self.tid = tid
 
 
 class BatchingEngine:
@@ -233,6 +251,7 @@ class BatchingEngine:
         executor: Any = None,
         reuse_sims: bool = True,
         on_records: Optional[Callable[[str, List[dict]], None]] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -249,6 +268,12 @@ class BatchingEngine:
         #: observer hook: (digest, wire records of one sweep) -- the
         #: server fans these out to WebSocket watch subscriptions.
         self.on_records = on_records
+        #: span sink shared with the server (None = tracing disabled;
+        #: the hot path stays structurally free).
+        self.tracer = tracer
+        #: monotonically numbered sweeps -- the ``batch`` span arg that
+        #: joins a request's queue span to the sweep it coalesced into.
+        self._batch_seq = 0
         self._lanes: Dict[Tuple[str, Optional[str]], _Lane] = {}
         self._pending = 0
         self._in_flight: set = set()
@@ -275,7 +300,12 @@ class BatchingEngine:
                     properties = parse_properties(request.properties)
                 except Exception as exc:
                     raise ServeError("bad_request", f"bad properties: {exc}")
-        lane = _Lane(entry, properties, key)
+        tid = (
+            self.tracer.alloc_track(f"lane {entry.digest[:8]}")
+            if self.tracer is not None
+            else MAIN_TID
+        )
+        lane = _Lane(entry, properties, key, tid=tid)
         lane.task = asyncio.get_running_loop().create_task(
             self._worker(lane), name=f"repro-serve-lane-{entry.digest[:12]}"
         )
@@ -284,9 +314,16 @@ class BatchingEngine:
 
     # -- admission --------------------------------------------------------
     async def submit(
-        self, entry: CachedDesign, request: SimRequest
+        self,
+        entry: CachedDesign,
+        request: SimRequest,
+        ctx: Optional[RequestContext] = None,
     ) -> dict:
         """Admit one request and wait for its lane result.
+
+        ``ctx`` (when the server traces) receives the request's
+        ``queue`` span, cut when its batch dispatches and tagged with
+        the batch sequence number it coalesced into.
 
         Raises :class:`ServeError` with ``queue_full`` (admission),
         ``closing`` (shutdown), ``deadline`` (budget exhausted at any
@@ -326,6 +363,9 @@ class BatchingEngine:
             future=loop.create_future(),
             request_id=request.id,
             enqueued=time.perf_counter(),
+            trace=request.trace,
+            ctx=ctx,
+            budget_ms=request.deadline_ms,
         )
         self._pending += 1
         serve_queue_depth().set(self._pending)
@@ -341,6 +381,10 @@ class BatchingEngine:
             except asyncio.TimeoutError:
                 self.expired += 1
                 record_serve_rejection("deadline")
+                record_serve_deadline_budget(
+                    (time.perf_counter() - pending.enqueued)
+                    * 1000.0 / request.deadline_ms
+                )
                 raise ServeError(
                     "deadline",
                     f"deadline of {request.deadline_ms:g}ms exhausted "
@@ -360,6 +404,7 @@ class BatchingEngine:
             first = await lane.queue.get()
             if first is _STOP:
                 return
+            gather_t0 = time.perf_counter()
             if self.batch_window_ms > 0:
                 await asyncio.sleep(self.batch_window_ms / 1000.0)
             batch: List[PendingRequest] = [first]
@@ -383,6 +428,11 @@ class BatchingEngine:
                 if req.deadline is not None and now >= req.deadline:
                     self.expired += 1
                     record_serve_rejection("deadline")
+                    if req.budget_ms:
+                        record_serve_deadline_budget(
+                            (time.perf_counter() - req.enqueued)
+                            * 1000.0 / req.budget_ms
+                        )
                     req.future.set_exception(ServeError(
                         "deadline", "deadline expired before dispatch"
                     ))
@@ -390,15 +440,39 @@ class BatchingEngine:
                 live.append(req)
             serve_queue_depth().set(self._pending)
             if live:
-                await self._dispatch(lane, live)
+                await self._dispatch(lane, live, gather_t0)
             if stopped:
                 return
 
+    def _realized_backend(self, batch: int) -> str:
+        """The concrete sweep realization ``run_sweep`` will pick."""
+        if self.backend != "adaptive":
+            return self.backend
+        if batch <= ADAPTIVE_CROSSOVER or not have_numpy():
+            return "compiled-py"
+        return "compiled-py-batched"
+
     async def _dispatch(
-        self, lane: _Lane, live: List[PendingRequest]
+        self, lane: _Lane, live: List[PendingRequest], gather_t0: float
     ) -> None:
         loop = asyncio.get_running_loop()
+        self._batch_seq += 1
+        seq = self._batch_seq
         t0 = time.perf_counter()
+        if self.tracer is not None:
+            # Every request's queue span ends here, tagged with the
+            # batch it joined; the lane-track coalesce span shows the
+            # window/backlog gathering that formed the batch.
+            for req in live:
+                if req.ctx is not None:
+                    req.ctx.add_span(
+                        "queue", req.enqueued, t0, args={"batch": seq}
+                    )
+            self.tracer.add_span(
+                "coalesce", gather_t0, t0, tid=lane.tid, cat="serve",
+                args={"batch": seq, "lanes": len(live)},
+            )
+        record_serve_stage("coalesce", (t0 - gather_t0) * 1000.0)
         try:
             lanes = await loop.run_in_executor(
                 self._executor,
@@ -416,19 +490,40 @@ class BatchingEngine:
                         ServeError("internal", f"sweep failed: {exc}")
                     )
             return
-        sweep_ms = (time.perf_counter() - t0) * 1000.0
+        sweep_end = time.perf_counter()
+        sweep_ms = (sweep_end - t0) * 1000.0
         self.sweeps += 1
         self.lanes_swept += len(live)
         record_serve_batch(len(live), sweep_ms)
+        record_serve_stage("sweep", sweep_ms)
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "sweep", t0, sweep_end, tid=lane.tid, cat="serve",
+                args={
+                    "batch": seq,
+                    "lanes": len(live),
+                    "digest": lane.entry.digest[:12],
+                    "backend": self._realized_backend(len(live)),
+                    "traces": [
+                        req.trace for req in live if req.trace is not None
+                    ],
+                },
+            )
         now = time.perf_counter()
         fanout: List[dict] = []
         for req, result in zip(live, lanes):
             result["batch"] = len(live)
             result["sweep_ms"] = sweep_ms
-            result["queue_ms"] = max(
-                0.0, (now - req.enqueued) * 1000.0 - sweep_ms
-            )
+            queue_ms = max(0.0, (now - req.enqueued) * 1000.0 - sweep_ms)
+            result["queue_ms"] = queue_ms
             result["id"] = req.id
+            if req.trace is not None:
+                result["trace"] = req.trace
+            record_serve_stage("queue", queue_ms)
+            if req.budget_ms:
+                record_serve_deadline_budget(
+                    (now - req.enqueued) * 1000.0 / req.budget_ms
+                )
             for record in result["conflicts"]:
                 fanout.append(dict(record, digest=lane.entry.digest))
             for violation in (result.get("report") or {}).get("violations", ()):

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core.model import RTModel
 from ..core.serialize import model_to_dict
+from ..observe.trace import new_trace_id
 from .protocol import (
     ERROR_STATUS,
     ServeError,
@@ -134,11 +135,21 @@ class ServeClient:
         register_values: Optional[Mapping[str, Any]] = None,
         deadline_ms: Optional[float] = None,
         id: Any = None,
+        trace: Optional[str] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
     ) -> List[dict]:
-        """One simulate request; returns the full NDJSON record list."""
-        return self._ndjson("POST", "/v1/simulate", self._sim_payload(
-            model, register_values, deadline_ms, id
-        ))
+        """One simulate request; returns the full NDJSON record list.
+
+        ``retries > 0`` re-issues the request after a 503 (admission
+        rejection / draining replica), backing off ``retry_backoff``
+        seconds (doubled per attempt).  Retried attempts share one
+        trace id -- ``trace`` when given, else one minted here -- so
+        the server's spans and access log show a single request
+        identity across attempts."""
+        return self._sim_ndjson("/v1/simulate", self._sim_payload(
+            model, register_values, deadline_ms, id, trace
+        ), retries, retry_backoff)
 
     def verify(
         self,
@@ -147,15 +158,37 @@ class ServeClient:
         register_values: Optional[Mapping[str, Any]] = None,
         deadline_ms: Optional[float] = None,
         id: Any = None,
+        trace: Optional[str] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
     ) -> List[dict]:
         """One verify request (``properties=None`` = the default set)."""
-        payload = self._sim_payload(model, register_values, deadline_ms, id)
+        payload = self._sim_payload(model, register_values, deadline_ms, id, trace)
         if properties is not None:
             payload["properties"] = properties
-        return self._ndjson("POST", "/v1/verify", payload)
+        return self._sim_ndjson("/v1/verify", payload, retries, retry_backoff)
+
+    def _sim_ndjson(
+        self, path: str, payload: Dict[str, Any],
+        retries: int, retry_backoff: float,
+    ) -> List[dict]:
+        if retries > 0 and "trace" not in payload:
+            payload["trace"] = new_trace_id()
+        backoff = retry_backoff
+        for attempt in range(retries + 1):
+            try:
+                return self._ndjson("POST", path, payload)
+            except ServeClientError as exc:
+                if exc.status != 503 or attempt == retries:
+                    raise
+            time.sleep(backoff)
+            backoff *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
-    def _sim_payload(model, register_values, deadline_ms, id) -> Dict[str, Any]:
+    def _sim_payload(
+        model, register_values, deadline_ms, id, trace=None
+    ) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"model": _model_field(model)}
         if register_values:
             payload["register_values"] = dict(register_values)
@@ -163,6 +196,8 @@ class ServeClient:
             payload["deadline_ms"] = deadline_ms
         if id is not None:
             payload["id"] = id
+        if trace is not None:
+            payload["trace"] = trace
         return payload
 
     def models(self) -> List[dict]:
@@ -231,6 +266,7 @@ async def run_load(
     clients: int = 8,
     deadline_ms: Optional[float] = None,
     results: Optional[Dict[Any, dict]] = None,
+    id_prefix: str = "",
 ) -> Dict[str, Any]:
     """Drive ``len(vectors)`` simulate requests over ``clients``
     concurrent persistent connections; returns latency/throughput
@@ -238,12 +274,16 @@ async def run_load(
     ``model`` is a submitted design's digest, or an inline model
     document to ship with *every* request (the bench's cache-less
     ablation).  Pass a ``results`` dict to collect each request's
-    terminal result record keyed by its id (= the vector index) for
-    identity checks."""
+    terminal result record keyed by its id (= the vector index, or
+    ``f"{id_prefix}{i}"`` when a prefix makes ids globally unique
+    across several runs against one server -- the smoke harness's
+    exactly-once access-log check)."""
     field = model if isinstance(model, str) else dict(model)
     payloads: List[List[dict]] = [[] for _ in range(clients)]
     for i, vector in enumerate(vectors):
-        payload: Dict[str, Any] = {"model": field, "id": i}
+        payload: Dict[str, Any] = {
+            "model": field, "id": f"{id_prefix}{i}" if id_prefix else i,
+        }
         if vector:
             payload["register_values"] = vector
         if deadline_ms is not None:
@@ -287,9 +327,11 @@ def drive_load(
     clients: int = 8,
     deadline_ms: Optional[float] = None,
     results: Optional[Dict[Any, dict]] = None,
+    id_prefix: str = "",
 ) -> Dict[str, Any]:
     """Synchronous wrapper around :func:`run_load` (own event loop)."""
     return asyncio.run(run_load(
         host, port, model, vectors,
         clients=clients, deadline_ms=deadline_ms, results=results,
+        id_prefix=id_prefix,
     ))

@@ -1,0 +1,126 @@
+"""The service flight recorder: post-mortem state, not just counters.
+
+A fixed-size ring of the most recent wide access events (the same
+dictionaries :mod:`repro.observe.log` writes) rides along with every
+server, cost one deque append per request.  When something goes wrong
+-- any 5xx response, a sweep failure, or an operator ``SIGUSR1`` --
+the ring is captured together with the engine's health snapshot --
+to a timestamped JSON file when a dump directory is configured
+(``repro serve`` defaults to the working directory; embedded servers
+keep dumps in memory only) -- so the requests *leading up to* the
+failure are explained, not merely counted.  ``GET /v1/debug/last``
+serves the most recent dump (or the live ring when nothing has been
+dumped yet).
+
+Dumps are rate-limited (``min_interval_s``) so an error storm -- say a
+503 burst under overload -- produces one explanatory file, not one
+file per rejected request.  The dump format is documented in
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of wide events with dump-to-file."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        directory: Optional[str] = None,
+        min_interval_s: float = 1.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: where dump files land; None keeps dumps in memory only
+        #: (``last()`` still serves them) -- embedded/test servers must
+        #: not litter the caller's working directory.
+        self.directory = directory
+        self.min_interval_s = min_interval_s
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: lifetime dump count (healthz / debug endpoint)
+        self.dumps = 0
+        self._last_dump: Optional[Dict[str, Any]] = None
+        self._last_dump_path: Optional[str] = None
+        self._last_dump_at = 0.0  # monotonic
+
+    def record(self, event: Mapping[str, Any]) -> None:
+        """Append one wide event (the per-request hot-path cost)."""
+        with self._lock:
+            self._ring.append(dict(event))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._ring)
+
+    def dump(
+        self,
+        reason: str,
+        extra: Optional[Mapping[str, Any]] = None,
+        force: bool = False,
+    ) -> Optional[str]:
+        """Capture the ring; returns the dump file's path.
+
+        Returns None when suppressed by the rate limit (``force=True``
+        bypasses it -- the SIGUSR1 path, where an operator asked) or
+        when no ``directory`` is configured -- the dump is then held in
+        memory only, still served by :meth:`last`."""
+        now = time.monotonic()
+        with self._lock:
+            if not force and (now - self._last_dump_at) < self.min_interval_s:
+                return None
+            self._last_dump_at = now
+            records = list(self._ring)
+            self.dumps += 1
+            seq = self.dumps
+        payload: Dict[str, Any] = {
+            "event": "flight_dump",
+            "reason": reason,
+            "ts": round(time.time(), 6),
+            "seq": seq,
+            "records": records,
+        }
+        if extra:
+            payload.update(extra)
+        path = None
+        if self.directory is not None:
+            stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+            path = os.path.join(
+                self.directory, f"flight-{stamp}-{seq:03d}-{reason}.json"
+            )
+            os.makedirs(self.directory, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+        with self._lock:
+            self._last_dump = payload
+            self._last_dump_path = path
+        return path
+
+    def last(self) -> Dict[str, Any]:
+        """The ``GET /v1/debug/last`` payload: the most recent dump,
+        or a live ring snapshot when nothing has been dumped yet."""
+        with self._lock:
+            if self._last_dump is not None:
+                return dict(self._last_dump, path=self._last_dump_path)
+            return {
+                "event": "flight",
+                "reason": None,
+                "dumps": 0,
+                "records": list(self._ring),
+            }

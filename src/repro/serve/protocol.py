@@ -20,8 +20,15 @@ WebSocket ``{"op": "simulate" | "verify"}`` frames)::
       "register_values": {"R1": 7, "R2": "z"},   # optional overrides
       "deadline_ms": 250.0,                      # optional, queue+sweep
       "properties": [...],                       # verify only; assert-file
-      "id": <any JSON value>                     # echoed on every record
+      "id": <any JSON value>,                    # echoed on every record
+      "trace": "<hex id>"                        # optional caller trace id
     }
+
+A caller-supplied ``trace`` id (any non-empty string up to 128 chars)
+is echoed on the terminal record and used as the request's trace id in
+the server's span tracer and access log; when absent the server mints
+one.  Supplying it makes a *retried* request keep one identity across
+attempts (see ``tests/serve/test_observability.py``).
 
 Error records carry a stable ``code`` (one of :data:`ERROR_STATUS`)
 mapped onto the obvious HTTP status by the server; the WebSocket
@@ -71,14 +78,18 @@ class ServeError(Exception):
     def status(self) -> int:
         return ERROR_STATUS[self.code][0]
 
-    def record(self, id: Any = None) -> dict:
-        return error_record(self.code, self.message, id=id)
+    def record(self, id: Any = None, trace: Optional[str] = None) -> dict:
+        return error_record(self.code, self.message, id=id, trace=trace)
 
 
-def error_record(code: str, message: str, id: Any = None) -> dict:
+def error_record(
+    code: str, message: str, id: Any = None, trace: Optional[str] = None
+) -> dict:
     record: dict = {"event": "error", "code": code, "message": message}
     if id is not None:
         record["id"] = id
+    if trace is not None:
+        record["trace"] = trace
     return record
 
 
@@ -125,6 +136,9 @@ class SimRequest:
     properties: Optional[Any] = None
     #: echoed verbatim on every response record
     id: Any = None
+    #: caller-supplied trace id (stable across retries); the server
+    #: mints one when absent
+    trace: Optional[str] = None
 
     @property
     def verify(self) -> bool:
@@ -192,12 +206,19 @@ def parse_sim_request(payload: Any, verify: bool = False) -> SimRequest:
     properties = payload.get("properties") if verify else None
     if verify and properties is None:
         properties = "default"
+    trace = payload.get("trace")
+    if trace is not None:
+        if not isinstance(trace, str) or not trace:
+            raise ServeError("bad_request", "trace must be a non-empty string")
+        if len(trace) > 128:
+            raise ServeError("bad_request", "trace must be <= 128 characters")
     return SimRequest(
         model=model,
         register_values=_parse_register_values(payload.get("register_values")),
         deadline_ms=deadline_ms,
         properties=properties,
         id=payload.get("id"),
+        trace=trace,
     )
 
 
@@ -222,6 +243,7 @@ def result_record(
     queue_ms: float,
     sweep_ms: float,
     report: Optional[Mapping[str, Any]] = None,
+    trace: Optional[str] = None,
 ) -> dict:
     """The terminal record of a successful simulate/verify response."""
     record: dict = {
@@ -235,6 +257,8 @@ def result_record(
     }
     if request_id is not None:
         record["id"] = request_id
+    if trace is not None:
+        record["trace"] = trace
     if report is not None:
         record["ok"] = report["ok"]
         record["cycles"] = report["cycles"]

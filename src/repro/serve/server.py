@@ -43,16 +43,20 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..engine.plan import PlanCacheArg
+from ..observe.log import AccessLogWriter, wide_event
 from ..observe.metrics import (
     REGISTRY,
     record_serve_model,
     record_serve_request,
+    record_serve_stage,
     serve_models,
 )
 from ..observe.stream import RecordQueue
+from ..observe.trace import MAIN_TID, RequestContext, SpanTracer, new_trace_id
 from . import wsproto
 from .batcher import BatchingEngine
 from .cache import ModelCache
+from .flight import FlightRecorder
 from .protocol import (
     ERROR_STATUS,
     NDJSON_CONTENT_TYPE,
@@ -97,6 +101,7 @@ def _lane_records(lane: dict, digest: str, request_id: Any) -> List[dict]:
         lane["queue_ms"],
         lane["sweep_ms"],
         report=report,
+        trace=lane.get("trace"),
     ))
     return records
 
@@ -127,12 +132,15 @@ class _HttpConn:
     bytes already read past the previous request's body.
     """
 
-    __slots__ = ("reader", "carry", "pending")
+    __slots__ = ("reader", "carry", "pending", "tid")
 
-    def __init__(self, reader) -> None:
+    def __init__(self, reader, tid: int = MAIN_TID) -> None:
         self.reader = reader
         self.carry = b""
         self.pending: Optional["asyncio.Task[bytes]"] = None
+        #: trace track: this connection's request spans render on
+        #: their own Chrome-trace row (MAIN_TID when untraced).
+        self.tid = tid
 
     async def next_chunk(self) -> bytes:
         """One socket read, honoring the outstanding watchdog read."""
@@ -152,15 +160,16 @@ class _HttpConn:
 class _WsConn:
     """Per-WebSocket-connection state (writer lock, op tasks)."""
 
-    __slots__ = ("reader", "writer", "lock", "tasks", "peer")
+    __slots__ = ("reader", "writer", "lock", "tasks", "peer", "tid")
 
-    def __init__(self, reader, writer) -> None:
+    def __init__(self, reader, writer, tid: int = MAIN_TID) -> None:
         self.reader = reader
         self.writer = writer
         self.lock = asyncio.Lock()
         self.tasks: Set[asyncio.Task] = set()
         peer = writer.get_extra_info("peername")
         self.peer = f"{peer[0]}:{peer[1]}" if peer else "?"
+        self.tid = tid
 
 
 class ServeServer:
@@ -180,11 +189,28 @@ class ServeServer:
         drain_timeout: float = 10.0,
         watch_queue: int = 1024,
         reuse_sims: bool = True,
+        trace: bool = False,
+        trace_out: Optional[str] = None,
+        access_log: Optional[str] = None,
+        flight_size: int = 256,
+        flight_dir: Optional[str] = None,
     ) -> None:
         self._host = host
         self._port = port
         self._drain_timeout = drain_timeout
         self._watch_queue = watch_queue
+        #: span sink for request-scoped tracing (None = disabled; the
+        #: request path then does no span work at all).
+        self.tracer: Optional[SpanTracer] = (
+            SpanTracer() if (trace or trace_out) else None
+        )
+        self._trace_out = trace_out
+        #: wide-event JSON access log ("-" = stdout; None = disabled).
+        self.access: Optional[AccessLogWriter] = (
+            AccessLogWriter(access_log) if access_log else None
+        )
+        #: always-on ring of recent wide events, dumped on 5xx/SIGUSR1.
+        self.flight = FlightRecorder(capacity=flight_size, directory=flight_dir)
         self.models = ModelCache(plan_cache=plan_cache, max_models=max_models)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve-sweep"
@@ -197,6 +223,7 @@ class ServeServer:
             executor=self._executor,
             reuse_sims=reuse_sims,
             on_records=self._fanout,
+            tracer=self.tracer,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -234,8 +261,10 @@ class ServeServer:
                 watcher.conn.writer.write(
                     wsproto.encode_close(1001, "server closing")
                 )
-                await watcher.conn.writer.drain()
-            except (ConnectionError, OSError):
+                # A stalled watcher must not stall shutdown: the close
+                # frame is best-effort, bounded by its own tiny budget.
+                await asyncio.wait_for(watcher.conn.writer.drain(), 1.0)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
                 pass
             watcher.conn.writer.close()
         self._watchers.clear()
@@ -247,29 +276,40 @@ class ServeServer:
         if self._server is not None:
             await self._server.wait_closed()
         self._executor.shutdown(wait=True)
+        if self.tracer is not None and self._trace_out:
+            self.tracer.write(self._trace_out)
+        if self.access is not None:
+            self.access.close()
         return drained
 
     # ------------------------------------------------------------------
     # connection loop (HTTP/1.1 keep-alive)
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
-        conn = _HttpConn(reader)
+        tid = MAIN_TID
+        if self.tracer is not None:
+            peer = writer.get_extra_info("peername")
+            tid = self.tracer.alloc_track(
+                f"conn {peer[0]}:{peer[1]}" if peer else "conn ?"
+            )
+        conn = _HttpConn(reader, tid=tid)
         self._conns.add(writer)
         try:
             while True:
                 parsed = await self._read_request(conn)
                 if parsed is None:
                     return
-                method, path, headers, body = parsed
+                method, path, headers, body, t_first = parsed
                 if headers.get("upgrade", "").lower() == "websocket":
-                    await self._handle_websocket(reader, writer, headers)
+                    await self._handle_websocket(reader, writer, headers, tid)
                     return
                 keep_alive = (
                     headers.get("connection", "").lower() != "close"
                     and not self._closing
                 )
                 done = await self._route(
-                    method, path, headers, body, conn, writer, keep_alive
+                    method, path, headers, body, conn, writer, keep_alive,
+                    t_first,
                 )
                 if not done or not keep_alive:
                     return
@@ -293,9 +333,14 @@ class ServeServer:
         """Parse one request head + body; returns None on clean EOF.
 
         ``conn.carry`` holds bytes already read past the previous
-        body (pipelined requests) -- they are the start of this one."""
+        body (pipelined requests) -- they are the start of this one.
+
+        The returned tuple ends with ``t_first``: the clock reading at
+        the first bytes of this request, the start of its ``accept``
+        span (None only when the head arrived fully pipelined)."""
         buf = bytearray(conn.carry)
         conn.carry = b""
+        t_first = time.perf_counter() if buf else None
         while b"\r\n\r\n" not in buf:
             if len(buf) > MAX_HEAD:
                 raise ServeError("too_large", "request head too large")
@@ -304,6 +349,8 @@ class ServeServer:
                 if buf.strip():
                     raise ServeError("bad_request", "truncated request head")
                 return None
+            if t_first is None:
+                t_first = time.perf_counter()
             buf += chunk
         head, _, rest = bytes(buf).partition(b"\r\n\r\n")
         lines = head.decode("latin-1").split("\r\n")
@@ -328,7 +375,7 @@ class ServeServer:
         conn.carry = rest[length:]
         if len(body) < length:
             body += await conn.reader.readexactly(length - len(body))
-        return method, path.split("?", 1)[0], headers, body
+        return method, path.split("?", 1)[0], headers, body, t_first
 
     def _response(
         self,
@@ -351,19 +398,25 @@ class ServeServer:
     # routing
     # ------------------------------------------------------------------
     async def _route(
-        self, method, path, headers, body, conn, writer, keep_alive
+        self, method, path, headers, body, conn, writer, keep_alive,
+        t_first=None,
     ) -> bool:
         """Dispatch one request; returns False when the connection died."""
         t0 = time.perf_counter()
         op = path.rsplit("/", 1)[-1] or "?"
         status, payload, content_type = 200, b"", NDJSON_CONTENT_TYPE
         code = "ok"
+        request: Optional[SimRequest] = None
+        ctx: Optional[RequestContext] = None
+        result: Optional[dict] = None
         try:
             if path == "/v1/healthz" and method == "GET":
                 payload = encode_ndjson([self._health_record()])
             elif path == "/v1/metrics" and method == "GET":
                 payload = REGISTRY.to_prometheus().encode("utf-8")
                 content_type = "text/plain; version=0.0.4"
+            elif path == "/v1/debug/last" and method == "GET":
+                payload = encode_ndjson([self.flight.last()])
             elif path == "/v1/models" and method == "GET":
                 payload = encode_ndjson([
                     {"event": "model", **row}
@@ -372,16 +425,32 @@ class ServeServer:
             elif path == "/v1/models" and method == "POST":
                 payload = encode_ndjson([self._submit(self._json_body(body))])
             elif path in ("/v1/simulate", "/v1/verify") and method == "POST":
+                parse_t0 = time.perf_counter()
                 request = parse_sim_request(
                     self._json_body(body), verify=path.endswith("verify")
                 )
-                records = await self._simulate_watched(request, conn)
+                if request.trace is None:
+                    request.trace = new_trace_id()
+                if self.tracer is not None:
+                    ctx = RequestContext(
+                        request.trace, self.tracer, tid=conn.tid, op=op
+                    )
+                    if t_first is not None:
+                        ctx.add_span("accept", t_first, parse_t0)
+                    ctx.add_span("parse", parse_t0, time.perf_counter())
+                records = await self._simulate_watched(request, conn, ctx)
                 if records is None:  # client went away mid-sweep
+                    self._access(wide_event(
+                        trace=request.trace, op=op, method=method, path=path,
+                        id=request.id, status=499, code="disconnected",
+                        ms=round((time.perf_counter() - t0) * 1000.0, 3),
+                    ))
                     return False
+                result = records[-1]
                 payload = encode_ndjson(records)
             elif path in (
                 "/v1/healthz", "/v1/metrics", "/v1/models",
-                "/v1/simulate", "/v1/verify",
+                "/v1/simulate", "/v1/verify", "/v1/debug/last",
             ):
                 raise ServeError(
                     "method_not_allowed", f"{method} not allowed on {path}"
@@ -390,11 +459,32 @@ class ServeServer:
                 raise ServeError("not_found", f"unknown route {path}")
         except ServeError as exc:
             status, code = exc.status, exc.code
-            payload = encode_ndjson([exc.record()])
+            payload = encode_ndjson([exc.record(
+                id=request.id if request is not None else None,
+                trace=request.trace if request is not None else None,
+            )])
+        ms = (time.perf_counter() - t0) * 1000.0
         if op in ("simulate", "verify", "models"):
-            record_serve_request(
-                op, code, (time.perf_counter() - t0) * 1000.0
+            record_serve_request(op, code, ms)
+        if op in ("simulate", "verify"):
+            event = wide_event(
+                trace=request.trace if request is not None else None,
+                op=op,
+                method=method,
+                path=path,
+                id=request.id if request is not None else None,
+                digest=(result or {}).get("digest"),
+                batch=(result or {}).get("batch"),
+                queue_ms=(result or {}).get("queue_ms"),
+                sweep_ms=(result or {}).get("sweep_ms"),
+                status=status,
+                code=None if code == "ok" else code,
+                ms=round(ms, 3),
             )
+            self._access(event)
+            if status >= 500:
+                self.dump_flight(f"http-{status}")
+        ser_t0 = time.perf_counter()
         try:
             writer.write(self._response(
                 status, payload, content_type, close=not keep_alive
@@ -402,7 +492,28 @@ class ServeServer:
             await writer.drain()
         except (ConnectionError, OSError):
             return False
+        if op in ("simulate", "verify"):
+            record_serve_stage(
+                "serialize", (time.perf_counter() - ser_t0) * 1000.0
+            )
+            if ctx is not None:
+                ctx.add_span("serialize", ser_t0, time.perf_counter())
         return True
+
+    def _access(self, event: dict) -> None:
+        """One wide event -> flight ring (always) + access log (if on)."""
+        self.flight.record(event)
+        if self.access is not None:
+            self.access.write(event)
+
+    def dump_flight(self, reason: str, force: bool = False) -> Optional[str]:
+        """Dump the flight ring with the health snapshot attached.
+
+        Thread-safe (SIGUSR1 handlers call it from the main thread
+        while the loop thread serves)."""
+        return self.flight.dump(
+            reason, extra={"health": self._health_record()}, force=force
+        )
 
     @staticmethod
     def _json_body(body: bytes) -> Any:
@@ -427,16 +538,23 @@ class ServeServer:
         serve_models().set(len(self.models))
         return {"event": "model", "cached": cached, **entry.describe()}
 
-    async def _simulate(self, request: SimRequest) -> List[dict]:
+    async def _simulate(
+        self, request: SimRequest, ctx: Optional[RequestContext] = None
+    ) -> List[dict]:
         """The transport-independent request path."""
         entry, cached = self.models.resolve(request.model)
         if cached is not None:
             record_serve_model(cached)
             serve_models().set(len(self.models))
-        lane = await self.engine.submit(entry, request)
+        lane = await self.engine.submit(entry, request, ctx=ctx)
         return _lane_records(lane, entry.digest, request.id)
 
-    async def _simulate_watched(self, request: SimRequest, conn: _HttpConn):
+    async def _simulate_watched(
+        self,
+        request: SimRequest,
+        conn: _HttpConn,
+        ctx: Optional[RequestContext] = None,
+    ):
         """Run :meth:`_simulate` racing the connection's watchdog read.
 
         Returns the response records, or None when the client
@@ -447,7 +565,7 @@ class ServeServer:
         request's head read, and bytes it catches mid-sweep are a
         pipelined request stashed in ``conn.carry``.
         """
-        sim_task = asyncio.ensure_future(self._simulate(request))
+        sim_task = asyncio.ensure_future(self._simulate(request, ctx))
         watchdog = conn.watchdog()
         try:
             await asyncio.wait(
@@ -469,7 +587,7 @@ class ServeServer:
                 sim_task.cancel()
 
     def _health_record(self) -> dict:
-        return {
+        record = {
             "event": "health",
             "status": "draining" if self._closing else "ok",
             "uptime_s": round(time.monotonic() - self._started, 3),
@@ -477,13 +595,22 @@ class ServeServer:
             "submits": self.models.submits,
             "evictions": self.models.evictions,
             "watchers": len(self._watchers),
+            "flight_dumps": self.flight.dumps,
             **self.engine.stats(),
         }
+        if self.access is not None:
+            record["access_log"] = {
+                "accepted": self.access.accepted,
+                "dropped": self.access.dropped,
+            }
+        return record
 
     # ------------------------------------------------------------------
     # WebSocket transport
     # ------------------------------------------------------------------
-    async def _handle_websocket(self, reader, writer, headers) -> None:
+    async def _handle_websocket(
+        self, reader, writer, headers, tid: int = MAIN_TID
+    ) -> None:
         key = headers.get("sec-websocket-key")
         if not key:
             writer.write(self._response(
@@ -504,7 +631,15 @@ class ServeServer:
             "\r\n"
         ).encode("latin-1"))
         await writer.drain()
-        conn = _WsConn(reader, writer)
+        # Cap the transport's user-space write buffer so ``drain()``
+        # exerts real backpressure on a slow reader: watch fan-out then
+        # fills the watcher's *bounded* RecordQueue and overflow is
+        # counted as that client's drops, instead of accumulating
+        # unbounded (and unaccounted) in the transport buffer.
+        transport = writer.transport
+        if transport is not None:
+            transport.set_write_buffer_limits(high=64 * 1024)
+        conn = _WsConn(reader, writer, tid=tid)
         watcher: Optional[_Watcher] = None
         try:
             while True:
@@ -616,24 +751,60 @@ class ServeServer:
     async def _ws_simulate(self, conn: _WsConn, message: dict, op: str) -> None:
         t0 = time.perf_counter()
         code = "ok"
+        request: Optional[SimRequest] = None
+        ctx: Optional[RequestContext] = None
+        result: Optional[dict] = None
         try:
             request = parse_sim_request(message, verify=op == "verify")
-            records = await self._simulate(request)
+            if request.trace is None:
+                request.trace = new_trace_id()
+            if self.tracer is not None:
+                ctx = RequestContext(
+                    request.trace, self.tracer, tid=conn.tid, op=op
+                )
+                ctx.add_span("parse", t0, time.perf_counter())
+            records = await self._simulate(request, ctx)
+            result = records[-1]
         except ServeError as exc:
-            records, code = [exc.record(message.get("id"))], exc.code
+            code = exc.code
+            records = [exc.record(
+                message.get("id"),
+                trace=request.trace if request is not None else None,
+            )]
         except asyncio.CancelledError:
             record_serve_request(
                 op, "cancelled", (time.perf_counter() - t0) * 1000.0
             )
             raise
-        record_serve_request(op, code, (time.perf_counter() - t0) * 1000.0)
+        ms = (time.perf_counter() - t0) * 1000.0
+        record_serve_request(op, code, ms)
+        status = 200 if code == "ok" else ERROR_STATUS[code][0]
+        self._access(wide_event(
+            trace=request.trace if request is not None else None,
+            op=op,
+            method="ws",
+            id=message.get("id"),
+            digest=(result or {}).get("digest"),
+            batch=(result or {}).get("batch"),
+            queue_ms=(result or {}).get("queue_ms"),
+            sweep_ms=(result or {}).get("sweep_ms"),
+            status=status,
+            code=None if code == "ok" else code,
+            ms=round(ms, 3),
+        ))
+        if status >= 500:
+            self.dump_flight(f"ws-{status}")
+        ser_t0 = time.perf_counter()
         try:
             async with conn.lock:
                 for record in records:
                     conn.writer.write(wsproto.encode_text(dump_record(record)))
                 await conn.writer.drain()
         except (ConnectionError, OSError):
-            pass
+            return
+        record_serve_stage("serialize", (time.perf_counter() - ser_t0) * 1000.0)
+        if ctx is not None:
+            ctx.add_span("serialize", ser_t0, time.perf_counter())
 
     # ------------------------------------------------------------------
     # watch fan-out (called by the batcher on the loop thread)
@@ -653,7 +824,17 @@ class ServeServer:
             while True:
                 records = watcher.queue.drain()
                 if not records:
-                    return
+                    # Clear the flag *before* the exit check: an offer
+                    # racing this empty drain either lands in the
+                    # re-drain below, or observes ``draining == False``
+                    # in ``_fanout`` and schedules a fresh drainer --
+                    # previously (flag cleared after returning) such a
+                    # record was stranded until the next sweep.
+                    watcher.draining = False
+                    records = watcher.queue.drain()
+                    if not records:
+                        return
+                    watcher.draining = True
                 async with watcher.conn.lock:
                     for record in records:
                         watcher.conn.writer.write(
@@ -663,8 +844,10 @@ class ServeServer:
                 watcher.sent += len(records)
         except (ConnectionError, OSError):
             self._watchers.discard(watcher)
-        finally:
             watcher.draining = False
+        except asyncio.CancelledError:
+            watcher.draining = False
+            raise
 
 
 # ----------------------------------------------------------------------

@@ -13,6 +13,7 @@ from repro.observe import (
     REGISTRY,
     MetricsError,
     MetricsRegistry,
+    histogram_quantile,
     parse_prometheus,
 )
 
@@ -140,6 +141,66 @@ class TestExposition:
         parsed = parse_prometheus(registry.to_prometheus())
         sample = parsed["esc_total"]["samples"][0]
         assert sample["labels"]["path"] == 'a"b\\c\nd'
+
+    def test_help_and_type_once_per_family(self, registry):
+        """Exposition hygiene: HELP/TYPE belong to the family, exactly
+        once, no matter how many label sets the family has."""
+        c = registry.counter(
+            "multi_total", "Multi-series family.", labelnames=("op", "code"),
+        )
+        for op in ("simulate", "verify", "models"):
+            for code in ("ok", "deadline", "queue_full"):
+                c.labels(op=op, code=code).inc()
+        text = registry.to_prometheus()
+        assert text.count("# HELP multi_total ") == 1
+        assert text.count("# TYPE multi_total ") == 1
+        assert len(parse_prometheus(text)["multi_total"]["samples"]) == 9
+
+    def test_parse_rejects_duplicate_help_and_type(self):
+        dup_help = (
+            "# HELP x_total X.\n# TYPE x_total counter\n"
+            "x_total 1\n# HELP x_total X again.\n"
+        )
+        with pytest.raises(MetricsError, match="duplicate # HELP"):
+            parse_prometheus(dup_help)
+        dup_type = (
+            "# HELP x_total X.\n# TYPE x_total counter\n"
+            "x_total 1\n# TYPE x_total counter\n"
+        )
+        with pytest.raises(MetricsError, match="duplicate # TYPE"):
+            parse_prometheus(dup_type)
+
+
+class TestHistogramQuantile:
+    BUCKETS = {1.0: 10.0, 5.0: 70.0, 10.0: 95.0, float("inf"): 100.0}
+
+    def test_quantiles_pick_the_covering_bound(self):
+        assert histogram_quantile(self.BUCKETS, 0.05) == 1.0
+        assert histogram_quantile(self.BUCKETS, 0.50) == 5.0
+        assert histogram_quantile(self.BUCKETS, 0.95) == 10.0
+
+    def test_tail_in_the_inf_bucket_reports_largest_finite_bound(self):
+        assert histogram_quantile(self.BUCKETS, 0.99) == 10.0
+
+    def test_empty_and_zero_histograms(self):
+        assert histogram_quantile({}, 0.5) == 0.0
+        assert histogram_quantile({1.0: 0.0, float("inf"): 0.0}, 0.5) == 0.0
+
+    def test_rejects_out_of_range_quantiles(self):
+        with pytest.raises(MetricsError):
+            histogram_quantile(self.BUCKETS, 1.5)
+
+    def test_round_trips_from_a_scrape(self, registry):
+        h = registry.histogram("ms", "Latency.", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 2.0, 3.0, 7.0):
+            h.observe(value)
+        parsed = parse_prometheus(registry.to_prometheus())
+        buckets = {
+            float(s["labels"]["le"]): s["value"]
+            for s in parsed["ms_bucket"]["samples"]
+        }
+        assert histogram_quantile(buckets, 0.5) == 5.0
+        assert histogram_quantile(buckets, 1.0) == 10.0
 
 
 class TestEngineHooks:

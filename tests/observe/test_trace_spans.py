@@ -6,8 +6,15 @@ the export is the Chrome trace-event format Perfetto loads directly.
 """
 
 import json
+import time
 
-from repro.observe import Profiler, ProbeSet, SpanTracer
+from repro.observe import (
+    Profiler,
+    ProbeSet,
+    RequestContext,
+    SpanTracer,
+    new_trace_id,
+)
 
 from .conftest import fig1_model
 
@@ -98,6 +105,29 @@ class TestProfilerReconciliation:
             assert abs(span_walls[phase] - seconds) < 0.05
         assert abs(tracer.run_wall() - profiler.wall) < 0.05
 
+    def test_phase_walls_agree_with_a_sampling_profiler(self):
+        """A ``sample_every=N`` Profiler on the *same* run profiles only
+        every Nth step; the tracer still spans every step, so the
+        reconciliation restricts its span sum to the sampled steps."""
+        tracer = SpanTracer()
+        profiler = Profiler(sample_every=3)
+        sim = fig1_model().elaborate(
+            backend="compiled", observe=ProbeSet(tracer, profiler)
+        )
+        sim.run()
+        # fig1 has 7 steps; steps 1, 4, 7 are sampled.
+        sampled = {1, 4, 7}
+        assert profiler.sampled_steps == len(sampled)
+        span_walls: dict = {}
+        for span in tracer.spans:
+            if span.get("cat") == "phase" and span["args"]["cs"] in sampled:
+                span_walls[span["name"]] = (
+                    span_walls.get(span["name"], 0.0) + span["dur"] / 1e6
+                )
+        assert set(span_walls) == set(profiler.phase_wall)
+        for phase, seconds in profiler.phase_wall.items():
+            assert abs(span_walls[phase] - seconds) < 0.05
+
 
 class TestChromeExport:
     def test_export_shape(self, tmp_path):
@@ -127,3 +157,46 @@ class TestChromeExport:
         ]
         keys = [(e["tid"], e["ts"]) for e in events]
         assert keys == sorted(keys)
+
+
+class TestRequestContext:
+    def test_trace_ids_are_distinct_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+    def test_spans_carry_trace_op_and_track(self):
+        tracer = SpanTracer()
+        tid = tracer.alloc_track("conn test")
+        ctx = RequestContext("abc123", tracer, tid=tid, op="simulate")
+        t0 = time.perf_counter()
+        ctx.add_span("queue", t0, t0 + 0.001, args={"batch": 7})
+        with ctx.span("serialize", bytes_out=42):
+            pass
+        queue, serialize = tracer.spans
+        assert queue["args"] == {
+            "trace": "abc123", "op": "simulate", "batch": 7,
+        }
+        assert queue["tid"] == tid
+        assert queue["cat"] == "serve"
+        assert serialize["args"]["bytes_out"] == 42
+        assert serialize["args"]["trace"] == "abc123"
+
+    def test_alloc_track_labels_the_export(self):
+        tracer = SpanTracer()
+        lane_tid = tracer.alloc_track("lane deadbeef")
+        tracer.add_span("sweep", tracer.t0, tracer.t0 + 0.001, tid=lane_tid)
+        labels = {
+            e["tid"]: e["args"]["name"]
+            for e in tracer.to_chrome()["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert labels[lane_tid] == "lane deadbeef"
+
+    def test_untraced_context_is_a_noop(self):
+        ctx = RequestContext("abc123", tracer=None, op="simulate")
+        assert ctx.add_span("queue", 0.0, 1.0) is None
+        with ctx.span("serialize"):
+            pass  # must not raise, must not record anything

@@ -17,18 +17,32 @@ drives the scenario the CI ``serve`` job gates on:
   clean flag is compared against an in-process sequential ``compiled``
   run of the same vector.
 
+With ``--access-log`` / ``--trace-out`` the run also validates the
+observability plane end to end:
+
+* every access-log line parses as a wide event, every load request's
+  id appears **exactly once**, and no line carries an unexplained 5xx
+  (the deliberate deadline 504 happens on the second, slow server);
+* the Chrome trace export contains at least one coalesced sweep span
+  whose ``traces`` list joins >1 request, and each of those requests
+  has ``accept`` and ``queue`` spans under the same trace id, the
+  queue span tagged with the sweep's batch number.
+
 Exit codes: 0 pass, 1 any assertion failed.  Needs only the repo
 (``PYTHONPATH=src``); no third-party packages.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import random
 import sys
 
 sys.path.insert(0, "src")
 
 from repro.core import ModuleSpec, RTModel  # noqa: E402
+from repro.observe.log import parse_access_log  # noqa: E402
 from repro.serve import (  # noqa: E402
     ServeClient,
     ServeClientError,
@@ -70,10 +84,87 @@ def check(condition: bool, message: str) -> None:
         raise AssertionError(message)
 
 
-def main() -> int:
+def check_access_log(path: str, expected_ids: set) -> None:
+    """Parse the wide-event log; ids exactly once, no unexplained 5xx."""
+    events = parse_access_log(path)  # raises on any malformed line
+    seen: dict = {}
+    for event in events:
+        if event.get("op") == "simulate" and "id" in event:
+            seen[event["id"]] = seen.get(event["id"], 0) + 1
+        check(
+            event.get("status", 0) < 500,
+            f"unexplained 5xx in access log: {event}",
+        )
+    missing = expected_ids - set(seen)
+    check(not missing, f"{len(missing)} request id(s) never logged: "
+          f"{sorted(missing)[:5]}...")
+    dupes = {k: n for k, n in seen.items() if k in expected_ids and n != 1}
+    check(not dupes, f"request id(s) logged more than once: {dupes}")
+    print(
+        f"access log: {len(events)} wide events, "
+        f"{len(expected_ids)} load ids exactly once, no unexplained 5xx"
+    )
+
+
+def check_trace(path: str) -> None:
+    """One coalesced sweep must join >1 trace id, and each joined
+    request must have accept + queue spans under that id, the queue
+    span pointing at the sweep's batch."""
+    with open(path, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    by_name: dict = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span)
+    coalesced = [
+        s for s in by_name.get("sweep", ())
+        if len(s.get("args", {}).get("traces", ())) > 1
+    ]
+    check(bool(coalesced), "no sweep span coalesced more than one trace")
+    sweep = coalesced[0]
+    batch = sweep["args"]["batch"]
+    for trace_id in sweep["args"]["traces"]:
+        accepts = [
+            s for s in by_name.get("accept", ())
+            if s["args"].get("trace") == trace_id
+        ]
+        queues = [
+            s for s in by_name.get("queue", ())
+            if s["args"].get("trace") == trace_id
+            and s["args"].get("batch") == batch
+        ]
+        check(bool(accepts), f"trace {trace_id}: no accept span")
+        check(
+            bool(queues),
+            f"trace {trace_id}: no queue span joining batch {batch}",
+        )
+    print(
+        f"trace export: {len(spans)} spans, sweep batch {batch} "
+        f"coalesced {len(sweep['args']['traces'])} traced requests "
+        "(accept -> queue -> sweep share trace ids)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="run the server with a wide-event access log and validate "
+        "it after the load (parses, ids exactly once, no 5xx)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="run the server with request tracing and validate the "
+        "Chrome trace export (coalesced sweep joins >1 trace id)",
+    )
+    args = parser.parse_args(argv)
+
     rng = random.Random(2026)
     designs = {"fig1": fig1_model(), "clash": conflict_model()}
-    with serve_in_thread() as handle:
+    expected_ids: set = set()
+    with serve_in_thread(
+        access_log=args.access_log, trace_out=args.trace_out
+    ) as handle:
         host, port = handle.address
         digests = {}
         with ServeClient(host, port) as client:
@@ -108,8 +199,9 @@ def main() -> int:
             results: dict = {}
             load = drive_load(
                 host, port, digests[name], vectors,
-                clients=CLIENTS, results=results,
+                clients=CLIENTS, results=results, id_prefix=f"{name}-",
             )
+            expected_ids.update(f"{name}-{i}" for i in range(len(vectors)))
             check(
                 load["errors"] == 0,
                 f"{name}: {load['errors']} request(s) failed "
@@ -121,7 +213,7 @@ def main() -> int:
                 sim = model.elaborate(
                     register_values=vector, backend="compiled"
                 ).run()
-                got = results.get(i)
+                got = results.get(f"{name}-{i}")
                 if (
                     got is None
                     or decode_registers(got["registers"]) != sim.registers
@@ -144,6 +236,12 @@ def main() -> int:
         f"scheduler: {stats['sweeps']} sweeps, "
         f"{stats['lanes_swept']} lanes, mean batch {stats['batch_mean']}"
     )
+    # -- observability validation (after close(): log flushed, trace
+    # written) -----------------------------------------------------------
+    if args.access_log:
+        check_access_log(args.access_log, expected_ids)
+    if args.trace_out:
+        check_trace(args.trace_out)
     print("serve load smoke: PASS")
     return 0
 
